@@ -1,0 +1,69 @@
+//! Criterion micro-version of Figure 2: traditional vs shortcut inner-node
+//! access at a single (scaled-down) size point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shortcut_bench::workload::KeyGen;
+use shortcut_core::{ShortcutNode, TraditionalNode};
+use shortcut_rewire::{PageIdx, PagePool, PoolConfig};
+use std::hint::black_box;
+
+fn setup(slots: usize) -> (PagePool, TraditionalNode, ShortcutNode) {
+    let mut pool = PagePool::new(PoolConfig {
+        initial_pages: 0,
+        min_growth_pages: slots,
+        view_capacity_pages: slots + 64,
+        ..PoolConfig::default()
+    })
+    .unwrap();
+    let handle = pool.handle();
+    let run = pool.alloc_run(slots).unwrap();
+    for i in 0..slots {
+        unsafe {
+            *(pool.page_ptr(PageIdx(run.0 + i)) as *mut u64) = i as u64;
+        }
+    }
+    let mut trad = TraditionalNode::new(slots);
+    for i in 0..slots {
+        trad.set_slot(i, pool.page_ptr(PageIdx(run.0 + i)));
+    }
+    let mut short = ShortcutNode::new_populated(slots).unwrap();
+    let assignments: Vec<_> = (0..slots).map(|i| (i, PageIdx(run.0 + i))).collect();
+    short.set_batch(&handle, &assignments).unwrap();
+    short.populate();
+    (pool, trad, short)
+}
+
+fn bench(c: &mut Criterion) {
+    let slots = 1 << 16;
+    let (_pool, trad, short) = setup(slots);
+    let idx = KeyGen::new(42).indices(slots, 4096);
+
+    let mut g = c.benchmark_group("fig2_random_access");
+    g.bench_function("traditional", |b| {
+        b.iter(|| {
+            let mut sum = 0u64;
+            for &i in &idx {
+                sum = sum.wrapping_add(unsafe { *(trad.get(i as usize) as *const u64) });
+            }
+            black_box(sum)
+        })
+    });
+    let base = short.base();
+    g.bench_function("shortcut", |b| {
+        b.iter(|| {
+            let mut sum = 0u64;
+            for &i in &idx {
+                sum = sum.wrapping_add(unsafe { *(base.add((i as usize) << 12) as *const u64) });
+            }
+            black_box(sum)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion micro-version of Figure 4: lookup cost vs fan-in for both
+//! node variants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use shortcut_bench::workload::KeyGen;
+use shortcut_core::{ShortcutNode, TraditionalNode};
+use shortcut_rewire::{PageIdx, PagePool, PoolConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let slots = 1 << 16;
+    let mut g = c.benchmark_group("fig4_fanin");
+    for fanin in [1usize, 16, 256] {
+        let leaves = slots / fanin;
+        let mut pool = PagePool::new(PoolConfig {
+            initial_pages: 0,
+            min_growth_pages: leaves,
+            view_capacity_pages: leaves + 64,
+            ..PoolConfig::default()
+        })
+        .unwrap();
+        let handle = pool.handle();
+        let run = pool.alloc_run(leaves).unwrap();
+        let mut trad = TraditionalNode::new(slots);
+        for i in 0..slots {
+            trad.set_slot(i, pool.page_ptr(PageIdx(run.0 + i / fanin)));
+        }
+        let mut short = ShortcutNode::new_populated(slots).unwrap();
+        let assignments: Vec<_> = (0..slots)
+            .map(|i| (i, PageIdx(run.0 + i / fanin)))
+            .collect();
+        short.set_batch(&handle, &assignments).unwrap();
+        short.populate();
+        let idx = KeyGen::new(42).indices(slots, 4096);
+
+        g.bench_with_input(BenchmarkId::new("traditional", fanin), &fanin, |b, _| {
+            b.iter(|| {
+                let mut sum = 0u64;
+                for &i in &idx {
+                    sum = sum.wrapping_add(unsafe { *(trad.get(i as usize) as *const u64) });
+                }
+                black_box(sum)
+            })
+        });
+        let base = short.base();
+        g.bench_with_input(BenchmarkId::new("shortcut", fanin), &fanin, |b, _| {
+            b.iter(|| {
+                let mut sum = 0u64;
+                for &i in &idx {
+                    sum =
+                        sum.wrapping_add(unsafe { *(base.add((i as usize) << 12) as *const u64) });
+                }
+                black_box(sum)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion micro-version of Figure 5 on the deterministic vmsim model:
+//! remap cost with and without remote TLB holders.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shortcut_vmsim::{CoreId, Machine, MachineConfig, VirtAddr};
+
+fn machine(pages: usize) -> (Machine, VirtAddr, shortcut_vmsim::address_space::FileId) {
+    let mut m = Machine::new(MachineConfig {
+        cores: 8,
+        ..MachineConfig::default()
+    });
+    let file = m.aspace.create_file();
+    m.aspace.resize_file(file, pages * 2).unwrap();
+    let addr = m.aspace.mmap_anon(pages);
+    m.aspace.mmap_file_fixed(addr, pages, file, 0, true).unwrap();
+    (m, addr, file)
+}
+
+fn bench(c: &mut Criterion) {
+    let pages = 1 << 10;
+    let mut g = c.benchmark_group("fig5_shootdown_model");
+
+    g.bench_function("remap_no_holders", |b| {
+        let (mut m, addr, file) = machine(pages);
+        let mut i = 0usize;
+        b.iter(|| {
+            let v = VirtAddr(addr.0 + ((i % pages) as u64) * 4096);
+            i += 1;
+            m.remap_from_core(CoreId(0), v, 1, file, (i * 7) % pages, true)
+                .unwrap()
+        })
+    });
+
+    g.bench_function("remap_seven_holders", |b| {
+        let (mut m, addr, file) = machine(pages);
+        let mut i = 0usize;
+        b.iter(|| {
+            let v = VirtAddr(addr.0 + ((i % pages) as u64) * 4096);
+            // All remote cores warm the translation first.
+            for core in 1..8 {
+                m.access(CoreId(core), v).unwrap();
+            }
+            i += 1;
+            m.remap_from_core(CoreId(0), v, 1, file, (i * 7) % pages, true)
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

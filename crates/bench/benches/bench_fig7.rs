@@ -1,0 +1,77 @@
+//! Criterion micro-version of Figure 7: insert and lookup throughput of
+//! all five hashing schemes at a small scale.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use shortcut_bench::experiments::fig7::build_schemes;
+use shortcut_bench::workload::KeyGen;
+use std::hint::black_box;
+
+fn bench_inserts(c: &mut Criterion) {
+    let n = 50_000;
+    let keys = KeyGen::new(42).uniform_keys(n);
+    let mut g = c.benchmark_group("fig7a_insert");
+    g.sample_size(10);
+    for scheme_idx in 0..5 {
+        let name = build_schemes(n)[scheme_idx].name();
+        g.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+            b.iter_batched(
+                || {
+                    let mut v = build_schemes(n);
+                    v.swap(0, scheme_idx);
+                    v.truncate(1);
+                    v.pop().unwrap()
+                },
+                |mut index| {
+                    for &k in &keys {
+                        index.insert(k, k);
+                    }
+                    index
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_lookups(c: &mut Criterion) {
+    let n = 50_000;
+    let mut gen = KeyGen::new(42);
+    let keys = gen.uniform_keys(n);
+    let probes = gen.hits_from(&keys, 10_000);
+    let mut g = c.benchmark_group("fig7b_lookup");
+    g.sample_size(10);
+    for scheme_idx in 0..5 {
+        let mut index = {
+            let mut v = build_schemes(n);
+            v.swap(0, scheme_idx);
+            v.truncate(1);
+            v.pop().unwrap()
+        };
+        for &k in &keys {
+            index.insert(k, k);
+        }
+        if index.name() == "Shortcut-EH" {
+            std::thread::sleep(std::time::Duration::from_millis(100));
+        }
+        g.bench_with_input(BenchmarkId::new(index.name(), n), &n, |b, _| {
+            b.iter(|| {
+                let mut found = 0u64;
+                for &k in &probes {
+                    if index.get(k).is_some() {
+                        found += 1;
+                    }
+                }
+                black_box(found)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_inserts, bench_lookups
+}
+criterion_main!(benches);

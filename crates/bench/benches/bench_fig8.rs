@@ -1,0 +1,69 @@
+//! Criterion micro-version of Figure 8: mixed-workload batch (1% inserts,
+//! 99% lookups) on EH vs Shortcut-EH.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shortcut_bench::workload::KeyGen;
+use shortcut_exhash::{EhConfig, ExtendibleHash, KvIndex, ShortcutEh, ShortcutEhConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let bulk = 100_000;
+    let mut gen = KeyGen::new(42);
+    let keys = gen.uniform_keys(bulk);
+    let fresh = gen.uniform_keys(1 << 20);
+    let probes = gen.hits_from(&keys, 990);
+
+    let mut g = c.benchmark_group("fig8_mixed_batch");
+    g.sample_size(20);
+
+    let mut eh = ExtendibleHash::new(EhConfig::default());
+    for &k in &keys {
+        eh.insert(k, k);
+    }
+    let mut cursor = 0usize;
+    g.bench_function("EH", |b| {
+        b.iter(|| {
+            for _ in 0..10 {
+                eh.insert(fresh[cursor % fresh.len()], 1);
+                cursor += 1;
+            }
+            let mut found = 0u64;
+            for &k in &probes {
+                if eh.get(k).is_some() {
+                    found += 1;
+                }
+            }
+            black_box(found)
+        })
+    });
+
+    let mut sceh = ShortcutEh::new(ShortcutEhConfig::default());
+    for &k in &keys {
+        sceh.insert(k, k);
+    }
+    sceh.wait_sync(std::time::Duration::from_secs(30));
+    let mut cursor = 0usize;
+    g.bench_function("Shortcut-EH", |b| {
+        b.iter(|| {
+            for _ in 0..10 {
+                sceh.insert(fresh[cursor % fresh.len()], 1);
+                cursor += 1;
+            }
+            let mut found = 0u64;
+            for &k in &probes {
+                if sceh.get(k).is_some() {
+                    found += 1;
+                }
+            }
+            black_box(found)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench
+}
+criterion_main!(benches);

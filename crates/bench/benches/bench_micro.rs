@@ -1,0 +1,106 @@
+//! Micro-benchmarks of the substrate pieces: hash, bucket ops, pool
+//! alloc/free, rewiring, and the vmsim MMU fast path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shortcut_exhash::{bucket_slot_hash, mult_hash, BucketRef, BUCKET_CAPACITY};
+use shortcut_rewire::{PageIdx, PagePool, PoolConfig, VirtArea};
+use shortcut_vmsim::{AddressSpace, Mmu, VirtAddr};
+use std::hint::black_box;
+
+fn bench_hash(c: &mut Criterion) {
+    c.bench_function("micro/mult_hash", |b| {
+        let mut k = 1u64;
+        b.iter(|| {
+            k = k.wrapping_add(1);
+            black_box(mult_hash(k) ^ bucket_slot_hash(k))
+        })
+    });
+}
+
+fn bench_bucket(c: &mut Criterion) {
+    let mut mem = vec![0u8; 4096 + 8];
+    let off = mem.as_ptr().align_offset(8);
+    let ptr = unsafe { mem.as_mut_ptr().add(off) };
+    let bucket = unsafe { BucketRef::from_ptr(ptr) };
+    bucket.init(0);
+    for k in 0..80u64 {
+        bucket.insert(k, k, BUCKET_CAPACITY);
+    }
+    c.bench_function("micro/bucket_get_hit", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 1) % 80;
+            black_box(bucket.get(k))
+        })
+    });
+    c.bench_function("micro/bucket_get_miss", |b| {
+        let mut k = 1_000_000u64;
+        b.iter(|| {
+            k += 1;
+            black_box(bucket.get(k))
+        })
+    });
+}
+
+fn bench_pool(c: &mut Criterion) {
+    c.bench_function("micro/pool_alloc_free", |b| {
+        let mut pool = PagePool::new(PoolConfig {
+            initial_pages: 1024,
+            view_capacity_pages: 4096,
+            shrink_threshold_pages: usize::MAX,
+            ..PoolConfig::default()
+        })
+        .unwrap();
+        b.iter(|| {
+            let p = pool.alloc_page().unwrap();
+            pool.free_page(p).unwrap();
+            black_box(p)
+        })
+    });
+}
+
+fn bench_rewire(c: &mut Criterion) {
+    let mut pool = PagePool::new(PoolConfig {
+        initial_pages: 8,
+        view_capacity_pages: 64,
+        ..PoolConfig::default()
+    })
+    .unwrap();
+    let handle = pool.handle();
+    let a = pool.alloc_page().unwrap();
+    let b_page = pool.alloc_page().unwrap();
+    let mut area = VirtArea::reserve(1).unwrap();
+    c.bench_function("micro/rewire_single_page", |b| {
+        let mut flip = false;
+        b.iter(|| {
+            let target = if flip { a } else { b_page };
+            flip = !flip;
+            area.rewire(0, &handle, target).unwrap();
+            black_box(target)
+        })
+    });
+    let _ = PageIdx(0);
+}
+
+fn bench_vmsim(c: &mut Criterion) {
+    let mut aspace = AddressSpace::new();
+    let addr = aspace.mmap_anon(64);
+    for i in 0..64 {
+        aspace.populate(addr.vpn().add(i)).unwrap();
+    }
+    let mut mmu = Mmu::with_defaults();
+    c.bench_function("micro/vmsim_tlb_hit_access", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 64;
+            black_box(mmu.access(&mut aspace, VirtAddr(addr.0 + i * 4096)).unwrap().ns)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_hash, bench_bucket, bench_pool, bench_rewire, bench_vmsim
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion micro-version of Table 1: the cost of setting indirections
+//! (pointer store vs rewiring mmap) and of population.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use shortcut_core::{ShortcutNode, TraditionalNode};
+use shortcut_rewire::{PageIdx, PagePool, PoolConfig};
+
+fn pool_with_run(pages: usize) -> (PagePool, PageIdx) {
+    let mut pool = PagePool::new(PoolConfig {
+        initial_pages: 0,
+        min_growth_pages: pages,
+        view_capacity_pages: pages + 64,
+        ..PoolConfig::default()
+    })
+    .unwrap();
+    let run = pool.alloc_run(pages).unwrap();
+    (pool, run)
+}
+
+fn bench(c: &mut Criterion) {
+    let n = 1 << 10;
+    let (pool, run) = pool_with_run(n);
+    let handle = pool.handle();
+
+    let mut g = c.benchmark_group("table1_set_indirections");
+    g.bench_function("traditional_pointer_store", |b| {
+        b.iter_batched(
+            || TraditionalNode::new(n),
+            |mut node| {
+                for i in 0..n {
+                    node.set_slot(i, pool.page_ptr(PageIdx(run.0 + i)));
+                }
+                node
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("shortcut_rewire_per_slot", |b| {
+        b.iter_batched(
+            || ShortcutNode::new(n).unwrap(),
+            |mut node| {
+                for i in 0..n {
+                    node.set_slot(i, &handle, PageIdx(run.0 + i)).unwrap();
+                }
+                node
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("shortcut_populate_by_touch", |b| {
+        b.iter_batched(
+            || {
+                let mut node = ShortcutNode::new(n).unwrap();
+                node.set_run(0, &handle, run, n).unwrap();
+                node
+            },
+            |node| {
+                node.populate();
+                node
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Ablation A1: coalesced vs per-slot rewiring.
+use shortcut_bench::experiments::ablations;
+use shortcut_bench::ScaleArgs;
+
+fn main() {
+    ablations::a1_coalescing(&ScaleArgs::from_env()).print();
+}

@@ -1,0 +1,7 @@
+//! Ablation A3: mapper poll interval vs sync latency.
+use shortcut_bench::experiments::ablations;
+use shortcut_bench::ScaleArgs;
+
+fn main() {
+    ablations::a3_poll_interval(&ScaleArgs::from_env()).print();
+}

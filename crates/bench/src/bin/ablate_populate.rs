@@ -1,0 +1,7 @@
+//! Ablation A4: eager vs lazy shortcut population.
+use shortcut_bench::experiments::ablations;
+use shortcut_bench::ScaleArgs;
+
+fn main() {
+    ablations::a4_populate(&ScaleArgs::from_env()).print();
+}

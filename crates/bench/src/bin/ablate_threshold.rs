@@ -1,0 +1,7 @@
+//! Ablation A2: fan-in routing threshold sweep.
+use shortcut_bench::experiments::ablations;
+use shortcut_bench::ScaleArgs;
+
+fn main() {
+    ablations::a2_threshold(&ScaleArgs::from_env()).print();
+}

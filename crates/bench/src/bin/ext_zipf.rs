@@ -1,0 +1,10 @@
+//! Extension experiment: Zipf-skewed access over both node variants.
+use shortcut_bench::experiments::ext_skew;
+use shortcut_bench::ScaleArgs;
+
+fn main() {
+    let s = ScaleArgs::from_env();
+    let opts = ext_skew::SkewOpts::from_scale(&s);
+    println!("ext_zipf: {} slots, thetas {:?}", opts.slots, opts.thetas);
+    ext_skew::run(&opts).print();
+}

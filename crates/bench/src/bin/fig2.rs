@@ -1,0 +1,10 @@
+//! Regenerates Figure 2 (traditional vs shortcut inner node).
+use shortcut_bench::experiments::fig2;
+use shortcut_bench::ScaleArgs;
+
+fn main() {
+    let s = ScaleArgs::from_env();
+    let opts = fig2::Fig2Opts::from_scale(&s);
+    println!("fig2: pairs {:?}, {} accesses", opts.pairs, opts.accesses);
+    fig2::run(&opts).print();
+}

@@ -1,0 +1,19 @@
+//! Regenerates Figure 4 (impact of fan-in).
+use shortcut_bench::experiments::fig4;
+use shortcut_bench::ScaleArgs;
+
+fn main() {
+    let s = ScaleArgs::from_env();
+    let opts = fig4::Fig4Opts::from_scale(&s);
+    println!("fig4: {} slots, fanins {:?}", opts.slots, opts.fanins);
+    fig4::run(&opts).print();
+    // Companion table: the TLB mechanism behind the crossover, on the
+    // deterministic vmsim model (smaller sizes; behaviour, not wall-clock).
+    fig4::run_model(
+        opts.slots.min(1 << 16),
+        &opts.fanins,
+        opts.lookups.min(200_000),
+        opts.seed,
+    )
+    .print();
+}

@@ -1,0 +1,20 @@
+//! Regenerates Figure 5 (effect of TLB shootdowns): real-OS run plus the
+//! deterministic vmsim model (see DESIGN.md substitution #1).
+use shortcut_bench::experiments::fig5;
+use shortcut_bench::ScaleArgs;
+
+fn main() {
+    let s = ScaleArgs::from_env();
+    let opts = fig5::Fig5Opts::from_scale(&s);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!(
+        "fig5: region {} pages, {} remaps, readers {:?} ({} hardware threads — reader counts >= {} run oversubscribed)",
+        opts.region_pages, opts.remaps, opts.reader_counts, cores, cores
+    );
+    fig5::table("Figure 5 (OS) — TLB shootdowns", &fig5::run_os(&opts)).print();
+    fig5::table(
+        "Figure 5 (vmsim model, 8 simulated cores) — TLB shootdowns",
+        &fig5::run_model(&opts),
+    )
+    .print();
+}

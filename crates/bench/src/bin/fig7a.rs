@@ -1,0 +1,12 @@
+//! Regenerates Figure 7a (accumulated insertion time, five schemes).
+use shortcut_bench::experiments::fig7;
+use shortcut_bench::ScaleArgs;
+
+fn main() {
+    let s = ScaleArgs::from_env();
+    let opts = fig7::Fig7Opts::from_scale(&s);
+    println!("fig7a: {} inserts", opts.inserts);
+    let r = fig7::run(&opts);
+    fig7::table_7a(&r, &opts).print();
+    fig7::table_7b(&r, &opts).print(); // lookups come for free after the fill
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 7b (lookup time after 100M-style fill).
+use shortcut_bench::experiments::fig7;
+use shortcut_bench::ScaleArgs;
+
+fn main() {
+    let s = ScaleArgs::from_env();
+    let opts = fig7::Fig7Opts::from_scale(&s);
+    println!("fig7b: {} inserts then {} lookups", opts.inserts, opts.lookups);
+    let r = fig7::run(&opts);
+    fig7::table_7b(&r, &opts).print();
+}

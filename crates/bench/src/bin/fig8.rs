@@ -1,0 +1,17 @@
+//! Regenerates Figure 8 (synchronization under a mixed workload).
+use shortcut_bench::experiments::fig8;
+use shortcut_bench::ScaleArgs;
+
+fn main() {
+    let s = ScaleArgs::from_env();
+    let opts = fig8::Fig8Opts::from_scale(&s);
+    println!(
+        "fig8: bulk {}, {} waves x {} ({}% inserts)",
+        opts.bulk,
+        opts.waves,
+        opts.wave_size,
+        opts.insert_fraction * 100.0
+    );
+    let points = fig8::run(&opts);
+    fig8::table(&points, &opts).print();
+}

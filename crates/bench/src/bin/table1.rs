@@ -1,0 +1,11 @@
+//! Regenerates Table 1 (cost of creation and use of an inner node).
+use shortcut_bench::experiments::table1;
+use shortcut_bench::ScaleArgs;
+
+fn main() {
+    let s = ScaleArgs::from_env();
+    let opts = table1::Table1Opts::from_scale(&s);
+    println!("table1: n = {} slots, {} accesses", opts.slots, opts.accesses);
+    let (_, table) = table1::run(&opts);
+    table.print();
+}

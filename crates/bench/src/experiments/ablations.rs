@@ -1,0 +1,242 @@
+//! Ablations A1–A4: design choices the paper fixes by fiat, swept here.
+
+use crate::experiments::experiment_pool;
+use crate::scale::ScaleArgs;
+use crate::timing::{ms, Stopwatch};
+use crate::workload::KeyGen;
+use crate::Table;
+use shortcut_core::{MaintConfig, RoutePolicy, ShortcutNode};
+use shortcut_exhash::{EhConfig, KvIndex, ShortcutEh, ShortcutEhConfig};
+use shortcut_rewire::PageIdx;
+use std::time::{Duration, Instant};
+
+/// **A1** — how much does coalescing contiguous rewirings into single
+/// `mmap` calls (paper §2.1, last paragraph) save during shortcut creation?
+pub fn a1_coalescing(s: &ScaleArgs) -> Table {
+    let slots = s.pick(1 << 20, 1 << 17, 1 << 12);
+    let mut pool = experiment_pool(slots);
+    let handle = pool.handle();
+    let run = pool.alloc_run(slots).expect("alloc failed");
+
+    // Per-slot rewiring (the worst case measured in Table 1).
+    let mut node_a = ShortcutNode::new(slots).expect("reserve failed");
+    let sw = Stopwatch::start();
+    for i in 0..slots {
+        node_a
+            .set_slot(i, &handle, PageIdx(run.0 + i))
+            .expect("rewire failed");
+    }
+    let per_slot_ms = ms(sw.elapsed());
+    let per_slot_calls = node_a.mmap_calls();
+
+    // Coalesced batch (contiguous leaves -> one call).
+    let mut node_b = ShortcutNode::new(slots).expect("reserve failed");
+    let assignments: Vec<(usize, PageIdx)> =
+        (0..slots).map(|i| (i, PageIdx(run.0 + i))).collect();
+    let sw = Stopwatch::start();
+    let calls = node_b.set_batch(&handle, &assignments).expect("batch failed");
+    let batch_ms = ms(sw.elapsed());
+
+    let mut t = Table::new(
+        format!("Ablation A1 — coalesced vs per-slot rewiring, {slots} slots"),
+        &["strategy", "mmap calls", "time [ms]", "us/slot"],
+    );
+    t.row(&[
+        "per-slot".into(),
+        Table::n(per_slot_calls),
+        Table::f(per_slot_ms),
+        Table::f(per_slot_ms * 1000.0 / slots as f64),
+    ]);
+    t.row(&[
+        "coalesced".into(),
+        Table::n(calls),
+        Table::f(batch_ms),
+        Table::f(batch_ms * 1000.0 / slots as f64),
+    ]);
+    t
+}
+
+/// **A2** — the fan-in routing threshold (paper: 8). For each fan-in we
+/// measure both paths and report which threshold policies route correctly.
+pub fn a2_threshold(s: &ScaleArgs) -> Table {
+    let slots = s.pick(1 << 20, 1 << 17, 1 << 12);
+    let lookups = s.pick(5_000_000, 2_000_000, 50_000);
+    let fanins = [1usize, 2, 4, 8, 16, 32, 64, 128];
+    let policies = [1.0, 4.0, 8.0, 16.0, 64.0];
+
+    let mut t = Table::new(
+        "Ablation A2 — fan-in routing threshold sweep",
+        &[
+            "fan-in",
+            "trad [ms]",
+            "shortcut [ms]",
+            "best path",
+            "thresholds choosing best",
+        ],
+    );
+    for f in fanins {
+        let (trad, short) = super::fig4::run_point(slots, f, lookups, 42);
+        let best_is_shortcut = short <= trad;
+        let right: Vec<String> = policies
+            .iter()
+            .filter(|&&p| RoutePolicy::with_threshold(p).use_shortcut(f as f64, true) == best_is_shortcut)
+            .map(|p| format!("{p}"))
+            .collect();
+        t.row(&[
+            f.to_string(),
+            Table::f(trad),
+            Table::f(short),
+            if best_is_shortcut { "shortcut" } else { "traditional" }.into(),
+            right.join(","),
+        ]);
+    }
+    t
+}
+
+/// **A3** — the mapper poll interval (paper: 25 ms): insert a burst, then
+/// measure how long the shortcut stays out of sync.
+pub fn a3_poll_interval(s: &ScaleArgs) -> Table {
+    let bulk = s.pick(2_000_000, 500_000, 50_000);
+    let burst = s.pick(100_000, 20_000, 2_000);
+    let intervals_ms = [1u64, 5, 25, 100];
+
+    let mut t = Table::new(
+        "Ablation A3 — mapper poll interval vs sync latency",
+        &[
+            "poll [ms]",
+            "bulk insert [ms]",
+            "burst insert [ms]",
+            "time to sync after burst [ms]",
+        ],
+    );
+    for poll in intervals_ms {
+        let mut sceh = ShortcutEh::new(ShortcutEhConfig {
+            eh: EhConfig {
+                pool: super::fig7::bench_pool_config(bulk * 2),
+                ..EhConfig::default()
+            },
+            maint: MaintConfig {
+                poll_interval: Duration::from_millis(poll),
+                ..MaintConfig::default()
+            },
+            ..Default::default()
+        });
+        let mut gen = KeyGen::new(42);
+        let keys = gen.uniform_keys(bulk + burst);
+
+        let sw = Stopwatch::start();
+        for &k in &keys[..bulk] {
+            sceh.insert(k, k);
+        }
+        let bulk_ms = ms(sw.elapsed());
+        assert!(sceh.wait_sync(Duration::from_secs(60)));
+
+        let sw = Stopwatch::start();
+        for &k in &keys[bulk..] {
+            sceh.insert(k, k);
+        }
+        let burst_ms = ms(sw.elapsed());
+
+        let t0 = Instant::now();
+        while !sceh.in_sync() && t0.elapsed() < Duration::from_secs(60) {
+            std::hint::spin_loop();
+        }
+        let sync_ms = ms(t0.elapsed());
+
+        t.row(&[
+            poll.to_string(),
+            Table::f(bulk_ms),
+            Table::f(burst_ms),
+            Table::f(sync_ms),
+        ]);
+    }
+    t
+}
+
+/// **A4** — eager vs lazy page-table population of the shortcut directory
+/// at index scale: the first synced lookup round pays the faults when lazy.
+pub fn a4_populate(s: &ScaleArgs) -> Table {
+    let n = s.pick(5_000_000, 1_000_000, 50_000);
+    let lookups = s.pick(5_000_000, 1_000_000, 50_000);
+
+    let mut t = Table::new(
+        "Ablation A4 — eager vs lazy shortcut population (Shortcut-EH)",
+        &[
+            "population",
+            "1st lookup round [ms]",
+            "2nd lookup round [ms]",
+        ],
+    );
+    for eager in [true, false] {
+        let mut sceh = ShortcutEh::new(ShortcutEhConfig {
+            eh: EhConfig {
+                pool: super::fig7::bench_pool_config(n * 2),
+                ..EhConfig::default()
+            },
+            maint: MaintConfig {
+                eager_populate: eager,
+                ..MaintConfig::default()
+            },
+            ..Default::default()
+        });
+        let mut gen = KeyGen::new(42);
+        let keys = gen.uniform_keys(n);
+        for &k in &keys {
+            sceh.insert(k, k);
+        }
+        assert!(sceh.wait_sync(Duration::from_secs(120)));
+        let probe = gen.hits_from(&keys, lookups);
+
+        let mut round = || {
+            let sw = Stopwatch::start();
+            let mut found = 0u64;
+            for &k in &probe {
+                if sceh.get(k).is_some() {
+                    found += 1;
+                }
+            }
+            std::hint::black_box(found);
+            ms(sw.elapsed())
+        };
+        let r1 = round();
+        let r2 = round();
+        t.row(&[
+            if eager { "eager (MAP_POPULATE/touch)" } else { "lazy (fault on access)" }.into(),
+            Table::f(r1),
+            Table::f(r2),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ScaleArgs {
+        ScaleArgs {
+            quick: true,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn a1_coalescing_wins() {
+        let t = a1_coalescing(&quick());
+        let s = t.render();
+        assert!(s.contains("per-slot"));
+        assert!(s.contains("coalesced"));
+    }
+
+    #[test]
+    fn a3_poll_runs() {
+        let t = a3_poll_interval(&quick());
+        assert!(t.render().contains("25"));
+    }
+
+    #[test]
+    fn a4_populate_runs() {
+        let t = a4_populate(&quick());
+        assert!(t.render().contains("eager"));
+    }
+}

@@ -1,0 +1,131 @@
+//! **Extension experiment** (beyond the paper): skewed access.
+//!
+//! The paper evaluates uniform workloads only. Under Zipfian access the TLB
+//! caches the translations of the hot slots, which should *help* the
+//! shortcut disproportionately: its per-slot translations are exactly what
+//! the TLB caches, whereas the traditional path's second indirection still
+//! wanders through the leaf heap. This experiment sweeps the Zipf exponent
+//! and reports both paths, plus the five hash schemes under skewed lookups.
+
+use crate::experiments::experiment_pool;
+use crate::scale::ScaleArgs;
+use crate::timing::{ms, Stopwatch};
+use crate::workload::KeyGen;
+use crate::Table;
+use shortcut_core::{ShortcutNode, TraditionalNode};
+use shortcut_rewire::PageIdx;
+use std::hint::black_box;
+
+/// Options for the skew experiment.
+#[derive(Debug, Clone)]
+pub struct SkewOpts {
+    /// Inner-node slots.
+    pub slots: usize,
+    /// Zipf exponents to sweep (0.0 = uniform).
+    pub thetas: Vec<f64>,
+    /// Lookups per point.
+    pub lookups: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl SkewOpts {
+    /// Derive sizes from the scale arguments.
+    pub fn from_scale(s: &ScaleArgs) -> Self {
+        SkewOpts {
+            slots: s.pick(1 << 20, 1 << 17, 1 << 12),
+            thetas: vec![0.0, 0.5, 0.8, 0.99, 1.2],
+            lookups: s.pick(10_000_000, 2_000_000, 50_000),
+            seed: 42,
+        }
+    }
+}
+
+/// Run the node-level skew sweep (fan-in 1).
+pub fn run(opts: &SkewOpts) -> Table {
+    let slots = opts.slots;
+    let mut pool = experiment_pool(slots);
+    let handle = pool.handle();
+    let run = pool.alloc_run(slots).expect("alloc failed");
+    for i in 0..slots {
+        // SAFETY: fresh pool pages.
+        unsafe {
+            *(pool.page_ptr(PageIdx(run.0 + i)) as *mut u64) = i as u64;
+        }
+    }
+    let mut trad = TraditionalNode::new(slots);
+    for i in 0..slots {
+        trad.set_slot(i, pool.page_ptr(PageIdx(run.0 + i)));
+    }
+    let mut short = ShortcutNode::new_populated(slots).expect("reserve failed");
+    let assignments: Vec<(usize, PageIdx)> =
+        (0..slots).map(|i| (i, PageIdx(run.0 + i))).collect();
+    short.set_batch(&handle, &assignments).expect("rewire failed");
+    short.populate();
+
+    let mut t = Table::new(
+        format!(
+            "Extension — Zipf-skewed access over a {}-slot node, {} lookups",
+            Table::n(slots as u64),
+            Table::n(opts.lookups as u64)
+        ),
+        &[
+            "zipf theta",
+            "traditional [ms]",
+            "shortcut [ms]",
+            "speedup",
+        ],
+    );
+    for &theta in &opts.thetas {
+        let mut gen = KeyGen::new(opts.seed);
+        let idx = if theta == 0.0 {
+            gen.indices(slots, opts.lookups)
+        } else {
+            gen.zipf_indices(slots, theta, opts.lookups)
+        };
+
+        let sw = Stopwatch::start();
+        let mut sum = 0u64;
+        for &i in &idx {
+            // SAFETY: all slots set.
+            sum = sum.wrapping_add(unsafe { *(trad.get(i as usize) as *const u64) });
+        }
+        black_box(sum);
+        let trad_ms = ms(sw.elapsed());
+
+        let base = short.base();
+        let sw = Stopwatch::start();
+        let mut sum = 0u64;
+        for &i in &idx {
+            // SAFETY: all slots rewired.
+            sum = sum.wrapping_add(unsafe { *(base.add((i as usize) << 12) as *const u64) });
+        }
+        black_box(sum);
+        let short_ms = ms(sw.elapsed());
+
+        t.row(&[
+            format!("{theta:.2}"),
+            Table::f(trad_ms),
+            Table::f(short_ms),
+            Table::f(trad_ms / short_ms),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skew_sweep_runs() {
+        let t = run(&SkewOpts {
+            slots: 1 << 10,
+            thetas: vec![0.0, 0.99],
+            lookups: 20_000,
+            seed: 1,
+        });
+        let s = t.render();
+        assert!(s.contains("0.99"), "{s}");
+    }
+}

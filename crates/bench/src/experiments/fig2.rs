@@ -1,0 +1,194 @@
+//! **Figure 2**: the motivating experiment — a traditional pointer-based
+//! radix inner node versus a shortcut node, under 10⁷ uniformly distributed
+//! random accesses, while the number of indexed 4 KB leaf nodes grows.
+//!
+//! Paper x-axis: (directory size MB, total bucket size MB) pairs
+//! {(1,512), (2,1024), (4,2048), (8,4096), (16,8192), (32,16384),
+//! (64,24576)}. A directory of `d` MB holds `d·2²⁰/8` pointer slots; `b` MB
+//! of buckets is `b·256` leaf pages. Note the last paper point has *more
+//! slots than leaves* (their 32 GB box could not hold 32 GB of buckets), so
+//! slots map onto leaves proportionally.
+
+use crate::experiments::experiment_pool;
+use crate::scale::ScaleArgs;
+use crate::timing::{ms, Stopwatch};
+use crate::workload::KeyGen;
+use crate::Table;
+use shortcut_core::{ShortcutNode, TraditionalNode};
+use shortcut_rewire::PageIdx;
+use std::hint::black_box;
+
+/// Options for the Figure 2 run.
+#[derive(Debug, Clone)]
+pub struct Fig2Opts {
+    /// (directory MB, buckets MB) pairs to sweep.
+    pub pairs: Vec<(usize, usize)>,
+    /// Random accesses per variant (paper: 10⁷).
+    pub accesses: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Fig2Opts {
+    /// Derive sizes from the scale arguments.
+    pub fn from_scale(s: &ScaleArgs) -> Self {
+        let all = vec![
+            (1, 512),
+            (2, 1024),
+            (4, 2048),
+            (8, 4096),
+            (16, 8192),
+            (32, 16384),
+            (64, 24576),
+        ];
+        let pairs = if s.paper {
+            all
+        } else if s.quick {
+            vec![(1, 64)]
+        } else {
+            // Default: stop at 4 GB of buckets, shrink by --scale.
+            all.into_iter()
+                .take(4)
+                .map(|(d, b)| ((d / s.scale).max(1), (b / s.scale).max(64)))
+                .collect()
+        };
+        Fig2Opts {
+            pairs,
+            accesses: s.pick(10_000_000, 10_000_000, 100_000),
+            seed: 42,
+        }
+    }
+}
+
+/// Run the sweep and produce the result table.
+pub fn run(opts: &Fig2Opts) -> Table {
+    let mut table = Table::new(
+        format!(
+            "Figure 2 — {} random accesses through one wide inner node",
+            Table::n(opts.accesses as u64)
+        ),
+        &[
+            "dir [MB]",
+            "buckets [MB]",
+            "slots",
+            "leaves",
+            "traditional [ms]",
+            "shortcut [ms]",
+            "speedup",
+        ],
+    );
+
+    for &(dir_mb, buckets_mb) in &opts.pairs {
+        let slots = dir_mb << 17; // MB / 8 B per pointer
+        let leaves = buckets_mb << 8; // MB / 4 KB per page
+        let (trad_ms, short_ms) = run_pair(slots, leaves, opts.accesses, opts.seed);
+        table.row(&[
+            dir_mb.to_string(),
+            buckets_mb.to_string(),
+            Table::n(slots as u64),
+            Table::n(leaves as u64),
+            Table::f(trad_ms),
+            Table::f(short_ms),
+            Table::f(trad_ms / short_ms),
+        ]);
+    }
+    table
+}
+
+/// Measure one (slots, leaves) point; returns (traditional ms, shortcut ms).
+pub fn run_pair(slots: usize, leaves: usize, accesses: usize, seed: u64) -> (f64, f64) {
+    let leaves = leaves.min(slots.max(1)).max(1);
+    let mut pool = experiment_pool(leaves);
+    let handle = pool.handle();
+    let run = pool.alloc_run(leaves).expect("leaf allocation failed");
+
+    // Stamp each leaf with its index so reads are verifiable.
+    for i in 0..leaves {
+        // SAFETY: freshly allocated pool pages, exclusively ours.
+        unsafe {
+            *(pool.page_ptr(PageIdx(run.0 + i)) as *mut u64) = i as u64;
+        }
+    }
+
+    // Traditional node: slot i -> leaf floor(i·leaves/slots).
+    let mut trad = TraditionalNode::new(slots);
+    for i in 0..slots {
+        let leaf = i * leaves / slots;
+        trad.set_slot(i, pool.page_ptr(PageIdx(run.0 + leaf)));
+    }
+
+    // Shortcut node with the equivalent mapping, eagerly populated.
+    let mut shortcut = ShortcutNode::new_populated(slots).expect("shortcut reserve failed");
+    let assignments: Vec<(usize, PageIdx)> = (0..slots)
+        .map(|i| (i, PageIdx(run.0 + i * leaves / slots)))
+        .collect();
+    shortcut
+        .set_batch(&handle, &assignments)
+        .expect("shortcut rewiring failed");
+    shortcut.populate();
+
+    let idx = KeyGen::new(seed).indices(slots, accesses);
+
+    // Traditional: slot load + pointer dereference.
+    let sw = Stopwatch::start();
+    let mut sum = 0u64;
+    for &i in &idx {
+        let ptr = trad.get(i as usize);
+        // SAFETY: every slot points at a live leaf page.
+        sum = sum.wrapping_add(unsafe { *(ptr as *const u64) });
+    }
+    black_box(sum);
+    let trad_ms = ms(sw.elapsed());
+
+    // Shortcut: pure address arithmetic + leaf read.
+    let base = shortcut.base();
+    let sw = Stopwatch::start();
+    let mut sum = 0u64;
+    for &i in &idx {
+        // SAFETY: all slots are rewired to live pool pages.
+        sum = sum.wrapping_add(unsafe { *(base.add((i as usize) << 12) as *const u64) });
+    }
+    black_box(sum);
+    let short_ms = ms(sw.elapsed());
+
+    (trad_ms, short_ms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_pair_runs_and_reads_correctly() {
+        let (t, s) = run_pair(1 << 10, 1 << 10, 10_000, 1);
+        assert!(t > 0.0 && s > 0.0);
+    }
+
+    #[test]
+    fn opts_scale_down() {
+        let quick = Fig2Opts::from_scale(&ScaleArgs {
+            quick: true,
+            ..Default::default()
+        });
+        assert_eq!(quick.accesses, 100_000);
+        let paper = Fig2Opts::from_scale(&ScaleArgs {
+            paper: true,
+            ..Default::default()
+        });
+        assert_eq!(paper.pairs.len(), 7);
+        assert_eq!(paper.pairs[6], (64, 24576));
+    }
+
+    #[test]
+    fn table_has_row_per_pair() {
+        let opts = Fig2Opts {
+            pairs: vec![(1, 64), (1, 128)],
+            accesses: 20_000,
+            seed: 7,
+        };
+        let t = run(&opts);
+        let rendered = t.render();
+        assert!(rendered.contains("Figure 2"));
+        assert_eq!(rendered.lines().filter(|l| l.starts_with('|')).count(), 4); // header + sep is 1 line each + 2 rows
+    }
+}

@@ -1,0 +1,239 @@
+//! **Figure 4** (§3.2): impact of the fan-in — how many neighboring inner-
+//! node slots index the same leaf. The traditional variant's accessed
+//! virtual span shrinks with growing fan-in (k·8 B directory + m pages of
+//! leaves), while the shortcut always spans k pages; beyond a crossover
+//! fan-in the traditional variant wins on TLB behaviour.
+
+use crate::experiments::experiment_pool;
+use crate::scale::ScaleArgs;
+use crate::timing::{ms, Stopwatch};
+use crate::workload::KeyGen;
+use crate::Table;
+use shortcut_core::{ShortcutNode, TraditionalNode};
+use shortcut_rewire::PageIdx;
+use std::hint::black_box;
+
+/// Options for the Figure 4 run.
+#[derive(Debug, Clone)]
+pub struct Fig4Opts {
+    /// Inner-node slot count (paper: 2²²).
+    pub slots: usize,
+    /// Fan-ins to sweep (paper: 512 … 1, halving).
+    pub fanins: Vec<usize>,
+    /// Random lookups per point (paper: 10⁷).
+    pub lookups: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Fig4Opts {
+    /// Derive sizes from the scale arguments.
+    pub fn from_scale(s: &ScaleArgs) -> Self {
+        let all = vec![512, 256, 128, 64, 32, 16, 8, 4, 2, 1];
+        Fig4Opts {
+            slots: s.pick(1 << 22, (1 << 18) / s.scale.max(1), 1 << 13),
+            fanins: if s.quick {
+                vec![64, 8, 1]
+            } else {
+                all
+            },
+            lookups: s.pick(10_000_000, 10_000_000, 100_000),
+            seed: 42,
+        }
+    }
+}
+
+/// Measure one fan-in point; returns (traditional ms, shortcut ms).
+pub fn run_point(slots: usize, fanin: usize, lookups: usize, seed: u64) -> (f64, f64) {
+    assert!(fanin >= 1 && slots.is_multiple_of(fanin), "fanin must divide slots");
+    let leaves = slots / fanin;
+    let mut pool = experiment_pool(leaves);
+    let handle = pool.handle();
+    let run = pool.alloc_run(leaves).expect("leaf allocation failed");
+    for i in 0..leaves {
+        // SAFETY: fresh pool pages.
+        unsafe {
+            *(pool.page_ptr(PageIdx(run.0 + i)) as *mut u64) = i as u64;
+        }
+    }
+
+    let mut trad = TraditionalNode::new(slots);
+    for i in 0..slots {
+        trad.set_slot(i, pool.page_ptr(PageIdx(run.0 + i / fanin)));
+    }
+
+    let mut shortcut = ShortcutNode::new_populated(slots).expect("reserve failed");
+    let assignments: Vec<(usize, PageIdx)> =
+        (0..slots).map(|i| (i, PageIdx(run.0 + i / fanin))).collect();
+    shortcut
+        .set_batch(&handle, &assignments)
+        .expect("rewire failed");
+    shortcut.populate();
+
+    let idx = KeyGen::new(seed).indices(slots, lookups);
+
+    let sw = Stopwatch::start();
+    let mut sum = 0u64;
+    for &i in &idx {
+        // SAFETY: every slot set above.
+        sum = sum.wrapping_add(unsafe { *(trad.get(i as usize) as *const u64) });
+    }
+    black_box(sum);
+    let trad_ms = ms(sw.elapsed());
+
+    let base = shortcut.base();
+    let sw = Stopwatch::start();
+    let mut sum = 0u64;
+    for &i in &idx {
+        // SAFETY: every slot rewired above.
+        sum = sum.wrapping_add(unsafe { *(base.add((i as usize) << 12) as *const u64) });
+    }
+    black_box(sum);
+    let short_ms = ms(sw.elapsed());
+
+    (trad_ms, short_ms)
+}
+
+/// Run the sweep and produce the result table.
+pub fn run(opts: &Fig4Opts) -> Table {
+    let mut table = Table::new(
+        format!(
+            "Figure 4 — fan-in sweep over a {}-slot node, {} random lookups",
+            Table::n(opts.slots as u64),
+            Table::n(opts.lookups as u64)
+        ),
+        &[
+            "fan-in",
+            "leaves",
+            "traditional [ms]",
+            "shortcut [ms]",
+            "winner",
+        ],
+    );
+    for &f in &opts.fanins {
+        let (t, s) = run_point(opts.slots, f, opts.lookups, opts.seed);
+        table.row(&[
+            f.to_string(),
+            Table::n((opts.slots / f) as u64),
+            Table::f(t),
+            Table::f(s),
+            if t < s { "traditional" } else { "shortcut" }.into(),
+        ]);
+    }
+    table
+}
+
+/// Deterministic vmsim companion to Figure 4: for each fan-in, simulate the
+/// two access paths and report TLB miss rates and page-walk DRAM touches —
+/// the *mechanism* behind the crossover (§3.2: the traditional variant
+/// touches `k·8 B + m` pages of virtual memory, the shortcut always `k`
+/// pages).
+pub fn run_model(slots: usize, fanins: &[usize], lookups: usize, seed: u64) -> Table {
+    use shortcut_vmsim::{AddressSpace, Mmu, VirtAddr};
+
+    let mut t = Table::new(
+        format!("Figure 4 (vmsim model) — TLB behaviour, {slots}-slot node"),
+        &[
+            "fan-in",
+            "trad TLB miss %",
+            "short TLB miss %",
+            "trad walk-DRAM/access",
+            "short walk-DRAM/access",
+            "trad model-ns",
+            "short model-ns",
+        ],
+    );
+    for &f in fanins {
+        let leaves = slots / f;
+        let mut aspace = AddressSpace::new();
+        // Traditional: the directory array (8 B/slot) + m leaf pages.
+        let dir_pages = (slots * 8).div_ceil(4096);
+        let dir = aspace.mmap_anon(dir_pages);
+        let file = aspace.create_file();
+        aspace.resize_file(file, leaves).unwrap();
+        let leaf_area = aspace.mmap_anon(leaves);
+        aspace
+            .mmap_file_fixed(leaf_area, leaves, file, 0, true)
+            .unwrap();
+        for p in 0..dir_pages {
+            aspace.populate(dir.vpn().add(p as u64)).unwrap();
+        }
+        // Shortcut: one k-page area rewired onto the same file pages.
+        let shortcut = aspace.mmap_anon(slots);
+        for s in 0..slots {
+            aspace
+                .mmap_file_fixed(
+                    VirtAddr(shortcut.0 + (s as u64) * 4096),
+                    1,
+                    file,
+                    s / f,
+                    true,
+                )
+                .unwrap();
+        }
+
+        let idx = KeyGen::new(seed).indices(slots, lookups);
+        let mut mmu_t = Mmu::with_defaults();
+        let mut mmu_s = Mmu::with_defaults();
+        let mut t_ns = 0.0;
+        let mut s_ns = 0.0;
+        for &i in &idx {
+            let i = i as usize;
+            // Traditional: one access into the directory array, then one
+            // into the leaf page.
+            t_ns += mmu_t
+                .access(&mut aspace, VirtAddr(dir.0 + (i * 8) as u64))
+                .unwrap()
+                .ns;
+            t_ns += mmu_t
+                .access(&mut aspace, VirtAddr(leaf_area.0 + ((i / f) as u64) * 4096))
+                .unwrap()
+                .ns;
+            // Shortcut: a single access through the rewired page.
+            s_ns += mmu_s
+                .access(&mut aspace, VirtAddr(shortcut.0 + (i as u64) * 4096))
+                .unwrap()
+                .ns;
+        }
+        let st = &mmu_t.stats;
+        let ss = &mmu_s.stats;
+        t.row(&[
+            f.to_string(),
+            Table::f(st.tlb_miss_rate() * 100.0),
+            Table::f(ss.tlb_miss_rate() * 100.0),
+            Table::f(st.walk_dram_touches as f64 / lookups as f64),
+            Table::f(ss.walk_dram_touches as f64 / lookups as f64),
+            Table::f(t_ns / lookups as f64),
+            Table::f(s_ns / lookups as f64),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_reproduces_crossover_mechanism() {
+        // At high fan-in the shortcut's span (k pages) must show a clearly
+        // worse TLB miss rate than the traditional path's inputs.
+        let t = run_model(1 << 14, &[64, 1], 30_000, 1);
+        let s = t.render();
+        assert!(s.contains("fan-in"), "{s}");
+    }
+
+    #[test]
+    fn point_runs_for_various_fanins() {
+        for f in [1, 4, 64] {
+            let (t, s) = run_point(1 << 10, f, 20_000, 1);
+            assert!(t > 0.0 && s > 0.0, "fanin {f}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn fanin_must_divide() {
+        run_point(1000, 3, 10, 1);
+    }
+}

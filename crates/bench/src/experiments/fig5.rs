@@ -1,0 +1,372 @@
+//! **Figure 5** (§3.3): the effect of TLB shootdowns.
+//!
+//! A *shooting* thread performs populated `mmap` remaps of randomly
+//! selected pages of a large shared region while `n` reader threads scan
+//! the region. The paper reports (a) the shooter's time per remap, (b) a
+//! reader's time per page while the shooter runs, (c) a reader's time per
+//! page without the shooter. Finding: shootdowns slow the *shooter*, not
+//! the readers.
+//!
+//! Two modes:
+//! * **OS mode** — real threads + real remaps. Faithful, but the sandbox
+//!   used for development has 2 cores, so reader counts beyond 1 run
+//!   oversubscribed (flagged in the output).
+//! * **Model mode** — the `shortcut-vmsim` multi-core machine reproduces
+//!   the full 0/1/3/7-reader series deterministically, charging IPIs to
+//!   the shooting core exactly as the kernel does.
+
+use crate::scale::ScaleArgs;
+use crate::timing::us_per;
+use crate::workload::KeyGen;
+use crate::Table;
+use shortcut_rewire::{page_size, rewire_page_raw, MemFile, VirtArea};
+use shortcut_vmsim::{CoreId, Machine, MachineConfig, VirtAddr};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Options for the Figure 5 run.
+#[derive(Debug, Clone)]
+pub struct Fig5Opts {
+    /// Region size in pages (paper: 2²¹ = 8 GB).
+    pub region_pages: usize,
+    /// Number of remaps the shooter performs (paper: 2¹⁹).
+    pub remaps: usize,
+    /// Reader-thread counts to sweep (paper: 0, 1, 3, 7).
+    pub reader_counts: Vec<usize>,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Fig5Opts {
+    /// Derive sizes from the scale arguments.
+    ///
+    /// The default remap count is deliberately small (2^12): without core
+    /// pinning, reader threads oversubscribing the available cores inflate
+    /// the per-remap cost by orders of magnitude (scheduler + address-space
+    /// lock contention), so more remaps only prolong the run without
+    /// changing the shape.
+    pub fn from_scale(s: &ScaleArgs) -> Self {
+        Fig5Opts {
+            region_pages: s.pick(1 << 21, 1 << 17, 1 << 13),
+            remaps: s.pick(1 << 19, 1 << 12, 1 << 10),
+            reader_counts: if s.quick {
+                vec![0, 1]
+            } else {
+                vec![0, 1, 3, 7]
+            },
+            seed: 42,
+        }
+    }
+}
+
+/// One row of the result: costs in µs.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig5Row {
+    /// Reader-thread count.
+    pub readers: usize,
+    /// (a) Shooter µs per remap.
+    pub shoot_us: f64,
+    /// (b) Reader µs per page, with the shooter running.
+    pub read_with_us: f64,
+    /// (c) Reader µs per page, without the shooter.
+    pub read_without_us: f64,
+}
+
+/// Run the real-OS experiment. Returns one row per reader count.
+pub fn run_os(opts: &Fig5Opts) -> Vec<Fig5Row> {
+    let mut rows = Vec::new();
+    for &n in &opts.reader_counts {
+        rows.push(run_os_point(opts, n));
+    }
+    rows
+}
+
+/// Base address and length of the shared region, carried as plain
+/// integers so threads can copy it (raw pointer reads across threads are
+/// the *point* of the experiment; the kernel serializes mapping changes at
+/// page granularity and the region outlives the thread scope).
+#[derive(Clone, Copy)]
+struct SharedRegion {
+    base_addr: usize,
+    pages: usize,
+}
+
+impl SharedRegion {
+    #[inline]
+    fn page(&self, p: usize) -> *const u64 {
+        (self.base_addr + p * page_size()) as *const u64
+    }
+    #[inline]
+    fn page_mut(&self, p: usize) -> *mut u8 {
+        (self.base_addr + p * page_size()) as *mut u8
+    }
+}
+
+fn run_os_point(opts: &Fig5Opts, readers: usize) -> Fig5Row {
+    let pages = opts.region_pages;
+    let file = MemFile::create("fig5-region").expect("memfd failed");
+    file.resize(pages * page_size()).expect("ftruncate failed");
+    let area = VirtArea::reserve(pages).expect("reserve failed");
+    // Identity-map and populate the whole region with a single call.
+    // SAFETY: the area is ours; the offset range is within the file.
+    unsafe {
+        let rc = libc::mmap(
+            area.base() as *mut libc::c_void,
+            pages * page_size(),
+            libc::PROT_READ | libc::PROT_WRITE,
+            libc::MAP_SHARED | libc::MAP_FIXED | libc::MAP_POPULATE,
+            file.fd(),
+            0,
+        );
+        assert_ne!(rc, libc::MAP_FAILED, "initial region map failed");
+    }
+
+    let region = SharedRegion {
+        base_addr: area.base() as usize,
+        pages,
+    };
+    let done = AtomicBool::new(false);
+    let pages_read = AtomicU64::new(0);
+    let read_ns = AtomicU64::new(0);
+
+    // Shooter's random targets, pre-generated.
+    let mut gen = KeyGen::new(opts.seed);
+    let targets: Vec<u32> = gen.indices(pages, opts.remaps);
+    let fileoffs: Vec<u32> = gen.indices(pages, opts.remaps);
+
+    let mut shoot_us = 0.0;
+    std::thread::scope(|s| {
+        // Readers: sequential scans until the shooter finishes.
+        for _ in 0..readers {
+            let (done, pages_read, read_ns) = (&done, &pages_read, &read_ns);
+            s.spawn(move || {
+                let mut local_pages = 0u64;
+                let t0 = Instant::now();
+                'outer: loop {
+                    for p in 0..region.pages {
+                        if done.load(Ordering::Relaxed) {
+                            break 'outer;
+                        }
+                        // SAFETY: region stays mapped for the whole scope.
+                        unsafe {
+                            std::ptr::read_volatile(region.page(p));
+                        }
+                        local_pages += 1;
+                    }
+                }
+                pages_read.fetch_add(local_pages, Ordering::Relaxed);
+                read_ns.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            });
+        }
+        // Shooter on the main thread of the scope.
+        let t0 = Instant::now();
+        for i in 0..opts.remaps {
+            let v = targets[i] as usize;
+            let off = (fileoffs[i] as usize) * page_size();
+            // SAFETY: v is inside the region; off inside the file.
+            unsafe {
+                rewire_page_raw(region.page_mut(v), file.fd(), off, true)
+                    .expect("remap failed");
+            }
+        }
+        shoot_us = us_per(t0.elapsed(), opts.remaps);
+        done.store(true, Ordering::Relaxed);
+    });
+
+    let total_read = pages_read.load(Ordering::Relaxed);
+    let read_with_us = if readers == 0 {
+        0.0
+    } else {
+        // Sum of per-thread elapsed time over the total pages read gives
+        // the average per-page cost as experienced by a reader thread.
+        (read_ns.load(Ordering::Relaxed) as f64 / 1e3) / total_read.max(1) as f64
+    };
+
+    // Phase (c): read the same number of pages again, no shooter.
+    let read_without_us = if readers == 0 {
+        0.0
+    } else {
+        let per_thread = (total_read / readers as u64).max(1);
+        let read_ns2 = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..readers {
+                let read_ns2 = &read_ns2;
+                s.spawn(move || {
+                    let t0 = Instant::now();
+                    let mut left = per_thread;
+                    'outer: loop {
+                        for p in 0..region.pages {
+                            if left == 0 {
+                                break 'outer;
+                            }
+                            // SAFETY: region stays mapped.
+                            unsafe {
+                                std::ptr::read_volatile(region.page(p));
+                            }
+                            left -= 1;
+                        }
+                    }
+                    read_ns2.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                });
+            }
+        });
+        (read_ns2.load(Ordering::Relaxed) as f64 / 1e3)
+            / (per_thread * readers as u64) as f64
+    };
+
+    drop(area);
+    Fig5Row {
+        readers,
+        shoot_us,
+        read_with_us,
+        read_without_us,
+    }
+}
+
+/// Run the deterministic vmsim model of the same experiment.
+pub fn run_model(opts: &Fig5Opts) -> Vec<Fig5Row> {
+    let mut rows = Vec::new();
+    // Modest model sizes: behaviour, not wall-clock, is simulated.
+    let pages = opts.region_pages.min(1 << 14);
+    let remaps = opts.remaps.min(1 << 12);
+    // Each reader advances this many pages per shooter remap (approximates
+    // the real interleaving: a remap syscall outweighs ~64 page touches).
+    let pages_per_remap = 64usize;
+
+    for &readers in &opts.reader_counts {
+        let mut m = Machine::new(MachineConfig {
+            cores: readers + 1,
+            ..MachineConfig::default()
+        });
+        let file = m.aspace.create_file();
+        m.aspace.resize_file(file, pages).unwrap();
+        let addr = m.aspace.mmap_anon(pages);
+        m.aspace.mmap_file_fixed(addr, pages, file, 0, true).unwrap();
+
+        let mut gen = KeyGen::new(opts.seed);
+        let targets = gen.indices(pages, remaps);
+        let fileoffs = gen.indices(pages, remaps);
+
+        let shooter = CoreId(0);
+        let mut shoot_ns = 0.0;
+        let mut read_ns_with = 0.0;
+        let mut pages_read = 0u64;
+        let mut cursors = vec![0usize; readers];
+
+        for i in 0..remaps {
+            // Readers advance first (they run concurrently in reality).
+            for (r, cursor) in cursors.iter_mut().enumerate() {
+                let core = CoreId(r + 1);
+                for _ in 0..pages_per_remap {
+                    let va = VirtAddr(addr.0 + (*cursor as u64) * 4096);
+                    let out = m.access(core, va).unwrap();
+                    read_ns_with += out.ns;
+                    pages_read += 1;
+                    *cursor = (*cursor + 1) % pages;
+                }
+            }
+            let va = VirtAddr(addr.0 + (targets[i] as u64) * 4096);
+            shoot_ns += m
+                .remap_from_core(shooter, va, 1, file, fileoffs[i] as usize, true)
+                .unwrap();
+        }
+
+        // Phase (c): same page count, no shooter.
+        let mut read_ns_without = 0.0;
+        if readers > 0 {
+            let per_reader = pages_read / readers as u64;
+            for r in 0..readers {
+                let core = CoreId(r + 1);
+                let mut cursor = 0usize;
+                for _ in 0..per_reader {
+                    let va = VirtAddr(addr.0 + (cursor as u64) * 4096);
+                    read_ns_without += m.access(core, va).unwrap().ns;
+                    cursor = (cursor + 1) % pages;
+                }
+            }
+        }
+
+        rows.push(Fig5Row {
+            readers,
+            shoot_us: shoot_ns / remaps as f64 / 1e3,
+            read_with_us: if pages_read == 0 {
+                0.0
+            } else {
+                read_ns_with / pages_read as f64 / 1e3
+            },
+            read_without_us: if pages_read == 0 {
+                0.0
+            } else {
+                read_ns_without / pages_read as f64 / 1e3
+            },
+        });
+    }
+    rows
+}
+
+/// Render rows into the paper's three-bar-per-group table.
+pub fn table(title: &str, rows: &[Fig5Row]) -> Table {
+    let mut t = Table::new(
+        title,
+        &[
+            "readers n",
+            "(a) shoot [us/remap]",
+            "(b) read w/ shooter [us/page]",
+            "(c) read w/o shooter [us/page]",
+        ],
+    );
+    for r in rows {
+        t.row(&[
+            r.readers.to_string(),
+            Table::f(r.shoot_us),
+            Table::f(r.read_with_us),
+            Table::f(r.read_without_us),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Fig5Opts {
+        Fig5Opts {
+            region_pages: 1 << 10,
+            remaps: 1 << 8,
+            reader_counts: vec![0, 1],
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn os_mode_runs() {
+        let rows = run_os(&tiny());
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].shoot_us > 0.0);
+        assert_eq!(rows[0].read_with_us, 0.0); // no readers
+        assert!(rows[1].read_with_us > 0.0);
+        assert!(rows[1].read_without_us > 0.0);
+    }
+
+    #[test]
+    fn model_shooter_pays_for_holders() {
+        let opts = Fig5Opts {
+            region_pages: 1 << 10,
+            remaps: 1 << 8,
+            reader_counts: vec![0, 3],
+            seed: 1,
+        };
+        let rows = run_model(&opts);
+        assert!(
+            rows[1].shoot_us > rows[0].shoot_us,
+            "shooter with readers ({}) must pay more than alone ({})",
+            rows[1].shoot_us,
+            rows[0].shoot_us
+        );
+        // Readers are barely affected: with-shooter cost within 50 % of
+        // without-shooter cost.
+        let r = &rows[1];
+        assert!(r.read_with_us < r.read_without_us * 1.5 + 0.5);
+    }
+}

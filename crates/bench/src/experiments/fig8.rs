@@ -1,0 +1,250 @@
+//! **Figure 8** (§4.2): synchronization under a mixed workload.
+//!
+//! Both EH and Shortcut-EH are bulk-loaded with 92 M entries; then four
+//! waves of 2 M accesses are fired, each starting with 1 % insertions
+//! followed by 99 % lookups. Lookup time is reported per 10 k-access batch,
+//! together with the version numbers of the traditional and the shortcut
+//! directory — showing the shortcut going out of sync at each insert burst
+//! and catching up shortly after, at which point Shortcut-EH's lookup time
+//! drops below EH's again.
+
+use crate::scale::ScaleArgs;
+use crate::timing::us;
+use crate::workload::KeyGen;
+use crate::Table;
+use shortcut_exhash::{EhConfig, ExtendibleHash, KvIndex, ShortcutEh, ShortcutEhConfig};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Options for the Figure 8 run.
+#[derive(Debug, Clone)]
+pub struct Fig8Opts {
+    /// Bulk-loaded entries (paper: 92 M).
+    pub bulk: usize,
+    /// Number of access waves (paper: 4).
+    pub waves: usize,
+    /// Accesses per wave (paper: 2 M).
+    pub wave_size: usize,
+    /// Fraction of each wave that is insertions, fired first (paper: 1 %).
+    pub insert_fraction: f64,
+    /// Accesses per reported batch (paper: 10 k).
+    pub batch: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Fig8Opts {
+    /// Derive sizes from the scale arguments.
+    pub fn from_scale(s: &ScaleArgs) -> Self {
+        Fig8Opts {
+            bulk: s.pick(92_000_000, 9_200_000 / s.scale.max(1), 100_000),
+            waves: 4,
+            wave_size: s.pick(2_000_000, 200_000 / s.scale.max(1), 10_000),
+            insert_fraction: 0.01,
+            batch: s.pick(10_000, 2_000, 500),
+            seed: 42,
+        }
+    }
+}
+
+/// One reported batch.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig8Point {
+    /// Total accesses performed so far.
+    pub accesses: usize,
+    /// EH lookup time in this batch, in microseconds.
+    pub eh_us: f64,
+    /// Shortcut-EH lookup time in this batch, in microseconds.
+    pub sceh_us: f64,
+    /// Traditional-directory version number.
+    pub tver: u64,
+    /// Shortcut-directory version number.
+    pub sver: u64,
+}
+
+/// Run the mixed workload; returns the time series.
+pub fn run(opts: &Fig8Opts) -> Vec<Fig8Point> {
+    let mut gen = KeyGen::new(opts.seed);
+    let bulk_keys = gen.uniform_keys(opts.bulk);
+
+    let mut eh = ExtendibleHash::new(EhConfig {
+        pool: super::fig7::bench_pool_config(opts.bulk * 2),
+        ..EhConfig::default()
+    });
+    let mut sceh = ShortcutEh::new(ShortcutEhConfig {
+        eh: EhConfig {
+            pool: super::fig7::bench_pool_config(opts.bulk * 2),
+            ..EhConfig::default()
+        },
+        ..Default::default()
+    });
+
+    for &k in &bulk_keys {
+        eh.insert(k, k);
+        sceh.insert(k, k);
+    }
+    // Start the waves from a synced state, as the paper's plot does.
+    assert!(
+        sceh.wait_sync(Duration::from_secs(120)),
+        "shortcut never synced after bulk load"
+    );
+
+    let inserts_per_wave = (opts.wave_size as f64 * opts.insert_fraction) as usize;
+    let lookups_per_wave = opts.wave_size - inserts_per_wave;
+    let fresh_keys = gen.uniform_keys(inserts_per_wave * opts.waves);
+
+    let mut points = Vec::new();
+    let mut accesses = 0usize;
+    let mut eh_batch = Duration::ZERO;
+    let mut sceh_batch = Duration::ZERO;
+    let mut in_batch = 0usize;
+
+    let flush =
+        |accesses: usize,
+         eh_batch: &mut Duration,
+         sceh_batch: &mut Duration,
+         in_batch: &mut usize,
+         sceh: &ShortcutEh,
+         points: &mut Vec<Fig8Point>| {
+            if *in_batch == 0 {
+                return;
+            }
+            let (tver, sver) = sceh.versions();
+            points.push(Fig8Point {
+                accesses,
+                eh_us: us(*eh_batch),
+                sceh_us: us(*sceh_batch),
+                tver,
+                sver,
+            });
+            *eh_batch = Duration::ZERO;
+            *sceh_batch = Duration::ZERO;
+            *in_batch = 0;
+        };
+
+    for wave in 0..opts.waves {
+        // 1 % insert burst (counted as accesses, not timed as lookups —
+        // the paper plots lookup time only).
+        for i in 0..inserts_per_wave {
+            let k = fresh_keys[wave * inserts_per_wave + i];
+            eh.insert(k, k);
+            sceh.insert(k, k);
+            accesses += 1;
+            in_batch += 1;
+            if in_batch >= opts.batch {
+                flush(
+                    accesses,
+                    &mut eh_batch,
+                    &mut sceh_batch,
+                    &mut in_batch,
+                    &sceh,
+                    &mut points,
+                );
+            }
+        }
+        // 99 % lookups, timed per batch.
+        for i in 0..lookups_per_wave {
+            let k = bulk_keys[(wave * 31 + i * 7919) % bulk_keys.len()];
+            let t0 = Instant::now();
+            black_box(eh.get(k));
+            eh_batch += t0.elapsed();
+            let t0 = Instant::now();
+            black_box(sceh.get(k));
+            sceh_batch += t0.elapsed();
+            accesses += 1;
+            in_batch += 1;
+            if in_batch >= opts.batch {
+                flush(
+                    accesses,
+                    &mut eh_batch,
+                    &mut sceh_batch,
+                    &mut in_batch,
+                    &sceh,
+                    &mut points,
+                );
+            }
+        }
+    }
+    flush(
+        accesses,
+        &mut eh_batch,
+        &mut sceh_batch,
+        &mut in_batch,
+        &sceh,
+        &mut points,
+    );
+    if std::env::var("FIG8_DEBUG").is_ok() {
+        eprintln!(
+            "fig8 debug: versions={:?} metrics={:?}",
+            sceh.versions(),
+            sceh.maint_metrics()
+        );
+        std::thread::sleep(Duration::from_millis(200));
+        eprintln!(
+            "fig8 debug after 200ms idle: versions={:?} metrics={:?}",
+            sceh.versions(),
+            sceh.maint_metrics()
+        );
+    }
+    assert!(sceh.maint_error().is_none(), "mapper thread failed");
+    points
+}
+
+/// Render the series as a table.
+pub fn table(points: &[Fig8Point], opts: &Fig8Opts) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Figure 8 — {} bulk + {} waves x {} accesses ({}% inserts first)",
+            Table::n(opts.bulk as u64),
+            opts.waves,
+            Table::n(opts.wave_size as u64),
+            (opts.insert_fraction * 100.0) as u32,
+        ),
+        &[
+            "accesses",
+            "EH batch [us]",
+            "Shortcut-EH batch [us]",
+            "trad version",
+            "shortcut version",
+            "in sync",
+        ],
+    );
+    for p in points {
+        t.row(&[
+            Table::n(p.accesses as u64),
+            Table::f(p.eh_us),
+            Table::f(p.sceh_us),
+            p.tver.to_string(),
+            p.sver.to_string(),
+            if p.tver == p.sver { "yes" } else { "NO" }.into(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_shows_sync_recovery() {
+        let opts = Fig8Opts {
+            bulk: 30_000,
+            waves: 2,
+            wave_size: 4_000,
+            insert_fraction: 0.01,
+            batch: 400,
+            seed: 5,
+        };
+        let points = run(&opts);
+        assert!(!points.is_empty());
+        // Versions are monotone and the shortcut eventually catches up by
+        // the end of a wave tail.
+        for w in points.windows(2) {
+            assert!(w[1].tver >= w[0].tver);
+            assert!(w[1].sver >= w[0].sver);
+        }
+        let last = points.last().unwrap();
+        assert!(last.sver <= last.tver);
+    }
+}

@@ -1,0 +1,27 @@
+//! One module per table/figure of the paper, plus ablations.
+
+pub mod ablations;
+pub mod ext_skew;
+pub mod fig2;
+pub mod fig4;
+pub mod fig5;
+pub mod fig7;
+pub mod fig8;
+pub mod table1;
+
+use shortcut_rewire::{PagePool, PoolConfig};
+
+/// A pool sized for `pages` contiguous bucket pages with pre-touch enabled,
+/// as the experiments need (paper: pool pages are initialized at creation
+/// "to avoid expensive hard page faults at access time").
+pub(crate) fn experiment_pool(pages: usize) -> PagePool {
+    PagePool::new(PoolConfig {
+        initial_pages: 0,
+        min_growth_pages: pages.max(1),
+        shrink_threshold_pages: usize::MAX, // experiments never shrink
+        pretouch: true,
+        view_capacity_pages: pages + 64,
+        ..PoolConfig::default()
+    })
+    .expect("pool creation failed — not enough memory for this scale?")
+}

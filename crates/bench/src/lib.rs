@@ -1,0 +1,30 @@
+//! # shortcut-bench — the paper's evaluation, regenerated
+//!
+//! One experiment module (and one binary) per table/figure of the paper:
+//!
+//! | Paper | Module | Binary |
+//! |-------|--------------------------|-------------------|
+//! | Fig 2 | [`experiments::fig2`]    | `fig2`            |
+//! | Tab 1 | [`experiments::table1`]  | `table1`          |
+//! | Fig 4 | [`experiments::fig4`]    | `fig4`            |
+//! | Fig 5 | [`experiments::fig5`]    | `fig5`            |
+//! | Fig 7a| [`experiments::fig7`]    | `fig7a`           |
+//! | Fig 7b| [`experiments::fig7`]    | `fig7b`           |
+//! | Fig 8 | [`experiments::fig8`]    | `fig8`            |
+//! | A1–A4 | [`experiments::ablations`] | `ablate_*`      |
+//!
+//! All binaries accept `--scale <divisor>` (shrink cardinalities),
+//! `--paper-scale` (the original cardinalities — needs a 32 GB-class
+//! machine), and `--quick` (tiny smoke-test sizes). Absolute numbers depend
+//! on the host; the *shapes* (who wins, crossovers) are what reproduces.
+
+pub mod experiments;
+pub mod report;
+pub mod scale;
+pub mod timing;
+pub mod workload;
+
+pub use report::Table;
+pub use scale::ScaleArgs;
+pub use timing::Stopwatch;
+pub use workload::KeyGen;

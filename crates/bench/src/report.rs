@@ -1,0 +1,110 @@
+//! Plain-text table rendering for experiment output.
+
+/// A column-aligned table printed to stdout (and capturable as a string).
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row (stringified cells).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Convenience: format a float with 2 decimals.
+    pub fn f(x: f64) -> String {
+        format!("{x:.2}")
+    }
+
+    /// Convenience: format an integer with thousands separators.
+    pub fn n(x: u64) -> String {
+        let s = x.to_string();
+        let mut out = String::new();
+        for (i, c) in s.chars().enumerate() {
+            if i > 0 && (s.len() - i).is_multiple_of(3) {
+                out.push(',');
+            }
+            out.push(c);
+        }
+        out
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("\n## {}\n\n", self.title));
+        let line = |cells: &[String], widths: &[usize]| {
+            let mut s = String::from("|");
+            for (c, w) in cells.iter().zip(widths) {
+                s.push_str(&format!(" {c:>w$} |", w = w));
+            }
+            s.push('\n');
+            s
+        };
+        out.push_str(&line(&self.headers, &widths));
+        let mut sep = String::from("|");
+        for w in &widths {
+            sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+        }
+        sep.push('\n');
+        out.push_str(&sep);
+        for row in &self.rows {
+            out.push_str(&line(row, &widths));
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new("Demo", &["x", "value"]);
+        t.row(&["1".into(), "10.00".into()]);
+        t.row(&["100".into(), "3.14".into()]);
+        let s = t.render();
+        assert!(s.contains("## Demo"));
+        assert!(s.contains("|   x | value |"));
+        assert!(s.contains("| 100 |  3.14 |"));
+    }
+
+    #[test]
+    fn thousands_separator() {
+        assert_eq!(Table::n(1), "1");
+        assert_eq!(Table::n(1234), "1,234");
+        assert_eq!(Table::n(1234567), "1,234,567");
+    }
+
+    #[test]
+    #[should_panic]
+    fn row_width_checked() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+}

@@ -1,0 +1,122 @@
+//! Shared CLI argument handling for the experiment binaries.
+
+/// Scaling options parsed from the command line.
+///
+/// * *(default)* — cardinalities sized for an 8 GB-RSS, minutes-long run.
+/// * `--paper-scale` — the paper's original cardinalities (needs a 32 GB
+///   class machine and patience).
+/// * `--quick` — tiny smoke-test sizes (seconds; used by CI).
+/// * `--scale <divisor>` — divide the default cardinalities further.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaleArgs {
+    /// Divisor applied to default cardinalities.
+    pub scale: usize,
+    /// Use the paper's original cardinalities.
+    pub paper: bool,
+    /// Smoke-test mode.
+    pub quick: bool,
+}
+
+impl Default for ScaleArgs {
+    fn default() -> Self {
+        ScaleArgs {
+            scale: 1,
+            paper: false,
+            quick: false,
+        }
+    }
+}
+
+impl ScaleArgs {
+    /// Parse from an iterator of CLI arguments (panics on malformed input
+    /// with a usage message — these are benchmark binaries).
+    pub fn parse(args: impl Iterator<Item = String>) -> Self {
+        let mut out = ScaleArgs::default();
+        let mut args = args.peekable();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--paper-scale" => out.paper = true,
+                "--quick" => out.quick = true,
+                "--scale" => {
+                    let v = args
+                        .next()
+                        .unwrap_or_else(|| panic!("--scale needs a value"));
+                    out.scale = v
+                        .parse()
+                        .unwrap_or_else(|_| panic!("--scale needs an integer, got {v}"));
+                    assert!(out.scale >= 1, "--scale must be >= 1");
+                }
+                "--help" | "-h" => {
+                    println!(
+                        "options: [--paper-scale] [--quick] [--scale <divisor>]\n\
+                         default: mid-size run; --paper-scale: original cardinalities;\n\
+                         --quick: smoke test; --scale N: divide default sizes by N"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown argument {other} (try --help)"),
+            }
+        }
+        out
+    }
+
+    /// Parse from the process arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Pick a cardinality: `paper` under `--paper-scale`, `quick` under
+    /// `--quick`, else `default / scale`.
+    pub fn pick(&self, paper: usize, default: usize, quick: usize) -> usize {
+        if self.paper {
+            paper
+        } else if self.quick {
+            quick
+        } else {
+            (default / self.scale).max(1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> ScaleArgs {
+        ScaleArgs::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let s = parse(&[]);
+        assert_eq!(s, ScaleArgs::default());
+        assert_eq!(s.pick(100, 10, 1), 10);
+    }
+
+    #[test]
+    fn paper_scale() {
+        let s = parse(&["--paper-scale"]);
+        assert!(s.paper);
+        assert_eq!(s.pick(100, 10, 1), 100);
+    }
+
+    #[test]
+    fn quick() {
+        let s = parse(&["--quick"]);
+        assert_eq!(s.pick(100, 10, 1), 1);
+    }
+
+    #[test]
+    fn scale_divides() {
+        let s = parse(&["--scale", "5"]);
+        assert_eq!(s.pick(100, 10, 1), 2);
+        // Never zero.
+        assert_eq!(s.pick(100, 3, 1), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_flag_panics() {
+        parse(&["--frobnicate"]);
+    }
+}

@@ -1,0 +1,187 @@
+//! A hybrid inner node: traditional and shortcut side by side, with
+//! fan-in-routed access (the paper's §4.1 design, generalized beyond
+//! extendible hashing).
+//!
+//! The traditional node is the synchronous source of truth; the shortcut is
+//! rebuilt/updated by the owner (synchronously here — for the asynchronous
+//! variant see [`crate::maintenance`]) and consulted only while the fan-in
+//! policy favours it. This is the single-threaded building block for any
+//! radix-style structure that wants shortcuts without the full maintenance
+//! machinery.
+
+use crate::route::RoutePolicy;
+use crate::shortcut_node::ShortcutNode;
+use crate::traditional::TraditionalNode;
+use shortcut_rewire::{PageIdx, PoolHandle, Result};
+
+/// Traditional + shortcut node pair with policy-driven routing.
+pub struct HybridNode {
+    trad: TraditionalNode,
+    shortcut: ShortcutNode,
+    policy: RoutePolicy,
+    /// Distinct leaves currently referenced (drives the fan-in estimate).
+    distinct_leaves: usize,
+    /// Slots with a leaf set.
+    set_slots: usize,
+    /// Routing decisions taken so far: (shortcut, traditional).
+    routed: (u64, u64),
+}
+
+impl HybridNode {
+    /// Create a hybrid node with `k` slots (eagerly populated shortcut).
+    pub fn new(k: usize, policy: RoutePolicy) -> Result<Self> {
+        Ok(HybridNode {
+            trad: TraditionalNode::new(k),
+            shortcut: ShortcutNode::new_populated(k)?,
+            policy,
+            distinct_leaves: 0,
+            set_slots: 0,
+            routed: (0, 0),
+        })
+    }
+
+    /// Number of slots.
+    pub fn slots(&self) -> usize {
+        self.trad.slots()
+    }
+
+    /// Set slot `i` to the leaf at `leaf_ptr` / pool page `ppage`,
+    /// updating both representations synchronously. `new_leaf` says whether
+    /// this leaf was not referenced by any slot before (fan-in bookkeeping).
+    pub fn set_slot(
+        &mut self,
+        i: usize,
+        pool: &PoolHandle,
+        leaf_ptr: *mut u8,
+        ppage: PageIdx,
+        new_leaf: bool,
+    ) -> Result<()> {
+        let was_set = !self.trad.get(i).is_null();
+        self.trad.set_slot(i, leaf_ptr);
+        self.shortcut.set_slot(i, pool, ppage)?;
+        if !was_set {
+            self.set_slots += 1;
+        }
+        if new_leaf {
+            self.distinct_leaves += 1;
+        }
+        Ok(())
+    }
+
+    /// Current average fan-in over the set slots.
+    pub fn avg_fanin(&self) -> f64 {
+        RoutePolicy::avg_fanin(self.set_slots, self.distinct_leaves)
+    }
+
+    /// Follow slot `i` via the policy-chosen path. Returns the leaf pointer
+    /// (null if the slot is unset). Both paths are always correct; the
+    /// policy only decides which is *faster*.
+    #[inline]
+    pub fn follow(&mut self, i: usize) -> *mut u8 {
+        if self.policy.use_shortcut(self.avg_fanin(), true) {
+            self.routed.0 += 1;
+            self.shortcut.slot_ptr(i)
+        } else {
+            self.routed.1 += 1;
+            self.trad.get(i)
+        }
+    }
+
+    /// Follow slot `i` explicitly via the traditional path.
+    #[inline]
+    pub fn follow_traditional(&self, i: usize) -> *mut u8 {
+        self.trad.get(i)
+    }
+
+    /// Follow slot `i` explicitly via the shortcut path.
+    #[inline]
+    pub fn follow_shortcut(&self, i: usize) -> *mut u8 {
+        self.shortcut.slot_ptr(i)
+    }
+
+    /// `(via shortcut, via traditional)` routing counts.
+    pub fn routing_counts(&self) -> (u64, u64) {
+        self.routed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shortcut_rewire::{PagePool, PoolConfig};
+
+    fn pool() -> PagePool {
+        PagePool::new(PoolConfig {
+            initial_pages: 16,
+            view_capacity_pages: 256,
+            ..PoolConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn both_paths_agree() {
+        let mut p = pool();
+        let h = p.handle();
+        let mut node = HybridNode::new(8, RoutePolicy::default()).unwrap();
+        let mut pages = Vec::new();
+        for i in 0..8 {
+            let pg = p.alloc_page().unwrap();
+            unsafe {
+                *(p.page_ptr(pg) as *mut u64) = 100 + i as u64;
+            }
+            pages.push(pg);
+            node.set_slot(i, &h, p.page_ptr(pg), pg, true).unwrap();
+        }
+        for i in 0..8 {
+            let a = unsafe { *(node.follow_traditional(i) as *const u64) };
+            let b = unsafe { *(node.follow_shortcut(i) as *const u64) };
+            assert_eq!(a, b);
+            assert_eq!(a, 100 + i as u64);
+        }
+    }
+
+    #[test]
+    fn routing_follows_fanin() {
+        let mut p = pool();
+        let h = p.handle();
+        // 16 slots all pointing at ONE leaf: fan-in 16 > threshold 8.
+        let mut node = HybridNode::new(16, RoutePolicy::default()).unwrap();
+        let pg = p.alloc_page().unwrap();
+        for i in 0..16 {
+            node.set_slot(i, &h, p.page_ptr(pg), pg, i == 0).unwrap();
+        }
+        assert_eq!(node.avg_fanin(), 16.0);
+        node.follow(3);
+        assert_eq!(node.routing_counts(), (0, 1), "high fan-in -> traditional");
+
+        // A second node with one leaf per slot: fan-in 1 -> shortcut.
+        let mut node2 = HybridNode::new(4, RoutePolicy::default()).unwrap();
+        for i in 0..4 {
+            let pg = p.alloc_page().unwrap();
+            node2.set_slot(i, &h, p.page_ptr(pg), pg, true).unwrap();
+        }
+        assert_eq!(node2.avg_fanin(), 1.0);
+        node2.follow(0);
+        assert_eq!(node2.routing_counts(), (1, 0), "low fan-in -> shortcut");
+    }
+
+    #[test]
+    fn resetting_a_slot_keeps_agreement() {
+        let mut p = pool();
+        let h = p.handle();
+        let mut node = HybridNode::new(2, RoutePolicy::default()).unwrap();
+        let a = p.alloc_page().unwrap();
+        let b = p.alloc_page().unwrap();
+        unsafe {
+            *(p.page_ptr(a) as *mut u64) = 1;
+            *(p.page_ptr(b) as *mut u64) = 2;
+        }
+        node.set_slot(0, &h, p.page_ptr(a), a, true).unwrap();
+        node.set_slot(0, &h, p.page_ptr(b), b, true).unwrap();
+        let t = unsafe { *(node.follow_traditional(0) as *const u64) };
+        let s = unsafe { *(node.follow_shortcut(0) as *const u64) };
+        assert_eq!(t, 2);
+        assert_eq!(s, 2);
+    }
+}

@@ -1,0 +1,688 @@
+//! Asynchronous shortcut maintenance (paper §4.1).
+//!
+//! All directory-modifying operations are reflected synchronously in the
+//! *traditional* directory; the shortcut directory replays them
+//! asynchronously. Coordination runs through a concurrent lock-free FIFO
+//! queue ([`crossbeam::queue::SegQueue`]):
+//!
+//! * **Update** — after a bucket split, two (or more) slots must be
+//!   remapped; the index pushes one request per slot carrying the slot
+//!   index and the pool page (file offset) to map it to.
+//! * **Create** — after a directory doubling, the old shortcut is obsolete;
+//!   the index pushes the new slot count plus the full assignment vector.
+//!   Pending updates that precede a create are superseded and discarded.
+//!
+//! A separate **mapper thread** polls the queue at a fixed interval (the
+//! paper found 25 ms to work well), executes requests, eagerly populates
+//! the page table, and only then stamps the shortcut's version — so no
+//! access through an in-sync shortcut ever takes a page fault.
+//!
+//! Retired shortcut areas (after a create) stay mapped until the
+//! [`Maintainer`] is dropped: a reader that raced a rebuild reads stale but
+//! *mapped* memory, and the seqlock ticket makes it discard the value.
+
+use crate::metrics::{MaintMetrics, MaintSnapshot};
+use crate::shortcut_node::ShortcutNode;
+use crate::version::SharedDirectoryState;
+use crossbeam::queue::SegQueue;
+use parking_lot::{Condvar, Mutex};
+use shortcut_rewire::{Error, PageIdx, PoolHandle, Result};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A maintenance request, as pushed by the index's main thread.
+#[derive(Debug, Clone)]
+pub enum MaintRequest {
+    /// Remap one slot of the current shortcut (bucket split).
+    Update {
+        /// Slot to remap.
+        slot: usize,
+        /// Pool page of the bucket it must reference.
+        ppage: PageIdx,
+        /// Traditional-directory version this update brings us to.
+        version: u64,
+    },
+    /// Replace the shortcut with a fresh one (directory doubling).
+    Create {
+        /// Slot count of the new directory.
+        slots: usize,
+        /// Complete `(slot, pool page)` assignment, sorted by slot.
+        assignments: Vec<(usize, PageIdx)>,
+        /// Traditional-directory version this rebuild reflects.
+        version: u64,
+    },
+}
+
+impl MaintRequest {
+    fn version(&self) -> u64 {
+        match self {
+            MaintRequest::Update { version, .. } | MaintRequest::Create { version, .. } => {
+                *version
+            }
+        }
+    }
+}
+
+/// Mapper configuration.
+#[derive(Debug, Clone)]
+pub struct MaintConfig {
+    /// Queue polling interval of the mapper thread (paper: 25 ms).
+    pub poll_interval: Duration,
+    /// Whether rewirings eagerly populate the page table (`MAP_POPULATE`).
+    /// The paper's design always populates before bumping the version.
+    pub eager_populate: bool,
+}
+
+impl Default for MaintConfig {
+    fn default() -> Self {
+        MaintConfig {
+            poll_interval: Duration::from_millis(25),
+            eager_populate: true,
+        }
+    }
+}
+
+/// The synchronous core of the mapper: applies requests to the shortcut it
+/// owns. Separated from the thread so the logic is unit-testable and so
+/// benches can drive maintenance deterministically.
+pub struct MapperEngine {
+    pool: PoolHandle,
+    state: Arc<SharedDirectoryState>,
+    metrics: Arc<MaintMetrics>,
+    cfg: MaintConfig,
+    current: Option<ShortcutNode>,
+    /// Replaced areas, kept mapped for reader safety (see module docs).
+    retired: Vec<ShortcutNode>,
+}
+
+impl MapperEngine {
+    /// Build an engine that maintains shortcuts over `pool`.
+    pub fn new(
+        pool: PoolHandle,
+        state: Arc<SharedDirectoryState>,
+        metrics: Arc<MaintMetrics>,
+        cfg: MaintConfig,
+    ) -> Self {
+        MapperEngine {
+            pool,
+            state,
+            metrics,
+            cfg,
+            current: None,
+            retired: Vec::new(),
+        }
+    }
+
+    /// Apply a batch of requests in FIFO order, honoring supersession: only
+    /// the *last* create in the batch is executed, and updates older than it
+    /// are discarded. Returns the number of requests consumed.
+    pub fn apply_batch(&mut self, batch: Vec<MaintRequest>) -> Result<usize> {
+        if batch.is_empty() {
+            return Ok(0);
+        }
+        let n = batch.len();
+        // Find the last create; everything before it is superseded.
+        let last_create = batch
+            .iter()
+            .rposition(|r| matches!(r, MaintRequest::Create { .. }));
+        let start = match last_create {
+            Some(i) => {
+                let discarded = batch[..i]
+                    .iter()
+                    .filter(|r| matches!(r, MaintRequest::Update { .. }))
+                    .count();
+                self.metrics
+                    .updates_discarded
+                    .fetch_add(discarded as u64, Ordering::Relaxed);
+                i
+            }
+            None => 0,
+        };
+        for req in batch.into_iter().skip(start) {
+            self.apply_one(req)?;
+        }
+        Ok(n)
+    }
+
+    fn apply_one(&mut self, req: MaintRequest) -> Result<()> {
+        let version = req.version();
+        match req {
+            MaintRequest::Update { slot, ppage, .. } => {
+                let node = match self.current.as_mut() {
+                    Some(n) if slot < n.slots() => n,
+                    _ => {
+                        // Stale update (raced a rebuild that shrank… or no
+                        // node yet). Protocol-respecting producers never hit
+                        // this; drop defensively.
+                        self.metrics
+                            .updates_discarded
+                            .fetch_add(1, Ordering::Relaxed);
+                        return Ok(());
+                    }
+                };
+                node.set_slot(slot, &self.pool, ppage)?;
+                if self.cfg.eager_populate {
+                    // Touch just the remapped slot to install its PTE.
+                    // SAFETY: slot was just rewired to a valid pool page.
+                    unsafe {
+                        std::ptr::read_volatile(node.slot_ptr(slot));
+                    }
+                    self.metrics.pages_populated.fetch_add(1, Ordering::Relaxed);
+                }
+                self.metrics.updates_applied.fetch_add(1, Ordering::Relaxed);
+                self.metrics.slots_rewired.fetch_add(1, Ordering::Relaxed);
+                let node = self.current.as_ref().expect("checked above");
+                self.state.publish(node.base(), node.slots(), version);
+            }
+            MaintRequest::Create {
+                slots,
+                assignments,
+                ..
+            } => {
+                let mut node = if self.cfg.eager_populate {
+                    ShortcutNode::new_populated(slots)?
+                } else {
+                    ShortcutNode::new(slots)?
+                };
+                let calls = node.set_batch(&self.pool, &assignments)?;
+                if self.cfg.eager_populate {
+                    let touched = node.populate();
+                    self.metrics
+                        .pages_populated
+                        .fetch_add(touched as u64, Ordering::Relaxed);
+                }
+                self.metrics.creates_applied.fetch_add(1, Ordering::Relaxed);
+                self.metrics
+                    .slots_rewired
+                    .fetch_add(assignments.len() as u64, Ordering::Relaxed);
+                self.metrics
+                    .create_mmap_calls
+                    .fetch_add(calls, Ordering::Relaxed);
+                self.state.publish(node.base(), node.slots(), version);
+                if let Some(old) = self.current.replace(node) {
+                    self.retired.push(old);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The node currently serving the shortcut, if any.
+    pub fn current(&self) -> Option<&ShortcutNode> {
+        self.current.as_ref()
+    }
+
+    /// Number of retired (still mapped) areas.
+    pub fn retired_count(&self) -> usize {
+        self.retired.len()
+    }
+}
+
+/// Handle owning the mapper thread. Dropping it stops and joins the thread
+/// (and only then unmaps all shortcut areas, current and retired).
+pub struct Maintainer {
+    queue: Arc<SegQueue<MaintRequest>>,
+    state: Arc<SharedDirectoryState>,
+    metrics: Arc<MaintMetrics>,
+    stop: Arc<AtomicBool>,
+    stop_signal: Arc<(Mutex<()>, Condvar)>,
+    error: Arc<Mutex<Option<Error>>>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Maintainer {
+    /// Spawn the mapper thread over `pool`.
+    pub fn spawn(pool: PoolHandle, cfg: MaintConfig) -> Self {
+        let queue: Arc<SegQueue<MaintRequest>> = Arc::new(SegQueue::new());
+        let state = Arc::new(SharedDirectoryState::new());
+        let metrics = Arc::new(MaintMetrics::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_signal: Arc<(Mutex<()>, Condvar)> = Arc::new((Mutex::new(()), Condvar::new()));
+        let error: Arc<Mutex<Option<Error>>> = Arc::new(Mutex::new(None));
+
+        let t_queue = Arc::clone(&queue);
+        let t_state = Arc::clone(&state);
+        let t_metrics = Arc::clone(&metrics);
+        let t_stop = Arc::clone(&stop);
+        let t_signal = Arc::clone(&stop_signal);
+        let t_error = Arc::clone(&error);
+        let poll = cfg.poll_interval;
+
+        let handle = std::thread::Builder::new()
+            .name("shortcut-mapper".into())
+            .spawn(move || {
+                let mut engine = MapperEngine::new(pool, t_state, Arc::clone(&t_metrics), cfg);
+                loop {
+                    let mut batch = Vec::new();
+                    while let Some(req) = t_queue.pop() {
+                        batch.push(req);
+                    }
+                    if batch.is_empty() {
+                        t_metrics.idle_polls.fetch_add(1, Ordering::Relaxed);
+                        if t_stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        // Wait out the poll interval on a condvar so Drop
+                        // can interrupt immediately (a sliced sleep would
+                        // both oversleep on coarse-timer hosts and delay
+                        // shutdown).
+                        let (lock, cv) = &*t_signal;
+                        let mut guard = lock.lock();
+                        if !t_stop.load(Ordering::Acquire) {
+                            cv.wait_for(&mut guard, poll);
+                        }
+                        continue;
+                    }
+                    t_metrics.busy_polls.fetch_add(1, Ordering::Relaxed);
+                    if let Err(e) = engine.apply_batch(batch) {
+                        *t_error.lock() = Some(e);
+                        break;
+                    }
+                    // Drain again immediately after work: insert bursts
+                    // enqueue faster than one batch per poll.
+                }
+            })
+            .expect("failed to spawn mapper thread");
+
+        Maintainer {
+            queue,
+            state,
+            metrics,
+            stop,
+            stop_signal,
+            error,
+            handle: Some(handle),
+        }
+    }
+
+    /// Shared version/publication state (for readers).
+    #[inline]
+    pub fn state(&self) -> &Arc<SharedDirectoryState> {
+        &self.state
+    }
+
+    /// Enqueue a request.
+    pub fn submit(&self, req: MaintRequest) {
+        self.queue.push(req);
+    }
+
+    /// Pop all *pending* requests (the paper's main thread does this right
+    /// before pushing a create, as they became outdated). Returns how many
+    /// were dropped.
+    pub fn drop_pending(&self) -> usize {
+        let mut n = 0;
+        while self.queue.pop().is_some() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Current queue length (approximate, lock-free).
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Maintenance counters.
+    pub fn metrics(&self) -> MaintSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// First error the mapper hit, if any.
+    pub fn error(&self) -> Option<Error> {
+        self.error.lock().clone()
+    }
+
+    /// Block until the shortcut is in sync with the traditional directory
+    /// (or `timeout` elapses). Returns whether sync was reached. Test and
+    /// benchmark helper; production readers never wait, they just fall back.
+    pub fn wait_sync(&self, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        while std::time::Instant::now() < deadline {
+            if self.error.lock().is_some() {
+                return false;
+            }
+            if self.pending() == 0 && self.state.in_sync() {
+                return true;
+            }
+            std::thread::yield_now();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        self.pending() == 0 && self.state.in_sync()
+    }
+}
+
+impl Drop for Maintainer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Wake the mapper if it is waiting out a poll interval.
+        let (lock, cv) = &*self.stop_signal;
+        {
+            let _guard = lock.lock();
+            cv.notify_all();
+        }
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shortcut_rewire::{PagePool, PoolConfig};
+
+    fn pool() -> PagePool {
+        PagePool::new(PoolConfig {
+            initial_pages: 16,
+            min_growth_pages: 16,
+            view_capacity_pages: 4096,
+            ..PoolConfig::default()
+        })
+        .unwrap()
+    }
+
+    fn stamp(pool: &PagePool, p: PageIdx, v: u64) {
+        unsafe {
+            *(pool.page_ptr(p) as *mut u64) = v;
+        }
+    }
+
+    #[test]
+    fn engine_create_publishes_in_sync() {
+        let mut pl = pool();
+        let state = Arc::new(SharedDirectoryState::new());
+        let metrics = Arc::new(MaintMetrics::default());
+        let mut eng = MapperEngine::new(
+            pl.handle(),
+            Arc::clone(&state),
+            metrics,
+            MaintConfig::default(),
+        );
+        let l0 = pl.alloc_page().unwrap();
+        let l1 = pl.alloc_page().unwrap();
+        stamp(&pl, l0, 10);
+        stamp(&pl, l1, 11);
+
+        let v = state.bump_traditional();
+        eng.apply_batch(vec![MaintRequest::Create {
+            slots: 2,
+            assignments: vec![(0, l0), (1, l1)],
+            version: v,
+        }])
+        .unwrap();
+        assert!(state.in_sync());
+        let t = state.begin_read().unwrap();
+        unsafe {
+            assert_eq!(*(t.base as *const u64), 10);
+            assert_eq!(*(t.base.add(4096) as *const u64), 11);
+        }
+        assert!(state.still_valid(t));
+    }
+
+    #[test]
+    fn engine_update_remaps_single_slot() {
+        let mut pl = pool();
+        let state = Arc::new(SharedDirectoryState::new());
+        let metrics = Arc::new(MaintMetrics::default());
+        let mut eng = MapperEngine::new(
+            pl.handle(),
+            Arc::clone(&state),
+            Arc::clone(&metrics),
+            MaintConfig::default(),
+        );
+        let l0 = pl.alloc_page().unwrap();
+        let l1 = pl.alloc_page().unwrap();
+        stamp(&pl, l0, 10);
+        stamp(&pl, l1, 11);
+
+        let v1 = state.bump_traditional();
+        eng.apply_batch(vec![MaintRequest::Create {
+            slots: 2,
+            assignments: vec![(0, l0), (1, l0)],
+            version: v1,
+        }])
+        .unwrap();
+
+        let v2 = state.bump_traditional();
+        assert!(!state.in_sync());
+        eng.apply_batch(vec![MaintRequest::Update {
+            slot: 1,
+            ppage: l1,
+            version: v2,
+        }])
+        .unwrap();
+        assert!(state.in_sync());
+        let t = state.begin_read().unwrap();
+        unsafe {
+            assert_eq!(*(t.base as *const u64), 10);
+            assert_eq!(*(t.base.add(4096) as *const u64), 11);
+        }
+        assert_eq!(metrics.snapshot().updates_applied, 1);
+    }
+
+    #[test]
+    fn create_supersedes_older_updates() {
+        let mut pl = pool();
+        let state = Arc::new(SharedDirectoryState::new());
+        let metrics = Arc::new(MaintMetrics::default());
+        let mut eng = MapperEngine::new(
+            pl.handle(),
+            Arc::clone(&state),
+            Arc::clone(&metrics),
+            MaintConfig::default(),
+        );
+        let l0 = pl.alloc_page().unwrap();
+        let l1 = pl.alloc_page().unwrap();
+
+        let v1 = state.bump_traditional();
+        let v2 = state.bump_traditional();
+        let v3 = state.bump_traditional();
+        // Updates for v1/v2 arrive together with the create for v3.
+        eng.apply_batch(vec![
+            MaintRequest::Update { slot: 0, ppage: l0, version: v1 },
+            MaintRequest::Update { slot: 1, ppage: l1, version: v2 },
+            MaintRequest::Create {
+                slots: 4,
+                assignments: vec![(0, l0), (1, l0), (2, l1), (3, l1)],
+                version: v3,
+            },
+        ])
+        .unwrap();
+        let s = metrics.snapshot();
+        assert_eq!(s.updates_discarded, 2);
+        assert_eq!(s.creates_applied, 1);
+        assert!(state.in_sync());
+        assert_eq!(state.begin_read().unwrap().slots, 4);
+    }
+
+    #[test]
+    fn update_after_create_in_same_batch_applies() {
+        let mut pl = pool();
+        let state = Arc::new(SharedDirectoryState::new());
+        let metrics = Arc::new(MaintMetrics::default());
+        let mut eng = MapperEngine::new(
+            pl.handle(),
+            Arc::clone(&state),
+            Arc::clone(&metrics),
+            MaintConfig::default(),
+        );
+        let l0 = pl.alloc_page().unwrap();
+        let l1 = pl.alloc_page().unwrap();
+        stamp(&pl, l1, 42);
+
+        let v1 = state.bump_traditional();
+        let v2 = state.bump_traditional();
+        eng.apply_batch(vec![
+            MaintRequest::Create {
+                slots: 2,
+                assignments: vec![(0, l0), (1, l0)],
+                version: v1,
+            },
+            MaintRequest::Update { slot: 1, ppage: l1, version: v2 },
+        ])
+        .unwrap();
+        assert!(state.in_sync());
+        let t = state.begin_read().unwrap();
+        unsafe {
+            assert_eq!(*(t.base.add(4096) as *const u64), 42);
+        }
+    }
+
+    #[test]
+    fn retired_areas_stay_mapped() {
+        let mut pl = pool();
+        let state = Arc::new(SharedDirectoryState::new());
+        let metrics = Arc::new(MaintMetrics::default());
+        let mut eng = MapperEngine::new(
+            pl.handle(),
+            Arc::clone(&state),
+            metrics,
+            MaintConfig::default(),
+        );
+        let l0 = pl.alloc_page().unwrap();
+        stamp(&pl, l0, 7);
+
+        let v1 = state.bump_traditional();
+        eng.apply_batch(vec![MaintRequest::Create {
+            slots: 1,
+            assignments: vec![(0, l0)],
+            version: v1,
+        }])
+        .unwrap();
+        let old_base = state.begin_read().unwrap().base;
+
+        let v2 = state.bump_traditional();
+        eng.apply_batch(vec![MaintRequest::Create {
+            slots: 2,
+            assignments: vec![(0, l0), (1, l0)],
+            version: v2,
+        }])
+        .unwrap();
+        assert_eq!(eng.retired_count(), 1);
+        // The old base is still readable (stale but mapped).
+        unsafe {
+            assert_eq!(*(old_base as *const u64), 7);
+        }
+    }
+
+    #[test]
+    fn update_without_node_is_discarded_not_fatal() {
+        let pl = pool();
+        let state = Arc::new(SharedDirectoryState::new());
+        let metrics = Arc::new(MaintMetrics::default());
+        let mut eng = MapperEngine::new(
+            pl.handle(),
+            Arc::clone(&state),
+            Arc::clone(&metrics),
+            MaintConfig::default(),
+        );
+        let v = state.bump_traditional();
+        eng.apply_batch(vec![MaintRequest::Update {
+            slot: 0,
+            ppage: PageIdx(0),
+            version: v,
+        }])
+        .unwrap();
+        assert_eq!(metrics.snapshot().updates_discarded, 1);
+        assert!(!state.in_sync());
+    }
+
+    #[test]
+    fn threaded_maintainer_reaches_sync() {
+        let mut pl = pool();
+        let l0 = pl.alloc_page().unwrap();
+        let l1 = pl.alloc_page().unwrap();
+        stamp(&pl, l0, 100);
+        stamp(&pl, l1, 200);
+
+        let m = Maintainer::spawn(
+            pl.handle(),
+            MaintConfig {
+                poll_interval: Duration::from_millis(1),
+                ..MaintConfig::default()
+            },
+        );
+        let v = m.state().bump_traditional();
+        m.submit(MaintRequest::Create {
+            slots: 2,
+            assignments: vec![(0, l0), (1, l1)],
+            version: v,
+        });
+        assert!(m.wait_sync(Duration::from_secs(5)), "mapper never synced");
+        let t = m.state().begin_read().unwrap();
+        unsafe {
+            assert_eq!(*(t.base as *const u64), 100);
+            assert_eq!(*(t.base.add(4096) as *const u64), 200);
+        }
+        assert!(m.state().still_valid(t));
+        assert!(m.error().is_none());
+    }
+
+    #[test]
+    fn threaded_maintainer_processes_update_stream() {
+        let mut pl = pool();
+        let pages: Vec<PageIdx> = (0..8).map(|_| pl.alloc_page().unwrap()).collect();
+        for (i, p) in pages.iter().enumerate() {
+            stamp(&pl, *p, 1000 + i as u64);
+        }
+        let m = Maintainer::spawn(
+            pl.handle(),
+            MaintConfig {
+                poll_interval: Duration::from_millis(1),
+                ..MaintConfig::default()
+            },
+        );
+        let v = m.state().bump_traditional();
+        m.submit(MaintRequest::Create {
+            slots: 8,
+            assignments: (0..8).map(|i| (i, pages[0])).collect(),
+            version: v,
+        });
+        // Stream of split-style updates.
+        for (i, p) in pages.iter().enumerate() {
+            let v = m.state().bump_traditional();
+            m.submit(MaintRequest::Update {
+                slot: i,
+                ppage: *p,
+                version: v,
+            });
+        }
+        assert!(m.wait_sync(Duration::from_secs(5)));
+        let t = m.state().begin_read().unwrap();
+        for i in 0..8 {
+            unsafe {
+                assert_eq!(*(t.base.add(i * 4096) as *const u64), 1000 + i as u64);
+            }
+        }
+        assert!(m.error().is_none());
+        let s = m.metrics();
+        assert_eq!(s.creates_applied, 1);
+        assert!(s.updates_applied + s.updates_discarded >= 8);
+    }
+
+    #[test]
+    fn drop_pending_empties_queue() {
+        let pl = pool();
+        let m = Maintainer::spawn(
+            pl.handle(),
+            MaintConfig {
+                // Long interval so requests stay queued.
+                poll_interval: Duration::from_secs(60),
+                ..MaintConfig::default()
+            },
+        );
+        // Give the thread a moment to enter its sleep.
+        std::thread::sleep(Duration::from_millis(20));
+        for i in 0..5 {
+            m.submit(MaintRequest::Update {
+                slot: i,
+                ppage: PageIdx(0),
+                version: i as u64 + 1,
+            });
+        }
+        let dropped = m.drop_pending();
+        assert!(dropped <= 5);
+        assert_eq!(m.pending(), 0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Counters for the asynchronous maintenance engine.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Thread-safe maintenance counters, shared between the index (producer)
+/// and the mapper thread (consumer).
+#[derive(Debug, Default)]
+pub struct MaintMetrics {
+    /// Update requests processed.
+    pub updates_applied: AtomicU64,
+    /// Create (full rebuild) requests processed.
+    pub creates_applied: AtomicU64,
+    /// Update requests discarded because a newer create superseded them.
+    pub updates_discarded: AtomicU64,
+    /// Individual slot rewirings performed.
+    pub slots_rewired: AtomicU64,
+    /// mmap calls spent on rebuilds (after coalescing).
+    pub create_mmap_calls: AtomicU64,
+    /// Pages touched for page-table population.
+    pub pages_populated: AtomicU64,
+    /// Times the mapper woke up and found work.
+    pub busy_polls: AtomicU64,
+    /// Times the mapper woke up to an empty queue.
+    pub idle_polls: AtomicU64,
+}
+
+/// Plain-value snapshot of [`MaintMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintSnapshot {
+    /// Update requests processed.
+    pub updates_applied: u64,
+    /// Create requests processed.
+    pub creates_applied: u64,
+    /// Updates discarded as superseded.
+    pub updates_discarded: u64,
+    /// Slots rewired in total.
+    pub slots_rewired: u64,
+    /// mmap calls used by creates.
+    pub create_mmap_calls: u64,
+    /// Pages populated.
+    pub pages_populated: u64,
+    /// Polls with work.
+    pub busy_polls: u64,
+    /// Polls without work.
+    pub idle_polls: u64,
+}
+
+impl MaintMetrics {
+    /// Copy out all counters.
+    pub fn snapshot(&self) -> MaintSnapshot {
+        MaintSnapshot {
+            updates_applied: self.updates_applied.load(Ordering::Relaxed),
+            creates_applied: self.creates_applied.load(Ordering::Relaxed),
+            updates_discarded: self.updates_discarded.load(Ordering::Relaxed),
+            slots_rewired: self.slots_rewired.load(Ordering::Relaxed),
+            create_mmap_calls: self.create_mmap_calls.load(Ordering::Relaxed),
+            pages_populated: self.pages_populated.load(Ordering::Relaxed),
+            busy_polls: self.busy_polls.load(Ordering::Relaxed),
+            idle_polls: self.idle_polls.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let m = MaintMetrics::default();
+        m.updates_applied.fetch_add(3, Ordering::Relaxed);
+        m.slots_rewired.fetch_add(6, Ordering::Relaxed);
+        let s = m.snapshot();
+        assert_eq!(s.updates_applied, 3);
+        assert_eq!(s.slots_rewired, 6);
+        assert_eq!(s.creates_applied, 0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Fan-in-based access-path routing (paper §3.2 / §4.1).
+//!
+//! Accesses on a shortcut node always touch a virtual area of `k` pages,
+//! whereas the traditional variant touches `k · 8 B` of directory plus `m`
+//! leaf pages. With high fan-in (`k/m` large) the shortcut's bigger virtual
+//! span thrashes the TLB and loses. The paper routes through the shortcut
+//! only while the **average fan-in is ≤ 8**.
+
+/// Decides between the shortcut and the traditional access path.
+#[derive(Debug, Clone, Copy)]
+pub struct RoutePolicy {
+    /// Maximum average fan-in for which the shortcut is used.
+    pub fanin_threshold: f64,
+}
+
+impl Default for RoutePolicy {
+    fn default() -> Self {
+        // The paper's empirically chosen bound.
+        RoutePolicy {
+            fanin_threshold: 8.0,
+        }
+    }
+}
+
+impl RoutePolicy {
+    /// A policy with a custom threshold (ablation A2).
+    pub fn with_threshold(fanin_threshold: f64) -> Self {
+        RoutePolicy { fanin_threshold }
+    }
+
+    /// Average fan-in of a directory with `slots` slots over `leaves`
+    /// distinct leaves.
+    #[inline]
+    pub fn avg_fanin(slots: usize, leaves: usize) -> f64 {
+        if leaves == 0 {
+            f64::INFINITY
+        } else {
+            slots as f64 / leaves as f64
+        }
+    }
+
+    /// Whether a lookup should take the shortcut path, given the current
+    /// average fan-in and whether the shortcut is in sync.
+    #[inline]
+    pub fn use_shortcut(&self, avg_fanin: f64, in_sync: bool) -> bool {
+        in_sync && avg_fanin <= self.fanin_threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_threshold_is_eight() {
+        let p = RoutePolicy::default();
+        assert!(p.use_shortcut(8.0, true));
+        assert!(!p.use_shortcut(8.01, true));
+        assert!(p.use_shortcut(1.0, true));
+    }
+
+    #[test]
+    fn out_of_sync_never_shortcuts() {
+        let p = RoutePolicy::default();
+        assert!(!p.use_shortcut(1.0, false));
+    }
+
+    #[test]
+    fn fanin_math() {
+        assert_eq!(RoutePolicy::avg_fanin(8, 4), 2.0);
+        assert_eq!(RoutePolicy::avg_fanin(4096, 4096), 1.0);
+        assert!(RoutePolicy::avg_fanin(4, 0).is_infinite());
+    }
+}

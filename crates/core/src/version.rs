@@ -1,0 +1,180 @@
+//! Version-number synchronization between the traditional and the shortcut
+//! directory (paper §4.1).
+//!
+//! Both directories carry a version number; every modification to the
+//! traditional directory increments its version, and the mapper thread
+//! stamps the shortcut's version only *after* the corresponding rewirings
+//! **and** the page-table population have completed. The shortcut may serve
+//! a read only while the two versions are equal.
+//!
+//! Reads follow a seqlock-style protocol ([`SharedDirectoryState::begin_read`]
+//! / [`SharedDirectoryState::still_valid`]): validate versions, read through the
+//! published base pointer, validate again. Retired shortcut areas are kept
+//! mapped until the index is dropped, so a read that loses the race reads
+//! *stale but mapped* memory and is then discarded — never a fault.
+
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+
+/// Shared state published by the mapper thread and read by lookups.
+#[derive(Debug)]
+pub struct SharedDirectoryState {
+    /// Version of the traditional directory (bumped by the index on every
+    /// directory-modifying operation).
+    traditional_version: AtomicU64,
+    /// Version the current shortcut directory reflects (stamped by the
+    /// mapper after rewiring + population).
+    shortcut_version: AtomicU64,
+    /// Base address of the current shortcut area (null until first create).
+    base: AtomicPtr<u8>,
+    /// Slot count of the current shortcut area.
+    slots: AtomicUsize,
+}
+
+/// Proof that a shortcut read started in sync; must be revalidated after
+/// the read with [`SharedDirectoryState::still_valid`].
+#[derive(Debug, Clone, Copy)]
+pub struct ReadTicket {
+    version: u64,
+    /// Published base pointer at ticket time.
+    pub base: *mut u8,
+    /// Published slot count at ticket time.
+    pub slots: usize,
+}
+
+impl SharedDirectoryState {
+    /// Fresh state: both versions 0, no shortcut published.
+    pub fn new() -> Self {
+        SharedDirectoryState {
+            traditional_version: AtomicU64::new(0),
+            shortcut_version: AtomicU64::new(0),
+            base: AtomicPtr::new(std::ptr::null_mut()),
+            slots: AtomicUsize::new(0),
+        }
+    }
+
+    /// Record a modification of the traditional directory; returns the new
+    /// version (to be attached to the maintenance request).
+    pub fn bump_traditional(&self) -> u64 {
+        self.traditional_version.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Current traditional version.
+    pub fn traditional_version(&self) -> u64 {
+        self.traditional_version.load(Ordering::Acquire)
+    }
+
+    /// Version currently reflected by the shortcut.
+    pub fn shortcut_version(&self) -> u64 {
+        self.shortcut_version.load(Ordering::Acquire)
+    }
+
+    /// Whether the shortcut is in sync (and something has been published).
+    pub fn in_sync(&self) -> bool {
+        let sv = self.shortcut_version.load(Ordering::Acquire);
+        sv != 0 && sv == self.traditional_version.load(Ordering::Acquire)
+            && !self.base.load(Ordering::Acquire).is_null()
+    }
+
+    /// Publish a (possibly new) shortcut area reflecting `version`.
+    /// Called by the mapper thread only, *after* population finished.
+    pub fn publish(&self, base: *mut u8, slots: usize, version: u64) {
+        self.base.store(base, Ordering::Release);
+        self.slots.store(slots, Ordering::Release);
+        self.shortcut_version.store(version, Ordering::Release);
+    }
+
+    /// Begin a shortcut read: returns a ticket if the shortcut is currently
+    /// in sync, else `None` (caller takes the traditional path).
+    #[inline]
+    pub fn begin_read(&self) -> Option<ReadTicket> {
+        let sv = self.shortcut_version.load(Ordering::Acquire);
+        if sv == 0 || sv != self.traditional_version.load(Ordering::Acquire) {
+            return None;
+        }
+        let base = self.base.load(Ordering::Acquire);
+        if base.is_null() {
+            return None;
+        }
+        let slots = self.slots.load(Ordering::Acquire);
+        Some(ReadTicket {
+            version: sv,
+            base,
+            slots,
+        })
+    }
+
+    /// Validate a ticket after the read: `true` iff no modification raced
+    /// with it (neither version moved), so the value read may be used.
+    #[inline]
+    pub fn still_valid(&self, t: ReadTicket) -> bool {
+        self.shortcut_version.load(Ordering::Acquire) == t.version
+            && self.traditional_version.load(Ordering::Acquire) == t.version
+    }
+}
+
+impl Default for SharedDirectoryState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_out_of_sync() {
+        let s = SharedDirectoryState::new();
+        assert!(!s.in_sync());
+        assert!(s.begin_read().is_none());
+    }
+
+    #[test]
+    fn publish_brings_in_sync() {
+        let s = SharedDirectoryState::new();
+        let v = s.bump_traditional();
+        assert!(!s.in_sync());
+        let mut page = [0u8; 8];
+        s.publish(page.as_mut_ptr(), 1, v);
+        assert!(s.in_sync());
+        let t = s.begin_read().unwrap();
+        assert_eq!(t.slots, 1);
+        assert!(s.still_valid(t));
+    }
+
+    #[test]
+    fn modification_invalidates_inflight_read() {
+        let s = SharedDirectoryState::new();
+        let v = s.bump_traditional();
+        let mut page = [0u8; 8];
+        s.publish(page.as_mut_ptr(), 1, v);
+        let t = s.begin_read().unwrap();
+        // A split happens mid-read…
+        s.bump_traditional();
+        assert!(!s.still_valid(t), "racing read must be discarded");
+        assert!(s.begin_read().is_none(), "now out of sync");
+    }
+
+    #[test]
+    fn catch_up_restores_sync() {
+        let s = SharedDirectoryState::new();
+        let v1 = s.bump_traditional();
+        let mut page = [0u8; 8];
+        s.publish(page.as_mut_ptr(), 1, v1);
+        let v2 = s.bump_traditional();
+        assert!(!s.in_sync());
+        s.publish(page.as_mut_ptr(), 2, v2);
+        assert!(s.in_sync());
+        assert_eq!(s.begin_read().unwrap().slots, 2);
+    }
+
+    #[test]
+    fn version_zero_never_reads() {
+        // Even if traditional is still at 0 (no modifications yet), an
+        // unpublished shortcut must not serve reads.
+        let s = SharedDirectoryState::new();
+        assert_eq!(s.traditional_version(), 0);
+        assert_eq!(s.shortcut_version(), 0);
+        assert!(s.begin_read().is_none());
+    }
+}

@@ -1,0 +1,395 @@
+//! The 4 KB bucket: a page-sized leaf holding `(u64 key, u64 value)`
+//! entries under open addressing / linear probing.
+//!
+//! Buckets live in [`shortcut_rewire::PagePool`] pages so that shortcut
+//! directories can be rewired to them. A [`BucketRef`] is a thin wrapper
+//! around the page's base pointer with typed accessors; it is valid for as
+//! long as the underlying page is allocated, which the owning index
+//! guarantees.
+//!
+//! Page layout (little-endian, 8-byte aligned):
+//!
+//! ```text
+//! offset   0: u32  local_depth
+//! offset   4: u32  count           (live entries)
+//! offset   8: [u64; 4] occupied    bitmap (bit i = slot i holds an entry)
+//! offset  40: [u64; 4] tombstone   bitmap (bit i = slot i was deleted)
+//! offset  72: [(u64, u64); 251]    entries
+//! ```
+
+use crate::hash::bucket_slot_hash;
+use shortcut_rewire::PAGE_SIZE_4K;
+
+/// Entries per 4 KB bucket: `(4096 − 72) / 16`.
+pub const BUCKET_CAPACITY: usize = 251;
+
+const OCCUPIED_OFF: usize = 8;
+const TOMBSTONE_OFF: usize = 40;
+const ENTRIES_OFF: usize = 72;
+
+/// Result of a bucket insert attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// Key inserted into a fresh slot.
+    Inserted,
+    /// Key existed; its value was overwritten.
+    Updated,
+    /// No free slot (or the load limit was reached): the bucket must split.
+    Full,
+}
+
+/// A typed view over a bucket page. Copyable; does not own the page.
+#[derive(Debug, Clone, Copy)]
+pub struct BucketRef {
+    ptr: *mut u8,
+}
+
+impl BucketRef {
+    /// Wrap a bucket page.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must point to the start of a live, writable, 4 KB page that is
+    /// used exclusively as a bucket and outlives all reads through the ref.
+    pub unsafe fn from_ptr(ptr: *mut u8) -> Self {
+        debug_assert!(!ptr.is_null());
+        debug_assert_eq!(ptr as usize % 8, 0, "bucket page must be aligned");
+        BucketRef { ptr }
+    }
+
+    /// The underlying page pointer.
+    #[inline]
+    pub fn as_ptr(self) -> *mut u8 {
+        self.ptr
+    }
+
+    /// Zero the page and set the local depth — a fresh empty bucket.
+    pub fn init(self, local_depth: u32) {
+        // SAFETY: per from_ptr contract the whole page is ours.
+        unsafe {
+            std::ptr::write_bytes(self.ptr, 0, PAGE_SIZE_4K);
+        }
+        self.set_local_depth(local_depth);
+    }
+
+    /// The bucket's local depth (how many hash bits it distinguishes).
+    #[inline]
+    pub fn local_depth(self) -> u32 {
+        // SAFETY: in-bounds, aligned.
+        unsafe { (self.ptr as *const u32).read() }
+    }
+
+    /// Set the local depth.
+    #[inline]
+    pub fn set_local_depth(self, d: u32) {
+        // SAFETY: in-bounds, aligned.
+        unsafe { (self.ptr as *mut u32).write(d) }
+    }
+
+    /// Number of live entries.
+    #[inline]
+    pub fn count(self) -> usize {
+        // SAFETY: in-bounds, aligned.
+        unsafe { (self.ptr.add(4) as *const u32).read() as usize }
+    }
+
+    #[inline]
+    fn set_count(self, c: usize) {
+        // SAFETY: in-bounds, aligned.
+        unsafe { (self.ptr.add(4) as *mut u32).write(c as u32) }
+    }
+
+    #[inline]
+    fn bitmap_word(self, base: usize, word: usize) -> u64 {
+        // SAFETY: word < 4, base in {8, 40}.
+        unsafe { (self.ptr.add(base + word * 8) as *const u64).read() }
+    }
+
+    #[inline]
+    fn set_bitmap_word(self, base: usize, word: usize, v: u64) {
+        // SAFETY: word < 4, base in {8, 40}.
+        unsafe { (self.ptr.add(base + word * 8) as *mut u64).write(v) }
+    }
+
+    #[inline]
+    fn bit(self, base: usize, slot: usize) -> bool {
+        self.bitmap_word(base, slot / 64) >> (slot % 64) & 1 == 1
+    }
+
+    #[inline]
+    fn set_bit(self, base: usize, slot: usize, on: bool) {
+        let w = self.bitmap_word(base, slot / 64);
+        let mask = 1u64 << (slot % 64);
+        self.set_bitmap_word(base, slot / 64, if on { w | mask } else { w & !mask });
+    }
+
+    #[inline]
+    fn entry(self, slot: usize) -> (u64, u64) {
+        debug_assert!(slot < BUCKET_CAPACITY);
+        // SAFETY: in-bounds, aligned.
+        unsafe {
+            let p = self.ptr.add(ENTRIES_OFF + slot * 16) as *const u64;
+            (p.read(), p.add(1).read())
+        }
+    }
+
+    #[inline]
+    fn set_entry(self, slot: usize, key: u64, value: u64) {
+        debug_assert!(slot < BUCKET_CAPACITY);
+        // SAFETY: in-bounds, aligned.
+        unsafe {
+            let p = self.ptr.add(ENTRIES_OFF + slot * 16) as *mut u64;
+            p.write(key);
+            p.add(1).write(value);
+        }
+    }
+
+    /// Insert or update `key`, refusing (returning [`InsertOutcome::Full`])
+    /// once `max_entries` live entries are reached and the key is new.
+    pub fn insert(self, key: u64, value: u64, max_entries: usize) -> InsertOutcome {
+        let start = (bucket_slot_hash(key) % BUCKET_CAPACITY as u64) as usize;
+        let mut first_free: Option<usize> = None;
+        for i in 0..BUCKET_CAPACITY {
+            let slot = (start + i) % BUCKET_CAPACITY;
+            if self.bit(OCCUPIED_OFF, slot) {
+                if self.entry(slot).0 == key {
+                    self.set_entry(slot, key, value);
+                    return InsertOutcome::Updated;
+                }
+            } else {
+                if first_free.is_none() {
+                    first_free = Some(slot);
+                }
+                // A never-occupied, never-deleted slot terminates the probe:
+                // the key cannot be further along.
+                if !self.bit(TOMBSTONE_OFF, slot) {
+                    break;
+                }
+            }
+        }
+        if self.count() >= max_entries {
+            return InsertOutcome::Full;
+        }
+        match first_free {
+            Some(slot) => {
+                self.set_entry(slot, key, value);
+                self.set_bit(OCCUPIED_OFF, slot, true);
+                self.set_bit(TOMBSTONE_OFF, slot, false);
+                self.set_count(self.count() + 1);
+                InsertOutcome::Inserted
+            }
+            None => InsertOutcome::Full,
+        }
+    }
+
+    /// Look up `key`.
+    pub fn get(self, key: u64) -> Option<u64> {
+        let start = (bucket_slot_hash(key) % BUCKET_CAPACITY as u64) as usize;
+        for i in 0..BUCKET_CAPACITY {
+            let slot = (start + i) % BUCKET_CAPACITY;
+            if self.bit(OCCUPIED_OFF, slot) {
+                let (k, v) = self.entry(slot);
+                if k == key {
+                    return Some(v);
+                }
+            } else if !self.bit(TOMBSTONE_OFF, slot) {
+                return None;
+            }
+        }
+        None
+    }
+
+    /// Remove `key`, returning its value.
+    pub fn remove(self, key: u64) -> Option<u64> {
+        let start = (bucket_slot_hash(key) % BUCKET_CAPACITY as u64) as usize;
+        for i in 0..BUCKET_CAPACITY {
+            let slot = (start + i) % BUCKET_CAPACITY;
+            if self.bit(OCCUPIED_OFF, slot) {
+                let (k, v) = self.entry(slot);
+                if k == key {
+                    self.set_bit(OCCUPIED_OFF, slot, false);
+                    self.set_bit(TOMBSTONE_OFF, slot, true);
+                    self.set_count(self.count() - 1);
+                    return Some(v);
+                }
+            } else if !self.bit(TOMBSTONE_OFF, slot) {
+                return None;
+            }
+        }
+        None
+    }
+
+    /// Copy out all live entries (used when splitting).
+    pub fn drain_entries(self) -> Vec<(u64, u64)> {
+        let mut out = Vec::with_capacity(self.count());
+        for slot in 0..BUCKET_CAPACITY {
+            if self.bit(OCCUPIED_OFF, slot) {
+                out.push(self.entry(slot));
+            }
+        }
+        out
+    }
+
+    /// Iterate live entries without allocating.
+    pub fn for_each_entry(self, mut f: impl FnMut(u64, u64)) {
+        for slot in 0..BUCKET_CAPACITY {
+            if self.bit(OCCUPIED_OFF, slot) {
+                let (k, v) = self.entry(slot);
+                f(k, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A heap-allocated stand-in for a pool page.
+    fn page() -> (Vec<u8>, BucketRef) {
+        let mut mem = vec![0u8; PAGE_SIZE_4K + 8];
+        let off = mem.as_ptr().align_offset(8);
+        let ptr = unsafe { mem.as_mut_ptr().add(off) };
+        let b = unsafe { BucketRef::from_ptr(ptr) };
+        b.init(0);
+        (mem, b)
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let (_m, b) = page();
+        assert_eq!(b.insert(1, 100, BUCKET_CAPACITY), InsertOutcome::Inserted);
+        assert_eq!(b.insert(2, 200, BUCKET_CAPACITY), InsertOutcome::Inserted);
+        assert_eq!(b.get(1), Some(100));
+        assert_eq!(b.get(2), Some(200));
+        assert_eq!(b.get(3), None);
+        assert_eq!(b.count(), 2);
+    }
+
+    #[test]
+    fn update_in_place() {
+        let (_m, b) = page();
+        b.insert(7, 1, BUCKET_CAPACITY);
+        assert_eq!(b.insert(7, 2, BUCKET_CAPACITY), InsertOutcome::Updated);
+        assert_eq!(b.get(7), Some(2));
+        assert_eq!(b.count(), 1);
+    }
+
+    #[test]
+    fn key_zero_is_a_normal_key() {
+        let (_m, b) = page();
+        assert_eq!(b.get(0), None);
+        b.insert(0, 999, BUCKET_CAPACITY);
+        assert_eq!(b.get(0), Some(999));
+    }
+
+    #[test]
+    fn fills_to_capacity_then_full() {
+        let (_m, b) = page();
+        for k in 0..BUCKET_CAPACITY as u64 {
+            assert_eq!(
+                b.insert(k, k, BUCKET_CAPACITY),
+                InsertOutcome::Inserted,
+                "key {k}"
+            );
+        }
+        assert_eq!(b.count(), BUCKET_CAPACITY);
+        assert_eq!(b.insert(9999, 1, BUCKET_CAPACITY), InsertOutcome::Full);
+        // Updates still work when full.
+        assert_eq!(b.insert(5, 55, BUCKET_CAPACITY), InsertOutcome::Updated);
+        for k in 0..BUCKET_CAPACITY as u64 {
+            let want = if k == 5 { 55 } else { k };
+            assert_eq!(b.get(k), Some(want), "key {k}");
+        }
+    }
+
+    #[test]
+    fn load_limit_respected() {
+        let (_m, b) = page();
+        let limit = 88; // ≈ 0.35 × 251, the paper's load factor
+        for k in 0..limit as u64 {
+            assert_eq!(b.insert(k, k, limit), InsertOutcome::Inserted);
+        }
+        assert_eq!(b.insert(10_000, 1, limit), InsertOutcome::Full);
+    }
+
+    #[test]
+    fn remove_then_get_miss_and_reinsert() {
+        let (_m, b) = page();
+        b.insert(1, 10, BUCKET_CAPACITY);
+        b.insert(2, 20, BUCKET_CAPACITY);
+        assert_eq!(b.remove(1), Some(10));
+        assert_eq!(b.remove(1), None);
+        assert_eq!(b.get(1), None);
+        assert_eq!(b.get(2), Some(20));
+        assert_eq!(b.count(), 1);
+        // Tombstoned slot is reusable.
+        assert_eq!(b.insert(1, 11, BUCKET_CAPACITY), InsertOutcome::Inserted);
+        assert_eq!(b.get(1), Some(11));
+    }
+
+    #[test]
+    fn tombstones_do_not_break_probe_chains() {
+        // Force three keys into the same start slot by brute-force search.
+        let (_m, b) = page();
+        let start = (bucket_slot_hash(1) % BUCKET_CAPACITY as u64) as usize;
+        let mut colliders = vec![1u64];
+        let mut k = 2u64;
+        while colliders.len() < 3 {
+            if (bucket_slot_hash(k) % BUCKET_CAPACITY as u64) as usize == start {
+                colliders.push(k);
+            }
+            k += 1;
+        }
+        for (i, k) in colliders.iter().enumerate() {
+            b.insert(*k, i as u64, BUCKET_CAPACITY);
+        }
+        // Delete the middle of the chain; the tail must stay reachable.
+        assert_eq!(b.remove(colliders[1]), Some(1));
+        assert_eq!(b.get(colliders[2]), Some(2));
+        assert_eq!(b.get(colliders[0]), Some(0));
+    }
+
+    #[test]
+    fn local_depth_persists() {
+        let (_m, b) = page();
+        b.set_local_depth(5);
+        b.insert(1, 1, BUCKET_CAPACITY);
+        assert_eq!(b.local_depth(), 5);
+    }
+
+    #[test]
+    fn drain_returns_all_live_entries() {
+        let (_m, b) = page();
+        for k in 0..50u64 {
+            b.insert(k, k * 2, BUCKET_CAPACITY);
+        }
+        b.remove(10);
+        b.remove(20);
+        let mut got = b.drain_entries();
+        got.sort_unstable();
+        assert_eq!(got.len(), 48);
+        assert!(!got.iter().any(|(k, _)| *k == 10 || *k == 20));
+        assert!(got.iter().all(|(k, v)| *v == *k * 2));
+    }
+
+    #[test]
+    fn init_clears_previous_contents() {
+        let (_m, b) = page();
+        for k in 0..40u64 {
+            b.insert(k, k, BUCKET_CAPACITY);
+        }
+        b.init(3);
+        assert_eq!(b.count(), 0);
+        assert_eq!(b.local_depth(), 3);
+        assert_eq!(b.get(5), None);
+    }
+
+    #[test]
+    fn capacity_fits_in_page() {
+        let (cap, off, page) = (BUCKET_CAPACITY, ENTRIES_OFF, PAGE_SIZE_4K);
+        assert!(off + cap * 16 <= page);
+        // And we are not wasting a whole extra entry's worth of space.
+        assert!(off + (cap + 1) * 16 > page);
+    }
+}

@@ -1,0 +1,314 @@
+//! **CH**: chained hashing with a fixed-size table and 128 B overflow
+//! buckets, searched linearly (paper §4.2).
+//!
+//! The table never resizes; a slot holds an entry inline, and overflowing
+//! entries go to a linked chain of fixed-size buckets. CH "shows the best
+//! insertion time, as it does not perform any rehashing at all" but pays
+//! for chain traversal on lookups — exactly the Figure 7 trade-off.
+
+use crate::hash::bucket_slot_hash;
+use crate::stats::IndexStats;
+use crate::traits::KvIndex;
+
+/// Entries per 128 B chain bucket: 7 × 16 B entries + count + next pointer.
+const CHAIN_CAPACITY: usize = 7;
+
+/// CH tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct ChConfig {
+    /// Number of inline table slots. The paper grants CH a 1 GB table
+    /// (2²⁶ slots × 16 B); scaled runs use proportionally fewer.
+    pub table_slots: usize,
+}
+
+impl Default for ChConfig {
+    fn default() -> Self {
+        ChConfig {
+            table_slots: 1 << 26,
+        }
+    }
+}
+
+/// A 128 B overflow bucket: seven entries and a link.
+struct ChainBucket {
+    keys: [u64; CHAIN_CAPACITY],
+    values: [u64; CHAIN_CAPACITY],
+    occupied: u8, // bitmask over the 7 entry slots
+    next: Option<Box<ChainBucket>>,
+}
+
+impl ChainBucket {
+    fn new() -> Box<Self> {
+        Box::new(ChainBucket {
+            keys: [0; CHAIN_CAPACITY],
+            values: [0; CHAIN_CAPACITY],
+            occupied: 0,
+            next: None,
+        })
+    }
+}
+
+/// The CH baseline. See module docs.
+pub struct ChainedHash {
+    keys: Vec<u64>,
+    values: Vec<u64>,
+    /// Bit i of word i/64: inline slot occupied.
+    occupied: Vec<u64>,
+    chains: Vec<Option<Box<ChainBucket>>>,
+    mask: usize,
+    live: usize,
+    stats: IndexStats,
+}
+
+impl ChainedHash {
+    /// Build with custom configuration (slot count rounded up to a power
+    /// of two).
+    pub fn new(cfg: ChConfig) -> Self {
+        let slots = cfg.table_slots.next_power_of_two();
+        ChainedHash {
+            keys: vec![0; slots],
+            values: vec![0; slots],
+            occupied: vec![0; slots.div_ceil(64)],
+            chains: (0..slots).map(|_| None).collect(),
+            mask: slots - 1,
+            live: 0,
+            stats: IndexStats::default(),
+        }
+    }
+
+    /// Build with the paper's 1 GB table.
+    pub fn with_defaults() -> Self {
+        Self::new(ChConfig::default())
+    }
+
+    /// Structural statistics.
+    pub fn stats(&self) -> IndexStats {
+        self.stats
+    }
+
+    #[inline]
+    fn slot_of(&self, key: u64) -> usize {
+        (bucket_slot_hash(key) as usize) & self.mask
+    }
+
+    #[inline]
+    fn inline_occupied(&self, slot: usize) -> bool {
+        self.occupied[slot / 64] >> (slot % 64) & 1 == 1
+    }
+
+    #[inline]
+    fn set_inline_occupied(&mut self, slot: usize, on: bool) {
+        let mask = 1u64 << (slot % 64);
+        if on {
+            self.occupied[slot / 64] |= mask;
+        } else {
+            self.occupied[slot / 64] &= !mask;
+        }
+    }
+}
+
+impl KvIndex for ChainedHash {
+    fn insert(&mut self, key: u64, value: u64) {
+        let slot = self.slot_of(key);
+        let inline_free = !self.inline_occupied(slot);
+        if !inline_free && self.keys[slot] == key {
+            self.values[slot] = value;
+            return;
+        }
+        // Walk the chain first: the key may live there even when the inline
+        // slot is free (a remove can vacate the inline entry while chained
+        // entries for other keys — or this key — remain).
+        let mut hole: Option<(*mut ChainBucket, usize)> = None;
+        let mut cur = self.chains[slot].as_deref_mut();
+        let mut last: *mut ChainBucket = std::ptr::null_mut();
+        while let Some(b) = cur {
+            last = b as *mut ChainBucket;
+            for i in 0..CHAIN_CAPACITY {
+                if b.occupied >> i & 1 == 1 {
+                    if b.keys[i] == key {
+                        b.values[i] = value;
+                        return;
+                    }
+                } else if hole.is_none() {
+                    hole = Some((b as *mut ChainBucket, i));
+                }
+            }
+            cur = b.next.as_deref_mut();
+        }
+        // Not found anywhere: prefer the inline slot, then a chain hole,
+        // then a fresh chain bucket.
+        if inline_free {
+            self.keys[slot] = key;
+            self.values[slot] = value;
+            self.set_inline_occupied(slot, true);
+            self.live += 1;
+            return;
+        }
+        if let Some((bptr, i)) = hole {
+            // SAFETY: bptr points into a chain owned by self; no aliasing
+            // (the walk above has ended).
+            let b = unsafe { &mut *bptr };
+            b.keys[i] = key;
+            b.values[i] = value;
+            b.occupied |= 1 << i;
+            self.live += 1;
+            return;
+        }
+        // Append a fresh bucket: to the chain tail, or start the chain.
+        let mut fresh = ChainBucket::new();
+        fresh.keys[0] = key;
+        fresh.values[0] = value;
+        fresh.occupied = 1;
+        self.stats.chain_buckets += 1;
+        self.live += 1;
+        if last.is_null() {
+            self.chains[slot] = Some(fresh);
+        } else {
+            // SAFETY: last points to the final bucket of self's chain.
+            unsafe {
+                (*last).next = Some(fresh);
+            }
+        }
+    }
+
+    fn get(&mut self, key: u64) -> Option<u64> {
+        let slot = self.slot_of(key);
+        if self.inline_occupied(slot) && self.keys[slot] == key {
+            return Some(self.values[slot]);
+        }
+        let mut cur = self.chains[slot].as_deref();
+        while let Some(b) = cur {
+            for i in 0..CHAIN_CAPACITY {
+                if b.occupied >> i & 1 == 1 && b.keys[i] == key {
+                    return Some(b.values[i]);
+                }
+            }
+            cur = b.next.as_deref();
+        }
+        None
+    }
+
+    fn remove(&mut self, key: u64) -> Option<u64> {
+        let slot = self.slot_of(key);
+        if self.inline_occupied(slot) && self.keys[slot] == key {
+            self.set_inline_occupied(slot, false);
+            self.live -= 1;
+            return Some(self.values[slot]);
+        }
+        let mut cur = self.chains[slot].as_deref_mut();
+        while let Some(b) = cur {
+            for i in 0..CHAIN_CAPACITY {
+                if b.occupied >> i & 1 == 1 && b.keys[i] == key {
+                    b.occupied &= !(1 << i);
+                    self.live -= 1;
+                    return Some(b.values[i]);
+                }
+            }
+            cur = b.next.as_deref_mut();
+        }
+        None
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn name(&self) -> &'static str {
+        "CH"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ChainedHash {
+        ChainedHash::new(ChConfig { table_slots: 16 })
+    }
+
+    #[test]
+    fn inline_roundtrip() {
+        let mut t = small();
+        t.insert(1, 10);
+        assert_eq!(t.get(1), Some(10));
+        assert_eq!(t.remove(1), Some(10));
+        assert_eq!(t.get(1), None);
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn collisions_chain_and_stay_findable() {
+        let mut t = small();
+        // With 16 slots, 500 keys force heavy chaining.
+        for k in 0..500u64 {
+            t.insert(k, k * 2);
+        }
+        assert_eq!(t.len(), 500);
+        assert!(t.stats().chain_buckets > 0);
+        for k in 0..500u64 {
+            assert_eq!(t.get(k), Some(k * 2), "key {k}");
+        }
+    }
+
+    #[test]
+    fn update_inline_and_chained() {
+        let mut t = small();
+        for k in 0..100u64 {
+            t.insert(k, k);
+        }
+        for k in 0..100u64 {
+            t.insert(k, k + 1000);
+        }
+        assert_eq!(t.len(), 100);
+        for k in 0..100u64 {
+            assert_eq!(t.get(k), Some(k + 1000));
+        }
+    }
+
+    #[test]
+    fn remove_from_chain_leaves_rest() {
+        let mut t = small();
+        for k in 0..200u64 {
+            t.insert(k, k);
+        }
+        for k in (0..200u64).step_by(2) {
+            assert_eq!(t.remove(k), Some(k));
+        }
+        assert_eq!(t.len(), 100);
+        for k in 0..200u64 {
+            let want = if k % 2 == 0 { None } else { Some(k) };
+            assert_eq!(t.get(k), want, "key {k}");
+        }
+    }
+
+    #[test]
+    fn holes_in_chains_are_refilled() {
+        let mut t = small();
+        for k in 0..100u64 {
+            t.insert(k, k);
+        }
+        let buckets_before = t.stats().chain_buckets;
+        for k in 0..50u64 {
+            t.remove(k);
+        }
+        for k in 1000..1050u64 {
+            t.insert(k, k);
+        }
+        // Reuse of holes means no (or few) new chain buckets.
+        assert_eq!(t.stats().chain_buckets, buckets_before);
+        for k in 1000..1050u64 {
+            assert_eq!(t.get(k), Some(k));
+        }
+    }
+
+    #[test]
+    fn key_zero_inline_and_chained() {
+        let mut t = ChainedHash::new(ChConfig { table_slots: 1 });
+        t.insert(0, 7);
+        for k in 1..20u64 {
+            t.insert(k, k);
+        }
+        assert_eq!(t.get(0), Some(7));
+        assert_eq!(t.len(), 20);
+    }
+}

@@ -1,0 +1,476 @@
+//! **EH**: classical extendible hashing (paper §4, Figure 6).
+//!
+//! A directory of `2^global_depth` slots, indexed by the most significant
+//! hash bits, points to 4 KB buckets. Each bucket knows its *local depth*
+//! `l ≤ g`: exactly `2^(g−l)` contiguous directory slots reference it. An
+//! overflowing bucket splits (local depth +1); if its local depth already
+//! equals the global depth, the directory doubles first.
+//!
+//! Buckets are allocated from a [`shortcut_rewire::PagePool`] so that a
+//! shortcut directory can later be rewired straight to their physical
+//! pages — this is the prerequisite the paper states in §2.1.
+
+mod directory;
+
+pub use directory::Directory;
+
+use crate::bucket::{BucketRef, InsertOutcome, BUCKET_CAPACITY};
+use crate::hash::{dir_slot, mult_hash, split_bit};
+use crate::stats::IndexStats;
+use crate::traits::KvIndex;
+use shortcut_rewire::{PageIdx, PagePool, PoolConfig, PoolHandle};
+
+/// Directory-modifying events, emitted (when enabled) for the asynchronous
+/// shortcut maintenance of Shortcut-EH.
+#[derive(Debug, Clone)]
+pub enum DirEvent {
+    /// A split redirected `slot` to the bucket in pool page `ppage`.
+    SlotUpdated {
+        /// Directory slot that changed.
+        slot: usize,
+        /// Pool page of the bucket it now references.
+        ppage: PageIdx,
+    },
+    /// The directory doubled; a full rebuild of any shortcut is required.
+    Doubled {
+        /// New slot count (`2^global_depth`).
+        slots: usize,
+        /// Complete `(slot, pool page)` assignment, sorted by slot.
+        assignments: Vec<(usize, PageIdx)>,
+    },
+}
+
+/// EH tuning.
+#[derive(Debug, Clone)]
+pub struct EhConfig {
+    /// Maximum bucket load factor before splitting (paper: 0.35).
+    pub max_load_factor: f64,
+    /// Page pool configuration (bucket storage).
+    pub pool: PoolConfig,
+    /// Emit [`DirEvent`]s (enabled by Shortcut-EH, off for plain EH).
+    pub track_events: bool,
+    /// Hard cap on the global depth; exceeding it panics with a clear
+    /// message instead of exhausting memory (2^28 slots = 2 GB directory).
+    pub max_global_depth: u32,
+}
+
+impl Default for EhConfig {
+    fn default() -> Self {
+        EhConfig {
+            max_load_factor: 0.35,
+            pool: PoolConfig::default(),
+            track_events: false,
+            max_global_depth: 28,
+        }
+    }
+}
+
+/// The EH baseline (and the synchronous half of Shortcut-EH).
+pub struct ExtendibleHash {
+    pool: PagePool,
+    dir: Directory,
+    bucket_count: usize,
+    len: usize,
+    max_entries: usize,
+    cfg: EhConfig,
+    stats: IndexStats,
+    events: Vec<DirEvent>,
+}
+
+impl ExtendibleHash {
+    /// Build with custom configuration; starts with one empty bucket (the
+    /// paper's "effective space of only 4 KB").
+    pub fn new(cfg: EhConfig) -> Self {
+        let max_entries = ((BUCKET_CAPACITY as f64) * cfg.max_load_factor).floor() as usize;
+        assert!(max_entries >= 1, "load factor too small for any entry");
+        let mut pool = PagePool::new(cfg.pool.clone()).expect("pool creation failed");
+        let first = pool.alloc_page().expect("initial bucket allocation failed");
+        let ptr = pool.page_ptr(first);
+        // SAFETY: freshly allocated, exclusively owned 4 KB pool page.
+        unsafe { BucketRef::from_ptr(ptr) }.init(0);
+        let mut dir = Directory::new();
+        dir.set_all(ptr);
+        ExtendibleHash {
+            pool,
+            dir,
+            bucket_count: 1,
+            len: 0,
+            max_entries,
+            cfg,
+            stats: IndexStats::default(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Build with the paper's defaults.
+    pub fn with_defaults() -> Self {
+        Self::new(EhConfig::default())
+    }
+
+    /// Global depth of the directory.
+    pub fn global_depth(&self) -> u32 {
+        self.dir.global_depth()
+    }
+
+    /// Number of directory slots (`2^global_depth`).
+    pub fn dir_slots(&self) -> usize {
+        self.dir.slot_count()
+    }
+
+    /// Number of distinct buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.bucket_count
+    }
+
+    /// Average directory fan-in (`slots / buckets`), the §3.2 routing input.
+    pub fn avg_fanin(&self) -> f64 {
+        self.dir.slot_count() as f64 / self.bucket_count as f64
+    }
+
+    /// Structural statistics.
+    pub fn stats(&self) -> IndexStats {
+        self.stats
+    }
+
+    /// Maximum entries a bucket may hold before splitting.
+    pub fn bucket_entry_limit(&self) -> usize {
+        self.max_entries
+    }
+
+    /// A shareable handle to the bucket pool (for shortcut maintenance).
+    pub fn pool_handle(&self) -> PoolHandle {
+        self.pool.handle()
+    }
+
+    /// Drain the directory events accumulated since the last call.
+    pub fn take_events(&mut self) -> Vec<DirEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// The bucket a hash currently routes to.
+    fn bucket_for(&self, hash: u64) -> BucketRef {
+        let ptr = self.dir.get(dir_slot(hash, self.dir.global_depth()));
+        debug_assert!(!ptr.is_null());
+        // SAFETY: directory slots always point at live pool bucket pages.
+        unsafe { BucketRef::from_ptr(ptr) }
+    }
+
+    /// Full `(slot, pool page)` assignment of the current directory.
+    pub fn directory_assignments(&self) -> Vec<(usize, PageIdx)> {
+        (0..self.dir.slot_count())
+            .map(|s| {
+                let ptr = self.dir.get(s);
+                let page = self
+                    .pool
+                    .page_of_ptr(ptr)
+                    .expect("directory pointer outside pool");
+                (s, page)
+            })
+            .collect()
+    }
+
+    fn double_directory(&mut self) {
+        assert!(
+            self.dir.global_depth() < self.cfg.max_global_depth,
+            "directory would exceed max_global_depth={} (pathological key distribution?)",
+            self.cfg.max_global_depth
+        );
+        self.dir.double();
+        self.stats.doublings += 1;
+        if self.cfg.track_events {
+            let assignments = self.directory_assignments();
+            self.events.push(DirEvent::Doubled {
+                slots: self.dir.slot_count(),
+                assignments,
+            });
+        }
+    }
+
+    /// Split the bucket the hash routes to. One split per call; the insert
+    /// loop retries (a skewed bucket may need several rounds).
+    fn split(&mut self, hash: u64) {
+        let g = self.dir.global_depth();
+        let slot = dir_slot(hash, g);
+        let old_ptr = self.dir.get(slot);
+        // SAFETY: live bucket page (directory invariant).
+        let old = unsafe { BucketRef::from_ptr(old_ptr) };
+        let l = old.local_depth();
+
+        if l == g {
+            self.double_directory();
+        }
+        let g = self.dir.global_depth();
+        let slot = dir_slot(hash, g);
+        let l = old.local_depth();
+        debug_assert!(l < g);
+
+        // Covering range of the old bucket: 2^(g-l) contiguous slots.
+        let range = Directory::covering_range(slot, g, l);
+        let half = range.len() / 2;
+
+        // Fresh bucket page for the upper half.
+        let new_page = self.pool.alloc_page().expect("bucket allocation failed");
+        let new_ptr = self.pool.page_ptr(new_page);
+        // SAFETY: freshly allocated pool page, exclusively ours.
+        let new = unsafe { BucketRef::from_ptr(new_ptr) };
+        new.init(l + 1);
+
+        // Redistribute: the (l+1)-th hash bit decides the side.
+        let entries = old.drain_entries();
+        old.init(l + 1);
+        for (k, v) in entries {
+            let h = mult_hash(k);
+            let target = if split_bit(h, l) { new } else { old };
+            let r = target.insert(k, v, BUCKET_CAPACITY);
+            debug_assert_ne!(r, InsertOutcome::Full, "split lost an entry");
+        }
+
+        // Redirect the upper half of the covering range.
+        let first_new = range.start + half;
+        for s in first_new..range.end {
+            self.dir.set(s, new_ptr);
+            if self.cfg.track_events {
+                self.events.push(DirEvent::SlotUpdated {
+                    slot: s,
+                    ppage: new_page,
+                });
+            }
+        }
+        self.bucket_count += 1;
+        self.stats.splits += 1;
+    }
+}
+
+impl ExtendibleHash {
+    /// Shared-reference lookup. Because inserts require `&mut self`, Rust's
+    /// aliasing rules guarantee no concurrent structural change while any
+    /// `&self` lookup runs — this is the sound basis for parallel lookup
+    /// phases (see [`crate::ShortcutEh::get_ref`]).
+    pub fn get_ref(&self, key: u64) -> Option<u64> {
+        self.bucket_for(mult_hash(key)).get(key)
+    }
+}
+
+impl KvIndex for ExtendibleHash {
+    fn insert(&mut self, key: u64, value: u64) {
+        let h = mult_hash(key);
+        loop {
+            let bucket = self.bucket_for(h);
+            match bucket.insert(key, value, self.max_entries) {
+                InsertOutcome::Inserted => {
+                    self.len += 1;
+                    return;
+                }
+                InsertOutcome::Updated => return,
+                InsertOutcome::Full => self.split(h),
+            }
+        }
+    }
+
+    fn get(&mut self, key: u64) -> Option<u64> {
+        self.bucket_for(mult_hash(key)).get(key)
+    }
+
+    fn remove(&mut self, key: u64) -> Option<u64> {
+        let v = self.bucket_for(mult_hash(key)).remove(key);
+        if v.is_some() {
+            self.len -= 1;
+        }
+        v
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn name(&self) -> &'static str {
+        "EH"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ExtendibleHash {
+        ExtendibleHash::new(EhConfig {
+            pool: PoolConfig {
+                initial_pages: 1,
+                min_growth_pages: 8,
+                view_capacity_pages: 1 << 16,
+                ..PoolConfig::default()
+            },
+            ..EhConfig::default()
+        })
+    }
+
+    #[test]
+    fn starts_with_one_bucket_depth_zero() {
+        let eh = small();
+        assert_eq!(eh.global_depth(), 0);
+        assert_eq!(eh.dir_slots(), 1);
+        assert_eq!(eh.bucket_count(), 1);
+    }
+
+    #[test]
+    fn basic_roundtrip() {
+        let mut eh = small();
+        eh.insert(1, 10);
+        eh.insert(2, 20);
+        assert_eq!(eh.get(1), Some(10));
+        assert_eq!(eh.get(2), Some(20));
+        assert_eq!(eh.get(3), None);
+        assert_eq!(eh.remove(1), Some(10));
+        assert_eq!(eh.get(1), None);
+        assert_eq!(eh.len(), 1);
+    }
+
+    #[test]
+    fn update_preserves_len() {
+        let mut eh = small();
+        eh.insert(5, 1);
+        eh.insert(5, 2);
+        assert_eq!(eh.len(), 1);
+        assert_eq!(eh.get(5), Some(2));
+    }
+
+    #[test]
+    fn splits_and_doublings_preserve_entries() {
+        let mut eh = small();
+        let n = 20_000u64;
+        for k in 0..n {
+            eh.insert(k, k + 7);
+        }
+        assert_eq!(eh.len(), n as usize);
+        assert!(eh.stats().splits > 100);
+        assert!(eh.stats().doublings > 3);
+        for k in 0..n {
+            assert_eq!(eh.get(k), Some(k + 7), "key {k}");
+        }
+        // Load factor is maintained across all buckets.
+        let limit = eh.bucket_entry_limit();
+        assert!(limit <= 88);
+        assert!(eh.bucket_count() as f64 * limit as f64 >= n as f64);
+    }
+
+    #[test]
+    fn directory_invariants_hold() {
+        let mut eh = small();
+        for k in 0..5_000u64 {
+            eh.insert(k, k);
+        }
+        let g = eh.global_depth();
+        let mut seen = std::collections::HashMap::new();
+        for s in 0..eh.dir_slots() {
+            let ptr = eh.dir.get(s);
+            assert!(!ptr.is_null());
+            // SAFETY: directory invariant — live bucket page.
+            let b = unsafe { BucketRef::from_ptr(ptr) };
+            let l = b.local_depth();
+            assert!(l <= g, "local depth exceeds global at slot {s}");
+            // Exactly 2^(g-l) contiguous slots share this bucket, aligned
+            // to that power of two.
+            let cover = 1usize << (g - l);
+            assert_eq!(s / cover, (s / cover * cover) / cover);
+            seen.entry(ptr as usize).or_insert_with(Vec::new).push(s);
+        }
+        for (_, slots) in seen.iter() {
+            // Covering slots are contiguous and a power of two long.
+            let len = slots.len();
+            assert!(len.is_power_of_two(), "cover size {len} not a power of 2");
+            assert_eq!(slots[len - 1] - slots[0] + 1, len, "cover not contiguous");
+        }
+        assert_eq!(seen.len(), eh.bucket_count());
+    }
+
+    #[test]
+    fn entries_live_in_their_prefix_bucket() {
+        let mut eh = small();
+        for k in 0..3_000u64 {
+            eh.insert(k, k);
+        }
+        let g = eh.global_depth();
+        for s in 0..eh.dir_slots() {
+            let ptr = eh.dir.get(s);
+            // SAFETY: directory invariant.
+            let b = unsafe { BucketRef::from_ptr(ptr) };
+            let l = b.local_depth();
+            b.for_each_entry(|k, _| {
+                let h = mult_hash(k);
+                let slot = dir_slot(h, g);
+                // The entry's slot must be covered by this bucket.
+                let cover = 1usize << (g - l);
+                assert_eq!(slot / cover, s / cover, "entry {k} in wrong bucket");
+            });
+        }
+    }
+
+    #[test]
+    fn events_track_splits_and_doublings() {
+        let mut eh = ExtendibleHash::new(EhConfig {
+            track_events: true,
+            ..EhConfig::default()
+        });
+        for k in 0..1_000u64 {
+            eh.insert(k, k);
+        }
+        let events = eh.take_events();
+        assert!(!events.is_empty());
+        let doubles = events
+            .iter()
+            .filter(|e| matches!(e, DirEvent::Doubled { .. }))
+            .count();
+        let updates = events
+            .iter()
+            .filter(|e| matches!(e, DirEvent::SlotUpdated { .. }))
+            .count();
+        assert_eq!(doubles as u64, eh.stats().doublings);
+        assert!(updates > 0);
+        // After take_events, the buffer is empty.
+        assert!(eh.take_events().is_empty());
+        // The last Doubled event's assignment vector covers every slot of
+        // the directory it announced.
+        if let Some(DirEvent::Doubled { slots, assignments }) = events
+            .iter()
+            .rev()
+            .find(|e| matches!(e, DirEvent::Doubled { .. }))
+        {
+            assert_eq!(assignments.len(), *slots);
+            for (i, (s, _)) in assignments.iter().enumerate() {
+                assert_eq!(i, *s);
+            }
+        } else {
+            panic!("expected at least one Doubled event");
+        }
+    }
+
+    #[test]
+    fn no_events_when_disabled() {
+        let mut eh = small();
+        for k in 0..2_000u64 {
+            eh.insert(k, k);
+        }
+        assert!(eh.take_events().is_empty());
+    }
+
+    #[test]
+    fn remove_then_reinsert_across_splits() {
+        let mut eh = small();
+        for k in 0..2_000u64 {
+            eh.insert(k, k);
+        }
+        for k in 0..1_000u64 {
+            assert_eq!(eh.remove(k), Some(k));
+        }
+        for k in 0..1_000u64 {
+            assert_eq!(eh.get(k), None);
+        }
+        for k in 0..1_000u64 {
+            eh.insert(k, k * 2);
+        }
+        for k in 0..1_000u64 {
+            assert_eq!(eh.get(k), Some(k * 2));
+        }
+        assert_eq!(eh.len(), 2_000);
+    }
+}

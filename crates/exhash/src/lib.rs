@@ -1,0 +1,41 @@
+//! # shortcut-exhash — the paper's five hashing schemes
+//!
+//! Implements every index evaluated in §4.2, all sharing the same
+//! lightweight multiplicative hash and (where applicable) 4 KB buckets:
+//!
+//! * [`HashTable`] (**HT**) — one open-addressing/linear-probing table that
+//!   doubles and fully rehashes when the load factor is exceeded.
+//! * [`IncrementalHashTable`] (**HTI**) — Redis-style incremental rehash:
+//!   the old and new tables coexist; every access migrates a batch of
+//!   entries; lookups probe both tables, larger first.
+//! * [`ChainedHash`] (**CH**) — a fixed-size table whose slots hold an
+//!   entry or link to a chain of fixed-size (128 B) overflow buckets.
+//! * [`ExtendibleHash`] (**EH**) — classical extendible hashing \[Fagin et
+//!   al. 1979\]: a directory indexed by the most significant hash bits,
+//!   pointing to 4 KB buckets with local depths; buckets split on overflow
+//!   and the directory doubles when a bucket's local depth reaches the
+//!   global depth.
+//! * [`ShortcutEh`] (**Shortcut-EH**) — EH enhanced with a page-table
+//!   shortcut directory maintained asynchronously (paper §4.1): lookups
+//!   route through the shortcut whenever it is in sync and the average
+//!   fan-in is at most the policy threshold.
+
+pub mod bucket;
+pub mod chained;
+pub mod eh;
+pub mod hash;
+pub mod ht;
+pub mod hti;
+pub mod shortcut_eh;
+pub mod stats;
+pub mod traits;
+
+pub use bucket::{BucketRef, InsertOutcome, BUCKET_CAPACITY};
+pub use chained::{ChainedHash, ChConfig};
+pub use eh::{DirEvent, EhConfig, ExtendibleHash};
+pub use hash::{bucket_slot_hash, dir_slot, mult_hash};
+pub use ht::{HashTable, HtConfig};
+pub use hti::{HtiConfig, IncrementalHashTable};
+pub use shortcut_eh::{ShortcutEh, ShortcutEhConfig};
+pub use stats::IndexStats;
+pub use traits::KvIndex;

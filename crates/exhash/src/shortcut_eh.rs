@@ -1,0 +1,398 @@
+//! **Shortcut-EH**: extendible hashing with a page-table shortcut directory
+//! (paper §4.1).
+//!
+//! The traditional directory remains the synchronous source of truth; a
+//! shortcut directory replays its modifications **asynchronously** via the
+//! mapper thread of [`shortcut_core::Maintainer`]:
+//!
+//! * bucket split → one *update* request per redirected slot;
+//! * directory doubling → pending updates are dropped (superseded) and one
+//!   *create* request carries the full slot→page assignment.
+//!
+//! Lookups route through the shortcut when (a) its version matches the
+//! traditional directory's and (b) the average fan-in is at most the
+//! routing threshold (default 8, §3.2). A seqlock-style ticket discards
+//! results that raced a modification; the fallback is always the
+//! traditional directory, so correctness never depends on the mapper.
+
+use crate::bucket::BucketRef;
+use crate::eh::{DirEvent, EhConfig, ExtendibleHash};
+use crate::hash::{dir_slot, mult_hash};
+use crate::stats::IndexStats;
+use crate::traits::KvIndex;
+use shortcut_core::{MaintConfig, MaintRequest, Maintainer, RoutePolicy};
+use shortcut_rewire::PAGE_SIZE_4K;
+
+/// Shortcut-EH tuning.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct ShortcutEhConfig {
+    /// The underlying EH configuration (`track_events` is forced on).
+    pub eh: EhConfig,
+    /// Mapper-thread configuration (poll interval, eager population).
+    pub maint: MaintConfig,
+    /// Fan-in routing policy (§3.2; default threshold 8).
+    pub policy: RoutePolicy,
+}
+
+
+/// The shortcut-enhanced extendible hash table. See module docs.
+pub struct ShortcutEh {
+    // Field order matters: the maintainer (mapper thread) must stop before
+    // the EH (and its page pool) is torn down.
+    maint: Maintainer,
+    eh: ExtendibleHash,
+    policy: RoutePolicy,
+    stats: IndexStats,
+}
+
+impl ShortcutEh {
+    /// Build with custom configuration and spawn the mapper thread.
+    pub fn new(mut cfg: ShortcutEhConfig) -> Self {
+        cfg.eh.track_events = true;
+        let eh = ExtendibleHash::new(cfg.eh);
+        let maint = Maintainer::spawn(eh.pool_handle(), cfg.maint);
+        let this = ShortcutEh {
+            maint,
+            eh,
+            policy: cfg.policy,
+            stats: IndexStats::default(),
+        };
+        // Publish the initial single-slot directory so the shortcut can
+        // serve reads before the first doubling.
+        let assignments = this.eh.directory_assignments();
+        let v = this.maint.state().bump_traditional();
+        this.maint.submit(MaintRequest::Create {
+            slots: this.eh.dir_slots(),
+            assignments,
+            version: v,
+        });
+        this
+    }
+
+    /// Build with the paper's defaults.
+    pub fn with_defaults() -> Self {
+        Self::new(ShortcutEhConfig::default())
+    }
+
+    /// Current (traditional, shortcut) version numbers — the quantities
+    /// plotted in Figure 8.
+    pub fn versions(&self) -> (u64, u64) {
+        let s = self.maint.state();
+        (s.traditional_version(), s.shortcut_version())
+    }
+
+    /// Whether the shortcut directory is currently in sync.
+    pub fn in_sync(&self) -> bool {
+        self.maint.state().in_sync()
+    }
+
+    /// Block until the shortcut catches up (test/bench helper).
+    pub fn wait_sync(&self, timeout: std::time::Duration) -> bool {
+        self.maint.wait_sync(timeout)
+    }
+
+    /// Structural + routing statistics (merged with the inner EH's).
+    pub fn stats(&self) -> IndexStats {
+        let mut s = self.eh.stats();
+        s.shortcut_lookups = self.stats.shortcut_lookups;
+        s.traditional_lookups = self.stats.traditional_lookups;
+        s.shortcut_retries = self.stats.shortcut_retries;
+        s
+    }
+
+    /// Maintenance counters of the mapper thread.
+    pub fn maint_metrics(&self) -> shortcut_core::metrics::MaintSnapshot {
+        self.maint.metrics()
+    }
+
+    /// Average directory fan-in.
+    pub fn avg_fanin(&self) -> f64 {
+        self.eh.avg_fanin()
+    }
+
+    /// Global depth of the traditional directory.
+    pub fn global_depth(&self) -> u32 {
+        self.eh.global_depth()
+    }
+
+    /// Number of buckets.
+    pub fn bucket_count(&self) -> usize {
+        self.eh.bucket_count()
+    }
+
+    /// First maintenance error, if the mapper thread failed.
+    pub fn maint_error(&self) -> Option<shortcut_rewire::Error> {
+        self.maint.error()
+    }
+
+    /// Shared-reference lookup for concurrent read-only phases.
+    ///
+    /// Takes `&self`, so the borrow checker guarantees no writer exists
+    /// while readers run — multiple threads may call this simultaneously
+    /// (e.g. via `std::thread::scope`). Routing works like [`KvIndex::get`]
+    /// minus the statistics (which would need `&mut`).
+    pub fn get_ref(&self, key: u64) -> Option<u64> {
+        let hash = mult_hash(key);
+        if let Some(res) = self.shortcut_get(key, hash) {
+            return res;
+        }
+        self.eh.get_ref(key)
+    }
+
+    /// The shared maintenance state (diagnostics/benchmarks).
+    #[doc(hidden)]
+    pub fn state_arc(&self) -> std::sync::Arc<shortcut_core::SharedDirectoryState> {
+        std::sync::Arc::clone(self.maint.state())
+    }
+
+    /// Published shortcut state (base address, slots) if in sync.
+    /// For diagnostics and benchmarks only.
+    #[doc(hidden)]
+    pub fn published_state(&self) -> Option<(usize, usize)> {
+        self.maint
+            .state()
+            .begin_read()
+            .map(|t| (t.base as usize, t.slots))
+    }
+
+    /// Forward directory events to the mapper queue.
+    fn relay_events(&mut self) {
+        for ev in self.eh.take_events() {
+            match ev {
+                DirEvent::SlotUpdated { slot, ppage } => {
+                    let v = self.maint.state().bump_traditional();
+                    self.maint.submit(MaintRequest::Update {
+                        slot,
+                        ppage,
+                        version: v,
+                    });
+                }
+                DirEvent::Doubled { slots, assignments } => {
+                    // Paper: pending updates became outdated; drop them
+                    // before enqueueing the create.
+                    self.maint.drop_pending();
+                    let v = self.maint.state().bump_traditional();
+                    self.maint.submit(MaintRequest::Create {
+                        slots,
+                        assignments,
+                        version: v,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Attempt the lookup through the shortcut directory. The outer `None`
+    /// means "not answered" (out of sync, raced, or routed away) — fall
+    /// back to the traditional directory.
+    ///
+    /// Takes `&self`: the hot path must not carry a unique borrow — the
+    /// measured cost of the out-of-line variant of this function was ~2x
+    /// on the benchmark host (the call boundary blocks hoisting of the
+    /// fan-in computation and keeps the seqlock loads from fusing with the
+    /// surrounding code). Statistics are bumped by the callers.
+    #[inline(always)]
+    fn shortcut_get(&self, key: u64, hash: u64) -> Option<Option<u64>> {
+        if !self
+            .policy
+            .use_shortcut(self.eh.avg_fanin(), true /* checked by ticket */)
+        {
+            return None;
+        }
+        let state = self.maint.state();
+        let t = state.begin_read()?;
+        debug_assert!(t.slots.is_power_of_two());
+        let g = t.slots.trailing_zeros();
+        let slot = dir_slot(hash, g);
+        // SAFETY: the published area has t.slots pages; `slot < t.slots`
+        // by construction of dir_slot; retired areas stay mapped, so even
+        // a racing rebuild leaves this readable.
+        let bucket =
+            unsafe { BucketRef::from_ptr(t.base.add(slot * PAGE_SIZE_4K)) };
+        let result = bucket.get(key);
+        if self.maint.state().still_valid(t) {
+            Some(result)
+        } else {
+            None
+        }
+    }
+}
+
+impl KvIndex for ShortcutEh {
+    fn insert(&mut self, key: u64, value: u64) {
+        self.eh.insert(key, value);
+        self.relay_events();
+    }
+
+    fn get(&mut self, key: u64) -> Option<u64> {
+        let h = mult_hash(key);
+        // Run the hot path through a shared borrow (see shortcut_get), then
+        // account.
+        if let Some(res) = (&*self).shortcut_get(key, h) {
+            self.stats.shortcut_lookups += 1;
+            return res;
+        }
+        if self.in_sync() {
+            // In sync but unanswered: the ticket raced a modification.
+            self.stats.shortcut_retries += 1;
+        }
+        self.stats.traditional_lookups += 1;
+        self.eh.get(key)
+    }
+
+    fn remove(&mut self, key: u64) -> Option<u64> {
+        // Removals mutate bucket *contents*, which both directories alias —
+        // no directory change, no maintenance traffic.
+        self.eh.remove(key)
+    }
+
+    fn len(&self) -> usize {
+        self.eh.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "Shortcut-EH"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shortcut_rewire::PoolConfig;
+    use std::time::Duration;
+
+    fn fast_cfg() -> ShortcutEhConfig {
+        ShortcutEhConfig {
+            eh: EhConfig {
+                pool: PoolConfig {
+                    initial_pages: 1,
+                    min_growth_pages: 16,
+                    view_capacity_pages: 1 << 16,
+                    ..PoolConfig::default()
+                },
+                ..EhConfig::default()
+            },
+            maint: MaintConfig {
+                poll_interval: Duration::from_millis(1),
+                ..MaintConfig::default()
+            },
+            policy: RoutePolicy::default(),
+        }
+    }
+
+    #[test]
+    fn basic_roundtrip() {
+        let mut t = ShortcutEh::new(fast_cfg());
+        t.insert(1, 10);
+        t.insert(2, 20);
+        assert_eq!(t.get(1), Some(10));
+        assert_eq!(t.get(2), Some(20));
+        assert_eq!(t.get(3), None);
+        assert_eq!(t.remove(1), Some(10));
+        assert_eq!(t.get(1), None);
+        assert!(t.maint_error().is_none());
+    }
+
+    #[test]
+    fn bulk_insert_then_synced_lookups() {
+        let mut t = ShortcutEh::new(fast_cfg());
+        let n = 20_000u64;
+        for k in 0..n {
+            t.insert(k, k + 3);
+        }
+        assert!(t.wait_sync(Duration::from_secs(10)), "never synced");
+        assert!(t.in_sync());
+        let (tv, sv) = t.versions();
+        assert_eq!(tv, sv);
+        for k in 0..n {
+            assert_eq!(t.get(k), Some(k + 3), "key {k}");
+        }
+        // With fan-in 1-ish and in-sync state, the shortcut must have
+        // served the bulk of the lookups.
+        let s = t.stats();
+        assert!(
+            s.shortcut_lookups > s.traditional_lookups,
+            "shortcut {} vs traditional {}",
+            s.shortcut_lookups,
+            s.traditional_lookups
+        );
+        assert!(t.maint_error().is_none());
+    }
+
+    #[test]
+    fn lookups_correct_even_while_out_of_sync() {
+        // Slow mapper: the shortcut lags; every lookup must still be right.
+        let mut cfg = fast_cfg();
+        cfg.maint.poll_interval = Duration::from_millis(200);
+        let mut t = ShortcutEh::new(cfg);
+        for k in 0..5_000u64 {
+            t.insert(k, k);
+            if k % 97 == 0 {
+                // Interleaved lookups during the insert storm.
+                assert_eq!(t.get(k), Some(k));
+                assert_eq!(t.get(k + 1_000_000), None);
+            }
+        }
+        for k in 0..5_000u64 {
+            assert_eq!(t.get(k), Some(k), "key {k}");
+        }
+        assert!(t.maint_error().is_none());
+    }
+
+    #[test]
+    fn shortcut_matches_traditional_for_every_key() {
+        let mut t = ShortcutEh::new(fast_cfg());
+        for k in 0..10_000u64 {
+            t.insert(k, k * 7);
+        }
+        assert!(t.wait_sync(Duration::from_secs(10)));
+        // Compare the shortcut path against the traditional path directly.
+        for k in (0..10_000u64).step_by(37) {
+            let h = mult_hash(k);
+            let via_shortcut = t.shortcut_get(k, h).expect("in sync");
+            let via_traditional = t.eh.get(k);
+            assert_eq!(via_shortcut, via_traditional, "key {k}");
+        }
+    }
+
+    #[test]
+    fn versions_advance_with_structure() {
+        let mut t = ShortcutEh::new(fast_cfg());
+        let (tv0, _) = t.versions();
+        for k in 0..1_000u64 {
+            t.insert(k, k);
+        }
+        let (tv1, _) = t.versions();
+        assert!(tv1 > tv0, "splits/doublings must bump the version");
+        assert!(t.wait_sync(Duration::from_secs(10)));
+        let (tv2, sv2) = t.versions();
+        assert_eq!(tv2, sv2);
+    }
+
+    #[test]
+    fn high_fanin_routes_traditionally() {
+        // Policy with threshold 0 → never use the shortcut.
+        let mut cfg = fast_cfg();
+        cfg.policy = RoutePolicy::with_threshold(0.0);
+        let mut t = ShortcutEh::new(cfg);
+        for k in 0..100u64 {
+            t.insert(k, k);
+        }
+        for k in 0..100u64 {
+            assert_eq!(t.get(k), Some(k));
+        }
+        let s = t.stats();
+        assert_eq!(s.shortcut_lookups, 0);
+        assert_eq!(s.traditional_lookups, 100);
+    }
+
+    #[test]
+    fn len_and_updates() {
+        let mut t = ShortcutEh::new(fast_cfg());
+        t.insert(9, 1);
+        t.insert(9, 2);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(9), Some(2));
+    }
+}

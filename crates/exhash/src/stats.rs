@@ -1,0 +1,22 @@
+//! Operational statistics common to the hashing schemes.
+
+/// Counters describing the structural work an index performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Bucket splits (EH family).
+    pub splits: u64,
+    /// Directory doublings (EH family).
+    pub doublings: u64,
+    /// Full-table rehashes (HT).
+    pub full_rehashes: u64,
+    /// Entries migrated incrementally (HTI).
+    pub migrated_entries: u64,
+    /// Overflow chain buckets allocated (CH).
+    pub chain_buckets: u64,
+    /// Lookups answered via the shortcut directory (Shortcut-EH).
+    pub shortcut_lookups: u64,
+    /// Lookups answered via the traditional directory (Shortcut-EH).
+    pub traditional_lookups: u64,
+    /// Shortcut reads that had to be discarded after the seqlock recheck.
+    pub shortcut_retries: u64,
+}

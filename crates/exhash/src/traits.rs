@@ -1,0 +1,27 @@
+//! The common key-value index interface all five schemes implement.
+
+/// A mutable key-value index over `u64 → u64`.
+///
+/// `get` takes `&mut self` because HTI performs migration work on *every*
+/// access (Redis semantics) and Shortcut-EH updates routing statistics.
+pub trait KvIndex {
+    /// Insert or update a key.
+    fn insert(&mut self, key: u64, value: u64);
+
+    /// Look up a key.
+    fn get(&mut self, key: u64) -> Option<u64>;
+
+    /// Remove a key, returning its value.
+    fn remove(&mut self, key: u64) -> Option<u64>;
+
+    /// Number of live entries.
+    fn len(&self) -> usize;
+
+    /// Whether the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Short display name ("HT", "HTI", "CH", "EH", "Shortcut-EH").
+    fn name(&self) -> &'static str;
+}

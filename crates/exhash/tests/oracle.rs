@@ -1,0 +1,168 @@
+//! Property tests: every hashing scheme against a `std::HashMap` oracle,
+//! and all five schemes against each other.
+
+use proptest::prelude::*;
+use shortcut_exhash::{
+    ChConfig, ChainedHash, EhConfig, ExtendibleHash, HashTable, HtConfig, HtiConfig,
+    IncrementalHashTable, KvIndex, ShortcutEh, ShortcutEhConfig,
+};
+use shortcut_rewire::PoolConfig;
+use std::collections::HashMap;
+use std::time::Duration;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u64),
+    Get(u64),
+    Remove(u64),
+}
+
+fn ops(max_key: u64, len: usize) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            4 => (0..max_key, any::<u64>()).prop_map(|(k, v)| Op::Insert(k, v)),
+            3 => (0..max_key).prop_map(Op::Get),
+            1 => (0..max_key).prop_map(Op::Remove),
+        ],
+        1..len,
+    )
+}
+
+fn check_against_oracle(index: &mut dyn KvIndex, ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut oracle: HashMap<u64, u64> = HashMap::new();
+    for op in ops {
+        match *op {
+            Op::Insert(k, v) => {
+                index.insert(k, v);
+                oracle.insert(k, v);
+            }
+            Op::Get(k) => {
+                prop_assert_eq!(index.get(k), oracle.get(&k).copied(), "get({}) diverged", k);
+            }
+            Op::Remove(k) => {
+                prop_assert_eq!(index.remove(k), oracle.remove(&k), "remove({}) diverged", k);
+            }
+        }
+        prop_assert_eq!(index.len(), oracle.len());
+    }
+    // Final sweep: every oracle key present, a sample of absent keys absent.
+    for (&k, &v) in &oracle {
+        prop_assert_eq!(index.get(k), Some(v), "final get({}) diverged", k);
+    }
+    Ok(())
+}
+
+fn small_eh_config() -> EhConfig {
+    EhConfig {
+        pool: PoolConfig {
+            initial_pages: 1,
+            min_growth_pages: 8,
+            view_capacity_pages: 1 << 16,
+            ..PoolConfig::default()
+        },
+        ..EhConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn ht_matches_oracle(ops in ops(512, 400)) {
+        let mut t = HashTable::new(HtConfig { initial_capacity: 16, max_load_factor: 0.35 });
+        check_against_oracle(&mut t, &ops)?;
+    }
+
+    #[test]
+    fn hti_matches_oracle(ops in ops(512, 400), batch in 1usize..16) {
+        let mut t = IncrementalHashTable::new(HtiConfig {
+            initial_capacity: 16,
+            max_load_factor: 0.35,
+            migration_batch: batch,
+        });
+        check_against_oracle(&mut t, &ops)?;
+    }
+
+    #[test]
+    fn ch_matches_oracle(ops in ops(512, 400)) {
+        let mut t = ChainedHash::new(ChConfig { table_slots: 32 });
+        check_against_oracle(&mut t, &ops)?;
+    }
+
+    #[test]
+    fn eh_matches_oracle(ops in ops(2048, 500)) {
+        let mut t = ExtendibleHash::new(small_eh_config());
+        check_against_oracle(&mut t, &ops)?;
+    }
+
+    #[test]
+    fn shortcut_eh_matches_oracle(ops in ops(2048, 400)) {
+        let mut t = ShortcutEh::new(ShortcutEhConfig {
+            eh: small_eh_config(),
+            maint: shortcut_core::MaintConfig {
+                poll_interval: Duration::from_millis(1),
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        check_against_oracle(&mut t, &ops)?;
+        prop_assert!(t.maint_error().is_none());
+    }
+
+    #[test]
+    fn all_schemes_agree(ops in ops(1024, 250)) {
+        let mut indexes: Vec<Box<dyn KvIndex>> = vec![
+            Box::new(HashTable::new(HtConfig { initial_capacity: 16, max_load_factor: 0.35 })),
+            Box::new(IncrementalHashTable::new(HtiConfig {
+                initial_capacity: 16,
+                max_load_factor: 0.35,
+                migration_batch: 8,
+            })),
+            Box::new(ChainedHash::new(ChConfig { table_slots: 64 })),
+            Box::new(ExtendibleHash::new(small_eh_config())),
+        ];
+        for op in &ops {
+            match *op {
+                Op::Insert(k, v) => indexes.iter_mut().for_each(|t| t.insert(k, v)),
+                Op::Get(k) => {
+                    let answers: Vec<_> = indexes.iter_mut().map(|t| t.get(k)).collect();
+                    for w in answers.windows(2) {
+                        prop_assert_eq!(w[0], w[1], "schemes disagree on get({})", k);
+                    }
+                }
+                Op::Remove(k) => {
+                    let answers: Vec<_> = indexes.iter_mut().map(|t| t.remove(k)).collect();
+                    for w in answers.windows(2) {
+                        prop_assert_eq!(w[0], w[1], "schemes disagree on remove({})", k);
+                    }
+                }
+            }
+            let lens: Vec<_> = indexes.iter().map(|t| t.len()).collect();
+            for w in lens.windows(2) {
+                prop_assert_eq!(w[0], w[1]);
+            }
+        }
+    }
+}
+
+#[test]
+fn duplicate_heavy_workload() {
+    // Many updates to few keys across all schemes.
+    let mut schemes: Vec<Box<dyn KvIndex>> = vec![
+        Box::new(HashTable::with_defaults()),
+        Box::new(IncrementalHashTable::with_defaults()),
+        Box::new(ChainedHash::new(ChConfig { table_slots: 256 })),
+        Box::new(ExtendibleHash::new(small_eh_config())),
+    ];
+    for t in &mut schemes {
+        for round in 0..100u64 {
+            for k in 0..10u64 {
+                t.insert(k, round * 100 + k);
+            }
+        }
+        assert_eq!(t.len(), 10, "{}", t.name());
+        for k in 0..10u64 {
+            assert_eq!(t.get(k), Some(99 * 100 + k), "{} key {k}", t.name());
+        }
+    }
+}

@@ -1,0 +1,633 @@
+//! The self-managed pool of physical pages (paper §2.1).
+//!
+//! One [`MemFile`] represents all physical memory the application wants to
+//! be able to create shortcuts to. The pool
+//!
+//! * grows the file on demand (`ftruncate`) in chunks, eagerly populating
+//!   new pages to avoid hard page faults at access time,
+//! * keeps a FIFO free-queue of page offsets for reuse,
+//! * shrinks the file when the tail pages are unused and the pool exceeds a
+//!   configurable threshold, and
+//! * maintains `v_pool`: a virtual memory area that maps **linearly** to the
+//!   entire file, so that pool pages are directly addressable and so that
+//!   the physical page of any leaf can be recovered from its `v_pool`
+//!   address by plain offset arithmetic (`offset_leaf = v_leaf − v_pool`).
+//!
+//! The linear view lives inside a fixed-size anonymous reservation, so its
+//! base address never changes across grows/shrinks — pointers derived from
+//! [`PagePool::page_ptr`] stay valid for the lifetime of the allocation.
+
+use crate::error::{Error, Result};
+use crate::memfile::MemFile;
+use crate::page::{page_size, PageIdx};
+use crate::stats::{RewireStats, StatsSnapshot};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Tuning knobs for a [`PagePool`].
+#[derive(Debug, Clone)]
+pub struct PoolConfig {
+    /// Diagnostic name of the backing memfd.
+    pub name: String,
+    /// Initial file size in pages (the paper's indexes start at one 4 KB
+    /// bucket, i.e. one page).
+    pub initial_pages: usize,
+    /// Grow by at least this many pages per `ftruncate` (amortizes syscalls).
+    pub min_growth_pages: usize,
+    /// Only shrink the file while it is larger than this many pages.
+    pub shrink_threshold_pages: usize,
+    /// Eagerly populate page-table entries for newly grown pages
+    /// (`MAP_POPULATE`), avoiding hard page faults at first access.
+    pub pretouch: bool,
+    /// Size of the fixed virtual reservation holding the linear view, in
+    /// pages. The pool can never grow beyond this. Virtual address space is
+    /// effectively free on 64-bit; the default reserves 16 GB.
+    pub view_capacity_pages: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig {
+            name: "shortcut-pool".to_string(),
+            initial_pages: 1,
+            min_growth_pages: 64,
+            shrink_threshold_pages: 1024,
+            pretouch: true,
+            view_capacity_pages: 1 << 22, // 16 GB of 4 KB pages
+        }
+    }
+}
+
+/// Allocation state of one pool page (kept for double-free detection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PageState {
+    Free,
+    Allocated,
+}
+
+/// A shareable, thread-safe handle to the pool's physical memory.
+///
+/// Rewiring from another thread (the paper's asynchronous *mapper thread*)
+/// only needs the file descriptor and byte offsets — not the allocator — so
+/// this handle is all that crosses the thread boundary.
+#[derive(Debug, Clone)]
+pub struct PoolHandle {
+    file: Arc<MemFile>,
+    stats: Arc<RewireStats>,
+}
+
+impl PoolHandle {
+    /// Raw fd of the main-memory file (for `mmap`).
+    #[inline]
+    pub fn fd(&self) -> std::os::unix::io::RawFd {
+        self.file.fd()
+    }
+
+    /// Current file length in bytes.
+    #[inline]
+    pub fn file_len(&self) -> usize {
+        self.file.len()
+    }
+
+    pub(crate) fn stats(&self) -> &RewireStats {
+        &self.stats
+    }
+}
+
+/// The pool of physical pages. See module docs.
+pub struct PagePool {
+    file: Arc<MemFile>,
+    cfg: PoolConfig,
+    /// Base of the fixed anonymous reservation that hosts the linear view.
+    view_base: *mut u8,
+    /// Pages of the file currently mapped into the view (== file length).
+    file_pages: usize,
+    /// FIFO of reusable page indices. May contain stale entries for pages
+    /// that were truncated away by a shrink; `alloc_page` skips those.
+    free_queue: VecDeque<usize>,
+    state: Vec<PageState>,
+    allocated: usize,
+    stats: Arc<RewireStats>,
+}
+
+impl std::fmt::Debug for PagePool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PagePool")
+            .field("file_pages", &self.file_pages)
+            .field("allocated", &self.allocated)
+            .field("free_queued", &self.free_queue.len())
+            .finish()
+    }
+}
+
+impl PagePool {
+    /// Create a pool with the given configuration.
+    pub fn new(cfg: PoolConfig) -> Result<Self> {
+        if cfg.view_capacity_pages == 0 {
+            return Err(Error::invalid("view_capacity_pages must be > 0"));
+        }
+        if cfg.initial_pages > cfg.view_capacity_pages {
+            return Err(Error::invalid(
+                "initial_pages exceeds view_capacity_pages",
+            ));
+        }
+        let file = Arc::new(MemFile::create(&cfg.name)?);
+        let stats = Arc::new(RewireStats::new());
+
+        // Reserve the fixed view as PROT_NONE anonymous memory: any stray
+        // access to a not-yet-grown region faults loudly.
+        let cap_bytes = cfg.view_capacity_pages * page_size();
+        // SAFETY: plain anonymous reservation; we own the returned range.
+        let view_base = unsafe {
+            libc::mmap(
+                std::ptr::null_mut(),
+                cap_bytes,
+                libc::PROT_NONE,
+                libc::MAP_PRIVATE | libc::MAP_ANONYMOUS | libc::MAP_NORESERVE,
+                -1,
+                0,
+            )
+        };
+        if view_base == libc::MAP_FAILED {
+            return Err(Error::os("mmap"));
+        }
+        stats.count_mmap(1);
+
+        let mut pool = PagePool {
+            file,
+            cfg,
+            view_base: view_base as *mut u8,
+            file_pages: 0,
+            free_queue: VecDeque::new(),
+            state: Vec::new(),
+            allocated: 0,
+            stats,
+        };
+        let initial = pool.cfg.initial_pages;
+        if initial > 0 {
+            pool.grow_to(initial)?;
+        }
+        Ok(pool)
+    }
+
+    /// Create a pool with [`PoolConfig::default`].
+    pub fn with_defaults() -> Result<Self> {
+        Self::new(PoolConfig::default())
+    }
+
+    /// Grow the file (and the linear view) to exactly `new_pages`.
+    fn grow_to(&mut self, new_pages: usize) -> Result<()> {
+        debug_assert!(new_pages > self.file_pages);
+        if new_pages > self.cfg.view_capacity_pages {
+            return Err(Error::BadResize {
+                current: self.file_pages,
+                requested: new_pages,
+            });
+        }
+        let old_pages = self.file_pages;
+        self.file.resize(new_pages * page_size())?;
+        self.stats.count_grow();
+
+        // Map the newly valid file range into the view at the same offset.
+        let delta = new_pages - old_pages;
+        let mut flags = libc::MAP_SHARED | libc::MAP_FIXED;
+        if self.cfg.pretouch {
+            flags |= libc::MAP_POPULATE;
+        }
+        // SAFETY: the target range lies inside our own reservation; MAP_FIXED
+        // replaces the PROT_NONE placeholder; offset/length are page aligned.
+        let rc = unsafe {
+            libc::mmap(
+                self.view_base.add(old_pages * page_size()) as *mut libc::c_void,
+                delta * page_size(),
+                libc::PROT_READ | libc::PROT_WRITE,
+                flags,
+                self.file.fd(),
+                (old_pages * page_size()) as libc::off_t,
+            )
+        };
+        if rc == libc::MAP_FAILED {
+            return Err(Error::os("mmap"));
+        }
+        self.stats.count_mmap(1);
+        if self.cfg.pretouch {
+            self.stats.count_populated(delta as u64);
+        }
+
+        self.file_pages = new_pages;
+        self.state.resize(new_pages, PageState::Free);
+        for i in old_pages..new_pages {
+            self.free_queue.push_back(i);
+        }
+        Ok(())
+    }
+
+    /// Allocate one (zero-initialized on first use) physical page.
+    pub fn alloc_page(&mut self) -> Result<PageIdx> {
+        loop {
+            match self.free_queue.pop_front() {
+                Some(i) if i < self.file_pages && self.state[i] == PageState::Free => {
+                    self.state[i] = PageState::Allocated;
+                    self.allocated += 1;
+                    self.stats.count_alloc(1);
+                    return Ok(PageIdx(i));
+                }
+                Some(_) => continue, // stale entry from a shrink
+                None => {
+                    let target = (self.file_pages + self.cfg.min_growth_pages)
+                        .max(self.file_pages * 2)
+                        .min(self.cfg.view_capacity_pages);
+                    if target <= self.file_pages {
+                        return Err(Error::BadResize {
+                            current: self.file_pages,
+                            requested: target + 1,
+                        });
+                    }
+                    self.grow_to(target)?;
+                }
+            }
+        }
+    }
+
+    /// Allocate `n` physically **contiguous** pages (contiguous in file
+    /// offsets). Always carves them from fresh space at the end of the file,
+    /// so the run can later be rewired with a single `mmap` call.
+    pub fn alloc_run(&mut self, n: usize) -> Result<PageIdx> {
+        if n == 0 {
+            return Err(Error::invalid("alloc_run of zero pages"));
+        }
+        let start = self.file_pages;
+        self.grow_to(start + n)?;
+        // grow_to pushed [start, start+grown) into the free queue; claim the
+        // first n and leave the rest queued.
+        for i in start..start + n {
+            debug_assert_eq!(self.state[i], PageState::Free);
+            self.state[i] = PageState::Allocated;
+        }
+        // Remove the claimed indices from the queue tail region. They were
+        // appended just now, so drain by filtering the last grown chunk.
+        self.free_queue.retain(|&i| !(start..start + n).contains(&i));
+        self.allocated += n;
+        self.stats.count_alloc(n as u64);
+        Ok(PageIdx(start))
+    }
+
+    /// Return a page to the pool. Shrinks the file if the freed page(s) sit
+    /// at the end and the pool is above the shrink threshold.
+    pub fn free_page(&mut self, page: PageIdx) -> Result<()> {
+        let i = page.0;
+        if i >= self.file_pages {
+            return Err(Error::BadPageRef {
+                page: i,
+                what: "beyond end of pool",
+            });
+        }
+        if self.state[i] != PageState::Allocated {
+            return Err(Error::BadPageRef {
+                page: i,
+                what: "double free",
+            });
+        }
+        self.state[i] = PageState::Free;
+        self.allocated -= 1;
+        self.stats.count_free(1);
+        self.free_queue.push_back(i);
+
+        // Paper §2.1: if the unused page marks the end of the file and the
+        // pool is above the threshold, simply shrink the file. Truncated
+        // pages leave stale queue entries behind; `alloc_page` skips them
+        // (and duplicates are harmless because popping requires the page to
+        // still be in the Free state).
+        if self.file_pages > self.cfg.shrink_threshold_pages
+            && self.state[self.file_pages - 1] == PageState::Free
+        {
+            self.shrink_tail()?;
+        }
+        Ok(())
+    }
+
+    /// Truncate away all trailing free pages (but never below the threshold).
+    fn shrink_tail(&mut self) -> Result<()> {
+        let mut new_pages = self.file_pages;
+        while new_pages > self.cfg.shrink_threshold_pages
+            && new_pages > 0
+            && self.state[new_pages - 1] == PageState::Free
+        {
+            new_pages -= 1;
+        }
+        if new_pages == self.file_pages {
+            return Ok(());
+        }
+        // Return the vacated view range to PROT_NONE anonymous memory so
+        // stray accesses fault instead of SIGBUS-ing on a shrunk file.
+        let delta = self.file_pages - new_pages;
+        // SAFETY: range is inside our reservation; MAP_FIXED replacement.
+        let rc = unsafe {
+            libc::mmap(
+                self.view_base.add(new_pages * page_size()) as *mut libc::c_void,
+                delta * page_size(),
+                libc::PROT_NONE,
+                libc::MAP_PRIVATE | libc::MAP_ANONYMOUS | libc::MAP_FIXED | libc::MAP_NORESERVE,
+                -1,
+                0,
+            )
+        };
+        if rc == libc::MAP_FAILED {
+            return Err(Error::os("mmap"));
+        }
+        self.stats.count_mmap(1);
+        self.file.resize(new_pages * page_size())?;
+        self.stats.count_shrink();
+        self.file_pages = new_pages;
+        self.state.truncate(new_pages);
+        // Stale queue entries >= new_pages are skipped lazily by alloc_page.
+        Ok(())
+    }
+
+    /// Best-effort release of the physical memory behind all currently
+    /// free pages (hole punching). The pages stay allocatable — they
+    /// re-materialize as zero pages on next use. Returns the number of
+    /// pages whose memory was reclaimed, or 0 if the host does not support
+    /// `FALLOC_FL_PUNCH_HOLE` on memfds.
+    pub fn reclaim_free_pages(&mut self) -> usize {
+        let mut reclaimed = 0;
+        for i in 0..self.file_pages {
+            if self.state[i] == PageState::Free
+                && self
+                    .file
+                    .punch_hole(i * page_size(), page_size())
+                    .is_ok()
+            {
+                reclaimed += 1;
+            }
+        }
+        reclaimed
+    }
+
+    /// Pointer to the start of pool page `page` in the linear view.
+    ///
+    /// The pointer stays valid until the page is freed (the view base is a
+    /// fixed reservation). Callers must uphold the aliasing rule from the
+    /// crate docs when the same page is also rewired into a [`crate::VirtArea`].
+    #[inline]
+    pub fn page_ptr(&self, page: PageIdx) -> *mut u8 {
+        assert!(page.0 < self.file_pages, "page {page} out of range");
+        // SAFETY: in-bounds offset inside the mapped view.
+        unsafe { self.view_base.add(page.0 * page_size()) }
+    }
+
+    /// Base address of the linear view (`v_pool` in the paper).
+    #[inline]
+    pub fn view_base(&self) -> *mut u8 {
+        self.view_base
+    }
+
+    /// Recover the pool page index from a pointer into the linear view
+    /// (the paper's `offset_leaf = v_leaf − v_pool` step).
+    pub fn page_of_ptr(&self, ptr: *const u8) -> Result<PageIdx> {
+        let base = self.view_base as usize;
+        let p = ptr as usize;
+        if p < base || p >= base + self.file_pages * page_size() {
+            return Err(Error::invalid("pointer not inside the pool view"));
+        }
+        Ok(PageIdx((p - base) / page_size()))
+    }
+
+    /// Number of pages currently backed by the file.
+    #[inline]
+    pub fn file_pages(&self) -> usize {
+        self.file_pages
+    }
+
+    /// Number of pages currently allocated out.
+    #[inline]
+    pub fn allocated_pages(&self) -> usize {
+        self.allocated
+    }
+
+    /// Shareable handle for rewiring from other threads.
+    pub fn handle(&self) -> PoolHandle {
+        PoolHandle {
+            file: Arc::clone(&self.file),
+            stats: Arc::clone(&self.stats),
+        }
+    }
+
+    /// Snapshot of the pool's operation counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+}
+
+impl Drop for PagePool {
+    fn drop(&mut self) {
+        self.stats.count_munmap(1);
+        // SAFETY: unmapping our own reservation exactly once.
+        unsafe {
+            libc::munmap(
+                self.view_base as *mut libc::c_void,
+                self.cfg.view_capacity_pages * page_size(),
+            );
+        }
+    }
+}
+
+// SAFETY: the pool owns its mapping; moving it between threads is fine.
+unsafe impl Send for PagePool {}
+// SAFETY: no interior mutability — allocation, freeing and resizing all
+// take `&mut self`; the `&self` surface (page_ptr, view_base, page_of_ptr,
+// counters) only reads plain fields. Cross-thread *rewiring* still goes
+// through PoolHandle; shared references permit concurrent reads only.
+unsafe impl Sync for PagePool {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_pool() -> PagePool {
+        PagePool::new(PoolConfig {
+            initial_pages: 2,
+            min_growth_pages: 2,
+            shrink_threshold_pages: 4,
+            view_capacity_pages: 64,
+            ..PoolConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn alloc_grows_on_demand() {
+        let mut p = small_pool();
+        let mut pages = Vec::new();
+        for _ in 0..10 {
+            pages.push(p.alloc_page().unwrap());
+        }
+        assert_eq!(p.allocated_pages(), 10);
+        assert!(p.file_pages() >= 10);
+        // All distinct.
+        let mut sorted: Vec<_> = pages.iter().map(|p| p.0).collect();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+    }
+
+    #[test]
+    fn freed_pages_are_reused() {
+        let mut p = small_pool();
+        let a = p.alloc_page().unwrap();
+        let b = p.alloc_page().unwrap();
+        p.free_page(a).unwrap();
+        p.free_page(b).unwrap();
+        let c = p.alloc_page().unwrap();
+        let d = p.alloc_page().unwrap();
+        assert!([a, b].contains(&c));
+        assert!([a, b].contains(&d));
+        assert_ne!(c, d);
+    }
+
+    #[test]
+    fn double_free_detected() {
+        let mut p = small_pool();
+        let a = p.alloc_page().unwrap();
+        p.free_page(a).unwrap();
+        let err = p.free_page(a).unwrap_err();
+        assert!(matches!(err, Error::BadPageRef { what: "double free", .. }));
+    }
+
+    #[test]
+    fn free_out_of_range_detected() {
+        let mut p = small_pool();
+        let err = p.free_page(PageIdx(9999)).unwrap_err();
+        assert!(matches!(err, Error::BadPageRef { .. }));
+    }
+
+    #[test]
+    fn writes_through_view_persist() {
+        let mut p = small_pool();
+        let a = p.alloc_page().unwrap();
+        unsafe {
+            *(p.page_ptr(a) as *mut u64) = 42;
+        }
+        // Force growth; view base must not move.
+        let base_before = p.view_base();
+        for _ in 0..20 {
+            p.alloc_page().unwrap();
+        }
+        assert_eq!(p.view_base(), base_before);
+        unsafe {
+            assert_eq!(*(p.page_ptr(a) as *const u64), 42);
+        }
+    }
+
+    #[test]
+    fn new_pages_are_zeroed() {
+        let mut p = small_pool();
+        let a = p.alloc_page().unwrap();
+        let ptr = p.page_ptr(a);
+        for i in 0..page_size() {
+            unsafe {
+                assert_eq!(*ptr.add(i), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn shrink_when_tail_freed() {
+        let mut p = small_pool(); // threshold 4
+        let pages: Vec<_> = (0..12).map(|_| p.alloc_page().unwrap()).collect();
+        let before = p.file_pages();
+        assert!(before >= 12);
+        // Free the tail pages in descending order; pool should shrink to
+        // the threshold.
+        for pg in pages.iter().rev() {
+            p.free_page(*pg).unwrap();
+        }
+        assert_eq!(p.file_pages(), 4);
+        assert!(p.stats().pool_shrinks > 0);
+        // And allocation still works afterwards.
+        let x = p.alloc_page().unwrap();
+        assert!(x.0 < p.file_pages());
+    }
+
+    #[test]
+    fn alloc_run_is_contiguous() {
+        let mut p = small_pool();
+        let start = p.alloc_run(5).unwrap();
+        unsafe {
+            for i in 0..5 {
+                *(p.page_ptr(PageIdx(start.0 + i)) as *mut u64) = i as u64;
+            }
+            for i in 0..5 {
+                assert_eq!(*(p.page_ptr(PageIdx(start.0 + i)) as *const u64), i as u64);
+            }
+        }
+        // Run pages are marked allocated: freeing them works exactly once.
+        for i in 0..5 {
+            p.free_page(PageIdx(start.0 + i)).unwrap();
+        }
+    }
+
+    #[test]
+    fn page_of_ptr_roundtrip() {
+        let mut p = small_pool();
+        let a = p.alloc_page().unwrap();
+        let ptr = p.page_ptr(a);
+        assert_eq!(p.page_of_ptr(ptr).unwrap(), a);
+        assert_eq!(p.page_of_ptr(unsafe { ptr.add(100) }).unwrap(), a);
+        let outside = 0x1000 as *const u8;
+        assert!(p.page_of_ptr(outside).is_err());
+    }
+
+    #[test]
+    fn capacity_exhaustion_reports_bad_resize() {
+        let mut p = PagePool::new(PoolConfig {
+            initial_pages: 1,
+            min_growth_pages: 1,
+            view_capacity_pages: 4,
+            ..PoolConfig::default()
+        })
+        .unwrap();
+        let mut got = 0;
+        loop {
+            match p.alloc_page() {
+                Ok(_) => got += 1,
+                Err(Error::BadResize { .. }) => break,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+            assert!(got <= 4);
+        }
+        assert_eq!(got, 4);
+    }
+
+    #[test]
+    fn reclaim_free_pages_keeps_allocator_sound() {
+        let mut p = small_pool();
+        let keep = p.alloc_page().unwrap();
+        let toss: Vec<_> = (0..6).map(|_| p.alloc_page().unwrap()).collect();
+        unsafe { *(p.page_ptr(keep) as *mut u64) = 42; }
+        for pg in toss {
+            p.free_page(pg).unwrap();
+        }
+        // Works (count > 0) or degrades (0) depending on host support;
+        // either way the allocator and live data stay intact.
+        let _ = p.reclaim_free_pages();
+        unsafe { assert_eq!(*(p.page_ptr(keep) as *const u64), 42); }
+        let fresh = p.alloc_page().unwrap();
+        let ptr = p.page_ptr(fresh);
+        for i in 0..page_size() {
+            unsafe { assert_eq!(*ptr.add(i), 0, "reclaimed page not zero at {i}"); }
+        }
+    }
+
+    #[test]
+    fn handle_reports_file_len() {
+        let mut p = small_pool();
+        let h = p.handle();
+        let before = h.file_len();
+        for _ in 0..10 {
+            p.alloc_page().unwrap();
+        }
+        assert!(h.file_len() >= before);
+        assert_eq!(h.file_len(), p.file_pages() * page_size());
+    }
+}

@@ -1,0 +1,496 @@
+//! Virtual memory areas and the rewiring operation itself (paper §2.1).
+//!
+//! A [`VirtArea`] is the *shortcut inner node's* memory: a consecutive
+//! virtual area of `k` pages reserved with `mmap(MAP_PRIVATE | MAP_ANON)`.
+//! Each page (= slot) can then be **rewired** to a physical pool page with
+//! `mmap(MAP_SHARED | MAP_FIXED, fd, offset)`, replacing the page-table
+//! entry for that single virtual page. Reads/writes through the page then
+//! go straight to the leaf's physical memory — one hardware-resolved
+//! indirection instead of three.
+
+use crate::error::{Error, Result};
+use crate::page::{page_size, PageIdx};
+use crate::pool::PoolHandle;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Current mapping of one page of a [`VirtArea`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mapping {
+    /// Reserved but not rewired: backed by (lazily allocated) anonymous
+    /// memory. Reading yields zeros; this is the `null`-pointer analogue.
+    Anon,
+    /// Rewired to the pool page with this index.
+    Pool(PageIdx),
+}
+
+/// A consecutive virtual memory area whose pages can be individually
+/// rewired to pool pages. See module docs.
+pub struct VirtArea {
+    base: *mut u8,
+    pages: usize,
+    /// Shadow of the kernel's view of each page, used for introspection,
+    /// tests, and coalescing decisions.
+    map: Vec<Mapping>,
+    mmap_calls: AtomicU64,
+    populate_default: bool,
+}
+
+impl std::fmt::Debug for VirtArea {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VirtArea")
+            .field("base", &self.base)
+            .field("pages", &self.pages)
+            .finish()
+    }
+}
+
+impl VirtArea {
+    /// Reserve a consecutive virtual area of `pages` pages (step (1) of the
+    /// paper's construction). This is a mere reservation: no physical memory
+    /// is committed and the page table is untouched.
+    pub fn reserve(pages: usize) -> Result<Self> {
+        if pages == 0 {
+            return Err(Error::invalid("cannot reserve an empty area"));
+        }
+        // SAFETY: fresh anonymous mapping, kernel-chosen address.
+        let base = unsafe {
+            libc::mmap(
+                std::ptr::null_mut(),
+                pages * page_size(),
+                libc::PROT_READ | libc::PROT_WRITE,
+                libc::MAP_PRIVATE | libc::MAP_ANONYMOUS | libc::MAP_NORESERVE,
+                -1,
+                0,
+            )
+        };
+        if base == libc::MAP_FAILED {
+            return Err(Error::os("mmap"));
+        }
+        Ok(VirtArea {
+            base: base as *mut u8,
+            pages,
+            map: vec![Mapping::Anon; pages],
+            mmap_calls: AtomicU64::new(1),
+            populate_default: false,
+        })
+    }
+
+    /// Reserve an area that eagerly populates page-table entries on every
+    /// subsequent rewiring (the paper's `MAP_POPULATE` variant).
+    pub fn reserve_populated(pages: usize) -> Result<Self> {
+        let mut a = Self::reserve(pages)?;
+        a.populate_default = true;
+        Ok(a)
+    }
+
+    /// Number of pages (slots) in the area.
+    #[inline]
+    pub fn pages(&self) -> usize {
+        self.pages
+    }
+
+    /// Base address of the area.
+    #[inline]
+    pub fn base(&self) -> *mut u8 {
+        self.base
+    }
+
+    /// Pointer to the start of page `i`.
+    #[inline]
+    pub fn page_ptr(&self, i: usize) -> *mut u8 {
+        assert!(i < self.pages, "page {i} out of range ({})", self.pages);
+        // SAFETY: in-bounds offset within the reservation.
+        unsafe { self.base.add(i * page_size()) }
+    }
+
+    /// The current mapping of page `i` (shadow state).
+    #[inline]
+    pub fn mapping(&self, i: usize) -> Mapping {
+        self.map[i]
+    }
+
+    /// Number of `mmap` calls this area has issued so far (reservation,
+    /// rewirings, resets). The paper's §3.1 "beware" is about exactly this
+    /// number, so it is tracked per area.
+    pub fn mmap_calls(&self) -> u64 {
+        self.mmap_calls.load(Ordering::Relaxed)
+    }
+
+    /// Rewire page `vpage` to pool page `ppage` (step (2) of the paper's
+    /// construction): replaces the existing mapping via
+    /// `mmap(MAP_SHARED | MAP_FIXED)`. With `populate`, the new page-table
+    /// entry is installed eagerly instead of on first access.
+    pub fn rewire(&mut self, vpage: usize, pool: &PoolHandle, ppage: PageIdx) -> Result<()> {
+        self.rewire_run(vpage, pool, ppage, 1)
+    }
+
+    /// Rewire `n` consecutive virtual pages `[vpage, vpage+n)` to `n`
+    /// consecutive pool pages `[ppage, ppage+n)` with a **single** `mmap`
+    /// call (the paper's coalescing optimization for neighboring slots that
+    /// map to neighboring physical pages).
+    pub fn rewire_run(
+        &mut self,
+        vpage: usize,
+        pool: &PoolHandle,
+        ppage: PageIdx,
+        n: usize,
+    ) -> Result<()> {
+        if n == 0 {
+            return Err(Error::invalid("rewire_run of zero pages"));
+        }
+        if vpage + n > self.pages {
+            return Err(Error::invalid(format!(
+                "rewire range {vpage}..{} exceeds area of {} pages",
+                vpage + n,
+                self.pages
+            )));
+        }
+        let byte_off = ppage.byte_offset();
+        if byte_off + n * page_size() > pool.file_len() {
+            return Err(Error::invalid(format!(
+                "pool range {ppage}+{n} beyond end of pool file"
+            )));
+        }
+        let mut flags = libc::MAP_SHARED | libc::MAP_FIXED;
+        if self.populate_default {
+            flags |= libc::MAP_POPULATE;
+        }
+        // SAFETY: target range is inside our reservation; the pool range is
+        // inside the file (checked above); MAP_FIXED replaces our own pages.
+        let rc = unsafe {
+            libc::mmap(
+                self.page_ptr(vpage) as *mut libc::c_void,
+                n * page_size(),
+                libc::PROT_READ | libc::PROT_WRITE,
+                flags,
+                pool.fd(),
+                byte_off as libc::off_t,
+            )
+        };
+        if rc == libc::MAP_FAILED {
+            return Err(Error::os("mmap"));
+        }
+        self.mmap_calls.fetch_add(1, Ordering::Relaxed);
+        pool.stats().count_mmap(1);
+        pool.stats().count_rewired(n as u64);
+        if self.populate_default {
+            pool.stats().count_populated(n as u64);
+        }
+        for i in 0..n {
+            self.map[vpage + i] = Mapping::Pool(PageIdx(ppage.0 + i));
+        }
+        Ok(())
+    }
+
+    /// Apply a batch of `(virtual page, pool page)` assignments, coalescing
+    /// maximal runs where both sides are consecutive into single `mmap`
+    /// calls. Returns the number of `mmap` calls issued (ablation A1).
+    ///
+    /// Assignments must be sorted by virtual page and free of duplicates;
+    /// this is the natural order in which an index emits directory updates.
+    pub fn rewire_batch(
+        &mut self,
+        pool: &PoolHandle,
+        assignments: &[(usize, PageIdx)],
+    ) -> Result<u64> {
+        let mut calls = 0u64;
+        let mut i = 0;
+        while i < assignments.len() {
+            let (v0, p0) = assignments[i];
+            let mut run = 1;
+            while i + run < assignments.len() {
+                let (v, p) = assignments[i + run];
+                if v == v0 + run && p.0 == p0.0 + run {
+                    run += 1;
+                } else {
+                    break;
+                }
+            }
+            self.rewire_run(v0, pool, p0, run)?;
+            calls += 1;
+            i += run;
+        }
+        Ok(calls)
+    }
+
+    /// Reset page `vpage` back to the reserved (anonymous) state — the
+    /// analogue of storing a `null` pointer in a traditional slot.
+    pub fn reset(&mut self, vpage: usize) -> Result<()> {
+        if vpage >= self.pages {
+            return Err(Error::invalid("reset page out of range"));
+        }
+        // SAFETY: replacing a page inside our reservation with anon memory.
+        let rc = unsafe {
+            libc::mmap(
+                self.page_ptr(vpage) as *mut libc::c_void,
+                page_size(),
+                libc::PROT_READ | libc::PROT_WRITE,
+                libc::MAP_PRIVATE | libc::MAP_ANONYMOUS | libc::MAP_FIXED | libc::MAP_NORESERVE,
+                -1,
+                0,
+            )
+        };
+        if rc == libc::MAP_FAILED {
+            return Err(Error::os("mmap"));
+        }
+        self.mmap_calls.fetch_add(1, Ordering::Relaxed);
+        self.map[vpage] = Mapping::Anon;
+        Ok(())
+    }
+
+    /// Touch every rewired page (one read per page) to force page-table
+    /// population, as the paper does between phases (3) and (4) of Table 1.
+    /// Returns the number of pages touched.
+    pub fn populate_by_touch(&self) -> usize {
+        let mut touched = 0;
+        for (i, m) in self.map.iter().enumerate() {
+            if matches!(m, Mapping::Pool(_)) {
+                // SAFETY: in-bounds read of a mapped page. Volatile so the
+                // read is not optimized away.
+                unsafe {
+                    std::ptr::read_volatile(self.page_ptr(i));
+                }
+                touched += 1;
+            }
+        }
+        touched
+    }
+}
+
+/// Rewire a single page at an arbitrary virtual address to `byte_offset` of
+/// the file behind `fd`, bypassing [`VirtArea`] bookkeeping.
+///
+/// This exists for experiments that remap pages of a shared region from a
+/// *different thread* than the region's owner (the paper's TLB-shootdown
+/// experiment, §3.3), where `&mut VirtArea` is unavailable by design.
+///
+/// # Safety
+///
+/// `addr` must be page aligned and inside a mapping the caller owns;
+/// `byte_offset` must be page aligned and within the file; concurrent
+/// readers of the page must tolerate either the old or the new contents.
+pub unsafe fn rewire_page_raw(
+    addr: *mut u8,
+    fd: std::os::unix::io::RawFd,
+    byte_offset: usize,
+    populate: bool,
+) -> Result<()> {
+    let mut flags = libc::MAP_SHARED | libc::MAP_FIXED;
+    if populate {
+        flags |= libc::MAP_POPULATE;
+    }
+    let rc = libc::mmap(
+        addr as *mut libc::c_void,
+        page_size(),
+        libc::PROT_READ | libc::PROT_WRITE,
+        flags,
+        fd,
+        byte_offset as libc::off_t,
+    );
+    if rc == libc::MAP_FAILED {
+        return Err(Error::os("mmap"));
+    }
+    Ok(())
+}
+
+impl Drop for VirtArea {
+    fn drop(&mut self) {
+        // SAFETY: unmapping our own reservation exactly once; rewired pages
+        // merely drop their reference to the pool file's pages.
+        unsafe {
+            libc::munmap(self.base as *mut libc::c_void, self.pages * page_size());
+        }
+    }
+}
+
+// SAFETY: the area owns its mapping exclusively; sending it to another
+// thread transfers that ownership.
+unsafe impl Send for VirtArea {}
+// SAFETY: all remapping takes `&mut self`; the `&self` surface (page_ptr,
+// mapping, populate_by_touch, mmap_calls) reads plain fields, an atomic,
+// or mapped memory. Shared references therefore permit only reads.
+unsafe impl Sync for VirtArea {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::{PagePool, PoolConfig};
+
+    fn pool() -> PagePool {
+        PagePool::new(PoolConfig {
+            initial_pages: 8,
+            min_growth_pages: 8,
+            view_capacity_pages: 1024,
+            ..PoolConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn reserve_reads_zero() {
+        let a = VirtArea::reserve(4).unwrap();
+        for i in 0..4 {
+            assert_eq!(a.mapping(i), Mapping::Anon);
+            unsafe {
+                assert_eq!(*a.page_ptr(i), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn rewire_aliases_pool_page() {
+        let mut p = pool();
+        let h = p.handle();
+        let leaf = p.alloc_page().unwrap();
+        unsafe {
+            *(p.page_ptr(leaf) as *mut u64) = 0xfeed;
+        }
+        let mut a = VirtArea::reserve(4).unwrap();
+        a.rewire(2, &h, leaf).unwrap();
+        assert_eq!(a.mapping(2), Mapping::Pool(leaf));
+        unsafe {
+            // Read through the shortcut sees the leaf's data…
+            assert_eq!(*(a.page_ptr(2) as *const u64), 0xfeed);
+            // …and writes through the shortcut are visible in the pool view.
+            *(a.page_ptr(2) as *mut u64) = 0xbeef;
+            assert_eq!(*(p.page_ptr(leaf) as *const u64), 0xbeef);
+        }
+    }
+
+    #[test]
+    fn two_slots_can_share_one_leaf() {
+        // The extendible-hashing fan-in situation: multiple directory slots
+        // reference the same bucket.
+        let mut p = pool();
+        let h = p.handle();
+        let leaf = p.alloc_page().unwrap();
+        let mut a = VirtArea::reserve(2).unwrap();
+        a.rewire(0, &h, leaf).unwrap();
+        a.rewire(1, &h, leaf).unwrap();
+        unsafe {
+            *(a.page_ptr(0) as *mut u64) = 7;
+            assert_eq!(*(a.page_ptr(1) as *const u64), 7);
+        }
+    }
+
+    #[test]
+    fn rewire_replaces_previous_mapping() {
+        let mut p = pool();
+        let h = p.handle();
+        let l1 = p.alloc_page().unwrap();
+        let l2 = p.alloc_page().unwrap();
+        unsafe {
+            *(p.page_ptr(l1) as *mut u64) = 1;
+            *(p.page_ptr(l2) as *mut u64) = 2;
+        }
+        let mut a = VirtArea::reserve(1).unwrap();
+        a.rewire(0, &h, l1).unwrap();
+        unsafe {
+            assert_eq!(*(a.page_ptr(0) as *const u64), 1);
+        }
+        a.rewire(0, &h, l2).unwrap();
+        unsafe {
+            assert_eq!(*(a.page_ptr(0) as *const u64), 2);
+        }
+        // The old leaf is untouched by the remap.
+        unsafe {
+            assert_eq!(*(p.page_ptr(l1) as *const u64), 1);
+        }
+    }
+
+    #[test]
+    fn reset_returns_to_anon() {
+        let mut p = pool();
+        let h = p.handle();
+        let leaf = p.alloc_page().unwrap();
+        unsafe {
+            *(p.page_ptr(leaf) as *mut u64) = 99;
+        }
+        let mut a = VirtArea::reserve(1).unwrap();
+        a.rewire(0, &h, leaf).unwrap();
+        a.reset(0).unwrap();
+        assert_eq!(a.mapping(0), Mapping::Anon);
+        unsafe {
+            assert_eq!(*(a.page_ptr(0) as *const u64), 0);
+            // Leaf data survives.
+            assert_eq!(*(p.page_ptr(leaf) as *const u64), 99);
+        }
+    }
+
+    #[test]
+    fn rewire_run_maps_contiguously() {
+        let mut p = pool();
+        let h = p.handle();
+        let start = p.alloc_run(4).unwrap();
+        unsafe {
+            for i in 0..4 {
+                *(p.page_ptr(PageIdx(start.0 + i)) as *mut u64) = 100 + i as u64;
+            }
+        }
+        let mut a = VirtArea::reserve(4).unwrap();
+        let calls_before = a.mmap_calls();
+        a.rewire_run(0, &h, start, 4).unwrap();
+        assert_eq!(a.mmap_calls() - calls_before, 1);
+        unsafe {
+            for i in 0..4 {
+                assert_eq!(*(a.page_ptr(i) as *const u64), 100 + i as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn rewire_batch_coalesces_runs() {
+        let mut p = pool();
+        let h = p.handle();
+        let run = p.alloc_run(4).unwrap(); // contiguous p0..p3
+        let lone = p.alloc_page().unwrap();
+        let mut a = VirtArea::reserve(8).unwrap();
+        // slots 0..4 -> contiguous run; slot 6 -> lone page.
+        let assignments = [
+            (0, run),
+            (1, PageIdx(run.0 + 1)),
+            (2, PageIdx(run.0 + 2)),
+            (3, PageIdx(run.0 + 3)),
+            (6, lone),
+        ];
+        let calls = a.rewire_batch(&h, &assignments).unwrap();
+        assert_eq!(calls, 2);
+        assert_eq!(a.mapping(3), Mapping::Pool(PageIdx(run.0 + 3)));
+        assert_eq!(a.mapping(6), Mapping::Pool(lone));
+        assert_eq!(a.mapping(5), Mapping::Anon);
+    }
+
+    #[test]
+    fn rewire_out_of_range_rejected() {
+        let mut p = pool();
+        let h = p.handle();
+        let leaf = p.alloc_page().unwrap();
+        let mut a = VirtArea::reserve(2).unwrap();
+        assert!(a.rewire(2, &h, leaf).is_err());
+        assert!(a.rewire_run(1, &h, leaf, 2).is_err());
+    }
+
+    #[test]
+    fn rewire_beyond_pool_rejected() {
+        let p = pool();
+        let h = p.handle();
+        let mut a = VirtArea::reserve(1).unwrap();
+        let beyond = PageIdx(p.file_pages() + 100);
+        assert!(a.rewire(0, &h, beyond).is_err());
+    }
+
+    #[test]
+    fn populated_reserve_counts_touches() {
+        let mut p = pool();
+        let h = p.handle();
+        let l = p.alloc_page().unwrap();
+        let mut a = VirtArea::reserve_populated(2).unwrap();
+        a.rewire(0, &h, l).unwrap();
+        assert_eq!(a.populate_by_touch(), 1);
+    }
+
+    #[test]
+    fn empty_reserve_rejected() {
+        assert!(VirtArea::reserve(0).is_err());
+    }
+}

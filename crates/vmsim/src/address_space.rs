@@ -1,0 +1,388 @@
+//! Simulated `mmap` semantics over the model page table.
+//!
+//! Reproduces the behaviours the paper's §2.1 and §3 rely on:
+//!
+//! * `mmap(MAP_PRIVATE | MAP_ANON)` — reserve a virtual area; physical
+//!   frames and PTEs appear lazily on first touch (soft fault).
+//! * `mmap(MAP_SHARED | MAP_FIXED, file, offset)` — **rewire** pages of an
+//!   existing area to main-memory-file pages. The PTE of each remapped
+//!   virtual page is *dropped*; the next access takes a page fault that
+//!   installs the new PTE — unless `populate` (the `MAP_POPULATE` flag)
+//!   installs it eagerly during the call.
+//! * `munmap` — drop the area, its PTEs, and any lazily allocated frames.
+
+use crate::addr::{VirtAddr, Vpn, PAGE_SIZE};
+use crate::memfile::{FrameAllocator, SimMemFile};
+use crate::page_table::PageTable;
+use std::collections::HashMap;
+
+/// Identifier of a simulated main-memory file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FileId(pub usize);
+
+/// Identifier of a mapped region (diagnostic only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegionId(pub usize);
+
+/// What backs one mapped virtual page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapKind {
+    /// Anonymous; the frame is allocated on first touch.
+    Anon,
+    /// Shared mapping of the given page of a main-memory file.
+    File {
+        /// Backing file.
+        file: FileId,
+        /// Page offset within the file.
+        page: usize,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Backing {
+    kind: MapKind,
+    /// Frame lazily allocated for an Anon page (None until first touch).
+    anon_frame: Option<crate::addr::Pfn>,
+}
+
+/// Errors from simulated memory operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemError {
+    /// Access to an unmapped virtual page (a segfault in real life).
+    Unmapped(Vpn),
+    /// File mapping points beyond the end of the file (SIGBUS).
+    BeyondEof(Vpn),
+    /// Bad file id.
+    NoSuchFile(FileId),
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemError::Unmapped(v) => write!(f, "segfault: vpn {v:?} not mapped"),
+            MemError::BeyondEof(v) => write!(f, "sigbus: vpn {v:?} maps beyond EOF"),
+            MemError::NoSuchFile(id) => write!(f, "no such mem-file {id:?}"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+/// A process address space: page table + region/backing bookkeeping.
+pub struct AddressSpace {
+    page_table: PageTable,
+    frames: FrameAllocator,
+    files: Vec<SimMemFile>,
+    backing: HashMap<u64, Backing>,
+    next_map_addr: u64,
+    /// mmap invocations (reservations, rewirings).
+    pub mmap_calls: u64,
+    /// soft page faults taken.
+    pub soft_faults: u64,
+}
+
+impl AddressSpace {
+    /// Fresh, empty address space.
+    pub fn new() -> Self {
+        AddressSpace {
+            page_table: PageTable::new(),
+            frames: FrameAllocator::new(),
+            files: Vec::new(),
+            backing: HashMap::new(),
+            next_map_addr: 0x7f00_0000_0000, // mimic Linux mmap base
+            mmap_calls: 0,
+            soft_faults: 0,
+        }
+    }
+
+    /// Create an empty main-memory file (`memfd_create`).
+    pub fn create_file(&mut self) -> FileId {
+        self.files.push(SimMemFile::new());
+        FileId(self.files.len() - 1)
+    }
+
+    /// Resize a file (`ftruncate`), allocating/freeing frames.
+    pub fn resize_file(&mut self, id: FileId, pages: usize) -> Result<(), MemError> {
+        let f = self.files.get_mut(id.0).ok_or(MemError::NoSuchFile(id))?;
+        f.resize(pages, &mut self.frames);
+        Ok(())
+    }
+
+    /// Length of a file in pages.
+    pub fn file_len(&self, id: FileId) -> Result<usize, MemError> {
+        Ok(self
+            .files
+            .get(id.0)
+            .ok_or(MemError::NoSuchFile(id))?
+            .len_pages())
+    }
+
+    /// Reserve `pages` of anonymous virtual memory at a kernel-chosen
+    /// address. No PTEs are installed; the reservation is free, as the
+    /// paper's Table 1 "Allocate" row shows.
+    pub fn mmap_anon(&mut self, pages: usize) -> VirtAddr {
+        self.mmap_calls += 1;
+        let base = self.next_map_addr;
+        // Keep a guard gap between mappings, like real mmap tends to.
+        self.next_map_addr += (pages as u64 + 16) * PAGE_SIZE;
+        let base_vpn = VirtAddr(base).vpn();
+        for i in 0..pages {
+            self.backing.insert(
+                base_vpn.add(i as u64).0,
+                Backing {
+                    kind: MapKind::Anon,
+                    anon_frame: None,
+                },
+            );
+        }
+        VirtAddr(base)
+    }
+
+    /// Rewire `[addr, addr + pages)` to file pages `[file_page, …)` —
+    /// `mmap(MAP_SHARED | MAP_FIXED)`. Existing PTEs are dropped; with
+    /// `populate`, fresh PTEs are installed eagerly. Returns the VPNs whose
+    /// translation changed (input to the TLB-shootdown protocol).
+    pub fn mmap_file_fixed(
+        &mut self,
+        addr: VirtAddr,
+        pages: usize,
+        file: FileId,
+        file_page: usize,
+        populate: bool,
+    ) -> Result<Vec<Vpn>, MemError> {
+        if self.files.get(file.0).is_none() {
+            return Err(MemError::NoSuchFile(file));
+        }
+        self.mmap_calls += 1;
+        let base_vpn = addr.vpn();
+        let mut changed = Vec::with_capacity(pages);
+        for i in 0..pages {
+            let vpn = base_vpn.add(i as u64);
+            // Free a lazily allocated anon frame being replaced.
+            if let Some(old) = self.backing.get(&vpn.0) {
+                if let Some(f) = old.anon_frame {
+                    self.frames.free(f);
+                }
+            }
+            self.backing.insert(
+                vpn.0,
+                Backing {
+                    kind: MapKind::File {
+                        file,
+                        page: file_page + i,
+                    },
+                    anon_frame: None,
+                },
+            );
+            // Paper §2.1 "Details": rewiring drops the PTE.
+            self.page_table.unmap(vpn);
+            changed.push(vpn);
+            if populate {
+                self.populate(vpn)?;
+            }
+        }
+        Ok(changed)
+    }
+
+    /// Unmap `pages` pages starting at `addr`, dropping PTEs and backing.
+    pub fn munmap(&mut self, addr: VirtAddr, pages: usize) {
+        let base_vpn = addr.vpn();
+        for i in 0..pages {
+            let vpn = base_vpn.add(i as u64);
+            if let Some(b) = self.backing.remove(&vpn.0) {
+                if let Some(f) = b.anon_frame {
+                    self.frames.free(f);
+                }
+            }
+            self.page_table.unmap(vpn);
+        }
+    }
+
+    /// Install the PTE for `vpn` right now (MAP_POPULATE / prefault),
+    /// without charging a soft fault.
+    pub fn populate(&mut self, vpn: Vpn) -> Result<(), MemError> {
+        let pfn = self.resolve_backing(vpn)?;
+        self.page_table.map(vpn, pfn);
+        Ok(())
+    }
+
+    /// Take a soft page fault on `vpn`: resolve its backing, install the
+    /// PTE, bump the fault counter.
+    pub fn fault(&mut self, vpn: Vpn) -> Result<crate::addr::Pfn, MemError> {
+        let pfn = self.resolve_backing(vpn)?;
+        self.page_table.map(vpn, pfn);
+        self.soft_faults += 1;
+        Ok(pfn)
+    }
+
+    fn resolve_backing(&mut self, vpn: Vpn) -> Result<crate::addr::Pfn, MemError> {
+        let b = *self.backing.get(&vpn.0).ok_or(MemError::Unmapped(vpn))?;
+        match b.kind {
+            MapKind::Anon => {
+                if let Some(f) = b.anon_frame {
+                    return Ok(f);
+                }
+                let f = self.frames.alloc();
+                self.backing.insert(
+                    vpn.0,
+                    Backing {
+                        kind: MapKind::Anon,
+                        anon_frame: Some(f),
+                    },
+                );
+                Ok(f)
+            }
+            MapKind::File { file, page } => self.files[file.0]
+                .frame_at(page)
+                .ok_or(MemError::BeyondEof(vpn)),
+        }
+    }
+
+    /// What currently backs `vpn`, if mapped.
+    pub fn backing_of(&self, vpn: Vpn) -> Option<MapKind> {
+        self.backing.get(&vpn.0).map(|b| b.kind)
+    }
+
+    /// Read-only access to the page table (for the MMU walk).
+    pub fn page_table(&self) -> &PageTable {
+        &self.page_table
+    }
+
+    /// Direct translation without TLB or cost accounting.
+    pub fn translate(&self, vpn: Vpn) -> Option<crate::addr::Pfn> {
+        self.page_table.translate(vpn)
+    }
+
+    /// Number of live data frames (excludes page-table node frames).
+    pub fn live_frames(&self) -> u64 {
+        self.frames.live_frames()
+    }
+}
+
+impl Default for AddressSpace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anon_pages_fault_lazily() {
+        let mut a = AddressSpace::new();
+        let addr = a.mmap_anon(4);
+        let vpn = addr.vpn();
+        assert_eq!(a.translate(vpn), None);
+        assert_eq!(a.live_frames(), 0);
+        let pfn = a.fault(vpn).unwrap();
+        assert_eq!(a.translate(vpn), Some(pfn));
+        assert_eq!(a.live_frames(), 1);
+        assert_eq!(a.soft_faults, 1);
+        // Faulting again resolves to the same frame.
+        assert_eq!(a.fault(vpn).unwrap(), pfn);
+        assert_eq!(a.live_frames(), 1);
+    }
+
+    #[test]
+    fn unmapped_access_is_segfault() {
+        let mut a = AddressSpace::new();
+        assert_eq!(a.fault(Vpn(123)), Err(MemError::Unmapped(Vpn(123))));
+    }
+
+    #[test]
+    fn file_fixed_remap_drops_pte() {
+        let mut a = AddressSpace::new();
+        let file = a.create_file();
+        a.resize_file(file, 2).unwrap();
+        let addr = a.mmap_anon(2);
+        let vpn = addr.vpn();
+        // Touch to install an anon PTE.
+        a.fault(vpn).unwrap();
+        assert!(a.translate(vpn).is_some());
+
+        let changed = a.mmap_file_fixed(addr, 1, file, 0, false).unwrap();
+        assert_eq!(changed, vec![vpn]);
+        // PTE dropped (lazy): next access faults.
+        assert_eq!(a.translate(vpn), None);
+        let pfn = a.fault(vpn).unwrap();
+        assert_eq!(Some(pfn), a.files[file.0].frame_at(0));
+    }
+
+    #[test]
+    fn populate_installs_pte_eagerly() {
+        let mut a = AddressSpace::new();
+        let file = a.create_file();
+        a.resize_file(file, 1).unwrap();
+        let addr = a.mmap_anon(1);
+        let before_faults = a.soft_faults;
+        a.mmap_file_fixed(addr, 1, file, 0, true).unwrap();
+        assert!(a.translate(addr.vpn()).is_some());
+        assert_eq!(a.soft_faults, before_faults, "populate is not a fault");
+    }
+
+    #[test]
+    fn two_vpages_can_alias_one_file_page() {
+        let mut a = AddressSpace::new();
+        let file = a.create_file();
+        a.resize_file(file, 1).unwrap();
+        let addr1 = a.mmap_anon(1);
+        let addr2 = a.mmap_anon(1);
+        a.mmap_file_fixed(addr1, 1, file, 0, true).unwrap();
+        a.mmap_file_fixed(addr2, 1, file, 0, true).unwrap();
+        assert_eq!(a.translate(addr1.vpn()), a.translate(addr2.vpn()));
+    }
+
+    #[test]
+    fn mapping_beyond_eof_is_sigbus_on_access() {
+        let mut a = AddressSpace::new();
+        let file = a.create_file();
+        a.resize_file(file, 1).unwrap();
+        let addr = a.mmap_anon(2);
+        // Mapping succeeds (like real mmap)…
+        a.mmap_file_fixed(addr, 2, file, 0, false).unwrap();
+        // …but touching the page beyond EOF faults fatally.
+        let vpn1 = addr.vpn().add(1);
+        assert_eq!(a.fault(vpn1), Err(MemError::BeyondEof(vpn1)));
+    }
+
+    #[test]
+    fn munmap_releases_frames_and_ptes() {
+        let mut a = AddressSpace::new();
+        let addr = a.mmap_anon(3);
+        for i in 0..3 {
+            a.fault(addr.vpn().add(i)).unwrap();
+        }
+        assert_eq!(a.live_frames(), 3);
+        a.munmap(addr, 3);
+        assert_eq!(a.live_frames(), 0);
+        assert_eq!(a.translate(addr.vpn()), None);
+        assert_eq!(a.backing_of(addr.vpn()), None);
+    }
+
+    #[test]
+    fn remap_frees_replaced_anon_frame() {
+        let mut a = AddressSpace::new();
+        let file = a.create_file();
+        a.resize_file(file, 1).unwrap();
+        let addr = a.mmap_anon(1);
+        a.fault(addr.vpn()).unwrap(); // allocates anon frame
+        let live_with_anon = a.live_frames();
+        a.mmap_file_fixed(addr, 1, file, 0, false).unwrap();
+        assert_eq!(a.live_frames(), live_with_anon - 1);
+    }
+
+    #[test]
+    fn file_shrink_then_access_is_sigbus() {
+        let mut a = AddressSpace::new();
+        let file = a.create_file();
+        a.resize_file(file, 4).unwrap();
+        let addr = a.mmap_anon(4);
+        a.mmap_file_fixed(addr, 4, file, 0, true).unwrap();
+        a.resize_file(file, 1).unwrap();
+        // Re-fault page 2 after its PTE is shot down: now beyond EOF.
+        let vpn2 = addr.vpn().add(2);
+        assert_eq!(a.fault(vpn2), Err(MemError::BeyondEof(vpn2)));
+    }
+}

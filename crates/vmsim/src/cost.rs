@@ -1,0 +1,76 @@
+//! Cost model: nanosecond charges for the events the simulator produces.
+//!
+//! The defaults approximate the paper's testbed (i7-12700KF, DDR5-4800).
+//! They are deliberately round numbers — the simulator's job is to
+//! reproduce *shapes* (crossovers, ratios), not absolute wall-clock times.
+
+/// Nanosecond charges per event.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Base cost of executing one load through the core (includes L1/L2
+    /// data cache on average).
+    pub base_access_ns: f64,
+    /// Extra cost of a last-level-cache hit.
+    pub llc_hit_ns: f64,
+    /// Extra cost of going to DRAM.
+    pub dram_ns: f64,
+    /// Extra cost of a lookup that hits the L2 TLB instead of the L1 TLB.
+    pub tlb_l2_hit_ns: f64,
+    /// A soft (minor) page fault: kernel entry, PTE installation.
+    pub soft_fault_ns: f64,
+    /// One `mmap` system call (reservation or rewiring).
+    pub mmap_ns: f64,
+    /// One `ftruncate` system call.
+    pub ftruncate_ns: f64,
+    /// Sending one inter-processor interrupt during a TLB shootdown,
+    /// charged to the *initiating* core (paper §3.3 / reference \[2\]).
+    pub ipi_send_ns: f64,
+    /// Handling an incoming shootdown IPI on a remote core.
+    pub ipi_receive_ns: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            base_access_ns: 2.0,
+            llc_hit_ns: 12.0,
+            dram_ns: 80.0,
+            tlb_l2_hit_ns: 5.0,
+            soft_fault_ns: 1200.0,
+            mmap_ns: 1800.0,
+            ftruncate_ns: 1500.0,
+            ipi_send_ns: 1000.0,
+            ipi_receive_ns: 400.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Cost of one memory touch given whether it hit the cache model.
+    #[inline]
+    pub fn memory_touch_ns(&self, cache_hit: bool) -> f64 {
+        if cache_hit {
+            self.llc_hit_ns
+        } else {
+            self.dram_ns
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dram_costs_more_than_cache() {
+        let c = CostModel::default();
+        assert!(c.memory_touch_ns(false) > c.memory_touch_ns(true));
+    }
+
+    #[test]
+    fn syscalls_dominate_accesses() {
+        let c = CostModel::default();
+        assert!(c.mmap_ns > 10.0 * c.dram_ns);
+        assert!(c.soft_fault_ns > c.dram_ns);
+    }
+}

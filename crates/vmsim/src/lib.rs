@@ -1,0 +1,48 @@
+//! # shortcut-vmsim — a software model of the virtual-memory subsystem
+//!
+//! The paper's experiments depend on hardware behaviour that is neither
+//! observable nor controllable in most execution environments: TLB hit/miss
+//! behaviour (§3.2), page-walk locality (§1, Figure 2), and inter-processor
+//! TLB shootdowns (§3.3, Figure 5). This crate provides a deterministic,
+//! fully-inspectable model of exactly those mechanisms:
+//!
+//! * a 4-level x86-64-style radix **page table** ([`page_table::PageTable`]),
+//!   the "central hardware-accelerated index structure of the OS" the paper
+//!   wants to put to work;
+//! * a two-level, set-associative **TLB hierarchy** ([`tlb`]) sized like the
+//!   paper's i7-12700KF (256 L1 entries / 3072 L2 entries for 4 KB pages);
+//! * a physically-indexed **cache model** ([`cache`]) through which both
+//!   data accesses and page-walk accesses are charged, reproducing the
+//!   "larger virtual span ⇒ more expensive walks" effect behind Figure 4;
+//! * **mmap semantics** ([`address_space`]): anonymous reservations,
+//!   main-memory files, `MAP_FIXED` remapping that drops the PTE (paper
+//!   §2.1 "Details"), `MAP_POPULATE`, and lazy faulting;
+//! * a multi-core **TLB-shootdown model** ([`machine`]) in which remaps
+//!   issue IPIs to every core that may cache the translation, charging the
+//!   cost to the *shooting* core — the mechanism behind Figure 5.
+//!
+//! Costs are charged in nanoseconds through a configurable [`cost::CostModel`].
+//! The simulator is deterministic: identical operation sequences produce
+//! identical cost totals and statistics.
+
+pub mod addr;
+pub mod address_space;
+pub mod cache;
+pub mod cost;
+pub mod machine;
+pub mod memfile;
+pub mod mmu;
+pub mod page_table;
+pub mod stats;
+pub mod tlb;
+
+pub use addr::{Pfn, PhysAddr, VirtAddr, Vpn, PAGE_SHIFT, PAGE_SIZE};
+pub use address_space::{AddressSpace, MapKind, RegionId};
+pub use cache::{Cache, CacheConfig};
+pub use cost::CostModel;
+pub use machine::{CoreId, Machine, MachineConfig};
+pub use memfile::{FrameAllocator, SimMemFile};
+pub use mmu::{AccessOutcome, Mmu, TranslationPath};
+pub use page_table::PageTable;
+pub use stats::SimStats;
+pub use tlb::{Tlb, TlbConfig, TlbHierarchy, TlbHierarchyConfig};

@@ -1,0 +1,128 @@
+//! Simulated physical frames and main-memory files.
+//!
+//! [`FrameAllocator`] hands out physical frame numbers; [`SimMemFile`] is
+//! the model analogue of a `memfd` file: a resizable sequence of frames
+//! addressed by page offset, providing the *handle to physical memory* that
+//! rewiring needs.
+
+use crate::addr::Pfn;
+
+/// Allocator of simulated physical frames (with a free list, so freed
+/// frames are reused — mirroring a real OS physical allocator closely
+/// enough for cache-behaviour purposes).
+#[derive(Debug, Default)]
+pub struct FrameAllocator {
+    next: u64,
+    free: Vec<Pfn>,
+    live: u64,
+}
+
+impl FrameAllocator {
+    /// New allocator starting at frame 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate one frame.
+    pub fn alloc(&mut self) -> Pfn {
+        self.live += 1;
+        self.free.pop().unwrap_or_else(|| {
+            let f = Pfn(self.next);
+            self.next += 1;
+            f
+        })
+    }
+
+    /// Return a frame to the allocator.
+    pub fn free(&mut self, f: Pfn) {
+        debug_assert!(!self.free.contains(&f), "double free of frame {f:?}");
+        self.live -= 1;
+        self.free.push(f);
+    }
+
+    /// Number of live (allocated, unfreed) frames.
+    pub fn live_frames(&self) -> u64 {
+        self.live
+    }
+}
+
+/// A main-memory file: page-indexed frames, resizable like `ftruncate`.
+#[derive(Debug, Default)]
+pub struct SimMemFile {
+    frames: Vec<Pfn>,
+}
+
+impl SimMemFile {
+    /// An empty file.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current length in pages.
+    pub fn len_pages(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Resize to `pages`: growing allocates fresh zero frames, shrinking
+    /// returns the tail frames to the allocator.
+    pub fn resize(&mut self, pages: usize, frames: &mut FrameAllocator) {
+        while self.frames.len() < pages {
+            self.frames.push(frames.alloc());
+        }
+        while self.frames.len() > pages {
+            let f = self.frames.pop().expect("len > pages >= 0");
+            frames.free(f);
+        }
+    }
+
+    /// Frame backing file page `page`, if within the file.
+    pub fn frame_at(&self, page: usize) -> Option<Pfn> {
+        self.frames.get(page).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocator_reuses_freed_frames() {
+        let mut a = FrameAllocator::new();
+        let f0 = a.alloc();
+        let f1 = a.alloc();
+        assert_ne!(f0, f1);
+        a.free(f0);
+        let f2 = a.alloc();
+        assert_eq!(f2, f0);
+        assert_eq!(a.live_frames(), 2);
+    }
+
+    #[test]
+    fn file_grow_and_shrink() {
+        let mut a = FrameAllocator::new();
+        let mut f = SimMemFile::new();
+        f.resize(4, &mut a);
+        assert_eq!(f.len_pages(), 4);
+        assert_eq!(a.live_frames(), 4);
+        let frame2 = f.frame_at(2).unwrap();
+        f.resize(2, &mut a);
+        assert_eq!(f.len_pages(), 2);
+        assert_eq!(a.live_frames(), 2);
+        assert_eq!(f.frame_at(2), None);
+        // Regrowing reuses the freed frames (LIFO).
+        f.resize(3, &mut a);
+        assert!(f.frame_at(2).is_some());
+        let _ = frame2;
+    }
+
+    #[test]
+    fn distinct_pages_distinct_frames() {
+        let mut a = FrameAllocator::new();
+        let mut f = SimMemFile::new();
+        f.resize(100, &mut a);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..100 {
+            assert!(seen.insert(f.frame_at(i).unwrap()));
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! A 4-level radix page table, "the index of the memory subsystem of the OS".
+//!
+//! The model mirrors the x86-64 structure: a root node (PML4) of 512
+//! entries, three further levels, and leaf entries holding the physical
+//! frame number. A translation **walk** visits one node per level; the walk
+//! reports the *physical address of every node entry it touched* so the MMU
+//! can charge those accesses through the cache model — this is what makes
+//! wide virtual spans more expensive to walk, the effect behind the paper's
+//! Figure 4 crossover.
+
+use crate::addr::{Pfn, Vpn, FANOUT, LEVELS};
+
+/// One leaf page-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pte {
+    /// Target physical frame.
+    pub pfn: Pfn,
+}
+
+enum Node {
+    /// Interior node with 512 slots pointing to lower-level nodes.
+    Interior {
+        /// Simulated physical frame holding this node (for cache charging).
+        frame: Pfn,
+        children: Vec<Option<Box<Node>>>,
+    },
+    /// Leaf node (PT level) with 512 PTE slots.
+    Leaf {
+        frame: Pfn,
+        ptes: Vec<Option<Pte>>,
+    },
+}
+
+impl Node {
+    fn new_interior(frame: Pfn) -> Self {
+        Node::Interior {
+            frame,
+            children: (0..FANOUT).map(|_| None).collect(),
+        }
+    }
+
+    fn new_leaf(frame: Pfn) -> Self {
+        Node::Leaf {
+            frame,
+            ptes: vec![None; FANOUT],
+        }
+    }
+
+    fn frame(&self) -> Pfn {
+        match self {
+            Node::Interior { frame, .. } | Node::Leaf { frame, .. } => *frame,
+        }
+    }
+}
+
+/// Result of a page-table walk.
+#[derive(Debug, Clone)]
+pub struct Walk {
+    /// The translation, if the leaf PTE was present.
+    pub pte: Option<Pte>,
+    /// Physical addresses of the page-table entries touched, one per level
+    /// actually visited (≤ 4). The MMU sends these through the cache model.
+    pub touched: Vec<crate::addr::PhysAddr>,
+}
+
+/// The 4-level radix page table.
+pub struct PageTable {
+    root: Node,
+    /// Allocator for the frames that hold page-table nodes themselves.
+    next_node_frame: u64,
+    entries: usize,
+}
+
+/// Page-table node frames are carved from a reserved high region so they
+/// never collide with data frames handed out by the frame allocator.
+const NODE_FRAME_BASE: u64 = 1 << 40;
+
+impl PageTable {
+    /// An empty page table (root node allocated).
+    pub fn new() -> Self {
+        PageTable {
+            root: Node::new_interior(Pfn(NODE_FRAME_BASE)),
+            next_node_frame: NODE_FRAME_BASE + 1,
+            entries: 0,
+        }
+    }
+
+    /// Number of present leaf PTEs.
+    pub fn entry_count(&self) -> usize {
+        self.entries
+    }
+
+    /// Install (or replace) the translation `vpn -> pfn`, creating interior
+    /// nodes on demand. Returns the previous PTE if one existed.
+    pub fn map(&mut self, vpn: Vpn, pfn: Pfn) -> Option<Pte> {
+        // Pre-allocate the frames we might need to avoid borrow conflicts.
+        let spare = [
+            Pfn(self.next_node_frame),
+            Pfn(self.next_node_frame + 1),
+            Pfn(self.next_node_frame + 2),
+        ];
+        let mut spare_used = 0;
+
+        let mut node = &mut self.root;
+        for level in 0..LEVELS - 1 {
+            let idx = vpn.level_index(level);
+            let is_last_interior = level == LEVELS - 2;
+            match node {
+                Node::Interior { children, .. } => {
+                    if children[idx].is_none() {
+                        let frame = spare[spare_used];
+                        spare_used += 1;
+                        let child = if is_last_interior {
+                            Node::new_leaf(frame)
+                        } else {
+                            Node::new_interior(frame)
+                        };
+                        children[idx] = Some(Box::new(child));
+                    }
+                    node = children[idx].as_mut().unwrap();
+                }
+                Node::Leaf { .. } => unreachable!("leaf above PT level"),
+            }
+        }
+        self.next_node_frame += spare_used as u64;
+
+        match node {
+            Node::Leaf { ptes, .. } => {
+                let idx = vpn.level_index(LEVELS - 1);
+                let old = ptes[idx].replace(Pte { pfn });
+                if old.is_none() {
+                    self.entries += 1;
+                }
+                old
+            }
+            Node::Interior { .. } => unreachable!("interior at PT level"),
+        }
+    }
+
+    /// Drop the translation for `vpn` (the `mmap(MAP_FIXED)` rewiring
+    /// behaviour from paper §2.1: the PTE of the remapped virtual page is
+    /// dropped). Returns the removed PTE, if any.
+    pub fn unmap(&mut self, vpn: Vpn) -> Option<Pte> {
+        let mut node = &mut self.root;
+        for level in 0..LEVELS - 1 {
+            let idx = vpn.level_index(level);
+            match node {
+                Node::Interior { children, .. } => match children[idx].as_mut() {
+                    Some(child) => node = child,
+                    None => return None,
+                },
+                Node::Leaf { .. } => unreachable!(),
+            }
+        }
+        match node {
+            Node::Leaf { ptes, .. } => {
+                let idx = vpn.level_index(LEVELS - 1);
+                let old = ptes[idx].take();
+                if old.is_some() {
+                    self.entries -= 1;
+                }
+                old
+            }
+            Node::Interior { .. } => unreachable!(),
+        }
+    }
+
+    /// Pure lookup without walk accounting.
+    pub fn translate(&self, vpn: Vpn) -> Option<Pfn> {
+        let mut node = &self.root;
+        for level in 0..LEVELS - 1 {
+            let idx = vpn.level_index(level);
+            match node {
+                Node::Interior { children, .. } => match children[idx].as_ref() {
+                    Some(child) => node = child,
+                    None => return None,
+                },
+                Node::Leaf { .. } => unreachable!(),
+            }
+        }
+        match node {
+            Node::Leaf { ptes, .. } => ptes[vpn.level_index(LEVELS - 1)].map(|p| p.pfn),
+            Node::Interior { .. } => unreachable!(),
+        }
+    }
+
+    /// Hardware-style walk: visits up to 4 node entries and reports the
+    /// physical address of each entry touched (node frame + entry offset),
+    /// so the MMU can charge them through the cache hierarchy.
+    pub fn walk(&self, vpn: Vpn) -> Walk {
+        let mut touched = Vec::with_capacity(LEVELS);
+        let mut node = &self.root;
+        for level in 0..LEVELS - 1 {
+            let idx = vpn.level_index(level);
+            touched.push(entry_paddr(node.frame(), idx));
+            match node {
+                Node::Interior { children, .. } => match children[idx].as_ref() {
+                    Some(child) => node = child,
+                    None => return Walk { pte: None, touched },
+                },
+                Node::Leaf { .. } => unreachable!(),
+            }
+        }
+        let idx = vpn.level_index(LEVELS - 1);
+        touched.push(entry_paddr(node.frame(), idx));
+        match node {
+            Node::Leaf { ptes, .. } => Walk {
+                pte: ptes[idx],
+                touched,
+            },
+            Node::Interior { .. } => unreachable!(),
+        }
+    }
+}
+
+impl Default for PageTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Physical address of entry `idx` in the node stored in `frame`
+/// (8 bytes per entry, like real PTEs).
+fn entry_paddr(frame: Pfn, idx: usize) -> crate::addr::PhysAddr {
+    crate::addr::PhysAddr(frame.base().0 + (idx as u64) * 8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_translate_roundtrip() {
+        let mut pt = PageTable::new();
+        assert_eq!(pt.translate(Vpn(5)), None);
+        pt.map(Vpn(5), Pfn(100));
+        assert_eq!(pt.translate(Vpn(5)), Some(Pfn(100)));
+        assert_eq!(pt.entry_count(), 1);
+    }
+
+    #[test]
+    fn remap_replaces_and_reports_old() {
+        let mut pt = PageTable::new();
+        assert_eq!(pt.map(Vpn(5), Pfn(1)), None);
+        let old = pt.map(Vpn(5), Pfn(2));
+        assert_eq!(old, Some(Pte { pfn: Pfn(1) }));
+        assert_eq!(pt.translate(Vpn(5)), Some(Pfn(2)));
+        assert_eq!(pt.entry_count(), 1);
+    }
+
+    #[test]
+    fn unmap_removes() {
+        let mut pt = PageTable::new();
+        pt.map(Vpn(7), Pfn(3));
+        assert_eq!(pt.unmap(Vpn(7)), Some(Pte { pfn: Pfn(3) }));
+        assert_eq!(pt.translate(Vpn(7)), None);
+        assert_eq!(pt.unmap(Vpn(7)), None);
+        assert_eq!(pt.entry_count(), 0);
+    }
+
+    #[test]
+    fn walk_touches_four_levels_when_present() {
+        let mut pt = PageTable::new();
+        pt.map(Vpn(12345), Pfn(9));
+        let w = pt.walk(Vpn(12345));
+        assert_eq!(w.pte, Some(Pte { pfn: Pfn(9) }));
+        assert_eq!(w.touched.len(), 4);
+    }
+
+    #[test]
+    fn walk_short_circuits_on_missing_interior() {
+        let pt = PageTable::new();
+        let w = pt.walk(Vpn(12345));
+        assert_eq!(w.pte, None);
+        assert_eq!(w.touched.len(), 1); // only the root entry was consulted
+    }
+
+    #[test]
+    fn neighbor_pages_share_leaf_node() {
+        let mut pt = PageTable::new();
+        pt.map(Vpn(0), Pfn(1));
+        pt.map(Vpn(1), Pfn(2));
+        let w0 = pt.walk(Vpn(0));
+        let w1 = pt.walk(Vpn(1));
+        // Same nodes at levels 0..3 → same frame, different entry offsets.
+        for level in 0..3 {
+            assert_eq!(w0.touched[level], w1.touched[level]);
+        }
+        assert_ne!(w0.touched[3], w1.touched[3]);
+    }
+
+    #[test]
+    fn distant_pages_use_distinct_leaf_nodes() {
+        let mut pt = PageTable::new();
+        pt.map(Vpn(0), Pfn(1));
+        pt.map(Vpn(1 << 9), Pfn(2)); // next PT node
+        let w0 = pt.walk(Vpn(0));
+        let w1 = pt.walk(Vpn(1 << 9));
+        assert_ne!(
+            w0.touched[3].0 & !0xfff,
+            w1.touched[3].0 & !0xfff,
+            "leaf nodes must differ"
+        );
+    }
+
+    #[test]
+    fn many_mappings_count_correctly() {
+        let mut pt = PageTable::new();
+        for i in 0..10_000u64 {
+            pt.map(Vpn(i * 7), Pfn(i));
+        }
+        assert_eq!(pt.entry_count(), 10_000);
+        for i in 0..10_000u64 {
+            assert_eq!(pt.translate(Vpn(i * 7)), Some(Pfn(i)));
+        }
+    }
+}

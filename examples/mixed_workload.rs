@@ -1,0 +1,66 @@
+//! A live view of Figure 8's dynamics: fire waves of inserts at a loaded
+//! Shortcut-EH and watch the shortcut directory fall out of sync and catch
+//! up, wave after wave.
+//!
+//! ```bash
+//! cargo run --release --example mixed_workload
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+use taking_the_shortcut::exhash::{KvIndex, ShortcutEh};
+
+fn main() {
+    let mut index = ShortcutEh::with_defaults();
+    let mut rng = StdRng::seed_from_u64(99);
+
+    println!("bulk-loading 2M entries…");
+    let mut keys: Vec<u64> = Vec::with_capacity(2_000_000);
+    for _ in 0..2_000_000 {
+        let k: u64 = rng.random();
+        index.insert(k, k);
+        keys.push(k);
+    }
+    assert!(index.wait_sync(Duration::from_secs(60)), "initial sync failed");
+    println!("bulk load done, shortcut in sync: {:?}\n", index.versions());
+
+    for wave in 1..=4 {
+        // Insert burst: 1% of a 400k-access wave.
+        for _ in 0..4_000 {
+            let k: u64 = rng.random();
+            index.insert(k, k);
+            keys.push(k);
+        }
+        let (tv, sv) = index.versions();
+        println!(
+            "wave {wave}: insert burst done — versions t={tv} s={sv} ({})",
+            if tv == sv { "in sync" } else { "OUT OF SYNC" }
+        );
+
+        // Lookup phase, reporting sync status + latency in slices.
+        let slices = 8;
+        let per_slice = 49_500;
+        for slice in 0..slices {
+            let t0 = Instant::now();
+            for _ in 0..per_slice {
+                let k = keys[rng.random_range(0..keys.len())];
+                assert!(index.get(k).is_some());
+            }
+            let (tv, sv) = index.versions();
+            let ns = t0.elapsed().as_nanos() as f64 / per_slice as f64;
+            println!(
+                "  slice {slice}: {ns:6.0} ns/lookup   versions t={tv} s={sv} {}",
+                if tv == sv { "✓ shortcut" } else { "… traditional (catching up)" }
+            );
+        }
+        println!();
+    }
+
+    let s = index.stats();
+    println!(
+        "totals: {} shortcut lookups, {} traditional lookups, {} discarded races",
+        s.shortcut_lookups, s.traditional_lookups, s.shortcut_retries
+    );
+    assert!(index.maint_error().is_none());
+}

@@ -1,0 +1,17 @@
+//! # taking-the-shortcut
+//!
+//! Facade crate re-exporting the whole *Taking the Shortcut* (CIDR 2024)
+//! reproduction stack:
+//!
+//! * [`rewire`] — memory-rewiring substrate (memfd + mmap page remapping).
+//! * [`vmsim`] — software virtual-memory simulator (page table, TLBs,
+//!   shootdowns) used for deterministic modeling of the paper's
+//!   hardware-dependent experiments.
+//! * [`core`] — shortcut inner nodes with asynchronous maintenance.
+//! * [`exhash`] — the five hashing schemes of the paper's evaluation,
+//!   including Shortcut-EH.
+
+pub use shortcut_core as core;
+pub use shortcut_exhash as exhash;
+pub use shortcut_rewire as rewire;
+pub use shortcut_vmsim as vmsim;

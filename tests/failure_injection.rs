@@ -1,0 +1,138 @@
+//! Failure injection across crate boundaries: exhausted pools, bogus
+//! maintenance requests, invalid rewirings — errors must surface cleanly
+//! and never corrupt index answers.
+
+use std::time::Duration;
+use taking_the_shortcut::core::{
+    MaintConfig, MaintRequest, Maintainer, ShortcutNode,
+};
+use taking_the_shortcut::rewire::{Error, PageIdx, PagePool, PoolConfig, VirtArea};
+
+#[test]
+fn pool_exhaustion_is_an_error_not_a_crash() {
+    let mut pool = PagePool::new(PoolConfig {
+        initial_pages: 2,
+        min_growth_pages: 1,
+        view_capacity_pages: 4,
+        ..PoolConfig::default()
+    })
+    .unwrap();
+    let mut held = Vec::new();
+    loop {
+        match pool.alloc_page() {
+            Ok(p) => held.push(p),
+            Err(Error::BadResize { current, .. }) => {
+                assert_eq!(current, 4);
+                break;
+            }
+            Err(e) => panic!("unexpected error {e}"),
+        }
+    }
+    assert_eq!(held.len(), 4);
+    // Freeing makes allocation possible again.
+    pool.free_page(held.pop().unwrap()).unwrap();
+    assert!(pool.alloc_page().is_ok());
+}
+
+#[test]
+fn rewiring_beyond_the_file_is_rejected_up_front() {
+    let pool = PagePool::new(PoolConfig {
+        initial_pages: 2,
+        view_capacity_pages: 8,
+        ..PoolConfig::default()
+    })
+    .unwrap();
+    let handle = pool.handle();
+    let mut area = VirtArea::reserve(1).unwrap();
+    // Offset far past EOF: must fail as InvalidArg, not SIGBUS later.
+    let err = area.rewire(0, &handle, PageIdx(1000)).unwrap_err();
+    assert!(matches!(err, Error::InvalidArg { .. }), "{err}");
+}
+
+#[test]
+fn mapper_surfaces_bad_requests_as_errors() {
+    let pool = PagePool::new(PoolConfig {
+        initial_pages: 2,
+        view_capacity_pages: 8,
+        ..PoolConfig::default()
+    })
+    .unwrap();
+    let maint = Maintainer::spawn(
+        pool.handle(),
+        MaintConfig {
+            poll_interval: Duration::from_millis(1),
+            ..MaintConfig::default()
+        },
+    );
+    let v = maint.state().bump_traditional();
+    // Create referencing a pool page that does not exist.
+    maint.submit(MaintRequest::Create {
+        slots: 2,
+        assignments: vec![(0, PageIdx(0)), (1, PageIdx(12345))],
+        version: v,
+    });
+    // The mapper must record the failure (and stop), never publish sync.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while maint.error().is_none() && std::time::Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let err = maint.error().expect("mapper swallowed the failure");
+    assert!(matches!(err, Error::InvalidArg { .. }), "{err}");
+    assert!(!maint.state().in_sync());
+}
+
+#[test]
+fn shortcut_node_bounds_are_enforced() {
+    let mut pool = PagePool::new(PoolConfig {
+        initial_pages: 2,
+        view_capacity_pages: 8,
+        ..PoolConfig::default()
+    })
+    .unwrap();
+    let handle = pool.handle();
+    let leaf = pool.alloc_page().unwrap();
+    let mut node = ShortcutNode::new(2).unwrap();
+    assert!(node.set_slot(2, &handle, leaf).is_err());
+    assert!(node.set_run(1, &handle, leaf, 2).is_err());
+    assert!(node.clear_slot(5).is_err());
+    // In-bounds still works after the failed attempts.
+    node.set_slot(1, &handle, leaf).unwrap();
+    assert_eq!(node.slot_mapping(1), Some(leaf));
+}
+
+#[test]
+fn double_free_and_foreign_pointer_detection() {
+    let mut pool = PagePool::new(PoolConfig {
+        initial_pages: 2,
+        view_capacity_pages: 8,
+        ..PoolConfig::default()
+    })
+    .unwrap();
+    let p = pool.alloc_page().unwrap();
+    pool.free_page(p).unwrap();
+    assert!(matches!(
+        pool.free_page(p),
+        Err(Error::BadPageRef { what: "double free", .. })
+    ));
+    // A pointer that is not inside the pool view is rejected.
+    let foreign = Box::new(0u8);
+    assert!(pool.page_of_ptr(&*foreign as *const u8).is_err());
+}
+
+#[test]
+fn index_survives_pathological_key_patterns() {
+    use taking_the_shortcut::exhash::{KvIndex, ShortcutEh};
+    let mut index = ShortcutEh::with_defaults();
+    // Keys crafted to collide in the *bucket* hash (same low bits), plus
+    // keys dense in the directory hash's top bits. (Start at 1: for i = 0
+    // the two patterns would be the same key.)
+    for i in 1..5_000u64 {
+        index.insert(i << 32, i);
+        index.insert(i, !i);
+    }
+    for i in 1..5_000u64 {
+        assert_eq!(index.get(i << 32), Some(i));
+        assert_eq!(index.get(i), Some(!i));
+    }
+    assert!(index.maint_error().is_none());
+}

@@ -1,0 +1,82 @@
+//! Parallel read-only phases: multiple threads share `&ShortcutEh` and look
+//! up concurrently via `get_ref`. Rust's aliasing rules make this sound —
+//! no `&mut` (writer) can coexist with the shared borrows.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+use taking_the_shortcut::exhash::{KvIndex, ShortcutEh};
+
+#[test]
+fn concurrent_readers_see_every_key() {
+    let mut index = ShortcutEh::with_defaults();
+    let n = 100_000u64;
+    for k in 0..n {
+        index.insert(k, k ^ 0xABCD);
+    }
+    assert!(index.wait_sync(Duration::from_secs(30)));
+
+    let hits = AtomicU64::new(0);
+    let readers = 4;
+    std::thread::scope(|s| {
+        for r in 0..readers {
+            let index = &index; // shared borrow: no writes possible anywhere
+            let hits = &hits;
+            s.spawn(move || {
+                let mut local = 0u64;
+                // Each reader strides differently through the key space.
+                let mut k = r as u64;
+                while k < n {
+                    if index.get_ref(k) == Some(k ^ 0xABCD) {
+                        local += 1;
+                    }
+                    k += readers as u64;
+                }
+                hits.fetch_add(local, Ordering::Relaxed);
+            });
+        }
+    });
+    assert_eq!(hits.load(Ordering::Relaxed), n);
+    assert!(index.maint_error().is_none());
+}
+
+#[test]
+fn get_ref_agrees_with_get() {
+    let mut index = ShortcutEh::with_defaults();
+    for k in 0..30_000u64 {
+        index.insert(k.wrapping_mul(0x9E37_79B9_7F4A_7C15), k);
+    }
+    index.wait_sync(Duration::from_secs(30));
+    for k in 0..30_000u64 {
+        let key = k.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let via_ref = index.get_ref(key);
+        let via_mut = index.get(key);
+        assert_eq!(via_ref, via_mut, "key {k}");
+        assert_eq!(index.get_ref(key ^ 0xF0F0), index.get(key ^ 0xF0F0));
+    }
+}
+
+#[test]
+fn readers_fall_back_while_out_of_sync() {
+    // Build the index but never give the mapper a chance to catch up: the
+    // shared-reference path must still answer via the traditional fallback.
+    let mut index = ShortcutEh::new(taking_the_shortcut::exhash::ShortcutEhConfig {
+        maint: taking_the_shortcut::core::MaintConfig {
+            poll_interval: Duration::from_secs(3600), // effectively never
+            ..Default::default()
+        },
+        ..Default::default()
+    });
+    for k in 0..20_000u64 {
+        index.insert(k, k + 1);
+    }
+    std::thread::scope(|s| {
+        let index = &index;
+        for _ in 0..2 {
+            s.spawn(move || {
+                for k in 0..20_000u64 {
+                    assert_eq!(index.get_ref(k), Some(k + 1));
+                }
+            });
+        }
+    });
+}
