@@ -12,7 +12,9 @@ fn machine(pages: usize) -> (Machine, VirtAddr, shortcut_vmsim::address_space::F
     let file = m.aspace.create_file();
     m.aspace.resize_file(file, pages * 2).unwrap();
     let addr = m.aspace.mmap_anon(pages);
-    m.aspace.mmap_file_fixed(addr, pages, file, 0, true).unwrap();
+    m.aspace
+        .mmap_file_fixed(addr, pages, file, 0, true)
+        .unwrap();
     (m, addr, file)
 }
 

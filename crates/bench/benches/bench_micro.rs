@@ -93,7 +93,11 @@ fn bench_vmsim(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             i = (i + 1) % 64;
-            black_box(mmu.access(&mut aspace, VirtAddr(addr.0 + i * 4096)).unwrap().ns)
+            black_box(
+                mmu.access(&mut aspace, VirtAddr(addr.0 + i * 4096))
+                    .unwrap()
+                    .ns,
+            )
         })
     });
 }

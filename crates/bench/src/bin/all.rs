@@ -13,7 +13,11 @@ fn main() {
 
     let f5 = fig5::Fig5Opts::from_scale(&s);
     fig5::table("Figure 5 (OS) — TLB shootdowns", &fig5::run_os(&f5)).print();
-    fig5::table("Figure 5 (vmsim model) — TLB shootdowns", &fig5::run_model(&f5)).print();
+    fig5::table(
+        "Figure 5 (vmsim model) — TLB shootdowns",
+        &fig5::run_model(&f5),
+    )
+    .print();
 
     let f7 = fig7::Fig7Opts::from_scale(&s);
     let r7 = fig7::run(&f7);

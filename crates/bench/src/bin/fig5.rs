@@ -6,7 +6,9 @@ use shortcut_bench::ScaleArgs;
 fn main() {
     let s = ScaleArgs::from_env();
     let opts = fig5::Fig5Opts::from_scale(&s);
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!(
         "fig5: region {} pages, {} remaps, readers {:?} ({} hardware threads — reader counts >= {} run oversubscribed)",
         opts.region_pages, opts.remaps, opts.reader_counts, cores, cores

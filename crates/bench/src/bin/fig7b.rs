@@ -5,7 +5,10 @@ use shortcut_bench::ScaleArgs;
 fn main() {
     let s = ScaleArgs::from_env();
     let opts = fig7::Fig7Opts::from_scale(&s);
-    println!("fig7b: {} inserts then {} lookups", opts.inserts, opts.lookups);
+    println!(
+        "fig7b: {} inserts then {} lookups",
+        opts.inserts, opts.lookups
+    );
     let r = fig7::run(&opts);
     fig7::table_7b(&r, &opts).print();
 }

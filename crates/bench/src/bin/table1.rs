@@ -5,7 +5,10 @@ use shortcut_bench::ScaleArgs;
 fn main() {
     let s = ScaleArgs::from_env();
     let opts = table1::Table1Opts::from_scale(&s);
-    println!("table1: n = {} slots, {} accesses", opts.slots, opts.accesses);
+    println!(
+        "table1: n = {} slots, {} accesses",
+        opts.slots, opts.accesses
+    );
     let (_, table) = table1::run(&opts);
     table.print();
 }

@@ -31,10 +31,11 @@ pub fn a1_coalescing(s: &ScaleArgs) -> Table {
 
     // Coalesced batch (contiguous leaves -> one call).
     let mut node_b = ShortcutNode::new(slots).expect("reserve failed");
-    let assignments: Vec<(usize, PageIdx)> =
-        (0..slots).map(|i| (i, PageIdx(run.0 + i))).collect();
+    let assignments: Vec<(usize, PageIdx)> = (0..slots).map(|i| (i, PageIdx(run.0 + i))).collect();
     let sw = Stopwatch::start();
-    let calls = node_b.set_batch(&handle, &assignments).expect("batch failed");
+    let calls = node_b
+        .set_batch(&handle, &assignments)
+        .expect("batch failed");
     let batch_ms = ms(sw.elapsed());
 
     let mut t = Table::new(
@@ -59,7 +60,13 @@ pub fn a1_coalescing(s: &ScaleArgs) -> Table {
 /// **A2** — the fan-in routing threshold (paper: 8). For each fan-in we
 /// measure both paths and report which threshold policies route correctly.
 pub fn a2_threshold(s: &ScaleArgs) -> Table {
-    let slots = s.pick(1 << 20, 1 << 17, 1 << 12);
+    // Aliased (fan-in > 1) points need ~one VMA per slot; power of two so
+    // every fan-in in the sweep divides it (see fig4).
+    let slots = crate::experiments::floor_pow2(
+        s.pick(1 << 20, 1 << 17, 1 << 12)
+            .min(crate::experiments::aliased_slot_cap()),
+    )
+    .max(128);
     let lookups = s.pick(5_000_000, 2_000_000, 50_000);
     let fanins = [1usize, 2, 4, 8, 16, 32, 64, 128];
     let policies = [1.0, 4.0, 8.0, 16.0, 64.0];
@@ -79,14 +86,21 @@ pub fn a2_threshold(s: &ScaleArgs) -> Table {
         let best_is_shortcut = short <= trad;
         let right: Vec<String> = policies
             .iter()
-            .filter(|&&p| RoutePolicy::with_threshold(p).use_shortcut(f as f64, true) == best_is_shortcut)
+            .filter(|&&p| {
+                RoutePolicy::with_threshold(p).use_shortcut(f as f64, true) == best_is_shortcut
+            })
             .map(|p| format!("{p}"))
             .collect();
         t.row(&[
             f.to_string(),
             Table::f(trad),
             Table::f(short),
-            if best_is_shortcut { "shortcut" } else { "traditional" }.into(),
+            if best_is_shortcut {
+                "shortcut"
+            } else {
+                "traditional"
+            }
+            .into(),
             right.join(","),
         ]);
     }
@@ -201,7 +215,12 @@ pub fn a4_populate(s: &ScaleArgs) -> Table {
         let r1 = round();
         let r2 = round();
         t.row(&[
-            if eager { "eager (MAP_POPULATE/touch)" } else { "lazy (fault on access)" }.into(),
+            if eager {
+                "eager (MAP_POPULATE/touch)"
+            } else {
+                "lazy (fault on access)"
+            }
+            .into(),
             Table::f(r1),
             Table::f(r2),
         ]);

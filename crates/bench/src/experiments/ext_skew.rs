@@ -58,9 +58,10 @@ pub fn run(opts: &SkewOpts) -> Table {
         trad.set_slot(i, pool.page_ptr(PageIdx(run.0 + i)));
     }
     let mut short = ShortcutNode::new_populated(slots).expect("reserve failed");
-    let assignments: Vec<(usize, PageIdx)> =
-        (0..slots).map(|i| (i, PageIdx(run.0 + i))).collect();
-    short.set_batch(&handle, &assignments).expect("rewire failed");
+    let assignments: Vec<(usize, PageIdx)> = (0..slots).map(|i| (i, PageIdx(run.0 + i))).collect();
+    short
+        .set_batch(&handle, &assignments)
+        .expect("rewire failed");
     short.populate();
 
     let mut t = Table::new(
@@ -69,12 +70,7 @@ pub fn run(opts: &SkewOpts) -> Table {
             Table::n(slots as u64),
             Table::n(opts.lookups as u64)
         ),
-        &[
-            "zipf theta",
-            "traditional [ms]",
-            "shortcut [ms]",
-            "speedup",
-        ],
+        &["zipf theta", "traditional [ms]", "shortcut [ms]", "speedup"],
     );
     for &theta in &opts.thetas {
         let mut gen = KeyGen::new(opts.seed);

@@ -78,9 +78,22 @@ pub fn run(opts: &Fig2Opts) -> Table {
         ],
     );
 
+    let budget = crate::experiments::slot_budget();
     for &(dir_mb, buckets_mb) in &opts.pairs {
-        let slots = dir_mb << 17; // MB / 8 B per pointer
-        let leaves = buckets_mb << 8; // MB / 4 KB per page
+        let mut slots = dir_mb << 17; // MB / 8 B per pointer
+        let mut leaves = (buckets_mb << 8).min(slots); // MB / 4 KB per page
+
+        // Fan-in-1 identity mappings coalesce into one mmap; aliased nodes
+        // (fan-in > 1) pay ~one VMA per non-coalescible slot and must fit
+        // the kernel's map-count budget. Cap slots but preserve the
+        // slots:leaves ratio — the aliasing structure is the property the
+        // experiment varies, and an integer fan-in would truncate
+        // fractional ratios (the paper's (64, 24576) point) to identity.
+        if leaves < slots && slots > budget {
+            let (orig_slots, orig_leaves) = (slots, leaves);
+            slots = budget;
+            leaves = ((slots as u128 * orig_leaves as u128 / orig_slots as u128) as usize).max(1);
+        }
         let (trad_ms, short_ms) = run_pair(slots, leaves, opts.accesses, opts.seed);
         table.row(&[
             dir_mb.to_string(),

@@ -31,12 +31,17 @@ impl Fig4Opts {
     pub fn from_scale(s: &ScaleArgs) -> Self {
         let all = vec![512, 256, 128, 64, 32, 16, 8, 4, 2, 1];
         Fig4Opts {
-            slots: s.pick(1 << 22, (1 << 18) / s.scale.max(1), 1 << 13),
-            fanins: if s.quick {
-                vec![64, 8, 1]
-            } else {
-                all
-            },
+            // Fan-in > 1 points cost ~one VMA per slot (aliased runs do not
+            // coalesce); cap to the map-count budget so the sweep survives
+            // default kernels. Floored to a power of two no smaller than
+            // the largest fan-in, so every fan-in in the sweep divides it
+            // (run_point asserts divisibility) whatever --scale was given.
+            slots: crate::experiments::floor_pow2(
+                s.pick(1 << 22, 1 << 18, 1 << 13)
+                    .min(crate::experiments::aliased_slot_cap()),
+            )
+            .max(512),
+            fanins: if s.quick { vec![64, 8, 1] } else { all },
             lookups: s.pick(10_000_000, 10_000_000, 100_000),
             seed: 42,
         }
@@ -45,7 +50,10 @@ impl Fig4Opts {
 
 /// Measure one fan-in point; returns (traditional ms, shortcut ms).
 pub fn run_point(slots: usize, fanin: usize, lookups: usize, seed: u64) -> (f64, f64) {
-    assert!(fanin >= 1 && slots.is_multiple_of(fanin), "fanin must divide slots");
+    assert!(
+        fanin >= 1 && slots.is_multiple_of(fanin),
+        "fanin must divide slots"
+    );
     let leaves = slots / fanin;
     let mut pool = experiment_pool(leaves);
     let handle = pool.handle();
@@ -63,8 +71,9 @@ pub fn run_point(slots: usize, fanin: usize, lookups: usize, seed: u64) -> (f64,
     }
 
     let mut shortcut = ShortcutNode::new_populated(slots).expect("reserve failed");
-    let assignments: Vec<(usize, PageIdx)> =
-        (0..slots).map(|i| (i, PageIdx(run.0 + i / fanin))).collect();
+    let assignments: Vec<(usize, PageIdx)> = (0..slots)
+        .map(|i| (i, PageIdx(run.0 + i / fanin)))
+        .collect();
     shortcut
         .set_batch(&handle, &assignments)
         .expect("rewire failed");

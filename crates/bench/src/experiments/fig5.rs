@@ -165,8 +165,7 @@ fn run_os_point(opts: &Fig5Opts, readers: usize) -> Fig5Row {
             let off = (fileoffs[i] as usize) * page_size();
             // SAFETY: v is inside the region; off inside the file.
             unsafe {
-                rewire_page_raw(region.page_mut(v), file.fd(), off, true)
-                    .expect("remap failed");
+                rewire_page_raw(region.page_mut(v), file.fd(), off, true).expect("remap failed");
             }
         }
         shoot_us = us_per(t0.elapsed(), opts.remaps);
@@ -210,8 +209,7 @@ fn run_os_point(opts: &Fig5Opts, readers: usize) -> Fig5Row {
                 });
             }
         });
-        (read_ns2.load(Ordering::Relaxed) as f64 / 1e3)
-            / (per_thread * readers as u64) as f64
+        (read_ns2.load(Ordering::Relaxed) as f64 / 1e3) / (per_thread * readers as u64) as f64
     };
 
     drop(area);
@@ -241,7 +239,9 @@ pub fn run_model(opts: &Fig5Opts) -> Vec<Fig5Row> {
         let file = m.aspace.create_file();
         m.aspace.resize_file(file, pages).unwrap();
         let addr = m.aspace.mmap_anon(pages);
-        m.aspace.mmap_file_fixed(addr, pages, file, 0, true).unwrap();
+        m.aspace
+            .mmap_file_fixed(addr, pages, file, 0, true)
+            .unwrap();
 
         let mut gen = KeyGen::new(opts.seed);
         let targets = gen.indices(pages, remaps);

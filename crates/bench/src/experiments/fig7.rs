@@ -38,7 +38,7 @@ pub struct Fig7Opts {
 impl Fig7Opts {
     /// Derive sizes from the scale arguments.
     pub fn from_scale(s: &ScaleArgs) -> Self {
-        let n = s.pick(100_000_000, 10_000_000 / s.scale.max(1), 200_000);
+        let n = s.pick(100_000_000, 10_000_000, 200_000);
         Fig7Opts {
             inserts: n,
             lookups: n,

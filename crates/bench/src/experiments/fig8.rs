@@ -37,9 +37,9 @@ impl Fig8Opts {
     /// Derive sizes from the scale arguments.
     pub fn from_scale(s: &ScaleArgs) -> Self {
         Fig8Opts {
-            bulk: s.pick(92_000_000, 9_200_000 / s.scale.max(1), 100_000),
+            bulk: s.pick(92_000_000, 9_200_000, 100_000),
             waves: 4,
-            wave_size: s.pick(2_000_000, 200_000 / s.scale.max(1), 10_000),
+            wave_size: s.pick(2_000_000, 200_000, 10_000),
             insert_fraction: 0.01,
             batch: s.pick(10_000, 2_000, 500),
             seed: 42,
@@ -99,28 +99,27 @@ pub fn run(opts: &Fig8Opts) -> Vec<Fig8Point> {
     let mut sceh_batch = Duration::ZERO;
     let mut in_batch = 0usize;
 
-    let flush =
-        |accesses: usize,
-         eh_batch: &mut Duration,
-         sceh_batch: &mut Duration,
-         in_batch: &mut usize,
-         sceh: &ShortcutEh,
-         points: &mut Vec<Fig8Point>| {
-            if *in_batch == 0 {
-                return;
-            }
-            let (tver, sver) = sceh.versions();
-            points.push(Fig8Point {
-                accesses,
-                eh_us: us(*eh_batch),
-                sceh_us: us(*sceh_batch),
-                tver,
-                sver,
-            });
-            *eh_batch = Duration::ZERO;
-            *sceh_batch = Duration::ZERO;
-            *in_batch = 0;
-        };
+    let flush = |accesses: usize,
+                 eh_batch: &mut Duration,
+                 sceh_batch: &mut Duration,
+                 in_batch: &mut usize,
+                 sceh: &ShortcutEh,
+                 points: &mut Vec<Fig8Point>| {
+        if *in_batch == 0 {
+            return;
+        }
+        let (tver, sver) = sceh.versions();
+        points.push(Fig8Point {
+            accesses,
+            eh_us: us(*eh_batch),
+            sceh_us: us(*sceh_batch),
+            tver,
+            sver,
+        });
+        *eh_batch = Duration::ZERO;
+        *sceh_batch = Duration::ZERO;
+        *in_batch = 0;
+    };
 
     for wave in 0..opts.waves {
         // 1 % insert burst (counted as accesses, not timed as lookups —

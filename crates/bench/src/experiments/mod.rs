@@ -25,3 +25,33 @@ pub(crate) fn experiment_pool(pages: usize) -> PagePool {
     })
     .expect("pool creation failed — not enough memory for this scale?")
 }
+
+/// Largest shortcut-node slot count the kernel will let one node rewire.
+///
+/// Every slot whose neighbor maps a non-consecutive pool page costs one VMA
+/// (`mmap` returns `ENOMEM` past `vm.max_map_count` — the concern the paper
+/// raises about shortcut nodes). A quarter of the limit leaves room for the
+/// pool view, the traditional node, and the allocator itself. Paper-scale
+/// directories (up to 2²³ slots) need the sysctl raised; see README.
+pub(crate) fn slot_budget() -> usize {
+    let max_maps = std::fs::read_to_string("/proc/sys/vm/max_map_count")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .unwrap_or(65_530);
+    (max_maps / 4).max(1024)
+}
+
+/// Largest power of two ≤ `x`.
+pub(crate) fn floor_pow2(x: usize) -> usize {
+    assert!(x > 0);
+    1 << (usize::BITS - 1 - x.leading_zeros())
+}
+
+/// [`slot_budget`] floored to a power of two — the slot count to hand to
+/// fan-in sweeps, which need every fan-in in the sweep to divide it.
+///
+/// Fan-in-1 (identity) mappings coalesce into a single `mmap` and are not
+/// bounded by the budget; only aliased nodes need this cap.
+pub(crate) fn aliased_slot_cap() -> usize {
+    floor_pow2(slot_budget())
+}

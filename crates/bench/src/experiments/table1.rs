@@ -31,7 +31,7 @@ impl Table1Opts {
     /// Derive sizes from the scale arguments.
     pub fn from_scale(s: &ScaleArgs) -> Self {
         Table1Opts {
-            slots: s.pick(1 << 22, (1 << 20) / s.scale.max(1), 1 << 13),
+            slots: s.pick(1 << 22, 1 << 20, 1 << 13),
             accesses: s.pick(10_000_000, 10_000_000, 200_000),
             seed: 42,
         }
@@ -170,7 +170,12 @@ pub fn run(opts: &Table1Opts) -> (Table1Result, Table) {
             Table::n(n as u64),
             Table::n(opts.accesses as u64)
         ),
-        &["phase", "Traditional", "Shortcut (lazy)", "Shortcut (eager)"],
+        &[
+            "phase",
+            "Traditional",
+            "Shortcut (lazy)",
+            "Shortcut (eager)",
+        ],
     );
     let opt = |o: Option<f64>| o.map(Table::f).unwrap_or_else(|| "-".into());
     table.row(&[

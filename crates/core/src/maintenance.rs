@@ -57,9 +57,7 @@ pub enum MaintRequest {
 impl MaintRequest {
     fn version(&self) -> u64 {
         match self {
-            MaintRequest::Update { version, .. } | MaintRequest::Create { version, .. } => {
-                *version
-            }
+            MaintRequest::Update { version, .. } | MaintRequest::Create { version, .. } => *version,
         }
     }
 }
@@ -176,9 +174,7 @@ impl MapperEngine {
                 self.state.publish(node.base(), node.slots(), version);
             }
             MaintRequest::Create {
-                slots,
-                assignments,
-                ..
+                slots, assignments, ..
             } => {
                 let mut node = if self.cfg.eager_populate {
                     ShortcutNode::new_populated(slots)?
@@ -480,8 +476,16 @@ mod tests {
         let v3 = state.bump_traditional();
         // Updates for v1/v2 arrive together with the create for v3.
         eng.apply_batch(vec![
-            MaintRequest::Update { slot: 0, ppage: l0, version: v1 },
-            MaintRequest::Update { slot: 1, ppage: l1, version: v2 },
+            MaintRequest::Update {
+                slot: 0,
+                ppage: l0,
+                version: v1,
+            },
+            MaintRequest::Update {
+                slot: 1,
+                ppage: l1,
+                version: v2,
+            },
             MaintRequest::Create {
                 slots: 4,
                 assignments: vec![(0, l0), (1, l0), (2, l1), (3, l1)],
@@ -519,7 +523,11 @@ mod tests {
                 assignments: vec![(0, l0), (1, l0)],
                 version: v1,
             },
-            MaintRequest::Update { slot: 1, ppage: l1, version: v2 },
+            MaintRequest::Update {
+                slot: 1,
+                ppage: l1,
+                version: v2,
+            },
         ])
         .unwrap();
         assert!(state.in_sync());

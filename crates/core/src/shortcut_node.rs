@@ -52,7 +52,11 @@ impl ShortcutNode {
 
     /// Apply a sorted batch of `(slot, pool page)` assignments, coalescing
     /// contiguous runs. Returns the number of `mmap` calls used.
-    pub fn set_batch(&mut self, pool: &PoolHandle, assignments: &[(usize, PageIdx)]) -> Result<u64> {
+    pub fn set_batch(
+        &mut self,
+        pool: &PoolHandle,
+        assignments: &[(usize, PageIdx)],
+    ) -> Result<u64> {
         self.area.rewire_batch(pool, assignments)
     }
 
@@ -205,11 +209,7 @@ mod tests {
         let calls = n
             .set_batch(
                 &h,
-                &[
-                    (0, run),
-                    (1, PageIdx(run.0 + 1)),
-                    (2, PageIdx(run.0 + 2)),
-                ],
+                &[(0, run), (1, PageIdx(run.0 + 1)), (2, PageIdx(run.0 + 2))],
             )
             .unwrap();
         assert_eq!(calls, 1);

@@ -71,7 +71,8 @@ impl SharedDirectoryState {
     /// Whether the shortcut is in sync (and something has been published).
     pub fn in_sync(&self) -> bool {
         let sv = self.shortcut_version.load(Ordering::Acquire);
-        sv != 0 && sv == self.traditional_version.load(Ordering::Acquire)
+        sv != 0
+            && sv == self.traditional_version.load(Ordering::Acquire)
             && !self.base.load(Ordering::Acquire).is_null()
     }
 

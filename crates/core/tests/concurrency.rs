@@ -63,8 +63,7 @@ fn seqlock_readers_never_observe_torn_state() {
                         continue;
                     }
                     // SAFETY: published areas stay mapped (retire policy).
-                    let stamp =
-                        unsafe { *(ticket.base.add(s << 12) as *const u64) };
+                    let stamp = unsafe { *(ticket.base.add(s << 12) as *const u64) };
                     if reader_state.still_valid(ticket) {
                         // Validated: stamp must be internally consistent and
                         // its generation must correspond to the version.

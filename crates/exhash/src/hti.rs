@@ -92,10 +92,9 @@ impl Table {
         let mut slot = self.start(key);
         loop {
             match self.state[slot] {
-                1
-                    if self.keys[slot] == key => {
-                        return Some(self.values[slot]);
-                    }
+                1 if self.keys[slot] == key => {
+                    return Some(self.values[slot]);
+                }
                 0 => return None,
                 _ => {}
             }
@@ -107,12 +106,11 @@ impl Table {
         let mut slot = self.start(key);
         loop {
             match self.state[slot] {
-                1
-                    if self.keys[slot] == key => {
-                        self.state[slot] = 2;
-                        self.live -= 1;
-                        return Some(self.values[slot]);
-                    }
+                1 if self.keys[slot] == key => {
+                    self.state[slot] = 2;
+                    self.live -= 1;
+                    return Some(self.values[slot]);
+                }
                 0 => return None,
                 _ => {}
             }

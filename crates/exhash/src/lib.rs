@@ -31,7 +31,7 @@ pub mod stats;
 pub mod traits;
 
 pub use bucket::{BucketRef, InsertOutcome, BUCKET_CAPACITY};
-pub use chained::{ChainedHash, ChConfig};
+pub use chained::{ChConfig, ChainedHash};
 pub use eh::{DirEvent, EhConfig, ExtendibleHash};
 pub use hash::{bucket_slot_hash, dir_slot, mult_hash};
 pub use ht::{HashTable, HtConfig};

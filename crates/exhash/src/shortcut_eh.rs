@@ -24,8 +24,7 @@ use shortcut_core::{MaintConfig, MaintRequest, Maintainer, RoutePolicy};
 use shortcut_rewire::PAGE_SIZE_4K;
 
 /// Shortcut-EH tuning.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct ShortcutEhConfig {
     /// The underlying EH configuration (`track_events` is forced on).
     pub eh: EhConfig,
@@ -34,7 +33,6 @@ pub struct ShortcutEhConfig {
     /// Fan-in routing policy (§3.2; default threshold 8).
     pub policy: RoutePolicy,
 }
-
 
 /// The shortcut-enhanced extendible hash table. See module docs.
 pub struct ShortcutEh {
@@ -208,8 +206,7 @@ impl ShortcutEh {
         // SAFETY: the published area has t.slots pages; `slot < t.slots`
         // by construction of dir_slot; retired areas stay mapped, so even
         // a racing rebuild leaves this readable.
-        let bucket =
-            unsafe { BucketRef::from_ptr(t.base.add(slot * PAGE_SIZE_4K)) };
+        let bucket = unsafe { BucketRef::from_ptr(t.base.add(slot * PAGE_SIZE_4K)) };
         let result = bucket.get(key);
         if self.maint.state().still_valid(t) {
             Some(result)
@@ -229,7 +226,7 @@ impl KvIndex for ShortcutEh {
         let h = mult_hash(key);
         // Run the hot path through a shared borrow (see shortcut_get), then
         // account.
-        if let Some(res) = (&*self).shortcut_get(key, h) {
+        if let Some(res) = self.shortcut_get(key, h) {
             self.stats.shortcut_lookups += 1;
             return res;
         }

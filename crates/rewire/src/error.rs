@@ -98,10 +98,7 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(
-            Error::invalid("x"),
-            Error::InvalidArg { what: "x".into() }
-        );
+        assert_eq!(Error::invalid("x"), Error::InvalidArg { what: "x".into() });
         assert_ne!(Error::invalid("x"), Error::invalid("y"));
     }
 }

@@ -40,9 +40,7 @@ mod varea;
 
 pub use error::{Error, Result};
 pub use memfile::MemFile;
-pub use page::{
-    is_page_aligned, page_size, pages_to_bytes, PageIdx, PAGE_SHIFT_4K, PAGE_SIZE_4K,
-};
+pub use page::{is_page_aligned, page_size, pages_to_bytes, PageIdx, PAGE_SHIFT_4K, PAGE_SIZE_4K};
 pub use pool::{PagePool, PoolConfig, PoolHandle};
 pub use stats::{RewireStats, StatsSnapshot};
 pub use varea::{rewire_page_raw, Mapping, VirtArea};

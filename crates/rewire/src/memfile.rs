@@ -176,7 +176,11 @@ mod tests {
             }
             assert_eq!(f.len(), 4 * page_size(), "size unchanged");
             assert_eq!(*(p as *const u64), 1000);
-            assert_eq!(*(p as *const u64).add(page_size() / 8), 0, "hole reads zero");
+            assert_eq!(
+                *(p as *const u64).add(page_size() / 8),
+                0,
+                "hole reads zero"
+            );
             assert_eq!(*(p as *const u64).add(2 * page_size() / 8), 1002);
             // The hole is writable again (fresh zero page materializes).
             *(p as *mut u64).add(page_size() / 8) = 77;

@@ -127,9 +127,7 @@ impl PagePool {
             return Err(Error::invalid("view_capacity_pages must be > 0"));
         }
         if cfg.initial_pages > cfg.view_capacity_pages {
-            return Err(Error::invalid(
-                "initial_pages exceeds view_capacity_pages",
-            ));
+            return Err(Error::invalid("initial_pages exceeds view_capacity_pages"));
         }
         let file = Arc::new(MemFile::create(&cfg.name)?);
         let stats = Arc::new(RewireStats::new());
@@ -266,7 +264,8 @@ impl PagePool {
         }
         // Remove the claimed indices from the queue tail region. They were
         // appended just now, so drain by filtering the last grown chunk.
-        self.free_queue.retain(|&i| !(start..start + n).contains(&i));
+        self.free_queue
+            .retain(|&i| !(start..start + n).contains(&i));
         self.allocated += n;
         self.stats.count_alloc(n as u64);
         Ok(PageIdx(start))
@@ -353,10 +352,7 @@ impl PagePool {
         let mut reclaimed = 0;
         for i in 0..self.file_pages {
             if self.state[i] == PageState::Free
-                && self
-                    .file
-                    .punch_hole(i * page_size(), page_size())
-                    .is_ok()
+                && self.file.punch_hole(i * page_size(), page_size()).is_ok()
             {
                 reclaimed += 1;
             }
@@ -491,7 +487,13 @@ mod tests {
         let a = p.alloc_page().unwrap();
         p.free_page(a).unwrap();
         let err = p.free_page(a).unwrap_err();
-        assert!(matches!(err, Error::BadPageRef { what: "double free", .. }));
+        assert!(matches!(
+            err,
+            Error::BadPageRef {
+                what: "double free",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -604,18 +606,24 @@ mod tests {
         let mut p = small_pool();
         let keep = p.alloc_page().unwrap();
         let toss: Vec<_> = (0..6).map(|_| p.alloc_page().unwrap()).collect();
-        unsafe { *(p.page_ptr(keep) as *mut u64) = 42; }
+        unsafe {
+            *(p.page_ptr(keep) as *mut u64) = 42;
+        }
         for pg in toss {
             p.free_page(pg).unwrap();
         }
         // Works (count > 0) or degrades (0) depending on host support;
         // either way the allocator and live data stay intact.
         let _ = p.reclaim_free_pages();
-        unsafe { assert_eq!(*(p.page_ptr(keep) as *const u64), 42); }
+        unsafe {
+            assert_eq!(*(p.page_ptr(keep) as *const u64), 42);
+        }
         let fresh = p.alloc_page().unwrap();
         let ptr = p.page_ptr(fresh);
         for i in 0..page_size() {
-            unsafe { assert_eq!(*ptr.add(i), 0, "reclaimed page not zero at {i}"); }
+            unsafe {
+                assert_eq!(*ptr.add(i), 0, "reclaimed page not zero at {i}");
+            }
         }
     }
 

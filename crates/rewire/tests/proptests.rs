@@ -236,8 +236,7 @@ fn full_page_copy_through_shortcut() {
 
     let n = page_size();
     unsafe {
-        let through_shortcut =
-            std::slice::from_raw_parts_mut(area.page_ptr(0), n);
+        let through_shortcut = std::slice::from_raw_parts_mut(area.page_ptr(0), n);
         for (i, b) in through_shortcut.iter_mut().enumerate() {
             *b = (i % 251) as u8;
         }

@@ -86,13 +86,19 @@ impl Cache {
         self.misses += 1;
         // Fill: free slot or evict LRU.
         if let Some(slot) = slots.iter_mut().find(|s| s.is_none()) {
-            *slot = Some(Line { tag: line_addr, stamp: tick });
+            *slot = Some(Line {
+                tag: line_addr,
+                stamp: tick,
+            });
         } else {
             let lru = slots
                 .iter_mut()
                 .min_by_key(|s| s.as_ref().map(|l| l.stamp).unwrap_or(0))
                 .expect("ways > 0");
-            *lru = Some(Line { tag: line_addr, stamp: tick });
+            *lru = Some(Line {
+                tag: line_addr,
+                stamp: tick,
+            });
         }
         false
     }

@@ -178,7 +178,8 @@ mod tests {
         m.access(CoreId(1), addr).unwrap();
         assert!(m.cores[1].tlb.contains(addr.vpn()));
         // Core 0 remaps page 0 to a different file page.
-        m.remap_from_core(CoreId(0), addr, 1, file, 40, true).unwrap();
+        m.remap_from_core(CoreId(0), addr, 1, file, 40, true)
+            .unwrap();
         assert!(!m.cores[1].tlb.contains(addr.vpn()));
         assert_eq!(m.cores[1].stats.remote_invalidations, 1);
         assert_eq!(m.core_stats(CoreId(0)).ipis_sent, 1);
@@ -192,11 +193,13 @@ mod tests {
             for c in 1..8 {
                 m.access(CoreId(c), addr).unwrap();
             }
-            m.remap_from_core(CoreId(0), addr, 1, file, 40, true).unwrap()
+            m.remap_from_core(CoreId(0), addr, 1, file, 40, true)
+                .unwrap()
         };
         let cost_alone = {
             let (mut m, addr, file) = small_machine(8);
-            m.remap_from_core(CoreId(0), addr, 1, file, 40, true).unwrap()
+            m.remap_from_core(CoreId(0), addr, 1, file, 40, true)
+                .unwrap()
         };
         assert!(
             cost_with_holders > cost_alone,
@@ -212,7 +215,8 @@ mod tests {
         // Reader warms up page 0.
         m.access(CoreId(1), addr).unwrap();
         let before = m.core_stats(CoreId(1)).total_ns;
-        m.remap_from_core(CoreId(0), addr, 1, file, 40, true).unwrap();
+        m.remap_from_core(CoreId(0), addr, 1, file, 40, true)
+            .unwrap();
         let reader_penalty = m.core_stats(CoreId(1)).total_ns - before;
         // The reader's penalty is a fraction of the shooter's mmap cost.
         assert!(reader_penalty < CostModel::default().mmap_ns / 2.0);
@@ -221,7 +225,9 @@ mod tests {
     #[test]
     fn no_ipi_when_nobody_holds_entry() {
         let (mut m, addr, file) = small_machine(4);
-        let ns = m.remap_from_core(CoreId(0), addr, 1, file, 40, false).unwrap();
+        let ns = m
+            .remap_from_core(CoreId(0), addr, 1, file, 40, false)
+            .unwrap();
         assert_eq!(m.core_stats(CoreId(0)).ipis_sent, 0);
         assert!((ns - CostModel::default().mmap_ns).abs() < 1e-9);
     }
@@ -230,7 +236,8 @@ mod tests {
     fn remap_redirects_translation() {
         let (mut m, addr, file) = small_machine(1);
         let pfn_before = m.aspace.translate(addr.vpn()).unwrap();
-        m.remap_from_core(CoreId(0), addr, 1, file, 33, true).unwrap();
+        m.remap_from_core(CoreId(0), addr, 1, file, 33, true)
+            .unwrap();
         let pfn_after = m.aspace.translate(addr.vpn()).unwrap();
         assert_ne!(pfn_before, pfn_after);
     }

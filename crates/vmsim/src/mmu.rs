@@ -230,11 +230,13 @@ mod tests {
         }
         // One sequential round to warm, then measure.
         for i in 0..pages as u64 {
-            mmu.access(&mut aspace, VirtAddr(addr.0 + i * 4096)).unwrap();
+            mmu.access(&mut aspace, VirtAddr(addr.0 + i * 4096))
+                .unwrap();
         }
         let misses_before = mmu.stats.tlb_misses;
         for i in 0..pages as u64 {
-            mmu.access(&mut aspace, VirtAddr(addr.0 + i * 4096)).unwrap();
+            mmu.access(&mut aspace, VirtAddr(addr.0 + i * 4096))
+                .unwrap();
         }
         let misses = mmu.stats.tlb_misses - misses_before;
         assert!(

@@ -25,10 +25,7 @@ enum Node {
         children: Vec<Option<Box<Node>>>,
     },
     /// Leaf node (PT level) with 512 PTE slots.
-    Leaf {
-        frame: Pfn,
-        ptes: Vec<Option<Pte>>,
-    },
+    Leaf { frame: Pfn, ptes: Vec<Option<Pte>> },
 }
 
 impl Node {

@@ -136,7 +136,11 @@ impl Tlb {
         // Free slot?
         for slot in slots.iter_mut() {
             if slot.is_none() {
-                *slot = Some(Entry { vpn, pfn, stamp: tick });
+                *slot = Some(Entry {
+                    vpn,
+                    pfn,
+                    stamp: tick,
+                });
                 return;
             }
         }
@@ -145,7 +149,11 @@ impl Tlb {
             .iter_mut()
             .min_by_key(|s| s.as_ref().map(|e| e.stamp).unwrap_or(0))
             .expect("ways > 0");
-        *lru = Some(Entry { vpn, pfn, stamp: tick });
+        *lru = Some(Entry {
+            vpn,
+            pfn,
+            stamp: tick,
+        });
     }
 
     /// Drop the entry for `vpn` if cached. Returns whether one was dropped.
@@ -274,7 +282,10 @@ mod tests {
     use super::*;
 
     fn tiny() -> Tlb {
-        Tlb::new(TlbConfig { entries: 8, ways: 2 }) // 4 sets × 2 ways
+        Tlb::new(TlbConfig {
+            entries: 8,
+            ways: 2,
+        }) // 4 sets × 2 ways
     }
 
     #[test]
@@ -290,7 +301,7 @@ mod tests {
     #[test]
     fn lru_evicts_oldest_in_set() {
         let mut t = tiny(); // set = vpn % 4
-        // Three VPNs mapping to set 0: 0, 4, 8. Two ways.
+                            // Three VPNs mapping to set 0: 0, 4, 8. Two ways.
         t.insert(Vpn(0), Pfn(100));
         t.insert(Vpn(4), Pfn(104));
         assert_eq!(t.lookup(Vpn(0)), Some(Pfn(100))); // 0 now MRU
@@ -333,8 +344,14 @@ mod tests {
     #[test]
     fn hierarchy_promotes_l2_hits() {
         let mut h = TlbHierarchy::new(TlbHierarchyConfig {
-            l1: TlbConfig { entries: 2, ways: 1 },
-            l2: TlbConfig { entries: 8, ways: 2 },
+            l1: TlbConfig {
+                entries: 2,
+                ways: 1,
+            },
+            l2: TlbConfig {
+                entries: 8,
+                ways: 2,
+            },
         });
         h.insert(Vpn(0), Pfn(7));
         // Evict from tiny L1 by inserting a conflicting page (set = vpn % 2).

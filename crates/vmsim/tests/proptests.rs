@@ -2,9 +2,7 @@
 
 use proptest::prelude::*;
 use shortcut_vmsim::address_space::FileId;
-use shortcut_vmsim::{
-    AddressSpace, Machine, MachineConfig, Mmu, PageTable, Pfn, VirtAddr, Vpn,
-};
+use shortcut_vmsim::{AddressSpace, Machine, MachineConfig, Mmu, PageTable, Pfn, VirtAddr, Vpn};
 use std::collections::HashMap;
 
 #[derive(Debug, Clone)]

@@ -6,7 +6,9 @@
 //! ```
 
 use std::time::Duration;
-use taking_the_shortcut::exhash::{EhConfig, ExtendibleHash, KvIndex, ShortcutEh, ShortcutEhConfig};
+use taking_the_shortcut::exhash::{
+    EhConfig, ExtendibleHash, KvIndex, ShortcutEh, ShortcutEhConfig,
+};
 
 fn dump(eh: &ExtendibleHash, label: &str) {
     println!(

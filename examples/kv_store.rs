@@ -84,7 +84,12 @@ fn main() {
     }
 
     let s = store.stats();
-    println!("\n{} writes, {} reads in {:?}", writes, reads, start.elapsed());
+    println!(
+        "\n{} writes, {} reads in {:?}",
+        writes,
+        reads,
+        start.elapsed()
+    );
     println!(
         "read latency: {:.0} ns/lookup average",
         read_time.as_nanos() as f64 / reads as f64

@@ -15,14 +15,21 @@ fn main() {
     let mut index = ShortcutEh::with_defaults();
     let mut rng = StdRng::seed_from_u64(99);
 
-    println!("bulk-loading 2M entries…");
-    let mut keys: Vec<u64> = Vec::with_capacity(2_000_000);
-    for _ in 0..2_000_000 {
+    // 1M entries reach directory depth 13–14. One depth more would need
+    // ~65k VMAs (live + retired shortcut areas) and trip the default
+    // vm.max_map_count mid-demo; see README "Kernel requirements".
+    println!("bulk-loading 1M entries…");
+    let mut keys: Vec<u64> = Vec::with_capacity(1_000_000);
+    for _ in 0..1_000_000 {
         let k: u64 = rng.random();
         index.insert(k, k);
         keys.push(k);
     }
-    assert!(index.wait_sync(Duration::from_secs(60)), "initial sync failed");
+    assert!(
+        index.wait_sync(Duration::from_secs(60)),
+        "initial sync failed (mapper error: {:?})",
+        index.maint_error()
+    );
     println!("bulk load done, shortcut in sync: {:?}\n", index.versions());
 
     for wave in 1..=4 {
@@ -51,7 +58,11 @@ fn main() {
             let ns = t0.elapsed().as_nanos() as f64 / per_slice as f64;
             println!(
                 "  slice {slice}: {ns:6.0} ns/lookup   versions t={tv} s={sv} {}",
-                if tv == sv { "✓ shortcut" } else { "… traditional (catching up)" }
+                if tv == sv {
+                    "✓ shortcut"
+                } else {
+                    "… traditional (catching up)"
+                }
             );
         }
         println!();

@@ -15,7 +15,10 @@ fn main() {
         ..PoolConfig::default()
     })
     .expect("pool");
-    println!("created a page pool backed by memfd; {} pages", pool.file_pages());
+    println!(
+        "created a page pool backed by memfd; {} pages",
+        pool.file_pages()
+    );
 
     // Allocate three "leaf nodes" (ppage0, ppage1, ppage3 in the paper's
     // Figure 3 — we simply take what the free queue hands us).
@@ -57,11 +60,7 @@ fn main() {
     println!("\nshortcut node: slot i IS virtual page i of one mmap'd area");
     for i in 0..4 {
         let v = unsafe { *(shortcut.slot_ptr(i) as *const u64) };
-        println!(
-            "  slot {i} ({:?}) reads {:#x}",
-            shortcut.slot_mapping(i),
-            v
-        );
+        println!("  slot {i} ({:?}) reads {:#x}", shortcut.slot_mapping(i), v);
     }
 
     // ── The aliasing property that makes maintenance free ───────────────

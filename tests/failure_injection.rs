@@ -3,9 +3,7 @@
 //! and never corrupt index answers.
 
 use std::time::Duration;
-use taking_the_shortcut::core::{
-    MaintConfig, MaintRequest, Maintainer, ShortcutNode,
-};
+use taking_the_shortcut::core::{MaintConfig, MaintRequest, Maintainer, ShortcutNode};
 use taking_the_shortcut::rewire::{Error, PageIdx, PagePool, PoolConfig, VirtArea};
 
 #[test]
@@ -112,7 +110,10 @@ fn double_free_and_foreign_pointer_detection() {
     pool.free_page(p).unwrap();
     assert!(matches!(
         pool.free_page(p),
-        Err(Error::BadPageRef { what: "double free", .. })
+        Err(Error::BadPageRef {
+            what: "double free",
+            ..
+        })
     ));
     // A pointer that is not inside the pool view is rejected.
     let foreign = Box::new(0u8);

@@ -4,7 +4,9 @@
 use std::collections::HashMap;
 use std::time::Duration;
 use taking_the_shortcut::core::{ShortcutNode, TraditionalNode};
-use taking_the_shortcut::exhash::{EhConfig, ExtendibleHash, KvIndex, ShortcutEh, ShortcutEhConfig};
+use taking_the_shortcut::exhash::{
+    EhConfig, ExtendibleHash, KvIndex, ShortcutEh, ShortcutEhConfig,
+};
 use taking_the_shortcut::rewire::{PageIdx, PagePool, PoolConfig};
 
 #[test]
@@ -30,10 +32,18 @@ fn shortcut_eh_against_oracle_with_live_mapper() {
                 oracle.insert(key, i);
             }
             6..=8 => {
-                assert_eq!(index.get(key), oracle.get(&key).copied(), "get({key}) at op {i}");
+                assert_eq!(
+                    index.get(key),
+                    oracle.get(&key).copied(),
+                    "get({key}) at op {i}"
+                );
             }
             _ => {
-                assert_eq!(index.remove(key), oracle.remove(&key), "remove({key}) at op {i}");
+                assert_eq!(
+                    index.remove(key),
+                    oracle.remove(&key),
+                    "remove({key}) at op {i}"
+                );
             }
         }
         if i % 10_000 == 0 {
@@ -98,12 +108,7 @@ fn traditional_and_shortcut_nodes_read_identical_leaves() {
     }
 
     let read = |t: &TraditionalNode, s: &ShortcutNode, i: usize| -> (u64, u64) {
-        unsafe {
-            (
-                *(t.get(i) as *const u64),
-                *(s.slot_ptr(i) as *const u64),
-            )
-        }
+        unsafe { (*(t.get(i) as *const u64), *(s.slot_ptr(i) as *const u64)) }
     };
     for i in 0..slots {
         let (a, b) = read(&trad, &short, i);
@@ -167,13 +172,7 @@ fn vmsim_agrees_with_real_rewiring_on_remap_scripts() {
         let leaf = ((x >> 8) % leaves as u64) as usize;
         area.set_slot(slot, &handle, pages[leaf]).unwrap();
         aspace
-            .mmap_file_fixed(
-                VirtAddr(addr.0 + (slot as u64) * 4096),
-                1,
-                file,
-                leaf,
-                true,
-            )
+            .mmap_file_fixed(VirtAddr(addr.0 + (slot as u64) * 4096), 1, file, leaf, true)
             .unwrap();
 
         // Compare observable state across all slots.
@@ -181,7 +180,9 @@ fn vmsim_agrees_with_real_rewiring_on_remap_scripts() {
             let real: Option<u64> = area
                 .slot_mapping(s)
                 .map(|_| unsafe { *(area.slot_ptr(s) as *const u64) });
-            let model: Option<u64> = match aspace.backing_of(VirtAddr(addr.0 + (s as u64) * 4096).vpn()) {
+            let model: Option<u64> = match aspace
+                .backing_of(VirtAddr(addr.0 + (s as u64) * 4096).vpn())
+            {
                 Some(taking_the_shortcut::vmsim::MapKind::File { page, .. }) => Some(page as u64),
                 _ => None,
             };

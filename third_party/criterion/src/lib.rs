@@ -1,0 +1,372 @@
+//! Minimal local subset of `criterion`.
+//!
+//! Supports the workspace's bench files: `criterion_group!`/`criterion_main!`
+//! with the `name/config/targets` form, `Criterion::{default, sample_size,
+//! bench_function, benchmark_group}`, groups with `bench_function` /
+//! `bench_with_input` / `sample_size` / `finish`, and benchers with `iter` /
+//! `iter_batched`. Measurement is a simple warmup + N timed samples with a
+//! median/mean/min report — no outlier analysis, no HTML.
+//!
+//! CLI behavior: a single positional argument filters benchmarks by
+//! substring; `--test` (passed by `cargo test`) runs every benchmark once
+//! for a smoke check; `--bench` (passed by `cargo bench`) is accepted and
+//! ignored.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                // Flags cargo or the real criterion CLI may pass; ignored.
+                "--bench" | "--verbose" | "-n" | "--noplot" | "--quiet" => {}
+                s if s.starts_with('-') => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion {
+            sample_size: 20,
+            filter,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark (builder-style, like criterion).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            id,
+            self.sample_size,
+            self.filter.as_deref(),
+            self.test_mode,
+            &mut f,
+        );
+        self
+    }
+
+    pub fn benchmark_group(&mut self, group_name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: group_name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// Printed by `criterion_main!` after all groups ran.
+    pub fn final_summary(&self) {}
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    fn effective_samples(&self) -> usize {
+        self.sample_size.unwrap_or(self.parent.sample_size)
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(
+            &id,
+            self.effective_samples(),
+            self.parent.filter.as_deref(),
+            self.parent.test_mode,
+            &mut f,
+        );
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(
+            &id,
+            self.effective_samples(),
+            self.parent.filter.as_deref(),
+            self.parent.test_mode,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifier carrying a function name and a parameter value.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark name (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+/// How `iter_batched` amortizes setup cost. The shim always runs one routine
+/// call per setup call, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumIterations(u64),
+}
+
+/// Measures one benchmark body.
+pub struct Bencher {
+    samples: usize,
+    test_mode: bool,
+    /// Collected per-sample durations (each sample = one routine call).
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warmup: stabilize caches/branch predictors and fault-in pages.
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.results.push(start.elapsed());
+        }
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.results.push(start.elapsed());
+        }
+    }
+
+    /// Like `iter_batched`, but the routine takes the input by reference.
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, setup: S, mut routine: F, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(setup, |mut input| routine(&mut input), size);
+    }
+}
+
+fn run_one(
+    id: &str,
+    samples: usize,
+    filter: Option<&str>,
+    test_mode: bool,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    if let Some(pat) = filter {
+        if !id.contains(pat) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        samples,
+        test_mode,
+        results: Vec::with_capacity(samples),
+    };
+    f(&mut b);
+    if test_mode {
+        println!("test {id} ... ok (bench smoke)");
+        return;
+    }
+    if b.results.is_empty() {
+        println!("{id:<48} (no measurement recorded)");
+        return;
+    }
+    let mut sorted = b.results.clone();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let min = sorted[0];
+    let total: Duration = sorted.iter().sum();
+    let mean = total / sorted.len() as u32;
+    println!(
+        "{id:<48} median {:>12} | mean {:>12} | min {:>12} | {} samples",
+        fmt_ns(median),
+        fmt_ns(mean),
+        fmt_ns(min),
+        sorted.len()
+    );
+}
+
+fn fmt_ns(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Define a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define the bench binary's `main` from one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_quiet(samples: usize, f: &mut dyn FnMut(&mut Bencher)) -> Vec<Duration> {
+        let mut b = Bencher {
+            samples,
+            test_mode: false,
+            results: Vec::new(),
+        };
+        f(&mut b);
+        b.results
+    }
+
+    #[test]
+    fn iter_records_one_duration_per_sample() {
+        let mut calls = 0u32;
+        let results = run_quiet(5, &mut |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        assert_eq!(results.len(), 5);
+        assert_eq!(calls, 6, "5 samples + 1 warmup");
+    }
+
+    #[test]
+    fn iter_batched_fresh_input_per_sample() {
+        let mut setups = 0u32;
+        let results = run_quiet(4, &mut |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![0u8; 64]
+                },
+                |v| v.len(),
+                BatchSize::PerIteration,
+            )
+        });
+        assert_eq!(results.len(), 4);
+        assert_eq!(setups, 5, "4 samples + 1 warmup");
+    }
+
+    #[test]
+    fn benchmark_id_formats_name_and_parameter() {
+        let id = BenchmarkId::new("lookup", 4096);
+        assert_eq!(id.into_benchmark_id(), "lookup/4096");
+        assert_eq!(BenchmarkId::from_parameter(7).into_benchmark_id(), "7");
+    }
+}

@@ -1,0 +1,87 @@
+//! Minimal local subset of `crossbeam`: an unbounded MPMC FIFO queue with
+//! the `SegQueue` API. Backed by `Mutex<VecDeque>` rather than a lock-free
+//! segment list — identical observable semantics, lower peak throughput.
+
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Unbounded MPMC FIFO queue.
+    #[derive(Debug)]
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        pub fn new() -> Self {
+            SegQueue {
+                inner: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        pub fn push(&self, value: T) {
+            self.inner.lock().unwrap().push_back(value);
+        }
+
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().unwrap().pop_front()
+        }
+
+        pub fn len(&self) -> usize {
+            self.inner.lock().unwrap().len()
+        }
+
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Default for SegQueue<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::queue::SegQueue;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_order() {
+        let q = SegQueue::new();
+        for i in 0..10 {
+            q.push(i);
+        }
+        assert_eq!(q.len(), 10);
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn concurrent_producers_consumers() {
+        let q = Arc::new(SegQueue::new());
+        let producers: Vec<_> = (0..4)
+            .map(|t| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        q.push(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut seen = std::collections::HashSet::new();
+        while let Some(v) = q.pop() {
+            assert!(seen.insert(v));
+        }
+        assert_eq!(seen.len(), 4000);
+    }
+}

@@ -1,0 +1,92 @@
+//! Minimal local subset of the `libc` crate.
+//!
+//! Only the declarations the workspace actually uses are provided: the
+//! `memfd_create`/`ftruncate`/`fallocate`/`mmap` family that backs memory
+//! rewiring (paper §2). Constants are the Linux generic-ABI values, which are
+//! identical on x86_64 and aarch64 for everything declared here.
+
+#![allow(non_camel_case_types)]
+
+pub use std::os::raw::{c_char, c_int, c_long, c_uint, c_void};
+
+pub type size_t = usize;
+pub type off_t = i64;
+
+// errno values (asm-generic).
+pub const EINVAL: c_int = 22;
+pub const EOPNOTSUPP: c_int = 95;
+
+// fallocate(2) mode flags.
+pub const FALLOC_FL_KEEP_SIZE: c_int = 0x01;
+pub const FALLOC_FL_PUNCH_HOLE: c_int = 0x02;
+
+// mmap(2) protection flags.
+pub const PROT_NONE: c_int = 0x0;
+pub const PROT_READ: c_int = 0x1;
+pub const PROT_WRITE: c_int = 0x2;
+
+// mmap(2) mapping flags (asm-generic; identical on x86_64 and aarch64).
+pub const MAP_SHARED: c_int = 0x0001;
+pub const MAP_PRIVATE: c_int = 0x0002;
+pub const MAP_FIXED: c_int = 0x0010;
+pub const MAP_ANONYMOUS: c_int = 0x0020;
+pub const MAP_NORESERVE: c_int = 0x4000;
+pub const MAP_POPULATE: c_int = 0x8000;
+
+/// Error return of `mmap(2)`.
+pub const MAP_FAILED: *mut c_void = !0 as *mut c_void;
+
+// sysconf(3) names.
+pub const _SC_PAGESIZE: c_int = 30;
+
+extern "C" {
+    pub fn close(fd: c_int) -> c_int;
+    pub fn ftruncate(fd: c_int, length: off_t) -> c_int;
+    pub fn fallocate(fd: c_int, mode: c_int, offset: off_t, len: off_t) -> c_int;
+    pub fn memfd_create(name: *const c_char, flags: c_uint) -> c_int;
+    pub fn mmap(
+        addr: *mut c_void,
+        len: size_t,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: off_t,
+    ) -> *mut c_void;
+    pub fn munmap(addr: *mut c_void, len: size_t) -> c_int;
+    pub fn sysconf(name: c_int) -> c_long;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_size_is_sane() {
+        let ps = unsafe { sysconf(_SC_PAGESIZE) };
+        assert!(ps >= 4096, "sysconf(_SC_PAGESIZE) = {ps}");
+        assert_eq!(ps & (ps - 1), 0, "page size must be a power of two");
+    }
+
+    #[test]
+    fn memfd_mmap_round_trip() {
+        unsafe {
+            let name = std::ffi::CString::new("libc-shim-test").unwrap();
+            let fd = memfd_create(name.as_ptr(), 0);
+            assert!(fd >= 0);
+            assert_eq!(ftruncate(fd, 4096), 0);
+            let p = mmap(
+                std::ptr::null_mut(),
+                4096,
+                PROT_READ | PROT_WRITE,
+                MAP_SHARED,
+                fd,
+                0,
+            );
+            assert_ne!(p, MAP_FAILED);
+            *(p as *mut u64) = 0xfeed;
+            assert_eq!(*(p as *const u64), 0xfeed);
+            assert_eq!(munmap(p, 4096), 0);
+            assert_eq!(close(fd), 0);
+        }
+    }
+}
