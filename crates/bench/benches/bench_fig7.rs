@@ -23,7 +23,7 @@ fn bench_inserts(c: &mut Criterion) {
                 },
                 |mut index| {
                     for &k in &keys {
-                        index.insert(k, k);
+                        index.insert(k, k).unwrap();
                     }
                     index
                 },
@@ -49,7 +49,7 @@ fn bench_lookups(c: &mut Criterion) {
             v.pop().unwrap()
         };
         for &k in &keys {
-            index.insert(k, k);
+            index.insert(k, k).unwrap();
         }
         if index.name() == "Shortcut-EH" {
             std::thread::sleep(std::time::Duration::from_millis(100));

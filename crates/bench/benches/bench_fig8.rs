@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use shortcut_bench::workload::KeyGen;
-use shortcut_exhash::{EhConfig, ExtendibleHash, KvIndex, ShortcutEh, ShortcutEhConfig};
+use shortcut_exhash::{EhConfig, ExtendibleHash, Index, ShortcutEh, ShortcutEhConfig};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -16,15 +16,15 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig8_mixed_batch");
     g.sample_size(20);
 
-    let mut eh = ExtendibleHash::new(EhConfig::default());
+    let mut eh = ExtendibleHash::try_new(EhConfig::default()).unwrap();
     for &k in &keys {
-        eh.insert(k, k);
+        eh.insert(k, k).unwrap();
     }
     let mut cursor = 0usize;
     g.bench_function("EH", |b| {
         b.iter(|| {
             for _ in 0..10 {
-                eh.insert(fresh[cursor % fresh.len()], 1);
+                eh.insert(fresh[cursor % fresh.len()], 1).unwrap();
                 cursor += 1;
             }
             let mut found = 0u64;
@@ -37,16 +37,16 @@ fn bench(c: &mut Criterion) {
         })
     });
 
-    let mut sceh = ShortcutEh::new(ShortcutEhConfig::default());
+    let mut sceh = ShortcutEh::try_new(ShortcutEhConfig::default()).unwrap();
     for &k in &keys {
-        sceh.insert(k, k);
+        sceh.insert(k, k).unwrap();
     }
     sceh.wait_sync(std::time::Duration::from_secs(30));
     let mut cursor = 0usize;
     g.bench_function("Shortcut-EH", |b| {
         b.iter(|| {
             for _ in 0..10 {
-                sceh.insert(fresh[cursor % fresh.len()], 1);
+                sceh.insert(fresh[cursor % fresh.len()], 1).unwrap();
                 cursor += 1;
             }
             let mut found = 0u64;

@@ -6,7 +6,7 @@ use crate::timing::{ms, Stopwatch};
 use crate::workload::KeyGen;
 use crate::Table;
 use shortcut_core::{MaintConfig, RoutePolicy, ShortcutNode};
-use shortcut_exhash::{EhConfig, KvIndex, ShortcutEh, ShortcutEhConfig};
+use shortcut_exhash::{EhConfig, Index, ShortcutEh, ShortcutEhConfig};
 use shortcut_rewire::PageIdx;
 use std::time::{Duration, Instant};
 
@@ -124,7 +124,7 @@ pub fn a3_poll_interval(s: &ScaleArgs) -> Table {
         ],
     );
     for poll in intervals_ms {
-        let mut sceh = ShortcutEh::new(ShortcutEhConfig {
+        let mut sceh = ShortcutEh::try_new(ShortcutEhConfig {
             eh: EhConfig {
                 pool: super::fig7::bench_pool_config(bulk * 2),
                 ..EhConfig::default()
@@ -134,20 +134,21 @@ pub fn a3_poll_interval(s: &ScaleArgs) -> Table {
                 ..MaintConfig::default()
             },
             ..Default::default()
-        });
+        })
+        .expect("Shortcut-EH construction failed");
         let mut gen = KeyGen::new(42);
         let keys = gen.uniform_keys(bulk + burst);
 
         let sw = Stopwatch::start();
         for &k in &keys[..bulk] {
-            sceh.insert(k, k);
+            sceh.insert(k, k).expect("insert failed");
         }
         let bulk_ms = ms(sw.elapsed());
         assert!(sceh.wait_sync(Duration::from_secs(60)));
 
         let sw = Stopwatch::start();
         for &k in &keys[bulk..] {
-            sceh.insert(k, k);
+            sceh.insert(k, k).expect("insert failed");
         }
         let burst_ms = ms(sw.elapsed());
 
@@ -182,7 +183,7 @@ pub fn a4_populate(s: &ScaleArgs) -> Table {
         ],
     );
     for eager in [true, false] {
-        let mut sceh = ShortcutEh::new(ShortcutEhConfig {
+        let mut sceh = ShortcutEh::try_new(ShortcutEhConfig {
             eh: EhConfig {
                 pool: super::fig7::bench_pool_config(n * 2),
                 ..EhConfig::default()
@@ -192,16 +193,17 @@ pub fn a4_populate(s: &ScaleArgs) -> Table {
                 ..MaintConfig::default()
             },
             ..Default::default()
-        });
+        })
+        .expect("Shortcut-EH construction failed");
         let mut gen = KeyGen::new(42);
         let keys = gen.uniform_keys(n);
         for &k in &keys {
-            sceh.insert(k, k);
+            sceh.insert(k, k).expect("insert failed");
         }
         assert!(sceh.wait_sync(Duration::from_secs(120)));
         let probe = gen.hits_from(&keys, lookups);
 
-        let mut round = || {
+        let round = || {
             let sw = Stopwatch::start();
             let mut found = 0u64;
             for &k in &probe {

@@ -16,7 +16,7 @@ use crate::workload::KeyGen;
 use crate::Table;
 use shortcut_exhash::{
     ChConfig, ChainedHash, EhConfig, ExtendibleHash, HashTable, HtConfig, HtiConfig,
-    IncrementalHashTable, KvIndex, ShortcutEh, ShortcutEhConfig,
+    IncrementalHashTable, Index, ShortcutEh, ShortcutEhConfig,
 };
 use shortcut_rewire::PoolConfig;
 use std::hint::black_box;
@@ -64,41 +64,52 @@ pub fn bench_pool_config(expected_entries: usize) -> PoolConfig {
 }
 
 /// Build the five schemes sized for `n` inserts.
-pub fn build_schemes(n: usize) -> Vec<Box<dyn KvIndex>> {
+pub fn build_schemes(n: usize) -> Vec<Box<dyn Index>> {
     vec![
-        Box::new(HashTable::new(HtConfig {
-            initial_capacity: 256,
-            max_load_factor: 0.35,
-        })),
-        Box::new(IncrementalHashTable::new(HtiConfig {
-            initial_capacity: 256,
-            max_load_factor: 0.35,
-            migration_batch: 64,
-        })),
-        Box::new(ChainedHash::new(ChConfig {
-            // Paper ratio: 1 GB table (2²⁶ slots) for 10⁸ keys.
-            table_slots: ((n as f64 * 0.67) as usize).next_power_of_two(),
-        })),
-        Box::new(ExtendibleHash::new(EhConfig {
-            pool: bench_pool_config(n),
-            ..EhConfig::default()
-        })),
-        Box::new(ShortcutEh::new(ShortcutEhConfig {
-            eh: EhConfig {
+        Box::new(
+            HashTable::try_new(HtConfig {
+                initial_capacity: 256,
+                max_load_factor: 0.35,
+            })
+            .expect("HT construction failed"),
+        ),
+        Box::new(
+            IncrementalHashTable::try_new(HtiConfig {
+                initial_capacity: 256,
+                max_load_factor: 0.35,
+                migration_batch: 64,
+            })
+            .expect("HTI construction failed"),
+        ),
+        Box::new(
+            ChainedHash::try_new(ChConfig {
+                // Paper ratio: 1 GB table (2²⁶ slots) for 10⁸ keys.
+                table_slots: ((n as f64 * 0.67) as usize).next_power_of_two(),
+            })
+            .expect("CH construction failed"),
+        ),
+        Box::new(
+            ExtendibleHash::try_new(EhConfig {
                 pool: bench_pool_config(n),
                 ..EhConfig::default()
-            },
-            ..Default::default()
-        })),
+            })
+            .expect("EH construction failed"),
+        ),
+        Box::new(
+            ShortcutEh::try_new(ShortcutEhConfig {
+                eh: EhConfig {
+                    pool: bench_pool_config(n),
+                    ..EhConfig::default()
+                },
+                ..Default::default()
+            })
+            .expect("Shortcut-EH construction failed"),
+        ),
     ]
 }
 
 /// Accumulated insert-time curve of one scheme: (entries, seconds) pairs.
-pub fn insert_curve(
-    index: &mut dyn KvIndex,
-    keys: &[u64],
-    checkpoints: usize,
-) -> Vec<(usize, f64)> {
+pub fn insert_curve(index: &mut dyn Index, keys: &[u64], checkpoints: usize) -> Vec<(usize, f64)> {
     let step = (keys.len() / checkpoints).max(1);
     let mut curve = Vec::with_capacity(checkpoints);
     let mut accumulated = Duration::ZERO;
@@ -107,7 +118,7 @@ pub fn insert_curve(
         let end = (done + step).min(keys.len());
         let t0 = Instant::now();
         for &k in &keys[done..end] {
-            index.insert(k, k.wrapping_mul(3));
+            index.insert(k, k.wrapping_mul(3)).expect("insert failed");
         }
         accumulated += t0.elapsed();
         done = end;
@@ -116,8 +127,9 @@ pub fn insert_curve(
     curve
 }
 
-/// Total lookup time (ms) for a hits-only workload.
-pub fn lookup_time(index: &mut dyn KvIndex, lookups: &[u64]) -> f64 {
+/// Total lookup time (ms) for a hits-only workload. Lookups go through
+/// `&self` — the shared-reader path production traffic would use.
+pub fn lookup_time(index: &dyn Index, lookups: &[u64]) -> f64 {
     let t0 = Instant::now();
     let mut found = 0u64;
     for &k in lookups {
@@ -165,7 +177,7 @@ pub fn run(opts: &Fig7Opts) -> Fig7Result {
             // warm-up window.
             std::thread::sleep(Duration::from_millis(100));
         }
-        lookup_ms.push(lookup_time(index.as_mut(), &lookups));
+        lookup_ms.push(lookup_time(index.as_ref(), &lookups));
         drop(index); // free memory before the next scheme
     }
 

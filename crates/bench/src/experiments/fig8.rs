@@ -12,7 +12,7 @@ use crate::scale::ScaleArgs;
 use crate::timing::us;
 use crate::workload::KeyGen;
 use crate::Table;
-use shortcut_exhash::{EhConfig, ExtendibleHash, KvIndex, ShortcutEh, ShortcutEhConfig};
+use shortcut_exhash::{EhConfig, ExtendibleHash, Index, ShortcutEh, ShortcutEhConfig};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -67,21 +67,23 @@ pub fn run(opts: &Fig8Opts) -> Vec<Fig8Point> {
     let mut gen = KeyGen::new(opts.seed);
     let bulk_keys = gen.uniform_keys(opts.bulk);
 
-    let mut eh = ExtendibleHash::new(EhConfig {
+    let mut eh = ExtendibleHash::try_new(EhConfig {
         pool: super::fig7::bench_pool_config(opts.bulk * 2),
         ..EhConfig::default()
-    });
-    let mut sceh = ShortcutEh::new(ShortcutEhConfig {
+    })
+    .expect("EH construction failed");
+    let mut sceh = ShortcutEh::try_new(ShortcutEhConfig {
         eh: EhConfig {
             pool: super::fig7::bench_pool_config(opts.bulk * 2),
             ..EhConfig::default()
         },
         ..Default::default()
-    });
+    })
+    .expect("Shortcut-EH construction failed");
 
     for &k in &bulk_keys {
-        eh.insert(k, k);
-        sceh.insert(k, k);
+        eh.insert(k, k).expect("bulk insert failed");
+        sceh.insert(k, k).expect("bulk insert failed");
     }
     // Start the waves from a synced state, as the paper's plot does.
     assert!(
@@ -126,8 +128,8 @@ pub fn run(opts: &Fig8Opts) -> Vec<Fig8Point> {
         // the paper plots lookup time only).
         for i in 0..inserts_per_wave {
             let k = fresh_keys[wave * inserts_per_wave + i];
-            eh.insert(k, k);
-            sceh.insert(k, k);
+            eh.insert(k, k).expect("insert failed");
+            sceh.insert(k, k).expect("insert failed");
             accesses += 1;
             in_batch += 1;
             if in_batch >= opts.batch {

@@ -29,7 +29,12 @@ pub struct HybridNode {
 
 impl HybridNode {
     /// Create a hybrid node with `k` slots (eagerly populated shortcut).
-    pub fn new(k: usize, policy: RoutePolicy) -> Result<Self> {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the shortcut area's reservation/population failure —
+    /// notably `mmap` hitting `vm.max_map_count` for large `k`.
+    pub fn try_new(k: usize, policy: RoutePolicy) -> Result<Self> {
         Ok(HybridNode {
             trad: TraditionalNode::new(k),
             shortcut: ShortcutNode::new_populated(k)?,
@@ -38,6 +43,12 @@ impl HybridNode {
             set_slots: 0,
             routed: (0, 0),
         })
+    }
+
+    /// Alias of [`HybridNode::try_new`], kept for source compatibility.
+    #[deprecated(since = "0.2.0", note = "use `try_new`")]
+    pub fn new(k: usize, policy: RoutePolicy) -> Result<Self> {
+        Self::try_new(k, policy)
     }
 
     /// Number of slots.
@@ -123,7 +134,7 @@ mod tests {
     fn both_paths_agree() {
         let mut p = pool();
         let h = p.handle();
-        let mut node = HybridNode::new(8, RoutePolicy::default()).unwrap();
+        let mut node = HybridNode::try_new(8, RoutePolicy::default()).unwrap();
         let mut pages = Vec::new();
         for i in 0..8 {
             let pg = p.alloc_page().unwrap();
@@ -146,7 +157,7 @@ mod tests {
         let mut p = pool();
         let h = p.handle();
         // 16 slots all pointing at ONE leaf: fan-in 16 > threshold 8.
-        let mut node = HybridNode::new(16, RoutePolicy::default()).unwrap();
+        let mut node = HybridNode::try_new(16, RoutePolicy::default()).unwrap();
         let pg = p.alloc_page().unwrap();
         for i in 0..16 {
             node.set_slot(i, &h, p.page_ptr(pg), pg, i == 0).unwrap();
@@ -156,7 +167,7 @@ mod tests {
         assert_eq!(node.routing_counts(), (0, 1), "high fan-in -> traditional");
 
         // A second node with one leaf per slot: fan-in 1 -> shortcut.
-        let mut node2 = HybridNode::new(4, RoutePolicy::default()).unwrap();
+        let mut node2 = HybridNode::try_new(4, RoutePolicy::default()).unwrap();
         for i in 0..4 {
             let pg = p.alloc_page().unwrap();
             node2.set_slot(i, &h, p.page_ptr(pg), pg, true).unwrap();
@@ -170,7 +181,7 @@ mod tests {
     fn resetting_a_slot_keeps_agreement() {
         let mut p = pool();
         let h = p.handle();
-        let mut node = HybridNode::new(2, RoutePolicy::default()).unwrap();
+        let mut node = HybridNode::try_new(2, RoutePolicy::default()).unwrap();
         let a = p.alloc_page().unwrap();
         let b = p.alloc_page().unwrap();
         unsafe {

@@ -6,9 +6,10 @@
 //! insertion time, as it does not perform any rehashing at all" but pays
 //! for chain traversal on lookups — exactly the Figure 7 trade-off.
 
+use crate::error::IndexError;
 use crate::hash::bucket_slot_hash;
 use crate::stats::IndexStats;
-use crate::traits::KvIndex;
+use crate::traits::Index;
 
 /// Entries per 128 B chain bucket: 7 × 16 B entries + count + next pointer.
 const CHAIN_CAPACITY: usize = 7;
@@ -63,9 +64,16 @@ pub struct ChainedHash {
 impl ChainedHash {
     /// Build with custom configuration (slot count rounded up to a power
     /// of two).
-    pub fn new(cfg: ChConfig) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Rejects a zero slot count.
+    pub fn try_new(cfg: ChConfig) -> Result<Self, IndexError> {
+        if cfg.table_slots == 0 {
+            return Err(IndexError::config("table_slots must be > 0"));
+        }
         let slots = cfg.table_slots.next_power_of_two();
-        ChainedHash {
+        Ok(ChainedHash {
             keys: vec![0; slots],
             values: vec![0; slots],
             occupied: vec![0; slots.div_ceil(64)],
@@ -73,12 +81,23 @@ impl ChainedHash {
             mask: slots - 1,
             live: 0,
             stats: IndexStats::default(),
-        }
+        })
+    }
+
+    /// Build with custom configuration, panicking on rejection.
+    #[deprecated(since = "0.2.0", note = "use the fallible `try_new`")]
+    pub fn new(cfg: ChConfig) -> Self {
+        Self::try_new(cfg).expect("ChainedHash construction failed")
     }
 
     /// Build with the paper's 1 GB table.
-    pub fn with_defaults() -> Self {
-        Self::new(ChConfig::default())
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the default configuration; fallible for signature
+    /// uniformity with the pool-backed schemes.
+    pub fn with_defaults() -> Result<Self, IndexError> {
+        Self::try_new(ChConfig::default())
     }
 
     /// Structural statistics.
@@ -107,13 +126,13 @@ impl ChainedHash {
     }
 }
 
-impl KvIndex for ChainedHash {
-    fn insert(&mut self, key: u64, value: u64) {
+impl Index for ChainedHash {
+    fn insert(&mut self, key: u64, value: u64) -> Result<(), IndexError> {
         let slot = self.slot_of(key);
         let inline_free = !self.inline_occupied(slot);
         if !inline_free && self.keys[slot] == key {
             self.values[slot] = value;
-            return;
+            return Ok(());
         }
         // Walk the chain first: the key may live there even when the inline
         // slot is free (a remove can vacate the inline entry while chained
@@ -127,7 +146,7 @@ impl KvIndex for ChainedHash {
                 if b.occupied >> i & 1 == 1 {
                     if b.keys[i] == key {
                         b.values[i] = value;
-                        return;
+                        return Ok(());
                     }
                 } else if hole.is_none() {
                     hole = Some((b as *mut ChainBucket, i));
@@ -142,7 +161,7 @@ impl KvIndex for ChainedHash {
             self.values[slot] = value;
             self.set_inline_occupied(slot, true);
             self.live += 1;
-            return;
+            return Ok(());
         }
         if let Some((bptr, i)) = hole {
             // SAFETY: bptr points into a chain owned by self; no aliasing
@@ -152,7 +171,7 @@ impl KvIndex for ChainedHash {
             b.values[i] = value;
             b.occupied |= 1 << i;
             self.live += 1;
-            return;
+            return Ok(());
         }
         // Append a fresh bucket: to the chain tail, or start the chain.
         let mut fresh = ChainBucket::new();
@@ -169,9 +188,10 @@ impl KvIndex for ChainedHash {
                 (*last).next = Some(fresh);
             }
         }
+        Ok(())
     }
 
-    fn get(&mut self, key: u64) -> Option<u64> {
+    fn get(&self, key: u64) -> Option<u64> {
         let slot = self.slot_of(key);
         if self.inline_occupied(slot) && self.keys[slot] == key {
             return Some(self.values[slot]);
@@ -188,12 +208,12 @@ impl KvIndex for ChainedHash {
         None
     }
 
-    fn remove(&mut self, key: u64) -> Option<u64> {
+    fn remove(&mut self, key: u64) -> Result<Option<u64>, IndexError> {
         let slot = self.slot_of(key);
         if self.inline_occupied(slot) && self.keys[slot] == key {
             self.set_inline_occupied(slot, false);
             self.live -= 1;
-            return Some(self.values[slot]);
+            return Ok(Some(self.values[slot]));
         }
         let mut cur = self.chains[slot].as_deref_mut();
         while let Some(b) = cur {
@@ -201,12 +221,12 @@ impl KvIndex for ChainedHash {
                 if b.occupied >> i & 1 == 1 && b.keys[i] == key {
                     b.occupied &= !(1 << i);
                     self.live -= 1;
-                    return Some(b.values[i]);
+                    return Ok(Some(b.values[i]));
                 }
             }
             cur = b.next.as_deref_mut();
         }
-        None
+        Ok(None)
     }
 
     fn len(&self) -> usize {
@@ -223,17 +243,25 @@ mod tests {
     use super::*;
 
     fn small() -> ChainedHash {
-        ChainedHash::new(ChConfig { table_slots: 16 })
+        ChainedHash::try_new(ChConfig { table_slots: 16 }).unwrap()
     }
 
     #[test]
     fn inline_roundtrip() {
         let mut t = small();
-        t.insert(1, 10);
+        t.insert(1, 10).unwrap();
         assert_eq!(t.get(1), Some(10));
-        assert_eq!(t.remove(1), Some(10));
+        assert_eq!(t.remove(1).unwrap(), Some(10));
         assert_eq!(t.get(1), None);
         assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn zero_slots_is_a_typed_error() {
+        assert!(matches!(
+            ChainedHash::try_new(ChConfig { table_slots: 0 }),
+            Err(IndexError::Config { .. })
+        ));
     }
 
     #[test]
@@ -241,7 +269,7 @@ mod tests {
         let mut t = small();
         // With 16 slots, 500 keys force heavy chaining.
         for k in 0..500u64 {
-            t.insert(k, k * 2);
+            t.insert(k, k * 2).unwrap();
         }
         assert_eq!(t.len(), 500);
         assert!(t.stats().chain_buckets > 0);
@@ -254,10 +282,10 @@ mod tests {
     fn update_inline_and_chained() {
         let mut t = small();
         for k in 0..100u64 {
-            t.insert(k, k);
+            t.insert(k, k).unwrap();
         }
         for k in 0..100u64 {
-            t.insert(k, k + 1000);
+            t.insert(k, k + 1000).unwrap();
         }
         assert_eq!(t.len(), 100);
         for k in 0..100u64 {
@@ -269,10 +297,10 @@ mod tests {
     fn remove_from_chain_leaves_rest() {
         let mut t = small();
         for k in 0..200u64 {
-            t.insert(k, k);
+            t.insert(k, k).unwrap();
         }
         for k in (0..200u64).step_by(2) {
-            assert_eq!(t.remove(k), Some(k));
+            assert_eq!(t.remove(k).unwrap(), Some(k));
         }
         assert_eq!(t.len(), 100);
         for k in 0..200u64 {
@@ -285,14 +313,14 @@ mod tests {
     fn holes_in_chains_are_refilled() {
         let mut t = small();
         for k in 0..100u64 {
-            t.insert(k, k);
+            t.insert(k, k).unwrap();
         }
         let buckets_before = t.stats().chain_buckets;
         for k in 0..50u64 {
-            t.remove(k);
+            t.remove(k).unwrap();
         }
         for k in 1000..1050u64 {
-            t.insert(k, k);
+            t.insert(k, k).unwrap();
         }
         // Reuse of holes means no (or few) new chain buckets.
         assert_eq!(t.stats().chain_buckets, buckets_before);
@@ -303,10 +331,10 @@ mod tests {
 
     #[test]
     fn key_zero_inline_and_chained() {
-        let mut t = ChainedHash::new(ChConfig { table_slots: 1 });
-        t.insert(0, 7);
+        let mut t = ChainedHash::try_new(ChConfig { table_slots: 1 }).unwrap();
+        t.insert(0, 7).unwrap();
         for k in 1..20u64 {
-            t.insert(k, k);
+            t.insert(k, k).unwrap();
         }
         assert_eq!(t.get(0), Some(7));
         assert_eq!(t.len(), 20);

@@ -15,9 +15,10 @@ mod directory;
 pub use directory::Directory;
 
 use crate::bucket::{BucketRef, InsertOutcome, BUCKET_CAPACITY};
+use crate::error::IndexError;
 use crate::hash::{dir_slot, mult_hash, split_bit};
 use crate::stats::IndexStats;
-use crate::traits::KvIndex;
+use crate::traits::Index;
 use shortcut_rewire::{PageIdx, PagePool, PoolConfig, PoolHandle};
 
 /// Directory-modifying events, emitted (when enabled) for the asynchronous
@@ -80,17 +81,29 @@ pub struct ExtendibleHash {
 impl ExtendibleHash {
     /// Build with custom configuration; starts with one empty bucket (the
     /// paper's "effective space of only 4 KB").
-    pub fn new(cfg: EhConfig) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Rejects a load factor outside `(0, 1]` or too small to hold a
+    /// single entry, and propagates pool creation / initial-bucket
+    /// allocation failures (memfd, `mmap`, reservation sizing) as
+    /// [`IndexError::Pool`].
+    pub fn try_new(cfg: EhConfig) -> Result<Self, IndexError> {
+        if !(cfg.max_load_factor > 0.0 && cfg.max_load_factor <= 1.0) {
+            return Err(IndexError::config("max_load_factor must be in (0, 1]"));
+        }
         let max_entries = ((BUCKET_CAPACITY as f64) * cfg.max_load_factor).floor() as usize;
-        assert!(max_entries >= 1, "load factor too small for any entry");
-        let mut pool = PagePool::new(cfg.pool.clone()).expect("pool creation failed");
-        let first = pool.alloc_page().expect("initial bucket allocation failed");
+        if max_entries < 1 {
+            return Err(IndexError::config("load factor too small for any entry"));
+        }
+        let mut pool = PagePool::new(cfg.pool.clone())?;
+        let first = pool.alloc_page()?;
         let ptr = pool.page_ptr(first);
         // SAFETY: freshly allocated, exclusively owned 4 KB pool page.
         unsafe { BucketRef::from_ptr(ptr) }.init(0);
         let mut dir = Directory::new();
         dir.set_all(ptr);
-        ExtendibleHash {
+        Ok(ExtendibleHash {
             pool,
             dir,
             bucket_count: 1,
@@ -99,12 +112,22 @@ impl ExtendibleHash {
             cfg,
             stats: IndexStats::default(),
             events: Vec::new(),
-        }
+        })
+    }
+
+    /// Build with custom configuration, panicking on failure.
+    #[deprecated(since = "0.2.0", note = "use the fallible `try_new`")]
+    pub fn new(cfg: EhConfig) -> Self {
+        Self::try_new(cfg).expect("ExtendibleHash construction failed")
     }
 
     /// Build with the paper's defaults.
-    pub fn with_defaults() -> Self {
-        Self::new(EhConfig::default())
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool creation failure as [`IndexError::Pool`].
+    pub fn with_defaults() -> Result<Self, IndexError> {
+        Self::try_new(EhConfig::default())
     }
 
     /// Global depth of the directory.
@@ -132,6 +155,11 @@ impl ExtendibleHash {
         self.stats
     }
 
+    /// Operation counters of the backing page pool.
+    pub fn pool_stats(&self) -> shortcut_rewire::StatsSnapshot {
+        self.pool.stats()
+    }
+
     /// Maximum entries a bucket may hold before splitting.
     pub fn bucket_entry_limit(&self) -> usize {
         self.max_entries
@@ -156,39 +184,47 @@ impl ExtendibleHash {
     }
 
     /// Full `(slot, pool page)` assignment of the current directory.
-    pub fn directory_assignments(&self) -> Vec<(usize, PageIdx)> {
+    ///
+    /// # Errors
+    ///
+    /// Fails only if a directory slot points outside the pool view — an
+    /// internal invariant violation surfaced as [`IndexError::Pool`]
+    /// rather than a panic on the write path.
+    pub fn directory_assignments(&self) -> Result<Vec<(usize, PageIdx)>, IndexError> {
         (0..self.dir.slot_count())
             .map(|s| {
                 let ptr = self.dir.get(s);
-                let page = self
-                    .pool
-                    .page_of_ptr(ptr)
-                    .expect("directory pointer outside pool");
-                (s, page)
+                let page = self.pool.page_of_ptr(ptr)?;
+                Ok((s, page))
             })
             .collect()
     }
 
-    fn double_directory(&mut self) {
-        assert!(
-            self.dir.global_depth() < self.cfg.max_global_depth,
-            "directory would exceed max_global_depth={} (pathological key distribution?)",
-            self.cfg.max_global_depth
-        );
+    fn double_directory(&mut self) -> Result<(), IndexError> {
+        if self.dir.global_depth() >= self.cfg.max_global_depth {
+            return Err(IndexError::DepthLimit {
+                max_global_depth: self.cfg.max_global_depth,
+            });
+        }
         self.dir.double();
         self.stats.doublings += 1;
         if self.cfg.track_events {
-            let assignments = self.directory_assignments();
+            let assignments = self.directory_assignments()?;
             self.events.push(DirEvent::Doubled {
                 slots: self.dir.slot_count(),
                 assignments,
             });
         }
+        Ok(())
     }
 
     /// Split the bucket the hash routes to. One split per call; the insert
     /// loop retries (a skewed bucket may need several rounds).
-    fn split(&mut self, hash: u64) {
+    ///
+    /// On failure (pool exhausted, depth cap) no entry has moved yet — the
+    /// overflowing bucket is split only after the fresh page is in hand —
+    /// so the index stays fully readable.
+    fn split(&mut self, hash: u64) -> Result<(), IndexError> {
         let g = self.dir.global_depth();
         let slot = dir_slot(hash, g);
         let old_ptr = self.dir.get(slot);
@@ -197,7 +233,7 @@ impl ExtendibleHash {
         let l = old.local_depth();
 
         if l == g {
-            self.double_directory();
+            self.double_directory()?;
         }
         let g = self.dir.global_depth();
         let slot = dir_slot(hash, g);
@@ -209,7 +245,7 @@ impl ExtendibleHash {
         let half = range.len() / 2;
 
         // Fresh bucket page for the upper half.
-        let new_page = self.pool.alloc_page().expect("bucket allocation failed");
+        let new_page = self.pool.alloc_page()?;
         let new_ptr = self.pool.page_ptr(new_page);
         // SAFETY: freshly allocated pool page, exclusively ours.
         let new = unsafe { BucketRef::from_ptr(new_ptr) };
@@ -238,45 +274,48 @@ impl ExtendibleHash {
         }
         self.bucket_count += 1;
         self.stats.splits += 1;
+        Ok(())
     }
 }
 
 impl ExtendibleHash {
-    /// Shared-reference lookup. Because inserts require `&mut self`, Rust's
-    /// aliasing rules guarantee no concurrent structural change while any
-    /// `&self` lookup runs — this is the sound basis for parallel lookup
-    /// phases (see [`crate::ShortcutEh::get_ref`]).
+    /// Shared-reference lookup, kept from the seed API.
+    #[deprecated(since = "0.2.0", note = "`Index::get` now takes `&self`; use `get`")]
     pub fn get_ref(&self, key: u64) -> Option<u64> {
-        self.bucket_for(mult_hash(key)).get(key)
+        Index::get(self, key)
     }
 }
 
-impl KvIndex for ExtendibleHash {
-    fn insert(&mut self, key: u64, value: u64) {
+impl Index for ExtendibleHash {
+    fn insert(&mut self, key: u64, value: u64) -> Result<(), IndexError> {
         let h = mult_hash(key);
         loop {
             let bucket = self.bucket_for(h);
             match bucket.insert(key, value, self.max_entries) {
                 InsertOutcome::Inserted => {
                     self.len += 1;
-                    return;
+                    return Ok(());
                 }
-                InsertOutcome::Updated => return,
-                InsertOutcome::Full => self.split(h),
+                InsertOutcome::Updated => return Ok(()),
+                InsertOutcome::Full => self.split(h)?,
             }
         }
     }
 
-    fn get(&mut self, key: u64) -> Option<u64> {
+    /// Shared-reference lookup. Because inserts require `&mut self`, Rust's
+    /// aliasing rules guarantee no concurrent structural change while any
+    /// `&self` lookup runs — this is the sound basis for parallel lookup
+    /// phases (see [`crate::ShortcutEh`]).
+    fn get(&self, key: u64) -> Option<u64> {
         self.bucket_for(mult_hash(key)).get(key)
     }
 
-    fn remove(&mut self, key: u64) -> Option<u64> {
+    fn remove(&mut self, key: u64) -> Result<Option<u64>, IndexError> {
         let v = self.bucket_for(mult_hash(key)).remove(key);
         if v.is_some() {
             self.len -= 1;
         }
-        v
+        Ok(v)
     }
 
     fn len(&self) -> usize {
@@ -293,7 +332,7 @@ mod tests {
     use super::*;
 
     fn small() -> ExtendibleHash {
-        ExtendibleHash::new(EhConfig {
+        ExtendibleHash::try_new(EhConfig {
             pool: PoolConfig {
                 initial_pages: 1,
                 min_growth_pages: 8,
@@ -302,6 +341,7 @@ mod tests {
             },
             ..EhConfig::default()
         })
+        .unwrap()
     }
 
     #[test]
@@ -313,14 +353,30 @@ mod tests {
     }
 
     #[test]
+    fn out_of_range_load_factor_is_a_typed_error() {
+        for bad in [0.0, -0.5, 1.5] {
+            assert!(
+                matches!(
+                    ExtendibleHash::try_new(EhConfig {
+                        max_load_factor: bad,
+                        ..EhConfig::default()
+                    }),
+                    Err(IndexError::Config { .. })
+                ),
+                "load factor {bad} accepted"
+            );
+        }
+    }
+
+    #[test]
     fn basic_roundtrip() {
         let mut eh = small();
-        eh.insert(1, 10);
-        eh.insert(2, 20);
+        eh.insert(1, 10).unwrap();
+        eh.insert(2, 20).unwrap();
         assert_eq!(eh.get(1), Some(10));
         assert_eq!(eh.get(2), Some(20));
         assert_eq!(eh.get(3), None);
-        assert_eq!(eh.remove(1), Some(10));
+        assert_eq!(eh.remove(1).unwrap(), Some(10));
         assert_eq!(eh.get(1), None);
         assert_eq!(eh.len(), 1);
     }
@@ -328,8 +384,8 @@ mod tests {
     #[test]
     fn update_preserves_len() {
         let mut eh = small();
-        eh.insert(5, 1);
-        eh.insert(5, 2);
+        eh.insert(5, 1).unwrap();
+        eh.insert(5, 2).unwrap();
         assert_eq!(eh.len(), 1);
         assert_eq!(eh.get(5), Some(2));
     }
@@ -339,7 +395,7 @@ mod tests {
         let mut eh = small();
         let n = 20_000u64;
         for k in 0..n {
-            eh.insert(k, k + 7);
+            eh.insert(k, k + 7).unwrap();
         }
         assert_eq!(eh.len(), n as usize);
         assert!(eh.stats().splits > 100);
@@ -357,7 +413,7 @@ mod tests {
     fn directory_invariants_hold() {
         let mut eh = small();
         for k in 0..5_000u64 {
-            eh.insert(k, k);
+            eh.insert(k, k).unwrap();
         }
         let g = eh.global_depth();
         let mut seen = std::collections::HashMap::new();
@@ -387,7 +443,7 @@ mod tests {
     fn entries_live_in_their_prefix_bucket() {
         let mut eh = small();
         for k in 0..3_000u64 {
-            eh.insert(k, k);
+            eh.insert(k, k).unwrap();
         }
         let g = eh.global_depth();
         for s in 0..eh.dir_slots() {
@@ -407,12 +463,13 @@ mod tests {
 
     #[test]
     fn events_track_splits_and_doublings() {
-        let mut eh = ExtendibleHash::new(EhConfig {
+        let mut eh = ExtendibleHash::try_new(EhConfig {
             track_events: true,
             ..EhConfig::default()
-        });
+        })
+        .unwrap();
         for k in 0..1_000u64 {
-            eh.insert(k, k);
+            eh.insert(k, k).unwrap();
         }
         let events = eh.take_events();
         assert!(!events.is_empty());
@@ -448,7 +505,7 @@ mod tests {
     fn no_events_when_disabled() {
         let mut eh = small();
         for k in 0..2_000u64 {
-            eh.insert(k, k);
+            eh.insert(k, k).unwrap();
         }
         assert!(eh.take_events().is_empty());
     }
@@ -457,16 +514,16 @@ mod tests {
     fn remove_then_reinsert_across_splits() {
         let mut eh = small();
         for k in 0..2_000u64 {
-            eh.insert(k, k);
+            eh.insert(k, k).unwrap();
         }
         for k in 0..1_000u64 {
-            assert_eq!(eh.remove(k), Some(k));
+            assert_eq!(eh.remove(k).unwrap(), Some(k));
         }
         for k in 0..1_000u64 {
             assert_eq!(eh.get(k), None);
         }
         for k in 0..1_000u64 {
-            eh.insert(k, k * 2);
+            eh.insert(k, k * 2).unwrap();
         }
         for k in 0..1_000u64 {
             assert_eq!(eh.get(k), Some(k * 2));

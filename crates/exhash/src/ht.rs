@@ -5,9 +5,10 @@
 //! occasional full rehash makes the accumulated-insert curve jump (Figure
 //! 7a), while lookups enjoy a single flat probe sequence (Figure 7b).
 
+use crate::error::IndexError;
 use crate::hash::bucket_slot_hash;
 use crate::stats::IndexStats;
-use crate::traits::KvIndex;
+use crate::traits::Index;
 
 /// HT tuning.
 #[derive(Debug, Clone, Copy)]
@@ -153,17 +154,38 @@ pub struct HashTable {
 
 impl HashTable {
     /// Build with custom configuration.
-    pub fn new(cfg: HtConfig) -> Self {
-        HashTable {
+    ///
+    /// # Errors
+    ///
+    /// Rejects a zero capacity or a load factor outside `(0, 1]`.
+    pub fn try_new(cfg: HtConfig) -> Result<Self, IndexError> {
+        if cfg.initial_capacity == 0 {
+            return Err(IndexError::config("initial_capacity must be > 0"));
+        }
+        if !(cfg.max_load_factor > 0.0 && cfg.max_load_factor <= 1.0) {
+            return Err(IndexError::config("max_load_factor must be in (0, 1]"));
+        }
+        Ok(HashTable {
             table: Table::new(cfg.initial_capacity.next_power_of_two()),
             cfg,
             stats: IndexStats::default(),
-        }
+        })
+    }
+
+    /// Build with custom configuration, panicking on rejection.
+    #[deprecated(since = "0.2.0", note = "use the fallible `try_new`")]
+    pub fn new(cfg: HtConfig) -> Self {
+        Self::try_new(cfg).expect("HashTable construction failed")
     }
 
     /// Build with the paper's defaults (256 slots, load factor 0.35).
-    pub fn with_defaults() -> Self {
-        Self::new(HtConfig::default())
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the default configuration; fallible for signature
+    /// uniformity with the pool-backed schemes.
+    pub fn with_defaults() -> Result<Self, IndexError> {
+        Self::try_new(HtConfig::default())
     }
 
     /// Current capacity in slots.
@@ -191,18 +213,19 @@ impl HashTable {
     }
 }
 
-impl KvIndex for HashTable {
-    fn insert(&mut self, key: u64, value: u64) {
+impl Index for HashTable {
+    fn insert(&mut self, key: u64, value: u64) -> Result<(), IndexError> {
         self.maybe_grow();
         self.table.insert(key, value);
+        Ok(())
     }
 
-    fn get(&mut self, key: u64) -> Option<u64> {
+    fn get(&self, key: u64) -> Option<u64> {
         self.table.get(key)
     }
 
-    fn remove(&mut self, key: u64) -> Option<u64> {
-        self.table.remove(key)
+    fn remove(&mut self, key: u64) -> Result<Option<u64>, IndexError> {
+        Ok(self.table.remove(key))
     }
 
     fn len(&self) -> usize {
@@ -220,34 +243,53 @@ mod tests {
 
     #[test]
     fn insert_get_remove() {
-        let mut t = HashTable::with_defaults();
-        t.insert(1, 10);
-        t.insert(2, 20);
+        let mut t = HashTable::with_defaults().unwrap();
+        t.insert(1, 10).unwrap();
+        t.insert(2, 20).unwrap();
         assert_eq!(t.get(1), Some(10));
         assert_eq!(t.get(2), Some(20));
         assert_eq!(t.get(3), None);
-        assert_eq!(t.remove(1), Some(10));
+        assert_eq!(t.remove(1).unwrap(), Some(10));
         assert_eq!(t.get(1), None);
         assert_eq!(t.len(), 1);
     }
 
     #[test]
     fn update_does_not_grow_len() {
-        let mut t = HashTable::with_defaults();
-        t.insert(5, 1);
-        t.insert(5, 2);
+        let mut t = HashTable::with_defaults().unwrap();
+        t.insert(5, 1).unwrap();
+        t.insert(5, 2).unwrap();
         assert_eq!(t.len(), 1);
         assert_eq!(t.get(5), Some(2));
     }
 
     #[test]
+    fn bad_config_is_a_typed_error() {
+        assert!(matches!(
+            HashTable::try_new(HtConfig {
+                initial_capacity: 0,
+                max_load_factor: 0.35,
+            }),
+            Err(IndexError::Config { .. })
+        ));
+        assert!(matches!(
+            HashTable::try_new(HtConfig {
+                initial_capacity: 16,
+                max_load_factor: 0.0,
+            }),
+            Err(IndexError::Config { .. })
+        ));
+    }
+
+    #[test]
     fn grows_and_keeps_everything() {
-        let mut t = HashTable::new(HtConfig {
+        let mut t = HashTable::try_new(HtConfig {
             initial_capacity: 16,
             max_load_factor: 0.35,
-        });
+        })
+        .unwrap();
         for k in 0..10_000u64 {
-            t.insert(k, k * 3);
+            t.insert(k, k * 3).unwrap();
         }
         assert_eq!(t.len(), 10_000);
         assert!(t.stats().full_rehashes > 5);
@@ -260,16 +302,16 @@ mod tests {
 
     #[test]
     fn tombstones_are_reused() {
-        let mut t = HashTable::with_defaults();
+        let mut t = HashTable::with_defaults().unwrap();
         for k in 0..50u64 {
-            t.insert(k, k);
+            t.insert(k, k).unwrap();
         }
         for k in 0..50u64 {
-            t.remove(k);
+            t.remove(k).unwrap();
         }
         let rehashes_before = t.stats().full_rehashes;
         for k in 100..150u64 {
-            t.insert(k, k);
+            t.insert(k, k).unwrap();
         }
         for k in 100..150u64 {
             assert_eq!(t.get(k), Some(k));
@@ -279,10 +321,10 @@ mod tests {
 
     #[test]
     fn key_zero_supported() {
-        let mut t = HashTable::with_defaults();
-        t.insert(0, 42);
+        let mut t = HashTable::with_defaults().unwrap();
+        t.insert(0, 42).unwrap();
         assert_eq!(t.get(0), Some(42));
-        assert_eq!(t.remove(0), Some(42));
+        assert_eq!(t.remove(0).unwrap(), Some(42));
         assert_eq!(t.get(0), None);
     }
 }

@@ -6,10 +6,18 @@
 //! inspect both, "starting with the one containing more entries" (paper
 //! §4.2). This flattens Figure 7a's staircase at the price of slower
 //! lookups during (and bookkeeping after) migrations.
+//!
+//! Because *reads* migrate entries, [`Index::get`]'s `&self` signature is
+//! served through a [`RefCell`]: the bookkeeping stays faithful to Redis
+//! semantics, and the `RefCell` makes the type `!Sync`, so the compiler
+//! rejects sharing an HTI across threads (unlike Shortcut-EH, whose reads
+//! really are concurrent-safe).
 
+use crate::error::IndexError;
 use crate::hash::bucket_slot_hash;
 use crate::stats::IndexStats;
-use crate::traits::KvIndex;
+use crate::traits::Index;
+use std::cell::RefCell;
 
 /// HTI tuning.
 #[derive(Debug, Clone, Copy)]
@@ -119,51 +127,24 @@ impl Table {
     }
 }
 
-/// The HTI baseline. See module docs.
-pub struct IncrementalHashTable {
+/// The mutable state behind the `RefCell` (see module docs: reads migrate).
+struct Inner {
     /// The current table; during migration, the *new* (larger) one.
     new: Table,
     /// The table being drained, if a migration is in flight.
     old: Option<Table>,
     /// Migration scan cursor into `old`.
     cursor: usize,
-    cfg: HtiConfig,
     stats: IndexStats,
 }
 
-impl IncrementalHashTable {
-    /// Build with custom configuration.
-    pub fn new(cfg: HtiConfig) -> Self {
-        IncrementalHashTable {
-            new: Table::new(cfg.initial_capacity.next_power_of_two()),
-            old: None,
-            cursor: 0,
-            cfg,
-            stats: IndexStats::default(),
-        }
-    }
-
-    /// Build with defaults (256 slots, 0.35, batch 64).
-    pub fn with_defaults() -> Self {
-        Self::new(HtiConfig::default())
-    }
-
-    /// Whether a migration is currently in flight.
-    pub fn is_migrating(&self) -> bool {
-        self.old.is_some()
-    }
-
-    /// Structural statistics.
-    pub fn stats(&self) -> IndexStats {
-        self.stats
-    }
-
-    fn maybe_start_resize(&mut self) {
+impl Inner {
+    fn maybe_start_resize(&mut self, max_load_factor: f64) {
         if self.old.is_some() {
             return;
         }
         let cap = self.new.keys.len();
-        let max = (cap as f64 * self.cfg.max_load_factor) as usize;
+        let max = (cap as f64 * max_load_factor) as usize;
         if self.new.live < max {
             return;
         }
@@ -174,8 +155,7 @@ impl IncrementalHashTable {
 
     /// Move up to `batch` live entries from old to new (the per-access
     /// migration step).
-    fn migrate_step(&mut self) {
-        let batch = self.cfg.migration_batch;
+    fn migrate_step(&mut self, batch: usize) {
         let Some(old) = self.old.as_mut() else {
             return;
         };
@@ -199,25 +179,8 @@ impl IncrementalHashTable {
             self.cursor = 0;
         }
     }
-}
 
-impl KvIndex for IncrementalHashTable {
-    fn insert(&mut self, key: u64, value: u64) {
-        self.maybe_start_resize();
-        self.migrate_step();
-        // New entries go to the new table; if the key still lives in the
-        // old table, overwrite it there to keep a single source of truth.
-        if let Some(old) = self.old.as_mut() {
-            if old.get(key).is_some() {
-                old.insert(key, value);
-                return;
-            }
-        }
-        self.new.insert(key, value);
-    }
-
-    fn get(&mut self, key: u64) -> Option<u64> {
-        self.migrate_step();
+    fn get(&self, key: u64) -> Option<u64> {
         match self.old.as_ref() {
             None => self.new.get(key),
             Some(old) => {
@@ -230,22 +193,118 @@ impl KvIndex for IncrementalHashTable {
             }
         }
     }
+}
 
-    fn remove(&mut self, key: u64) -> Option<u64> {
-        self.migrate_step();
-        let from_new = self.new.remove(key);
-        if from_new.is_some() {
-            return from_new;
+/// The HTI baseline. See module docs.
+pub struct IncrementalHashTable {
+    inner: RefCell<Inner>,
+    cfg: HtiConfig,
+}
+
+impl IncrementalHashTable {
+    /// Build with custom configuration.
+    ///
+    /// # Errors
+    ///
+    /// Rejects a zero capacity, a load factor outside `(0, 1]`, or a zero
+    /// migration batch (which would stall every in-flight resize forever).
+    pub fn try_new(cfg: HtiConfig) -> Result<Self, IndexError> {
+        if cfg.initial_capacity == 0 {
+            return Err(IndexError::config("initial_capacity must be > 0"));
         }
-        self.old.as_mut().and_then(|t| t.remove(key))
+        if !(cfg.max_load_factor > 0.0 && cfg.max_load_factor <= 1.0) {
+            return Err(IndexError::config("max_load_factor must be in (0, 1]"));
+        }
+        if cfg.migration_batch == 0 {
+            return Err(IndexError::config("migration_batch must be > 0"));
+        }
+        Ok(IncrementalHashTable {
+            inner: RefCell::new(Inner {
+                new: Table::new(cfg.initial_capacity.next_power_of_two()),
+                old: None,
+                cursor: 0,
+                stats: IndexStats::default(),
+            }),
+            cfg,
+        })
+    }
+
+    /// Build with custom configuration, panicking on rejection.
+    #[deprecated(since = "0.2.0", note = "use the fallible `try_new`")]
+    pub fn new(cfg: HtiConfig) -> Self {
+        Self::try_new(cfg).expect("IncrementalHashTable construction failed")
+    }
+
+    /// Build with defaults (256 slots, 0.35, batch 64).
+    ///
+    /// # Errors
+    ///
+    /// Never fails for the default configuration; fallible for signature
+    /// uniformity with the pool-backed schemes.
+    pub fn with_defaults() -> Result<Self, IndexError> {
+        Self::try_new(HtiConfig::default())
+    }
+
+    /// Whether a migration is currently in flight.
+    pub fn is_migrating(&self) -> bool {
+        self.inner.borrow().old.is_some()
+    }
+
+    /// Structural statistics.
+    pub fn stats(&self) -> IndexStats {
+        self.inner.borrow().stats
+    }
+}
+
+impl Index for IncrementalHashTable {
+    fn insert(&mut self, key: u64, value: u64) -> Result<(), IndexError> {
+        let inner = self.inner.get_mut();
+        inner.maybe_start_resize(self.cfg.max_load_factor);
+        inner.migrate_step(self.cfg.migration_batch);
+        // New entries go to the new table; if the key still lives in the
+        // old table, overwrite it there to keep a single source of truth.
+        if let Some(old) = inner.old.as_mut() {
+            if old.get(key).is_some() {
+                old.insert(key, value);
+                return Ok(());
+            }
+        }
+        inner.new.insert(key, value);
+        Ok(())
+    }
+
+    fn get(&self, key: u64) -> Option<u64> {
+        let mut inner = self.inner.borrow_mut();
+        inner.migrate_step(self.cfg.migration_batch);
+        inner.get(key)
+    }
+
+    fn remove(&mut self, key: u64) -> Result<Option<u64>, IndexError> {
+        let inner = self.inner.get_mut();
+        inner.migrate_step(self.cfg.migration_batch);
+        let from_new = inner.new.remove(key);
+        if from_new.is_some() {
+            return Ok(from_new);
+        }
+        Ok(inner.old.as_mut().and_then(|t| t.remove(key)))
     }
 
     fn len(&self) -> usize {
-        self.new.live + self.old.as_ref().map_or(0, |t| t.live)
+        let inner = self.inner.borrow();
+        inner.new.live + inner.old.as_ref().map_or(0, |t| t.live)
     }
 
     fn name(&self) -> &'static str {
         "HTI"
+    }
+
+    /// Batched lookup: one migration step for the whole batch (instead of
+    /// one per key), then a single borrow for all probes — the kind of
+    /// bookkeeping amortization the batch API exists for.
+    fn get_many(&self, keys: &[u64]) -> Vec<Option<u64>> {
+        let mut inner = self.inner.borrow_mut();
+        inner.migrate_step(self.cfg.migration_batch);
+        keys.iter().map(|&k| inner.get(k)).collect()
     }
 }
 
@@ -253,24 +312,41 @@ impl KvIndex for IncrementalHashTable {
 mod tests {
     use super::*;
 
+    fn small(batch: usize) -> IncrementalHashTable {
+        IncrementalHashTable::try_new(HtiConfig {
+            initial_capacity: 16,
+            max_load_factor: 0.35,
+            migration_batch: batch,
+        })
+        .unwrap()
+    }
+
     #[test]
     fn basic_roundtrip() {
-        let mut t = IncrementalHashTable::with_defaults();
-        t.insert(1, 10);
+        let mut t = IncrementalHashTable::with_defaults().unwrap();
+        t.insert(1, 10).unwrap();
         assert_eq!(t.get(1), Some(10));
-        assert_eq!(t.remove(1), Some(10));
+        assert_eq!(t.remove(1).unwrap(), Some(10));
         assert_eq!(t.get(1), None);
     }
 
     #[test]
+    fn bad_config_is_a_typed_error() {
+        assert!(matches!(
+            IncrementalHashTable::try_new(HtiConfig {
+                initial_capacity: 16,
+                max_load_factor: 0.35,
+                migration_batch: 0,
+            }),
+            Err(IndexError::Config { .. })
+        ));
+    }
+
+    #[test]
     fn migration_preserves_all_entries() {
-        let mut t = IncrementalHashTable::new(HtiConfig {
-            initial_capacity: 16,
-            max_load_factor: 0.35,
-            migration_batch: 4,
-        });
+        let mut t = small(4);
         for k in 0..5_000u64 {
-            t.insert(k, k + 1);
+            t.insert(k, k + 1).unwrap();
         }
         assert_eq!(t.len(), 5_000);
         for k in 0..5_000u64 {
@@ -281,34 +357,43 @@ mod tests {
 
     #[test]
     fn lookups_work_mid_migration() {
-        let mut t = IncrementalHashTable::new(HtiConfig {
-            initial_capacity: 16,
-            max_load_factor: 0.35,
-            migration_batch: 1, // crawl, so we stay migrating a long time
-        });
+        let mut t = small(1); // crawl, so we stay migrating a long time
         for k in 0..200u64 {
-            t.insert(k, k);
+            t.insert(k, k).unwrap();
         }
         assert!(t.is_migrating());
-        // Every key readable while both tables coexist.
+        // Every key readable while both tables coexist — through a shared
+        // reference, since migration now hides behind the RefCell.
+        let t = &t;
         for k in 0..200u64 {
             assert_eq!(t.get(k), Some(k), "key {k} during migration");
         }
     }
 
     #[test]
+    fn get_many_matches_get_and_amortizes_migration() {
+        let mut t = small(1);
+        for k in 0..300u64 {
+            t.insert(k, k * 3).unwrap();
+        }
+        assert!(t.is_migrating());
+        let keys: Vec<u64> = (0..310).collect();
+        let batched = t.get_many(&keys);
+        for (i, k) in keys.iter().enumerate() {
+            let want = if *k < 300 { Some(k * 3) } else { None };
+            assert_eq!(batched[i], want, "key {k}");
+        }
+    }
+
+    #[test]
     fn update_during_migration_is_visible() {
-        let mut t = IncrementalHashTable::new(HtiConfig {
-            initial_capacity: 16,
-            max_load_factor: 0.35,
-            migration_batch: 1,
-        });
+        let mut t = small(1);
         for k in 0..100u64 {
-            t.insert(k, k);
+            t.insert(k, k).unwrap();
         }
         assert!(t.is_migrating());
         for k in 0..100u64 {
-            t.insert(k, k + 1000);
+            t.insert(k, k + 1000).unwrap();
         }
         for k in 0..100u64 {
             assert_eq!(t.get(k), Some(k + 1000), "stale value for {k}");
@@ -318,17 +403,13 @@ mod tests {
 
     #[test]
     fn removal_during_migration() {
-        let mut t = IncrementalHashTable::new(HtiConfig {
-            initial_capacity: 16,
-            max_load_factor: 0.35,
-            migration_batch: 1,
-        });
+        let mut t = small(1);
         for k in 0..100u64 {
-            t.insert(k, k);
+            t.insert(k, k).unwrap();
         }
         assert!(t.is_migrating());
         for k in 0..50u64 {
-            assert_eq!(t.remove(k), Some(k), "remove {k}");
+            assert_eq!(t.remove(k).unwrap(), Some(k), "remove {k}");
         }
         assert_eq!(t.len(), 50);
         for k in 0..50u64 {
@@ -345,16 +426,13 @@ mod tests {
         // truncating the probe chains of keys displaced past them. A
         // duplicate insert then went to the new table (len +1) and the
         // later-migrated stale copy overwrote the fresh value.
-        let mut t = IncrementalHashTable::new(HtiConfig {
-            initial_capacity: 16,
-            max_load_factor: 0.35,
-            migration_batch: 3,
-        });
+        let mut t = small(3);
         for (i, k) in [9u64, 10, 9, 25, 8, 3].into_iter().enumerate() {
-            t.insert(k, i as u64);
+            t.insert(k, i as u64).unwrap();
         }
         assert_eq!(t.len(), 5);
-        t.insert(25, 999); // triggers the resize + the vulnerable update
+        // Triggers the resize + the vulnerable update.
+        t.insert(25, 999).unwrap();
         assert_eq!(t.len(), 5, "duplicate insert must not grow the table");
         // Drain the migration fully and verify the fresh value survived.
         for _ in 0..100 {
@@ -366,13 +444,9 @@ mod tests {
 
     #[test]
     fn migration_eventually_finishes() {
-        let mut t = IncrementalHashTable::new(HtiConfig {
-            initial_capacity: 16,
-            max_load_factor: 0.35,
-            migration_batch: 8,
-        });
+        let mut t = small(8);
         for k in 0..40u64 {
-            t.insert(k, k);
+            t.insert(k, k).unwrap();
         }
         // Keep accessing until the old table drains.
         for _ in 0..1_000 {

@@ -19,10 +19,16 @@
 //!   shortcut directory maintained asynchronously (paper §4.1): lookups
 //!   route through the shortcut whenever it is in sync and the average
 //!   fan-in is at most the policy threshold.
+//!
+//! All five implement the [`Index`] trait: lookups through `&self` (so
+//! readers can share an index across threads where the scheme is `Sync`),
+//! writes through `&mut self` returning [`IndexError`] on pool or
+//! directory-growth failure, and overridable batched entry points.
 
 pub mod bucket;
 pub mod chained;
 pub mod eh;
+pub mod error;
 pub mod hash;
 pub mod ht;
 pub mod hti;
@@ -33,9 +39,12 @@ pub mod traits;
 pub use bucket::{BucketRef, InsertOutcome, BUCKET_CAPACITY};
 pub use chained::{ChConfig, ChainedHash};
 pub use eh::{DirEvent, EhConfig, ExtendibleHash};
+pub use error::IndexError;
 pub use hash::{bucket_slot_hash, dir_slot, mult_hash};
 pub use ht::{HashTable, HtConfig};
 pub use hti::{HtiConfig, IncrementalHashTable};
 pub use shortcut_eh::{ShortcutEh, ShortcutEhConfig};
 pub use stats::IndexStats;
+pub use traits::Index;
+#[allow(deprecated)]
 pub use traits::KvIndex;

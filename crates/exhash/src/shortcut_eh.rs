@@ -14,14 +14,21 @@
 //! routing threshold (default 8, §3.2). A seqlock-style ticket discards
 //! results that raced a modification; the fallback is always the
 //! traditional directory, so correctness never depends on the mapper.
+//!
+//! [`Index::get`] takes `&self` and the routing counters are atomics, so
+//! any number of threads may share a `&ShortcutEh` and look up concurrently
+//! (the type is `Sync`); Rust's aliasing rules guarantee no writer exists
+//! while those shared borrows are alive.
 
 use crate::bucket::BucketRef;
 use crate::eh::{DirEvent, EhConfig, ExtendibleHash};
+use crate::error::IndexError;
 use crate::hash::{dir_slot, mult_hash};
 use crate::stats::IndexStats;
-use crate::traits::KvIndex;
+use crate::traits::Index;
 use shortcut_core::{MaintConfig, MaintRequest, Maintainer, RoutePolicy};
 use shortcut_rewire::PAGE_SIZE_4K;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Shortcut-EH tuning.
 #[derive(Debug, Clone, Default)]
@@ -34,6 +41,14 @@ pub struct ShortcutEhConfig {
     pub policy: RoutePolicy,
 }
 
+/// Thread-safe routing counters, bumped from `&self` lookups.
+#[derive(Debug, Default)]
+struct RouteCounters {
+    shortcut_lookups: AtomicU64,
+    traditional_lookups: AtomicU64,
+    shortcut_retries: AtomicU64,
+}
+
 /// The shortcut-enhanced extendible hash table. See module docs.
 pub struct ShortcutEh {
     // Field order matters: the maintainer (mapper thread) must stop before
@@ -41,36 +56,52 @@ pub struct ShortcutEh {
     maint: Maintainer,
     eh: ExtendibleHash,
     policy: RoutePolicy,
-    stats: IndexStats,
+    counters: RouteCounters,
 }
 
 impl ShortcutEh {
     /// Build with custom configuration and spawn the mapper thread.
-    pub fn new(mut cfg: ShortcutEhConfig) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool creation / initial-bucket allocation failures from
+    /// the underlying EH as [`IndexError::Pool`] — the path that used to
+    /// panic when `vm.max_map_count` or the view reservation ran out.
+    pub fn try_new(mut cfg: ShortcutEhConfig) -> Result<Self, IndexError> {
         cfg.eh.track_events = true;
-        let eh = ExtendibleHash::new(cfg.eh);
+        let eh = ExtendibleHash::try_new(cfg.eh)?;
         let maint = Maintainer::spawn(eh.pool_handle(), cfg.maint);
         let this = ShortcutEh {
             maint,
             eh,
             policy: cfg.policy,
-            stats: IndexStats::default(),
+            counters: RouteCounters::default(),
         };
         // Publish the initial single-slot directory so the shortcut can
         // serve reads before the first doubling.
-        let assignments = this.eh.directory_assignments();
+        let assignments = this.eh.directory_assignments()?;
         let v = this.maint.state().bump_traditional();
         this.maint.submit(MaintRequest::Create {
             slots: this.eh.dir_slots(),
             assignments,
             version: v,
         });
-        this
+        Ok(this)
+    }
+
+    /// Build with custom configuration, panicking on failure.
+    #[deprecated(since = "0.2.0", note = "use the fallible `try_new`")]
+    pub fn new(cfg: ShortcutEhConfig) -> Self {
+        Self::try_new(cfg).expect("ShortcutEh construction failed")
     }
 
     /// Build with the paper's defaults.
-    pub fn with_defaults() -> Self {
-        Self::new(ShortcutEhConfig::default())
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool creation failure as [`IndexError::Pool`].
+    pub fn with_defaults() -> Result<Self, IndexError> {
+        Self::try_new(ShortcutEhConfig::default())
     }
 
     /// Current (traditional, shortcut) version numbers — the quantities
@@ -93,15 +124,20 @@ impl ShortcutEh {
     /// Structural + routing statistics (merged with the inner EH's).
     pub fn stats(&self) -> IndexStats {
         let mut s = self.eh.stats();
-        s.shortcut_lookups = self.stats.shortcut_lookups;
-        s.traditional_lookups = self.stats.traditional_lookups;
-        s.shortcut_retries = self.stats.shortcut_retries;
+        s.shortcut_lookups = self.counters.shortcut_lookups.load(Ordering::Relaxed);
+        s.traditional_lookups = self.counters.traditional_lookups.load(Ordering::Relaxed);
+        s.shortcut_retries = self.counters.shortcut_retries.load(Ordering::Relaxed);
         s
     }
 
     /// Maintenance counters of the mapper thread.
     pub fn maint_metrics(&self) -> shortcut_core::metrics::MaintSnapshot {
         self.maint.metrics()
+    }
+
+    /// Operation counters of the backing page pool.
+    pub fn pool_stats(&self) -> shortcut_rewire::StatsSnapshot {
+        self.eh.pool_stats()
     }
 
     /// Average directory fan-in.
@@ -119,23 +155,16 @@ impl ShortcutEh {
         self.eh.bucket_count()
     }
 
-    /// First maintenance error, if the mapper thread failed.
-    pub fn maint_error(&self) -> Option<shortcut_rewire::Error> {
-        self.maint.error()
+    /// First maintenance error, if the mapper thread failed, wrapped as the
+    /// index-level error type.
+    pub fn maint_error(&self) -> Option<IndexError> {
+        self.maint.error().map(IndexError::Pool)
     }
 
-    /// Shared-reference lookup for concurrent read-only phases.
-    ///
-    /// Takes `&self`, so the borrow checker guarantees no writer exists
-    /// while readers run — multiple threads may call this simultaneously
-    /// (e.g. via `std::thread::scope`). Routing works like [`KvIndex::get`]
-    /// minus the statistics (which would need `&mut`).
+    /// Shared-reference lookup, kept from the seed API.
+    #[deprecated(since = "0.2.0", note = "`Index::get` now takes `&self`; use `get`")]
     pub fn get_ref(&self, key: u64) -> Option<u64> {
-        let hash = mult_hash(key);
-        if let Some(res) = self.shortcut_get(key, hash) {
-            return res;
-        }
-        self.eh.get_ref(key)
+        Index::get(self, key)
     }
 
     /// The shared maintenance state (diagnostics/benchmarks).
@@ -216,29 +245,40 @@ impl ShortcutEh {
     }
 }
 
-impl KvIndex for ShortcutEh {
-    fn insert(&mut self, key: u64, value: u64) {
-        self.eh.insert(key, value);
+impl Index for ShortcutEh {
+    fn insert(&mut self, key: u64, value: u64) -> Result<(), IndexError> {
+        let r = self.eh.insert(key, value);
+        // Relay even on error: a multi-round split can apply a first round
+        // (moving entries and bumping the traditional directory) before a
+        // later round fails. Skipping the relay would leave the shortcut
+        // stamped in-sync while pointing at pre-split buckets.
         self.relay_events();
+        r
     }
 
-    fn get(&mut self, key: u64) -> Option<u64> {
+    fn get(&self, key: u64) -> Option<u64> {
         let h = mult_hash(key);
-        // Run the hot path through a shared borrow (see shortcut_get), then
-        // account.
+        // Run the hot path through the seqlock-guarded shortcut, then
+        // account on the atomic counters.
         if let Some(res) = self.shortcut_get(key, h) {
-            self.stats.shortcut_lookups += 1;
+            self.counters
+                .shortcut_lookups
+                .fetch_add(1, Ordering::Relaxed);
             return res;
         }
         if self.in_sync() {
             // In sync but unanswered: the ticket raced a modification.
-            self.stats.shortcut_retries += 1;
+            self.counters
+                .shortcut_retries
+                .fetch_add(1, Ordering::Relaxed);
         }
-        self.stats.traditional_lookups += 1;
+        self.counters
+            .traditional_lookups
+            .fetch_add(1, Ordering::Relaxed);
         self.eh.get(key)
     }
 
-    fn remove(&mut self, key: u64) -> Option<u64> {
+    fn remove(&mut self, key: u64) -> Result<Option<u64>, IndexError> {
         // Removals mutate bucket *contents*, which both directories alias —
         // no directory change, no maintenance traffic.
         self.eh.remove(key)
@@ -250,6 +290,62 @@ impl KvIndex for ShortcutEh {
 
     fn name(&self) -> &'static str {
         "Shortcut-EH"
+    }
+
+    /// Batched lookup with one seqlock ticket per batch: the policy check,
+    /// fan-in computation, and the two version validations are paid once
+    /// instead of per key. Falls back to the traditional directory for the
+    /// whole batch when the shortcut is out of sync or a modification
+    /// raced the batch.
+    fn get_many(&self, keys: &[u64]) -> Vec<Option<u64>> {
+        if self.policy.use_shortcut(self.eh.avg_fanin(), true) {
+            if let Some(t) = self.maint.state().begin_read() {
+                debug_assert!(t.slots.is_power_of_two());
+                let g = t.slots.trailing_zeros();
+                let out: Vec<Option<u64>> = keys
+                    .iter()
+                    .map(|&k| {
+                        let slot = dir_slot(mult_hash(k), g);
+                        // SAFETY: see `shortcut_get` — slot < t.slots and
+                        // retired areas stay mapped.
+                        let bucket =
+                            unsafe { BucketRef::from_ptr(t.base.add(slot * PAGE_SIZE_4K)) };
+                        bucket.get(k)
+                    })
+                    .collect();
+                if self.maint.state().still_valid(t) {
+                    self.counters
+                        .shortcut_lookups
+                        .fetch_add(keys.len() as u64, Ordering::Relaxed);
+                    return out;
+                }
+                // The whole batch raced a modification; count one retry
+                // (one discarded ticket) and re-answer traditionally.
+                self.counters
+                    .shortcut_retries
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.counters
+            .traditional_lookups
+            .fetch_add(keys.len() as u64, Ordering::Relaxed);
+        keys.iter().map(|&k| self.eh.get(k)).collect()
+    }
+
+    /// Batched insert that relays directory events to the mapper once per
+    /// batch instead of once per key, shrinking producer-side overhead
+    /// during insert storms.
+    fn insert_batch(&mut self, entries: &[(u64, u64)]) -> Result<(), IndexError> {
+        for &(k, v) in entries {
+            if let Err(e) = self.eh.insert(k, v) {
+                // Relay what already happened so the shortcut still
+                // converges on the applied prefix.
+                self.relay_events();
+                return Err(e);
+            }
+        }
+        self.relay_events();
+        Ok(())
     }
 }
 
@@ -280,23 +376,23 @@ mod tests {
 
     #[test]
     fn basic_roundtrip() {
-        let mut t = ShortcutEh::new(fast_cfg());
-        t.insert(1, 10);
-        t.insert(2, 20);
+        let mut t = ShortcutEh::try_new(fast_cfg()).unwrap();
+        t.insert(1, 10).unwrap();
+        t.insert(2, 20).unwrap();
         assert_eq!(t.get(1), Some(10));
         assert_eq!(t.get(2), Some(20));
         assert_eq!(t.get(3), None);
-        assert_eq!(t.remove(1), Some(10));
+        assert_eq!(t.remove(1).unwrap(), Some(10));
         assert_eq!(t.get(1), None);
         assert!(t.maint_error().is_none());
     }
 
     #[test]
     fn bulk_insert_then_synced_lookups() {
-        let mut t = ShortcutEh::new(fast_cfg());
+        let mut t = ShortcutEh::try_new(fast_cfg()).unwrap();
         let n = 20_000u64;
         for k in 0..n {
-            t.insert(k, k + 3);
+            t.insert(k, k + 3).unwrap();
         }
         assert!(t.wait_sync(Duration::from_secs(10)), "never synced");
         assert!(t.in_sync());
@@ -322,9 +418,9 @@ mod tests {
         // Slow mapper: the shortcut lags; every lookup must still be right.
         let mut cfg = fast_cfg();
         cfg.maint.poll_interval = Duration::from_millis(200);
-        let mut t = ShortcutEh::new(cfg);
+        let mut t = ShortcutEh::try_new(cfg).unwrap();
         for k in 0..5_000u64 {
-            t.insert(k, k);
+            t.insert(k, k).unwrap();
             if k % 97 == 0 {
                 // Interleaved lookups during the insert storm.
                 assert_eq!(t.get(k), Some(k));
@@ -339,9 +435,9 @@ mod tests {
 
     #[test]
     fn shortcut_matches_traditional_for_every_key() {
-        let mut t = ShortcutEh::new(fast_cfg());
+        let mut t = ShortcutEh::try_new(fast_cfg()).unwrap();
         for k in 0..10_000u64 {
-            t.insert(k, k * 7);
+            t.insert(k, k * 7).unwrap();
         }
         assert!(t.wait_sync(Duration::from_secs(10)));
         // Compare the shortcut path against the traditional path directly.
@@ -354,11 +450,42 @@ mod tests {
     }
 
     #[test]
+    fn get_many_agrees_with_get() {
+        let mut t = ShortcutEh::try_new(fast_cfg()).unwrap();
+        for k in 0..8_000u64 {
+            t.insert(k, !k).unwrap();
+        }
+        assert!(t.wait_sync(Duration::from_secs(10)));
+        let keys: Vec<u64> = (0..8_200).collect();
+        let batched = t.get_many(&keys);
+        assert_eq!(batched.len(), keys.len());
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(batched[i], t.get(k), "key {k}");
+        }
+        // The synced batch must have been answered via the shortcut.
+        let s = t.stats();
+        assert!(s.shortcut_lookups >= keys.len() as u64);
+    }
+
+    #[test]
+    fn insert_batch_relays_to_the_mapper() {
+        let mut t = ShortcutEh::try_new(fast_cfg()).unwrap();
+        let entries: Vec<(u64, u64)> = (0..20_000u64).map(|k| (k, k * 3)).collect();
+        t.insert_batch(&entries).unwrap();
+        assert_eq!(t.len(), entries.len());
+        assert!(t.wait_sync(Duration::from_secs(10)), "never synced");
+        for &(k, v) in entries.iter().step_by(61) {
+            assert_eq!(t.get(k), Some(v), "key {k}");
+        }
+        assert!(t.maint_error().is_none());
+    }
+
+    #[test]
     fn versions_advance_with_structure() {
-        let mut t = ShortcutEh::new(fast_cfg());
+        let mut t = ShortcutEh::try_new(fast_cfg()).unwrap();
         let (tv0, _) = t.versions();
         for k in 0..1_000u64 {
-            t.insert(k, k);
+            t.insert(k, k).unwrap();
         }
         let (tv1, _) = t.versions();
         assert!(tv1 > tv0, "splits/doublings must bump the version");
@@ -372,9 +499,9 @@ mod tests {
         // Policy with threshold 0 → never use the shortcut.
         let mut cfg = fast_cfg();
         cfg.policy = RoutePolicy::with_threshold(0.0);
-        let mut t = ShortcutEh::new(cfg);
+        let mut t = ShortcutEh::try_new(cfg).unwrap();
         for k in 0..100u64 {
-            t.insert(k, k);
+            t.insert(k, k).unwrap();
         }
         for k in 0..100u64 {
             assert_eq!(t.get(k), Some(k));
@@ -386,10 +513,48 @@ mod tests {
 
     #[test]
     fn len_and_updates() {
-        let mut t = ShortcutEh::new(fast_cfg());
-        t.insert(9, 1);
-        t.insert(9, 2);
+        let mut t = ShortcutEh::try_new(fast_cfg()).unwrap();
+        t.insert(9, 1).unwrap();
+        t.insert(9, 2).unwrap();
         assert_eq!(t.len(), 1);
         assert_eq!(t.get(9), Some(2));
+    }
+
+    #[test]
+    fn pool_exhaustion_surfaces_as_typed_error() {
+        // A pool whose fixed reservation can hold only a handful of
+        // buckets: inserting past it must produce IndexError::Pool — not
+        // a panic — and leave every applied entry readable.
+        let mut cfg = fast_cfg();
+        cfg.eh.pool = PoolConfig {
+            initial_pages: 1,
+            min_growth_pages: 1,
+            view_capacity_pages: 8,
+            ..PoolConfig::default()
+        };
+        let mut t = ShortcutEh::try_new(cfg).unwrap();
+        let mut applied = 0u64;
+        let err = loop {
+            match t.insert(applied, applied) {
+                Ok(()) => applied += 1,
+                Err(e) => break e,
+            }
+            assert!(applied < 100_000, "exhaustion never surfaced");
+        };
+        assert!(matches!(err, IndexError::Pool(_)), "{err}");
+        for k in 0..applied {
+            assert_eq!(t.get(k), Some(k), "entry {k} lost after failed insert");
+        }
+        // Events from split rounds that succeeded before the failure must
+        // still have been relayed: once the mapper drains them, the
+        // shortcut is genuinely in sync and agrees with the traditional
+        // directory for every applied key.
+        assert!(t.wait_sync(Duration::from_secs(10)), "mapper never drained");
+        for k in 0..applied {
+            let via_shortcut = t.shortcut_get(k, mult_hash(k));
+            if let Some(res) = via_shortcut {
+                assert_eq!(res, Some(k), "shortcut reads pre-split bucket for {k}");
+            }
+        }
     }
 }

@@ -1,10 +1,13 @@
 //! Property tests: every hashing scheme against a `std::HashMap` oracle,
-//! and all five schemes against each other.
+//! and all five schemes against each other — driven entirely through
+//! `Box<dyn Index>` trait objects, the way a storage engine would hold
+//! them. Also covers the error path: an index whose pool cannot grow must
+//! surface a typed `IndexError`, never panic.
 
 use proptest::prelude::*;
 use shortcut_exhash::{
     ChConfig, ChainedHash, EhConfig, ExtendibleHash, HashTable, HtConfig, HtiConfig,
-    IncrementalHashTable, KvIndex, ShortcutEh, ShortcutEhConfig,
+    IncrementalHashTable, Index, IndexError, ShortcutEh, ShortcutEhConfig,
 };
 use shortcut_rewire::PoolConfig;
 use std::collections::HashMap;
@@ -28,26 +31,36 @@ fn ops(max_key: u64, len: usize) -> impl Strategy<Value = Vec<Op>> {
     )
 }
 
-fn check_against_oracle(index: &mut dyn KvIndex, ops: &[Op]) -> Result<(), TestCaseError> {
+fn check_against_oracle(index: &mut dyn Index, ops: &[Op]) -> Result<(), TestCaseError> {
     let mut oracle: HashMap<u64, u64> = HashMap::new();
     for op in ops {
         match *op {
             Op::Insert(k, v) => {
-                index.insert(k, v);
+                index.insert(k, v).expect("insert failed");
                 oracle.insert(k, v);
             }
             Op::Get(k) => {
                 prop_assert_eq!(index.get(k), oracle.get(&k).copied(), "get({}) diverged", k);
             }
             Op::Remove(k) => {
-                prop_assert_eq!(index.remove(k), oracle.remove(&k), "remove({}) diverged", k);
+                prop_assert_eq!(
+                    index.remove(k).expect("remove failed"),
+                    oracle.remove(&k),
+                    "remove({}) diverged",
+                    k
+                );
             }
         }
         prop_assert_eq!(index.len(), oracle.len());
     }
-    // Final sweep: every oracle key present, a sample of absent keys absent.
-    for (&k, &v) in &oracle {
-        prop_assert_eq!(index.get(k), Some(v), "final get({}) diverged", k);
+    // Final sweep: every oracle key present — once via single gets, once
+    // via the batched entry point (both must agree with the oracle).
+    let keys: Vec<u64> = oracle.keys().copied().collect();
+    let batched = index.get_many(&keys);
+    for (i, &k) in keys.iter().enumerate() {
+        let want = oracle.get(&k).copied();
+        prop_assert_eq!(index.get(k), want, "final get({}) diverged", k);
+        prop_assert_eq!(batched[i], want, "final get_many({}) diverged", k);
     }
     Ok(())
 }
@@ -64,74 +77,101 @@ fn small_eh_config() -> EhConfig {
     }
 }
 
+fn small_shortcut_config() -> ShortcutEhConfig {
+    ShortcutEhConfig {
+        eh: small_eh_config(),
+        maint: shortcut_core::MaintConfig {
+            poll_interval: Duration::from_millis(1),
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// All five schemes, freshly built, behind the trait object a storage
+/// engine would hold.
+fn all_five() -> Vec<Box<dyn Index>> {
+    vec![
+        Box::new(
+            HashTable::try_new(HtConfig {
+                initial_capacity: 16,
+                max_load_factor: 0.35,
+            })
+            .unwrap(),
+        ),
+        Box::new(
+            IncrementalHashTable::try_new(HtiConfig {
+                initial_capacity: 16,
+                max_load_factor: 0.35,
+                migration_batch: 8,
+            })
+            .unwrap(),
+        ),
+        Box::new(ChainedHash::try_new(ChConfig { table_slots: 64 }).unwrap()),
+        Box::new(ExtendibleHash::try_new(small_eh_config()).unwrap()),
+        Box::new(ShortcutEh::try_new(small_shortcut_config()).unwrap()),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
     #[test]
     fn ht_matches_oracle(ops in ops(512, 400)) {
-        let mut t = HashTable::new(HtConfig { initial_capacity: 16, max_load_factor: 0.35 });
+        let mut t = HashTable::try_new(HtConfig { initial_capacity: 16, max_load_factor: 0.35 }).unwrap();
         check_against_oracle(&mut t, &ops)?;
     }
 
     #[test]
     fn hti_matches_oracle(ops in ops(512, 400), batch in 1usize..16) {
-        let mut t = IncrementalHashTable::new(HtiConfig {
+        let mut t = IncrementalHashTable::try_new(HtiConfig {
             initial_capacity: 16,
             max_load_factor: 0.35,
             migration_batch: batch,
-        });
+        }).unwrap();
         check_against_oracle(&mut t, &ops)?;
     }
 
     #[test]
     fn ch_matches_oracle(ops in ops(512, 400)) {
-        let mut t = ChainedHash::new(ChConfig { table_slots: 32 });
+        let mut t = ChainedHash::try_new(ChConfig { table_slots: 32 }).unwrap();
         check_against_oracle(&mut t, &ops)?;
     }
 
     #[test]
     fn eh_matches_oracle(ops in ops(2048, 500)) {
-        let mut t = ExtendibleHash::new(small_eh_config());
+        let mut t = ExtendibleHash::try_new(small_eh_config()).unwrap();
         check_against_oracle(&mut t, &ops)?;
     }
 
     #[test]
     fn shortcut_eh_matches_oracle(ops in ops(2048, 400)) {
-        let mut t = ShortcutEh::new(ShortcutEhConfig {
-            eh: small_eh_config(),
-            maint: shortcut_core::MaintConfig {
-                poll_interval: Duration::from_millis(1),
-                ..Default::default()
-            },
-            ..Default::default()
-        });
+        let mut t = ShortcutEh::try_new(small_shortcut_config()).unwrap();
         check_against_oracle(&mut t, &ops)?;
         prop_assert!(t.maint_error().is_none());
     }
 
     #[test]
-    fn all_schemes_agree(ops in ops(1024, 250)) {
-        let mut indexes: Vec<Box<dyn KvIndex>> = vec![
-            Box::new(HashTable::new(HtConfig { initial_capacity: 16, max_load_factor: 0.35 })),
-            Box::new(IncrementalHashTable::new(HtiConfig {
-                initial_capacity: 16,
-                max_load_factor: 0.35,
-                migration_batch: 8,
-            })),
-            Box::new(ChainedHash::new(ChConfig { table_slots: 64 })),
-            Box::new(ExtendibleHash::new(small_eh_config())),
-        ];
+    fn all_five_schemes_agree_as_trait_objects(ops in ops(1024, 250)) {
+        let mut indexes = all_five();
         for op in &ops {
             match *op {
-                Op::Insert(k, v) => indexes.iter_mut().for_each(|t| t.insert(k, v)),
+                Op::Insert(k, v) => {
+                    for t in indexes.iter_mut() {
+                        t.insert(k, v).expect("insert failed");
+                    }
+                }
                 Op::Get(k) => {
-                    let answers: Vec<_> = indexes.iter_mut().map(|t| t.get(k)).collect();
+                    let answers: Vec<_> = indexes.iter().map(|t| t.get(k)).collect();
                     for w in answers.windows(2) {
                         prop_assert_eq!(w[0], w[1], "schemes disagree on get({})", k);
                     }
                 }
                 Op::Remove(k) => {
-                    let answers: Vec<_> = indexes.iter_mut().map(|t| t.remove(k)).collect();
+                    let answers: Vec<_> = indexes
+                        .iter_mut()
+                        .map(|t| t.remove(k).expect("remove failed"))
+                        .collect();
                     for w in answers.windows(2) {
                         prop_assert_eq!(w[0], w[1], "schemes disagree on remove({})", k);
                     }
@@ -147,17 +187,11 @@ proptest! {
 
 #[test]
 fn duplicate_heavy_workload() {
-    // Many updates to few keys across all schemes.
-    let mut schemes: Vec<Box<dyn KvIndex>> = vec![
-        Box::new(HashTable::with_defaults()),
-        Box::new(IncrementalHashTable::with_defaults()),
-        Box::new(ChainedHash::new(ChConfig { table_slots: 256 })),
-        Box::new(ExtendibleHash::new(small_eh_config())),
-    ];
-    for t in &mut schemes {
+    // Many updates to few keys across all five schemes.
+    for t in &mut all_five() {
         for round in 0..100u64 {
             for k in 0..10u64 {
-                t.insert(k, round * 100 + k);
+                t.insert(k, round * 100 + k).expect("insert failed");
             }
         }
         assert_eq!(t.len(), 10, "{}", t.name());
@@ -165,4 +199,104 @@ fn duplicate_heavy_workload() {
             assert_eq!(t.get(k), Some(99 * 100 + k), "{} key {k}", t.name());
         }
     }
+}
+
+#[test]
+fn batched_writes_match_loop_writes_across_schemes() {
+    let entries: Vec<(u64, u64)> = (0..3_000u64).map(|k| (k % 700, k)).collect();
+    for (mut batched, mut looped) in all_five().into_iter().zip(all_five()) {
+        batched
+            .insert_batch(&entries)
+            .expect("batched insert failed");
+        for &(k, v) in &entries {
+            looped.insert(k, v).expect("insert failed");
+        }
+        assert_eq!(batched.len(), looped.len(), "{}", batched.name());
+        let keys: Vec<u64> = (0..750).collect();
+        assert_eq!(
+            batched.get_many(&keys),
+            looped.get_many(&keys),
+            "{}",
+            batched.name()
+        );
+    }
+}
+
+#[test]
+fn exhausted_pool_yields_typed_error_not_panic() {
+    // A pool with a tiny fixed reservation: the EH family must hit
+    // IndexError::Pool once splitting needs pages beyond the cap, and the
+    // entries applied before the failure must all stay readable.
+    let tiny_pool = PoolConfig {
+        initial_pages: 1,
+        min_growth_pages: 1,
+        view_capacity_pages: 8,
+        ..PoolConfig::default()
+    };
+    let mut schemes: Vec<Box<dyn Index>> = vec![
+        Box::new(
+            ExtendibleHash::try_new(EhConfig {
+                pool: tiny_pool.clone(),
+                ..EhConfig::default()
+            })
+            .unwrap(),
+        ),
+        Box::new(
+            ShortcutEh::try_new(ShortcutEhConfig {
+                eh: EhConfig {
+                    pool: tiny_pool,
+                    ..EhConfig::default()
+                },
+                ..Default::default()
+            })
+            .unwrap(),
+        ),
+    ];
+    for index in schemes.iter_mut() {
+        let mut applied = 0u64;
+        let err = loop {
+            match index.insert(applied, applied * 2) {
+                Ok(()) => applied += 1,
+                Err(e) => break e,
+            }
+            assert!(
+                applied < 100_000,
+                "{}: exhaustion never surfaced",
+                index.name()
+            );
+        };
+        assert!(
+            matches!(err, IndexError::Pool(_)),
+            "{}: unexpected error {err}",
+            index.name()
+        );
+        assert!(applied > 0, "{}: nothing was applied", index.name());
+        for k in 0..applied {
+            assert_eq!(index.get(k), Some(k * 2), "{} entry {k}", index.name());
+        }
+    }
+}
+
+#[test]
+fn constructor_failure_is_typed_not_panic() {
+    // A zero-sized view reservation is rejected by the pool up front; the
+    // index constructors must hand that back as IndexError::Pool.
+    let bad = EhConfig {
+        pool: PoolConfig {
+            view_capacity_pages: 0,
+            ..PoolConfig::default()
+        },
+        ..EhConfig::default()
+    };
+    assert!(matches!(
+        ExtendibleHash::try_new(bad.clone()),
+        Err(IndexError::Pool(_))
+    ));
+    assert!(matches!(
+        ShortcutEh::try_new(ShortcutEhConfig {
+            eh: bad,
+            ..Default::default()
+        }),
+        Err(IndexError::Pool(_))
+    ));
 }

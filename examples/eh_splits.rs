@@ -7,7 +7,7 @@
 
 use std::time::Duration;
 use taking_the_shortcut::exhash::{
-    EhConfig, ExtendibleHash, KvIndex, ShortcutEh, ShortcutEhConfig,
+    EhConfig, ExtendibleHash, Index, IndexError, ShortcutEh, ShortcutEhConfig,
 };
 
 fn dump(eh: &ExtendibleHash, label: &str) {
@@ -20,15 +20,15 @@ fn dump(eh: &ExtendibleHash, label: &str) {
     );
 }
 
-fn main() {
+fn main() -> Result<(), IndexError> {
     // Plain EH first: show the doubling cadence.
-    let mut eh = ExtendibleHash::new(EhConfig::default());
+    let mut eh = ExtendibleHash::try_new(EhConfig::default())?;
     dump(&eh, "fresh        ");
     let mut inserted = 0u64;
     for round in 1..=6 {
         let target_splits = eh.stats().splits + 3;
         while eh.stats().splits < target_splits {
-            eh.insert(inserted.wrapping_mul(0x9E37_79B9_7F4A_7C15), inserted);
+            eh.insert(inserted.wrapping_mul(0x9E37_79B9_7F4A_7C15), inserted)?;
             inserted += 1;
         }
         dump(&eh, &format!("after round {round}"));
@@ -42,9 +42,9 @@ fn main() {
 
     // Now Shortcut-EH: the same structural events, replayed asynchronously
     // into the page table by the mapper thread.
-    let mut sceh = ShortcutEh::new(ShortcutEhConfig::default());
+    let mut sceh = ShortcutEh::try_new(ShortcutEhConfig::default())?;
     for k in 0..200_000u64 {
-        sceh.insert(k, k);
+        sceh.insert(k, k)?;
     }
     let (tv_before, sv_before) = sceh.versions();
     println!(
@@ -73,4 +73,5 @@ fn main() {
         "verification lookups: {} via shortcut, {} via traditional",
         s.shortcut_lookups, s.traditional_lookups
     );
+    Ok(())
 }

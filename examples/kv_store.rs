@@ -4,6 +4,8 @@
 //!
 //! Sessions map a 64-bit session id to a packed (user id, expiry) value.
 //! Reads outnumber writes 50:1; expired sessions get deleted in sweeps.
+//! Writes go through the fallible API — a store that outgrows its pool
+//! gets a typed error, not a panic mid-request.
 //!
 //! ```bash
 //! cargo run --release --example kv_store
@@ -12,7 +14,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
-use taking_the_shortcut::exhash::{KvIndex, ShortcutEh};
+use taking_the_shortcut::{IndexError, ShortcutIndex};
 
 /// Pack (user id, expiry tick) into the stored u64.
 fn pack(user: u32, expiry_tick: u32) -> u64 {
@@ -23,11 +25,10 @@ fn expiry_of(v: u64) -> u32 {
     v as u32
 }
 
-fn main() {
-    let mut store = ShortcutEh::with_defaults();
+fn main() -> Result<(), IndexError> {
+    let mut store = ShortcutIndex::builder().capacity(700_000).build()?;
     let mut rng = StdRng::seed_from_u64(7);
     let mut live_sessions: Vec<u64> = Vec::new();
-    let mut tick: u32 = 0;
 
     let mut reads = 0u64;
     let mut writes = 0u64;
@@ -35,20 +36,24 @@ fn main() {
 
     println!("simulating 30 bursts of session traffic…");
     let start = Instant::now();
-    for burst in 0..30 {
-        tick += 1;
+    for burst in 0u32..30 {
+        let tick = burst + 1;
 
-        // Burst of new sessions (writes).
+        // Burst of new sessions, written as one batch (events are relayed
+        // to the mapper once per batch instead of once per session).
         let new_sessions = 20_000;
-        for _ in 0..new_sessions {
-            let sid: u64 = rng.random();
-            let user: u32 = rng.random_range(0..1_000_000);
-            store.insert(sid, pack(user, tick + 10));
-            live_sessions.push(sid);
-            writes += 1;
-        }
+        let batch: Vec<(u64, u64)> = (0..new_sessions)
+            .map(|_| {
+                let sid: u64 = rng.random();
+                let user: u32 = rng.random_range(0..1_000_000);
+                (sid, pack(user, tick + 10))
+            })
+            .collect();
+        store.insert_batch(&batch)?;
+        live_sessions.extend(batch.iter().map(|(sid, _)| *sid));
+        writes += new_sessions as u64;
 
-        // Read-heavy phase: 50 reads per write.
+        // Read-heavy phase: 50 reads per write, through &self.
         let t0 = Instant::now();
         let mut hits = 0u64;
         for _ in 0..new_sessions * 50 {
@@ -64,16 +69,20 @@ fn main() {
         // Expiry sweep every 10 bursts: delete sessions past their expiry.
         if burst % 10 == 9 {
             let before = store.len();
+            let mut expired: Vec<u64> = Vec::new();
             live_sessions.retain(|sid| {
                 let keep = store
                     .get(*sid)
                     .map(|v| expiry_of(v) > tick)
                     .unwrap_or(false);
                 if !keep {
-                    store.remove(*sid);
+                    expired.push(*sid);
                 }
                 keep
             });
+            for sid in expired {
+                store.remove(sid)?;
+            }
             println!(
                 "  burst {:2}: expiry sweep {} -> {} sessions",
                 burst + 1,
@@ -96,11 +105,12 @@ fn main() {
     );
     println!(
         "directory: 2^{} slots, {} buckets, fan-in {:.2}; lookups: {} shortcut / {} traditional",
-        store.global_depth(),
-        store.bucket_count(),
-        store.avg_fanin(),
-        s.shortcut_lookups,
-        s.traditional_lookups
+        s.global_depth,
+        s.bucket_count,
+        s.avg_fanin,
+        s.index.shortcut_lookups,
+        s.index.traditional_lookups
     );
     assert!(store.maint_error().is_none());
+    Ok(())
 }

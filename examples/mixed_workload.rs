@@ -1,6 +1,6 @@
 //! A live view of Figure 8's dynamics: fire waves of inserts at a loaded
-//! Shortcut-EH and watch the shortcut directory fall out of sync and catch
-//! up, wave after wave.
+//! [`ShortcutIndex`] and watch the shortcut directory fall out of sync and
+//! catch up, wave after wave.
 //!
 //! ```bash
 //! cargo run --release --example mixed_workload
@@ -9,10 +9,10 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
-use taking_the_shortcut::exhash::{KvIndex, ShortcutEh};
+use taking_the_shortcut::{IndexError, ShortcutIndex};
 
-fn main() {
-    let mut index = ShortcutEh::with_defaults();
+fn main() -> Result<(), IndexError> {
+    let mut index = ShortcutIndex::builder().capacity(1_100_000).build()?;
     let mut rng = StdRng::seed_from_u64(99);
 
     // 1M entries reach directory depth 13–14. One depth more would need
@@ -22,7 +22,7 @@ fn main() {
     let mut keys: Vec<u64> = Vec::with_capacity(1_000_000);
     for _ in 0..1_000_000 {
         let k: u64 = rng.random();
-        index.insert(k, k);
+        index.insert(k, k)?;
         keys.push(k);
     }
     assert!(
@@ -33,12 +33,15 @@ fn main() {
     println!("bulk load done, shortcut in sync: {:?}\n", index.versions());
 
     for wave in 1..=4 {
-        // Insert burst: 1% of a 400k-access wave.
-        for _ in 0..4_000 {
-            let k: u64 = rng.random();
-            index.insert(k, k);
-            keys.push(k);
-        }
+        // Insert burst: 1% of a 400k-access wave, as one batch.
+        let burst: Vec<(u64, u64)> = (0..4_000)
+            .map(|_| {
+                let k: u64 = rng.random();
+                (k, k)
+            })
+            .collect();
+        index.insert_batch(&burst)?;
+        keys.extend(burst.iter().map(|(k, _)| *k));
         let (tv, sv) = index.versions();
         println!(
             "wave {wave}: insert burst done — versions t={tv} s={sv} ({})",
@@ -71,7 +74,8 @@ fn main() {
     let s = index.stats();
     println!(
         "totals: {} shortcut lookups, {} traditional lookups, {} discarded races",
-        s.shortcut_lookups, s.traditional_lookups, s.shortcut_retries
+        s.index.shortcut_lookups, s.index.traditional_lookups, s.index.shortcut_retries
     );
     assert!(index.maint_error().is_none());
+    Ok(())
 }

@@ -1,7 +1,37 @@
 //! # taking-the-shortcut
 //!
-//! Facade crate re-exporting the whole *Taking the Shortcut* (CIDR 2024)
-//! reproduction stack:
+//! Facade crate for the *Taking the Shortcut* (CIDR 2024) reproduction
+//! stack. The front door is [`ShortcutIndex`]: a shortcut-enhanced
+//! extendible hash table with an asynchronous mapper thread, concurrent
+//! `&self` reads, typed errors, and one merged statistics snapshot.
+//!
+//! ```
+//! use taking_the_shortcut::{Index, ShortcutIndex};
+//!
+//! # fn main() -> Result<(), taking_the_shortcut::IndexError> {
+//! let mut index = ShortcutIndex::builder()
+//!     .capacity(10_000)          // size the page pool for ~10k entries
+//!     .fanin_threshold(8.0)      // paper §3.2 routing bound
+//!     .build()?;
+//!
+//! index.insert(42, 1000)?;
+//! index.insert_batch(&[(7, 70), (8, 80)])?;
+//! assert_eq!(index.get(42), Some(1000));       // reads take &self
+//! assert_eq!(index.get_many(&[7, 8, 9]), vec![Some(70), Some(80), None]);
+//!
+//! let stats = index.stats();
+//! assert_eq!(stats.len, 3);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Because [`Index::get`] takes `&self` (Shortcut-EH reads go through a
+//! seqlock-validated shortcut directory), any number of threads may share
+//! `&ShortcutIndex` and look up concurrently — e.g. via
+//! `std::thread::scope` — while the borrow checker guarantees no writer
+//! coexists.
+//!
+//! The underlying layers remain available:
 //!
 //! * [`rewire`] — memory-rewiring substrate (memfd + mmap page remapping).
 //! * [`vmsim`] — software virtual-memory simulator (page table, TLBs,
@@ -15,3 +45,288 @@ pub use shortcut_core as core;
 pub use shortcut_exhash as exhash;
 pub use shortcut_rewire as rewire;
 pub use shortcut_vmsim as vmsim;
+
+pub use shortcut_core::{MaintConfig, RoutePolicy};
+pub use shortcut_exhash::{Index, IndexError, IndexStats};
+pub use shortcut_rewire::PoolConfig;
+
+use shortcut_core::metrics::MaintSnapshot;
+use shortcut_exhash::{EhConfig, ShortcutEh, ShortcutEhConfig};
+use std::time::Duration;
+
+/// Builder for [`ShortcutIndex`]: capacity-driven pool sizing, routing
+/// policy, and mapper configuration in one place.
+///
+/// Obtained via [`ShortcutIndex::builder`]; finished with
+/// [`IndexBuilder::build`].
+#[derive(Debug, Clone, Default)]
+pub struct IndexBuilder {
+    capacity: Option<usize>,
+    pool: Option<PoolConfig>,
+    max_load_factor: Option<f64>,
+    policy: RoutePolicy,
+    maint: MaintConfig,
+}
+
+impl IndexBuilder {
+    /// Size the page pool for roughly `entries` live entries.
+    ///
+    /// Buckets hold ≤ 87 entries at the default load factor; with
+    /// splitting churn the steady state is ~40 entries per bucket, so the
+    /// virtual reservation gets generous headroom on top of that estimate.
+    /// Ignored if an explicit [`IndexBuilder::pool`] is set.
+    pub fn capacity(mut self, entries: usize) -> Self {
+        self.capacity = Some(entries);
+        self
+    }
+
+    /// Use an explicit pool configuration (overrides
+    /// [`IndexBuilder::capacity`]).
+    pub fn pool(mut self, pool: PoolConfig) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
+    /// Maximum bucket load factor before splitting (paper: 0.35).
+    pub fn max_load_factor(mut self, f: f64) -> Self {
+        self.max_load_factor = Some(f);
+        self
+    }
+
+    /// Full routing policy (see [`RoutePolicy`]).
+    pub fn route_policy(mut self, policy: RoutePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Shorthand: route through the shortcut only while the average fan-in
+    /// is at most `threshold` (paper §3.2; default 8).
+    pub fn fanin_threshold(mut self, threshold: f64) -> Self {
+        self.policy = RoutePolicy::with_threshold(threshold);
+        self
+    }
+
+    /// Full mapper-thread configuration (see [`MaintConfig`]).
+    pub fn maint(mut self, maint: MaintConfig) -> Self {
+        self.maint = maint;
+        self
+    }
+
+    /// Shorthand: the mapper thread's queue polling interval (paper: 25 ms).
+    pub fn poll_interval(mut self, interval: Duration) -> Self {
+        self.maint.poll_interval = interval;
+        self
+    }
+
+    /// Shorthand: whether rewirings eagerly populate the page table before
+    /// the shortcut version is stamped (the paper's default).
+    pub fn eager_populate(mut self, eager: bool) -> Self {
+        self.maint.eager_populate = eager;
+        self
+    }
+
+    /// Build the index and spawn its mapper thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool creation failure (memfd, `mmap`,
+    /// `vm.max_map_count`) and configuration rejection as [`IndexError`].
+    pub fn build(self) -> Result<ShortcutIndex, IndexError> {
+        let pool = self.pool.unwrap_or_else(|| match self.capacity {
+            // ~40 live entries per bucket in steady state; reserve ample
+            // virtual headroom (virtual address space is effectively free).
+            Some(entries) => PoolConfig {
+                initial_pages: 1,
+                min_growth_pages: (entries / 40).clamp(64, 4096),
+                view_capacity_pages: ((entries / 20).max(1 << 12)).next_power_of_two(),
+                ..PoolConfig::default()
+            },
+            None => PoolConfig::default(),
+        });
+        let mut eh = EhConfig {
+            pool,
+            ..EhConfig::default()
+        };
+        if let Some(f) = self.max_load_factor {
+            eh.max_load_factor = f;
+        }
+        Ok(ShortcutIndex {
+            inner: ShortcutEh::try_new(ShortcutEhConfig {
+                eh,
+                maint: self.maint,
+                policy: self.policy,
+            })?,
+        })
+    }
+}
+
+/// One merged, point-in-time view over everything the stack counts:
+/// structural index statistics, mapper-thread maintenance counters, and
+/// the page pool's rewiring counters.
+#[derive(Debug, Clone, Copy)]
+pub struct StatsSnapshot {
+    /// Live entries.
+    pub len: usize,
+    /// Global depth of the traditional directory.
+    pub global_depth: u32,
+    /// Number of distinct buckets.
+    pub bucket_count: usize,
+    /// Average directory fan-in (`slots / buckets`, the routing input).
+    pub avg_fanin: f64,
+    /// Whether the shortcut directory was in sync at snapshot time.
+    pub in_sync: bool,
+    /// `(traditional, shortcut)` version numbers (Figure 8's quantities).
+    pub versions: (u64, u64),
+    /// Structural + routing statistics of the index.
+    pub index: IndexStats,
+    /// Counters of the asynchronous mapper thread.
+    pub maint: MaintSnapshot,
+    /// Operation counters of the backing page pool.
+    pub rewire: rewire::StatsSnapshot,
+}
+
+/// The facade index: Shortcut-EH behind a builder, with concurrent
+/// `&self` reads, typed errors and a single merged [`StatsSnapshot`].
+///
+/// See the [crate docs](crate) for a usage example. All [`Index`] methods
+/// are also available inherently, so the trait import is optional.
+pub struct ShortcutIndex {
+    inner: ShortcutEh,
+}
+
+impl ShortcutIndex {
+    /// Start building an index.
+    pub fn builder() -> IndexBuilder {
+        IndexBuilder::default()
+    }
+
+    /// Build with the paper's defaults (load factor 0.35, fan-in
+    /// threshold 8, 25 ms mapper poll interval).
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool creation failure as [`IndexError`].
+    pub fn with_defaults() -> Result<Self, IndexError> {
+        Self::builder().build()
+    }
+
+    /// Insert or update a key.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces pool growth / directory-doubling failure as a typed
+    /// [`IndexError`]; applied entries stay readable.
+    pub fn insert(&mut self, key: u64, value: u64) -> Result<(), IndexError> {
+        Index::insert(&mut self.inner, key, value)
+    }
+
+    /// Look up a key. Takes `&self`: concurrent readers are safe.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        Index::get(&self.inner, key)
+    }
+
+    /// Batched lookup; validates one seqlock ticket for the whole batch.
+    pub fn get_many(&self, keys: &[u64]) -> Vec<Option<u64>> {
+        Index::get_many(&self.inner, keys)
+    }
+
+    /// Insert a batch, relaying directory events to the mapper once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing insert; entries before it are applied.
+    pub fn insert_batch(&mut self, entries: &[(u64, u64)]) -> Result<(), IndexError> {
+        Index::insert_batch(&mut self.inner, entries)
+    }
+
+    /// Remove a key, returning its value.
+    ///
+    /// # Errors
+    ///
+    /// Never fails today; fallible per the [`Index`] write contract.
+    pub fn remove(&mut self, key: u64) -> Result<Option<u64>, IndexError> {
+        Index::remove(&mut self.inner, key)
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        Index::len(&self.inner)
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the shortcut directory is currently in sync.
+    pub fn in_sync(&self) -> bool {
+        self.inner.in_sync()
+    }
+
+    /// Current `(traditional, shortcut)` version numbers.
+    pub fn versions(&self) -> (u64, u64) {
+        self.inner.versions()
+    }
+
+    /// Block until the shortcut catches up (test/bench helper; production
+    /// readers never wait, they fall back to the traditional directory).
+    pub fn wait_sync(&self, timeout: Duration) -> bool {
+        self.inner.wait_sync(timeout)
+    }
+
+    /// First error the mapper thread hit, if any.
+    pub fn maint_error(&self) -> Option<IndexError> {
+        self.inner.maint_error()
+    }
+
+    /// One merged snapshot of index, maintenance, and pool counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            len: self.inner.len(),
+            global_depth: self.inner.global_depth(),
+            bucket_count: self.inner.bucket_count(),
+            avg_fanin: self.inner.avg_fanin(),
+            in_sync: self.inner.in_sync(),
+            versions: self.inner.versions(),
+            index: self.inner.stats(),
+            maint: self.inner.maint_metrics(),
+            rewire: self.inner.pool_stats(),
+        }
+    }
+
+    /// The wrapped scheme, for paper-level experiments that need direct
+    /// access (version plumbing, published shortcut state).
+    pub fn as_shortcut_eh(&self) -> &ShortcutEh {
+        &self.inner
+    }
+}
+
+impl Index for ShortcutIndex {
+    fn insert(&mut self, key: u64, value: u64) -> Result<(), IndexError> {
+        ShortcutIndex::insert(self, key, value)
+    }
+
+    fn get(&self, key: u64) -> Option<u64> {
+        ShortcutIndex::get(self, key)
+    }
+
+    fn remove(&mut self, key: u64) -> Result<Option<u64>, IndexError> {
+        ShortcutIndex::remove(self, key)
+    }
+
+    fn len(&self) -> usize {
+        ShortcutIndex::len(self)
+    }
+
+    fn name(&self) -> &'static str {
+        "Shortcut-EH"
+    }
+
+    fn get_many(&self, keys: &[u64]) -> Vec<Option<u64>> {
+        ShortcutIndex::get_many(self, keys)
+    }
+
+    fn insert_batch(&mut self, entries: &[(u64, u64)]) -> Result<(), IndexError> {
+        ShortcutIndex::insert_batch(self, entries)
+    }
+}

@@ -38,34 +38,64 @@ fn shortcut_node_round_trip_through_facade() {
 
 #[test]
 fn extendible_hash_round_trip_through_facade() {
-    use exhash::KvIndex;
+    use exhash::Index;
 
-    let mut eh = exhash::ExtendibleHash::new(exhash::EhConfig::default());
+    let mut eh = exhash::ExtendibleHash::try_new(exhash::EhConfig::default()).unwrap();
     for k in 0..1000u64 {
-        eh.insert(k, k * 7);
+        eh.insert(k, k * 7).unwrap();
     }
     assert_eq!(eh.len(), 1000);
     for k in 0..1000u64 {
         assert_eq!(eh.get(k), Some(k * 7));
     }
-    assert_eq!(eh.remove(500), Some(3500));
+    assert_eq!(eh.remove(500).unwrap(), Some(3500));
     assert_eq!(eh.get(500), None);
     assert_eq!(eh.len(), 999);
 }
 
 #[test]
-fn shortcut_eh_round_trip_through_facade() {
-    use exhash::KvIndex;
-
-    let mut idx = exhash::ShortcutEh::with_defaults();
+fn shortcut_index_round_trip_through_facade() {
+    let mut idx = taking_the_shortcut::ShortcutIndex::builder()
+        .capacity(2_000)
+        .build()
+        .unwrap();
     for k in 0..2000u64 {
-        idx.insert(k, !k);
+        idx.insert(k, !k).unwrap();
     }
     idx.wait_sync(std::time::Duration::from_secs(5));
     for k in 0..2000u64 {
         assert_eq!(idx.get(k), Some(!k));
     }
+    let s = idx.stats();
+    assert_eq!(s.len, 2000);
+    assert!(s.versions.0 > 0, "structural versions must have advanced");
+    assert!(
+        s.rewire.pages_allocated > 0,
+        "pool counters must be merged into the snapshot"
+    );
     assert!(idx.maint_error().is_none());
+}
+
+#[test]
+fn deprecated_kv_index_shim_still_works() {
+    // The seed's KvIndex surface must keep compiling (with a warning)
+    // against every scheme for one release, via the blanket shim.
+    #[allow(deprecated)]
+    fn seed_style_roundtrip<T: exhash::KvIndex>(t: &mut T) {
+        t.insert(1, 11);
+        t.insert(2, 22);
+        assert_eq!(t.get(1), Some(11));
+        assert_eq!(t.remove(2), Some(22));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+    seed_style_roundtrip(&mut exhash::HashTable::with_defaults().unwrap());
+    seed_style_roundtrip(&mut exhash::IncrementalHashTable::with_defaults().unwrap());
+    seed_style_roundtrip(
+        &mut exhash::ChainedHash::try_new(exhash::ChConfig { table_slots: 64 }).unwrap(),
+    );
+    seed_style_roundtrip(&mut exhash::ExtendibleHash::with_defaults().unwrap());
+    seed_style_roundtrip(&mut exhash::ShortcutEh::with_defaults().unwrap());
 }
 
 #[test]

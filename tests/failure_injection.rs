@@ -122,18 +122,58 @@ fn double_free_and_foreign_pointer_detection() {
 
 #[test]
 fn index_survives_pathological_key_patterns() {
-    use taking_the_shortcut::exhash::{KvIndex, ShortcutEh};
-    let mut index = ShortcutEh::with_defaults();
+    use taking_the_shortcut::exhash::{Index, ShortcutEh};
+    let mut index = ShortcutEh::with_defaults().unwrap();
     // Keys crafted to collide in the *bucket* hash (same low bits), plus
     // keys dense in the directory hash's top bits. (Start at 1: for i = 0
     // the two patterns would be the same key.)
     for i in 1..5_000u64 {
-        index.insert(i << 32, i);
-        index.insert(i, !i);
+        index.insert(i << 32, i).unwrap();
+        index.insert(i, !i).unwrap();
     }
     for i in 1..5_000u64 {
         assert_eq!(index.get(i << 32), Some(i));
         assert_eq!(index.get(i), Some(!i));
     }
     assert!(index.maint_error().is_none());
+}
+
+#[test]
+fn facade_surfaces_pool_exhaustion_as_typed_error() {
+    use taking_the_shortcut::{IndexError, PoolConfig, ShortcutIndex};
+    // A pool whose fixed reservation holds only 8 bucket pages: the
+    // facade must hand back IndexError::Pool once splitting outgrows it —
+    // no panic — and keep the applied prefix readable.
+    let mut index = ShortcutIndex::builder()
+        .pool(PoolConfig {
+            initial_pages: 1,
+            min_growth_pages: 1,
+            view_capacity_pages: 8,
+            ..PoolConfig::default()
+        })
+        .build()
+        .unwrap();
+    let mut applied = 0u64;
+    let err = loop {
+        match index.insert(applied, applied * 3) {
+            Ok(()) => applied += 1,
+            Err(e) => break e,
+        }
+        assert!(applied < 100_000, "exhaustion never surfaced");
+    };
+    assert!(matches!(err, IndexError::Pool(_)), "{err}");
+    assert!(applied > 0);
+    for k in 0..applied {
+        assert_eq!(index.get(k), Some(k * 3), "entry {k} lost after error");
+    }
+    // A zero reservation is rejected at build time, typed as well.
+    assert!(matches!(
+        ShortcutIndex::builder()
+            .pool(PoolConfig {
+                view_capacity_pages: 0,
+                ..PoolConfig::default()
+            })
+            .build(),
+        Err(IndexError::Pool(_))
+    ));
 }

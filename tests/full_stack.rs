@@ -4,14 +4,12 @@
 use std::collections::HashMap;
 use std::time::Duration;
 use taking_the_shortcut::core::{ShortcutNode, TraditionalNode};
-use taking_the_shortcut::exhash::{
-    EhConfig, ExtendibleHash, KvIndex, ShortcutEh, ShortcutEhConfig,
-};
+use taking_the_shortcut::exhash::{EhConfig, ExtendibleHash, Index, ShortcutEh, ShortcutEhConfig};
 use taking_the_shortcut::rewire::{PageIdx, PagePool, PoolConfig};
 
 #[test]
 fn shortcut_eh_against_oracle_with_live_mapper() {
-    let mut index = ShortcutEh::with_defaults();
+    let mut index = ShortcutEh::with_defaults().unwrap();
     let mut oracle: HashMap<u64, u64> = HashMap::new();
 
     // Mixed stream: inserts, updates, lookups, deletes — interleaved so the
@@ -28,7 +26,7 @@ fn shortcut_eh_against_oracle_with_live_mapper() {
         let key = r % 30_000; // dense key space -> plenty of updates/hits
         match r % 10 {
             0..=5 => {
-                index.insert(key, i);
+                index.insert(key, i).expect("insert failed");
                 oracle.insert(key, i);
             }
             6..=8 => {
@@ -40,7 +38,7 @@ fn shortcut_eh_against_oracle_with_live_mapper() {
             }
             _ => {
                 assert_eq!(
-                    index.remove(key),
+                    index.remove(key).expect("remove failed"),
                     oracle.remove(&key),
                     "remove({key}) at op {i}"
                 );
@@ -64,12 +62,12 @@ fn shortcut_eh_against_oracle_with_live_mapper() {
 
 #[test]
 fn eh_and_shortcut_eh_agree_exactly() {
-    let mut eh = ExtendibleHash::new(EhConfig::default());
-    let mut sceh = ShortcutEh::new(ShortcutEhConfig::default());
+    let mut eh = ExtendibleHash::try_new(EhConfig::default()).unwrap();
+    let mut sceh = ShortcutEh::try_new(ShortcutEhConfig::default()).unwrap();
     for k in 0..50_000u64 {
         let key = k.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        eh.insert(key, k);
-        sceh.insert(key, k);
+        eh.insert(key, k).unwrap();
+        sceh.insert(key, k).unwrap();
     }
     sceh.wait_sync(Duration::from_secs(30));
     for k in 0..50_000u64 {
