@@ -85,11 +85,26 @@ pub fn run(opts: &Fig8Opts) -> Vec<Fig8Point> {
         eh.insert(k, k).expect("bulk insert failed");
         sceh.insert(k, k).expect("bulk insert failed");
     }
-    // Start the waves from a synced state, as the paper's plot does.
-    assert!(
-        sceh.wait_sync(Duration::from_secs(120)),
-        "shortcut never synced after bulk load"
-    );
+    // Start the waves from a synced state, as the paper's plot does. At
+    // default scale on a stock kernel the directory can outgrow the VMA
+    // budget (`vm.max_map_count`): maintenance then suspends and the run
+    // proceeds with traditionally-routed Shortcut-EH lookups instead of
+    // aborting — raise the sysctl for shortcut-served numbers.
+    let mut synced = sceh.wait_sync(Duration::from_secs(120));
+    if !synced && !sceh.shortcut_suspended() {
+        // A transient suspension resolved between wait_sync giving up and
+        // the check above (deferred rebuild applied); settle it.
+        synced = sceh.wait_sync(Duration::from_secs(10));
+    }
+    if sceh.shortcut_suspended() {
+        eprintln!(
+            "fig8: directory exceeds the VMA budget ({:?}); \
+             shortcut suspended, lookups run traditionally",
+            sceh.vma_stats()
+        );
+    } else {
+        assert!(synced, "shortcut never synced after bulk load");
+    }
 
     let inserts_per_wave = (opts.wave_size as f64 * opts.insert_fraction) as usize;
     let lookups_per_wave = opts.wave_size - inserts_per_wave;

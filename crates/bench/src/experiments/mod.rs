@@ -33,12 +33,14 @@ pub(crate) fn experiment_pool(pages: usize) -> PagePool {
 /// raises about shortcut nodes). A quarter of the limit leaves room for the
 /// pool view, the traditional node, and the allocator itself. Paper-scale
 /// directories (up to 2²³ slots) need the sysctl raised; see README.
+///
+/// Derived from [`shortcut_rewire::max_map_count`], which reads the sysctl
+/// **once** per process (cached, with a sane non-Linux fallback) — the
+/// experiments that build raw [`shortcut_core::ShortcutNode`]s bypass the
+/// mapper's budget admission, so they still cap slot counts up front.
 pub(crate) fn slot_budget() -> usize {
-    let max_maps = std::fs::read_to_string("/proc/sys/vm/max_map_count")
-        .ok()
-        .and_then(|s| s.trim().parse::<usize>().ok())
-        .unwrap_or(65_530);
-    (max_maps / 4).max(1024)
+    static BUDGET: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *BUDGET.get_or_init(|| (shortcut_rewire::max_map_count() / 4).max(1024))
 }
 
 /// Largest power of two ≤ `x`.

@@ -45,12 +45,6 @@ impl HybridNode {
         })
     }
 
-    /// Alias of [`HybridNode::try_new`], kept for source compatibility.
-    #[deprecated(since = "0.2.0", note = "use `try_new`")]
-    pub fn new(k: usize, policy: RoutePolicy) -> Result<Self> {
-        Self::try_new(k, policy)
-    }
-
     /// Number of slots.
     pub fn slots(&self) -> usize {
         self.trad.slots()

@@ -17,9 +17,21 @@
 //! the page table, and only then stamps the shortcut's version — so no
 //! access through an in-sync shortcut ever takes a page fault.
 //!
-//! Retired shortcut areas (after a create) stay mapped until the
-//! [`Maintainer`] is dropped: a reader that raced a rebuild reads stale but
-//! *mapped* memory, and the seqlock ticket makes it discard the value.
+//! **Retired-area lifecycle.** A create supersedes the previous shortcut
+//! area. It is *retired* into the pool's [`shortcut_rewire::RetireList`]
+//! (epoch-stamped, kept mapped): a reader that raced the rebuild reads
+//! stale but *mapped* memory and the seqlock ticket makes it discard the
+//! value. On every poll tick the mapper drives reclamation — a retired
+//! area is munmapped once every reader pin taken before its retirement has
+//! drained — so VMA use plateaus at roughly the live directory instead of
+//! growing with every doubling as it did in the seed.
+//!
+//! **VMA budget.** Before building a directory the mapper asks the pool's
+//! [`shortcut_rewire::VmaBudget`] whether the rebuild's mapping footprint
+//! fits under `vm.max_map_count`. If not (even after retiring the stale
+//! current area and reclaiming), the create is **skipped** and the state
+//! is marked *suspended*: lookups keep working through the traditional
+//! directory, and the index no longer dies inside `mmap` with `ENOMEM`.
 
 use crate::metrics::{MaintMetrics, MaintSnapshot};
 use crate::shortcut_node::ShortcutNode;
@@ -30,6 +42,16 @@ use shortcut_rewire::{Error, PageIdx, PoolHandle, Result};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Mappings left unaccounted for the rest of the process (binary, heap,
+/// stacks, the pool view's transient splits) when admitting a rebuild:
+/// 1/16 of the budget's limit, capped at 1024. Proportional rather than
+/// flat so that small *injected* budgets (tests, CI stress rigs
+/// simulating a tiny `vm.max_map_count`) keep most of their limit usable
+/// instead of being silently swallowed whole.
+fn budget_headroom(limit: usize) -> usize {
+    (limit / 16).min(1024)
+}
 
 /// A maintenance request, as pushed by the index's main thread.
 #[derive(Debug, Clone)]
@@ -70,6 +92,12 @@ pub struct MaintConfig {
     /// Whether rewirings eagerly populate the page table (`MAP_POPULATE`).
     /// The paper's design always populates before bumping the version.
     pub eager_populate: bool,
+    /// Whether superseded directories are retired into the pool's
+    /// [`shortcut_rewire::RetireList`] and reclaimed once readers drain,
+    /// with rebuilds admission-checked against the pool's VMA budget.
+    /// `false` restores the seed's keep-everything-mapped behavior (VMA
+    /// use then grows with every doubling until `vm.max_map_count`).
+    pub reclaim: bool,
 }
 
 impl Default for MaintConfig {
@@ -77,6 +105,7 @@ impl Default for MaintConfig {
         MaintConfig {
             poll_interval: Duration::from_millis(25),
             eager_populate: true,
+            reclaim: true,
         }
     }
 }
@@ -90,8 +119,16 @@ pub struct MapperEngine {
     metrics: Arc<MaintMetrics>,
     cfg: MaintConfig,
     current: Option<ShortcutNode>,
-    /// Replaced areas, kept mapped for reader safety (see module docs).
+    /// Replaced areas in legacy (`reclaim: false`) mode, kept mapped until
+    /// the engine is dropped. With reclamation on, superseded areas go to
+    /// the pool's retire list instead.
     retired: Vec<ShortcutNode>,
+    /// A create that was skipped because its footprint did not fit the
+    /// budget *at that moment* (e.g. a reader pin stalled the reclaim
+    /// scan). Retried on poll ticks once it would fit, so a transient
+    /// reclaim failure does not suspend the shortcut permanently.
+    /// Superseded by any newer create.
+    deferred: Option<MaintRequest>,
 }
 
 impl MapperEngine {
@@ -109,6 +146,7 @@ impl MapperEngine {
             cfg,
             current: None,
             retired: Vec::new(),
+            deferred: None,
         }
     }
 
@@ -147,6 +185,27 @@ impl MapperEngine {
         let version = req.version();
         match req {
             MaintRequest::Update { slot, ppage, .. } => {
+                // While a create is deferred (budget-skipped, awaiting
+                // retry), updates describe the *deferred* directory — fold
+                // them into its assignment vector rather than discarding
+                // them, or the retried create would publish pre-split
+                // slots and a later update could restore version equality
+                // over a stale mapping.
+                if let Some(MaintRequest::Create {
+                    slots,
+                    assignments,
+                    version: deferred_version,
+                }) = &mut self.deferred
+                {
+                    if slot < *slots {
+                        match assignments.binary_search_by_key(&slot, |a| a.0) {
+                            Ok(i) => assignments[i].1 = ppage,
+                            Err(i) => assignments.insert(i, (slot, ppage)),
+                        }
+                        *deferred_version = version;
+                        return Ok(());
+                    }
+                }
                 let node = match self.current.as_mut() {
                     Some(n) if slot < n.slots() => n,
                     _ => {
@@ -176,6 +235,23 @@ impl MapperEngine {
             MaintRequest::Create {
                 slots, assignments, ..
             } => {
+                // Any newer create supersedes a deferred one.
+                self.deferred = None;
+                let reservation = if self.cfg.reclaim {
+                    match self.admit_create(slots) {
+                        Some(r) => Some(r),
+                        None => {
+                            self.deferred = Some(MaintRequest::Create {
+                                slots,
+                                assignments,
+                                version,
+                            });
+                            return Ok(());
+                        }
+                    }
+                } else {
+                    None
+                };
                 let mut node = if self.cfg.eager_populate {
                     ShortcutNode::new_populated(slots)?
                 } else {
@@ -188,6 +264,18 @@ impl MapperEngine {
                         .pages_populated
                         .fetch_add(touched as u64, Ordering::Relaxed);
                 }
+                // Hand the worst-case reservation over to the built node
+                // as its exact charge in one atomic adjustment — the
+                // budget never transiently double-counts the directory
+                // (which could trip `in_use <= limit` asserts) and never
+                // dips (which would let a concurrent pool steal margin).
+                match reservation {
+                    Some(r) => {
+                        r.settle(node.vma_estimate());
+                        node.charge_to_prepaid(&self.pool);
+                    }
+                    None => node.charge_to(&self.pool),
+                }
                 self.metrics.creates_applied.fetch_add(1, Ordering::Relaxed);
                 self.metrics
                     .slots_rewired
@@ -196,12 +284,65 @@ impl MapperEngine {
                     .create_mmap_calls
                     .fetch_add(calls, Ordering::Relaxed);
                 self.state.publish(node.base(), node.slots(), version);
+                self.state.set_suspended(false);
                 if let Some(old) = self.current.replace(node) {
-                    self.retired.push(old);
+                    if self.cfg.reclaim {
+                        self.pool.retire_list().retire(old.into_area());
+                    } else {
+                        self.retired.push(old);
+                    }
                 }
             }
         }
         Ok(())
+    }
+
+    /// Admission control for a rebuild: atomically reserve the rebuild's
+    /// **worst-case** footprint (a `slots`-page area can fragment to at
+    /// most one VMA per slot as later bucket splits break merged runs, so
+    /// admitting at `slots` guarantees the live directory can never
+    /// outgrow the budget between doublings). When it does not fit, the
+    /// stale current node is retired (the traditional version has already
+    /// moved past it, so no new reader can route through it), a reclaim
+    /// is attempted, and — if the rebuild still does not fit — the state
+    /// is marked suspended and the create skipped.
+    fn admit_create(&mut self, slots: usize) -> Option<shortcut_rewire::BudgetReservation> {
+        let budget = Arc::clone(self.pool.budget());
+        let headroom = budget_headroom(budget.limit());
+        if let Some(r) = budget.try_reserve(slots, headroom) {
+            return Some(r);
+        }
+        if let Some(old) = self.current.take() {
+            self.pool.retire_list().retire(old.into_area());
+        }
+        self.pool.retire_list().try_reclaim();
+        if let Some(r) = budget.try_reserve(slots, headroom) {
+            return Some(r);
+        }
+        self.state.set_suspended(true);
+        self.metrics.creates_skipped.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Drive retired-area reclamation, then retry a deferred create if it
+    /// would now fit (called by the mapper thread on every poll tick).
+    /// Returns the number of areas unmapped.
+    pub fn reclaim_tick(&mut self) -> Result<usize> {
+        if !self.cfg.reclaim {
+            return Ok(0);
+        }
+        let reclaimed = self.pool.retire_list().try_reclaim();
+        if let Some(MaintRequest::Create { slots, .. }) = &self.deferred {
+            // Cheap racy pre-check to avoid re-counting a skip every tick;
+            // the retry's real admission goes through try_reserve again.
+            let budget = self.pool.budget();
+            if budget.would_fit(*slots, budget_headroom(budget.limit())) {
+                if let Some(req) = self.deferred.take() {
+                    self.apply_one(req)?;
+                }
+            }
+        }
+        Ok(reclaimed)
     }
 
     /// The node currently serving the shortcut, if any.
@@ -209,9 +350,10 @@ impl MapperEngine {
         self.current.as_ref()
     }
 
-    /// Number of retired (still mapped) areas.
+    /// Number of retired, still mapped areas (legacy engine-held ones plus
+    /// those awaiting reader drain in the pool's retire list).
     pub fn retired_count(&self) -> usize {
-        self.retired.len()
+        self.retired.len() + self.pool.retire_list().retired_count()
     }
 }
 
@@ -224,6 +366,7 @@ pub struct Maintainer {
     stop: Arc<AtomicBool>,
     stop_signal: Arc<(Mutex<()>, Condvar)>,
     error: Arc<Mutex<Option<Error>>>,
+    poll_interval: Duration,
     handle: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -256,6 +399,12 @@ impl Maintainer {
                     }
                     if batch.is_empty() {
                         t_metrics.idle_polls.fetch_add(1, Ordering::Relaxed);
+                        // Idle tick: drive retired-area reclamation (and a
+                        // deferred-create retry) while the queue is quiet.
+                        if let Err(e) = engine.reclaim_tick() {
+                            *t_error.lock() = Some(e);
+                            break;
+                        }
                         if t_stop.load(Ordering::Acquire) {
                             break;
                         }
@@ -275,6 +424,10 @@ impl Maintainer {
                         *t_error.lock() = Some(e);
                         break;
                     }
+                    if let Err(e) = engine.reclaim_tick() {
+                        *t_error.lock() = Some(e);
+                        break;
+                    }
                     // Drain again immediately after work: insert bursts
                     // enqueue faster than one batch per poll.
                 }
@@ -288,6 +441,7 @@ impl Maintainer {
             stop,
             stop_signal,
             error,
+            poll_interval: poll,
             handle: Some(handle),
         }
     }
@@ -329,17 +483,39 @@ impl Maintainer {
         self.error.lock().clone()
     }
 
+    /// Whether the mapper skipped the latest rebuild because the directory
+    /// would not fit the VMA budget (see [`MaintConfig::reclaim`]).
+    pub fn suspended(&self) -> bool {
+        self.state.suspended()
+    }
+
     /// Block until the shortcut is in sync with the traditional directory
-    /// (or `timeout` elapses). Returns whether sync was reached. Test and
-    /// benchmark helper; production readers never wait, they just fall back.
+    /// (or `timeout` elapses). Returns whether sync was reached; when
+    /// maintenance is budget-suspended it returns `false` after a short
+    /// grace period (a few poll ticks) rather than waiting out the whole
+    /// timeout — the grace covers a *transient* suspension, where a
+    /// reader pin stalled reclamation and the deferred rebuild succeeds
+    /// on an upcoming tick, while a directory that genuinely does not
+    /// fit the budget stays suspended and fails fast. Test and benchmark
+    /// helper; production readers never wait, they just fall back.
     pub fn wait_sync(&self, timeout: Duration) -> bool {
         let deadline = std::time::Instant::now() + timeout;
+        let grace = (self.poll_interval * 4).max(Duration::from_millis(4));
+        let mut suspended_since: Option<std::time::Instant> = None;
         while std::time::Instant::now() < deadline {
             if self.error.lock().is_some() {
                 return false;
             }
             if self.pending() == 0 && self.state.in_sync() {
                 return true;
+            }
+            if self.pending() == 0 && self.state.suspended() {
+                let since = *suspended_since.get_or_insert_with(std::time::Instant::now);
+                if since.elapsed() > grace {
+                    return false;
+                }
+            } else {
+                suspended_since = None;
             }
             std::thread::yield_now();
             std::thread::sleep(Duration::from_millis(1));
@@ -538,12 +714,13 @@ mod tests {
     }
 
     #[test]
-    fn retired_areas_stay_mapped() {
+    fn retired_areas_stay_mapped_until_readers_drain() {
         let mut pl = pool();
+        let handle = pl.handle();
         let state = Arc::new(SharedDirectoryState::new());
         let metrics = Arc::new(MaintMetrics::default());
         let mut eng = MapperEngine::new(
-            pl.handle(),
+            handle.clone(),
             Arc::clone(&state),
             metrics,
             MaintConfig::default(),
@@ -558,6 +735,8 @@ mod tests {
             version: v1,
         }])
         .unwrap();
+        // A reader pins, takes its ticket, and is about to dereference.
+        let pin = handle.retire_list().pin();
         let old_base = state.begin_read().unwrap().base;
 
         let v2 = state.bump_traditional();
@@ -568,10 +747,192 @@ mod tests {
         }])
         .unwrap();
         assert_eq!(eng.retired_count(), 1);
+        // Reclamation must not unmap under the outstanding pin.
+        assert_eq!(eng.reclaim_tick().unwrap(), 0);
+        assert_eq!(eng.retired_count(), 1);
         // The old base is still readable (stale but mapped).
         unsafe {
             assert_eq!(*(old_base as *const u64), 7);
         }
+        // Once the reader drains, the next tick reclaims the area.
+        drop(pin);
+        assert_eq!(eng.reclaim_tick().unwrap(), 1);
+        assert_eq!(eng.retired_count(), 0);
+        assert_eq!(handle.retire_list().counters().1, 1);
+    }
+
+    #[test]
+    fn legacy_mode_keeps_retired_areas_mapped_forever() {
+        let mut pl = pool();
+        let state = Arc::new(SharedDirectoryState::new());
+        let metrics = Arc::new(MaintMetrics::default());
+        let mut eng = MapperEngine::new(
+            pl.handle(),
+            Arc::clone(&state),
+            metrics,
+            MaintConfig {
+                reclaim: false,
+                ..MaintConfig::default()
+            },
+        );
+        let l0 = pl.alloc_page().unwrap();
+        stamp(&pl, l0, 7);
+        for slots in [1usize, 2] {
+            let v = state.bump_traditional();
+            eng.apply_batch(vec![MaintRequest::Create {
+                slots,
+                assignments: (0..slots).map(|s| (s, l0)).collect(),
+                version: v,
+            }])
+            .unwrap();
+        }
+        assert_eq!(eng.retired_count(), 1);
+        assert_eq!(eng.reclaim_tick().unwrap(), 0, "legacy mode never reclaims");
+        assert_eq!(eng.retired_count(), 1);
+    }
+
+    #[test]
+    fn over_budget_create_is_skipped_and_suspends() {
+        // A pool whose private 32-mapping budget (headroom 32/16 = 2,
+        // effective 30) cannot possibly hold a 64-slot aliased directory:
+        // the rebuild must be skipped (no ENOMEM, no error), the stale
+        // current node retired, and the state suspended.
+        let mut pl = PagePool::new(PoolConfig {
+            initial_pages: 16,
+            min_growth_pages: 16,
+            view_capacity_pages: 4096,
+            vma_budget: Some(shortcut_rewire::VmaBudget::with_limit(32)),
+            ..PoolConfig::default()
+        })
+        .unwrap();
+        let handle = pl.handle();
+        let state = Arc::new(SharedDirectoryState::new());
+        let metrics = Arc::new(MaintMetrics::default());
+        let mut eng = MapperEngine::new(
+            handle.clone(),
+            Arc::clone(&state),
+            Arc::clone(&metrics),
+            MaintConfig::default(),
+        );
+        let l0 = pl.alloc_page().unwrap();
+
+        // A small directory fits.
+        let v1 = state.bump_traditional();
+        eng.apply_batch(vec![MaintRequest::Create {
+            slots: 2,
+            assignments: vec![(0, l0), (1, l0)],
+            version: v1,
+        }])
+        .unwrap();
+        assert!(state.in_sync());
+        assert!(!state.suspended());
+
+        // A 64-slot fan-in-64 directory (64 unmergeable VMAs) does not.
+        let v2 = state.bump_traditional();
+        eng.apply_batch(vec![MaintRequest::Create {
+            slots: 64,
+            assignments: (0..64).map(|s| (s, l0)).collect(),
+            version: v2,
+        }])
+        .unwrap();
+        assert!(state.suspended());
+        assert!(!state.in_sync());
+        assert_eq!(metrics.snapshot().creates_skipped, 1);
+        assert_eq!(metrics.snapshot().creates_applied, 1);
+        // The stale current node was retired and (no readers) reclaimed on
+        // the next tick, so the budget drops back to the pool view alone.
+        eng.reclaim_tick().unwrap();
+        assert_eq!(eng.retired_count(), 0);
+        assert!(handle.budget().in_use() <= 2 + 1);
+    }
+
+    #[test]
+    fn deferred_create_applies_after_readers_drain() {
+        // A rebuild that fails admission only because a reader pin stalls
+        // the reclaim of the superseded directory must not suspend the
+        // shortcut forever: once the pin drops, the next tick reclaims,
+        // retries the deferred create, and re-publishes in sync.
+        let mut pl = PagePool::new(PoolConfig {
+            initial_pages: 16,
+            min_growth_pages: 16,
+            view_capacity_pages: 4096,
+            // limit 8 < 16 → headroom 0 → effective budget 8.
+            vma_budget: Some(shortcut_rewire::VmaBudget::with_limit(8)),
+            ..PoolConfig::default()
+        })
+        .unwrap();
+        let handle = pl.handle();
+        let state = Arc::new(SharedDirectoryState::new());
+        let metrics = Arc::new(MaintMetrics::default());
+        let mut eng = MapperEngine::new(
+            handle.clone(),
+            Arc::clone(&state),
+            Arc::clone(&metrics),
+            MaintConfig::default(),
+        );
+        let l0 = pl.alloc_page().unwrap();
+        let l1 = pl.alloc_page().unwrap();
+        stamp(&pl, l0, 70);
+        stamp(&pl, l1, 71);
+
+        let v1 = state.bump_traditional();
+        eng.apply_batch(vec![MaintRequest::Create {
+            slots: 2,
+            assignments: vec![(0, l0), (1, l0)],
+            version: v1,
+        }])
+        .unwrap();
+        assert!(state.in_sync());
+
+        // A reader stalls mid-read; the 6-slot rebuild (worst case 6
+        // VMAs) does not fit while the old directory cannot be reclaimed.
+        let pin = handle.retire_list().pin();
+        let v2 = state.bump_traditional();
+        eng.apply_batch(vec![MaintRequest::Create {
+            slots: 6,
+            assignments: (0..6).map(|s| (s, l0)).collect(),
+            version: v2,
+        }])
+        .unwrap();
+        assert!(state.suspended());
+        assert_eq!(metrics.snapshot().creates_skipped, 1);
+
+        // A bucket split lands while the create is deferred: the update
+        // must be folded into the deferred assignments, not discarded —
+        // otherwise the retry would publish a stale slot that a later
+        // version-restoring update could legitimize.
+        let v3 = state.bump_traditional();
+        eng.apply_batch(vec![MaintRequest::Update {
+            slot: 3,
+            ppage: l1,
+            version: v3,
+        }])
+        .unwrap();
+        assert_eq!(metrics.snapshot().updates_discarded, 0);
+
+        // Pin still held: the tick reclaims nothing and must not retry.
+        assert_eq!(eng.reclaim_tick().unwrap(), 0);
+        assert!(state.suspended());
+
+        // Reader drains → the tick reclaims the old directory, retries
+        // the deferred create (with the folded update, at the folded
+        // version), and the shortcut is back in sync.
+        drop(pin);
+        assert_eq!(eng.reclaim_tick().unwrap(), 1);
+        assert!(!state.suspended());
+        assert!(state.in_sync());
+        let t = state.begin_read().unwrap();
+        assert_eq!(t.slots, 6);
+        unsafe {
+            assert_eq!(*(t.base.add(2 << 12) as *const u64), 70);
+            assert_eq!(
+                *(t.base.add(3 << 12) as *const u64),
+                71,
+                "folded update lost"
+            );
+        }
+        assert_eq!(metrics.snapshot().creates_applied, 2);
+        assert_eq!(metrics.snapshot().creates_skipped, 1);
     }
 
     #[test]

@@ -12,6 +12,9 @@ pub struct MaintMetrics {
     pub creates_applied: AtomicU64,
     /// Update requests discarded because a newer create superseded them.
     pub updates_discarded: AtomicU64,
+    /// Create requests skipped because the rebuilt directory would not fit
+    /// the VMA budget (maintenance suspended; lookups fall back).
+    pub creates_skipped: AtomicU64,
     /// Individual slot rewirings performed.
     pub slots_rewired: AtomicU64,
     /// mmap calls spent on rebuilds (after coalescing).
@@ -33,6 +36,8 @@ pub struct MaintSnapshot {
     pub creates_applied: u64,
     /// Updates discarded as superseded.
     pub updates_discarded: u64,
+    /// Creates skipped by the VMA budget.
+    pub creates_skipped: u64,
     /// Slots rewired in total.
     pub slots_rewired: u64,
     /// mmap calls used by creates.
@@ -52,6 +57,7 @@ impl MaintMetrics {
             updates_applied: self.updates_applied.load(Ordering::Relaxed),
             creates_applied: self.creates_applied.load(Ordering::Relaxed),
             updates_discarded: self.updates_discarded.load(Ordering::Relaxed),
+            creates_skipped: self.creates_skipped.load(Ordering::Relaxed),
             slots_rewired: self.slots_rewired.load(Ordering::Relaxed),
             create_mmap_calls: self.create_mmap_calls.load(Ordering::Relaxed),
             pages_populated: self.pages_populated.load(Ordering::Relaxed),

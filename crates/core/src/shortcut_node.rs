@@ -32,6 +32,37 @@ impl ShortcutNode {
         })
     }
 
+    /// Charge the node's VMA footprint (current estimate, tracked across
+    /// future remappings) against `pool`'s
+    /// [`shortcut_rewire::VmaBudget`] for the rest of its lifetime.
+    /// Callers that build under a worst-case
+    /// [`shortcut_rewire::BudgetReservation`] attach *after* the build so
+    /// the directory is never double-counted while it is being rewired.
+    pub fn charge_to(&mut self, pool: &PoolHandle) {
+        self.area
+            .attach_budget(std::sync::Arc::clone(pool.budget()));
+    }
+
+    /// Attach `pool`'s budget without charging now: the caller has
+    /// already settled a reservation down to this node's exact estimate
+    /// (see [`shortcut_rewire::BudgetReservation::settle`]). Future
+    /// remapping deltas and the release on drop are tracked as usual.
+    pub fn charge_to_prepaid(&mut self, pool: &PoolHandle) {
+        self.area
+            .attach_budget_prepaid(std::sync::Arc::clone(pool.budget()));
+    }
+
+    /// Surrender the node's virtual area (for retirement into a
+    /// [`shortcut_rewire::RetireList`]).
+    pub fn into_area(self) -> VirtArea {
+        self.area
+    }
+
+    /// Estimated VMAs the node currently occupies.
+    pub fn vma_estimate(&self) -> usize {
+        self.area.vma_estimate()
+    }
+
     /// Number of slots.
     #[inline]
     pub fn slots(&self) -> usize {

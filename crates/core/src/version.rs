@@ -9,11 +9,14 @@
 //!
 //! Reads follow a seqlock-style protocol ([`SharedDirectoryState::begin_read`]
 //! / [`SharedDirectoryState::still_valid`]): validate versions, read through the
-//! published base pointer, validate again. Retired shortcut areas are kept
-//! mapped until the index is dropped, so a read that loses the race reads
-//! *stale but mapped* memory and is then discarded — never a fault.
+//! published base pointer, validate again. Retired shortcut areas stay
+//! mapped until every reader pin taken before their retirement has drained
+//! (see [`shortcut_rewire::RetireList`]), so a read that loses the race
+//! reads *stale but mapped* memory and is then discarded — never a fault.
+//! Dereferencing a ticket's base therefore requires holding a
+//! [`shortcut_rewire::ReaderPin`] from the pool the shortcut maps.
 
-use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 
 /// Shared state published by the mapper thread and read by lookups.
 #[derive(Debug)]
@@ -28,6 +31,10 @@ pub struct SharedDirectoryState {
     base: AtomicPtr<u8>,
     /// Slot count of the current shortcut area.
     slots: AtomicUsize,
+    /// Whether the mapper skipped the latest rebuild because the directory
+    /// no longer fits the VMA budget. Readers fall back to the traditional
+    /// directory until a rebuild fits again.
+    suspended: AtomicBool,
 }
 
 /// Proof that a shortcut read started in sync; must be revalidated after
@@ -49,7 +56,22 @@ impl SharedDirectoryState {
             shortcut_version: AtomicU64::new(0),
             base: AtomicPtr::new(std::ptr::null_mut()),
             slots: AtomicUsize::new(0),
+            suspended: AtomicBool::new(false),
         }
+    }
+
+    /// Record whether shortcut maintenance is suspended by the VMA budget
+    /// (set by the mapper thread only).
+    pub fn set_suspended(&self, suspended: bool) {
+        self.suspended.store(suspended, Ordering::Release);
+    }
+
+    /// Whether the mapper skipped the latest rebuild because it would not
+    /// fit the VMA budget. The index stays fully usable — lookups route
+    /// through the traditional directory — but the shortcut will not catch
+    /// up until the budget allows a rebuild.
+    pub fn suspended(&self) -> bool {
+        self.suspended.load(Ordering::Acquire)
     }
 
     /// Record a modification of the traditional directory; returns the new

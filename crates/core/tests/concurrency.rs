@@ -38,6 +38,7 @@ fn seqlock_readers_never_observe_torn_state() {
         gen_runs.push(run);
     }
 
+    let retire = std::sync::Arc::clone(handle.retire_list());
     let maint = Maintainer::spawn(
         handle,
         MaintConfig {
@@ -53,16 +54,19 @@ fn seqlock_readers_never_observe_torn_state() {
     std::thread::scope(|scope| {
         // Reader thread.
         let reader_state = std::sync::Arc::clone(&state);
+        let reader_retire = std::sync::Arc::clone(&retire);
         let (stop_r, val_r, disc_r) = (&stop, &validated_reads, &discarded_reads);
         scope.spawn(move || {
             let mut s = 0usize;
             while !stop_r.load(Ordering::Relaxed) {
                 s = (s + 7) % slots;
+                let _pin = reader_retire.pin();
                 if let Some(ticket) = reader_state.begin_read() {
                     if ticket.slots != slots {
                         continue;
                     }
-                    // SAFETY: published areas stay mapped (retire policy).
+                    // SAFETY: retired areas stay mapped while our pin is
+                    // held, so a racing rebuild leaves this readable.
                     let stamp = unsafe { *(ticket.base.add(s << 12) as *const u64) };
                     if reader_state.still_valid(ticket) {
                         // Validated: stamp must be internally consistent and
@@ -101,6 +105,7 @@ fn seqlock_readers_never_observe_torn_state() {
     let val = validated_reads.load(Ordering::Relaxed);
     assert!(val > 0, "reader never completed a validated read");
     // The final state reflects the last generation.
+    let _pin = retire.pin();
     let t = state.begin_read().expect("final state in sync");
     let stamp = unsafe { *(t.base as *const u64) };
     assert_eq!(stamp >> 32, generations - 1);
@@ -125,6 +130,7 @@ fn updates_race_with_readers_without_tearing() {
         *(pool.page_ptr(b) as *mut u64) = 0xBBBB_BBBB;
     }
 
+    let retire = std::sync::Arc::clone(handle.retire_list());
     let maint = Maintainer::spawn(
         handle,
         MaintConfig {
@@ -144,11 +150,13 @@ fn updates_race_with_readers_without_tearing() {
     let stop = AtomicBool::new(false);
     std::thread::scope(|scope| {
         let reader_state = std::sync::Arc::clone(&state);
+        let reader_retire = std::sync::Arc::clone(&retire);
         let stop_r = &stop;
         scope.spawn(move || {
             while !stop_r.load(Ordering::Relaxed) {
+                let _pin = reader_retire.pin();
                 if let Some(t) = reader_state.begin_read() {
-                    // SAFETY: published areas stay mapped.
+                    // SAFETY: retired areas stay mapped under our pin.
                     let v = unsafe { *(t.base as *const u64) };
                     if reader_state.still_valid(t) {
                         assert!(

@@ -84,12 +84,6 @@ impl ChainedHash {
         })
     }
 
-    /// Build with custom configuration, panicking on rejection.
-    #[deprecated(since = "0.2.0", note = "use the fallible `try_new`")]
-    pub fn new(cfg: ChConfig) -> Self {
-        Self::try_new(cfg).expect("ChainedHash construction failed")
-    }
-
     /// Build with the paper's 1 GB table.
     ///
     /// # Errors

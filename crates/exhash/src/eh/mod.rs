@@ -115,12 +115,6 @@ impl ExtendibleHash {
         })
     }
 
-    /// Build with custom configuration, panicking on failure.
-    #[deprecated(since = "0.2.0", note = "use the fallible `try_new`")]
-    pub fn new(cfg: EhConfig) -> Self {
-        Self::try_new(cfg).expect("ExtendibleHash construction failed")
-    }
-
     /// Build with the paper's defaults.
     ///
     /// # Errors
@@ -158,6 +152,11 @@ impl ExtendibleHash {
     /// Operation counters of the backing page pool.
     pub fn pool_stats(&self) -> shortcut_rewire::StatsSnapshot {
         self.pool.stats()
+    }
+
+    /// VMA budget and retirement counters of the backing page pool.
+    pub fn vma_stats(&self) -> shortcut_rewire::VmaSnapshot {
+        self.pool.vma_snapshot()
     }
 
     /// Maximum entries a bucket may hold before splitting.
@@ -275,14 +274,6 @@ impl ExtendibleHash {
         self.bucket_count += 1;
         self.stats.splits += 1;
         Ok(())
-    }
-}
-
-impl ExtendibleHash {
-    /// Shared-reference lookup, kept from the seed API.
-    #[deprecated(since = "0.2.0", note = "`Index::get` now takes `&self`; use `get`")]
-    pub fn get_ref(&self, key: u64) -> Option<u64> {
-        Index::get(self, key)
     }
 }
 

@@ -172,12 +172,6 @@ impl HashTable {
         })
     }
 
-    /// Build with custom configuration, panicking on rejection.
-    #[deprecated(since = "0.2.0", note = "use the fallible `try_new`")]
-    pub fn new(cfg: HtConfig) -> Self {
-        Self::try_new(cfg).expect("HashTable construction failed")
-    }
-
     /// Build with the paper's defaults (256 slots, load factor 0.35).
     ///
     /// # Errors

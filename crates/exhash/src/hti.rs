@@ -229,12 +229,6 @@ impl IncrementalHashTable {
         })
     }
 
-    /// Build with custom configuration, panicking on rejection.
-    #[deprecated(since = "0.2.0", note = "use the fallible `try_new`")]
-    pub fn new(cfg: HtiConfig) -> Self {
-        Self::try_new(cfg).expect("IncrementalHashTable construction failed")
-    }
-
     /// Build with defaults (256 slots, 0.35, batch 64).
     ///
     /// # Errors

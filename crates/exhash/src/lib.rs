@@ -46,5 +46,3 @@ pub use hti::{HtiConfig, IncrementalHashTable};
 pub use shortcut_eh::{ShortcutEh, ShortcutEhConfig};
 pub use stats::IndexStats;
 pub use traits::Index;
-#[allow(deprecated)]
-pub use traits::KvIndex;

@@ -15,6 +15,13 @@
 //! results that raced a modification; the fallback is always the
 //! traditional directory, so correctness never depends on the mapper.
 //!
+//! Superseded directories are *retired*, not leaked: each lookup holds a
+//! [`shortcut_rewire::ReaderPin`] across its dereference, and the mapper
+//! reclaims retired areas once all pre-retirement pins drain. Rebuilds are
+//! admission-checked against the pool's [`shortcut_rewire::VmaBudget`]; a
+//! directory too large for `vm.max_map_count` suspends the shortcut
+//! (see [`ShortcutEh::shortcut_suspended`]) instead of dying in `mmap`.
+//!
 //! [`Index::get`] takes `&self` and the routing counters are atomics, so
 //! any number of threads may share a `&ShortcutEh` and look up concurrently
 //! (the type is `Sync`); Rust's aliasing rules guarantee no writer exists
@@ -27,8 +34,9 @@ use crate::hash::{dir_slot, mult_hash};
 use crate::stats::IndexStats;
 use crate::traits::Index;
 use shortcut_core::{MaintConfig, MaintRequest, Maintainer, RoutePolicy};
-use shortcut_rewire::PAGE_SIZE_4K;
+use shortcut_rewire::{RetireList, PAGE_SIZE_4K};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Shortcut-EH tuning.
 #[derive(Debug, Clone, Default)]
@@ -57,9 +65,19 @@ pub struct ShortcutEh {
     eh: ExtendibleHash,
     policy: RoutePolicy,
     counters: RouteCounters,
+    /// The pool's retirement machinery: lookups pin it around every
+    /// dereference of the published shortcut base, so the mapper's
+    /// reclamation never unmaps a retired directory under a reader.
+    retire: Arc<RetireList>,
 }
 
 impl ShortcutEh {
+    /// Keys served under one reader pin / seqlock ticket in
+    /// [`Index::get_many`]: large enough to amortize the per-chunk
+    /// validation to nothing, small enough (microseconds of pin hold)
+    /// that batched read storms cannot stall the reclaim scan.
+    const GET_MANY_PIN_CHUNK: usize = 4096;
+
     /// Build with custom configuration and spawn the mapper thread.
     ///
     /// # Errors
@@ -70,12 +88,15 @@ impl ShortcutEh {
     pub fn try_new(mut cfg: ShortcutEhConfig) -> Result<Self, IndexError> {
         cfg.eh.track_events = true;
         let eh = ExtendibleHash::try_new(cfg.eh)?;
-        let maint = Maintainer::spawn(eh.pool_handle(), cfg.maint);
+        let handle = eh.pool_handle();
+        let retire = Arc::clone(handle.retire_list());
+        let maint = Maintainer::spawn(handle, cfg.maint);
         let this = ShortcutEh {
             maint,
             eh,
             policy: cfg.policy,
             counters: RouteCounters::default(),
+            retire,
         };
         // Publish the initial single-slot directory so the shortcut can
         // serve reads before the first doubling.
@@ -87,12 +108,6 @@ impl ShortcutEh {
             version: v,
         });
         Ok(this)
-    }
-
-    /// Build with custom configuration, panicking on failure.
-    #[deprecated(since = "0.2.0", note = "use the fallible `try_new`")]
-    pub fn new(cfg: ShortcutEhConfig) -> Self {
-        Self::try_new(cfg).expect("ShortcutEh construction failed")
     }
 
     /// Build with the paper's defaults.
@@ -140,6 +155,19 @@ impl ShortcutEh {
         self.eh.pool_stats()
     }
 
+    /// VMA budget and retirement counters of the backing page pool.
+    pub fn vma_stats(&self) -> shortcut_rewire::VmaSnapshot {
+        self.eh.vma_stats()
+    }
+
+    /// Whether shortcut maintenance is suspended because the directory no
+    /// longer fits the VMA budget. The index keeps answering every lookup
+    /// through the traditional directory; raise `vm.max_map_count` (or the
+    /// injected budget) for shortcut-served reads at this scale.
+    pub fn shortcut_suspended(&self) -> bool {
+        self.maint.suspended()
+    }
+
     /// Average directory fan-in.
     pub fn avg_fanin(&self) -> f64 {
         self.eh.avg_fanin()
@@ -161,12 +189,6 @@ impl ShortcutEh {
         self.maint.error().map(IndexError::Pool)
     }
 
-    /// Shared-reference lookup, kept from the seed API.
-    #[deprecated(since = "0.2.0", note = "`Index::get` now takes `&self`; use `get`")]
-    pub fn get_ref(&self, key: u64) -> Option<u64> {
-        Index::get(self, key)
-    }
-
     /// The shared maintenance state (diagnostics/benchmarks).
     #[doc(hidden)]
     pub fn state_arc(&self) -> std::sync::Arc<shortcut_core::SharedDirectoryState> {
@@ -174,7 +196,8 @@ impl ShortcutEh {
     }
 
     /// Published shortcut state (base address, slots) if in sync.
-    /// For diagnostics and benchmarks only.
+    /// For diagnostics and benchmarks only — dereferencing the base
+    /// requires a pin from the pool's retire list.
     #[doc(hidden)]
     pub fn published_state(&self) -> Option<(usize, usize)> {
         self.maint
@@ -228,13 +251,24 @@ impl ShortcutEh {
             return None;
         }
         let state = self.maint.state();
+        // Cheap pre-check without a pin: versions are plain atomics and
+        // deciding "out of sync" touches no shortcut memory. This keeps
+        // the fallback path (including budget-suspended operation) free
+        // of the pin's fence.
+        if !state.in_sync() {
+            return None;
+        }
+        // The pin must be taken before the ticket: it is what keeps a
+        // directory this read might land in mapped until the read drains.
+        let _pin = self.retire.pin();
         let t = state.begin_read()?;
         debug_assert!(t.slots.is_power_of_two());
         let g = t.slots.trailing_zeros();
         let slot = dir_slot(hash, g);
         // SAFETY: the published area has t.slots pages; `slot < t.slots`
-        // by construction of dir_slot; retired areas stay mapped, so even
-        // a racing rebuild leaves this readable.
+        // by construction of dir_slot; a racing rebuild retires the old
+        // area but reclamation waits for `_pin` to drop, so the page stays
+        // readable (stale data is discarded by the ticket below).
         let bucket = unsafe { BucketRef::from_ptr(t.base.add(slot * PAGE_SIZE_4K)) };
         let result = bucket.get(key);
         if self.maint.state().still_valid(t) {
@@ -292,44 +326,51 @@ impl Index for ShortcutEh {
         "Shortcut-EH"
     }
 
-    /// Batched lookup with one seqlock ticket per batch: the policy check,
-    /// fan-in computation, and the two version validations are paid once
-    /// instead of per key. Falls back to the traditional directory for the
-    /// whole batch when the shortcut is out of sync or a modification
-    /// raced the batch.
+    /// Batched lookup with one seqlock ticket (and one reader pin) per
+    /// chunk of up to 4096 keys: the policy
+    /// check, fan-in computation, and the two version validations are
+    /// paid once per chunk instead of per key, while the pin is released
+    /// between chunks so an arbitrarily large batch cannot starve
+    /// retired-directory reclamation. A chunk that is out of sync or
+    /// raced a modification falls back to the traditional directory.
     fn get_many(&self, keys: &[u64]) -> Vec<Option<u64>> {
-        if self.policy.use_shortcut(self.eh.avg_fanin(), true) {
-            if let Some(t) = self.maint.state().begin_read() {
-                debug_assert!(t.slots.is_power_of_two());
-                let g = t.slots.trailing_zeros();
-                let out: Vec<Option<u64>> = keys
-                    .iter()
-                    .map(|&k| {
+        let mut out: Vec<Option<u64>> = Vec::with_capacity(keys.len());
+        for chunk in keys.chunks(Self::GET_MANY_PIN_CHUNK.max(1)) {
+            if self.policy.use_shortcut(self.eh.avg_fanin(), true) && self.in_sync() {
+                let _pin = self.retire.pin();
+                if let Some(t) = self.maint.state().begin_read() {
+                    debug_assert!(t.slots.is_power_of_two());
+                    let g = t.slots.trailing_zeros();
+                    let start = out.len();
+                    out.extend(chunk.iter().map(|&k| {
                         let slot = dir_slot(mult_hash(k), g);
                         // SAFETY: see `shortcut_get` — slot < t.slots and
-                        // retired areas stay mapped.
+                        // the pin defers reclamation of retired areas.
                         let bucket =
                             unsafe { BucketRef::from_ptr(t.base.add(slot * PAGE_SIZE_4K)) };
                         bucket.get(k)
-                    })
-                    .collect();
-                if self.maint.state().still_valid(t) {
+                    }));
+                    if self.maint.state().still_valid(t) {
+                        self.counters
+                            .shortcut_lookups
+                            .fetch_add(chunk.len() as u64, Ordering::Relaxed);
+                        continue;
+                    }
+                    // The chunk raced a modification; discard it, count
+                    // one retry (one discarded ticket) and re-answer it
+                    // traditionally.
+                    out.truncate(start);
                     self.counters
-                        .shortcut_lookups
-                        .fetch_add(keys.len() as u64, Ordering::Relaxed);
-                    return out;
+                        .shortcut_retries
+                        .fetch_add(1, Ordering::Relaxed);
                 }
-                // The whole batch raced a modification; count one retry
-                // (one discarded ticket) and re-answer traditionally.
-                self.counters
-                    .shortcut_retries
-                    .fetch_add(1, Ordering::Relaxed);
             }
+            self.counters
+                .traditional_lookups
+                .fetch_add(chunk.len() as u64, Ordering::Relaxed);
+            out.extend(chunk.iter().map(|&k| self.eh.get(k)));
         }
-        self.counters
-            .traditional_lookups
-            .fetch_add(keys.len() as u64, Ordering::Relaxed);
-        keys.iter().map(|&k| self.eh.get(k)).collect()
+        out
     }
 
     /// Batched insert that relays directory events to the mapper once per
@@ -518,6 +559,57 @@ mod tests {
         t.insert(9, 2).unwrap();
         assert_eq!(t.len(), 1);
         assert_eq!(t.get(9), Some(2));
+    }
+
+    #[test]
+    fn tiny_vma_budget_suspends_shortcut_but_keeps_answers() {
+        // A private budget that can hold only a few dozen directory
+        // mappings: once the directory outgrows it, maintenance must
+        // suspend (no ENOMEM, no mapper error) while every lookup keeps
+        // being answered through the traditional directory.
+        let mut cfg = fast_cfg();
+        cfg.eh.pool.vma_budget = Some(shortcut_rewire::VmaBudget::with_limit(100));
+        let mut t = ShortcutEh::try_new(cfg).unwrap();
+        let n = 30_000u64;
+        // Insert in paced chunks so the mapper actually applies (and later
+        // retires) intermediate directories instead of superseding them
+        // all in one batch, then keep going past the point of suspension.
+        let mut k = 0u64;
+        while k < n {
+            let end = (k + 2_000).min(n);
+            while k < end {
+                t.insert(k, k * 5).unwrap();
+                k += 1;
+            }
+            if !t.shortcut_suspended() {
+                let _ = t.wait_sync(Duration::from_secs(10));
+            }
+        }
+        assert!(t.shortcut_suspended(), "budget never suspended the mapper");
+        assert!(
+            !t.wait_sync(Duration::from_secs(10)),
+            "suspended must not sync"
+        );
+        assert!(t.maint_error().is_none());
+        assert!(t.maint_metrics().creates_skipped > 0);
+        assert!(t.maint_metrics().creates_applied > 0);
+        for k in 0..n {
+            assert_eq!(t.get(k), Some(k * 5), "key {k}");
+        }
+        // The budget estimate stays within its limit, and the retired
+        // directories were reclaimed rather than accumulated. Give the
+        // mapper a few idle ticks to drain the tail.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while t.vma_stats().retired_areas > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let vma = t.vma_stats();
+        assert!(vma.in_use <= vma.limit, "{vma:?}");
+        assert!(vma.areas_retired > 0, "{vma:?}");
+        assert_eq!(
+            vma.areas_retired, vma.areas_reclaimed,
+            "retired directories must drain once readers are gone: {vma:?}"
+        );
     }
 
     #[test]

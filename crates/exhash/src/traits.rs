@@ -76,54 +76,8 @@ pub trait Index {
     }
 }
 
-/// The seed's mutable key-value interface, kept for one release as a
-/// migration shim: every [`Index`] implements it via a blanket impl, with
-/// errors converted back into the seed's panic semantics.
-#[deprecated(
-    since = "0.2.0",
-    note = "use the `Index` trait: reads take `&self`, writes return `Result<_, IndexError>`"
-)]
-pub trait KvIndex {
-    /// Insert or update a key. Panics where [`Index::insert`] would error.
-    fn insert(&mut self, key: u64, value: u64);
-
-    /// Look up a key.
-    fn get(&mut self, key: u64) -> Option<u64>;
-
-    /// Remove a key, returning its value.
-    fn remove(&mut self, key: u64) -> Option<u64>;
-
-    /// Number of live entries.
-    fn len(&self) -> usize;
-
-    /// Whether the index is empty.
-    fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Short display name.
-    fn name(&self) -> &'static str;
-}
-
-#[allow(deprecated)]
-impl<T: Index + ?Sized> KvIndex for T {
-    fn insert(&mut self, key: u64, value: u64) {
-        Index::insert(self, key, value).expect("KvIndex shim: insert failed")
-    }
-
-    fn get(&mut self, key: u64) -> Option<u64> {
-        Index::get(self, key)
-    }
-
-    fn remove(&mut self, key: u64) -> Option<u64> {
-        Index::remove(self, key).expect("KvIndex shim: remove failed")
-    }
-
-    fn len(&self) -> usize {
-        Index::len(self)
-    }
-
-    fn name(&self) -> &'static str {
-        Index::name(self)
-    }
-}
+// The seed's `KvIndex` shim (panic-on-error writes, `&mut self` reads)
+// lived here as a blanket impl for one release after the 0.2.0 API
+// redesign; it was removed in 0.3.0 along with the deprecated panicking
+// `new` constructors. Migrate via `Index`: reads take `&self`, writes
+// return `Result<_, IndexError>`.

@@ -1,0 +1,268 @@
+//! Pool-wide accounting of virtual memory areas (VMAs).
+//!
+//! Every non-coalescible rewired slot costs the kernel one VMA, and the
+//! kernel refuses to create mappings past `vm.max_map_count` (`mmap`
+//! returns `ENOMEM`). The paper treats that limit as a deployment footnote
+//! ("raise the sysctl"); production code has to treat it as a budget:
+//!
+//! * [`max_map_count`] reads the kernel limit once and caches it.
+//! * [`VmaBudget`] tracks how many VMAs the rewiring layer currently
+//!   holds (live **and** retired areas plus the pool view), so consumers
+//!   can ask *before* a rebuild whether a directory of `n` mappings fits —
+//!   instead of hand-deriving slot caps from the sysctl.
+//!
+//! One process-global budget ([`VmaBudget::global`]) is shared by all
+//! pools by default because `vm.max_map_count` is a per-process limit;
+//! tests and stress rigs inject private budgets with a small limit via
+//! [`crate::PoolConfig::vma_budget`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Kernel default for `vm.max_map_count`, used when the sysctl cannot be
+/// read (non-Linux hosts, locked-down sandboxes).
+pub const DEFAULT_MAX_MAP_COUNT: usize = 65_530;
+
+/// The process's `vm.max_map_count`, read **once** from
+/// `/proc/sys/vm/max_map_count` and cached for the lifetime of the
+/// process. Falls back to [`DEFAULT_MAX_MAP_COUNT`] when the file is
+/// absent or unparsable.
+pub fn max_map_count() -> usize {
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::fs::read_to_string("/proc/sys/vm/max_map_count")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .unwrap_or(DEFAULT_MAX_MAP_COUNT)
+    })
+}
+
+/// A shared VMA budget: the mapping-count limit plus a running estimate of
+/// the VMAs currently held by budget-attached areas and pool views.
+///
+/// The estimate is *accounting*, not enforcement — attaching an area never
+/// fails. Enforcement happens at admission points (the shortcut mapper
+/// checks [`VmaBudget::would_fit`] before building a directory) so a
+/// too-large rebuild is skipped gracefully instead of dying inside `mmap`.
+#[derive(Debug)]
+pub struct VmaBudget {
+    limit: AtomicUsize,
+    in_use: AtomicUsize,
+}
+
+impl VmaBudget {
+    /// A budget with an explicit mapping limit (tests, stress rigs).
+    pub fn with_limit(limit: usize) -> Arc<Self> {
+        Arc::new(VmaBudget {
+            limit: AtomicUsize::new(limit),
+            in_use: AtomicUsize::new(0),
+        })
+    }
+
+    /// The process-global budget, limited by [`max_map_count`]. All pools
+    /// share it unless given a private budget, because the kernel limit is
+    /// per-process no matter how many pools exist.
+    pub fn global() -> Arc<Self> {
+        static GLOBAL: OnceLock<Arc<VmaBudget>> = OnceLock::new();
+        Arc::clone(GLOBAL.get_or_init(|| VmaBudget::with_limit(max_map_count())))
+    }
+
+    /// The mapping-count limit this budget enforces against.
+    pub fn limit(&self) -> usize {
+        self.limit.load(Ordering::Relaxed)
+    }
+
+    /// Override the limit (e.g. to simulate a small `vm.max_map_count`
+    /// without the sysctl). Takes effect for future admission checks.
+    pub fn set_limit(&self, limit: usize) {
+        self.limit.store(limit, Ordering::Relaxed);
+    }
+
+    /// Estimated VMAs currently held against this budget (live areas,
+    /// retired-but-unreclaimed areas, pool views).
+    pub fn in_use(&self) -> usize {
+        self.in_use.load(Ordering::Relaxed)
+    }
+
+    /// Whether `extra` additional VMAs fit under the limit while leaving
+    /// `headroom` mappings spare for everything the budget does not track
+    /// (the binary, heap, thread stacks, transient splits).
+    ///
+    /// This is a racy read — fine for cheap pre-checks and metrics, but
+    /// admission decisions must go through [`VmaBudget::try_reserve`],
+    /// which commits atomically.
+    pub fn would_fit(&self, extra: usize, headroom: usize) -> bool {
+        let limit = self.limit().saturating_sub(headroom);
+        self.in_use().saturating_add(extra) <= limit
+    }
+
+    /// Atomically reserve `extra` VMAs if they fit under the limit minus
+    /// `headroom` (compare-and-swap on the running estimate — two pools'
+    /// mapper threads admitting rebuilds concurrently cannot both slip
+    /// past the limit the way a check-then-charge pair could). The
+    /// reservation is released when the returned guard drops; callers
+    /// hold it across a rebuild and drop it once the built area has
+    /// attached its own (exact) charge.
+    ///
+    /// Residual imprecision: reservations are worst-case while attached
+    /// areas charge their *current* estimate, so a directory that
+    /// fragments after admission (bucket splits breaking merged runs)
+    /// consumes margin that another pool may meanwhile have reserved.
+    /// That second-order overlap can only surface as a cleanly-reported
+    /// `mmap` failure, never an unaccounted mapping.
+    pub fn try_reserve(
+        self: &Arc<Self>,
+        extra: usize,
+        headroom: usize,
+    ) -> Option<BudgetReservation> {
+        let limit = self.limit().saturating_sub(headroom);
+        let mut cur = self.in_use.load(Ordering::Relaxed);
+        loop {
+            let next = cur.checked_add(extra)?;
+            if next > limit {
+                return None;
+            }
+            match self
+                .in_use
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => {
+                    return Some(BudgetReservation {
+                        budget: Arc::clone(self),
+                        n: extra,
+                    })
+                }
+                Err(observed) => cur = observed,
+            }
+        }
+    }
+
+    pub(crate) fn charge(&self, n: usize) {
+        self.in_use.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn release(&self, n: usize) {
+        // Saturating: a release can never drive the estimate negative even
+        // if a caller double-counts during teardown.
+        let mut cur = self.in_use.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(n);
+            match self
+                .in_use
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(observed) => cur = observed,
+            }
+        }
+    }
+}
+
+/// A held VMA reservation from [`VmaBudget::try_reserve`]; the reserved
+/// count is released back to the budget on drop.
+#[derive(Debug)]
+pub struct BudgetReservation {
+    budget: Arc<VmaBudget>,
+    n: usize,
+}
+
+impl BudgetReservation {
+    /// Convert the worst-case reservation into an exact charge of
+    /// `exact` VMAs in one adjustment: the budget goes straight from
+    /// `reserved` to `exact` held, never transiently holding both (which
+    /// could push the estimate past the limit) and never dipping to zero
+    /// (which would let a concurrent reservation steal the margin). The
+    /// caller then owns the `exact` charge — typically by attaching the
+    /// budget to the built area as prepaid.
+    pub fn settle(mut self, exact: usize) {
+        match exact.cmp(&self.n) {
+            std::cmp::Ordering::Less => self.budget.release(self.n - exact),
+            std::cmp::Ordering::Greater => self.budget.charge(exact - self.n),
+            std::cmp::Ordering::Equal => {}
+        }
+        self.n = 0; // the drop below releases nothing
+    }
+}
+
+impl Drop for BudgetReservation {
+    fn drop(&mut self) {
+        self.budget.release(self.n);
+    }
+}
+
+/// Point-in-time view of the VMA budget and retirement machinery, merged
+/// into the facade's statistics snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VmaSnapshot {
+    /// Estimated VMAs currently held (live + retired areas + pool view).
+    pub in_use: u64,
+    /// Mapping-count limit of the budget (`vm.max_map_count` unless
+    /// overridden).
+    pub limit: u64,
+    /// Retired areas still mapped, waiting for readers to drain.
+    pub retired_areas: u64,
+    /// Areas handed to the retire list over the pool's lifetime.
+    pub areas_retired: u64,
+    /// Retired areas reclaimed (munmapped) so far.
+    pub areas_reclaimed: u64,
+    /// Estimated VMAs those reclaimed areas gave back.
+    pub vmas_reclaimed: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_map_count_is_cached_and_sane() {
+        let a = max_map_count();
+        let b = max_map_count();
+        assert_eq!(a, b);
+        assert!(a >= 1024, "implausible map count {a}");
+    }
+
+    #[test]
+    fn charge_release_roundtrip() {
+        let b = VmaBudget::with_limit(100);
+        b.charge(30);
+        assert_eq!(b.in_use(), 30);
+        assert!(b.would_fit(70, 0));
+        assert!(!b.would_fit(71, 0));
+        assert!(!b.would_fit(70, 10));
+        b.release(20);
+        assert_eq!(b.in_use(), 10);
+        // Saturating under-release.
+        b.release(1000);
+        assert_eq!(b.in_use(), 0);
+    }
+
+    #[test]
+    fn try_reserve_commits_atomically_and_releases_on_drop() {
+        let b = VmaBudget::with_limit(100);
+        b.charge(40);
+        let r = b.try_reserve(50, 0).expect("50 fits over 40/100");
+        assert_eq!(b.in_use(), 90);
+        assert!(b.try_reserve(20, 0).is_none(), "past the limit");
+        assert!(b.try_reserve(11, 0).is_none(), "one past the limit");
+        drop(r);
+        assert_eq!(b.in_use(), 40);
+        assert!(b.try_reserve(10, 50).is_some(), "headroom respected");
+    }
+
+    #[test]
+    fn limit_override_applies() {
+        let b = VmaBudget::with_limit(100);
+        b.set_limit(10);
+        b.charge(8);
+        assert!(b.would_fit(2, 0));
+        assert!(!b.would_fit(3, 0));
+    }
+
+    #[test]
+    fn global_budget_is_shared() {
+        let a = VmaBudget::global();
+        let b = VmaBudget::global();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.limit(), max_map_count());
+    }
+}

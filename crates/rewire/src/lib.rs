@@ -18,6 +18,10 @@
 //!   `mmap(MAP_PRIVATE | MAP_ANONYMOUS)`. Individual pages of the area can
 //!   be **rewired** to pool pages with `mmap(MAP_SHARED | MAP_FIXED)`,
 //!   optionally eagerly populating the page table (`MAP_POPULATE`).
+//! * [`VmaBudget`] / [`RetireList`] — the mapping-lifecycle layer: areas
+//!   account their VMA footprint against a `vm.max_map_count`-fed budget,
+//!   and superseded areas are *retired* (epoch-stamped, kept mapped) until
+//!   every reader pin taken before retirement has drained, then unmapped.
 //!
 //! All `unsafe` in the workspace is concentrated here. The safety argument
 //! is documented on each wrapper; the crate-level invariants are:
@@ -31,16 +35,20 @@
 //!    pointers and volatile-free plain loads/stores; callers must not hold
 //!    Rust references to both views simultaneously.
 
+mod budget;
 mod error;
 mod memfile;
 mod page;
 mod pool;
+mod retire;
 mod stats;
 mod varea;
 
+pub use budget::{max_map_count, BudgetReservation, VmaBudget, VmaSnapshot, DEFAULT_MAX_MAP_COUNT};
 pub use error::{Error, Result};
 pub use memfile::MemFile;
 pub use page::{is_page_aligned, page_size, pages_to_bytes, PageIdx, PAGE_SHIFT_4K, PAGE_SIZE_4K};
 pub use pool::{PagePool, PoolConfig, PoolHandle};
+pub use retire::{ReaderPin, RetireList};
 pub use stats::{RewireStats, StatsSnapshot};
-pub use varea::{rewire_page_raw, Mapping, VirtArea};
+pub use varea::{planned_vmas, rewire_page_raw, Mapping, VirtArea};

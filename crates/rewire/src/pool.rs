@@ -17,12 +17,32 @@
 //! base address never changes across grows/shrinks — pointers derived from
 //! [`PagePool::page_ptr`] stay valid for the lifetime of the allocation.
 
+use crate::budget::{VmaBudget, VmaSnapshot};
 use crate::error::{Error, Result};
 use crate::memfile::MemFile;
 use crate::page::{page_size, PageIdx};
+use crate::retire::RetireList;
 use crate::stats::{RewireStats, StatsSnapshot};
 use std::collections::VecDeque;
 use std::sync::Arc;
+
+/// VMAs charged for the pool's own linear view: the mapped file prefix
+/// plus the `PROT_NONE` remainder of the fixed reservation.
+const POOL_VIEW_VMAS: usize = 2;
+
+/// Shared implementation of [`PagePool::vma_snapshot`] /
+/// [`PoolHandle::vma_snapshot`].
+fn vma_snapshot(budget: &VmaBudget, retire: &RetireList) -> VmaSnapshot {
+    let (areas_retired, areas_reclaimed, vmas_reclaimed) = retire.counters();
+    VmaSnapshot {
+        in_use: budget.in_use() as u64,
+        limit: budget.limit() as u64,
+        retired_areas: retire.retired_count() as u64,
+        areas_retired,
+        areas_reclaimed,
+        vmas_reclaimed,
+    }
+}
 
 /// Tuning knobs for a [`PagePool`].
 #[derive(Debug, Clone)]
@@ -43,6 +63,11 @@ pub struct PoolConfig {
     /// pages. The pool can never grow beyond this. Virtual address space is
     /// effectively free on 64-bit; the default reserves 16 GB.
     pub view_capacity_pages: usize,
+    /// VMA budget this pool (and the areas retired into it) accounts
+    /// against. `None` uses the process-global budget fed by
+    /// `vm.max_map_count` ([`VmaBudget::global`]); tests and stress rigs
+    /// inject private budgets with small limits.
+    pub vma_budget: Option<Arc<VmaBudget>>,
 }
 
 impl Default for PoolConfig {
@@ -54,6 +79,7 @@ impl Default for PoolConfig {
             shrink_threshold_pages: 1024,
             pretouch: true,
             view_capacity_pages: 1 << 22, // 16 GB of 4 KB pages
+            vma_budget: None,
         }
     }
 }
@@ -74,6 +100,8 @@ enum PageState {
 pub struct PoolHandle {
     file: Arc<MemFile>,
     stats: Arc<RewireStats>,
+    budget: Arc<VmaBudget>,
+    retire: Arc<RetireList>,
 }
 
 impl PoolHandle {
@@ -87,6 +115,24 @@ impl PoolHandle {
     #[inline]
     pub fn file_len(&self) -> usize {
         self.file.len()
+    }
+
+    /// The VMA budget this pool accounts against.
+    #[inline]
+    pub fn budget(&self) -> &Arc<VmaBudget> {
+        &self.budget
+    }
+
+    /// The pool's retirement machinery: reader pins and the retired-area
+    /// list (see [`RetireList`]).
+    #[inline]
+    pub fn retire_list(&self) -> &Arc<RetireList> {
+        &self.retire
+    }
+
+    /// Point-in-time view of the VMA budget and retirement counters.
+    pub fn vma_snapshot(&self) -> VmaSnapshot {
+        vma_snapshot(&self.budget, &self.retire)
     }
 
     pub(crate) fn stats(&self) -> &RewireStats {
@@ -108,6 +154,8 @@ pub struct PagePool {
     state: Vec<PageState>,
     allocated: usize,
     stats: Arc<RewireStats>,
+    budget: Arc<VmaBudget>,
+    retire: Arc<RetireList>,
 }
 
 impl std::fmt::Debug for PagePool {
@@ -150,6 +198,8 @@ impl PagePool {
             return Err(Error::os("mmap"));
         }
         stats.count_mmap(1);
+        let budget = cfg.vma_budget.clone().unwrap_or_else(VmaBudget::global);
+        budget.charge(POOL_VIEW_VMAS);
 
         let mut pool = PagePool {
             file,
@@ -160,6 +210,8 @@ impl PagePool {
             state: Vec::new(),
             allocated: 0,
             stats,
+            budget,
+            retire: Arc::new(RetireList::new()),
         };
         let initial = pool.cfg.initial_pages;
         if initial > 0 {
@@ -406,6 +458,8 @@ impl PagePool {
         PoolHandle {
             file: Arc::clone(&self.file),
             stats: Arc::clone(&self.stats),
+            budget: Arc::clone(&self.budget),
+            retire: Arc::clone(&self.retire),
         }
     }
 
@@ -413,11 +467,27 @@ impl PagePool {
     pub fn stats(&self) -> StatsSnapshot {
         self.stats.snapshot()
     }
+
+    /// The VMA budget this pool accounts against.
+    pub fn budget(&self) -> &Arc<VmaBudget> {
+        &self.budget
+    }
+
+    /// The pool's retirement machinery.
+    pub fn retire_list(&self) -> &Arc<RetireList> {
+        &self.retire
+    }
+
+    /// Point-in-time view of the VMA budget and retirement counters.
+    pub fn vma_snapshot(&self) -> VmaSnapshot {
+        vma_snapshot(&self.budget, &self.retire)
+    }
 }
 
 impl Drop for PagePool {
     fn drop(&mut self) {
         self.stats.count_munmap(1);
+        self.budget.release(POOL_VIEW_VMAS);
         // SAFETY: unmapping our own reservation exactly once.
         unsafe {
             libc::munmap(

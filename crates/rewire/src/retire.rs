@@ -1,0 +1,273 @@
+//! Epoch-based retirement of virtual areas.
+//!
+//! When a shortcut directory is rebuilt, the superseded [`VirtArea`] cannot
+//! be unmapped immediately: a seqlock reader that obtained its ticket just
+//! before the rebuild may still be dereferencing the old base (it will
+//! discard the value at validation, but the *load* must not fault). The
+//! seed kept every retired area mapped forever, so VMA use grew with each
+//! doubling until `vm.max_map_count` tripped. This module bounds that:
+//!
+//! * Readers wrap each shortcut access in a [`ReaderPin`] (a striped
+//!   counter increment — nanoseconds, no locks, no contention between
+//!   threads on different stripes).
+//! * The writer hands superseded areas to [`RetireList::retire`], which
+//!   stamps them with a monotonically increasing **epoch**. Retirement must
+//!   happen only after the area is unpublished (no *new* reader can reach
+//!   it), which the seqlock's version check guarantees.
+//! * [`RetireList::try_reclaim`] snapshots the epoch, then observes every
+//!   reader stripe at zero (each at its own moment). Any reader that
+//!   pinned before the scan has, by then, dropped its pin; readers that
+//!   pin during the scan can only see post-retirement state. Every area
+//!   stamped at or before the snapshot is therefore unreachable and is
+//!   munmapped (by dropping it, which also releases its VMA-budget
+//!   charge).
+//!
+//! The scan tolerates short reader overlap by bounded spinning per stripe;
+//! if a stripe never quiesces the tick gives up and retries on the next
+//! maintenance poll. Reclamation can only be *delayed* by readers, never
+//! unsound: an area is dropped strictly after every reader that could hold
+//! its base has unpinned.
+
+use crate::varea::VirtArea;
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of reader stripes. Threads hash onto stripes; collisions only
+/// cost sharing of a cache line, never correctness (stripes are counters).
+const STRIPES: usize = 32;
+
+/// Bounded spins per stripe while waiting for in-flight readers (which
+/// hold pins for nanoseconds) to drain during a reclaim scan.
+const SCAN_SPINS: usize = 1_000;
+
+#[repr(align(128))]
+#[derive(Default)]
+struct Stripe(AtomicUsize);
+
+fn stripe_index() -> usize {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static IDX: usize = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    IDX.with(|i| *i % STRIPES)
+}
+
+/// Proof of an in-flight shortcut read. While any pin taken before a
+/// reclaim scan is alive, no retired area is unmapped. Dropping the pin
+/// releases the reader's stripe.
+pub struct ReaderPin<'a> {
+    stripe: &'a AtomicUsize,
+}
+
+impl Drop for ReaderPin<'_> {
+    fn drop(&mut self) {
+        // Release: every load the reader performed through the ticket base
+        // happens-before a reclaimer that observes this stripe at zero.
+        self.stripe.fetch_sub(1, Ordering::Release);
+    }
+}
+
+struct Retired {
+    epoch: u64,
+    area: VirtArea,
+}
+
+/// The pool's retirement machinery: reader stripes, the retirement epoch,
+/// and the list of retired (still mapped) areas. See module docs.
+pub struct RetireList {
+    stripes: [Stripe; STRIPES],
+    epoch: AtomicU64,
+    retired: Mutex<Vec<Retired>>,
+    areas_retired: AtomicU64,
+    areas_reclaimed: AtomicU64,
+    vmas_reclaimed: AtomicU64,
+}
+
+impl std::fmt::Debug for RetireList {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RetireList")
+            .field("epoch", &self.epoch.load(Ordering::Relaxed))
+            .field("retired", &self.retired_count())
+            .field("reclaimed", &self.areas_reclaimed.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Default for RetireList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RetireList {
+    /// Fresh list: epoch 0, nothing retired.
+    pub fn new() -> Self {
+        RetireList {
+            stripes: Default::default(),
+            epoch: AtomicU64::new(0),
+            retired: Mutex::new(Vec::new()),
+            areas_retired: AtomicU64::new(0),
+            areas_reclaimed: AtomicU64::new(0),
+            vmas_reclaimed: AtomicU64::new(0),
+        }
+    }
+
+    /// Enter a shortcut read. Must be taken **before** loading the
+    /// published base pointer and held across every dereference of it;
+    /// dropping the pin marks the read drained.
+    ///
+    /// The SeqCst increment forms the reader half of a Dekker pattern with
+    /// the fence in [`RetireList::try_reclaim`]: either the scan observes
+    /// this pin (and defers reclamation), or this reader's subsequent
+    /// loads observe every store made before the scan — including the
+    /// publication that unlinked any area the scan went on to reclaim, so
+    /// the reader cannot obtain its base. We rely on the RCsc lowering of
+    /// a SeqCst RMW (x86: `lock`-prefixed full barrier; ARMv8: LDAR/STLR,
+    /// which later acquire loads cannot bypass) to order the increment
+    /// before the ticket's base load without a separate `mfence` — the
+    /// fence would roughly double the cost of the hot read path.
+    #[inline]
+    pub fn pin(&self) -> ReaderPin<'_> {
+        let stripe = &self.stripes[stripe_index()].0;
+        stripe.fetch_add(1, Ordering::SeqCst);
+        ReaderPin { stripe }
+    }
+
+    /// Hand a superseded area to the list. The caller must have unpublished
+    /// it first (no new reader can obtain its base). Returns the retirement
+    /// epoch stamped onto the area.
+    pub fn retire(&self, area: VirtArea) -> u64 {
+        let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        self.areas_retired.fetch_add(1, Ordering::Relaxed);
+        self.retired.lock().unwrap().push(Retired { epoch, area });
+        epoch
+    }
+
+    /// Attempt to reclaim every area whose retirement epoch is covered by a
+    /// full reader-quiescence scan. Returns the number of areas unmapped
+    /// (0 when readers kept a stripe busy — retry on the next tick).
+    pub fn try_reclaim(&self) -> usize {
+        if self.retired_count() == 0 {
+            return 0;
+        }
+        // Everything retired up to here is reclaimable *if* the scan below
+        // completes: those areas were unpublished before this load.
+        let safe_epoch = self.epoch.load(Ordering::SeqCst);
+        // Reclaimer half of the Dekker pattern with the SeqCst increment
+        // in `pin` (see there): order the epoch snapshot and everything
+        // before it (retirement, unpublication) ahead of the stripe scan.
+        fence(Ordering::SeqCst);
+        for stripe in &self.stripes {
+            let mut spins = 0;
+            // Acquire: observing zero synchronizes with the Release
+            // decrement of every drained reader, ordering their loads
+            // before the munmap.
+            while stripe.0.load(Ordering::Acquire) != 0 {
+                spins += 1;
+                if spins > SCAN_SPINS {
+                    return 0; // readers still in flight; retry later
+                }
+                std::hint::spin_loop();
+            }
+        }
+        let drained: Vec<Retired> = {
+            let mut list = self.retired.lock().unwrap();
+            let mut keep = Vec::new();
+            let mut gone = Vec::new();
+            for r in list.drain(..) {
+                if r.epoch <= safe_epoch {
+                    gone.push(r);
+                } else {
+                    keep.push(r);
+                }
+            }
+            *list = keep;
+            gone
+        };
+        let n = drained.len();
+        for r in &drained {
+            self.vmas_reclaimed
+                .fetch_add(r.area.vma_estimate() as u64, Ordering::Relaxed);
+        }
+        self.areas_reclaimed.fetch_add(n as u64, Ordering::Relaxed);
+        drop(drained); // munmap + budget release via VirtArea::drop
+        n
+    }
+
+    /// Retired areas still mapped.
+    pub fn retired_count(&self) -> usize {
+        self.retired.lock().unwrap().len()
+    }
+
+    /// `(areas_retired, areas_reclaimed, vmas_reclaimed)` lifetime totals.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (
+            self.areas_retired.load(Ordering::Relaxed),
+            self.areas_reclaimed.load(Ordering::Relaxed),
+            self.vmas_reclaimed.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn area(pages: usize) -> VirtArea {
+        VirtArea::reserve(pages).unwrap()
+    }
+
+    #[test]
+    fn unpinned_retirements_reclaim_immediately() {
+        let list = RetireList::new();
+        list.retire(area(4));
+        list.retire(area(2));
+        assert_eq!(list.retired_count(), 2);
+        assert_eq!(list.try_reclaim(), 2);
+        assert_eq!(list.retired_count(), 0);
+        let (retired, reclaimed, vmas) = list.counters();
+        assert_eq!((retired, reclaimed), (2, 2));
+        assert_eq!(vmas, 2); // two fully-anonymous areas: one VMA each
+    }
+
+    #[test]
+    fn pin_blocks_reclaim_until_dropped() {
+        let list = RetireList::new();
+        let pin = list.pin();
+        list.retire(area(1));
+        assert_eq!(list.try_reclaim(), 0, "must not unmap under a pin");
+        assert_eq!(list.retired_count(), 1);
+        drop(pin);
+        assert_eq!(list.try_reclaim(), 1);
+    }
+
+    #[test]
+    fn post_scan_retirements_wait_for_next_epoch() {
+        let list = RetireList::new();
+        list.retire(area(1));
+        let e2 = list.retire(area(1));
+        assert_eq!(e2, 2);
+        assert_eq!(list.try_reclaim(), 2);
+        // A fresh retirement needs a fresh scan.
+        list.retire(area(1));
+        assert_eq!(list.retired_count(), 1);
+        assert_eq!(list.try_reclaim(), 1);
+    }
+
+    #[test]
+    fn pins_from_many_threads_drain() {
+        let list = std::sync::Arc::new(RetireList::new());
+        list.retire(area(1));
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let l = std::sync::Arc::clone(&list);
+                s.spawn(move || {
+                    for _ in 0..1_000 {
+                        let _p = l.pin();
+                    }
+                });
+            }
+        });
+        assert_eq!(list.try_reclaim(), 1);
+    }
+}

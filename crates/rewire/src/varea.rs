@@ -8,10 +8,12 @@
 //! go straight to the leaf's physical memory — one hardware-resolved
 //! indirection instead of three.
 
+use crate::budget::VmaBudget;
 use crate::error::{Error, Result};
 use crate::page::{page_size, PageIdx};
 use crate::pool::PoolHandle;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Current mapping of one page of a [`VirtArea`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,6 +23,62 @@ pub enum Mapping {
     Anon,
     /// Rewired to the pool page with this index.
     Pool(PageIdx),
+}
+
+/// Whether the kernel merges the VMAs of two *adjacent* pages: anonymous
+/// neighbors merge, and pool-backed neighbors merge exactly when their file
+/// offsets are consecutive. Two neighbors aliasing the *same* pool page
+/// (extendible hashing's fan-in > 1) never merge — each costs its own VMA.
+#[inline]
+fn mergeable(a: Mapping, b: Mapping) -> bool {
+    match (a, b) {
+        (Mapping::Anon, Mapping::Anon) => true,
+        (Mapping::Pool(p), Mapping::Pool(q)) => q.0 == p.0 + 1,
+        _ => false,
+    }
+}
+
+/// Estimate the VMAs a `pages`-page area will occupy after applying
+/// `assignments` (sorted by virtual page, duplicate-free) to a fresh
+/// reservation: one VMA per maximal mergeable run, counting the anonymous
+/// gaps. This is the exact initial footprint a directory rebuild charges
+/// the budget (it equals [`VirtArea::vma_estimate`] right after
+/// `rewire_batch`); note that admission control reserves the **worst
+/// case** — one VMA per page — instead, because later per-slot remappings
+/// can fragment merged runs up to that bound. Size private budgets from
+/// `pages`, not from this estimate.
+pub fn planned_vmas(pages: usize, assignments: &[(usize, PageIdx)]) -> usize {
+    let mut vmas = 0usize;
+    let mut prev: Option<(usize, PageIdx)> = None;
+    for &(v, p) in assignments {
+        match prev {
+            None => {
+                if v > 0 {
+                    vmas += 1; // leading anonymous run
+                }
+                vmas += 1;
+            }
+            Some((pv, pp)) => {
+                if v == pv + 1 {
+                    if p.0 != pp.0 + 1 {
+                        vmas += 1; // adjacent but not offset-consecutive
+                    }
+                } else {
+                    vmas += 2; // anonymous gap + new run
+                }
+            }
+        }
+        prev = Some((v, p));
+    }
+    match prev {
+        None => 1, // untouched reservation: one anonymous VMA
+        Some((pv, _)) => {
+            if pv + 1 < pages {
+                vmas += 1; // trailing anonymous run
+            }
+            vmas
+        }
+    }
 }
 
 /// A consecutive virtual memory area whose pages can be individually
@@ -33,6 +91,11 @@ pub struct VirtArea {
     map: Vec<Mapping>,
     mmap_calls: AtomicU64,
     populate_default: bool,
+    /// Estimated VMAs this area occupies (maximal mergeable runs of `map`),
+    /// maintained incrementally on every remapping.
+    vmas: usize,
+    /// Budget the estimate is charged against, if attached.
+    budget: Option<Arc<VmaBudget>>,
 }
 
 impl std::fmt::Debug for VirtArea {
@@ -72,6 +135,8 @@ impl VirtArea {
             map: vec![Mapping::Anon; pages],
             mmap_calls: AtomicU64::new(1),
             populate_default: false,
+            vmas: 1,
+            budget: None,
         })
     }
 
@@ -81,6 +146,67 @@ impl VirtArea {
         let mut a = Self::reserve(pages)?;
         a.populate_default = true;
         Ok(a)
+    }
+
+    /// Charge this area's VMA estimate against `budget`, now and on every
+    /// future remapping, until the area is dropped (which releases the
+    /// charge). Replaces any previously attached budget.
+    pub fn attach_budget(&mut self, budget: Arc<VmaBudget>) {
+        if let Some(old) = self.budget.take() {
+            old.release(self.vmas);
+        }
+        budget.charge(self.vmas);
+        self.budget = Some(budget);
+    }
+
+    /// Like [`VirtArea::attach_budget`], but without charging now: the
+    /// caller has already accounted this area's current estimate against
+    /// `budget` (e.g. by settling a worst-case
+    /// [`crate::BudgetReservation`] down to [`VirtArea::vma_estimate`]).
+    /// Future remapping deltas and the final release on drop are tracked
+    /// as usual.
+    pub fn attach_budget_prepaid(&mut self, budget: Arc<VmaBudget>) {
+        if let Some(old) = self.budget.take() {
+            old.release(self.vmas);
+        }
+        self.budget = Some(budget);
+    }
+
+    /// Estimated VMAs this area currently occupies: one per maximal run of
+    /// pages the kernel can keep in a single VMA (see [`planned_vmas`]).
+    #[inline]
+    pub fn vma_estimate(&self) -> usize {
+        self.vmas
+    }
+
+    /// Count the mergeable boundaries in `[lo, hi)` (boundary `b` sits
+    /// between pages `b` and `b + 1`).
+    fn boundary_joins(&self, lo: usize, hi: usize) -> usize {
+        (lo..hi)
+            .filter(|&b| mergeable(self.map[b], self.map[b + 1]))
+            .count()
+    }
+
+    /// Re-derive the VMA estimate after pages `[vpage, vpage + n)` changed,
+    /// given the mergeable-boundary count of that window from before the
+    /// change. Only boundaries touching the window can have flipped.
+    fn apply_vma_delta(&mut self, joins_before: usize, lo: usize, hi: usize) {
+        let joins_after = self.boundary_joins(lo, hi);
+        let new_vmas = self.vmas + joins_before - joins_after;
+        match new_vmas.cmp(&self.vmas) {
+            std::cmp::Ordering::Greater => {
+                if let Some(b) = &self.budget {
+                    b.charge(new_vmas - self.vmas);
+                }
+            }
+            std::cmp::Ordering::Less => {
+                if let Some(b) = &self.budget {
+                    b.release(self.vmas - new_vmas);
+                }
+            }
+            std::cmp::Ordering::Equal => {}
+        }
+        self.vmas = new_vmas;
     }
 
     /// Number of pages (slots) in the area.
@@ -176,15 +302,30 @@ impl VirtArea {
         if self.populate_default {
             pool.stats().count_populated(n as u64);
         }
+        let (lo, hi) = (
+            vpage.saturating_sub(1),
+            (vpage + n).min(self.pages.saturating_sub(1)),
+        );
+        let joins_before = self.boundary_joins(lo, hi);
         for i in 0..n {
             self.map[vpage + i] = Mapping::Pool(PageIdx(ppage.0 + i));
         }
+        self.apply_vma_delta(joins_before, lo, hi);
         Ok(())
     }
 
     /// Apply a batch of `(virtual page, pool page)` assignments, coalescing
     /// maximal runs where both sides are consecutive into single `mmap`
     /// calls. Returns the number of `mmap` calls issued (ablation A1).
+    ///
+    /// Coalescing follows the kernel's VMA-merge rule (anonymous neighbors
+    /// merge; pool neighbors merge iff their file offsets are consecutive),
+    /// so it applies inside aliased fan-in > 1 assignments too: wherever two
+    /// adjacent slots map *contiguous* pool pages — including the boundary
+    /// between two aliased groups over neighboring buckets — they collapse
+    /// into one `mmap` call and one VMA. Each maximal run found here is
+    /// exactly one VMA afterwards, so the number of calls equals
+    /// [`planned_vmas`] minus the anonymous runs.
     ///
     /// Assignments must be sorted by virtual page and free of duplicates;
     /// this is the natural order in which an index emits directory updates.
@@ -200,7 +341,8 @@ impl VirtArea {
             let mut run = 1;
             while i + run < assignments.len() {
                 let (v, p) = assignments[i + run];
-                if v == v0 + run && p.0 == p0.0 + run {
+                let (pv, pp) = assignments[i + run - 1];
+                if v == pv + 1 && mergeable(Mapping::Pool(pp), Mapping::Pool(p)) {
                     run += 1;
                 } else {
                     break;
@@ -234,7 +376,13 @@ impl VirtArea {
             return Err(Error::os("mmap"));
         }
         self.mmap_calls.fetch_add(1, Ordering::Relaxed);
+        let (lo, hi) = (
+            vpage.saturating_sub(1),
+            (vpage + 1).min(self.pages.saturating_sub(1)),
+        );
+        let joins_before = self.boundary_joins(lo, hi);
         self.map[vpage] = Mapping::Anon;
+        self.apply_vma_delta(joins_before, lo, hi);
         Ok(())
     }
 
@@ -295,6 +443,9 @@ pub unsafe fn rewire_page_raw(
 
 impl Drop for VirtArea {
     fn drop(&mut self) {
+        if let Some(b) = self.budget.take() {
+            b.release(self.vmas);
+        }
         // SAFETY: unmapping our own reservation exactly once; rewired pages
         // merely drop their reference to the pool file's pages.
         unsafe {
@@ -492,5 +643,90 @@ mod tests {
     #[test]
     fn empty_reserve_rejected() {
         assert!(VirtArea::reserve(0).is_err());
+    }
+
+    #[test]
+    fn vma_estimate_tracks_remappings() {
+        let mut p = pool();
+        let h = p.handle();
+        let run = p.alloc_run(4).unwrap();
+        let mut a = VirtArea::reserve(8).unwrap();
+        assert_eq!(a.vma_estimate(), 1); // one anonymous VMA
+
+        a.rewire(3, &h, run).unwrap();
+        assert_eq!(a.vma_estimate(), 3); // anon | pool | anon
+
+        // Contiguous neighbor merges into the same VMA.
+        a.rewire(4, &h, PageIdx(run.0 + 1)).unwrap();
+        assert_eq!(a.vma_estimate(), 3);
+
+        // Aliasing the same pool page next door cannot merge.
+        a.rewire(5, &h, PageIdx(run.0 + 1)).unwrap();
+        assert_eq!(a.vma_estimate(), 4);
+
+        // Resetting back to anon re-merges with the anon tail.
+        a.reset(5).unwrap();
+        assert_eq!(a.vma_estimate(), 3);
+        a.reset(3).unwrap();
+        a.reset(4).unwrap();
+        assert_eq!(a.vma_estimate(), 1);
+    }
+
+    #[test]
+    fn fanin_batch_coalesces_bucket_boundaries() {
+        // Fan-in 2 over 4 contiguous buckets: p0,p0,p1,p1,p2,p2,p3,p3.
+        // Within a bucket the aliased pair cannot merge, but every bucket
+        // boundary (slots 1-2, 3-4, 5-6) is offset-consecutive and must
+        // collapse: slots - (buckets - 1) calls, not one per slot.
+        let mut p = pool();
+        let h = p.handle();
+        let run = p.alloc_run(4).unwrap();
+        let mut a = VirtArea::reserve(8).unwrap();
+        let assignments: Vec<(usize, PageIdx)> =
+            (0..8).map(|i| (i, PageIdx(run.0 + i / 2))).collect();
+        let calls = a.rewire_batch(&h, &assignments).unwrap();
+        assert_eq!(calls, 8 - (4 - 1));
+        assert_eq!(a.vma_estimate(), 8 - (4 - 1));
+        assert_eq!(planned_vmas(8, &assignments), 8 - (4 - 1));
+        for (i, &(_, pg)) in assignments.iter().enumerate() {
+            assert_eq!(a.mapping(i), Mapping::Pool(pg));
+        }
+    }
+
+    #[test]
+    fn planned_vmas_matches_estimate_for_patterns() {
+        let mut p = pool();
+        let h = p.handle();
+        let run = p.alloc_run(6).unwrap();
+        let patterns: Vec<Vec<(usize, PageIdx)>> = vec![
+            vec![],                                                // untouched
+            (0..6).map(|i| (i, PageIdx(run.0 + i))).collect(),     // identity
+            (0..6).map(|i| (i, PageIdx(run.0 + i / 3))).collect(), // fan-in 3
+            vec![(1, run), (2, PageIdx(run.0 + 1)), (5, run)],     // gaps
+            (0..6).map(|i| (i, PageIdx(run.0 + 5 - i))).collect(), // reversed
+        ];
+        for pat in patterns {
+            let mut a = VirtArea::reserve(6).unwrap();
+            a.rewire_batch(&h, &pat).unwrap();
+            assert_eq!(a.vma_estimate(), planned_vmas(6, &pat), "pattern {pat:?}");
+        }
+    }
+
+    #[test]
+    fn budget_charges_follow_the_estimate() {
+        use crate::budget::VmaBudget;
+        let mut p = pool();
+        let h = p.handle();
+        let l0 = p.alloc_page().unwrap();
+        let l1 = p.alloc_page().unwrap();
+        let budget = VmaBudget::with_limit(1000);
+        let mut a = VirtArea::reserve(4).unwrap();
+        a.attach_budget(std::sync::Arc::clone(&budget));
+        assert_eq!(budget.in_use(), 1);
+        a.rewire(0, &h, l0).unwrap();
+        a.rewire(2, &h, l1).unwrap();
+        assert_eq!(budget.in_use(), a.vma_estimate());
+        drop(a);
+        assert_eq!(budget.in_use(), 0);
     }
 }

@@ -12,25 +12,41 @@ use std::time::{Duration, Instant};
 use taking_the_shortcut::{IndexError, ShortcutIndex};
 
 fn main() -> Result<(), IndexError> {
-    let mut index = ShortcutIndex::builder().capacity(1_100_000).build()?;
+    let mut index = ShortcutIndex::builder().capacity(2_200_000).build()?;
     let mut rng = StdRng::seed_from_u64(99);
 
-    // 1M entries reach directory depth 13–14. One depth more would need
-    // ~65k VMAs (live + retired shortcut areas) and trip the default
-    // vm.max_map_count mid-demo; see README "Kernel requirements".
-    println!("bulk-loading 1M entries…");
-    let mut keys: Vec<u64> = Vec::with_capacity(1_000_000);
-    for _ in 0..1_000_000 {
+    // 2M entries reach directory depth 15–16 (~50k+ mappings). Retired
+    // directories are reclaimed as the index grows, and if the live
+    // directory itself outgrows the vm.max_map_count budget the shortcut
+    // suspends (lookups fall back to the traditional directory) instead of
+    // tripping the kernel limit mid-demo; see README "VMA budgeting".
+    println!("bulk-loading 2M entries…");
+    let mut keys: Vec<u64> = Vec::with_capacity(2_000_000);
+    for _ in 0..2_000_000 {
         let k: u64 = rng.random();
         index.insert(k, k)?;
         keys.push(k);
     }
-    assert!(
-        index.wait_sync(Duration::from_secs(60)),
-        "initial sync failed (mapper error: {:?})",
-        index.maint_error()
-    );
-    println!("bulk load done, shortcut in sync: {:?}\n", index.versions());
+    let mut synced = index.wait_sync(Duration::from_secs(60));
+    if !synced && !index.shortcut_suspended() {
+        // A transient suspension resolved between wait_sync giving up and
+        // the check above (deferred rebuild applied); settle it.
+        synced = index.wait_sync(Duration::from_secs(10));
+    }
+    if index.shortcut_suspended() {
+        println!(
+            "bulk load done; directory exceeds the VMA budget — shortcut \
+             suspended, serving traditionally ({:?})\n",
+            index.stats().vma
+        );
+    } else {
+        assert!(
+            synced,
+            "initial sync failed (mapper error: {:?})",
+            index.maint_error()
+        );
+        println!("bulk load done, shortcut in sync: {:?}\n", index.versions());
+    }
 
     for wave in 1..=4 {
         // Insert burst: 1% of a 400k-access wave, as one batch.
@@ -63,6 +79,8 @@ fn main() -> Result<(), IndexError> {
                 "  slice {slice}: {ns:6.0} ns/lookup   versions t={tv} s={sv} {}",
                 if tv == sv {
                     "✓ shortcut"
+                } else if index.shortcut_suspended() {
+                    "… traditional (VMA budget)"
                 } else {
                     "… traditional (catching up)"
                 }
@@ -76,6 +94,15 @@ fn main() -> Result<(), IndexError> {
         "totals: {} shortcut lookups, {} traditional lookups, {} discarded races",
         s.index.shortcut_lookups, s.index.traditional_lookups, s.index.shortcut_retries
     );
+    println!(
+        "vma: {} in use of {} budget, {} directories retired, {} reclaimed",
+        s.vma.in_use, s.vma.limit, s.vma.areas_retired, s.vma.areas_reclaimed
+    );
     assert!(index.maint_error().is_none());
+    assert!(
+        s.vma.in_use <= s.vma.limit,
+        "VMA estimate exceeds the budget: {:?}",
+        s.vma
+    );
     Ok(())
 }

@@ -31,6 +31,27 @@
 //! `std::thread::scope` — while the borrow checker guarantees no writer
 //! coexists.
 //!
+//! ## VMA budgeting and reclamation
+//!
+//! Every non-coalescible shortcut slot costs the kernel one virtual
+//! memory area, and processes are capped at `vm.max_map_count` mappings
+//! (65 530 by default). The index manages that resource instead of
+//! leaking it:
+//!
+//! * Superseded shortcut directories are **retired** and reclaimed
+//!   (unmapped) once every reader that could still touch them has
+//!   drained — VMA use plateaus at roughly the live directory instead of
+//!   growing with every doubling.
+//! * Directory rebuilds are admission-checked against a
+//!   [`VmaBudget`] fed by `vm.max_map_count`. A directory too large for
+//!   the budget **suspends** the shortcut
+//!   ([`ShortcutIndex::shortcut_suspended`]) — lookups keep working
+//!   through the traditional directory, and nothing dies inside `mmap`.
+//! * [`IndexBuilder::vma_budget`] injects a private limit (tests, CI
+//!   stress); [`IndexBuilder::reclamation`] can disable the lifecycle for
+//!   A/B comparisons; [`StatsSnapshot::vma`] reports the live/retired
+//!   mapping counts, the limit, and reclamation totals.
+//!
 //! The underlying layers remain available:
 //!
 //! * [`rewire`] — memory-rewiring substrate (memfd + mmap page remapping).
@@ -48,7 +69,7 @@ pub use shortcut_vmsim as vmsim;
 
 pub use shortcut_core::{MaintConfig, RoutePolicy};
 pub use shortcut_exhash::{Index, IndexError, IndexStats};
-pub use shortcut_rewire::PoolConfig;
+pub use shortcut_rewire::{max_map_count, PoolConfig, VmaBudget, VmaSnapshot};
 
 use shortcut_core::metrics::MaintSnapshot;
 use shortcut_exhash::{EhConfig, ShortcutEh, ShortcutEhConfig};
@@ -66,6 +87,8 @@ pub struct IndexBuilder {
     max_load_factor: Option<f64>,
     policy: RoutePolicy,
     maint: MaintConfig,
+    vma_budget_limit: Option<usize>,
+    reclaim: Option<bool>,
 }
 
 impl IndexBuilder {
@@ -125,6 +148,29 @@ impl IndexBuilder {
         self
     }
 
+    /// Give the index a **private** VMA budget with this mapping limit
+    /// instead of the process-global one fed by `vm.max_map_count`.
+    /// Directory rebuilds whose mapping footprint would not fit are
+    /// skipped (the shortcut suspends, lookups fall back to the
+    /// traditional directory); retired directories count against the
+    /// budget until reclaimed. Useful to simulate a small
+    /// `vm.max_map_count` in tests and CI without the sysctl. Admission
+    /// reserves 1/16 of the limit (capped at 1024 mappings) as headroom
+    /// for mappings the budget does not track.
+    pub fn vma_budget(mut self, limit: usize) -> Self {
+        self.vma_budget_limit = Some(limit);
+        self
+    }
+
+    /// Whether superseded shortcut directories are retired and reclaimed
+    /// once outstanding readers drain (default `true`). `false` restores
+    /// the keep-everything-mapped behavior of early versions — VMA use
+    /// then grows with every directory doubling.
+    pub fn reclamation(mut self, enabled: bool) -> Self {
+        self.reclaim = Some(enabled);
+        self
+    }
+
     /// Build the index and spawn its mapper thread.
     ///
     /// # Errors
@@ -132,7 +178,7 @@ impl IndexBuilder {
     /// Propagates pool creation failure (memfd, `mmap`,
     /// `vm.max_map_count`) and configuration rejection as [`IndexError`].
     pub fn build(self) -> Result<ShortcutIndex, IndexError> {
-        let pool = self.pool.unwrap_or_else(|| match self.capacity {
+        let mut pool = self.pool.unwrap_or_else(|| match self.capacity {
             // ~40 live entries per bucket in steady state; reserve ample
             // virtual headroom (virtual address space is effectively free).
             Some(entries) => PoolConfig {
@@ -143,6 +189,9 @@ impl IndexBuilder {
             },
             None => PoolConfig::default(),
         });
+        if let Some(limit) = self.vma_budget_limit {
+            pool.vma_budget = Some(VmaBudget::with_limit(limit));
+        }
         let mut eh = EhConfig {
             pool,
             ..EhConfig::default()
@@ -150,10 +199,14 @@ impl IndexBuilder {
         if let Some(f) = self.max_load_factor {
             eh.max_load_factor = f;
         }
+        let mut maint = self.maint;
+        if let Some(reclaim) = self.reclaim {
+            maint.reclaim = reclaim;
+        }
         Ok(ShortcutIndex {
             inner: ShortcutEh::try_new(ShortcutEhConfig {
                 eh,
-                maint: self.maint,
+                maint,
                 policy: self.policy,
             })?,
         })
@@ -177,12 +230,21 @@ pub struct StatsSnapshot {
     pub in_sync: bool,
     /// `(traditional, shortcut)` version numbers (Figure 8's quantities).
     pub versions: (u64, u64),
+    /// Whether shortcut maintenance is suspended by the VMA budget
+    /// (lookups fall back to the traditional directory).
+    pub shortcut_suspended: bool,
     /// Structural + routing statistics of the index.
     pub index: IndexStats,
     /// Counters of the asynchronous mapper thread.
     pub maint: MaintSnapshot,
     /// Operation counters of the backing page pool.
     pub rewire: rewire::StatsSnapshot,
+    /// VMA budget and retired-directory lifecycle counters: how many
+    /// mappings the index holds (live + retired + pool view), the budget
+    /// limit (`vm.max_map_count` unless overridden), and how many retired
+    /// directories were reclaimed. Experiments read this instead of
+    /// hand-deriving slot caps from the sysctl.
+    pub vma: VmaSnapshot,
 }
 
 /// The facade index: Shortcut-EH behind a builder, with concurrent
@@ -263,6 +325,14 @@ impl ShortcutIndex {
         self.inner.in_sync()
     }
 
+    /// Whether shortcut maintenance is suspended because the directory no
+    /// longer fits the VMA budget. The index keeps answering every lookup
+    /// (through the traditional directory); raise `vm.max_map_count` or
+    /// [`IndexBuilder::vma_budget`] for shortcut service at this scale.
+    pub fn shortcut_suspended(&self) -> bool {
+        self.inner.shortcut_suspended()
+    }
+
     /// Current `(traditional, shortcut)` version numbers.
     pub fn versions(&self) -> (u64, u64) {
         self.inner.versions()
@@ -288,9 +358,11 @@ impl ShortcutIndex {
             avg_fanin: self.inner.avg_fanin(),
             in_sync: self.inner.in_sync(),
             versions: self.inner.versions(),
+            shortcut_suspended: self.inner.shortcut_suspended(),
             index: self.inner.stats(),
             maint: self.inner.maint_metrics(),
             rewire: self.inner.pool_stats(),
+            vma: self.inner.vma_stats(),
         }
     }
 

@@ -77,25 +77,23 @@ fn shortcut_index_round_trip_through_facade() {
 }
 
 #[test]
-fn deprecated_kv_index_shim_still_works() {
-    // The seed's KvIndex surface must keep compiling (with a warning)
-    // against every scheme for one release, via the blanket shim.
-    #[allow(deprecated)]
-    fn seed_style_roundtrip<T: exhash::KvIndex>(t: &mut T) {
-        t.insert(1, 11);
-        t.insert(2, 22);
+fn index_trait_covers_every_scheme() {
+    // The one remaining index surface (the 0.2.0 `KvIndex` shim and the
+    // panicking constructors were removed in 0.3.0): shared-reader gets,
+    // fallible writes, for all five schemes.
+    fn roundtrip<T: exhash::Index>(t: &mut T) {
+        t.insert(1, 11).unwrap();
+        t.insert(2, 22).unwrap();
         assert_eq!(t.get(1), Some(11));
-        assert_eq!(t.remove(2), Some(22));
+        assert_eq!(t.remove(2).unwrap(), Some(22));
         assert_eq!(t.len(), 1);
         assert!(!t.is_empty());
     }
-    seed_style_roundtrip(&mut exhash::HashTable::with_defaults().unwrap());
-    seed_style_roundtrip(&mut exhash::IncrementalHashTable::with_defaults().unwrap());
-    seed_style_roundtrip(
-        &mut exhash::ChainedHash::try_new(exhash::ChConfig { table_slots: 64 }).unwrap(),
-    );
-    seed_style_roundtrip(&mut exhash::ExtendibleHash::with_defaults().unwrap());
-    seed_style_roundtrip(&mut exhash::ShortcutEh::with_defaults().unwrap());
+    roundtrip(&mut exhash::HashTable::with_defaults().unwrap());
+    roundtrip(&mut exhash::IncrementalHashTable::with_defaults().unwrap());
+    roundtrip(&mut exhash::ChainedHash::try_new(exhash::ChConfig { table_slots: 64 }).unwrap());
+    roundtrip(&mut exhash::ExtendibleHash::with_defaults().unwrap());
+    roundtrip(&mut exhash::ShortcutEh::with_defaults().unwrap());
 }
 
 #[test]

@@ -3,7 +3,9 @@
 //! and never corrupt index answers.
 
 use std::time::Duration;
-use taking_the_shortcut::core::{MaintConfig, MaintRequest, Maintainer, ShortcutNode};
+use taking_the_shortcut::core::{
+    MaintConfig, MaintRequest, Maintainer, MapperEngine, ShortcutNode,
+};
 use taking_the_shortcut::rewire::{Error, PageIdx, PagePool, PoolConfig, VirtArea};
 
 #[test]
@@ -118,6 +120,79 @@ fn double_free_and_foreign_pointer_detection() {
     // A pointer that is not inside the pool view is rejected.
     let foreign = Box::new(0u8);
     assert!(pool.page_of_ptr(&*foreign as *const u8).is_err());
+}
+
+#[test]
+fn reclamation_never_unmaps_under_a_stale_read_ticket() {
+    // A reader obtains a seqlock ticket, is "preempted" mid-read, and a
+    // directory rebuild retires the area its ticket points into. As long
+    // as the reader's pin is outstanding, reclamation must leave the
+    // retired area mapped (the stale read completes, then gets discarded
+    // by ticket validation); once the pin drops, the area is reclaimed.
+    use std::sync::Arc;
+    use taking_the_shortcut::core::{MaintMetrics, SharedDirectoryState};
+
+    let mut pool = PagePool::new(PoolConfig {
+        initial_pages: 8,
+        view_capacity_pages: 64,
+        ..PoolConfig::default()
+    })
+    .unwrap();
+    let handle = pool.handle();
+    let state = Arc::new(SharedDirectoryState::new());
+    let metrics = Arc::new(MaintMetrics::default());
+    let mut engine = MapperEngine::new(
+        handle.clone(),
+        Arc::clone(&state),
+        metrics,
+        MaintConfig::default(),
+    );
+    let l0 = pool.alloc_page().unwrap();
+    let l1 = pool.alloc_page().unwrap();
+    unsafe {
+        *(pool.page_ptr(l0) as *mut u64) = 0xDEAD_0001;
+    }
+
+    let v1 = state.bump_traditional();
+    engine
+        .apply_batch(vec![MaintRequest::Create {
+            slots: 1,
+            assignments: vec![(0, l0)],
+            version: v1,
+        }])
+        .unwrap();
+
+    // Reader pins and takes its ticket, then stalls before dereferencing.
+    let pin = handle.retire_list().pin();
+    let ticket = state.begin_read().expect("in sync");
+
+    // A rebuild retires the 1-slot directory under the stalled reader.
+    let v2 = state.bump_traditional();
+    engine
+        .apply_batch(vec![MaintRequest::Create {
+            slots: 2,
+            assignments: vec![(0, l0), (1, l1)],
+            version: v2,
+        }])
+        .unwrap();
+    assert_eq!(handle.retire_list().retired_count(), 1);
+
+    // Reclamation runs while the stale ticket is outstanding: it must not
+    // unmap the area the ticket points into.
+    assert_eq!(engine.reclaim_tick().unwrap(), 0);
+    assert_eq!(handle.retire_list().retired_count(), 1);
+
+    // The stalled reader resumes: the load must succeed (stale but
+    // mapped), and validation must discard the result.
+    let stale = unsafe { *(ticket.base as *const u64) };
+    assert_eq!(stale, 0xDEAD_0001);
+    assert!(!state.still_valid(ticket), "raced read must be discarded");
+    drop(pin);
+
+    // With the reader drained, the next tick reclaims the retired area.
+    assert_eq!(engine.reclaim_tick().unwrap(), 1);
+    assert_eq!(handle.retire_list().retired_count(), 0);
+    assert_eq!(handle.vma_snapshot().areas_reclaimed, 1);
 }
 
 #[test]
