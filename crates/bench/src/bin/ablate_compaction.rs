@@ -1,0 +1,8 @@
+//! Ablation A5: bucket-layout compaction policy sweep (off / rebuild-only
+//! / rebuild+background / background-only).
+use shortcut_bench::experiments::ablations;
+use shortcut_bench::ScaleArgs;
+
+fn main() {
+    ablations::a5_compaction(&ScaleArgs::from_env()).print();
+}

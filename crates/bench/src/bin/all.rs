@@ -31,4 +31,5 @@ fn main() {
     ablations::a2_threshold(&s).print();
     ablations::a3_poll_interval(&s).print();
     ablations::a4_populate(&s).print();
+    ablations::a5_compaction(&s).print();
 }

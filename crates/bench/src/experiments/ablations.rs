@@ -5,7 +5,7 @@ use crate::scale::ScaleArgs;
 use crate::timing::{ms, Stopwatch};
 use crate::workload::KeyGen;
 use crate::Table;
-use shortcut_core::{MaintConfig, RoutePolicy, ShortcutNode};
+use shortcut_core::{CompactionPolicy, MaintConfig, RoutePolicy, ShortcutNode};
 use shortcut_exhash::{EhConfig, Index, ShortcutEh, ShortcutEhConfig};
 use shortcut_rewire::PageIdx;
 use std::time::{Duration, Instant};
@@ -230,6 +230,103 @@ pub fn a4_populate(s: &ScaleArgs) -> Table {
     t
 }
 
+/// **A5** — directory-order physical compaction (the PR 4 subsystem):
+/// fill a Shortcut-EH under each policy arm, then report the layout's
+/// planned-VMA estimate against its fan-in ideal, the live budget
+/// footprint, whether the shortcut had to suspend, the relocation work
+/// spent, and the synced lookup throughput. The sweep covers off (PR 3
+/// behavior), rebuild-only, rebuild+background, and background-only.
+pub fn a5_compaction(s: &ScaleArgs) -> Table {
+    let n = s.pick(10_000_000, 4_000_000, 60_000);
+    let lookups = s.pick(5_000_000, 1_000_000, 60_000);
+    let arms: [(&str, CompactionPolicy); 4] = [
+        ("off", CompactionPolicy::disabled()),
+        (
+            "rebuild",
+            CompactionPolicy {
+                on_rebuild: true,
+                background_moves: 0,
+                trigger_fraction: 0.25,
+            },
+        ),
+        ("rebuild+bg32", CompactionPolicy::on()),
+        (
+            "bg8",
+            CompactionPolicy {
+                on_rebuild: false,
+                background_moves: 8,
+                trigger_fraction: 0.25,
+            },
+        ),
+    ];
+
+    let mut t = Table::new(
+        format!("Ablation A5 — bucket-layout compaction, {n} keys"),
+        &[
+            "policy",
+            "fill [ms]",
+            "layout VMAs",
+            "ideal",
+            "live VMAs",
+            "suspended",
+            "pages moved",
+            "lookups [ms]",
+        ],
+    );
+    for (name, policy) in arms {
+        let mut sceh = ShortcutEh::try_new(ShortcutEhConfig {
+            eh: EhConfig {
+                pool: super::fig7::bench_pool_config(n * 2),
+                ..EhConfig::default()
+            },
+            maint: MaintConfig {
+                compaction: policy,
+                ..MaintConfig::default()
+            },
+            ..Default::default()
+        })
+        .expect("Shortcut-EH construction failed");
+        let mut gen = KeyGen::new(42);
+        let keys = gen.uniform_keys(n);
+
+        let sw = Stopwatch::start();
+        for &k in &keys {
+            sceh.insert(k, k).expect("insert failed");
+        }
+        let fill_ms = ms(sw.elapsed());
+        let _ = sceh.wait_sync(Duration::from_secs(120));
+
+        let layout = sceh.layout_vmas().expect("layout estimate failed");
+        let ideal = sceh.ideal_layout_vmas();
+        let vma = sceh.vma_stats();
+        let moved = sceh.maint_metrics().pages_moved;
+        let suspended = sceh.shortcut_suspended();
+
+        let probe = gen.hits_from(&keys, lookups);
+        let sw = Stopwatch::start();
+        let mut found = 0u64;
+        for &k in &probe {
+            if sceh.get(k).is_some() {
+                found += 1;
+            }
+        }
+        std::hint::black_box(found);
+        let lookup_ms = ms(sw.elapsed());
+
+        t.row(&[
+            name.into(),
+            Table::f(fill_ms),
+            Table::n(layout as u64),
+            Table::n(ideal as u64),
+            Table::n(vma.live_vmas()),
+            if suspended { "YES" } else { "no" }.into(),
+            Table::n(moved),
+            Table::f(lookup_ms),
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -247,6 +344,15 @@ mod tests {
         let s = t.render();
         assert!(s.contains("per-slot"));
         assert!(s.contains("coalesced"));
+    }
+
+    #[test]
+    fn a5_compaction_runs_all_arms() {
+        let t = a5_compaction(&quick());
+        let s = t.render();
+        assert!(s.contains("off"));
+        assert!(s.contains("rebuild+bg32"));
+        assert!(s.contains("bg8"));
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::scale::ScaleArgs;
 use crate::timing::ms;
 use crate::workload::KeyGen;
 use crate::Table;
+use shortcut_core::{CompactionPolicy, MaintConfig};
 use shortcut_exhash::{
     ChConfig, ChainedHash, EhConfig, ExtendibleHash, HashTable, HtConfig, HtiConfig,
     IncrementalHashTable, Index, ShortcutEh, ShortcutEhConfig,
@@ -51,14 +52,17 @@ impl Fig7Opts {
 /// The pool configuration the EH family uses at benchmark scale.
 pub fn bench_pool_config(expected_entries: usize) -> PoolConfig {
     // Buckets hold ≤ 87 entries at load factor 0.35; with splitting churn
-    // the steady state is ~55 entries/bucket. Reserve generous headroom.
+    // the steady state is ~55 entries/bucket. Reserve generous headroom:
+    // compaction passes transiently hold live buckets plus a same-sized
+    // target run, and the reservation is PROT_NONE/NORESERVE virtual
+    // space, which is effectively free.
     let expected_pages = (expected_entries / 40).max(64);
     PoolConfig {
         initial_pages: 1,
         min_growth_pages: 4096,
         shrink_threshold_pages: usize::MAX,
         pretouch: true,
-        view_capacity_pages: expected_pages.next_power_of_two().max(1 << 16),
+        view_capacity_pages: (expected_pages * 2).next_power_of_two().max(1 << 16),
         ..PoolConfig::default()
     }
 }
@@ -100,6 +104,13 @@ pub fn build_schemes(n: usize) -> Vec<Box<dyn Index>> {
                 eh: EhConfig {
                     pool: bench_pool_config(n),
                     ..EhConfig::default()
+                },
+                // Directory-order compaction keeps large directories
+                // shortcut-served under the stock vm.max_map_count (the
+                // seed needed the sysctl raised past ~1.5M keys).
+                maint: MaintConfig {
+                    compaction: CompactionPolicy::on(),
+                    ..MaintConfig::default()
                 },
                 ..Default::default()
             })

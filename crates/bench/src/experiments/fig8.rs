@@ -77,6 +77,13 @@ pub fn run(opts: &Fig8Opts) -> Vec<Fig8Point> {
             pool: super::fig7::bench_pool_config(opts.bulk * 2),
             ..EhConfig::default()
         },
+        // Compaction keeps the bulk-loaded directory inside the VMA
+        // budget at default scale, so the waves run shortcut-served on a
+        // stock kernel instead of suspended.
+        maint: shortcut_core::MaintConfig {
+            compaction: shortcut_core::CompactionPolicy::on(),
+            ..shortcut_core::MaintConfig::default()
+        },
         ..Default::default()
     })
     .expect("Shortcut-EH construction failed");

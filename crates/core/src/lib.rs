@@ -25,7 +25,9 @@ pub mod traditional;
 pub mod version;
 
 pub use hybrid::HybridNode;
-pub use maintenance::{MaintConfig, MaintRequest, Maintainer, MapperEngine};
+pub use maintenance::{
+    CompactionPolicy, MaintConfig, MaintRequest, Maintainer, MapperEngine, MAX_PUBLISH_SHIFT,
+};
 pub use metrics::MaintMetrics;
 pub use route::RoutePolicy;
 pub use shortcut_node::ShortcutNode;

@@ -48,9 +48,33 @@ use std::time::Duration;
 /// 1/16 of the budget's limit, capped at 1024. Proportional rather than
 /// flat so that small *injected* budgets (tests, CI stress rigs
 /// simulating a tiny `vm.max_map_count`) keep most of their limit usable
-/// instead of being silently swallowed whole.
-fn budget_headroom(limit: usize) -> usize {
+/// instead of being silently swallowed whole. Public so producers (the
+/// write path's suspension rescue) can target exactly what admission
+/// will accept.
+pub fn budget_headroom(limit: usize) -> usize {
     (limit / 16).min(1024)
+}
+
+/// Maximum coarsening of the published shortcut depth (up to 2⁴ = 16×
+/// fewer slots) tried by rebuild admission before a create is refused.
+pub const MAX_PUBLISH_SHIFT: u32 = 4;
+
+/// Derive the `shift`-coarser directory from a **full** assignment vector
+/// (`assignments[i].0 == i`): coarse slot `s` maps the page of its first
+/// covered fine slot. Buckets with `local_depth ≤ published_depth` cover
+/// whole coarse slots, so they resolve exactly; deeper buckets share a
+/// coarse slot with a sibling and are detected by readers via the
+/// bucket's stored local depth (they fall back to the traditional
+/// directory for those keys).
+fn coarsen_assignments(assignments: &[(usize, PageIdx)], shift: u32) -> Vec<(usize, PageIdx)> {
+    let coarse_slots = assignments.len() >> shift;
+    (0..coarse_slots)
+        .map(|s| {
+            let (slot, page) = assignments[s << shift];
+            debug_assert_eq!(slot, s << shift, "assignments must be full and sorted");
+            (s, page)
+        })
+        .collect()
 }
 
 /// A maintenance request, as pushed by the index's main thread.
@@ -84,6 +108,84 @@ impl MaintRequest {
     }
 }
 
+/// Policy for physically compacting bucket pages into directory order.
+///
+/// A scattered bucket layout costs roughly one VMA per directory slot
+/// (adjacent slots map non-consecutive pool offsets, so the kernel cannot
+/// merge them); laid out in directory order, fan-in-1 runs become identity
+/// mappings that collapse into a handful of VMAs. The *decision* to
+/// compact is made here in the maintenance layer — the mapper's poll loop
+/// watches the live footprint and raises
+/// [`SharedDirectoryState::set_compaction_wanted`], and rebuild admission
+/// switches from worst-case to layout-exact reservations — while the
+/// physical page moves execute on the index's write path, the only place
+/// with exclusive access to the bucket pages.
+#[derive(Debug, Clone, Copy)]
+pub struct CompactionPolicy {
+    /// Compact during directory doublings: the rebuild's assignment vector
+    /// is then an identity run over freshly placed pages, so the Create
+    /// the mapper receives coalesces into a handful of `mmap` calls and
+    /// VMAs — the pass rides a moment that already rebuilds everything.
+    pub on_rebuild: bool,
+    /// Buckets moved per write-path step while an incremental background
+    /// plan is active (0 disables background compaction; the trigger flag
+    /// is then ignored). Splits between doublings fragment the layout a
+    /// few VMAs at a time; background moves repair it without a
+    /// stop-the-world pass.
+    pub background_moves: usize,
+    /// The mapper requests compaction once the live directory's VMA
+    /// estimate exceeds this fraction of the budget limit (floored at
+    /// [`CompactionPolicy::TRIGGER_FLOOR`]; cleared again below half the
+    /// trigger for hysteresis).
+    pub trigger_fraction: f64,
+}
+
+impl CompactionPolicy {
+    /// Minimum absolute trigger, so tiny directories do not cause
+    /// busywork compactions. Small enough that injected test budgets
+    /// (hundreds of mappings) still exercise the trigger path.
+    pub const TRIGGER_FLOOR: usize = 64;
+
+    /// Compaction fully disabled — the PR 3 behavior (worst-case rebuild
+    /// admission, no page relocation). This is the default.
+    pub fn disabled() -> Self {
+        CompactionPolicy {
+            on_rebuild: false,
+            background_moves: 0,
+            trigger_fraction: 0.25,
+        }
+    }
+
+    /// The recommended production policy: compact at every doubling and
+    /// repair split-driven fragmentation with 32 background moves per
+    /// write-path step once the footprint passes a quarter of the budget.
+    pub fn on() -> Self {
+        CompactionPolicy {
+            on_rebuild: true,
+            background_moves: 32,
+            trigger_fraction: 0.25,
+        }
+    }
+
+    /// Whether any form of compaction is active (this also switches
+    /// rebuild admission from worst-case to layout-exact reservations,
+    /// because compaction bounds how far the layout can fragment).
+    pub fn enabled(&self) -> bool {
+        self.on_rebuild || self.background_moves > 0
+    }
+
+    /// The VMA estimate above which the mapper raises the compaction flag.
+    pub fn trigger_vmas(&self, budget_limit: usize) -> usize {
+        ((budget_limit as f64 * self.trigger_fraction) as usize).max(Self::TRIGGER_FLOOR)
+    }
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
 /// Mapper configuration.
 #[derive(Debug, Clone)]
 pub struct MaintConfig {
@@ -98,6 +200,9 @@ pub struct MaintConfig {
     /// `false` restores the seed's keep-everything-mapped behavior (VMA
     /// use then grows with every doubling until `vm.max_map_count`).
     pub reclaim: bool,
+    /// Physical bucket-layout compaction (see [`CompactionPolicy`];
+    /// default disabled).
+    pub compaction: CompactionPolicy,
 }
 
 impl Default for MaintConfig {
@@ -106,6 +211,7 @@ impl Default for MaintConfig {
             poll_interval: Duration::from_millis(25),
             eager_populate: true,
             reclaim: true,
+            compaction: CompactionPolicy::default(),
         }
     }
 }
@@ -129,6 +235,14 @@ pub struct MapperEngine {
     /// reclaim failure does not suspend the shortcut permanently.
     /// Superseded by any newer create.
     deferred: Option<MaintRequest>,
+    /// `traditional_depth − published_depth` of the current node: 0 when
+    /// the shortcut resolves the full directory, > 0 when admission
+    /// coarsened the published depth to fit the budget. Update slots are
+    /// shifted right by this amount before being applied.
+    published_shift: u32,
+    /// Poll ticks spent probing a deferred create (throttles the exact
+    /// per-shift fit ladder to every 8th tick).
+    deferred_probes: u32,
 }
 
 impl MapperEngine {
@@ -147,6 +261,8 @@ impl MapperEngine {
             current: None,
             retired: Vec::new(),
             deferred: None,
+            published_shift: 0,
+            deferred_probes: 0,
         }
     }
 
@@ -206,6 +322,13 @@ impl MapperEngine {
                         return Ok(());
                     }
                 }
+                // Producers address slots at the traditional directory's
+                // depth; a coarsely published node resolves them at its
+                // own granularity. A split deeper than the published
+                // depth clobbers the shared coarse slot with one sibling
+                // — readers detect the over-depth bucket via its stored
+                // local depth and fall back for those keys.
+                let slot = slot >> self.published_shift;
                 let node = match self.current.as_mut() {
                     Some(n) if slot < n.slots() => n,
                     _ => {
@@ -237,9 +360,9 @@ impl MapperEngine {
             } => {
                 // Any newer create supersedes a deferred one.
                 self.deferred = None;
-                let reservation = if self.cfg.reclaim {
-                    match self.admit_create(slots) {
-                        Some(r) => Some(r),
+                let (shift, reservation) = if self.cfg.reclaim {
+                    match self.admit_create(slots, &assignments) {
+                        Some((shift, r)) => (shift, Some(r)),
                         None => {
                             self.deferred = Some(MaintRequest::Create {
                                 slots,
@@ -250,14 +373,21 @@ impl MapperEngine {
                         }
                     }
                 } else {
-                    None
+                    (0, None)
+                };
+                let coarse;
+                let (pub_slots, pub_assignments) = if shift == 0 {
+                    (slots, &assignments)
+                } else {
+                    coarse = coarsen_assignments(&assignments, shift);
+                    (slots >> shift, &coarse)
                 };
                 let mut node = if self.cfg.eager_populate {
-                    ShortcutNode::new_populated(slots)?
+                    ShortcutNode::new_populated(pub_slots)?
                 } else {
-                    ShortcutNode::new(slots)?
+                    ShortcutNode::new(pub_slots)?
                 };
-                let calls = node.set_batch(&self.pool, &assignments)?;
+                let calls = node.set_batch(&self.pool, pub_assignments)?;
                 if self.cfg.eager_populate {
                     let touched = node.populate();
                     self.metrics
@@ -277,12 +407,16 @@ impl MapperEngine {
                     None => node.charge_to(&self.pool),
                 }
                 self.metrics.creates_applied.fetch_add(1, Ordering::Relaxed);
+                if shift > 0 {
+                    self.metrics.creates_coarse.fetch_add(1, Ordering::Relaxed);
+                }
                 self.metrics
                     .slots_rewired
-                    .fetch_add(assignments.len() as u64, Ordering::Relaxed);
+                    .fetch_add(pub_assignments.len() as u64, Ordering::Relaxed);
                 self.metrics
                     .create_mmap_calls
                     .fetch_add(calls, Ordering::Relaxed);
+                self.published_shift = shift;
                 self.state.publish(node.base(), node.slots(), version);
                 self.state.set_suspended(false);
                 if let Some(old) = self.current.replace(node) {
@@ -297,52 +431,162 @@ impl MapperEngine {
         Ok(())
     }
 
+    /// The coarsening shifts admission may try for a rebuild: always the
+    /// exact depth; additionally, with compaction enabled and a full
+    /// assignment vector, up to [`MAX_PUBLISH_SHIFT`] halvings of the
+    /// published depth (each halving of a compacted directory folds
+    /// aliased covering ranges back onto single slots, so the identity
+    /// run gets *more* mergeable, not less).
+    fn candidate_shifts(&self, slots: usize, assignments: &[(usize, PageIdx)]) -> u32 {
+        if self.cfg.compaction.enabled() && assignments.len() == slots {
+            MAX_PUBLISH_SHIFT.min(slots.trailing_zeros())
+        } else {
+            0
+        }
+    }
+
+    /// VMAs to reserve for a rebuild at coarsening `shift`. Without
+    /// compaction this is the **worst case** — a `slots`-page area can
+    /// fragment to one VMA per slot as later bucket splits break merged
+    /// runs, so admitting at `slots` guarantees the live directory can
+    /// never outgrow the budget between doublings. With compaction
+    /// enabled the layout's fragmentation is bounded (splits are repaired
+    /// by background moves and every doubling re-sorts the pool), so
+    /// admission uses the rebuild's **exact** initial footprint instead —
+    /// this is what lets a compacted multi-million-slot directory through
+    /// a stock `vm.max_map_count`.
+    fn rebuild_reservation(
+        &self,
+        slots: usize,
+        assignments: &[(usize, PageIdx)],
+        shift: u32,
+    ) -> usize {
+        if shift > 0 {
+            let coarse = coarsen_assignments(assignments, shift);
+            shortcut_rewire::planned_vmas(slots >> shift, &coarse)
+        } else if self.cfg.compaction.enabled() {
+            shortcut_rewire::planned_vmas(slots, assignments)
+        } else {
+            slots
+        }
+    }
+
     /// Admission control for a rebuild: atomically reserve the rebuild's
-    /// **worst-case** footprint (a `slots`-page area can fragment to at
-    /// most one VMA per slot as later bucket splits break merged runs, so
-    /// admitting at `slots` guarantees the live directory can never
-    /// outgrow the budget between doublings). When it does not fit, the
-    /// stale current node is retired (the traditional version has already
-    /// moved past it, so no new reader can route through it), a reclaim
-    /// is attempted, and — if the rebuild still does not fit — the state
-    /// is marked suspended and the create skipped.
-    fn admit_create(&mut self, slots: usize) -> Option<shortcut_rewire::BudgetReservation> {
+    /// footprint (see [`MapperEngine::rebuild_reservation`]), preferring
+    /// the exact depth and falling back to coarser published depths (the
+    /// paper's directory at half depth still resolves every bucket whose
+    /// local depth fits; deeper buckets are detected by readers and
+    /// served traditionally). When nothing fits, the stale current node
+    /// is retired (the traditional version has already moved past it, so
+    /// no new reader can route through it), a reclaim is attempted, and —
+    /// if the rebuild still does not fit — the state is marked suspended
+    /// and the create skipped. The skip is counted as *deferred*
+    /// (transient: pinned readers stalled the reclaim scan, the retry on
+    /// an upcoming tick will succeed) when retired areas remain, and as
+    /// *skipped* (genuine: nothing left to reclaim, the directory simply
+    /// does not fit) otherwise.
+    fn admit_create(
+        &mut self,
+        slots: usize,
+        assignments: &[(usize, PageIdx)],
+    ) -> Option<(u32, shortcut_rewire::BudgetReservation)> {
         let budget = Arc::clone(self.pool.budget());
         let headroom = budget_headroom(budget.limit());
-        if let Some(r) = budget.try_reserve(slots, headroom) {
-            return Some(r);
+        let max_shift = self.candidate_shifts(slots, assignments);
+        // Exact depth first. Building while the superseded directory is
+        // still mapped (the common fast path) doubles the kernel's
+        // transient mapping count, so the overlap is only allowed while
+        // it leaves a quarter of the limit spare; otherwise fall through
+        // to retire-then-build. If the exact depth does not fit even
+        // then, free what can be freed and try it *again* before settling
+        // for a coarser published depth — coarse publishes cost service
+        // (over-depth buckets fall back), so they must never be picked
+        // just because a reclaimable directory was still charged.
+        let want = self.rebuild_reservation(slots, assignments, 0);
+        let overlap_headroom = headroom.max(budget.limit() / 4);
+        if let Some(r) = budget.try_reserve(want, overlap_headroom) {
+            return Some((0, r));
         }
         if let Some(old) = self.current.take() {
             self.pool.retire_list().retire(old.into_area());
         }
         self.pool.retire_list().try_reclaim();
-        if let Some(r) = budget.try_reserve(slots, headroom) {
-            return Some(r);
+        for shift in 0..=max_shift {
+            let want = self.rebuild_reservation(slots, assignments, shift);
+            if let Some(r) = budget.try_reserve(want, headroom) {
+                return Some((shift, r));
+            }
         }
         self.state.set_suspended(true);
-        self.metrics.creates_skipped.fetch_add(1, Ordering::Relaxed);
+        if self.pool.retire_list().retired_count() > 0 {
+            self.metrics
+                .creates_deferred
+                .fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.metrics.creates_skipped.fetch_add(1, Ordering::Relaxed);
+        }
         None
     }
 
     /// Drive retired-area reclamation, then retry a deferred create if it
     /// would now fit (called by the mapper thread on every poll tick).
-    /// Returns the number of areas unmapped.
+    /// Also evaluates the compaction trigger: when the live directory's
+    /// VMA estimate crosses the policy threshold, the shared
+    /// `compaction_wanted` flag asks the write path — the only place with
+    /// exclusive access to the bucket pages — to run the moves. Returns
+    /// the number of areas unmapped.
     pub fn reclaim_tick(&mut self) -> Result<usize> {
+        self.compaction_tick();
         if !self.cfg.reclaim {
             return Ok(0);
         }
         let reclaimed = self.pool.retire_list().try_reclaim();
-        if let Some(MaintRequest::Create { slots, .. }) = &self.deferred {
-            // Cheap racy pre-check to avoid re-counting a skip every tick;
-            // the retry's real admission goes through try_reserve again.
-            let budget = self.pool.budget();
-            if budget.would_fit(*slots, budget_headroom(budget.limit())) {
+        if let Some(MaintRequest::Create {
+            slots, assignments, ..
+        }) = &self.deferred
+        {
+            // Racy pre-check to avoid re-counting a skip every tick; the
+            // retry's real admission goes through try_reserve again. The
+            // every-tick probe is O(1): `slots >> MAX_PUBLISH_SHIFT` is an
+            // upper bound on the coarsest candidate's footprint, so
+            // fitting it guarantees admission will succeed at *some*
+            // shift. The exact per-shift ladder (O(slots × shifts)) runs
+            // only every few ticks — it is what catches an identity
+            // layout whose exact-depth footprint is far below the bound.
+            let budget = Arc::clone(self.pool.budget());
+            let headroom = budget_headroom(budget.limit());
+            let max_shift = self.candidate_shifts(*slots, assignments);
+            self.deferred_probes = self.deferred_probes.wrapping_add(1);
+            let fits = budget.would_fit(*slots >> max_shift, headroom)
+                || (self.deferred_probes.is_multiple_of(8)
+                    && (0..=max_shift).any(|shift| {
+                        budget.would_fit(
+                            self.rebuild_reservation(*slots, assignments, shift),
+                            headroom,
+                        )
+                    }));
+            if fits {
                 if let Some(req) = self.deferred.take() {
                     self.apply_one(req)?;
                 }
             }
         }
         Ok(reclaimed)
+    }
+
+    /// Raise/clear the compaction flag from the live node's footprint
+    /// (with hysteresis: set above the trigger, cleared below half of it).
+    fn compaction_tick(&self) {
+        if self.cfg.compaction.background_moves == 0 {
+            return;
+        }
+        let trigger = self.cfg.compaction.trigger_vmas(self.pool.budget().limit());
+        let estimate = self.current.as_ref().map_or(0, |n| n.vma_estimate());
+        if estimate > trigger {
+            self.state.set_compaction_wanted(true);
+        } else if estimate < trigger / 2 {
+            self.state.set_compaction_wanted(false);
+        }
     }
 
     /// The node currently serving the shortcut, if any.
@@ -476,6 +720,12 @@ impl Maintainer {
     /// Maintenance counters.
     pub fn metrics(&self) -> MaintSnapshot {
         self.metrics.snapshot()
+    }
+
+    /// Shared handle to the live counters, for producers that mirror
+    /// write-path work (compaction moves) into the maintenance metrics.
+    pub fn metrics_handle(&self) -> Arc<MaintMetrics> {
+        Arc::clone(&self.metrics)
     }
 
     /// First error the mapper hit, if any.
@@ -895,7 +1145,10 @@ mod tests {
         }])
         .unwrap();
         assert!(state.suspended());
-        assert_eq!(metrics.snapshot().creates_skipped, 1);
+        // The skip is transient (a pinned reader stalled reclamation), so
+        // it is counted as deferred, not as a genuine suspension.
+        assert_eq!(metrics.snapshot().creates_deferred, 1);
+        assert_eq!(metrics.snapshot().creates_skipped, 0);
 
         // A bucket split lands while the create is deferred: the update
         // must be folded into the deferred assignments, not discarded —
@@ -932,7 +1185,227 @@ mod tests {
             );
         }
         assert_eq!(metrics.snapshot().creates_applied, 2);
+        assert_eq!(metrics.snapshot().creates_deferred, 1);
+        assert_eq!(metrics.snapshot().creates_skipped, 0);
+    }
+
+    #[test]
+    fn compaction_admission_uses_exact_footprint() {
+        // A 64-slot **identity** directory is one mergeable run (one VMA).
+        // Worst-case admission (compaction off) refuses it under a
+        // 32-mapping budget; with compaction enabled, admission reserves
+        // the exact planned footprint and the rebuild goes through.
+        for (compaction, expect_applied) in [
+            (CompactionPolicy::disabled(), false),
+            (CompactionPolicy::on(), true),
+        ] {
+            let mut pl = PagePool::new(PoolConfig {
+                initial_pages: 0,
+                min_growth_pages: 64,
+                view_capacity_pages: 4096,
+                vma_budget: Some(shortcut_rewire::VmaBudget::with_limit(32)),
+                ..PoolConfig::default()
+            })
+            .unwrap();
+            let state = Arc::new(SharedDirectoryState::new());
+            let metrics = Arc::new(MaintMetrics::default());
+            let mut eng = MapperEngine::new(
+                pl.handle(),
+                Arc::clone(&state),
+                Arc::clone(&metrics),
+                MaintConfig {
+                    compaction,
+                    ..MaintConfig::default()
+                },
+            );
+            let run = pl.alloc_run(64).unwrap();
+            let v = state.bump_traditional();
+            eng.apply_batch(vec![MaintRequest::Create {
+                slots: 64,
+                assignments: (0..64).map(|s| (s, PageIdx(run.0 + s))).collect(),
+                version: v,
+            }])
+            .unwrap();
+            assert_eq!(
+                state.in_sync(),
+                expect_applied,
+                "compaction.enabled()={} must {} the identity rebuild",
+                compaction.enabled(),
+                if expect_applied { "admit" } else { "refuse" }
+            );
+            assert_eq!(state.suspended(), !expect_applied);
+        }
+    }
+
+    #[test]
+    fn over_budget_rebuild_publishes_at_coarser_depth() {
+        // 16 slots, fan-in 2 over 8 directory-ordered pages: exact-depth
+        // planned footprint is 16 − 8 + 1 = 9. Budget 8 (headroom 0)
+        // refuses it, but the half-depth view is a pure identity run
+        // (planned 1) and must be published instead of suspending.
+        let mut pl = PagePool::new(PoolConfig {
+            initial_pages: 0,
+            min_growth_pages: 8,
+            view_capacity_pages: 4096,
+            vma_budget: Some(shortcut_rewire::VmaBudget::with_limit(8)),
+            ..PoolConfig::default()
+        })
+        .unwrap();
+        let state = Arc::new(SharedDirectoryState::new());
+        let metrics = Arc::new(MaintMetrics::default());
+        let mut eng = MapperEngine::new(
+            pl.handle(),
+            Arc::clone(&state),
+            Arc::clone(&metrics),
+            MaintConfig {
+                compaction: CompactionPolicy::on(),
+                ..MaintConfig::default()
+            },
+        );
+        let run = pl.alloc_run(8).unwrap();
+        for i in 0..8 {
+            stamp(&pl, PageIdx(run.0 + i), 500 + i as u64);
+        }
+        let v = state.bump_traditional();
+        eng.apply_batch(vec![MaintRequest::Create {
+            slots: 16,
+            assignments: (0..16).map(|s| (s, PageIdx(run.0 + s / 2))).collect(),
+            version: v,
+        }])
+        .unwrap();
+        assert!(state.in_sync(), "coarse publish must keep the shortcut up");
+        assert!(!state.suspended());
+        assert_eq!(metrics.snapshot().creates_coarse, 1);
+        let t = state.begin_read().unwrap();
+        assert_eq!(t.slots, 8, "published at half depth");
+        for i in 0..8 {
+            unsafe {
+                assert_eq!(*(t.base.add(i << 12) as *const u64), 500 + i as u64);
+            }
+        }
+        assert!(pl.budget().in_use() <= 8);
+
+        // Updates arrive addressed at the traditional (16-slot) depth and
+        // must be shifted onto the coarse node: redirecting fine slots
+        // 14 and 15 (one covering range at depth 4) lands on coarse
+        // slot 7.
+        let fresh = pl.alloc_run(1).unwrap();
+        stamp(&pl, fresh, 999);
+        for fine_slot in [14usize, 15] {
+            let v = state.bump_traditional();
+            eng.apply_batch(vec![MaintRequest::Update {
+                slot: fine_slot,
+                ppage: fresh,
+                version: v,
+            }])
+            .unwrap();
+        }
+        assert!(state.in_sync());
+        let t = state.begin_read().unwrap();
+        unsafe {
+            assert_eq!(*(t.base.add(7 << 12) as *const u64), 999);
+            assert_eq!(
+                *(t.base.add(6 << 12) as *const u64),
+                506,
+                "neighbor untouched"
+            );
+        }
+    }
+
+    #[test]
+    fn genuine_no_fit_counts_as_skipped_not_deferred() {
+        // No pins, nothing retired: the failed admission is a genuine
+        // suspension and must be counted under creates_skipped.
+        let mut pl = PagePool::new(PoolConfig {
+            initial_pages: 16,
+            min_growth_pages: 16,
+            view_capacity_pages: 4096,
+            vma_budget: Some(shortcut_rewire::VmaBudget::with_limit(16)),
+            ..PoolConfig::default()
+        })
+        .unwrap();
+        let state = Arc::new(SharedDirectoryState::new());
+        let metrics = Arc::new(MaintMetrics::default());
+        let mut eng = MapperEngine::new(
+            pl.handle(),
+            Arc::clone(&state),
+            Arc::clone(&metrics),
+            MaintConfig::default(),
+        );
+        let l0 = pl.alloc_page().unwrap();
+        let v = state.bump_traditional();
+        eng.apply_batch(vec![MaintRequest::Create {
+            slots: 64,
+            assignments: (0..64).map(|s| (s, l0)).collect(),
+            version: v,
+        }])
+        .unwrap();
+        assert!(state.suspended());
         assert_eq!(metrics.snapshot().creates_skipped, 1);
+        assert_eq!(metrics.snapshot().creates_deferred, 0);
+    }
+
+    #[test]
+    fn compaction_trigger_sets_and_clears_with_hysteresis() {
+        // Drive the engine over a tiny budget whose trigger floor we can
+        // cross with a fan-in-heavy directory, and watch the shared flag.
+        // limit 256: admission comfortably fits a ~72-slot directory while
+        // the trigger sits at the 64 floor, which that directory crosses
+        // when fully aliased.
+        let mut pl = PagePool::new(PoolConfig {
+            initial_pages: 16,
+            min_growth_pages: 16,
+            view_capacity_pages: 1 << 14,
+            vma_budget: Some(shortcut_rewire::VmaBudget::with_limit(256)),
+            ..PoolConfig::default()
+        })
+        .unwrap();
+        let state = Arc::new(SharedDirectoryState::new());
+        let metrics = Arc::new(MaintMetrics::default());
+        let policy = CompactionPolicy {
+            on_rebuild: true,
+            background_moves: 8,
+            trigger_fraction: 0.25,
+        };
+        assert_eq!(policy.trigger_vmas(100_000), 25_000);
+        assert_eq!(policy.trigger_vmas(100), CompactionPolicy::TRIGGER_FLOOR);
+        assert_eq!(policy.trigger_vmas(256), CompactionPolicy::TRIGGER_FLOOR);
+        assert_eq!(policy.trigger_vmas(4000), 1000);
+        let mut eng = MapperEngine::new(
+            pl.handle(),
+            Arc::clone(&state),
+            Arc::clone(&metrics),
+            MaintConfig {
+                compaction: policy,
+                ..MaintConfig::default()
+            },
+        );
+        // No node yet: flag stays clear.
+        eng.reclaim_tick().unwrap();
+        assert!(!state.compaction_wanted());
+        // An aliased directory larger than the floor raises the flag.
+        let l0 = pl.alloc_page().unwrap();
+        let slots = CompactionPolicy::TRIGGER_FLOOR + 8;
+        let v = state.bump_traditional();
+        eng.apply_batch(vec![MaintRequest::Create {
+            slots,
+            assignments: (0..slots).map(|s| (s, l0)).collect(),
+            version: v,
+        }])
+        .unwrap();
+        eng.reclaim_tick().unwrap();
+        assert!(state.compaction_wanted(), "estimate above trigger");
+        // A compacted (identity) replacement clears it again.
+        let run = pl.alloc_run(slots).unwrap();
+        let v = state.bump_traditional();
+        eng.apply_batch(vec![MaintRequest::Create {
+            slots,
+            assignments: (0..slots).map(|s| (s, PageIdx(run.0 + s))).collect(),
+            version: v,
+        }])
+        .unwrap();
+        eng.reclaim_tick().unwrap();
+        assert!(!state.compaction_wanted(), "estimate below half-trigger");
     }
 
     #[test]

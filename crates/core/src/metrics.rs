@@ -12,9 +12,33 @@ pub struct MaintMetrics {
     pub creates_applied: AtomicU64,
     /// Update requests discarded because a newer create superseded them.
     pub updates_discarded: AtomicU64,
-    /// Create requests skipped because the rebuilt directory would not fit
-    /// the VMA budget (maintenance suspended; lookups fall back).
+    /// Create requests skipped because the rebuilt directory **genuinely**
+    /// does not fit the VMA budget even with nothing left to reclaim
+    /// (maintenance suspended; lookups fall back until the budget grows
+    /// or compaction shrinks the footprint).
     pub creates_skipped: AtomicU64,
+    /// Create requests deferred **transiently**: admission failed only
+    /// because retired areas were still pinned by readers, so the rebuild
+    /// is retried on upcoming poll ticks once reclamation drains them.
+    pub creates_deferred: AtomicU64,
+    /// Creates published at a **coarser depth** than the traditional
+    /// directory because the exact depth did not fit the VMA budget
+    /// (buckets deeper than the published depth are served traditionally
+    /// via the reader-side local-depth check).
+    pub creates_coarse: AtomicU64,
+    /// Bucket pages physically relocated into directory order by
+    /// compaction (the write path executes the moves; this mirror makes
+    /// them visible next to the mapper's counters).
+    pub pages_moved: AtomicU64,
+    /// Estimated VMAs saved by compaction passes (layout estimate before
+    /// minus after, summed over passes).
+    pub vmas_saved: AtomicU64,
+    /// Completed compaction passes (full rebuild-time passes and finished
+    /// incremental plans).
+    pub compactions: AtomicU64,
+    /// Compaction passes skipped: the target run did not fit the pool, or
+    /// the layout was already as compact as fan-in permits.
+    pub compaction_skipped: AtomicU64,
     /// Individual slot rewirings performed.
     pub slots_rewired: AtomicU64,
     /// mmap calls spent on rebuilds (after coalescing).
@@ -36,8 +60,24 @@ pub struct MaintSnapshot {
     pub creates_applied: u64,
     /// Updates discarded as superseded.
     pub updates_discarded: u64,
-    /// Creates skipped by the VMA budget.
+    /// Creates skipped by the VMA budget with nothing left to reclaim
+    /// (genuine suspension).
     pub creates_skipped: u64,
+    /// Creates deferred transiently (reader pins stalled reclamation;
+    /// retried on later ticks).
+    pub creates_deferred: u64,
+    /// Creates published at a coarser-than-traditional depth to fit the
+    /// VMA budget.
+    pub creates_coarse: u64,
+    /// Bucket pages relocated by compaction.
+    pub pages_moved: u64,
+    /// Estimated VMAs saved by compaction.
+    pub vmas_saved: u64,
+    /// Completed compaction passes.
+    pub compactions: u64,
+    /// Compaction passes skipped (no space for the target run, or layout
+    /// already compact).
+    pub compaction_skipped: u64,
     /// Slots rewired in total.
     pub slots_rewired: u64,
     /// mmap calls used by creates.
@@ -58,6 +98,12 @@ impl MaintMetrics {
             creates_applied: self.creates_applied.load(Ordering::Relaxed),
             updates_discarded: self.updates_discarded.load(Ordering::Relaxed),
             creates_skipped: self.creates_skipped.load(Ordering::Relaxed),
+            creates_deferred: self.creates_deferred.load(Ordering::Relaxed),
+            creates_coarse: self.creates_coarse.load(Ordering::Relaxed),
+            pages_moved: self.pages_moved.load(Ordering::Relaxed),
+            vmas_saved: self.vmas_saved.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            compaction_skipped: self.compaction_skipped.load(Ordering::Relaxed),
             slots_rewired: self.slots_rewired.load(Ordering::Relaxed),
             create_mmap_calls: self.create_mmap_calls.load(Ordering::Relaxed),
             pages_populated: self.pages_populated.load(Ordering::Relaxed),

@@ -35,6 +35,12 @@ pub struct SharedDirectoryState {
     /// no longer fits the VMA budget. Readers fall back to the traditional
     /// directory until a rebuild fits again.
     suspended: AtomicBool,
+    /// Whether the mapper's poll loop observed the live directory's VMA
+    /// footprint above the compaction trigger. The write path (the only
+    /// place with exclusive access to the bucket pages) checks this flag
+    /// and performs the physical moves; the mapper clears it once the
+    /// footprint drops back below the trigger's hysteresis band.
+    compaction_wanted: AtomicBool,
 }
 
 /// Proof that a shortcut read started in sync; must be revalidated after
@@ -57,7 +63,29 @@ impl SharedDirectoryState {
             base: AtomicPtr::new(std::ptr::null_mut()),
             slots: AtomicUsize::new(0),
             suspended: AtomicBool::new(false),
+            compaction_wanted: AtomicBool::new(false),
         }
+    }
+
+    /// Record whether the live directory's mapping footprint exceeds the
+    /// compaction trigger (set/cleared by the mapper thread's poll loop).
+    pub fn set_compaction_wanted(&self, wanted: bool) {
+        self.compaction_wanted.store(wanted, Ordering::Release);
+    }
+
+    /// Whether the mapper has requested a compaction pass. Checked by the
+    /// index's write path, which owns the bucket pages exclusively and is
+    /// therefore the only place relocation is sound.
+    pub fn compaction_wanted(&self) -> bool {
+        self.compaction_wanted.load(Ordering::Acquire)
+    }
+
+    /// Slot count of the currently published shortcut area (0 before the
+    /// first create), regardless of sync state. Smaller than the
+    /// traditional directory's slot count when admission published at a
+    /// coarser depth to fit the VMA budget.
+    pub fn published_slots(&self) -> usize {
+        self.slots.load(Ordering::Acquire)
     }
 
     /// Record whether shortcut maintenance is suspended by the VMA budget

@@ -7,6 +7,13 @@
 //! long as the underlying page is allocated, which the owning index
 //! guarantees.
 //!
+//! **Relocation.** Compaction may physically move a bucket to another pool
+//! page (copy-then-retire, see [`shortcut_rewire::PagePool::relocate_page`]).
+//! A `BucketRef` is therefore only as stable as the translation that
+//! produced it: the owning directory. Never cache one across an operation
+//! that can compact (splits, doublings, explicit passes) — re-fetch it
+//! through the directory instead.
+//!
 //! Page layout (little-endian, 8-byte aligned):
 //!
 //! ```text

@@ -19,7 +19,10 @@ use crate::error::IndexError;
 use crate::hash::{dir_slot, mult_hash, split_bit};
 use crate::stats::IndexStats;
 use crate::traits::Index;
-use shortcut_rewire::{PageIdx, PagePool, PoolConfig, PoolHandle};
+use shortcut_core::{CompactionPolicy, MaintMetrics};
+use shortcut_rewire::{planned_vmas, PageIdx, PagePool, PoolConfig, PoolHandle};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 /// Directory-modifying events, emitted (when enabled) for the asynchronous
 /// shortcut maintenance of Shortcut-EH.
@@ -39,6 +42,18 @@ pub enum DirEvent {
         /// Complete `(slot, pool page)` assignment, sorted by slot.
         assignments: Vec<(usize, PageIdx)>,
     },
+    /// The bucket layout was physically compacted (and possibly the
+    /// directory doubled in the same step): every slot's backing page may
+    /// have changed, so — like [`DirEvent::Doubled`] — any shortcut needs
+    /// a full rebuild. After a compaction the assignment vector is an
+    /// identity run over freshly placed pages, which the rebuild coalesces
+    /// into a handful of `mmap` calls and VMAs.
+    Rebuilt {
+        /// Slot count (`2^global_depth`).
+        slots: usize,
+        /// Complete `(slot, pool page)` assignment, sorted by slot.
+        assignments: Vec<(usize, PageIdx)>,
+    },
 }
 
 /// EH tuning.
@@ -53,6 +68,13 @@ pub struct EhConfig {
     /// Hard cap on the global depth; exceeding it panics with a clear
     /// message instead of exhausting memory (2^28 slots = 2 GB directory).
     pub max_global_depth: u32,
+    /// Bucket-layout compaction policy (see
+    /// [`shortcut_core::CompactionPolicy`]; default disabled). With
+    /// `on_rebuild`, every directory doubling relocates the buckets into
+    /// directory order, so the emitted rebuild assignment is an identity
+    /// run; `background_moves` paces the incremental plans that
+    /// Shortcut-EH starts when the mapper requests one.
+    pub compaction: CompactionPolicy,
 }
 
 impl Default for EhConfig {
@@ -62,8 +84,34 @@ impl Default for EhConfig {
             pool: PoolConfig::default(),
             track_events: false,
             max_global_depth: 28,
+            compaction: CompactionPolicy::default(),
         }
     }
+}
+
+/// Outcome of one completed compaction pass.
+#[derive(Debug, Clone, Copy)]
+pub struct CompactionOutcome {
+    /// Bucket pages physically relocated.
+    pub pages_moved: usize,
+    /// Planned-VMA estimate of the directory layout before the pass.
+    pub vmas_before: usize,
+    /// Planned-VMA estimate after (an identity layout: one VMA plus one
+    /// per fan-in > 1 aliasing boundary).
+    pub vmas_after: usize,
+}
+
+/// An in-flight incremental compaction: a pre-allocated contiguous target
+/// run plus a cursor over the directory. Each step moves a budgeted number
+/// of buckets; a doubling aborts the plan (the rebuild pass re-sorts
+/// everything anyway).
+struct CompactPlan {
+    target: PageIdx,
+    total: usize,
+    slots_at_start: usize,
+    next_slot: usize,
+    next_target: usize,
+    vmas_before: usize,
 }
 
 /// The EH baseline (and the synchronous half of Shortcut-EH).
@@ -76,6 +124,15 @@ pub struct ExtendibleHash {
     cfg: EhConfig,
     stats: IndexStats,
     events: Vec<DirEvent>,
+    /// Active incremental compaction, if any.
+    plan: Option<CompactPlan>,
+    /// Splits since the last completed compaction pass (fragmentation
+    /// proxy used to pace triggered compactions).
+    splits_since_compaction: u64,
+    /// Mirror of compaction counters into the mapper's metrics (attached
+    /// by Shortcut-EH so write-path moves show up next to the mapper's
+    /// own counters).
+    maint_metrics: Option<Arc<MaintMetrics>>,
 }
 
 impl ExtendibleHash {
@@ -112,6 +169,9 @@ impl ExtendibleHash {
             cfg,
             stats: IndexStats::default(),
             events: Vec::new(),
+            plan: None,
+            splits_since_compaction: 0,
+            maint_metrics: None,
         })
     }
 
@@ -157,6 +217,13 @@ impl ExtendibleHash {
     /// VMA budget and retirement counters of the backing page pool.
     pub fn vma_stats(&self) -> shortcut_rewire::VmaSnapshot {
         self.pool.vma_snapshot()
+    }
+
+    /// The pool's VMA budget — cheap atomic `in_use`/`limit` reads for
+    /// hot-path decisions (the full [`ExtendibleHash::vma_stats`]
+    /// snapshot takes the retire-list mutex).
+    pub fn vma_budget(&self) -> &Arc<shortcut_rewire::VmaBudget> {
+        self.pool.budget()
     }
 
     /// Maximum entries a bucket may hold before splitting.
@@ -205,8 +272,24 @@ impl ExtendibleHash {
                 max_global_depth: self.cfg.max_global_depth,
             });
         }
+        // A doubling reshapes every covering range; an in-flight
+        // incremental plan is obsolete (the rebuild pass below, or the
+        // next triggered plan, re-sorts everything).
+        self.abort_compaction_plan();
         self.dir.double();
         self.stats.doublings += 1;
+        if self.cfg.compaction.on_rebuild {
+            // Compact "for free" while the shortcut must be rebuilt
+            // anyway: the emitted assignment is then an identity run the
+            // mapper coalesces into a handful of mmap calls and VMAs. A
+            // pass that cannot run (no room for the target run) degrades
+            // to the plain scattered rebuild instead of failing the
+            // insert.
+            match self.compact_full() {
+                Ok(_) => return Ok(()),
+                Err(_) => self.note_compaction_skipped(),
+            }
+        }
         if self.cfg.track_events {
             let assignments = self.directory_assignments()?;
             self.events.push(DirEvent::Doubled {
@@ -236,6 +319,14 @@ impl ExtendibleHash {
         }
         let g = self.dir.global_depth();
         let slot = dir_slot(hash, g);
+        // Re-fetch through the directory: a rebuild-time compaction inside
+        // `double_directory` may have physically relocated the bucket, and
+        // the pre-doubling `old` ref would then point at the retired copy
+        // (splitting *that* would lose the entries). Bucket handles are
+        // only stable through the directory's translation.
+        let old_ptr = self.dir.get(slot);
+        // SAFETY: live bucket page (directory invariant).
+        let old = unsafe { BucketRef::from_ptr(old_ptr) };
         let l = old.local_depth();
         debug_assert!(l < g);
 
@@ -273,7 +364,392 @@ impl ExtendibleHash {
         }
         self.bucket_count += 1;
         self.stats.splits += 1;
+        self.splits_since_compaction += 1;
+        // Opportunistically return relocated-away pages whose reader pins
+        // have drained (split frequency makes this prompt without putting
+        // a quiescence scan on the per-insert path).
+        if self.pool.retired_page_count() > 0 {
+            self.pool.reclaim_retired_pages();
+        }
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Physical compaction: relocate bucket pages into directory order so
+    // that a shortcut rebuild becomes an identity mapping the kernel can
+    // merge into a handful of VMAs. All moves run here on the write path:
+    // `&mut self` guarantees no in-process reader holds a reference to any
+    // bucket, so a copy-then-repoint can never tear a lookup. Readers that
+    // raced through a *retired shortcut directory* may still dereference
+    // the old page — which is why sources are epoch-retired via
+    // [`shortcut_rewire::PagePool::retire_page`] instead of freed, and the
+    // seqlock ticket discards whatever they read.
+    // ------------------------------------------------------------------
+
+    /// `slots − buckets + 1`: the planned-VMA estimate of a perfectly
+    /// directory-ordered layout (every covering-range boundary merges;
+    /// each fan-in > 1 bucket keeps `fanin − 1` unmergeable internal
+    /// boundaries). The cheapest possible "is compaction worth it" input.
+    pub fn ideal_layout_vmas(&self) -> usize {
+        self.dir.slot_count() - self.bucket_count + 1
+    }
+
+    /// Planned-VMA estimate of the **current** bucket layout, as a fresh
+    /// shortcut rebuild would map it. `O(slots)` — diagnostics and tests,
+    /// not the hot path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ExtendibleHash::directory_assignments`] failures.
+    pub fn layout_vmas(&self) -> Result<usize, IndexError> {
+        self.layout_vmas_at(0)
+    }
+
+    /// [`ExtendibleHash::layout_vmas`] for a directory published `shift`
+    /// levels coarser (the maintenance engine's budget fallback): coarse
+    /// slot `s` maps the page of fine slot `s << shift`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ExtendibleHash::directory_assignments`] failures.
+    pub fn layout_vmas_at(&self, shift: u32) -> Result<usize, IndexError> {
+        let slots = self.dir.slot_count();
+        let assignments = self.directory_assignments()?;
+        if shift == 0 {
+            return Ok(planned_vmas(slots, &assignments));
+        }
+        let coarse: Vec<(usize, PageIdx)> = (0..slots >> shift)
+            .map(|s| (s, assignments[s << shift].1))
+            .collect();
+        Ok(planned_vmas(slots >> shift, &coarse))
+    }
+
+    /// What [`ExtendibleHash::layout_vmas_at`] would report right after a
+    /// full compaction, published `shift` levels coarser: each coarse
+    /// boundary merges exactly when the preceding coarse slot contains
+    /// exactly one directory-ordered bucket. `O(slots)`; used by the
+    /// suspension rescue to decide whether a fresh pass can fit a budget
+    /// the current layout cannot.
+    pub fn ideal_layout_vmas_at(&self, shift: u32) -> usize {
+        if shift == 0 {
+            return self.ideal_layout_vmas();
+        }
+        let g = self.dir.global_depth();
+        let slots = self.dir.slot_count();
+        let step = (1usize << shift).min(slots);
+        // Walk coarse slots with a bucket cursor: `bucket_idx` numbers the
+        // buckets in directory order (their page index after compaction).
+        let mut planned = 0usize;
+        let mut prev: Option<usize> = None;
+        let (mut fine, mut bucket_idx) = (0usize, 0usize);
+        let cover_at = |s: usize| {
+            let ptr = self.dir.get(s);
+            // SAFETY: live bucket page (directory invariant).
+            let l = unsafe { BucketRef::from_ptr(ptr) }.local_depth();
+            1usize << (g - l)
+        };
+        for s in (0..slots).step_by(step) {
+            let mut cover = cover_at(fine);
+            while fine + cover <= s {
+                fine += cover;
+                bucket_idx += 1;
+                cover = cover_at(fine);
+            }
+            if prev != Some(bucket_idx.wrapping_sub(1)) {
+                planned += 1;
+            }
+            prev = Some(bucket_idx);
+        }
+        planned
+    }
+
+    /// Splits since the last completed compaction pass.
+    pub fn splits_since_compaction(&self) -> u64 {
+        self.splits_since_compaction
+    }
+
+    /// Whether an incremental compaction plan is in flight.
+    pub fn compaction_plan_active(&self) -> bool {
+        self.plan.is_some()
+    }
+
+    /// Mirror compaction counters into the mapper's metrics (attached by
+    /// Shortcut-EH).
+    pub fn set_maint_metrics(&mut self, metrics: Arc<MaintMetrics>) {
+        self.maint_metrics = Some(metrics);
+    }
+
+    fn note_compaction(&mut self, outcome: CompactionOutcome) {
+        self.stats.compactions += 1;
+        self.stats.pages_moved += outcome.pages_moved as u64;
+        self.splits_since_compaction = 0;
+        if let Some(m) = &self.maint_metrics {
+            m.compactions.fetch_add(1, Ordering::Relaxed);
+            m.pages_moved
+                .fetch_add(outcome.pages_moved as u64, Ordering::Relaxed);
+            m.vmas_saved.fetch_add(
+                outcome.vmas_before.saturating_sub(outcome.vmas_after) as u64,
+                Ordering::Relaxed,
+            );
+        }
+    }
+
+    pub(crate) fn note_compaction_skipped(&mut self) {
+        self.stats.compaction_skipped += 1;
+        if let Some(m) = &self.maint_metrics {
+            m.compaction_skipped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Move the bucket covering `slot` to `dst`: copy the page, repoint
+    /// every covering directory slot, retire the source, and (optionally)
+    /// record the per-slot identity assignment / update events. Returns
+    /// the covering width.
+    fn move_bucket(
+        &mut self,
+        slot: usize,
+        dst: PageIdx,
+        assignments: Option<&mut Vec<(usize, PageIdx)>>,
+        emit_updates: bool,
+    ) -> Result<usize, IndexError> {
+        let g = self.dir.global_depth();
+        let ptr = self.dir.get(slot);
+        // SAFETY: live bucket page (directory invariant).
+        let l = unsafe { BucketRef::from_ptr(ptr) }.local_depth();
+        let range = Directory::covering_range(slot, g, l);
+        debug_assert_eq!(range.start, slot, "cursor must sit on a range start");
+        let src = self.pool.page_of_ptr(ptr)?;
+        self.pool.relocate_page(src, dst)?;
+        let dst_ptr = self.pool.page_ptr(dst);
+        for s in range.clone() {
+            self.dir.set(s, dst_ptr);
+        }
+        self.pool.retire_page(src)?;
+        if let Some(out) = assignments {
+            out.extend(range.clone().map(|s| (s, dst)));
+        }
+        if emit_updates && self.cfg.track_events {
+            self.events
+                .extend(range.clone().map(|s| DirEvent::SlotUpdated {
+                    slot: s,
+                    ppage: dst,
+                }));
+        }
+        Ok(range.len())
+    }
+
+    /// Relocate **every** bucket into directory order in one pass and
+    /// (with `track_events`) emit a single [`DirEvent::Rebuilt`] carrying
+    /// the identity assignment. Sources are epoch-retired and reclaimed
+    /// once reader pins drain; the vacated span is reused by the next
+    /// pass. Any in-flight incremental plan is aborted first.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the pool cannot host the target run (view capacity). If
+    /// some buckets moved before the failure, the directory is left fully
+    /// consistent and a `Rebuilt` event with the *current* assignment is
+    /// still emitted, so a shortcut can never legitimize stale slots.
+    pub fn compact_full(&mut self) -> Result<CompactionOutcome, IndexError> {
+        self.abort_compaction_plan();
+        self.pool.reclaim_retired_pages();
+        let slots = self.dir.slot_count();
+        let vmas_before = self.layout_vmas()?;
+        let n = self.bucket_count;
+        let target = self.pool.alloc_run(n)?;
+        let mut assignments: Vec<(usize, PageIdx)> = Vec::with_capacity(slots);
+        let mut moved = 0usize;
+        let mut cursor = 0usize;
+        let result: Result<(), IndexError> = loop {
+            if cursor >= slots {
+                break Ok(());
+            }
+            match self.move_bucket(
+                cursor,
+                PageIdx(target.0 + moved),
+                Some(&mut assignments),
+                false,
+            ) {
+                Ok(cover) => {
+                    cursor += cover;
+                    moved += 1;
+                }
+                Err(e) => break Err(e),
+            }
+        };
+        match result {
+            Ok(()) => {
+                debug_assert_eq!(moved, n, "covering ranges must partition the directory");
+                let vmas_after = planned_vmas(slots, &assignments);
+                if self.cfg.track_events {
+                    self.events.push(DirEvent::Rebuilt { slots, assignments });
+                }
+                let outcome = CompactionOutcome {
+                    pages_moved: moved,
+                    vmas_before,
+                    vmas_after,
+                };
+                self.note_compaction(outcome);
+                Ok(outcome)
+            }
+            Err(e) => {
+                // Free the part of the target run no bucket reached.
+                if moved < n {
+                    let _ = self.pool.free_run(PageIdx(target.0 + moved), n - moved);
+                }
+                // The moved prefix is live: publish the current (partly
+                // compacted) truth so the shortcut rebuild reflects it.
+                if self.cfg.track_events {
+                    if let Ok(assignments) = self.directory_assignments() {
+                        self.events.push(DirEvent::Rebuilt { slots, assignments });
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Start an incremental compaction plan: pre-allocate the contiguous
+    /// target run and reset the cursor. Buckets are then moved
+    /// `background_moves` at a time by [`ExtendibleHash::compact_step`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when the pool cannot host the target run; nothing changes.
+    pub fn start_compaction_plan(&mut self) -> Result<(), IndexError> {
+        self.abort_compaction_plan();
+        self.pool.reclaim_retired_pages();
+        let vmas_before = self.layout_vmas()?;
+        let total = self.bucket_count;
+        let target = self.pool.alloc_run(total)?;
+        self.plan = Some(CompactPlan {
+            target,
+            total,
+            slots_at_start: self.dir.slot_count(),
+            next_slot: 0,
+            next_target: 0,
+            vmas_before,
+        });
+        Ok(())
+    }
+
+    /// Advance the active plan by up to `budget` bucket moves, emitting
+    /// one [`DirEvent::SlotUpdated`] per repointed slot (so the shortcut
+    /// converges incrementally, without a stop-the-world rebuild). Returns
+    /// the number of buckets moved; 0 when no plan is active. Completing
+    /// the pass frees the unused target tail and reclaims drained retired
+    /// pages.
+    ///
+    /// # Errors
+    ///
+    /// A failed move aborts the plan (the directory stays consistent and
+    /// all emitted events remain valid) and surfaces the pool error.
+    pub fn compact_step(&mut self, budget: usize) -> Result<usize, IndexError> {
+        let Some(plan) = &self.plan else {
+            return Ok(0);
+        };
+        if plan.slots_at_start != self.dir.slot_count() {
+            // A doubling raced the plan (only possible if the caller
+            // interleaves steps and inserts); drop it.
+            self.abort_compaction_plan();
+            return Ok(0);
+        }
+        let mut moved = 0usize;
+        while moved < budget.max(1) {
+            let Some(plan) = &self.plan else { break };
+            let (slot, dst) = (plan.next_slot, PageIdx(plan.target.0 + plan.next_target));
+            if slot >= plan.slots_at_start {
+                break;
+            }
+            if plan.next_target >= plan.total {
+                // Splits ahead of the cursor created more covering ranges
+                // than the pre-allocated target run has pages; moving on
+                // would write past the run into a live page. Abandon the
+                // pass — the moved prefix stays valid and the next plan
+                // is sized for the grown bucket count.
+                self.abort_compaction_plan();
+                return Ok(moved);
+            }
+            match self.move_bucket(slot, dst, None, true) {
+                Ok(cover) => {
+                    let plan = self.plan.as_mut().expect("checked above");
+                    plan.next_slot += cover;
+                    plan.next_target += 1;
+                    moved += 1;
+                }
+                Err(e) => {
+                    self.abort_compaction_plan();
+                    self.note_compaction_skipped();
+                    return Err(e);
+                }
+            }
+        }
+        self.stats.pages_moved += moved as u64;
+        if let Some(m) = &self.maint_metrics {
+            m.pages_moved.fetch_add(moved as u64, Ordering::Relaxed);
+        }
+        let done = self
+            .plan
+            .as_ref()
+            .is_some_and(|p| p.next_slot >= p.slots_at_start);
+        if done {
+            let plan = self.plan.take().expect("checked above");
+            if plan.next_target < plan.total {
+                let _ = self.pool.free_run(
+                    PageIdx(plan.target.0 + plan.next_target),
+                    plan.total - plan.next_target,
+                );
+            }
+            let outcome = CompactionOutcome {
+                pages_moved: 0, // per-step accounting already happened
+                vmas_before: plan.vmas_before,
+                vmas_after: self.layout_vmas()?,
+            };
+            self.note_compaction(outcome);
+        }
+        self.pool.reclaim_retired_pages();
+        Ok(moved)
+    }
+
+    /// Re-announce the current directory as a full rebuild without moving
+    /// any page: pushes one [`DirEvent::Rebuilt`] carrying the current
+    /// assignment. Shortcut-EH uses this to lift a budget suspension once
+    /// splits have shrunk the layout's footprint below the budget — the
+    /// pages are already well placed, only the mapper needs to hear about
+    /// it again.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ExtendibleHash::directory_assignments`] failures.
+    pub fn emit_rebuilt_event(&mut self) -> Result<(), IndexError> {
+        if self.cfg.track_events {
+            let assignments = self.directory_assignments()?;
+            self.events.push(DirEvent::Rebuilt {
+                slots: self.dir.slot_count(),
+                assignments,
+            });
+        }
+        Ok(())
+    }
+
+    /// Drop the active plan, if any, returning its unused target pages to
+    /// the pool. Already-moved buckets stay where they are (the directory
+    /// is consistent after every move).
+    pub fn abort_compaction_plan(&mut self) {
+        if let Some(plan) = self.plan.take() {
+            if plan.next_target < plan.total {
+                let _ = self.pool.free_run(
+                    PageIdx(plan.target.0 + plan.next_target),
+                    plan.total - plan.next_target,
+                );
+            }
+        }
+    }
+
+    /// Opportunistically free retired (relocated-away) pages whose reader
+    /// pins have drained. Exposed for callers pacing their own compaction.
+    pub fn reclaim_retired_pages(&mut self) -> usize {
+        self.pool.reclaim_retired_pages()
     }
 }
 
@@ -499,6 +975,225 @@ mod tests {
             eh.insert(k, k).unwrap();
         }
         assert!(eh.take_events().is_empty());
+    }
+
+    #[test]
+    fn compact_full_sorts_layout_and_keeps_answers() {
+        let mut eh = small();
+        for k in 0..20_000u64 {
+            eh.insert(k, k * 13).unwrap();
+        }
+        let before = eh.layout_vmas().unwrap();
+        let ideal = eh.ideal_layout_vmas();
+        // Split-order allocation scatters the layout far from directory
+        // order.
+        assert!(before > ideal * 4, "layout unexpectedly compact: {before}");
+
+        let out = eh.compact_full().unwrap();
+        assert_eq!(out.pages_moved, eh.bucket_count());
+        assert_eq!(out.vmas_before, before);
+        assert_eq!(out.vmas_after, ideal, "identity layout must hit the ideal");
+        assert_eq!(eh.layout_vmas().unwrap(), ideal);
+        assert_eq!(eh.stats().compactions, 1);
+        assert_eq!(eh.stats().pages_moved as usize, out.pages_moved);
+
+        // Every answer survives the relocation.
+        for k in 0..20_000u64 {
+            assert_eq!(eh.get(k), Some(k * 13), "key {k}");
+        }
+        // Sources were retired, and (no readers) a reclaim frees them for
+        // reuse — the next pass can reuse the vacated span.
+        eh.reclaim_retired_pages();
+        assert_eq!(eh.pool.retired_page_count(), 0);
+        let pages_before = eh.pool.file_pages();
+        eh.compact_full().unwrap();
+        assert_eq!(
+            eh.pool.file_pages(),
+            pages_before,
+            "second pass grew the file"
+        );
+    }
+
+    #[test]
+    fn on_rebuild_compaction_keeps_directory_near_identity() {
+        let mut eh = ExtendibleHash::try_new(EhConfig {
+            pool: PoolConfig {
+                initial_pages: 1,
+                min_growth_pages: 8,
+                view_capacity_pages: 1 << 16,
+                ..PoolConfig::default()
+            },
+            track_events: true,
+            compaction: shortcut_core::CompactionPolicy {
+                on_rebuild: true,
+                background_moves: 0,
+                trigger_fraction: 0.25,
+            },
+            ..EhConfig::default()
+        })
+        .unwrap();
+        let n = 20_000u64;
+        for k in 0..n {
+            // This doubles repeatedly with compaction inside the doubling
+            // path — the split that triggered it must re-fetch its bucket
+            // through the directory or it would drain the retired copy.
+            eh.insert(k, !k).unwrap();
+        }
+        for k in 0..n {
+            assert_eq!(eh.get(k), Some(!k), "key {k}");
+        }
+        assert!(eh.stats().doublings > 3);
+        assert_eq!(eh.stats().compactions, eh.stats().doublings);
+
+        let events = eh.take_events();
+        let rebuilds: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                DirEvent::Rebuilt { slots, assignments } => Some((slots, assignments)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(rebuilds.len() as u64, eh.stats().doublings);
+        assert!(
+            !events.iter().any(|e| matches!(e, DirEvent::Doubled { .. })),
+            "doublings must be announced as compacted rebuilds"
+        );
+        // The last rebuild's assignment is a full identity over the
+        // directory at that time: sorted slots, monotone pages within
+        // each covering run.
+        let (slots, assignments) = rebuilds.last().unwrap();
+        assert_eq!(assignments.len(), **slots);
+        for (i, (s, _)) in assignments.iter().enumerate() {
+            assert_eq!(i, *s);
+        }
+        let distinct: std::collections::BTreeSet<usize> =
+            assignments.iter().map(|(_, p)| p.0).collect();
+        let min = *distinct.iter().next().unwrap();
+        let max = *distinct.iter().next_back().unwrap();
+        assert_eq!(
+            max - min + 1,
+            distinct.len(),
+            "compacted pages must be one contiguous run"
+        );
+        // Layout since the last doubling fragments only by the splits that
+        // followed it: each breaks at most 3 boundaries on top of the
+        // irreducible fan-in floor (`ideal = slots − buckets + 1`).
+        let layout = eh.layout_vmas().unwrap();
+        let bound = eh.ideal_layout_vmas() + 3 * eh.splits_since_compaction() as usize;
+        assert!(
+            layout <= bound,
+            "{layout} VMAs > ideal {} + 3×{} splits",
+            eh.ideal_layout_vmas(),
+            eh.splits_since_compaction()
+        );
+    }
+
+    #[test]
+    fn incremental_plan_converges_and_frees_tail() {
+        let mut eh = small();
+        for k in 0..10_000u64 {
+            eh.insert(k, k + 1).unwrap();
+        }
+        let before = eh.layout_vmas().unwrap();
+        eh.start_compaction_plan().unwrap();
+        assert!(eh.compaction_plan_active());
+        let mut steps = 0;
+        while eh.compaction_plan_active() {
+            let moved = eh.compact_step(7).unwrap();
+            assert!(moved > 0 || !eh.compaction_plan_active());
+            steps += 1;
+            assert!(steps < 100_000, "plan never converged");
+        }
+        assert_eq!(eh.stats().compactions, 1);
+        assert_eq!(eh.stats().pages_moved as usize, eh.bucket_count());
+        assert_eq!(eh.layout_vmas().unwrap(), eh.ideal_layout_vmas());
+        assert!(eh.layout_vmas().unwrap() < before);
+        for k in 0..10_000u64 {
+            assert_eq!(eh.get(k), Some(k + 1), "key {k}");
+        }
+        // Inserting on (splitting) after the pass stays correct.
+        for k in 10_000..12_000u64 {
+            eh.insert(k, k + 1).unwrap();
+        }
+        for k in 0..12_000u64 {
+            assert_eq!(eh.get(k), Some(k + 1), "key {k}");
+        }
+    }
+
+    #[test]
+    fn splits_during_plan_cannot_overrun_the_target_run() {
+        // Splits ahead of the cursor create more covering ranges than the
+        // plan pre-allocated target pages; the step must abandon the pass
+        // rather than relocate into a page beyond the run (which is
+        // typically a freshly split *live* bucket — moving onto it would
+        // silently clobber its entries).
+        let mut eh = small();
+        let mut k = 0u64;
+        for _ in 0..10_000u64 {
+            eh.insert(k, k ^ 7).unwrap();
+            k += 1;
+        }
+        // Start the plan right after a doubling: the next doubling (which
+        // would abort the plan before the overrun can occur) is then a
+        // full depth-generation away, leaving maximal room for splits to
+        // outgrow the plan's pre-sized target run.
+        let doublings = eh.stats().doublings;
+        while eh.stats().doublings == doublings {
+            eh.insert(k, k ^ 7).unwrap();
+            k += 1;
+        }
+        eh.start_compaction_plan().unwrap();
+        // Drain the free queue so split allocations land in freshly grown
+        // pages immediately *past* the target run — exactly the dst an
+        // unguarded overrun would relocate onto.
+        let file_pages = eh.pool.file_pages();
+        while eh.pool.file_pages() == file_pages {
+            eh.pool.alloc_page().unwrap();
+        }
+        let mut rounds = 0;
+        while eh.compaction_plan_active() {
+            for _ in 0..50 {
+                eh.insert(k, k ^ 7).unwrap();
+                k += 1;
+            }
+            eh.compact_step(2).unwrap();
+            rounds += 1;
+            assert!(rounds < 1_000_000, "plan neither finished nor aborted");
+        }
+        // Every entry — including those inserted into buckets that split
+        // while the plan was running — survives intact.
+        for x in 0..k {
+            assert_eq!(eh.get(x), Some(x ^ 7), "key {x}");
+        }
+        eh.reclaim_retired_pages();
+        assert_eq!(eh.pool.retired_page_count(), 0);
+    }
+
+    #[test]
+    fn doubling_aborts_incremental_plan() {
+        let mut eh = small();
+        for k in 0..5_000u64 {
+            eh.insert(k, k).unwrap();
+        }
+        eh.start_compaction_plan().unwrap();
+        eh.compact_step(3).unwrap();
+        let allocated = eh.pool.allocated_pages();
+        // Force growth through a doubling.
+        let doublings = eh.stats().doublings;
+        let mut k = 5_000u64;
+        while eh.stats().doublings == doublings {
+            eh.insert(k, k).unwrap();
+            k += 1;
+        }
+        assert!(!eh.compaction_plan_active(), "doubling must abort the plan");
+        // The aborted plan's unclaimed target pages were returned (modulo
+        // pages the new splits allocated meanwhile, and retired sources
+        // still awaiting reclaim).
+        eh.reclaim_retired_pages();
+        assert!(eh.pool.allocated_pages() < allocated + (k - 5_000) as usize);
+        for x in 0..k {
+            assert_eq!(eh.get(x), Some(x), "key {x}");
+        }
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub mod traits;
 
 pub use bucket::{BucketRef, InsertOutcome, BUCKET_CAPACITY};
 pub use chained::{ChConfig, ChainedHash};
-pub use eh::{DirEvent, EhConfig, ExtendibleHash};
+pub use eh::{CompactionOutcome, DirEvent, EhConfig, ExtendibleHash};
 pub use error::IndexError;
 pub use hash::{bucket_slot_hash, dir_slot, mult_hash};
 pub use ht::{HashTable, HtConfig};

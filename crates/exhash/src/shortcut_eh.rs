@@ -28,12 +28,12 @@
 //! while those shared borrows are alive.
 
 use crate::bucket::BucketRef;
-use crate::eh::{DirEvent, EhConfig, ExtendibleHash};
+use crate::eh::{CompactionOutcome, DirEvent, EhConfig, ExtendibleHash};
 use crate::error::IndexError;
 use crate::hash::{dir_slot, mult_hash};
 use crate::stats::IndexStats;
 use crate::traits::Index;
-use shortcut_core::{MaintConfig, MaintRequest, Maintainer, RoutePolicy};
+use shortcut_core::{CompactionPolicy, MaintConfig, MaintRequest, Maintainer, RoutePolicy};
 use shortcut_rewire::{RetireList, PAGE_SIZE_4K};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -69,6 +69,18 @@ pub struct ShortcutEh {
     /// dereference of the published shortcut base, so the mapper's
     /// reclamation never unmaps a retired directory under a reader.
     retire: Arc<RetireList>,
+    /// Bucket-layout compaction policy (mirrored into the inner EH; the
+    /// mapper raises the trigger flag, the write path here runs the
+    /// moves).
+    compaction: CompactionPolicy,
+    /// Split count below which a triggered compaction is not attempted
+    /// again (paces passes and prevents futile re-runs on fan-in-heavy
+    /// directories whose layout cannot shrink).
+    next_compaction_splits: u64,
+    /// Shorter cadence used while suspended or under footprint pressure
+    /// (bounds the cost of repeated republish probes without delaying
+    /// recovery by a full amortization pace).
+    next_urgent_splits: u64,
 }
 
 impl ShortcutEh {
@@ -87,16 +99,27 @@ impl ShortcutEh {
     /// panic when `vm.max_map_count` or the view reservation ran out.
     pub fn try_new(mut cfg: ShortcutEhConfig) -> Result<Self, IndexError> {
         cfg.eh.track_events = true;
-        let eh = ExtendibleHash::try_new(cfg.eh)?;
+        // One source of truth for the compaction policy: the maintenance
+        // config. The inner EH needs a copy so rebuild-time compaction
+        // runs inside its directory-doubling path.
+        cfg.eh.compaction = cfg.maint.compaction;
+        let compaction = cfg.maint.compaction;
+        let mut eh = ExtendibleHash::try_new(cfg.eh)?;
         let handle = eh.pool_handle();
         let retire = Arc::clone(handle.retire_list());
         let maint = Maintainer::spawn(handle, cfg.maint);
+        // Write-path compaction work (page moves) mirrors into the
+        // mapper's metrics so one snapshot tells the whole story.
+        eh.set_maint_metrics(maint.metrics_handle());
         let this = ShortcutEh {
             maint,
             eh,
             policy: cfg.policy,
             counters: RouteCounters::default(),
             retire,
+            compaction,
+            next_compaction_splits: 0,
+            next_urgent_splits: 0,
         };
         // Publish the initial single-slot directory so the shortcut can
         // serve reads before the first doubling.
@@ -218,7 +241,12 @@ impl ShortcutEh {
                         version: v,
                     });
                 }
-                DirEvent::Doubled { slots, assignments } => {
+                // Both a doubling and a full-pass compaction supersede
+                // every pending update and require a full rebuild; after a
+                // compaction the assignment is an identity run the rebuild
+                // coalesces into a handful of mmap calls.
+                DirEvent::Doubled { slots, assignments }
+                | DirEvent::Rebuilt { slots, assignments } => {
                     // Paper: pending updates became outdated; drop them
                     // before enqueueing the create.
                     self.maint.drop_pending();
@@ -231,6 +259,206 @@ impl ShortcutEh {
                 }
             }
         }
+    }
+
+    /// Minimum splits between triggered compaction attempts.
+    const COMPACTION_SPLIT_INTERVAL: u64 = 64;
+
+    /// Splits that must elapse before the next compaction attempt: at
+    /// least the flat interval, and at least a quarter of the bucket
+    /// count — a pass costs one page move per bucket, so this bounds the
+    /// background overhead at ~4 amortized moves per split regardless of
+    /// scale.
+    fn compaction_pace(&self) -> u64 {
+        Self::COMPACTION_SPLIT_INTERVAL.max(self.eh.bucket_count() as u64 / 4)
+    }
+
+    /// Hand the mapper a fresh full-directory announcement targeting a
+    /// footprint of at most `target` VMAs, at the **finest** published
+    /// depth any layout affords (finer depth = more buckets resolvable =
+    /// more shortcut-served keys). Event-only when the current physical
+    /// placement already achieves that depth; a physical directory-order
+    /// pass when a freshly sorted layout publishes finer; a counted skip
+    /// when no depth of any layout can fit.
+    fn republish_or_compact(
+        &mut self,
+        target: usize,
+        improve_below: Option<u32>,
+        count_skip: bool,
+    ) {
+        let shifts = 0..=shortcut_core::MAX_PUBLISH_SHIFT.min(self.eh.dir_slots().trailing_zeros());
+        let best_current = shifts.clone().find(|&s| {
+            self.eh
+                .layout_vmas_at(s)
+                .is_ok_and(|planned| planned <= target)
+        });
+        let best_ideal = shifts
+            .clone()
+            .find(|&s| self.eh.ideal_layout_vmas_at(s) <= target);
+        // For voluntary service recovery, only act when the achievable
+        // published depth is strictly finer than what is live now.
+        if let Some(bound) = improve_below {
+            let best = best_current
+                .unwrap_or(u32::MAX)
+                .min(best_ideal.unwrap_or(u32::MAX));
+            if best >= bound {
+                return;
+            }
+        }
+        match (best_current, best_ideal) {
+            // A pass buys a finer published depth than the placement we
+            // already have — pay for the moves.
+            (cur, Some(ideal)) if ideal < cur.unwrap_or(u32::MAX) => {
+                if self.eh.compact_full().is_err() {
+                    self.eh.note_compaction_skipped();
+                }
+            }
+            // The current placement is already as finely publishable as a
+            // fresh sort would be: just re-announce it.
+            (Some(_), _) => {
+                let _ = self.eh.emit_rebuilt_event();
+            }
+            // Genuinely over `target` at any depth of any layout; further
+            // growth shrinks the irreducible footprint (each split
+            // retires one aliased slot pair), so a later attempt can
+            // succeed.
+            (None, _) => {
+                if count_skip {
+                    self.eh.note_compaction_skipped();
+                }
+            }
+        }
+    }
+
+    /// React to the mapper's compaction signals on the write path — the
+    /// only place bucket pages can be relocated without tearing a reader:
+    ///
+    /// * step an in-flight incremental plan;
+    /// * **rescue** a budget-suspended shortcut by re-announcing /
+    ///   re-sorting once some published depth fits again;
+    /// * **repair** a fragmenting live directory when the mapper raises
+    ///   the trigger flag — incrementally while published at full depth,
+    ///   via the republish ladder when published coarse (an unaffordable
+    ///   publish depth cannot be fixed in place) or when footprint
+    ///   pressure is urgent.
+    fn maybe_compact(&mut self) {
+        if !self.compaction.enabled() {
+            return;
+        }
+        if self.eh.compaction_plan_active() {
+            // A failed move aborted the plan inside compact_step (already
+            // counted as skipped); the index stays fully consistent.
+            let _ = self.eh.compact_step(self.compaction.background_moves);
+            return;
+        }
+        // Everything below first passes cheap gates (plain counters and
+        // atomics); the budget is only read (atomically, via
+        // `ExtendibleHash::vma_budget`) once an action is actually due —
+        // this runs on every insert.
+        let splits = self.eh.stats().splits;
+        if self.maint.state().suspended() {
+            if splits < self.next_urgent_splits {
+                return;
+            }
+            self.next_urgent_splits = splits + Self::COMPACTION_SPLIT_INTERVAL;
+            let limit = self.eh.vma_budget().limit();
+            let admitted = limit.saturating_sub(shortcut_core::maintenance::budget_headroom(limit));
+            self.republish_or_compact(admitted, None, true);
+            return;
+        }
+        let dir_slots = self.eh.dir_slots();
+        let published_slots = self.maint.state().published_slots();
+        let coarse = published_slots != 0 && published_slots < dir_slots;
+        // Service recovery: a coarse publish resolves only the shallow
+        // buckets; once the fan-in has shrunk enough that a finer depth
+        // is affordable, re-announce (or re-sort) at that depth. Runs on
+        // the urgent cadence — service is degraded meanwhile — but acts
+        // only when the published depth actually improves.
+        if coarse && splits >= self.next_urgent_splits {
+            self.next_urgent_splits = splits + Self::COMPACTION_SPLIT_INTERVAL;
+            let published_shift = (dir_slots / published_slots).trailing_zeros();
+            let limit = self.eh.vma_budget().limit();
+            self.republish_or_compact(limit / 2, Some(published_shift), false);
+            return;
+        }
+        if self.compaction.background_moves == 0 || !self.maint.state().compaction_wanted() {
+            return;
+        }
+        if splits < self.next_urgent_splits && splits < self.next_compaction_splits {
+            return;
+        }
+        // Amortization pace bounds background copy bandwidth — but when
+        // the footprint has grown past half the budget, VMA headroom
+        // matters more than copy bandwidth, so repair on the (shorter)
+        // urgent cadence.
+        let budget = std::sync::Arc::clone(self.eh.vma_budget());
+        let limit = budget.limit();
+        let urgent = budget.in_use() * 2 > limit;
+        if urgent {
+            if splits < self.next_urgent_splits {
+                return;
+            }
+            self.next_urgent_splits = splits + Self::COMPACTION_SPLIT_INTERVAL;
+            // Re-publish at the best depth the budget affords, comfortably
+            // below the limit so the next splits have room to fragment.
+            self.next_compaction_splits = splits + self.compaction_pace();
+            self.republish_or_compact(limit / 2, None, true);
+            return;
+        }
+        if splits < self.next_compaction_splits {
+            return;
+        }
+        self.next_compaction_splits = splits + self.compaction_pace();
+        // Published at full depth under no pressure: repair in place,
+        // incrementally, if the saving justifies the pass's cost (one
+        // move per bucket).
+        let ideal = self.eh.ideal_layout_vmas();
+        let min_saving = (Self::COMPACTION_SPLIT_INTERVAL as usize).max(self.eh.bucket_count() / 8);
+        let worthwhile = self
+            .eh
+            .layout_vmas()
+            .is_ok_and(|planned| planned.saturating_sub(ideal) >= min_saving);
+        if !worthwhile {
+            self.eh.note_compaction_skipped();
+            return;
+        }
+        if self.eh.start_compaction_plan().is_err() {
+            // No room for the target run (view capacity): keep serving
+            // with the fragmented layout.
+            self.eh.note_compaction_skipped();
+        }
+    }
+
+    /// Relocate every bucket page into directory order now, in one
+    /// synchronous pass, and hand the resulting identity rebuild to the
+    /// mapper. See [`ExtendibleHash::compact_full`]; the returned outcome
+    /// reports the planned-VMA estimate before and after.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool failures (typically: no room for the contiguous
+    /// target run). The index stays fully consistent and keeps answering.
+    pub fn compact(&mut self) -> Result<CompactionOutcome, IndexError> {
+        let r = self.eh.compact_full();
+        // Relay even on failure: a partial pass emits a Rebuilt event
+        // carrying the current truth.
+        self.relay_events();
+        r
+    }
+
+    /// Planned-VMA estimate of the current bucket layout (`O(slots)`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-invariant violations as [`IndexError::Pool`].
+    pub fn layout_vmas(&self) -> Result<usize, IndexError> {
+        self.eh.layout_vmas()
+    }
+
+    /// `slots − buckets + 1`: the footprint of a perfectly compacted
+    /// layout.
+    pub fn ideal_layout_vmas(&self) -> usize {
+        self.eh.ideal_layout_vmas()
     }
 
     /// Attempt the lookup through the shortcut directory. The outer `None`
@@ -270,6 +498,15 @@ impl ShortcutEh {
         // area but reclamation waits for `_pin` to drop, so the page stays
         // readable (stale data is discarded by the ticket below).
         let bucket = unsafe { BucketRef::from_ptr(t.base.add(slot * PAGE_SIZE_4K)) };
+        // The shortcut may be published at a coarser depth than the
+        // traditional directory (VMA-budget admission). A bucket deeper
+        // than the published depth shares its slot with a sibling and is
+        // not resolvable here — serve that key traditionally. (A torn
+        // read of the depth field is fine: the ticket check below
+        // discards any value read across a racing modification.)
+        if bucket.local_depth() > g {
+            return None;
+        }
         let result = bucket.get(key);
         if self.maint.state().still_valid(t) {
             Some(result)
@@ -282,6 +519,9 @@ impl ShortcutEh {
 impl Index for ShortcutEh {
     fn insert(&mut self, key: u64, value: u64) -> Result<(), IndexError> {
         let r = self.eh.insert(key, value);
+        // Compaction work (trigger reaction / plan stepping) happens
+        // before the relay so its slot updates ride the same submission.
+        self.maybe_compact();
         // Relay even on error: a multi-round split can apply a first round
         // (moving entries and bumping the traditional directory) before a
         // later round fails. Skipping the relay would leave the shortcut
@@ -342,18 +582,30 @@ impl Index for ShortcutEh {
                     debug_assert!(t.slots.is_power_of_two());
                     let g = t.slots.trailing_zeros();
                     let start = out.len();
+                    let mut deep = 0u64;
                     out.extend(chunk.iter().map(|&k| {
                         let slot = dir_slot(mult_hash(k), g);
                         // SAFETY: see `shortcut_get` — slot < t.slots and
                         // the pin defers reclamation of retired areas.
                         let bucket =
                             unsafe { BucketRef::from_ptr(t.base.add(slot * PAGE_SIZE_4K)) };
-                        bucket.get(k)
+                        // Coarsely published directory: over-depth buckets
+                        // are unresolvable here, answer those keys
+                        // traditionally (see `shortcut_get`).
+                        if bucket.local_depth() > g {
+                            deep += 1;
+                            self.eh.get(k)
+                        } else {
+                            bucket.get(k)
+                        }
                     }));
                     if self.maint.state().still_valid(t) {
                         self.counters
                             .shortcut_lookups
-                            .fetch_add(chunk.len() as u64, Ordering::Relaxed);
+                            .fetch_add(chunk.len() as u64 - deep, Ordering::Relaxed);
+                        self.counters
+                            .traditional_lookups
+                            .fetch_add(deep, Ordering::Relaxed);
                         continue;
                     }
                     // The chunk raced a modification; discard it, count
@@ -384,6 +636,9 @@ impl Index for ShortcutEh {
                 self.relay_events();
                 return Err(e);
             }
+            // Keep incremental compaction paced per entry, not per batch:
+            // a giant batch would otherwise stall an in-flight plan.
+            self.maybe_compact();
         }
         self.relay_events();
         Ok(())
@@ -610,6 +865,135 @@ mod tests {
             vma.areas_retired, vma.areas_reclaimed,
             "retired directories must drain once readers are gone: {vma:?}"
         );
+    }
+
+    #[test]
+    fn explicit_compact_collapses_live_vmas() {
+        let mut t = ShortcutEh::try_new(fast_cfg()).unwrap();
+        for k in 0..30_000u64 {
+            t.insert(k, k * 9).unwrap();
+        }
+        assert!(t.wait_sync(Duration::from_secs(10)));
+        let before = t.layout_vmas().unwrap();
+        let ideal = t.ideal_layout_vmas();
+        assert!(before > ideal, "nothing to compact");
+
+        let out = t.compact().unwrap();
+        assert_eq!(out.vmas_before, before);
+        assert_eq!(out.vmas_after, ideal);
+        assert!(
+            t.wait_sync(Duration::from_secs(10)),
+            "rebuild never applied"
+        );
+        // Give the mapper a few ticks to reclaim the superseded directory,
+        // then the budget must reflect the compacted layout (plus the pool
+        // view and small constants).
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while t.vma_stats().retired_areas > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let vma = t.vma_stats();
+        assert!(
+            vma.live_vmas() <= (ideal + 16) as u64,
+            "live estimate did not collapse: {vma:?} (ideal {ideal})"
+        );
+        assert!(t.maint_metrics().pages_moved > 0);
+        assert!(t.maint_metrics().compactions > 0);
+        for k in 0..30_000u64 {
+            assert_eq!(t.get(k), Some(k * 9), "key {k}");
+        }
+        // The shortcut (not the fallback) serves once synced.
+        let served_before = t.stats().shortcut_lookups;
+        for k in 0..1_000u64 {
+            let _ = t.get(k);
+        }
+        assert!(t.stats().shortcut_lookups >= served_before + 900);
+    }
+
+    #[test]
+    fn compaction_keeps_shortcut_served_where_it_used_to_suspend() {
+        // A ~600-mapping budget, far below one-VMA-per-slot scale. Without
+        // compaction, worst-case admission refuses the first ≥600-slot
+        // rebuild for good (PR 3 behavior). With compaction, rebuilds are
+        // admitted at their exact identity footprint — published at a
+        // coarser depth when even that is too aliased — and transient
+        // refusals are rescued by the write path, so the index must end
+        // in sync and shortcut-serving.
+        let n = 100_000u64;
+        let build = |compaction: shortcut_core::CompactionPolicy| {
+            let mut cfg = fast_cfg();
+            cfg.eh.pool.vma_budget = Some(shortcut_rewire::VmaBudget::with_limit(600));
+            cfg.eh.pool.view_capacity_pages = 1 << 17;
+            cfg.maint.compaction = compaction;
+            ShortcutEh::try_new(cfg).unwrap()
+        };
+
+        let mut on = build(shortcut_core::CompactionPolicy::on());
+        let mut k = 0u64;
+        while k < n {
+            for _ in 0..500 {
+                on.insert(k, k + 7).unwrap();
+                k += 1;
+            }
+            let _ = on.wait_sync(Duration::from_secs(10));
+        }
+        // Growth may transit refusals, but each must resolve (coarse
+        // publish or rescue): at rest the index serves via the shortcut.
+        assert!(
+            on.wait_sync(Duration::from_secs(30)),
+            "never back in sync: vma={:?} metrics={:?}",
+            on.vma_stats(),
+            on.maint_metrics()
+        );
+        assert!(!on.shortcut_suspended());
+        assert!(on.maint_error().is_none());
+        let m = on.maint_metrics();
+        assert!(
+            m.creates_coarse > 0,
+            "a 600-mapping budget must have forced coarse publishes: {m:?}"
+        );
+        let vma = on.vma_stats();
+        assert!(vma.in_use <= vma.limit, "{vma:?}");
+        for key in (0..n).step_by(101) {
+            assert_eq!(on.get(key), Some(key + 7), "key {key}");
+        }
+        // In-sync lookups go through the shortcut (over-depth buckets may
+        // fall back per key, but the bulk must be shortcut-served).
+        let served_before = on.stats().shortcut_lookups;
+        let keys: Vec<u64> = (0..4_096u64).collect();
+        let got = on.get_many(&keys);
+        for (i, key) in keys.iter().enumerate() {
+            assert_eq!(got[i], Some(key + 7));
+        }
+        let served = on.stats().shortcut_lookups - served_before;
+        assert!(
+            served > 2_048,
+            "only {served}/4096 batched lookups shortcut-served \
+             (published={:?} dir_slots={} buckets={} metrics={:?})",
+            on.published_state(),
+            on.eh.dir_slots(),
+            on.bucket_count(),
+            on.maint_metrics()
+        );
+
+        // Same budget, compaction off: the worst-case admission refuses at
+        // this scale and stays refused (the A/B baseline).
+        let mut off = build(shortcut_core::CompactionPolicy::disabled());
+        let mut k = 0u64;
+        while k < n {
+            for _ in 0..500 {
+                off.insert(k, k + 7).unwrap();
+                k += 1;
+            }
+            if !off.shortcut_suspended() {
+                let _ = off.wait_sync(Duration::from_secs(10));
+            }
+        }
+        assert!(off.shortcut_suspended(), "worst-case admission must refuse");
+        assert!(off.maint_error().is_none());
+        for key in (0..n).step_by(101) {
+            assert_eq!(off.get(key), Some(key + 7), "key {key}");
+        }
     }
 
     #[test]

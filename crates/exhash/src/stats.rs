@@ -13,6 +13,14 @@ pub struct IndexStats {
     pub migrated_entries: u64,
     /// Overflow chain buckets allocated (CH).
     pub chain_buckets: u64,
+    /// Completed bucket-layout compaction passes (EH family; full
+    /// rebuild-time passes plus finished incremental plans).
+    pub compactions: u64,
+    /// Bucket pages physically relocated into directory order.
+    pub pages_moved: u64,
+    /// Compaction passes skipped (target run did not fit the pool, or the
+    /// layout was already as compact as the fan-in permits).
+    pub compaction_skipped: u64,
     /// Lookups answered via the shortcut directory (Shortcut-EH).
     pub shortcut_lookups: u64,
     /// Lookups answered via the traditional directory (Shortcut-EH).

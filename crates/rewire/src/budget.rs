@@ -199,6 +199,9 @@ pub struct VmaSnapshot {
     /// Mapping-count limit of the budget (`vm.max_map_count` unless
     /// overridden).
     pub limit: u64,
+    /// Estimated VMAs held by retired (superseded, not yet reclaimed)
+    /// areas — the part of `in_use` that drains once readers quiesce.
+    pub retired_vmas: u64,
     /// Retired areas still mapped, waiting for readers to drain.
     pub retired_areas: u64,
     /// Areas handed to the retire list over the pool's lifetime.
@@ -207,6 +210,16 @@ pub struct VmaSnapshot {
     pub areas_reclaimed: u64,
     /// Estimated VMAs those reclaimed areas gave back.
     pub vmas_reclaimed: u64,
+}
+
+impl VmaSnapshot {
+    /// Estimated VMAs held by *live* mappings (the current directory plus
+    /// the pool view): `in_use` minus the retired share. This is the
+    /// number that must stay low for the index to keep fitting under
+    /// `vm.max_map_count` — retired VMAs are transient by construction.
+    pub fn live_vmas(&self) -> u64 {
+        self.in_use.saturating_sub(self.retired_vmas)
+    }
 }
 
 #[cfg(test)]

@@ -37,6 +37,7 @@ fn vma_snapshot(budget: &VmaBudget, retire: &RetireList) -> VmaSnapshot {
     VmaSnapshot {
         in_use: budget.in_use() as u64,
         limit: budget.limit() as u64,
+        retired_vmas: retire.retired_vmas() as u64,
         retired_areas: retire.retired_count() as u64,
         areas_retired,
         areas_reclaimed,
@@ -89,6 +90,11 @@ impl Default for PoolConfig {
 enum PageState {
     Free,
     Allocated,
+    /// Relocated away but not yet reusable: the page keeps its (stale)
+    /// contents until every reader pin taken before its retirement has
+    /// drained, then [`PagePool::reclaim_retired_pages`] frees it. Neither
+    /// allocatable nor freeable in this state.
+    Retired,
 }
 
 /// A shareable, thread-safe handle to the pool's physical memory.
@@ -153,6 +159,10 @@ pub struct PagePool {
     free_queue: VecDeque<usize>,
     state: Vec<PageState>,
     allocated: usize,
+    /// Pages relocated away by compaction, stamped with the retirement
+    /// epoch at which they became unreachable. Freed (as runs) by
+    /// [`PagePool::reclaim_retired_pages`] once readers quiesce.
+    retired_pages: Vec<(u64, usize)>,
     stats: Arc<RewireStats>,
     budget: Arc<VmaBudget>,
     retire: Arc<RetireList>,
@@ -209,6 +219,7 @@ impl PagePool {
             free_queue: VecDeque::new(),
             state: Vec::new(),
             allocated: 0,
+            retired_pages: Vec::new(),
             stats,
             budget,
             retire: Arc::new(RetireList::new()),
@@ -300,27 +311,68 @@ impl PagePool {
     }
 
     /// Allocate `n` physically **contiguous** pages (contiguous in file
-    /// offsets). Always carves them from fresh space at the end of the file,
-    /// so the run can later be rewired with a single `mmap` call.
+    /// offsets), so the run can later be rewired with a single `mmap` call.
+    ///
+    /// Prefers the first free span of `n` pages already inside the file
+    /// (compaction allocates a bucket-count-sized run per pass; without
+    /// reuse of the span the previous pass freed, the file would grow by
+    /// that much every time) and carves fresh space from the end of the
+    /// file only when no span fits. Reused spans read as zeros, like
+    /// fresh ones.
     pub fn alloc_run(&mut self, n: usize) -> Result<PageIdx> {
         if n == 0 {
             return Err(Error::invalid("alloc_run of zero pages"));
         }
-        let start = self.file_pages;
-        self.grow_to(start + n)?;
-        // grow_to pushed [start, start+grown) into the free queue; claim the
-        // first n and leave the rest queued.
+        let start = match self.find_free_run(n) {
+            Some(start) => {
+                // Reset the reused span to zeros (releasing any stale
+                // physical pages); fall back to an explicit clear where
+                // hole punching is unsupported.
+                if self
+                    .file
+                    .punch_hole(start * page_size(), n * page_size())
+                    .is_err()
+                {
+                    // SAFETY: in-bounds span of the mapped linear view.
+                    unsafe {
+                        std::ptr::write_bytes(self.page_ptr(PageIdx(start)), 0, n * page_size());
+                    }
+                }
+                start
+            }
+            None => {
+                let start = self.file_pages;
+                self.grow_to(start + n)?;
+                start
+            }
+        };
         for i in start..start + n {
             debug_assert_eq!(self.state[i], PageState::Free);
             self.state[i] = PageState::Allocated;
         }
-        // Remove the claimed indices from the queue tail region. They were
-        // appended just now, so drain by filtering the last grown chunk.
+        // Remove the claimed indices from the free queue (they were either
+        // just appended by grow_to or left over from earlier frees).
         self.free_queue
             .retain(|&i| !(start..start + n).contains(&i));
         self.allocated += n;
         self.stats.count_alloc(n as u64);
         Ok(PageIdx(start))
+    }
+
+    /// First free span of `n` contiguous pages inside the file, if any.
+    fn find_free_run(&self, n: usize) -> Option<usize> {
+        let mut run = 0usize;
+        for i in 0..self.file_pages {
+            if self.state[i] == PageState::Free {
+                run += 1;
+                if run == n {
+                    return Some(i + 1 - n);
+                }
+            } else {
+                run = 0;
+            }
+        }
+        None
     }
 
     /// Return a page to the pool. Shrinks the file if the freed page(s) sit
@@ -355,6 +407,157 @@ impl PagePool {
             self.shrink_tail()?;
         }
         Ok(())
+    }
+
+    /// Free `n` contiguous pages `[start, start + n)` as one run: every
+    /// page is returned to the allocator and the run's physical memory is
+    /// released with a **single** `FALLOC_FL_PUNCH_HOLE` call, instead of
+    /// the per-page hole punching of [`PagePool::reclaim_free_pages`].
+    ///
+    /// Unlike [`PagePool::free_page`] this never truncates the file:
+    /// compaction frees pages that retired shortcut directories may still
+    /// map, and a punched hole reads as zeros where a truncated range
+    /// would `SIGBUS` a straggling (ticket-discarded) reader. The hole
+    /// punch is best-effort — hosts without memfd hole support merely
+    /// keep the physical pages until reuse.
+    ///
+    /// # Errors
+    ///
+    /// Rejects the run (without freeing anything) if any page is out of
+    /// range or not currently allocated.
+    pub fn free_run(&mut self, start: PageIdx, n: usize) -> Result<()> {
+        if n == 0 {
+            return Err(Error::invalid("free_run of zero pages"));
+        }
+        if start.0 + n > self.file_pages {
+            return Err(Error::BadPageRef {
+                page: start.0 + n - 1,
+                what: "beyond end of pool",
+            });
+        }
+        // Validate the whole run before mutating any state, so a bad run
+        // is rejected atomically.
+        for i in start.0..start.0 + n {
+            if self.state[i] != PageState::Allocated {
+                return Err(Error::BadPageRef {
+                    page: i,
+                    what: "double free",
+                });
+            }
+        }
+        for i in start.0..start.0 + n {
+            self.state[i] = PageState::Free;
+            self.free_queue.push_back(i);
+        }
+        self.allocated -= n;
+        self.stats.count_free(n as u64);
+        let _ = self.file.punch_hole(start.byte_offset(), n * page_size());
+        Ok(())
+    }
+
+    /// Copy the contents of pool page `src` into pool page `dst` (both
+    /// must be allocated). This is the physical half of bucket-page
+    /// relocation: the caller then redirects its directory slots to `dst`
+    /// and hands `src` to [`PagePool::retire_page`] so concurrent pinned
+    /// readers — which may still dereference `src` through a retired
+    /// shortcut directory — never observe the page being reused while
+    /// they could read it.
+    pub fn relocate_page(&mut self, src: PageIdx, dst: PageIdx) -> Result<()> {
+        for (p, what) in [(src, "relocate source"), (dst, "relocate target")] {
+            if p.0 >= self.file_pages {
+                return Err(Error::BadPageRef {
+                    page: p.0,
+                    what: "beyond end of pool",
+                });
+            }
+            if self.state[p.0] != PageState::Allocated {
+                return Err(Error::BadPageRef { page: p.0, what });
+            }
+        }
+        if src == dst {
+            return Err(Error::invalid("relocate_page onto itself"));
+        }
+        // SAFETY: both pages are in-bounds, allocated, and distinct; the
+        // linear view maps the whole file read/write.
+        unsafe {
+            std::ptr::copy_nonoverlapping(self.page_ptr(src), self.page_ptr(dst), page_size());
+        }
+        Ok(())
+    }
+
+    /// Retire an allocated page: it stops being the caller's storage but
+    /// is **not** returned to the allocator yet. The page keeps its
+    /// contents (readable by pinned stragglers through retired shortcut
+    /// directories) until a [`PagePool::reclaim_retired_pages`] call
+    /// observes every reader pin taken before this retirement drained —
+    /// the same epoch machinery [`RetireList`] uses for whole areas.
+    /// Returns the stamped epoch.
+    pub fn retire_page(&mut self, page: PageIdx) -> Result<u64> {
+        if page.0 >= self.file_pages {
+            return Err(Error::BadPageRef {
+                page: page.0,
+                what: "beyond end of pool",
+            });
+        }
+        if self.state[page.0] != PageState::Allocated {
+            return Err(Error::BadPageRef {
+                page: page.0,
+                what: "retire of unallocated page",
+            });
+        }
+        self.state[page.0] = PageState::Retired;
+        let epoch = self.retire.advance_epoch();
+        self.retired_pages.push((epoch, page.0));
+        Ok(epoch)
+    }
+
+    /// Free every retired page whose retirement epoch is covered by one
+    /// reader-quiescence scan, coalescing adjacent pages into
+    /// [`PagePool::free_run`]-style single hole punches. Returns the
+    /// number of pages freed (0 while readers keep a stripe busy — retry
+    /// later; reclamation is only ever delayed, never lost).
+    pub fn reclaim_retired_pages(&mut self) -> usize {
+        if self.retired_pages.is_empty() {
+            return 0;
+        }
+        let Some(safe_epoch) = self.retire.quiescent_epoch() else {
+            return 0;
+        };
+        let mut ready: Vec<usize> = Vec::new();
+        self.retired_pages.retain(|&(epoch, page)| {
+            if epoch <= safe_epoch {
+                ready.push(page);
+                false
+            } else {
+                true
+            }
+        });
+        ready.sort_unstable();
+        let freed = ready.len();
+        let mut i = 0;
+        while i < freed {
+            let mut j = i + 1;
+            while j < freed && ready[j] == ready[j - 1] + 1 {
+                j += 1;
+            }
+            let (start, n) = (ready[i], j - i);
+            for p in start..start + n {
+                debug_assert_eq!(self.state[p], PageState::Retired);
+                self.state[p] = PageState::Free;
+                self.free_queue.push_back(p);
+            }
+            self.allocated -= n;
+            self.stats.count_free(n as u64);
+            let _ = self.file.punch_hole(start * page_size(), n * page_size());
+            i = j;
+        }
+        freed
+    }
+
+    /// Pages currently retired (relocated away, awaiting reader drain).
+    #[inline]
+    pub fn retired_page_count(&self) -> usize {
+        self.retired_pages.len()
     }
 
     /// Truncate away all trailing free pages (but never below the threshold).
@@ -397,16 +600,29 @@ impl PagePool {
 
     /// Best-effort release of the physical memory behind all currently
     /// free pages (hole punching). The pages stay allocatable — they
-    /// re-materialize as zero pages on next use. Returns the number of
-    /// pages whose memory was reclaimed, or 0 if the host does not support
-    /// `FALLOC_FL_PUNCH_HOLE` on memfds.
+    /// re-materialize as zero pages on next use. Maximal runs of free
+    /// pages are punched with a single `fallocate` call each. Returns the
+    /// number of pages whose memory was reclaimed, or 0 if the host does
+    /// not support `FALLOC_FL_PUNCH_HOLE` on memfds.
     pub fn reclaim_free_pages(&mut self) -> usize {
         let mut reclaimed = 0;
-        for i in 0..self.file_pages {
-            if self.state[i] == PageState::Free
-                && self.file.punch_hole(i * page_size(), page_size()).is_ok()
+        let mut i = 0;
+        while i < self.file_pages {
+            if self.state[i] != PageState::Free {
+                i += 1;
+                continue;
+            }
+            let start = i;
+            while i < self.file_pages && self.state[i] == PageState::Free {
+                i += 1;
+            }
+            let n = i - start;
+            if self
+                .file
+                .punch_hole(start * page_size(), n * page_size())
+                .is_ok()
             {
-                reclaimed += 1;
+                reclaimed += n;
             }
         }
         reclaimed
@@ -695,6 +911,124 @@ mod tests {
                 assert_eq!(*ptr.add(i), 0, "reclaimed page not zero at {i}");
             }
         }
+    }
+
+    #[test]
+    fn free_run_frees_all_pages_at_once() {
+        let mut p = small_pool();
+        let start = p.alloc_run(6).unwrap();
+        assert_eq!(p.allocated_pages(), 6);
+        p.free_run(start, 6).unwrap();
+        assert_eq!(p.allocated_pages(), 0);
+        // Every page is individually reusable afterwards.
+        for _ in 0..6 {
+            let pg = p.alloc_page().unwrap();
+            assert!(pg.0 < p.file_pages());
+        }
+    }
+
+    #[test]
+    fn free_run_rejects_partial_runs_atomically() {
+        let mut p = small_pool();
+        let start = p.alloc_run(4).unwrap();
+        p.free_page(PageIdx(start.0 + 2)).unwrap();
+        // A run containing a free page is rejected without freeing the
+        // allocated ones around it.
+        assert!(matches!(
+            p.free_run(start, 4),
+            Err(Error::BadPageRef {
+                what: "double free",
+                ..
+            })
+        ));
+        assert_eq!(p.allocated_pages(), 3);
+        assert!(p.free_run(PageIdx(9990), 4).is_err());
+        assert!(p.free_run(start, 0).is_err());
+    }
+
+    #[test]
+    fn alloc_run_reuses_freed_spans() {
+        let mut p = small_pool();
+        let a = p.alloc_run(5).unwrap();
+        let pages_after_first = p.file_pages();
+        unsafe {
+            *(p.page_ptr(a) as *mut u64) = 0xDEAD;
+        }
+        p.free_run(a, 5).unwrap();
+        // The next run of the same size must reuse a span inside the
+        // existing file instead of growing it, and must read as zeros.
+        let b = p.alloc_run(5).unwrap();
+        assert!(b.0 + 5 <= pages_after_first, "run {b} did not reuse");
+        assert_eq!(p.file_pages(), pages_after_first);
+        for i in 0..5 * page_size() {
+            unsafe {
+                assert_eq!(*p.page_ptr(b).add(i), 0, "reused run dirty at {i}");
+            }
+        }
+        // A larger run does not fit the span and grows instead.
+        let c = p.alloc_run(6).unwrap();
+        assert!(c.0 >= pages_after_first || c.0 != b.0);
+    }
+
+    #[test]
+    fn relocate_page_copies_contents() {
+        let mut p = small_pool();
+        let src = p.alloc_page().unwrap();
+        let dst = p.alloc_page().unwrap();
+        unsafe {
+            for i in 0..page_size() / 8 {
+                *(p.page_ptr(src) as *mut u64).add(i) = 7000 + i as u64;
+            }
+        }
+        p.relocate_page(src, dst).unwrap();
+        unsafe {
+            for i in 0..page_size() / 8 {
+                assert_eq!(*(p.page_ptr(dst) as *const u64).add(i), 7000 + i as u64);
+            }
+        }
+        // Source keeps its contents (readable until retired + reclaimed).
+        unsafe {
+            assert_eq!(*(p.page_ptr(src) as *const u64), 7000);
+        }
+        // Invalid relocations are rejected.
+        assert!(p.relocate_page(src, src).is_err());
+        let free = p.alloc_page().unwrap();
+        p.free_page(free).unwrap();
+        assert!(p.relocate_page(src, free).is_err());
+        assert!(p.relocate_page(PageIdx(9999), dst).is_err());
+    }
+
+    #[test]
+    fn retired_pages_wait_for_reader_pins() {
+        let mut p = small_pool();
+        let retire = Arc::clone(p.retire_list());
+        let a = p.alloc_page().unwrap();
+        let b = p.alloc_page().unwrap();
+        unsafe {
+            *(p.page_ptr(a) as *mut u64) = 41;
+        }
+
+        // A reader pins before the retirement; the page must stay intact
+        // and unreusable until the pin drains.
+        let pin = retire.pin();
+        p.retire_page(a).unwrap();
+        p.retire_page(b).unwrap();
+        assert_eq!(p.retired_page_count(), 2);
+        assert_eq!(p.reclaim_retired_pages(), 0, "must not free under a pin");
+        unsafe {
+            assert_eq!(*(p.page_ptr(a) as *const u64), 41);
+        }
+        // Retired pages cannot be double-retired or freed.
+        assert!(p.retire_page(a).is_err());
+        assert!(p.free_page(a).is_err());
+
+        drop(pin);
+        assert_eq!(p.reclaim_retired_pages(), 2);
+        assert_eq!(p.retired_page_count(), 0);
+        // Both pages are allocatable again.
+        let c = p.alloc_page().unwrap();
+        let d = p.alloc_page().unwrap();
+        assert!([a, b].contains(&c) || [a, b].contains(&d));
     }
 
     #[test]

@@ -137,21 +137,29 @@ impl RetireList {
     /// it first (no new reader can obtain its base). Returns the retirement
     /// epoch stamped onto the area.
     pub fn retire(&self, area: VirtArea) -> u64 {
-        let epoch = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        let epoch = self.advance_epoch();
         self.areas_retired.fetch_add(1, Ordering::Relaxed);
         self.retired.lock().unwrap().push(Retired { epoch, area });
         epoch
     }
 
-    /// Attempt to reclaim every area whose retirement epoch is covered by a
-    /// full reader-quiescence scan. Returns the number of areas unmapped
-    /// (0 when readers kept a stripe busy — retry on the next tick).
-    pub fn try_reclaim(&self) -> usize {
-        if self.retired_count() == 0 {
-            return 0;
-        }
+    /// Advance the retirement epoch and return the new value, without
+    /// retiring an area. Used by [`crate::PagePool::retire_page`], which
+    /// stamps relocated *bucket pages* with the same epoch stream so that
+    /// a page is only returned to the allocator once every reader pin
+    /// taken before its retirement has drained.
+    pub fn advance_epoch(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// Run one reader-quiescence scan: snapshot the epoch, then observe
+    /// every reader stripe at zero (each at its own moment, with bounded
+    /// spinning). On success, everything retired at or before the returned
+    /// epoch is unreachable; `None` means a reader kept a stripe busy —
+    /// retry on the next tick.
+    pub fn quiescent_epoch(&self) -> Option<u64> {
         // Everything retired up to here is reclaimable *if* the scan below
-        // completes: those areas were unpublished before this load.
+        // completes: those retirements were unpublished before this load.
         let safe_epoch = self.epoch.load(Ordering::SeqCst);
         // Reclaimer half of the Dekker pattern with the SeqCst increment
         // in `pin` (see there): order the epoch snapshot and everything
@@ -161,15 +169,28 @@ impl RetireList {
             let mut spins = 0;
             // Acquire: observing zero synchronizes with the Release
             // decrement of every drained reader, ordering their loads
-            // before the munmap.
+            // before the munmap / page reuse.
             while stripe.0.load(Ordering::Acquire) != 0 {
                 spins += 1;
                 if spins > SCAN_SPINS {
-                    return 0; // readers still in flight; retry later
+                    return None; // readers still in flight; retry later
                 }
                 std::hint::spin_loop();
             }
         }
+        Some(safe_epoch)
+    }
+
+    /// Attempt to reclaim every area whose retirement epoch is covered by a
+    /// full reader-quiescence scan. Returns the number of areas unmapped
+    /// (0 when readers kept a stripe busy — retry on the next tick).
+    pub fn try_reclaim(&self) -> usize {
+        if self.retired_count() == 0 {
+            return 0;
+        }
+        let Some(safe_epoch) = self.quiescent_epoch() else {
+            return 0;
+        };
         let drained: Vec<Retired> = {
             let mut list = self.retired.lock().unwrap();
             let mut keep = Vec::new();
@@ -197,6 +218,18 @@ impl RetireList {
     /// Retired areas still mapped.
     pub fn retired_count(&self) -> usize {
         self.retired.lock().unwrap().len()
+    }
+
+    /// Estimated VMAs currently held by retired (not yet reclaimed) areas.
+    /// Together with [`crate::VmaBudget::in_use`] this yields the
+    /// live-vs-retired split surfaced in [`crate::VmaSnapshot`].
+    pub fn retired_vmas(&self) -> usize {
+        self.retired
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|r| r.area.vma_estimate())
+            .sum()
     }
 
     /// `(areas_retired, areas_reclaimed, vmas_reclaimed)` lifetime totals.

@@ -4,30 +4,49 @@
 //!
 //! ```bash
 //! cargo run --release --example mixed_workload
+//! # scale and policy knobs (CI stress uses 4M + compaction + assert):
+//! MIXED_WORKLOAD_ENTRIES=4000000 MIXED_WORKLOAD_ASSERT_SHORTCUT=1 \
+//!     cargo run --release --example mixed_workload
+//! MIXED_WORKLOAD_COMPACTION=off cargo run --release --example mixed_workload
 //! ```
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::{Duration, Instant};
-use taking_the_shortcut::{IndexError, ShortcutIndex};
+use taking_the_shortcut::{CompactionPolicy, IndexError, ShortcutIndex};
 
 fn main() -> Result<(), IndexError> {
-    let mut index = ShortcutIndex::builder().capacity(2_200_000).build()?;
+    let entries: u64 = std::env::var("MIXED_WORKLOAD_ENTRIES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000_000);
+    // Directory-order compaction is on by default: it is what keeps the
+    // directory's mapping footprint inside the stock vm.max_map_count
+    // budget at millions of keys. `off` restores the PR 3 behavior
+    // (worst-case admission; large directories suspend the shortcut).
+    let compaction = match std::env::var("MIXED_WORKLOAD_COMPACTION").as_deref() {
+        Ok("off") => CompactionPolicy::disabled(),
+        _ => CompactionPolicy::on(),
+    };
+    let assert_shortcut = std::env::var("MIXED_WORKLOAD_ASSERT_SHORTCUT").as_deref() == Ok("1");
+
+    let mut index = ShortcutIndex::builder()
+        .capacity(entries as usize + entries as usize / 10)
+        .compaction(compaction)
+        .build()?;
     let mut rng = StdRng::seed_from_u64(99);
 
-    // 2M entries reach directory depth 15–16 (~50k+ mappings). Retired
-    // directories are reclaimed as the index grows, and if the live
-    // directory itself outgrows the vm.max_map_count budget the shortcut
-    // suspends (lookups fall back to the traditional directory) instead of
-    // tripping the kernel limit mid-demo; see README "VMA budgeting".
-    println!("bulk-loading 2M entries…");
-    let mut keys: Vec<u64> = Vec::with_capacity(2_000_000);
-    for _ in 0..2_000_000 {
+    println!(
+        "bulk-loading {entries} entries (compaction {})…",
+        if compaction.enabled() { "on" } else { "off" }
+    );
+    let mut keys: Vec<u64> = Vec::with_capacity(entries as usize);
+    for _ in 0..entries {
         let k: u64 = rng.random();
         index.insert(k, k)?;
         keys.push(k);
     }
-    let mut synced = index.wait_sync(Duration::from_secs(60));
+    let mut synced = index.wait_sync(Duration::from_secs(120));
     if !synced && !index.shortcut_suspended() {
         // A transient suspension resolved between wait_sync giving up and
         // the check above (deferred rebuild applied); settle it.
@@ -95,8 +114,22 @@ fn main() -> Result<(), IndexError> {
         s.index.shortcut_lookups, s.index.traditional_lookups, s.index.shortcut_retries
     );
     println!(
-        "vma: {} in use of {} budget, {} directories retired, {} reclaimed",
-        s.vma.in_use, s.vma.limit, s.vma.areas_retired, s.vma.areas_reclaimed
+        "vma: {} in use ({} live / {} retired) of {} budget, {} directories retired, {} reclaimed",
+        s.vma.in_use,
+        s.vma.live_vmas(),
+        s.vma.retired_vmas,
+        s.vma.limit,
+        s.vma.areas_retired,
+        s.vma.areas_reclaimed
+    );
+    println!(
+        "compaction: {} passes ({} skipped), {} pages moved, ~{} VMAs saved; layout {} vs ideal {}",
+        s.maint.compactions,
+        s.maint.compaction_skipped,
+        s.maint.pages_moved,
+        s.maint.vmas_saved,
+        index.layout_vmas()?,
+        index.ideal_layout_vmas(),
     );
     assert!(index.maint_error().is_none());
     assert!(
@@ -104,5 +137,22 @@ fn main() -> Result<(), IndexError> {
         "VMA estimate exceeds the budget: {:?}",
         s.vma
     );
+    if assert_shortcut {
+        // The CI stress contract: with compaction on, this scale must end
+        // fully shortcut-served under the stock vm.max_map_count.
+        assert!(
+            !index.shortcut_suspended(),
+            "shortcut suspended at exit: vma={:?} maint={:?}",
+            s.vma,
+            s.maint
+        );
+        let final_sync = index.wait_sync(Duration::from_secs(60));
+        assert!(
+            final_sync,
+            "shortcut never converged: {:?}",
+            index.versions()
+        );
+        println!("assert: shortcut serving (not suspended) at exit ✓");
+    }
     Ok(())
 }

@@ -47,10 +47,20 @@
 //!   the budget **suspends** the shortcut
 //!   ([`ShortcutIndex::shortcut_suspended`]) — lookups keep working
 //!   through the traditional directory, and nothing dies inside `mmap`.
+//! * With [`IndexBuilder::compaction`] enabled, bucket pages are
+//!   physically **relocated into directory order** (at doublings, and
+//!   incrementally when the mapper's trigger fires), so rebuilds map
+//!   identity runs the kernel merges into a handful of VMAs — rebuild
+//!   admission then reserves the exact layout footprint instead of the
+//!   worst case, and shortcut-served lookups scale to millions of keys
+//!   on a stock kernel. [`ShortcutIndex::compact`] runs a pass
+//!   explicitly.
 //! * [`IndexBuilder::vma_budget`] injects a private limit (tests, CI
 //!   stress); [`IndexBuilder::reclamation`] can disable the lifecycle for
 //!   A/B comparisons; [`StatsSnapshot::vma`] reports the live/retired
-//!   mapping counts, the limit, and reclamation totals.
+//!   mapping split ([`VmaSnapshot::live_vmas`]), the limit, and
+//!   reclamation totals, and [`ShortcutIndex::layout_vmas`] /
+//!   [`ShortcutIndex::ideal_layout_vmas`] expose the layout estimates.
 //!
 //! The underlying layers remain available:
 //!
@@ -67,8 +77,8 @@ pub use shortcut_exhash as exhash;
 pub use shortcut_rewire as rewire;
 pub use shortcut_vmsim as vmsim;
 
-pub use shortcut_core::{MaintConfig, RoutePolicy};
-pub use shortcut_exhash::{Index, IndexError, IndexStats};
+pub use shortcut_core::{CompactionPolicy, MaintConfig, RoutePolicy};
+pub use shortcut_exhash::{CompactionOutcome, Index, IndexError, IndexStats};
 pub use shortcut_rewire::{max_map_count, PoolConfig, VmaBudget, VmaSnapshot};
 
 use shortcut_core::metrics::MaintSnapshot;
@@ -171,6 +181,18 @@ impl IndexBuilder {
         self
     }
 
+    /// Physical bucket-layout compaction policy (default
+    /// [`CompactionPolicy::disabled`]; use [`CompactionPolicy::on`] for
+    /// the recommended production setting). With compaction the bucket
+    /// pages are relocated into directory order, so rebuilds map identity
+    /// runs the kernel merges into a handful of VMAs — this is what lets
+    /// shortcut-served lookups scale past the `vm.max_map_count` ceiling
+    /// (millions of keys on a stock kernel) instead of suspending.
+    pub fn compaction(mut self, policy: CompactionPolicy) -> Self {
+        self.maint.compaction = policy;
+        self
+    }
+
     /// Build the index and spawn its mapper thread.
     ///
     /// # Errors
@@ -178,13 +200,22 @@ impl IndexBuilder {
     /// Propagates pool creation failure (memfd, `mmap`,
     /// `vm.max_map_count`) and configuration rejection as [`IndexError`].
     pub fn build(self) -> Result<ShortcutIndex, IndexError> {
+        // Compaction passes transiently hold live buckets + the target run
+        // + not-yet-reclaimed sources, so give the fixed reservation extra
+        // room (virtual address space is effectively free; physical pages
+        // are hole-punched back as passes retire their sources).
+        let view_divisor = if self.maint.compaction.enabled() {
+            8
+        } else {
+            20
+        };
         let mut pool = self.pool.unwrap_or_else(|| match self.capacity {
             // ~40 live entries per bucket in steady state; reserve ample
-            // virtual headroom (virtual address space is effectively free).
+            // virtual headroom.
             Some(entries) => PoolConfig {
                 initial_pages: 1,
                 min_growth_pages: (entries / 40).clamp(64, 4096),
-                view_capacity_pages: ((entries / 20).max(1 << 12)).next_power_of_two(),
+                view_capacity_pages: ((entries / view_divisor).max(1 << 12)).next_power_of_two(),
                 ..PoolConfig::default()
             },
             None => PoolConfig::default(),
@@ -342,6 +373,38 @@ impl ShortcutIndex {
     /// readers never wait, they fall back to the traditional directory).
     pub fn wait_sync(&self, timeout: Duration) -> bool {
         self.inner.wait_sync(timeout)
+    }
+
+    /// Relocate every bucket page into directory order in one synchronous
+    /// pass and hand the resulting identity rebuild to the mapper. After
+    /// the mapper applies it (and retired mappings drain), the live VMA
+    /// footprint collapses from one-per-scattered-slot to one per fan-in
+    /// cluster. Automatic passes run per the
+    /// [`IndexBuilder::compaction`] policy; this entry point is for
+    /// explicit maintenance windows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pool failures (typically no room for the contiguous
+    /// target run); the index stays consistent and keeps answering.
+    pub fn compact(&mut self) -> Result<CompactionOutcome, IndexError> {
+        self.inner.compact()
+    }
+
+    /// Planned-VMA estimate of the current bucket layout, as a fresh
+    /// shortcut rebuild would map it (`O(slots)` — diagnostics).
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-invariant violations as [`IndexError`].
+    pub fn layout_vmas(&self) -> Result<usize, IndexError> {
+        self.inner.layout_vmas()
+    }
+
+    /// `slots − buckets + 1`: the irreducible footprint of a perfectly
+    /// compacted layout (one VMA plus one per aliased fan-in > 1 slot).
+    pub fn ideal_layout_vmas(&self) -> usize {
+        self.inner.ideal_layout_vmas()
     }
 
     /// First error the mapper thread hit, if any.

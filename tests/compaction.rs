@@ -1,0 +1,220 @@
+//! Directory-order physical compaction, end to end: relocating bucket
+//! pages out from under a live `ShortcutIndex` must never change an
+//! answer (checked against a `ChainedHash` oracle, with 4 concurrent
+//! reader threads hammering the index between mutation phases), and each
+//! full pass must bring the planned-VMA layout estimate down to its
+//! fan-in-determined ideal.
+
+use proptest::prelude::*;
+use std::time::Duration;
+use taking_the_shortcut::exhash::{ChConfig, ChainedHash};
+use taking_the_shortcut::{CompactionPolicy, Index, ShortcutIndex};
+
+fn build(policy: CompactionPolicy) -> ShortcutIndex {
+    ShortcutIndex::builder()
+        .capacity(150_000)
+        .poll_interval(Duration::from_millis(1))
+        // Private budget: isolate `in_use` accounting from other tests
+        // sharing the process-global budget.
+        .vma_budget(1_000_000)
+        .compaction(policy)
+        .build()
+        .unwrap()
+}
+
+fn oracle() -> ChainedHash {
+    ChainedHash::try_new(ChConfig {
+        table_slots: 1 << 12,
+    })
+    .unwrap()
+}
+
+/// Value derivation shared by index and oracle.
+fn val(k: u64) -> u64 {
+    k.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xA5A5
+}
+
+/// One mutation-or-check step of the interleaving.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Insert the next `n` keys (batched — drives splits and doublings,
+    /// and steps any in-flight incremental plan per entry).
+    Insert(usize),
+    /// Remove every `stride`-th key inserted so far.
+    Remove(usize),
+    /// Explicit full compaction pass.
+    Compact,
+    /// 4 concurrent reader threads verify a sample against the oracle.
+    ReadPhase,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            5 => (64usize..1200).prop_map(Op::Insert),
+            1 => (7usize..31).prop_map(Op::Remove),
+            2 => Just(Op::Compact),
+            2 => Just(Op::ReadPhase),
+        ],
+        4..24,
+    )
+}
+
+fn policies() -> impl Strategy<Value = CompactionPolicy> {
+    prop_oneof![
+        Just(CompactionPolicy::disabled()),
+        Just(CompactionPolicy::on()),
+        Just(CompactionPolicy {
+            on_rebuild: false,
+            background_moves: 4,
+            trigger_fraction: 0.25,
+        }),
+    ]
+}
+
+/// Spawn 4 reader threads over `&index`, each checking every sampled key
+/// (plus guaranteed misses) against the oracle's expected values, through
+/// both `get` and `get_many`.
+fn read_phase(index: &ShortcutIndex, oracle: &ChainedHash, next_key: u64) {
+    let step = (next_key / 256).max(1);
+    let keys: Vec<u64> = (0..next_key)
+        .step_by(step as usize)
+        .chain([next_key + 1, next_key + 1_000_003])
+        .collect();
+    let expected: Vec<Option<u64>> = keys.iter().map(|&k| oracle.get(k)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(|| {
+                for (k, want) in keys.iter().zip(&expected) {
+                    assert_eq!(index.get(*k), *want, "key {k}");
+                }
+                assert_eq!(index.get_many(&keys), expected, "get_many diverged");
+            });
+        }
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // Interleave inserts (→ splits, doublings), removals, explicit
+    // compaction passes, and background compaction ticks against 4
+    // concurrent reader threads; every lookup must match the chained-hash
+    // oracle, and after each full compaction the layout estimate must
+    // have dropped to the ideal (never increased).
+    #[test]
+    fn relocation_never_changes_an_answer(ops in ops(), policy in policies()) {
+        let mut index = build(policy);
+        let mut oracle = oracle();
+        let mut next_key = 0u64;
+
+        for op in ops {
+            match op {
+                Op::Insert(n) => {
+                    let batch: Vec<(u64, u64)> =
+                        (next_key..next_key + n as u64).map(|k| (k, val(k))).collect();
+                    index.insert_batch(&batch).unwrap();
+                    for &(k, v) in &batch {
+                        oracle.insert(k, v).unwrap();
+                    }
+                    next_key += n as u64;
+                }
+                Op::Remove(stride) => {
+                    for k in (0..next_key).step_by(stride) {
+                        let got = index.remove(k).unwrap();
+                        let want = oracle.remove(k).unwrap();
+                        prop_assert_eq!(got, want, "remove({}) diverged", k);
+                    }
+                }
+                Op::Compact => {
+                    let before = index.layout_vmas().unwrap();
+                    let out = index.compact().unwrap();
+                    prop_assert_eq!(out.vmas_before, before);
+                    // Monotone non-increasing across the pass, and exactly
+                    // the fan-in-determined ideal afterwards.
+                    prop_assert!(out.vmas_after <= out.vmas_before);
+                    prop_assert_eq!(out.vmas_after, index.ideal_layout_vmas());
+                    prop_assert_eq!(index.layout_vmas().unwrap(), out.vmas_after);
+                }
+                Op::ReadPhase => read_phase(&index, &oracle, next_key),
+            }
+        }
+
+        // Final full verification: every key ever touched, plus misses.
+        assert!(index.wait_sync(Duration::from_secs(30)), "never synced");
+        read_phase(&index, &oracle, next_key);
+        prop_assert_eq!(index.len(), oracle.len());
+        assert!(index.maint_error().is_none());
+        let vma = index.stats().vma;
+        prop_assert!(vma.in_use <= vma.limit, "budget exceeded: {:?}", vma);
+    }
+}
+
+/// The headline acceptance number: compacting a mature directory (fan-in
+/// near 1, scattered by split-order allocation) collapses the live VMA
+/// estimate by at least 10x at unchanged depth.
+#[test]
+fn compaction_collapses_live_vmas_by_10x() {
+    let mut index = ShortcutIndex::builder()
+        .capacity(400_000)
+        .poll_interval(Duration::from_millis(1))
+        .vma_budget(1_000_000)
+        .build()
+        .unwrap();
+
+    // Grow until the directory is mature: deep enough to matter and late
+    // enough in its depth's life that fan-in approaches 1 (right before
+    // the next doubling) — the point where directory order pays most.
+    let mut k = 0u64;
+    loop {
+        let batch: Vec<(u64, u64)> = (k..k + 10_000).map(|x| (x, val(x))).collect();
+        index.insert_batch(&batch).unwrap();
+        k += 10_000;
+        let s = index.stats();
+        if s.global_depth >= 11 && s.avg_fanin <= 1.10 {
+            break;
+        }
+        assert!(k < 3_000_000, "never reached a mature directory");
+    }
+    assert!(index.wait_sync(Duration::from_secs(60)), "never synced");
+
+    // Settle retired directories so `live ≈ in_use` before measuring.
+    let drain = |index: &ShortcutIndex| {
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while index.stats().vma.retired_areas > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        index.stats()
+    };
+    let before = drain(&index);
+    let depth_before = before.global_depth;
+    let live_before = before.vma.live_vmas();
+    let layout_before = index.layout_vmas().unwrap();
+
+    let out = index.compact().unwrap();
+    assert!(
+        index.wait_sync(Duration::from_secs(60)),
+        "rebuild never applied"
+    );
+    let after = drain(&index);
+
+    assert_eq!(after.global_depth, depth_before, "depth must not change");
+    assert_eq!(out.vmas_before, layout_before);
+    assert_eq!(out.vmas_after, index.ideal_layout_vmas());
+    assert!(
+        after.vma.live_vmas() * 10 <= live_before,
+        "live VMAs only dropped {} -> {} (layout {} -> {})",
+        live_before,
+        after.vma.live_vmas(),
+        out.vmas_before,
+        out.vmas_after
+    );
+    assert!(after.maint.pages_moved > 0);
+    assert_eq!(after.maint.compactions, 1);
+
+    // Everything still answers, shortcut-served once synced.
+    for key in (0..k).step_by(4_093) {
+        assert_eq!(index.get(key), Some(val(key)), "key {key}");
+    }
+    assert!(index.maint_error().is_none());
+}
