@@ -2,7 +2,7 @@
 //! alloc/free, rewiring, and the vmsim MMU fast path.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use shortcut_exhash::{bucket_slot_hash, mult_hash, BucketRef, BUCKET_CAPACITY};
+use shortcut_exhash::{bucket_slot_hash, mult_hash, BucketLayout, BucketRef, BUCKET_CAPACITY};
 use shortcut_rewire::{PageIdx, PagePool, PoolConfig, VirtArea};
 use shortcut_vmsim::{AddressSpace, Mmu, VirtAddr};
 use std::hint::black_box;
@@ -21,7 +21,7 @@ fn bench_bucket(c: &mut Criterion) {
     let mut mem = vec![0u8; 4096 + 8];
     let off = mem.as_ptr().align_offset(8);
     let ptr = unsafe { mem.as_mut_ptr().add(off) };
-    let bucket = unsafe { BucketRef::from_ptr(ptr) };
+    let bucket = unsafe { BucketRef::from_ptr(ptr, BucketLayout::base()) };
     bucket.init(0);
     for k in 0..80u64 {
         bucket.insert(k, k, BUCKET_CAPACITY);

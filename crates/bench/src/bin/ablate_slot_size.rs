@@ -1,0 +1,9 @@
+//! Ablation A6: the physical slot size (`2^k` base pages per bucket),
+//! crossed with directory-order compaction on/off.
+use shortcut_bench::experiments::ablations;
+use shortcut_bench::ScaleArgs;
+
+fn main() {
+    let s = ScaleArgs::from_env();
+    ablations::a6_slot_size(&s).print();
+}

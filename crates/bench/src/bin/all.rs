@@ -32,4 +32,5 @@ fn main() {
     ablations::a3_poll_interval(&s).print();
     ablations::a4_populate(&s).print();
     ablations::a5_compaction(&s).print();
+    ablations::a6_slot_size(&s).print();
 }

@@ -6,8 +6,8 @@ use crate::timing::{ms, Stopwatch};
 use crate::workload::KeyGen;
 use crate::Table;
 use shortcut_core::{CompactionPolicy, MaintConfig, RoutePolicy, ShortcutNode};
-use shortcut_exhash::{EhConfig, Index, ShortcutEh, ShortcutEhConfig};
-use shortcut_rewire::PageIdx;
+use shortcut_exhash::{BucketLayout, EhConfig, Index, ShortcutEh, ShortcutEhConfig};
+use shortcut_rewire::{PageIdx, PoolConfig, SlotLayout};
 use std::time::{Duration, Instant};
 
 /// **A1** — how much does coalescing contiguous rewirings into single
@@ -327,6 +327,110 @@ pub fn a5_compaction(s: &ScaleArgs) -> Table {
     t
 }
 
+/// Pool sized for `expected_entries` at an arbitrary slot layout (the
+/// slot-aware generalization of [`super::fig7::bench_pool_config`]).
+fn slot_pool_config(expected_entries: usize, layout: SlotLayout) -> PoolConfig {
+    let per_slot = BucketLayout::for_slot(layout).steady_entries(0.35);
+    let slots = (expected_entries / per_slot).max(16);
+    // Byte-denominated floors (~256 KB growth, ≥ 16 MB view at k = 0).
+    let growth_floor = layout.slots_for_bytes(1 << 18);
+    let view_floor = layout.slots_for_bytes(1 << 24).max(64);
+    PoolConfig {
+        initial_pages: 1,
+        min_growth_pages: slots.clamp(growth_floor, 4096),
+        shrink_threshold_pages: usize::MAX,
+        pretouch: true,
+        view_capacity_pages: ((slots * 4).max(view_floor)).next_power_of_two(),
+        slot_layout: layout,
+        ..PoolConfig::default()
+    }
+}
+
+/// **A6** — the physical slot size (`2^k` base pages per bucket), crossed
+/// with compaction on/off. Larger slots are the other §3.2 lever next to
+/// compaction: the same keys need `~2^k`-fold fewer buckets, so the
+/// directory is shallower and the live mapping footprint drops by about
+/// `2^k` — enough that even the *no-compaction* worst-case admission fits
+/// a stock `vm.max_map_count` at scales where k = 0 suspends. The lookup
+/// column watches for regressions from the layout indirection (k = 0 must
+/// match the pre-SlotLayout numbers) and from the larger in-bucket probe
+/// distance at high k.
+pub fn a6_slot_size(s: &ScaleArgs) -> Table {
+    let n = s.pick(4_000_000, 2_000_000, 60_000);
+    let lookups = s.pick(2_000_000, 1_000_000, 60_000);
+    let slot_powers = [0u32, 2, 4];
+    let arms: [(&str, CompactionPolicy); 2] = [
+        ("off", CompactionPolicy::disabled()),
+        ("on", CompactionPolicy::on()),
+    ];
+
+    let mut t = Table::new(
+        format!("Ablation A6 — slot size × compaction, {n} keys"),
+        &[
+            "k (slot)",
+            "bucket cap",
+            "compaction",
+            "fill [ms]",
+            "depth",
+            "live VMAs",
+            "suspended",
+            "lookups [ms]",
+        ],
+    );
+    for k in slot_powers {
+        let layout = SlotLayout::new(k).expect("slot power in range");
+        for (name, policy) in arms {
+            let mut sceh = ShortcutEh::try_new(ShortcutEhConfig {
+                eh: EhConfig {
+                    pool: slot_pool_config(n * 2, layout),
+                    ..EhConfig::default()
+                },
+                maint: MaintConfig {
+                    compaction: policy,
+                    ..MaintConfig::default()
+                },
+                ..Default::default()
+            })
+            .expect("Shortcut-EH construction failed");
+            let mut gen = KeyGen::new(42);
+            let keys = gen.uniform_keys(n);
+
+            let sw = Stopwatch::start();
+            for &key in &keys {
+                sceh.insert(key, key).expect("insert failed");
+            }
+            let fill_ms = ms(sw.elapsed());
+            let _ = sceh.wait_sync(Duration::from_secs(120));
+            let vma = sceh.vma_stats();
+            let suspended = sceh.shortcut_suspended();
+            let depth = sceh.global_depth();
+
+            let probe = gen.hits_from(&keys, lookups);
+            let sw = Stopwatch::start();
+            let mut found = 0u64;
+            for &key in &probe {
+                if sceh.get(key).is_some() {
+                    found += 1;
+                }
+            }
+            std::hint::black_box(found);
+            let lookup_ms = ms(sw.elapsed());
+
+            t.row(&[
+                format!("{k} ({} KB)", layout.slot_bytes() / 1024),
+                Table::n(sceh.bucket_layout().capacity() as u64),
+                name.into(),
+                Table::f(fill_ms),
+                depth.to_string(),
+                Table::n(vma.live_vmas()),
+                if suspended { "YES" } else { "no" }.into(),
+                Table::f(lookup_ms),
+            ]);
+        }
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,6 +457,17 @@ mod tests {
         assert!(s.contains("off"));
         assert!(s.contains("rebuild+bg32"));
         assert!(s.contains("bg8"));
+    }
+
+    #[test]
+    fn a6_slot_size_runs_all_cells() {
+        let t = a6_slot_size(&quick());
+        let s = t.render();
+        assert!(s.contains("0 (4 KB)"));
+        assert!(s.contains("2 (16 KB)"));
+        assert!(s.contains("4 (64 KB)"));
+        assert!(s.contains("on"));
+        assert!(s.contains("off"));
     }
 
     #[test]

@@ -26,7 +26,8 @@ pub mod version;
 
 pub use hybrid::HybridNode;
 pub use maintenance::{
-    CompactionPolicy, MaintConfig, MaintRequest, Maintainer, MapperEngine, MAX_PUBLISH_SHIFT,
+    service_census, CompactionPolicy, MaintConfig, MaintRequest, Maintainer, MapperEngine,
+    MAX_PUBLISH_SHIFT,
 };
 pub use metrics::MaintMetrics;
 pub use route::RoutePolicy;

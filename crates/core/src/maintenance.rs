@@ -77,6 +77,34 @@ fn coarsen_assignments(assignments: &[(usize, PageIdx)], shift: u32) -> Vec<(usi
         .collect()
 }
 
+/// Service census of a **full, sorted** assignment vector: `resolvable[s]`
+/// counts the buckets — maximal runs of consecutive slots mapping the same
+/// pool slot, which are exactly the covering ranges — that span at least
+/// `2^s` fine slots, i.e. whose local depth still fits a publish `s`
+/// levels coarser. Those are the buckets such a publish resolves through
+/// the shortcut; deeper buckets fall back per key via the reader-side
+/// local-depth check. Returns `(total_buckets, resolvable)`.
+pub fn service_census(assignments: &[(usize, PageIdx)], max_shift: u32) -> (usize, Vec<usize>) {
+    let mut total = 0usize;
+    let mut resolvable = vec![0usize; max_shift as usize + 1];
+    let mut i = 0;
+    while i < assignments.len() {
+        let page = assignments[i].1;
+        let mut run = 1;
+        while i + run < assignments.len() && assignments[i + run].1 == page {
+            run += 1;
+        }
+        total += 1;
+        for (s, r) in resolvable.iter_mut().enumerate() {
+            if run >= (1usize << s) {
+                *r += 1;
+            }
+        }
+        i += run;
+    }
+    (total, resolvable)
+}
+
 /// A maintenance request, as pushed by the index's main thread.
 #[derive(Debug, Clone)]
 pub enum MaintRequest {
@@ -240,9 +268,14 @@ pub struct MapperEngine {
     /// coarsened the published depth to fit the budget. Update slots are
     /// shifted right by this amount before being applied.
     published_shift: u32,
-    /// Poll ticks spent probing a deferred create (throttles the exact
-    /// per-shift fit ladder to every 8th tick).
-    deferred_probes: u32,
+    /// Smallest footprint any *admissible* depth of the deferred create
+    /// would reserve (exact depth, or a coarser depth that still
+    /// resolves at least one bucket) — computed when the create is
+    /// deferred, so the per-tick retry probe is one O(1) `would_fit`
+    /// that agrees with what admission will actually accept. Folded
+    /// updates can leave it slightly stale; a retry that then fails
+    /// recomputes it, so the probe self-corrects instead of looping.
+    deferred_min_want: usize,
 }
 
 impl MapperEngine {
@@ -262,7 +295,7 @@ impl MapperEngine {
             retired: Vec::new(),
             deferred: None,
             published_shift: 0,
-            deferred_probes: 0,
+            deferred_min_want: 0,
         }
     }
 
@@ -382,11 +415,10 @@ impl MapperEngine {
                     coarse = coarsen_assignments(&assignments, shift);
                     (slots >> shift, &coarse)
                 };
-                let mut node = if self.cfg.eager_populate {
-                    ShortcutNode::new_populated(pub_slots)?
-                } else {
-                    ShortcutNode::new(pub_slots)?
-                };
+                // The node inherits the pool's slot layout: each published
+                // slot spans a whole 2^k-page physical slot.
+                let mut node =
+                    ShortcutNode::for_pool(pub_slots, &self.pool, self.cfg.eager_populate)?;
                 let calls = node.set_batch(&self.pool, pub_assignments)?;
                 if self.cfg.eager_populate {
                     let touched = node.populate();
@@ -476,15 +508,23 @@ impl MapperEngine {
     /// the exact depth and falling back to coarser published depths (the
     /// paper's directory at half depth still resolves every bucket whose
     /// local depth fits; deeper buckets are detected by readers and
-    /// served traditionally). When nothing fits, the stale current node
-    /// is retired (the traditional version has already moved past it, so
-    /// no new reader can route through it), a reclaim is attempted, and —
-    /// if the rebuild still does not fit — the state is marked suspended
-    /// and the create skipped. The skip is counted as *deferred*
-    /// (transient: pinned readers stalled the reclaim scan, the retry on
-    /// an upcoming tick will succeed) when retired areas remain, and as
-    /// *skipped* (genuine: nothing left to reclaim, the directory simply
-    /// does not fit) otherwise.
+    /// served traditionally). Among coarse depths the engine picks by
+    /// **service fraction** — the share of buckets resolvable at that
+    /// depth ([`service_census`]) — rather than the first footprint that
+    /// fits: depths with equal service are tie-broken toward the smaller
+    /// mapping footprint (the same keys are shortcut-served either way,
+    /// so the spare VMAs are pure headroom), and a depth that resolves
+    /// *no* bucket is never published (it would cost mappings while every
+    /// read falls back — strictly worse than staying suspended). When
+    /// nothing fits, the stale current node is retired (the traditional
+    /// version has already moved past it, so no new reader can route
+    /// through it), a reclaim is attempted, and — if the rebuild still
+    /// does not fit — the state is marked suspended and the create
+    /// skipped. The skip is counted as *deferred* (transient: pinned
+    /// readers stalled the reclaim scan, the retry on an upcoming tick
+    /// will succeed) when retired areas remain, and as *skipped*
+    /// (genuine: nothing left to reclaim, the directory simply does not
+    /// fit) otherwise.
     fn admit_create(
         &mut self,
         slots: usize,
@@ -505,18 +545,57 @@ impl MapperEngine {
         let want = self.rebuild_reservation(slots, assignments, 0);
         let overlap_headroom = headroom.max(budget.limit() / 4);
         if let Some(r) = budget.try_reserve(want, overlap_headroom) {
+            self.metrics
+                .coarse_service_pct
+                .store(100, Ordering::Relaxed);
             return Some((0, r));
         }
         if let Some(old) = self.current.take() {
             self.pool.retire_list().retire(old.into_area());
         }
         self.pool.retire_list().try_reclaim();
-        for shift in 0..=max_shift {
-            let want = self.rebuild_reservation(slots, assignments, shift);
-            if let Some(r) = budget.try_reserve(want, headroom) {
-                return Some((shift, r));
+        let mut min_want = want;
+        if let Some(r) = budget.try_reserve(want, headroom) {
+            self.metrics
+                .coarse_service_pct
+                .store(100, Ordering::Relaxed);
+            return Some((0, r));
+        }
+        if max_shift > 0 {
+            // ROADMAP follow-up (c): depth selection by service fraction.
+            let (total, resolvable) = service_census(assignments, max_shift);
+            let mut candidates: Vec<(u32, usize, usize)> = (1..=max_shift)
+                .map(|s| {
+                    (
+                        s,
+                        resolvable[s as usize],
+                        self.rebuild_reservation(slots, assignments, s),
+                    )
+                })
+                .collect();
+            candidates.sort_by(|a, b| b.1.cmp(&a.1).then(a.2.cmp(&b.2)).then(a.0.cmp(&b.0)));
+            for (shift, served, want) in candidates {
+                if served == 0 {
+                    // Resolves nothing: never published (every read would
+                    // fall back while the mapping cost is still paid), and
+                    // therefore not part of the retry bound either.
+                    continue;
+                }
+                min_want = min_want.min(want);
+                if let Some(r) = budget.try_reserve(want, headroom) {
+                    let pct = (served * 100 / total.max(1)) as u64;
+                    self.metrics
+                        .coarse_service_pct
+                        .store(pct, Ordering::Relaxed);
+                    return Some((shift, r));
+                }
             }
         }
+        // Deferred: cache the cheapest admissible footprint so the
+        // per-tick retry probe is one O(1) `would_fit` that agrees with
+        // what this function will accept (recomputed here on every
+        // failed retry, so a stale bound self-corrects).
+        self.deferred_min_want = min_want;
         self.state.set_suspended(true);
         if self.pool.retire_list().retired_count() > 0 {
             self.metrics
@@ -541,31 +620,18 @@ impl MapperEngine {
             return Ok(0);
         }
         let reclaimed = self.pool.retire_list().try_reclaim();
-        if let Some(MaintRequest::Create {
-            slots, assignments, ..
-        }) = &self.deferred
-        {
+        if matches!(self.deferred, Some(MaintRequest::Create { .. })) {
             // Racy pre-check to avoid re-counting a skip every tick; the
             // retry's real admission goes through try_reserve again. The
-            // every-tick probe is O(1): `slots >> MAX_PUBLISH_SHIFT` is an
-            // upper bound on the coarsest candidate's footprint, so
-            // fitting it guarantees admission will succeed at *some*
-            // shift. The exact per-shift ladder (O(slots × shifts)) runs
-            // only every few ticks — it is what catches an identity
-            // layout whose exact-depth footprint is far below the bound.
+            // probe is one O(1) `would_fit` against the smallest
+            // footprint any admissible depth would reserve, cached by
+            // the failed admission that deferred the create (and
+            // recomputed whenever a retry fails, so a slightly-stale
+            // bound — folded updates can shift footprints by a few VMAs
+            // — costs at most one futile retry, never a per-tick loop).
             let budget = Arc::clone(self.pool.budget());
             let headroom = budget_headroom(budget.limit());
-            let max_shift = self.candidate_shifts(*slots, assignments);
-            self.deferred_probes = self.deferred_probes.wrapping_add(1);
-            let fits = budget.would_fit(*slots >> max_shift, headroom)
-                || (self.deferred_probes.is_multiple_of(8)
-                    && (0..=max_shift).any(|shift| {
-                        budget.would_fit(
-                            self.rebuild_reservation(*slots, assignments, shift),
-                            headroom,
-                        )
-                    }));
-            if fits {
+            if budget.would_fit(self.deferred_min_want, headroom) {
                 if let Some(req) = self.deferred.take() {
                     self.apply_one(req)?;
                 }
@@ -1310,6 +1376,95 @@ mod tests {
                 "neighbor untouched"
             );
         }
+    }
+
+    #[test]
+    fn service_census_counts_resolvable_buckets_per_shift() {
+        let a = |pairs: &[(usize, usize)]| -> Vec<(usize, PageIdx)> {
+            pairs.iter().map(|&(s, p)| (s, PageIdx(p))).collect()
+        };
+        // Covers 4, 2, 1, 1 over 8 slots.
+        let v = a(&[
+            (0, 10),
+            (1, 10),
+            (2, 10),
+            (3, 10),
+            (4, 30),
+            (5, 30),
+            (6, 50),
+            (7, 70),
+        ]);
+        let (total, r) = service_census(&v, 3);
+        assert_eq!(total, 4);
+        assert_eq!(r, vec![4, 2, 1, 0]);
+    }
+
+    #[test]
+    fn coarse_depth_picked_by_service_fraction_not_first_fit() {
+        // A skewed-depth directory: one bucket covering 8 of 16 slots
+        // (local depth 1), one covering 4 (depth 2), four deep buckets
+        // covering 1 each (depth 4). No bucket has local depth exactly 3,
+        // so publishing at shift 1 (8 slots) and shift 2 (4 slots)
+        // resolves the *same* two shallow buckets — equal service — while
+        // the scattered pages make shift 1 cost 8 VMAs and shift 2 only
+        // 4. First-fit-by-footprint would publish at shift 1; service
+        // selection must tie-break to the cheaper shift 2.
+        let mut pl = PagePool::new(PoolConfig {
+            initial_pages: 0,
+            min_growth_pages: 32,
+            view_capacity_pages: 4096,
+            vma_budget: Some(shortcut_rewire::VmaBudget::with_limit(10)),
+            ..PoolConfig::default()
+        })
+        .unwrap();
+        let state = Arc::new(SharedDirectoryState::new());
+        let metrics = Arc::new(MaintMetrics::default());
+        let mut eng = MapperEngine::new(
+            pl.handle(),
+            Arc::clone(&state),
+            Arc::clone(&metrics),
+            MaintConfig {
+                compaction: CompactionPolicy::on(),
+                ..MaintConfig::default()
+            },
+        );
+        let run = pl.alloc_run(32).unwrap();
+        // Scattered, pairwise non-consecutive pages: nothing merges.
+        let pages: Vec<PageIdx> = [0usize, 5, 10, 12, 20, 27]
+            .iter()
+            .map(|&off| PageIdx(run.0 + off))
+            .collect();
+        let mut assignments: Vec<(usize, PageIdx)> = Vec::new();
+        for s in 0..8 {
+            assignments.push((s, pages[0])); // depth-1 bucket
+        }
+        for s in 8..12 {
+            assignments.push((s, pages[1])); // depth-2 bucket
+        }
+        for (i, s) in (12..16).enumerate() {
+            assignments.push((s, pages[2 + i])); // four depth-4 buckets
+        }
+        let v = state.bump_traditional();
+        eng.apply_batch(vec![MaintRequest::Create {
+            slots: 16,
+            assignments,
+            version: v,
+        }])
+        .unwrap();
+        assert!(state.in_sync());
+        assert!(!state.suspended());
+        let t = state.begin_read().unwrap();
+        assert_eq!(
+            t.slots, 4,
+            "equal-service depths must tie-break to the smaller footprint"
+        );
+        let s = metrics.snapshot();
+        assert_eq!(s.creates_coarse, 1);
+        assert_eq!(
+            s.coarse_service_pct,
+            2 * 100 / 6,
+            "2 of 6 buckets resolvable"
+        );
     }
 
     #[test]

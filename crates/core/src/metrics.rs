@@ -26,6 +26,11 @@ pub struct MaintMetrics {
     /// (buckets deeper than the published depth are served traditionally
     /// via the reader-side local-depth check).
     pub creates_coarse: AtomicU64,
+    /// Gauge (not a counter): **service fraction** of the most recent
+    /// coarse publish, in percent — the share of buckets whose local
+    /// depth fits the published depth and are therefore resolvable
+    /// through the shortcut. 100 while published at the exact depth.
+    pub coarse_service_pct: AtomicU64,
     /// Bucket pages physically relocated into directory order by
     /// compaction (the write path executes the moves; this mirror makes
     /// them visible next to the mapper's counters).
@@ -69,6 +74,9 @@ pub struct MaintSnapshot {
     /// Creates published at a coarser-than-traditional depth to fit the
     /// VMA budget.
     pub creates_coarse: u64,
+    /// Service fraction (percent of buckets resolvable) of the latest
+    /// publish; 100 at the exact depth.
+    pub coarse_service_pct: u64,
     /// Bucket pages relocated by compaction.
     pub pages_moved: u64,
     /// Estimated VMAs saved by compaction.
@@ -100,6 +108,7 @@ impl MaintMetrics {
             creates_skipped: self.creates_skipped.load(Ordering::Relaxed),
             creates_deferred: self.creates_deferred.load(Ordering::Relaxed),
             creates_coarse: self.creates_coarse.load(Ordering::Relaxed),
+            coarse_service_pct: self.coarse_service_pct.load(Ordering::Relaxed),
             pages_moved: self.pages_moved.load(Ordering::Relaxed),
             vmas_saved: self.vmas_saved.load(Ordering::Relaxed),
             compactions: self.compactions.load(Ordering::Relaxed),

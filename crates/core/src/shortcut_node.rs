@@ -1,13 +1,14 @@
 //! The shortcut inner node (paper Figure 1b).
 //!
-//! A `k`-page virtual memory area where page `i` *is* slot `i`: rather than
-//! storing a pointer, slot `i` is rewired so that its virtual page maps to
-//! the physical page of the referenced leaf. "Following" the slot is then
-//! pure address arithmetic (`base + (i << 12)`); the actual indirection is
+//! A `k`-slot virtual memory area where page `i` *is* slot `i`: rather than
+//! storing a pointer, slot `i` is rewired so that its virtual window maps
+//! to the physical slot of the referenced leaf. "Following" the slot is
+//! then pure address arithmetic (`base + (i << slot_shift)`, `slot_shift`
+//! = 12 at the default one-page layout); the actual indirection is
 //! resolved by the MMU when the leaf is read — one hardware-accelerated
 //! page-table lookup, cached by the TLB.
 
-use shortcut_rewire::{page_size, Mapping, PageIdx, PoolHandle, Result, VirtArea};
+use shortcut_rewire::{Mapping, PageIdx, PoolHandle, Result, SlotLayout, VirtArea};
 
 /// A `k`-slot inner node expressed purely in the page table.
 pub struct ShortcutNode {
@@ -30,6 +31,25 @@ impl ShortcutNode {
         Ok(ShortcutNode {
             area: VirtArea::reserve_populated(k)?,
         })
+    }
+
+    /// Reserve a `k`-slot node matching `pool`'s physical
+    /// [`SlotLayout`] — the constructor the mapper engine uses, so that a
+    /// pool of `2^k`-page slots gets shortcut nodes whose windows span
+    /// whole slots.
+    pub fn for_pool(k: usize, pool: &PoolHandle, populated: bool) -> Result<Self> {
+        let area = if populated {
+            VirtArea::reserve_layout_populated(k, pool.layout())?
+        } else {
+            VirtArea::reserve_layout(k, pool.layout())?
+        };
+        Ok(ShortcutNode { area })
+    }
+
+    /// The slot layout the node's area was reserved with.
+    #[inline]
+    pub fn layout(&self) -> SlotLayout {
+        self.area.layout()
     }
 
     /// Charge the node's VMA footprint (current estimate, tracked across
@@ -129,17 +149,17 @@ impl ShortcutNode {
         self.area.mmap_calls()
     }
 
-    /// Size of the virtual area in bytes (`k * 4096`) — the quantity that
-    /// drives TLB pressure in §3.2.
+    /// Size of the virtual area in bytes (`slots × slot_bytes`) — the
+    /// quantity that drives TLB pressure in §3.2.
     pub fn virtual_bytes(&self) -> usize {
-        self.slots() * page_size()
+        self.slots() * self.area.slot_bytes()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use shortcut_rewire::{PagePool, PoolConfig};
+    use shortcut_rewire::{page_size, PagePool, PoolConfig};
 
     fn pool() -> PagePool {
         PagePool::new(PoolConfig {

@@ -1,38 +1,107 @@
-//! The 4 KB bucket: a page-sized leaf holding `(u64 key, u64 value)`
-//! entries under open addressing / linear probing.
+//! The slot-sized bucket: a leaf holding `(u64 key, u64 value)` entries
+//! under open addressing / linear probing.
 //!
-//! Buckets live in [`shortcut_rewire::PagePool`] pages so that shortcut
-//! directories can be rewired to them. A [`BucketRef`] is a thin wrapper
-//! around the page's base pointer with typed accessors; it is valid for as
-//! long as the underlying page is allocated, which the owning index
-//! guarantees.
+//! Buckets live in [`shortcut_rewire::PagePool`] slots so that shortcut
+//! directories can be rewired to them. The bucket's capacity and field
+//! offsets are **derived from the pool's slot size** via [`BucketLayout`]:
+//! at the paper's default 4 KB slots the layout is the classic
+//! 251-entry page ([`BUCKET_CAPACITY`]), while a `2^k`-page slot holds
+//! roughly `2^k` times as many entries — fewer splits, a shallower
+//! directory, and fewer doublings for the same key count.
+//!
+//! A [`BucketRef`] is a thin wrapper around the slot's base pointer plus
+//! its layout; it is valid for as long as the underlying slot is
+//! allocated, which the owning index guarantees.
 //!
 //! **Relocation.** Compaction may physically move a bucket to another pool
-//! page (copy-then-retire, see [`shortcut_rewire::PagePool::relocate_page`]).
+//! slot (copy-then-retire, see [`shortcut_rewire::PagePool::relocate_page`]).
 //! A `BucketRef` is therefore only as stable as the translation that
 //! produced it: the owning directory. Never cache one across an operation
 //! that can compact (splits, doublings, explicit passes) — re-fetch it
 //! through the directory instead.
 //!
-//! Page layout (little-endian, 8-byte aligned):
+//! Slot layout (little-endian, 8-byte aligned, `W = ceil(capacity / 64)`):
 //!
 //! ```text
-//! offset   0: u32  local_depth
-//! offset   4: u32  count           (live entries)
-//! offset   8: [u64; 4] occupied    bitmap (bit i = slot i holds an entry)
-//! offset  40: [u64; 4] tombstone   bitmap (bit i = slot i was deleted)
-//! offset  72: [(u64, u64); 251]    entries
+//! offset          0: u32  local_depth
+//! offset          4: u32  count           (live entries)
+//! offset          8: [u64; W] occupied    bitmap (bit i = slot i holds an entry)
+//! offset   8 +  8*W: [u64; W] tombstone   bitmap (bit i = slot i was deleted)
+//! offset   8 + 16*W: [(u64, u64); capacity] entries
 //! ```
 
 use crate::hash::bucket_slot_hash;
-use shortcut_rewire::PAGE_SIZE_4K;
+use shortcut_rewire::{SlotLayout, PAGE_SIZE_4K};
 
-/// Entries per 4 KB bucket: `(4096 − 72) / 16`.
+/// Entries per 4 KB bucket (`(4096 − 72) / 16`): the capacity of the
+/// default [`BucketLayout::base`], kept as a named constant for the
+/// page-sized schemes (HT, CH) and tests.
 pub const BUCKET_CAPACITY: usize = 251;
 
+/// Header offset of the occupied bitmap (independent of capacity).
 const OCCUPIED_OFF: usize = 8;
-const TOMBSTONE_OFF: usize = 40;
-const ENTRIES_OFF: usize = 72;
+
+/// Derived geometry of a bucket inside a slot of a given byte size: the
+/// largest entry capacity whose entries plus the two bitmaps fit, and the
+/// resulting field offsets. Constructed once per index from the pool's
+/// [`SlotLayout`] and carried by every [`BucketRef`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BucketLayout {
+    bytes: u32,
+    capacity: u32,
+    tombstone_off: u32,
+    entries_off: u32,
+}
+
+impl BucketLayout {
+    /// Layout of a bucket filling `bytes` (the slot size): the maximum
+    /// `capacity` with `8 + 16·⌈capacity/64⌉ + 16·capacity ≤ bytes`.
+    pub fn for_bytes(bytes: usize) -> Self {
+        debug_assert!(bytes >= 128, "slot too small for a bucket ({bytes} B)");
+        let mut capacity = (bytes - 8) / 16; // ignores the bitmaps
+        while 8 + 16 * capacity.div_ceil(64) + 16 * capacity > bytes {
+            capacity -= 1;
+        }
+        let words = capacity.div_ceil(64);
+        BucketLayout {
+            bytes: bytes as u32,
+            capacity: capacity as u32,
+            tombstone_off: (OCCUPIED_OFF + 8 * words) as u32,
+            entries_off: (OCCUPIED_OFF + 16 * words) as u32,
+        }
+    }
+
+    /// Layout of a bucket filling one slot of `slot_layout`.
+    pub fn for_slot(slot_layout: SlotLayout) -> Self {
+        Self::for_bytes(slot_layout.slot_bytes())
+    }
+
+    /// The paper's 4 KB layout ([`BUCKET_CAPACITY`] entries).
+    pub fn base() -> Self {
+        Self::for_bytes(PAGE_SIZE_4K)
+    }
+
+    /// Entry capacity of the bucket.
+    #[inline]
+    pub fn capacity(self) -> usize {
+        self.capacity as usize
+    }
+
+    /// Bucket size in bytes (== the slot size).
+    #[inline]
+    pub fn bytes(self) -> usize {
+        self.bytes as usize
+    }
+
+    /// Steady-state live entries per bucket at load factor `load`:
+    /// capacity × load, halved for splitting churn (a bucket spends its
+    /// life between half-full-of-limit and the limit). The shared input
+    /// for capacity-driven pool sizing — the classic ~40 per 4 KB bucket
+    /// at the paper's 0.35, scaling with the slot size.
+    pub fn steady_entries(self, load: f64) -> usize {
+        (((self.capacity() as f64) * load) / 2.0).max(1.0) as usize
+    }
+}
 
 /// Result of a bucket insert attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,36 +114,44 @@ pub enum InsertOutcome {
     Full,
 }
 
-/// A typed view over a bucket page. Copyable; does not own the page.
+/// A typed view over a bucket slot. Copyable; does not own the slot.
 #[derive(Debug, Clone, Copy)]
 pub struct BucketRef {
     ptr: *mut u8,
+    layout: BucketLayout,
 }
 
 impl BucketRef {
-    /// Wrap a bucket page.
+    /// Wrap a bucket slot.
     ///
     /// # Safety
     ///
-    /// `ptr` must point to the start of a live, writable, 4 KB page that is
-    /// used exclusively as a bucket and outlives all reads through the ref.
-    pub unsafe fn from_ptr(ptr: *mut u8) -> Self {
+    /// `ptr` must point to the start of a live, writable slot of at least
+    /// `layout.bytes()` that is used exclusively as a bucket (of the same
+    /// layout) and outlives all reads through the ref.
+    pub unsafe fn from_ptr(ptr: *mut u8, layout: BucketLayout) -> Self {
         debug_assert!(!ptr.is_null());
-        debug_assert_eq!(ptr as usize % 8, 0, "bucket page must be aligned");
-        BucketRef { ptr }
+        debug_assert_eq!(ptr as usize % 8, 0, "bucket slot must be aligned");
+        BucketRef { ptr, layout }
     }
 
-    /// The underlying page pointer.
+    /// The underlying slot pointer.
     #[inline]
     pub fn as_ptr(self) -> *mut u8 {
         self.ptr
     }
 
-    /// Zero the page and set the local depth — a fresh empty bucket.
+    /// The bucket's layout.
+    #[inline]
+    pub fn layout(self) -> BucketLayout {
+        self.layout
+    }
+
+    /// Zero the slot and set the local depth — a fresh empty bucket.
     pub fn init(self, local_depth: u32) {
-        // SAFETY: per from_ptr contract the whole page is ours.
+        // SAFETY: per from_ptr contract the whole slot is ours.
         unsafe {
-            std::ptr::write_bytes(self.ptr, 0, PAGE_SIZE_4K);
+            std::ptr::write_bytes(self.ptr, 0, self.layout.bytes());
         }
         self.set_local_depth(local_depth);
     }
@@ -108,14 +185,19 @@ impl BucketRef {
 
     #[inline]
     fn bitmap_word(self, base: usize, word: usize) -> u64 {
-        // SAFETY: word < 4, base in {8, 40}.
+        // SAFETY: word < ceil(capacity/64), base is a bitmap offset.
         unsafe { (self.ptr.add(base + word * 8) as *const u64).read() }
     }
 
     #[inline]
     fn set_bitmap_word(self, base: usize, word: usize, v: u64) {
-        // SAFETY: word < 4, base in {8, 40}.
+        // SAFETY: word < ceil(capacity/64), base is a bitmap offset.
         unsafe { (self.ptr.add(base + word * 8) as *mut u64).write(v) }
+    }
+
+    #[inline]
+    fn tombstone_off(self) -> usize {
+        self.layout.tombstone_off as usize
     }
 
     #[inline]
@@ -132,20 +214,20 @@ impl BucketRef {
 
     #[inline]
     fn entry(self, slot: usize) -> (u64, u64) {
-        debug_assert!(slot < BUCKET_CAPACITY);
+        debug_assert!(slot < self.layout.capacity());
         // SAFETY: in-bounds, aligned.
         unsafe {
-            let p = self.ptr.add(ENTRIES_OFF + slot * 16) as *const u64;
+            let p = self.ptr.add(self.layout.entries_off as usize + slot * 16) as *const u64;
             (p.read(), p.add(1).read())
         }
     }
 
     #[inline]
     fn set_entry(self, slot: usize, key: u64, value: u64) {
-        debug_assert!(slot < BUCKET_CAPACITY);
+        debug_assert!(slot < self.layout.capacity());
         // SAFETY: in-bounds, aligned.
         unsafe {
-            let p = self.ptr.add(ENTRIES_OFF + slot * 16) as *mut u64;
+            let p = self.ptr.add(self.layout.entries_off as usize + slot * 16) as *mut u64;
             p.write(key);
             p.add(1).write(value);
         }
@@ -154,10 +236,11 @@ impl BucketRef {
     /// Insert or update `key`, refusing (returning [`InsertOutcome::Full`])
     /// once `max_entries` live entries are reached and the key is new.
     pub fn insert(self, key: u64, value: u64, max_entries: usize) -> InsertOutcome {
-        let start = (bucket_slot_hash(key) % BUCKET_CAPACITY as u64) as usize;
+        let capacity = self.layout.capacity();
+        let start = (bucket_slot_hash(key) % capacity as u64) as usize;
         let mut first_free: Option<usize> = None;
-        for i in 0..BUCKET_CAPACITY {
-            let slot = (start + i) % BUCKET_CAPACITY;
+        for i in 0..capacity {
+            let slot = (start + i) % capacity;
             if self.bit(OCCUPIED_OFF, slot) {
                 if self.entry(slot).0 == key {
                     self.set_entry(slot, key, value);
@@ -169,7 +252,7 @@ impl BucketRef {
                 }
                 // A never-occupied, never-deleted slot terminates the probe:
                 // the key cannot be further along.
-                if !self.bit(TOMBSTONE_OFF, slot) {
+                if !self.bit(self.tombstone_off(), slot) {
                     break;
                 }
             }
@@ -181,7 +264,7 @@ impl BucketRef {
             Some(slot) => {
                 self.set_entry(slot, key, value);
                 self.set_bit(OCCUPIED_OFF, slot, true);
-                self.set_bit(TOMBSTONE_OFF, slot, false);
+                self.set_bit(self.tombstone_off(), slot, false);
                 self.set_count(self.count() + 1);
                 InsertOutcome::Inserted
             }
@@ -191,15 +274,16 @@ impl BucketRef {
 
     /// Look up `key`.
     pub fn get(self, key: u64) -> Option<u64> {
-        let start = (bucket_slot_hash(key) % BUCKET_CAPACITY as u64) as usize;
-        for i in 0..BUCKET_CAPACITY {
-            let slot = (start + i) % BUCKET_CAPACITY;
+        let capacity = self.layout.capacity();
+        let start = (bucket_slot_hash(key) % capacity as u64) as usize;
+        for i in 0..capacity {
+            let slot = (start + i) % capacity;
             if self.bit(OCCUPIED_OFF, slot) {
                 let (k, v) = self.entry(slot);
                 if k == key {
                     return Some(v);
                 }
-            } else if !self.bit(TOMBSTONE_OFF, slot) {
+            } else if !self.bit(self.tombstone_off(), slot) {
                 return None;
             }
         }
@@ -208,18 +292,19 @@ impl BucketRef {
 
     /// Remove `key`, returning its value.
     pub fn remove(self, key: u64) -> Option<u64> {
-        let start = (bucket_slot_hash(key) % BUCKET_CAPACITY as u64) as usize;
-        for i in 0..BUCKET_CAPACITY {
-            let slot = (start + i) % BUCKET_CAPACITY;
+        let capacity = self.layout.capacity();
+        let start = (bucket_slot_hash(key) % capacity as u64) as usize;
+        for i in 0..capacity {
+            let slot = (start + i) % capacity;
             if self.bit(OCCUPIED_OFF, slot) {
                 let (k, v) = self.entry(slot);
                 if k == key {
                     self.set_bit(OCCUPIED_OFF, slot, false);
-                    self.set_bit(TOMBSTONE_OFF, slot, true);
+                    self.set_bit(self.tombstone_off(), slot, true);
                     self.set_count(self.count() - 1);
                     return Some(v);
                 }
-            } else if !self.bit(TOMBSTONE_OFF, slot) {
+            } else if !self.bit(self.tombstone_off(), slot) {
                 return None;
             }
         }
@@ -229,7 +314,7 @@ impl BucketRef {
     /// Copy out all live entries (used when splitting).
     pub fn drain_entries(self) -> Vec<(u64, u64)> {
         let mut out = Vec::with_capacity(self.count());
-        for slot in 0..BUCKET_CAPACITY {
+        for slot in 0..self.layout.capacity() {
             if self.bit(OCCUPIED_OFF, slot) {
                 out.push(self.entry(slot));
             }
@@ -239,7 +324,7 @@ impl BucketRef {
 
     /// Iterate live entries without allocating.
     pub fn for_each_entry(self, mut f: impl FnMut(u64, u64)) {
-        for slot in 0..BUCKET_CAPACITY {
+        for slot in 0..self.layout.capacity() {
             if self.bit(OCCUPIED_OFF, slot) {
                 let (k, v) = self.entry(slot);
                 f(k, v);
@@ -252,14 +337,47 @@ impl BucketRef {
 mod tests {
     use super::*;
 
-    /// A heap-allocated stand-in for a pool page.
-    fn page() -> (Vec<u8>, BucketRef) {
-        let mut mem = vec![0u8; PAGE_SIZE_4K + 8];
+    /// A heap-allocated stand-in for a pool slot of `layout.bytes()`.
+    fn slot(layout: BucketLayout) -> (Vec<u8>, BucketRef) {
+        let mut mem = vec![0u8; layout.bytes() + 8];
         let off = mem.as_ptr().align_offset(8);
         let ptr = unsafe { mem.as_mut_ptr().add(off) };
-        let b = unsafe { BucketRef::from_ptr(ptr) };
+        let b = unsafe { BucketRef::from_ptr(ptr, layout) };
         b.init(0);
         (mem, b)
+    }
+
+    fn page() -> (Vec<u8>, BucketRef) {
+        slot(BucketLayout::base())
+    }
+
+    #[test]
+    fn base_layout_matches_the_paper() {
+        let l = BucketLayout::base();
+        assert_eq!(l.capacity(), BUCKET_CAPACITY);
+        assert_eq!(l.bytes(), PAGE_SIZE_4K);
+        assert_eq!(l.tombstone_off, 40);
+        assert_eq!(l.entries_off, 72);
+    }
+
+    #[test]
+    fn derived_layouts_fill_the_slot_tightly() {
+        for k in 0..=SlotLayout::MAX_SLOT_POWER {
+            let bytes = PAGE_SIZE_4K << k;
+            let l = BucketLayout::for_slot(SlotLayout::new(k).unwrap());
+            let words = l.capacity().div_ceil(64);
+            let used = 8 + 16 * words + 16 * l.capacity();
+            assert!(used <= bytes, "k={k}: {used} > {bytes}");
+            // Not wasting a whole extra entry's worth of space.
+            let cap1 = l.capacity() + 1;
+            assert!(
+                8 + 16 * cap1.div_ceil(64) + 16 * cap1 > bytes,
+                "k={k}: capacity {} too conservative",
+                l.capacity()
+            );
+            assert_eq!(l.tombstone_off as usize, 8 + 8 * words);
+            assert_eq!(l.entries_off as usize, 8 + 16 * words);
+        }
     }
 
     #[test]
@@ -291,22 +409,26 @@ mod tests {
     }
 
     #[test]
-    fn fills_to_capacity_then_full() {
-        let (_m, b) = page();
-        for k in 0..BUCKET_CAPACITY as u64 {
-            assert_eq!(
-                b.insert(k, k, BUCKET_CAPACITY),
-                InsertOutcome::Inserted,
-                "key {k}"
-            );
-        }
-        assert_eq!(b.count(), BUCKET_CAPACITY);
-        assert_eq!(b.insert(9999, 1, BUCKET_CAPACITY), InsertOutcome::Full);
-        // Updates still work when full.
-        assert_eq!(b.insert(5, 55, BUCKET_CAPACITY), InsertOutcome::Updated);
-        for k in 0..BUCKET_CAPACITY as u64 {
-            let want = if k == 5 { 55 } else { k };
-            assert_eq!(b.get(k), Some(want), "key {k}");
+    fn fills_to_capacity_then_full_at_every_layout() {
+        for k in [0u32, 2] {
+            let layout = BucketLayout::for_slot(SlotLayout::new(k).unwrap());
+            let (_m, b) = slot(layout);
+            let cap = layout.capacity();
+            for key in 0..cap as u64 {
+                assert_eq!(
+                    b.insert(key, key, cap),
+                    InsertOutcome::Inserted,
+                    "key {key}"
+                );
+            }
+            assert_eq!(b.count(), cap);
+            assert_eq!(b.insert(u64::MAX, 1, cap), InsertOutcome::Full);
+            // Updates still work when full.
+            assert_eq!(b.insert(5, 55, cap), InsertOutcome::Updated);
+            for key in 0..cap as u64 {
+                let want = if key == 5 { 55 } else { key };
+                assert_eq!(b.get(key), Some(want), "k={k} key {key}");
+            }
         }
     }
 
@@ -393,10 +515,25 @@ mod tests {
     }
 
     #[test]
-    fn capacity_fits_in_page() {
-        let (cap, off, page) = (BUCKET_CAPACITY, ENTRIES_OFF, PAGE_SIZE_4K);
-        assert!(off + cap * 16 <= page);
-        // And we are not wasting a whole extra entry's worth of space.
-        assert!(off + (cap + 1) * 16 > page);
+    fn large_slot_roundtrip_past_the_4k_capacity() {
+        // A 16 KB bucket holds ~4x the entries of the 4 KB layout; fill it
+        // well past 251 and read everything back.
+        let layout = BucketLayout::for_slot(SlotLayout::new(2).unwrap());
+        assert!(layout.capacity() > 4 * BUCKET_CAPACITY - 64);
+        let (_m, b) = slot(layout);
+        let n = (BUCKET_CAPACITY * 3) as u64;
+        for k in 0..n {
+            assert_eq!(
+                b.insert(k, !k, layout.capacity()),
+                InsertOutcome::Inserted,
+                "key {k}"
+            );
+        }
+        b.remove(100);
+        for k in 0..n {
+            let want = if k == 100 { None } else { Some(!k) };
+            assert_eq!(b.get(k), want, "key {k}");
+        }
+        assert_eq!(b.count(), n as usize - 1);
     }
 }

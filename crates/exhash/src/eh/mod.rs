@@ -14,13 +14,13 @@ mod directory;
 
 pub use directory::Directory;
 
-use crate::bucket::{BucketRef, InsertOutcome, BUCKET_CAPACITY};
+use crate::bucket::{BucketLayout, BucketRef, InsertOutcome};
 use crate::error::IndexError;
 use crate::hash::{dir_slot, mult_hash, split_bit};
 use crate::stats::IndexStats;
 use crate::traits::Index;
 use shortcut_core::{CompactionPolicy, MaintMetrics};
-use shortcut_rewire::{planned_vmas, PageIdx, PagePool, PoolConfig, PoolHandle};
+use shortcut_rewire::{planned_vmas, PageIdx, PagePool, PoolConfig, PoolHandle, SlotLayout};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -117,6 +117,9 @@ struct CompactPlan {
 /// The EH baseline (and the synchronous half of Shortcut-EH).
 pub struct ExtendibleHash {
     pool: PagePool,
+    /// Bucket geometry derived from the pool's slot size (capacity, field
+    /// offsets). One bucket fills one slot.
+    bucket_layout: BucketLayout,
     dir: Directory,
     bucket_count: usize,
     len: usize,
@@ -149,19 +152,22 @@ impl ExtendibleHash {
         if !(cfg.max_load_factor > 0.0 && cfg.max_load_factor <= 1.0) {
             return Err(IndexError::config("max_load_factor must be in (0, 1]"));
         }
-        let max_entries = ((BUCKET_CAPACITY as f64) * cfg.max_load_factor).floor() as usize;
+        let bucket_layout = BucketLayout::for_slot(cfg.pool.slot_layout);
+        let max_entries =
+            ((bucket_layout.capacity() as f64) * cfg.max_load_factor).floor() as usize;
         if max_entries < 1 {
             return Err(IndexError::config("load factor too small for any entry"));
         }
         let mut pool = PagePool::new(cfg.pool.clone())?;
         let first = pool.alloc_page()?;
         let ptr = pool.page_ptr(first);
-        // SAFETY: freshly allocated, exclusively owned 4 KB pool page.
-        unsafe { BucketRef::from_ptr(ptr) }.init(0);
+        // SAFETY: freshly allocated, exclusively owned pool slot.
+        unsafe { BucketRef::from_ptr(ptr, bucket_layout) }.init(0);
         let mut dir = Directory::new();
         dir.set_all(ptr);
         Ok(ExtendibleHash {
             pool,
+            bucket_layout,
             dir,
             bucket_count: 1,
             len: 0,
@@ -202,6 +208,27 @@ impl ExtendibleHash {
     /// Average directory fan-in (`slots / buckets`), the §3.2 routing input.
     pub fn avg_fanin(&self) -> f64 {
         self.dir.slot_count() as f64 / self.bucket_count as f64
+    }
+
+    /// The pool's physical slot layout (`2^k` base pages per bucket).
+    pub fn slot_layout(&self) -> SlotLayout {
+        self.pool.layout()
+    }
+
+    /// The derived bucket geometry (capacity, offsets) of this index.
+    pub fn bucket_layout(&self) -> BucketLayout {
+        self.bucket_layout
+    }
+
+    /// Whether hugepage backing was requested on the pool.
+    pub fn huge_requested(&self) -> bool {
+        self.pool.huge_requested()
+    }
+
+    /// Whether the pool's hugetlb backend is active (see
+    /// [`shortcut_rewire::PoolConfig::huge_pages`]).
+    pub fn huge_active(&self) -> bool {
+        self.pool.huge_active()
     }
 
     /// Structural statistics.
@@ -245,8 +272,8 @@ impl ExtendibleHash {
     fn bucket_for(&self, hash: u64) -> BucketRef {
         let ptr = self.dir.get(dir_slot(hash, self.dir.global_depth()));
         debug_assert!(!ptr.is_null());
-        // SAFETY: directory slots always point at live pool bucket pages.
-        unsafe { BucketRef::from_ptr(ptr) }
+        // SAFETY: directory slots always point at live pool bucket slots.
+        unsafe { BucketRef::from_ptr(ptr, self.bucket_layout) }
     }
 
     /// Full `(slot, pool page)` assignment of the current directory.
@@ -310,8 +337,8 @@ impl ExtendibleHash {
         let g = self.dir.global_depth();
         let slot = dir_slot(hash, g);
         let old_ptr = self.dir.get(slot);
-        // SAFETY: live bucket page (directory invariant).
-        let old = unsafe { BucketRef::from_ptr(old_ptr) };
+        // SAFETY: live bucket slot (directory invariant).
+        let old = unsafe { BucketRef::from_ptr(old_ptr, self.bucket_layout) };
         let l = old.local_depth();
 
         if l == g {
@@ -325,8 +352,8 @@ impl ExtendibleHash {
         // (splitting *that* would lose the entries). Bucket handles are
         // only stable through the directory's translation.
         let old_ptr = self.dir.get(slot);
-        // SAFETY: live bucket page (directory invariant).
-        let old = unsafe { BucketRef::from_ptr(old_ptr) };
+        // SAFETY: live bucket slot (directory invariant).
+        let old = unsafe { BucketRef::from_ptr(old_ptr, self.bucket_layout) };
         let l = old.local_depth();
         debug_assert!(l < g);
 
@@ -337,8 +364,8 @@ impl ExtendibleHash {
         // Fresh bucket page for the upper half.
         let new_page = self.pool.alloc_page()?;
         let new_ptr = self.pool.page_ptr(new_page);
-        // SAFETY: freshly allocated pool page, exclusively ours.
-        let new = unsafe { BucketRef::from_ptr(new_ptr) };
+        // SAFETY: freshly allocated pool slot, exclusively ours.
+        let new = unsafe { BucketRef::from_ptr(new_ptr, self.bucket_layout) };
         new.init(l + 1);
 
         // Redistribute: the (l+1)-th hash bit decides the side.
@@ -347,7 +374,7 @@ impl ExtendibleHash {
         for (k, v) in entries {
             let h = mult_hash(k);
             let target = if split_bit(h, l) { new } else { old };
-            let r = target.insert(k, v, BUCKET_CAPACITY);
+            let r = target.insert(k, v, self.bucket_layout.capacity());
             debug_assert_ne!(r, InsertOutcome::Full, "split lost an entry");
         }
 
@@ -444,8 +471,8 @@ impl ExtendibleHash {
         let (mut fine, mut bucket_idx) = (0usize, 0usize);
         let cover_at = |s: usize| {
             let ptr = self.dir.get(s);
-            // SAFETY: live bucket page (directory invariant).
-            let l = unsafe { BucketRef::from_ptr(ptr) }.local_depth();
+            // SAFETY: live bucket slot (directory invariant).
+            let l = unsafe { BucketRef::from_ptr(ptr, self.bucket_layout) }.local_depth();
             1usize << (g - l)
         };
         for s in (0..slots).step_by(step) {
@@ -514,8 +541,8 @@ impl ExtendibleHash {
     ) -> Result<usize, IndexError> {
         let g = self.dir.global_depth();
         let ptr = self.dir.get(slot);
-        // SAFETY: live bucket page (directory invariant).
-        let l = unsafe { BucketRef::from_ptr(ptr) }.local_depth();
+        // SAFETY: live bucket slot (directory invariant).
+        let l = unsafe { BucketRef::from_ptr(ptr, self.bucket_layout) }.local_depth();
         let range = Directory::covering_range(slot, g, l);
         debug_assert_eq!(range.start, slot, "cursor must sit on a range start");
         let src = self.pool.page_of_ptr(ptr)?;
@@ -888,7 +915,7 @@ mod tests {
             let ptr = eh.dir.get(s);
             assert!(!ptr.is_null());
             // SAFETY: directory invariant — live bucket page.
-            let b = unsafe { BucketRef::from_ptr(ptr) };
+            let b = unsafe { BucketRef::from_ptr(ptr, eh.bucket_layout) };
             let l = b.local_depth();
             assert!(l <= g, "local depth exceeds global at slot {s}");
             // Exactly 2^(g-l) contiguous slots share this bucket, aligned
@@ -916,7 +943,7 @@ mod tests {
         for s in 0..eh.dir_slots() {
             let ptr = eh.dir.get(s);
             // SAFETY: directory invariant.
-            let b = unsafe { BucketRef::from_ptr(ptr) };
+            let b = unsafe { BucketRef::from_ptr(ptr, eh.bucket_layout) };
             let l = b.local_depth();
             b.for_each_entry(|k, _| {
                 let h = mult_hash(k);
@@ -1193,6 +1220,51 @@ mod tests {
         assert!(eh.pool.allocated_pages() < allocated + (k - 5_000) as usize);
         for x in 0..k {
             assert_eq!(eh.get(x), Some(x), "key {x}");
+        }
+    }
+
+    #[test]
+    fn larger_slots_grow_shallower_directories() {
+        // Same keys, 16 KB slots: ~4x the bucket capacity must produce a
+        // directory at least two levels shallower than the 4 KB run, with
+        // every answer intact.
+        let build = |k: u32| {
+            ExtendibleHash::try_new(EhConfig {
+                pool: PoolConfig {
+                    initial_pages: 1,
+                    min_growth_pages: 8,
+                    view_capacity_pages: 1 << 16,
+                    slot_layout: SlotLayout::new(k).unwrap(),
+                    ..PoolConfig::default()
+                },
+                ..EhConfig::default()
+            })
+            .unwrap()
+        };
+        let n = 30_000u64;
+        let mut base = build(0);
+        let mut big = build(2);
+        assert!(big.bucket_layout().capacity() > 4 * base.bucket_layout().capacity() - 64);
+        for k in 0..n {
+            base.insert(k, k ^ 42).unwrap();
+            big.insert(k, k ^ 42).unwrap();
+        }
+        for k in 0..n {
+            assert_eq!(big.get(k), Some(k ^ 42), "key {k}");
+        }
+        assert!(
+            big.global_depth() + 2 <= base.global_depth(),
+            "16 KB slots: depth {} vs {} at 4 KB",
+            big.global_depth(),
+            base.global_depth()
+        );
+        assert!(big.stats().splits * 3 < base.stats().splits);
+        // The layout estimates stay slot-denominated: compacting a k=2
+        // index hits the same `slots − buckets + 1` closed form.
+        let out = big.compact_full().unwrap();
+        assert_eq!(out.vmas_after, big.ideal_layout_vmas());
+        for k in 0..n {
+            assert_eq!(big.get(k), Some(k ^ 42), "post-compaction key {k}");
         }
     }
 

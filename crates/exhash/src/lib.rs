@@ -36,7 +36,7 @@ pub mod shortcut_eh;
 pub mod stats;
 pub mod traits;
 
-pub use bucket::{BucketRef, InsertOutcome, BUCKET_CAPACITY};
+pub use bucket::{BucketLayout, BucketRef, InsertOutcome, BUCKET_CAPACITY};
 pub use chained::{ChConfig, ChainedHash};
 pub use eh::{CompactionOutcome, DirEvent, EhConfig, ExtendibleHash};
 pub use error::IndexError;

@@ -27,14 +27,14 @@
 //! (the type is `Sync`); Rust's aliasing rules guarantee no writer exists
 //! while those shared borrows are alive.
 
-use crate::bucket::BucketRef;
+use crate::bucket::{BucketLayout, BucketRef};
 use crate::eh::{CompactionOutcome, DirEvent, EhConfig, ExtendibleHash};
 use crate::error::IndexError;
 use crate::hash::{dir_slot, mult_hash};
 use crate::stats::IndexStats;
 use crate::traits::Index;
 use shortcut_core::{CompactionPolicy, MaintConfig, MaintRequest, Maintainer, RoutePolicy};
-use shortcut_rewire::{RetireList, PAGE_SIZE_4K};
+use shortcut_rewire::RetireList;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -69,6 +69,13 @@ pub struct ShortcutEh {
     /// dereference of the published shortcut base, so the mapper's
     /// reclamation never unmaps a retired directory under a reader.
     retire: Arc<RetireList>,
+    /// `log2(slot_bytes)` of the pool's layout: published slot `i` starts
+    /// at `base + (i << slot_shift)` — the layout-derived replacement for
+    /// the historical hard-coded `slot * 4096`.
+    slot_shift: u32,
+    /// Bucket geometry shared with the inner EH (capacity, offsets), used
+    /// to type published slots on the lookup path.
+    bucket_layout: BucketLayout,
     /// Bucket-layout compaction policy (mirrored into the inner EH; the
     /// mapper raises the trigger flag, the write path here runs the
     /// moves).
@@ -107,6 +114,8 @@ impl ShortcutEh {
         let mut eh = ExtendibleHash::try_new(cfg.eh)?;
         let handle = eh.pool_handle();
         let retire = Arc::clone(handle.retire_list());
+        let slot_shift = handle.layout().slot_shift();
+        let bucket_layout = eh.bucket_layout();
         let maint = Maintainer::spawn(handle, cfg.maint);
         // Write-path compaction work (page moves) mirrors into the
         // mapper's metrics so one snapshot tells the whole story.
@@ -117,6 +126,8 @@ impl ShortcutEh {
             policy: cfg.policy,
             counters: RouteCounters::default(),
             retire,
+            slot_shift,
+            bucket_layout,
             compaction,
             next_compaction_splits: 0,
             next_urgent_splits: 0,
@@ -204,6 +215,28 @@ impl ShortcutEh {
     /// Number of buckets.
     pub fn bucket_count(&self) -> usize {
         self.eh.bucket_count()
+    }
+
+    /// The pool's physical slot layout (`2^k` base pages per bucket).
+    pub fn slot_layout(&self) -> shortcut_rewire::SlotLayout {
+        self.eh.slot_layout()
+    }
+
+    /// The derived bucket geometry (capacity, offsets).
+    pub fn bucket_layout(&self) -> BucketLayout {
+        self.eh.bucket_layout()
+    }
+
+    /// Whether hugepage backing was requested on the pool.
+    pub fn huge_requested(&self) -> bool {
+        self.eh.huge_requested()
+    }
+
+    /// Whether the pool's hugetlb backend is active (request at the 2 MB
+    /// boundary whose creation-time probe succeeded); `false` after a
+    /// clean fallback to 4 KB-page slots.
+    pub fn huge_active(&self) -> bool {
+        self.eh.huge_active()
     }
 
     /// First maintenance error, if the mapper thread failed, wrapped as the
@@ -493,11 +526,12 @@ impl ShortcutEh {
         debug_assert!(t.slots.is_power_of_two());
         let g = t.slots.trailing_zeros();
         let slot = dir_slot(hash, g);
-        // SAFETY: the published area has t.slots pages; `slot < t.slots`
+        // SAFETY: the published area has t.slots slots; `slot < t.slots`
         // by construction of dir_slot; a racing rebuild retires the old
-        // area but reclamation waits for `_pin` to drop, so the page stays
+        // area but reclamation waits for `_pin` to drop, so the slot stays
         // readable (stale data is discarded by the ticket below).
-        let bucket = unsafe { BucketRef::from_ptr(t.base.add(slot * PAGE_SIZE_4K)) };
+        let bucket =
+            unsafe { BucketRef::from_ptr(t.base.add(slot << self.slot_shift), self.bucket_layout) };
         // The shortcut may be published at a coarser depth than the
         // traditional directory (VMA-budget admission). A bucket deeper
         // than the published depth shares its slot with a sibling and is
@@ -587,8 +621,12 @@ impl Index for ShortcutEh {
                         let slot = dir_slot(mult_hash(k), g);
                         // SAFETY: see `shortcut_get` — slot < t.slots and
                         // the pin defers reclamation of retired areas.
-                        let bucket =
-                            unsafe { BucketRef::from_ptr(t.base.add(slot * PAGE_SIZE_4K)) };
+                        let bucket = unsafe {
+                            BucketRef::from_ptr(
+                                t.base.add(slot << self.slot_shift),
+                                self.bucket_layout,
+                            )
+                        };
                         // Coarsely published directory: over-depth buckets
                         // are unresolvable here, answer those keys
                         // traditionally (see `shortcut_get`).
@@ -994,6 +1032,48 @@ mod tests {
         for key in (0..n).step_by(101) {
             assert_eq!(off.get(key), Some(key + 7), "key {key}");
         }
+    }
+
+    #[test]
+    fn large_slots_serve_through_the_shortcut() {
+        // A k=2 (16 KB slot) Shortcut-EH: the published directory's
+        // pointer arithmetic must use the layout-derived shift, lookups
+        // must be shortcut-served once synced, and the live footprint
+        // must undercut the k=0 run by roughly the capacity ratio.
+        let build = |k: u32| {
+            let mut cfg = fast_cfg();
+            cfg.eh.pool.slot_layout = shortcut_rewire::SlotLayout::new(k).unwrap();
+            cfg.eh.pool.vma_budget = Some(shortcut_rewire::VmaBudget::with_limit(1_000_000));
+            ShortcutEh::try_new(cfg).unwrap()
+        };
+        let n = 60_000u64;
+        let mut base = build(0);
+        let mut big = build(2);
+        for k in 0..n {
+            base.insert(k, k * 3).unwrap();
+            big.insert(k, k * 3).unwrap();
+        }
+        assert!(big.wait_sync(Duration::from_secs(10)), "k=2 never synced");
+        assert!(base.wait_sync(Duration::from_secs(10)));
+        for k in (0..n).step_by(17) {
+            assert_eq!(big.get(k), Some(k * 3), "key {k}");
+        }
+        let s = big.stats();
+        assert!(
+            s.shortcut_lookups > s.traditional_lookups,
+            "k=2 lookups not shortcut-served: {s:?}"
+        );
+        // ~4x fewer buckets → at least 2x fewer live mappings (VMAs are
+        // slot-denominated, and the k=2 directory is 4x shallower).
+        let (b, g) = (base.vma_stats(), big.vma_stats());
+        assert!(
+            g.live_vmas() * 2 <= b.live_vmas(),
+            "live VMAs did not scale down: k=0 {} vs k=2 {}",
+            b.live_vmas(),
+            g.live_vmas()
+        );
+        assert_eq!(big.slot_layout().pages_per_slot(), 4);
+        assert!(!big.huge_requested());
     }
 
     #[test]

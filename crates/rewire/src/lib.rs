@@ -41,6 +41,7 @@ mod memfile;
 mod page;
 mod pool;
 mod retire;
+mod slot;
 mod stats;
 mod varea;
 
@@ -50,5 +51,6 @@ pub use memfile::MemFile;
 pub use page::{is_page_aligned, page_size, pages_to_bytes, PageIdx, PAGE_SHIFT_4K, PAGE_SIZE_4K};
 pub use pool::{PagePool, PoolConfig, PoolHandle};
 pub use retire::{ReaderPin, RetireList};
+pub use slot::{SlotLayout, HUGE_PAGE_BYTES};
 pub use stats::{RewireStats, StatsSnapshot};
 pub use varea::{planned_vmas, rewire_page_raw, Mapping, VirtArea};

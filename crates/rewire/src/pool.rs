@@ -22,13 +22,46 @@ use crate::error::{Error, Result};
 use crate::memfile::MemFile;
 use crate::page::{page_size, PageIdx};
 use crate::retire::RetireList;
+use crate::slot::SlotLayout;
 use crate::stats::{RewireStats, StatsSnapshot};
+use crate::varea::reserve_aligned;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// VMAs charged for the pool's own linear view: the mapped file prefix
 /// plus the `PROT_NONE` remainder of the fixed reservation.
 const POOL_VIEW_VMAS: usize = 2;
+
+/// Probe whether an `MFD_HUGETLB` file is actually usable: reserve one
+/// slot's worth of hugepages, map and touch it, then shrink back. A
+/// kernel that accepts the flag but has no hugepages reserved fails the
+/// `mmap` (hugetlb reserves at map time), which is exactly the graceful
+/// signal the caller needs to fall back to 4 KB-page slots.
+fn probe_hugetlb(file: &MemFile, slot_bytes: usize) -> bool {
+    if file.resize(slot_bytes).is_err() {
+        return false;
+    }
+    // SAFETY: fresh mapping of our own file; unmapped before returning.
+    let ok = unsafe {
+        let p = libc::mmap(
+            std::ptr::null_mut(),
+            slot_bytes,
+            libc::PROT_READ | libc::PROT_WRITE,
+            libc::MAP_SHARED | libc::MAP_POPULATE,
+            file.fd(),
+            0,
+        );
+        if p == libc::MAP_FAILED {
+            false
+        } else {
+            *(p as *mut u64) = 0x51_07;
+            let ok = *(p as *const u64) == 0x51_07;
+            libc::munmap(p, slot_bytes);
+            ok
+        }
+    };
+    ok && file.resize(0).is_ok()
+}
 
 /// Shared implementation of [`PagePool::vma_snapshot`] /
 /// [`PoolHandle::vma_snapshot`].
@@ -46,29 +79,51 @@ fn vma_snapshot(budget: &VmaBudget, retire: &RetireList) -> VmaSnapshot {
 }
 
 /// Tuning knobs for a [`PagePool`].
+///
+/// All `*_pages` counts are denominated in **slots** — the pool's
+/// allocation unit of `2^k` base pages fixed by
+/// [`PoolConfig::slot_layout`]. At the default layout (`k = 0`) a slot is
+/// one 4 KB page and the historical field names read literally.
 #[derive(Debug, Clone)]
 pub struct PoolConfig {
     /// Diagnostic name of the backing memfd.
     pub name: String,
-    /// Initial file size in pages (the paper's indexes start at one 4 KB
-    /// bucket, i.e. one page).
+    /// Initial file size in slots (the paper's indexes start at one
+    /// bucket, i.e. one slot).
     pub initial_pages: usize,
-    /// Grow by at least this many pages per `ftruncate` (amortizes syscalls).
+    /// Grow by at least this many slots per `ftruncate` (amortizes
+    /// syscalls).
     pub min_growth_pages: usize,
-    /// Only shrink the file while it is larger than this many pages.
+    /// Only shrink the file while it is larger than this many slots.
     pub shrink_threshold_pages: usize,
-    /// Eagerly populate page-table entries for newly grown pages
-    /// (`MAP_POPULATE`), avoiding hard page faults at first access.
+    /// Eagerly populate page-table entries for newly grown slots
+    /// (`MAP_POPULATE`), avoiding hard page faults at access time.
     pub pretouch: bool,
     /// Size of the fixed virtual reservation holding the linear view, in
-    /// pages. The pool can never grow beyond this. Virtual address space is
-    /// effectively free on 64-bit; the default reserves 16 GB.
+    /// slots. The pool can never grow beyond this. Virtual address space is
+    /// effectively free on 64-bit; the default reserves 16 GB at `k = 0`.
     pub view_capacity_pages: usize,
     /// VMA budget this pool (and the areas retired into it) accounts
     /// against. `None` uses the process-global budget fed by
     /// `vm.max_map_count` ([`VmaBudget::global`]); tests and stress rigs
     /// inject private budgets with small limits.
     pub vma_budget: Option<Arc<VmaBudget>>,
+    /// Physical slot layout: `2^k` base pages per slot (default `k = 0`,
+    /// the paper's one-page buckets). Constructed once; every consumer of
+    /// the pool must use the same layout for its offset arithmetic.
+    pub slot_layout: SlotLayout,
+    /// Opt-in hugepage backing. When the layout reaches the 2 MB boundary
+    /// ([`SlotLayout::reaches_huge_boundary`]) the pool tries an
+    /// `MFD_HUGETLB` memfd and **probes** it (reserving one slot's worth
+    /// of hugepages); if the kernel lacks support or no hugepages are
+    /// reserved (`/proc/sys/vm/nr_hugepages`), it falls back cleanly to
+    /// plain 4 KB-page slots and reports
+    /// [`PagePool::huge_active`]` == false`. Below the boundary (or after
+    /// a fallback) the pool instead advises `MADV_HUGEPAGE` on the linear
+    /// view, best-effort. Note that with hugetlb active, later growth can
+    /// still fail with a typed `mmap` error if the reserved hugepage pool
+    /// runs dry mid-run.
+    pub huge_pages: bool,
 }
 
 impl Default for PoolConfig {
@@ -81,6 +136,8 @@ impl Default for PoolConfig {
             pretouch: true,
             view_capacity_pages: 1 << 22, // 16 GB of 4 KB pages
             vma_budget: None,
+            slot_layout: SlotLayout::base(),
+            huge_pages: false,
         }
     }
 }
@@ -108,6 +165,8 @@ pub struct PoolHandle {
     stats: Arc<RewireStats>,
     budget: Arc<VmaBudget>,
     retire: Arc<RetireList>,
+    layout: SlotLayout,
+    huge_active: bool,
 }
 
 impl PoolHandle {
@@ -121,6 +180,19 @@ impl PoolHandle {
     #[inline]
     pub fn file_len(&self) -> usize {
         self.file.len()
+    }
+
+    /// The pool's physical slot layout.
+    #[inline]
+    pub fn layout(&self) -> SlotLayout {
+        self.layout
+    }
+
+    /// Whether the pool's slots are backed by hardware hugepages
+    /// (`MFD_HUGETLB` probe succeeded at creation).
+    #[inline]
+    pub fn huge_active(&self) -> bool {
+        self.huge_active
     }
 
     /// The VMA budget this pool accounts against.
@@ -146,20 +218,24 @@ impl PoolHandle {
     }
 }
 
-/// The pool of physical pages. See module docs.
+/// The pool of physical slots (`2^k` base pages each). See module docs.
 pub struct PagePool {
     file: Arc<MemFile>,
     cfg: PoolConfig,
+    /// The slot layout (copied out of `cfg` for hot-path arithmetic).
+    layout: SlotLayout,
+    /// Whether the hugetlb backend is active (probe succeeded).
+    huge_active: bool,
     /// Base of the fixed anonymous reservation that hosts the linear view.
     view_base: *mut u8,
-    /// Pages of the file currently mapped into the view (== file length).
+    /// Slots of the file currently mapped into the view (== file length).
     file_pages: usize,
-    /// FIFO of reusable page indices. May contain stale entries for pages
+    /// FIFO of reusable slot indices. May contain stale entries for slots
     /// that were truncated away by a shrink; `alloc_page` skips those.
     free_queue: VecDeque<usize>,
     state: Vec<PageState>,
     allocated: usize,
-    /// Pages relocated away by compaction, stamped with the retirement
+    /// Slots relocated away by compaction, stamped with the retirement
     /// epoch at which they became unreachable. Freed (as runs) by
     /// [`PagePool::reclaim_retired_pages`] once readers quiesce.
     retired_pages: Vec<(u64, usize)>,
@@ -187,34 +263,43 @@ impl PagePool {
         if cfg.initial_pages > cfg.view_capacity_pages {
             return Err(Error::invalid("initial_pages exceeds view_capacity_pages"));
         }
-        let file = Arc::new(MemFile::create(&cfg.name)?);
+        let layout = cfg.slot_layout;
+        let slot_bytes = layout.slot_bytes();
+
+        // Hugepage backing: only meaningful at the 2 MB boundary, and only
+        // if the kernel both accepts MFD_HUGETLB and has hugepages
+        // reserved — probed here so failures degrade to plain 4 KB-page
+        // slots at creation time instead of SIGBUS-ing at first access.
+        let mut huge_active = false;
+        let file = if cfg.huge_pages && layout.reaches_huge_boundary() {
+            match MemFile::create_huge(&cfg.name) {
+                Ok(f) if probe_hugetlb(&f, slot_bytes) => {
+                    huge_active = true;
+                    f
+                }
+                _ => MemFile::create(&cfg.name)?,
+            }
+        } else {
+            MemFile::create(&cfg.name)?
+        };
+        let file = Arc::new(file);
         let stats = Arc::new(RewireStats::new());
 
         // Reserve the fixed view as PROT_NONE anonymous memory: any stray
-        // access to a not-yet-grown region faults loudly.
-        let cap_bytes = cfg.view_capacity_pages * page_size();
-        // SAFETY: plain anonymous reservation; we own the returned range.
-        let view_base = unsafe {
-            libc::mmap(
-                std::ptr::null_mut(),
-                cap_bytes,
-                libc::PROT_NONE,
-                libc::MAP_PRIVATE | libc::MAP_ANONYMOUS | libc::MAP_NORESERVE,
-                -1,
-                0,
-            )
-        };
-        if view_base == libc::MAP_FAILED {
-            return Err(Error::os("mmap"));
-        }
+        // access to a not-yet-grown region faults loudly. Hugetlb inner
+        // mappings need a slot-aligned base, so over-reserve and trim.
+        let cap_bytes = cfg.view_capacity_pages * slot_bytes;
+        let view_base = reserve_aligned(cap_bytes, slot_bytes.max(page_size()), libc::PROT_NONE)?;
         stats.count_mmap(1);
         let budget = cfg.vma_budget.clone().unwrap_or_else(VmaBudget::global);
         budget.charge(POOL_VIEW_VMAS);
 
         let mut pool = PagePool {
             file,
+            layout,
+            huge_active,
             cfg,
-            view_base: view_base as *mut u8,
+            view_base,
             file_pages: 0,
             free_queue: VecDeque::new(),
             state: Vec::new(),
@@ -231,12 +316,39 @@ impl PagePool {
         Ok(pool)
     }
 
+    /// Bytes per slot (the pool's allocation unit).
+    #[inline]
+    fn slot_bytes(&self) -> usize {
+        self.layout.slot_bytes()
+    }
+
+    /// The pool's physical slot layout.
+    #[inline]
+    pub fn layout(&self) -> SlotLayout {
+        self.layout
+    }
+
+    /// Whether hugepage backing was requested in the configuration.
+    #[inline]
+    pub fn huge_requested(&self) -> bool {
+        self.cfg.huge_pages
+    }
+
+    /// Whether the hugetlb backend is actually active (requested, layout
+    /// at the 2 MB boundary, and the creation-time probe succeeded).
+    /// `huge_requested() && !huge_active()` means the pool fell back to
+    /// plain 4 KB-page slots.
+    #[inline]
+    pub fn huge_active(&self) -> bool {
+        self.huge_active
+    }
+
     /// Create a pool with [`PoolConfig::default`].
     pub fn with_defaults() -> Result<Self> {
         Self::new(PoolConfig::default())
     }
 
-    /// Grow the file (and the linear view) to exactly `new_pages`.
+    /// Grow the file (and the linear view) to exactly `new_pages` slots.
     fn grow_to(&mut self, new_pages: usize) -> Result<()> {
         debug_assert!(new_pages > self.file_pages);
         if new_pages > self.cfg.view_capacity_pages {
@@ -245,8 +357,9 @@ impl PagePool {
                 requested: new_pages,
             });
         }
+        let slot_bytes = self.slot_bytes();
         let old_pages = self.file_pages;
-        self.file.resize(new_pages * page_size())?;
+        self.file.resize(new_pages * slot_bytes)?;
         self.stats.count_grow();
 
         // Map the newly valid file range into the view at the same offset.
@@ -256,19 +369,27 @@ impl PagePool {
             flags |= libc::MAP_POPULATE;
         }
         // SAFETY: the target range lies inside our own reservation; MAP_FIXED
-        // replaces the PROT_NONE placeholder; offset/length are page aligned.
+        // replaces the PROT_NONE placeholder; offset/length are slot aligned.
         let rc = unsafe {
             libc::mmap(
-                self.view_base.add(old_pages * page_size()) as *mut libc::c_void,
-                delta * page_size(),
+                self.view_base.add(old_pages * slot_bytes) as *mut libc::c_void,
+                delta * slot_bytes,
                 libc::PROT_READ | libc::PROT_WRITE,
                 flags,
                 self.file.fd(),
-                (old_pages * page_size()) as libc::off_t,
+                (old_pages * slot_bytes) as libc::off_t,
             )
         };
         if rc == libc::MAP_FAILED {
             return Err(Error::os("mmap"));
+        }
+        if self.cfg.huge_pages && !self.huge_active {
+            // Hugetlb unavailable (or the layout is below the boundary):
+            // best-effort transparent-hugepage advice on the fresh range.
+            // SAFETY: advising a range we just mapped.
+            unsafe {
+                libc::madvise(rc, delta * slot_bytes, libc::MADV_HUGEPAGE);
+            }
         }
         self.stats.count_mmap(1);
         if self.cfg.pretouch {
@@ -330,12 +451,16 @@ impl PagePool {
                 // hole punching is unsupported.
                 if self
                     .file
-                    .punch_hole(start * page_size(), n * page_size())
+                    .punch_hole(start * self.slot_bytes(), n * self.slot_bytes())
                     .is_err()
                 {
                     // SAFETY: in-bounds span of the mapped linear view.
                     unsafe {
-                        std::ptr::write_bytes(self.page_ptr(PageIdx(start)), 0, n * page_size());
+                        std::ptr::write_bytes(
+                            self.page_ptr(PageIdx(start)),
+                            0,
+                            n * self.slot_bytes(),
+                        );
                     }
                 }
                 start
@@ -451,7 +576,9 @@ impl PagePool {
         }
         self.allocated -= n;
         self.stats.count_free(n as u64);
-        let _ = self.file.punch_hole(start.byte_offset(), n * page_size());
+        let _ = self
+            .file
+            .punch_hole(self.layout.byte_offset(start.0), n * self.slot_bytes());
         Ok(())
     }
 
@@ -480,7 +607,11 @@ impl PagePool {
         // SAFETY: both pages are in-bounds, allocated, and distinct; the
         // linear view maps the whole file read/write.
         unsafe {
-            std::ptr::copy_nonoverlapping(self.page_ptr(src), self.page_ptr(dst), page_size());
+            std::ptr::copy_nonoverlapping(
+                self.page_ptr(src),
+                self.page_ptr(dst),
+                self.slot_bytes(),
+            );
         }
         Ok(())
     }
@@ -548,7 +679,9 @@ impl PagePool {
             }
             self.allocated -= n;
             self.stats.count_free(n as u64);
-            let _ = self.file.punch_hole(start * page_size(), n * page_size());
+            let _ = self
+                .file
+                .punch_hole(start * self.slot_bytes(), n * self.slot_bytes());
             i = j;
         }
         freed
@@ -578,8 +711,8 @@ impl PagePool {
         // SAFETY: range is inside our reservation; MAP_FIXED replacement.
         let rc = unsafe {
             libc::mmap(
-                self.view_base.add(new_pages * page_size()) as *mut libc::c_void,
-                delta * page_size(),
+                self.view_base.add(new_pages * self.slot_bytes()) as *mut libc::c_void,
+                delta * self.slot_bytes(),
                 libc::PROT_NONE,
                 libc::MAP_PRIVATE | libc::MAP_ANONYMOUS | libc::MAP_FIXED | libc::MAP_NORESERVE,
                 -1,
@@ -590,7 +723,7 @@ impl PagePool {
             return Err(Error::os("mmap"));
         }
         self.stats.count_mmap(1);
-        self.file.resize(new_pages * page_size())?;
+        self.file.resize(new_pages * self.slot_bytes())?;
         self.stats.count_shrink();
         self.file_pages = new_pages;
         self.state.truncate(new_pages);
@@ -619,7 +752,7 @@ impl PagePool {
             let n = i - start;
             if self
                 .file
-                .punch_hole(start * page_size(), n * page_size())
+                .punch_hole(start * self.slot_bytes(), n * self.slot_bytes())
                 .is_ok()
             {
                 reclaimed += n;
@@ -637,7 +770,7 @@ impl PagePool {
     pub fn page_ptr(&self, page: PageIdx) -> *mut u8 {
         assert!(page.0 < self.file_pages, "page {page} out of range");
         // SAFETY: in-bounds offset inside the mapped view.
-        unsafe { self.view_base.add(page.0 * page_size()) }
+        unsafe { self.view_base.add(page.0 * self.slot_bytes()) }
     }
 
     /// Base address of the linear view (`v_pool` in the paper).
@@ -651,10 +784,10 @@ impl PagePool {
     pub fn page_of_ptr(&self, ptr: *const u8) -> Result<PageIdx> {
         let base = self.view_base as usize;
         let p = ptr as usize;
-        if p < base || p >= base + self.file_pages * page_size() {
+        if p < base || p >= base + self.file_pages * self.slot_bytes() {
             return Err(Error::invalid("pointer not inside the pool view"));
         }
-        Ok(PageIdx((p - base) / page_size()))
+        Ok(PageIdx((p - base) / self.slot_bytes()))
     }
 
     /// Number of pages currently backed by the file.
@@ -676,6 +809,8 @@ impl PagePool {
             stats: Arc::clone(&self.stats),
             budget: Arc::clone(&self.budget),
             retire: Arc::clone(&self.retire),
+            layout: self.layout,
+            huge_active: self.huge_active,
         }
     }
 
@@ -708,7 +843,7 @@ impl Drop for PagePool {
         unsafe {
             libc::munmap(
                 self.view_base as *mut libc::c_void,
-                self.cfg.view_capacity_pages * page_size(),
+                self.cfg.view_capacity_pages * self.slot_bytes(),
             );
         }
     }
@@ -1040,6 +1175,89 @@ mod tests {
             p.alloc_page().unwrap();
         }
         assert!(h.file_len() >= before);
-        assert_eq!(h.file_len(), p.file_pages() * page_size());
+        assert_eq!(h.file_len(), p.file_pages() * p.layout().slot_bytes());
+    }
+
+    #[test]
+    fn larger_slots_scale_all_byte_arithmetic() {
+        let layout = SlotLayout::new(2).unwrap(); // 16 KB slots
+        let mut p = PagePool::new(PoolConfig {
+            initial_pages: 2,
+            min_growth_pages: 2,
+            shrink_threshold_pages: 4,
+            view_capacity_pages: 64,
+            slot_layout: layout,
+            ..PoolConfig::default()
+        })
+        .unwrap();
+        assert_eq!(p.layout(), layout);
+        let a = p.alloc_page().unwrap();
+        let b = p.alloc_page().unwrap();
+        assert_eq!(p.handle().file_len() % layout.slot_bytes(), 0);
+        // Writes at the far end of a slot stay inside it.
+        let last = layout.slot_bytes() - 8;
+        unsafe {
+            *(p.page_ptr(a).add(last) as *mut u64) = 0xaaaa;
+            *(p.page_ptr(b) as *mut u64) = 0xbbbb;
+            assert_eq!(*(p.page_ptr(a).add(last) as *const u64), 0xaaaa);
+            assert_eq!(*(p.page_ptr(b) as *const u64), 0xbbbb);
+        }
+        // page_of_ptr resolves interior pointers slot-granularly.
+        assert_eq!(
+            p.page_of_ptr(unsafe { p.page_ptr(a).add(last) }).unwrap(),
+            a
+        );
+        assert_eq!(p.page_of_ptr(p.page_ptr(b)).unwrap(), b);
+        // relocate_page moves the whole slot.
+        p.relocate_page(a, b).unwrap();
+        unsafe {
+            assert_eq!(*(p.page_ptr(b).add(last) as *const u64), 0xaaaa);
+        }
+    }
+
+    #[test]
+    fn huge_request_below_boundary_stays_plain() {
+        let p = PagePool::new(PoolConfig {
+            initial_pages: 1,
+            view_capacity_pages: 16,
+            slot_layout: SlotLayout::new(2).unwrap(),
+            huge_pages: true,
+            ..PoolConfig::default()
+        })
+        .unwrap();
+        assert!(p.huge_requested());
+        assert!(!p.huge_active(), "hugetlb needs the 2 MB boundary");
+    }
+
+    #[test]
+    fn huge_request_at_boundary_activates_or_falls_back_cleanly() {
+        // Whether hugepages are actually available depends on the host
+        // (`/proc/sys/vm/nr_hugepages`); either way the pool must come up
+        // and serve 2 MB slots correctly.
+        let layout = SlotLayout::new(SlotLayout::MAX_SLOT_POWER).unwrap();
+        let mut p = PagePool::new(PoolConfig {
+            initial_pages: 1,
+            min_growth_pages: 1,
+            view_capacity_pages: 4,
+            slot_layout: layout,
+            huge_pages: true,
+            ..PoolConfig::default()
+        })
+        .unwrap();
+        assert!(p.huge_requested());
+        let nr_hugepages: usize = std::fs::read_to_string("/proc/sys/vm/nr_hugepages")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .unwrap_or(0);
+        if nr_hugepages == 0 {
+            assert!(!p.huge_active(), "no reserved hugepages, must fall back");
+        }
+        assert_eq!(p.handle().huge_active(), p.huge_active());
+        let a = p.alloc_page().unwrap();
+        let mid = layout.slot_bytes() / 2;
+        unsafe {
+            *(p.page_ptr(a).add(mid) as *mut u64) = 0x2468;
+            assert_eq!(*(p.page_ptr(a).add(mid) as *const u64), 0x2468);
+        }
     }
 }

@@ -12,8 +12,46 @@ use crate::budget::VmaBudget;
 use crate::error::{Error, Result};
 use crate::page::{page_size, PageIdx};
 use crate::pool::PoolHandle;
+use crate::slot::SlotLayout;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Reserve `len` bytes of anonymous memory whose base is aligned to
+/// `align` (a power of two, at least the system page size): over-reserve
+/// by `align`, then trim the unaligned head and the surplus tail. Needed
+/// because hugetlb `MAP_FIXED` rewires demand slot-aligned target
+/// addresses, which a plain `mmap(NULL, …)` reservation does not provide.
+pub(crate) fn reserve_aligned(len: usize, align: usize, prot: libc::c_int) -> Result<*mut u8> {
+    debug_assert!(align.is_power_of_two() && align >= page_size());
+    let flags = libc::MAP_PRIVATE | libc::MAP_ANONYMOUS | libc::MAP_NORESERVE;
+    let total = if align > page_size() {
+        len + align
+    } else {
+        len
+    };
+    // SAFETY: fresh anonymous reservation, kernel-chosen address.
+    let p = unsafe { libc::mmap(std::ptr::null_mut(), total, prot, flags, -1, 0) };
+    if p == libc::MAP_FAILED {
+        return Err(Error::os("mmap"));
+    }
+    if total == len {
+        return Ok(p as *mut u8);
+    }
+    let addr = p as usize;
+    let aligned = addr.next_multiple_of(align);
+    let head = aligned - addr;
+    let tail = total - head - len;
+    // SAFETY: trimming sub-ranges of the reservation we just obtained.
+    unsafe {
+        if head > 0 {
+            libc::munmap(p, head);
+        }
+        if tail > 0 {
+            libc::munmap((aligned + len) as *mut libc::c_void, tail);
+        }
+    }
+    Ok(aligned as *mut u8)
+}
 
 /// Current mapping of one page of a [`VirtArea`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,9 +121,18 @@ pub fn planned_vmas(pages: usize, assignments: &[(usize, PageIdx)]) -> usize {
 
 /// A consecutive virtual memory area whose pages can be individually
 /// rewired to pool pages. See module docs.
+///
+/// With a non-default [`SlotLayout`], each "page" of the area is one slot
+/// of `2^k` base pages: the reservation spans `pages × slot_bytes`, and a
+/// rewiring moves a whole slot with one `mmap`. All indices stay
+/// slot-denominated, so the VMA estimate and [`planned_vmas`] are
+/// layout-independent.
 pub struct VirtArea {
     base: *mut u8,
     pages: usize,
+    /// The slot layout the area was reserved with — must match the pool
+    /// it is rewired against.
+    layout: SlotLayout,
     /// Shadow of the kernel's view of each page, used for introspection,
     /// tests, and coalescing decisions.
     map: Vec<Mapping>,
@@ -108,36 +155,11 @@ impl std::fmt::Debug for VirtArea {
 }
 
 impl VirtArea {
-    /// Reserve a consecutive virtual area of `pages` pages (step (1) of the
-    /// paper's construction). This is a mere reservation: no physical memory
-    /// is committed and the page table is untouched.
+    /// Reserve a consecutive virtual area of `pages` 4 KB pages (step (1)
+    /// of the paper's construction). This is a mere reservation: no
+    /// physical memory is committed and the page table is untouched.
     pub fn reserve(pages: usize) -> Result<Self> {
-        if pages == 0 {
-            return Err(Error::invalid("cannot reserve an empty area"));
-        }
-        // SAFETY: fresh anonymous mapping, kernel-chosen address.
-        let base = unsafe {
-            libc::mmap(
-                std::ptr::null_mut(),
-                pages * page_size(),
-                libc::PROT_READ | libc::PROT_WRITE,
-                libc::MAP_PRIVATE | libc::MAP_ANONYMOUS | libc::MAP_NORESERVE,
-                -1,
-                0,
-            )
-        };
-        if base == libc::MAP_FAILED {
-            return Err(Error::os("mmap"));
-        }
-        Ok(VirtArea {
-            base: base as *mut u8,
-            pages,
-            map: vec![Mapping::Anon; pages],
-            mmap_calls: AtomicU64::new(1),
-            populate_default: false,
-            vmas: 1,
-            budget: None,
-        })
+        Self::reserve_layout(pages, SlotLayout::base())
     }
 
     /// Reserve an area that eagerly populates page-table entries on every
@@ -146,6 +168,50 @@ impl VirtArea {
         let mut a = Self::reserve(pages)?;
         a.populate_default = true;
         Ok(a)
+    }
+
+    /// Reserve `slots` slots of `layout.slot_bytes()` each. The base is
+    /// aligned to the slot size so hugetlb-backed pools can `MAP_FIXED`
+    /// into the area.
+    pub fn reserve_layout(slots: usize, layout: SlotLayout) -> Result<Self> {
+        if slots == 0 {
+            return Err(Error::invalid("cannot reserve an empty area"));
+        }
+        let base = reserve_aligned(
+            slots * layout.slot_bytes(),
+            layout.slot_bytes().max(page_size()),
+            libc::PROT_READ | libc::PROT_WRITE,
+        )?;
+        Ok(VirtArea {
+            base,
+            pages: slots,
+            layout,
+            map: vec![Mapping::Anon; slots],
+            mmap_calls: AtomicU64::new(1),
+            populate_default: false,
+            vmas: 1,
+            budget: None,
+        })
+    }
+
+    /// [`VirtArea::reserve_layout`] with eager page-table population on
+    /// every subsequent rewiring.
+    pub fn reserve_layout_populated(slots: usize, layout: SlotLayout) -> Result<Self> {
+        let mut a = Self::reserve_layout(slots, layout)?;
+        a.populate_default = true;
+        Ok(a)
+    }
+
+    /// The slot layout the area was reserved with.
+    #[inline]
+    pub fn layout(&self) -> SlotLayout {
+        self.layout
+    }
+
+    /// Bytes per slot of the area.
+    #[inline]
+    pub fn slot_bytes(&self) -> usize {
+        self.layout.slot_bytes()
     }
 
     /// Charge this area's VMA estimate against `budget`, now and on every
@@ -226,7 +292,7 @@ impl VirtArea {
     pub fn page_ptr(&self, i: usize) -> *mut u8 {
         assert!(i < self.pages, "page {i} out of range ({})", self.pages);
         // SAFETY: in-bounds offset within the reservation.
-        unsafe { self.base.add(i * page_size()) }
+        unsafe { self.base.add(i * self.layout.slot_bytes()) }
     }
 
     /// The current mapping of page `i` (shadow state).
@@ -271,8 +337,16 @@ impl VirtArea {
                 self.pages
             )));
         }
-        let byte_off = ppage.byte_offset();
-        if byte_off + n * page_size() > pool.file_len() {
+        if pool.layout() != self.layout {
+            return Err(Error::invalid(format!(
+                "slot layout mismatch: area has {}, pool has {}",
+                self.layout,
+                pool.layout()
+            )));
+        }
+        let slot_bytes = self.layout.slot_bytes();
+        let byte_off = self.layout.byte_offset(ppage.0);
+        if byte_off + n * slot_bytes > pool.file_len() {
             return Err(Error::invalid(format!(
                 "pool range {ppage}+{n} beyond end of pool file"
             )));
@@ -286,7 +360,7 @@ impl VirtArea {
         let rc = unsafe {
             libc::mmap(
                 self.page_ptr(vpage) as *mut libc::c_void,
-                n * page_size(),
+                n * slot_bytes,
                 libc::PROT_READ | libc::PROT_WRITE,
                 flags,
                 pool.fd(),
@@ -365,7 +439,7 @@ impl VirtArea {
         let rc = unsafe {
             libc::mmap(
                 self.page_ptr(vpage) as *mut libc::c_void,
-                page_size(),
+                self.layout.slot_bytes(),
                 libc::PROT_READ | libc::PROT_WRITE,
                 libc::MAP_PRIVATE | libc::MAP_ANONYMOUS | libc::MAP_FIXED | libc::MAP_NORESERVE,
                 -1,
@@ -449,7 +523,10 @@ impl Drop for VirtArea {
         // SAFETY: unmapping our own reservation exactly once; rewired pages
         // merely drop their reference to the pool file's pages.
         unsafe {
-            libc::munmap(self.base as *mut libc::c_void, self.pages * page_size());
+            libc::munmap(
+                self.base as *mut libc::c_void,
+                self.pages * self.layout.slot_bytes(),
+            );
         }
     }
 }
@@ -710,6 +787,48 @@ mod tests {
             a.rewire_batch(&h, &pat).unwrap();
             assert_eq!(a.vma_estimate(), planned_vmas(6, &pat), "pattern {pat:?}");
         }
+    }
+
+    #[test]
+    fn layout_area_rewires_whole_slots() {
+        let layout = SlotLayout::new(2).unwrap(); // 16 KB slots
+        let mut p = PagePool::new(PoolConfig {
+            initial_pages: 8,
+            min_growth_pages: 8,
+            view_capacity_pages: 64,
+            slot_layout: layout,
+            ..PoolConfig::default()
+        })
+        .unwrap();
+        let h = p.handle();
+        let run = p.alloc_run(2).unwrap();
+        let tail = layout.slot_bytes() - 8;
+        unsafe {
+            *(p.page_ptr(run) as *mut u64) = 1;
+            *(p.page_ptr(run).add(tail) as *mut u64) = 2;
+            *(p.page_ptr(PageIdx(run.0 + 1)) as *mut u64) = 3;
+        }
+        let mut a = VirtArea::reserve_layout(4, layout).unwrap();
+        assert_eq!(a.slot_bytes(), layout.slot_bytes());
+        assert_eq!(a.base() as usize % layout.slot_bytes(), 0, "aligned base");
+        a.rewire_run(1, &h, run, 2).unwrap();
+        unsafe {
+            // Whole slots moved: both ends of slot 1, and slot 2's head.
+            assert_eq!(*(a.page_ptr(1) as *const u64), 1);
+            assert_eq!(*(a.page_ptr(1).add(tail) as *const u64), 2);
+            assert_eq!(*(a.page_ptr(2) as *const u64), 3);
+        }
+        // The estimate counts slots, not base pages: anon | run | anon.
+        assert_eq!(a.vma_estimate(), 3);
+
+        // A layout-mismatched pool is rejected before any mmap.
+        let base_pool = PagePool::new(PoolConfig {
+            initial_pages: 2,
+            view_capacity_pages: 16,
+            ..PoolConfig::default()
+        })
+        .unwrap();
+        assert!(a.rewire(0, &base_pool.handle(), PageIdx(0)).is_err());
     }
 
     #[test]

@@ -8,6 +8,10 @@
 //! MIXED_WORKLOAD_ENTRIES=4000000 MIXED_WORKLOAD_ASSERT_SHORTCUT=1 \
 //!     cargo run --release --example mixed_workload
 //! MIXED_WORKLOAD_COMPACTION=off cargo run --release --example mixed_workload
+//! # physical slot size: 2^k base pages per bucket (k = 0..9)
+//! MIXED_WORKLOAD_SLOT_PAGES=4 cargo run --release --example mixed_workload
+//! # assert the exit live-VMA count stays under a bound (CI slot-size leg)
+//! MIXED_WORKLOAD_MAX_LIVE_VMAS=2000 cargo run --release --example mixed_workload
 //! ```
 
 use rand::rngs::StdRng;
@@ -29,17 +33,31 @@ fn main() -> Result<(), IndexError> {
         _ => CompactionPolicy::on(),
     };
     let assert_shortcut = std::env::var("MIXED_WORKLOAD_ASSERT_SHORTCUT").as_deref() == Ok("1");
+    let slot_pages: u32 = std::env::var("MIXED_WORKLOAD_SLOT_PAGES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let max_live_vmas: Option<u64> = std::env::var("MIXED_WORKLOAD_MAX_LIVE_VMAS")
+        .ok()
+        .and_then(|s| s.parse().ok());
 
     let mut index = ShortcutIndex::builder()
         .capacity(entries as usize + entries as usize / 10)
         .compaction(compaction)
+        .slot_pages(slot_pages)
         .build()?;
     let mut rng = StdRng::seed_from_u64(99);
 
-    println!(
-        "bulk-loading {entries} entries (compaction {})…",
-        if compaction.enabled() { "on" } else { "off" }
-    );
+    {
+        let s = index.stats();
+        println!(
+            "bulk-loading {entries} entries (compaction {}, slot 2^{slot_pages} pages = {} KB, \
+             bucket capacity {})…",
+            if compaction.enabled() { "on" } else { "off" },
+            s.slot_bytes / 1024,
+            s.bucket_capacity
+        );
+    }
     let mut keys: Vec<u64> = Vec::with_capacity(entries as usize);
     for _ in 0..entries {
         let k: u64 = rng.random();
@@ -131,12 +149,22 @@ fn main() -> Result<(), IndexError> {
         index.layout_vmas()?,
         index.ideal_layout_vmas(),
     );
+    // Parseable for the CI slot-size comparison leg.
+    println!("final live VMAs: {}", s.vma.live_vmas());
     assert!(index.maint_error().is_none());
     assert!(
         s.vma.in_use <= s.vma.limit,
         "VMA estimate exceeds the budget: {:?}",
         s.vma
     );
+    if let Some(bound) = max_live_vmas {
+        assert!(
+            s.vma.live_vmas() <= bound,
+            "live VMAs {} exceed the asserted bound {bound} (slot 2^{slot_pages} pages)",
+            s.vma.live_vmas()
+        );
+        println!("assert: live VMAs {} <= {bound} ✓", s.vma.live_vmas());
+    }
     if assert_shortcut {
         // The CI stress contract: with compaction on, this scale must end
         // fully shortcut-served under the stock vm.max_map_count.

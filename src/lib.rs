@@ -55,6 +55,14 @@
 //!   worst case, and shortcut-served lookups scale to millions of keys
 //!   on a stock kernel. [`ShortcutIndex::compact`] runs a pass
 //!   explicitly.
+//! * [`IndexBuilder::slot_pages`] sizes the physical slot (the bucket
+//!   and rewiring unit) as `2^k` base pages: larger slots hold `~2^k`
+//!   more entries per bucket, so the directory is `~2^k` shallower and
+//!   the mapping/TLB footprint shrinks by the same factor.
+//!   [`IndexBuilder::huge_pages`] opts into `MFD_HUGETLB` backing at the
+//!   2 MB boundary (`k = 9`), with a creation-time probe and clean
+//!   fallback to 4 KB-page slots
+//!   (`StatsSnapshot::huge_pages_active`).
 //! * [`IndexBuilder::vma_budget`] injects a private limit (tests, CI
 //!   stress); [`IndexBuilder::reclamation`] can disable the lifecycle for
 //!   A/B comparisons; [`StatsSnapshot::vma`] reports the live/retired
@@ -78,8 +86,8 @@ pub use shortcut_rewire as rewire;
 pub use shortcut_vmsim as vmsim;
 
 pub use shortcut_core::{CompactionPolicy, MaintConfig, RoutePolicy};
-pub use shortcut_exhash::{CompactionOutcome, Index, IndexError, IndexStats};
-pub use shortcut_rewire::{max_map_count, PoolConfig, VmaBudget, VmaSnapshot};
+pub use shortcut_exhash::{BucketLayout, CompactionOutcome, Index, IndexError, IndexStats};
+pub use shortcut_rewire::{max_map_count, PoolConfig, SlotLayout, VmaBudget, VmaSnapshot};
 
 use shortcut_core::metrics::MaintSnapshot;
 use shortcut_exhash::{EhConfig, ShortcutEh, ShortcutEhConfig};
@@ -99,6 +107,8 @@ pub struct IndexBuilder {
     maint: MaintConfig,
     vma_budget_limit: Option<usize>,
     reclaim: Option<bool>,
+    slot_power: Option<u32>,
+    huge_pages: bool,
 }
 
 impl IndexBuilder {
@@ -181,6 +191,36 @@ impl IndexBuilder {
         self
     }
 
+    /// Size the physical slot — the bucket and the rewiring unit — as
+    /// `2^k` base pages (default `k = 0`, the paper's 4 KB buckets).
+    /// Larger slots hold `~2^k` times more entries per bucket, so the
+    /// directory is `~2^k` times shallower and the mapping footprint
+    /// (live VMAs against `vm.max_map_count`) shrinks by about the same
+    /// factor, at the cost of coarser-grained splits and more bytes
+    /// copied per relocation. `k = 9` (2 MB) reaches the hardware
+    /// hugepage boundary — combine with [`IndexBuilder::huge_pages`].
+    /// Applied on top of an explicit [`IndexBuilder::pool`] config too.
+    ///
+    /// # Errors
+    ///
+    /// `k > 9` is rejected at [`IndexBuilder::build`] time.
+    pub fn slot_pages(mut self, k: u32) -> Self {
+        self.slot_power = Some(k);
+        self
+    }
+
+    /// Opt into hugepage backing for the pool (effective at the 2 MB slot
+    /// boundary, i.e. [`IndexBuilder::slot_pages`]`(9)`): the pool tries
+    /// an `MFD_HUGETLB` memfd, probes that hugepages are actually
+    /// reserved, and falls back cleanly to plain 4 KB-page slots
+    /// otherwise (reported by `StatsSnapshot::huge_pages_active`). Below
+    /// the boundary the pool merely advises `MADV_HUGEPAGE`,
+    /// best-effort.
+    pub fn huge_pages(mut self, enabled: bool) -> Self {
+        self.huge_pages = enabled;
+        self
+    }
+
     /// Physical bucket-layout compaction policy (default
     /// [`CompactionPolicy::disabled`]; use [`CompactionPolicy::on`] for
     /// the recommended production setting). With compaction the bucket
@@ -200,26 +240,48 @@ impl IndexBuilder {
     /// Propagates pool creation failure (memfd, `mmap`,
     /// `vm.max_map_count`) and configuration rejection as [`IndexError`].
     pub fn build(self) -> Result<ShortcutIndex, IndexError> {
+        let layout = match self.slot_power {
+            Some(k) => SlotLayout::new(k).map_err(IndexError::Pool)?,
+            None => self
+                .pool
+                .as_ref()
+                .map(|p| p.slot_layout)
+                .unwrap_or_default(),
+        };
+        let load = self.max_load_factor.unwrap_or(0.35);
+        let entries_per_slot = BucketLayout::for_slot(layout).steady_entries(load);
         // Compaction passes transiently hold live buckets + the target run
         // + not-yet-reclaimed sources, so give the fixed reservation extra
         // room (virtual address space is effectively free; physical pages
         // are hole-punched back as passes retire their sources).
-        let view_divisor = if self.maint.compaction.enabled() {
-            8
+        let view_multiplier = if self.maint.compaction.enabled() {
+            5
         } else {
-            20
+            2
         };
         let mut pool = self.pool.unwrap_or_else(|| match self.capacity {
-            // ~40 live entries per bucket in steady state; reserve ample
-            // virtual headroom.
-            Some(entries) => PoolConfig {
-                initial_pages: 1,
-                min_growth_pages: (entries / 40).clamp(64, 4096),
-                view_capacity_pages: ((entries / view_divisor).max(1 << 12)).next_power_of_two(),
-                ..PoolConfig::default()
-            },
+            Some(entries) => {
+                let slots_needed = (entries / entries_per_slot).max(1);
+                // Growth amortization floors scale by bytes, not slots:
+                // ~256 KB per ftruncate and a 16 MB virtual-view minimum
+                // at any slot size (the historical 64/4096-page values at
+                // k = 0).
+                let growth_floor = layout.slots_for_bytes(1 << 18);
+                let view_floor = layout.slots_for_bytes(1 << 24).max(64);
+                PoolConfig {
+                    initial_pages: 1,
+                    min_growth_pages: slots_needed.clamp(growth_floor, 4096),
+                    view_capacity_pages: ((slots_needed * view_multiplier).max(view_floor))
+                        .next_power_of_two(),
+                    ..PoolConfig::default()
+                }
+            }
             None => PoolConfig::default(),
         });
+        pool.slot_layout = layout;
+        if self.huge_pages {
+            pool.huge_pages = true;
+        }
         if let Some(limit) = self.vma_budget_limit {
             pool.vma_budget = Some(VmaBudget::with_limit(limit));
         }
@@ -264,6 +326,21 @@ pub struct StatsSnapshot {
     /// Whether shortcut maintenance is suspended by the VMA budget
     /// (lookups fall back to the traditional directory).
     pub shortcut_suspended: bool,
+    /// Base pages per physical slot — the **count** `2^k`, not the log2
+    /// knob passed to [`IndexBuilder::slot_pages`].
+    pub pages_per_slot: usize,
+    /// Bytes per physical slot (= bytes per bucket).
+    pub slot_bytes: usize,
+    /// Entry capacity of one bucket at this slot size.
+    pub bucket_capacity: usize,
+    /// Whether hugepage backing was requested
+    /// ([`IndexBuilder::huge_pages`]).
+    pub huge_pages_requested: bool,
+    /// Whether the hugetlb backend is actually active;
+    /// `huge_pages_requested && !huge_pages_active` means the pool fell
+    /// back cleanly to plain 4 KB-page slots (no hugepages reserved, or
+    /// the slot size is below the 2 MB boundary).
+    pub huge_pages_active: bool,
     /// Structural + routing statistics of the index.
     pub index: IndexStats,
     /// Counters of the asynchronous mapper thread.
@@ -422,6 +499,11 @@ impl ShortcutIndex {
             in_sync: self.inner.in_sync(),
             versions: self.inner.versions(),
             shortcut_suspended: self.inner.shortcut_suspended(),
+            pages_per_slot: self.inner.slot_layout().pages_per_slot(),
+            slot_bytes: self.inner.slot_layout().slot_bytes(),
+            bucket_capacity: self.inner.bucket_layout().capacity(),
+            huge_pages_requested: self.inner.huge_requested(),
+            huge_pages_active: self.inner.huge_active(),
             index: self.inner.stats(),
             maint: self.inner.maint_metrics(),
             rewire: self.inner.pool_stats(),

@@ -10,7 +10,7 @@ use std::time::Duration;
 use taking_the_shortcut::exhash::{ChConfig, ChainedHash};
 use taking_the_shortcut::{CompactionPolicy, Index, ShortcutIndex};
 
-fn build(policy: CompactionPolicy) -> ShortcutIndex {
+fn build(policy: CompactionPolicy, slot_power: u32) -> ShortcutIndex {
     ShortcutIndex::builder()
         .capacity(150_000)
         .poll_interval(Duration::from_millis(1))
@@ -18,6 +18,7 @@ fn build(policy: CompactionPolicy) -> ShortcutIndex {
         // sharing the process-global budget.
         .vma_budget(1_000_000)
         .compaction(policy)
+        .slot_pages(slot_power)
         .build()
         .unwrap()
 }
@@ -101,10 +102,17 @@ proptest! {
     // compaction passes, and background compaction ticks against 4
     // concurrent reader threads; every lookup must match the chained-hash
     // oracle, and after each full compaction the layout estimate must
-    // have dropped to the ideal (never increased).
+    // have dropped to the ideal (never increased). Runs at both the
+    // paper's 4 KB slots (k = 0) and 16 KB slots (k = 2): relocation,
+    // the VMA closed forms, and the published-directory arithmetic must
+    // be layout-independent.
     #[test]
-    fn relocation_never_changes_an_answer(ops in ops(), policy in policies()) {
-        let mut index = build(policy);
+    fn relocation_never_changes_an_answer(
+        ops in ops(),
+        policy in policies(),
+        slot_power in prop_oneof![Just(0u32), Just(2u32)],
+    ) {
+        let mut index = build(policy, slot_power);
         let mut oracle = oracle();
         let mut next_key = 0u64;
 
@@ -145,7 +153,9 @@ proptest! {
         read_phase(&index, &oracle, next_key);
         prop_assert_eq!(index.len(), oracle.len());
         assert!(index.maint_error().is_none());
-        let vma = index.stats().vma;
+        let stats = index.stats();
+        prop_assert_eq!(stats.pages_per_slot, 1usize << slot_power);
+        let vma = stats.vma;
         prop_assert!(vma.in_use <= vma.limit, "budget exceeded: {:?}", vma);
     }
 }
@@ -159,6 +169,7 @@ fn compaction_collapses_live_vmas_by_10x() {
         .capacity(400_000)
         .poll_interval(Duration::from_millis(1))
         .vma_budget(1_000_000)
+        .slot_pages(0)
         .build()
         .unwrap();
 

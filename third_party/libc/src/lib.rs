@@ -14,11 +14,20 @@ pub type off_t = i64;
 
 // errno values (asm-generic).
 pub const EINVAL: c_int = 22;
+pub const ENOMEM: c_int = 12;
 pub const EOPNOTSUPP: c_int = 95;
 
 // fallocate(2) mode flags.
 pub const FALLOC_FL_KEEP_SIZE: c_int = 0x01;
 pub const FALLOC_FL_PUNCH_HOLE: c_int = 0x02;
+
+// memfd_create(2) flags.
+pub const MFD_HUGETLB: c_uint = 0x0004;
+/// `MFD_HUGE_2MB`: select the 2 MB hugetlb pool explicitly (21 << 26).
+pub const MFD_HUGE_2MB: c_uint = 21 << 26;
+
+// madvise(2) advice values.
+pub const MADV_HUGEPAGE: c_int = 14;
 
 // mmap(2) protection flags.
 pub const PROT_NONE: c_int = 0x0;
@@ -53,6 +62,7 @@ extern "C" {
         offset: off_t,
     ) -> *mut c_void;
     pub fn munmap(addr: *mut c_void, len: size_t) -> c_int;
+    pub fn madvise(addr: *mut c_void, len: size_t, advice: c_int) -> c_int;
     pub fn sysconf(name: c_int) -> c_long;
 }
 
