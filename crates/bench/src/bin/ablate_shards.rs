@@ -1,0 +1,9 @@
+//! Ablation A7: shard-count scaling — one writer thread per shard on
+//! fill, then single-threaded, per-shard-threaded, and batched lookups.
+use shortcut_bench::experiments::ablations;
+use shortcut_bench::ScaleArgs;
+
+fn main() {
+    let s = ScaleArgs::from_env();
+    ablations::a7_shards(&s).print();
+}

@@ -33,4 +33,5 @@ fn main() {
     ablations::a4_populate(&s).print();
     ablations::a5_compaction(&s).print();
     ablations::a6_slot_size(&s).print();
+    ablations::a7_shards(&s).print();
 }

@@ -6,8 +6,9 @@ use crate::timing::{ms, Stopwatch};
 use crate::workload::KeyGen;
 use crate::Table;
 use shortcut_core::{CompactionPolicy, MaintConfig, RoutePolicy, ShortcutNode};
-use shortcut_exhash::{BucketLayout, EhConfig, Index, ShortcutEh, ShortcutEhConfig};
-use shortcut_rewire::{PageIdx, PoolConfig, SlotLayout};
+use shortcut_exhash::{BucketLayout, EhConfig, Index, ShardedIndex, ShortcutEh, ShortcutEhConfig};
+use shortcut_rewire::{max_map_count, PageIdx, PoolConfig, SlotLayout, VmaBudget};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// **A1** — how much does coalescing contiguous rewirings into single
@@ -431,6 +432,143 @@ pub fn a6_slot_size(s: &ScaleArgs) -> Table {
     t
 }
 
+/// **A7** — shard-count scaling (the sharded-index tentpole): `2^s`
+/// Shortcut-EH shards routed by the top hash bits, filled by **one writer
+/// thread per shard** through the shared-write API, then probed three
+/// ways after sync — single-threaded `get`, one reader thread per shard,
+/// and batched `get_many`. All shards of an arm share one VMA budget
+/// under fair-share admission (the `fair pools` column confirms it).
+///
+/// The table header records the host's available parallelism: on a
+/// single-core host the per-shard threads time-slice one core, so fill
+/// and N-thread lookup times measure routing + locking overhead rather
+/// than true parallel speedup — read them against that baseline.
+pub fn a7_shards(s: &ScaleArgs) -> Table {
+    let n = s.pick(4_000_000, 2_000_000, 60_000);
+    let lookups = s.pick(2_000_000, 1_000_000, 60_000);
+    let host = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let mut t = Table::new(
+        format!("Ablation A7 — shard scaling, {n} keys, host parallelism {host}"),
+        &[
+            "shards",
+            "fill 1wr/shard [ms]",
+            "sync [ms]",
+            "depth max",
+            "live VMAs",
+            "fair pools",
+            "lookup 1T [ms]",
+            "lookup NT [ms]",
+            "get_many [ms]",
+            "suspended",
+        ],
+    );
+    for bits in [0u32, 1, 2] {
+        let shards = 1usize << bits;
+        // One budget shared by the arm's shards, sized from the sysctl
+        // like production but private to the arm (isolates accounting).
+        let budget = VmaBudget::with_limit(max_map_count());
+        let layout = SlotLayout::default();
+        let index = ShardedIndex::try_new_with(bits, |_| ShortcutEhConfig {
+            eh: EhConfig {
+                pool: PoolConfig {
+                    vma_budget: Some(Arc::clone(&budget)),
+                    ..slot_pool_config((n / shards) * 2, layout)
+                },
+                ..EhConfig::default()
+            },
+            maint: MaintConfig {
+                compaction: CompactionPolicy::on(),
+                ..MaintConfig::default()
+            },
+            ..Default::default()
+        })
+        .expect("sharded construction failed");
+
+        let mut gen = KeyGen::new(42);
+        let keys = gen.uniform_keys(n);
+        let mut per_shard: Vec<Vec<u64>> = vec![Vec::new(); shards];
+        for &k in &keys {
+            per_shard[index.shard_of(k)].push(k);
+        }
+
+        let sw = Stopwatch::start();
+        std::thread::scope(|scope| {
+            for part in &per_shard {
+                let index = &index;
+                scope.spawn(move || {
+                    for chunk in part.chunks(4096) {
+                        let batch: Vec<(u64, u64)> = chunk.iter().map(|&k| (k, k)).collect();
+                        index.insert_batch_shared(&batch).expect("insert failed");
+                    }
+                });
+            }
+        });
+        let fill_ms = ms(sw.elapsed());
+
+        let sw = Stopwatch::start();
+        let _ = index.wait_sync(Duration::from_secs(240));
+        let sync_ms = ms(sw.elapsed());
+        let vma = index.vma_stats();
+
+        let probe = gen.hits_from(&keys, lookups);
+        let sw = Stopwatch::start();
+        let mut found = 0u64;
+        for &key in &probe {
+            if index.get(key).is_some() {
+                found += 1;
+            }
+        }
+        std::hint::black_box(found);
+        let one_ms = ms(sw.elapsed());
+
+        let sw = Stopwatch::start();
+        std::thread::scope(|scope| {
+            for part in probe.chunks(probe.len().div_ceil(shards).max(1)) {
+                let index = &index;
+                scope.spawn(move || {
+                    let mut found = 0u64;
+                    for &key in part {
+                        if index.get(key).is_some() {
+                            found += 1;
+                        }
+                    }
+                    std::hint::black_box(found);
+                });
+            }
+        });
+        let nt_ms = ms(sw.elapsed());
+
+        let sw = Stopwatch::start();
+        let mut found = 0usize;
+        for chunk in probe.chunks(4096) {
+            found += index.get_many(chunk).iter().flatten().count();
+        }
+        std::hint::black_box(found);
+        let batch_ms = ms(sw.elapsed());
+
+        t.row(&[
+            shards.to_string(),
+            Table::f(fill_ms),
+            Table::f(sync_ms),
+            index.global_depth().to_string(),
+            Table::n(vma.live_vmas()),
+            Table::n(vma.fair_pools),
+            Table::f(one_ms),
+            Table::f(nt_ms),
+            Table::f(batch_ms),
+            if index.shortcut_suspended() {
+                "YES"
+            } else {
+                "no"
+            }
+            .into(),
+        ]);
+    }
+    t
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -457,6 +595,16 @@ mod tests {
         assert!(s.contains("off"));
         assert!(s.contains("rebuild+bg32"));
         assert!(s.contains("bg8"));
+    }
+
+    #[test]
+    fn a7_shards_runs_all_arms() {
+        let t = a7_shards(&quick());
+        let s = t.render();
+        for shards in ["1", "2", "4"] {
+            assert!(s.contains(shards), "missing arm {shards}:\n{s}");
+        }
+        assert!(!s.contains("YES"), "a quick run must not suspend:\n{s}");
     }
 
     #[test]

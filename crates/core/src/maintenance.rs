@@ -44,16 +44,11 @@ use std::sync::Arc;
 use std::time::Duration;
 
 /// Mappings left unaccounted for the rest of the process (binary, heap,
-/// stacks, the pool view's transient splits) when admitting a rebuild:
-/// 1/16 of the budget's limit, capped at 1024. Proportional rather than
-/// flat so that small *injected* budgets (tests, CI stress rigs
-/// simulating a tiny `vm.max_map_count`) keep most of their limit usable
-/// instead of being silently swallowed whole. Public so producers (the
-/// write path's suspension rescue) can target exactly what admission
-/// will accept.
-pub fn budget_headroom(limit: usize) -> usize {
-    (limit / 16).min(1024)
-}
+/// stacks, the pool view's transient splits) when admitting a rebuild.
+/// Re-exported from the budget layer (where fair-share arithmetic needs
+/// the same number) so producers — the write path's suspension rescue —
+/// can target exactly what admission will accept.
+pub use shortcut_rewire::budget_headroom;
 
 /// Maximum coarsening of the published shortcut depth (up to 2⁴ = 16×
 /// fewer slots) tried by rebuild admission before a create is refused.
@@ -231,6 +226,14 @@ pub struct MaintConfig {
     /// Physical bucket-layout compaction (see [`CompactionPolicy`];
     /// default disabled).
     pub compaction: CompactionPolicy,
+    /// Stagger this mapper's effective poll interval against the other
+    /// mappers in the process (see [`staggered_poll_interval`]). On by
+    /// default: the first mapper keeps `poll_interval` exactly, so a
+    /// single-index process is unaffected, while N sharded mappers
+    /// spawned together spread their reclaim/compaction ticks instead of
+    /// scanning in lockstep. Set `false` to pin the interval (tests that
+    /// reason about exact tick counts).
+    pub poll_stagger: bool,
 }
 
 impl Default for MaintConfig {
@@ -240,8 +243,31 @@ impl Default for MaintConfig {
             eager_populate: true,
             reclaim: true,
             compaction: CompactionPolicy::default(),
+            poll_stagger: true,
         }
     }
+}
+
+/// Deterministic per-mapper poll staggering: mapper number `seq` (in
+/// process-wide spawn order) polls every `base + base * step/256`, where
+/// `step` walks 1..=64 — i.e. up to +25 % of the base, in distinct
+/// increments for up to 64 co-resident mappers. Mapper 0 keeps `base`
+/// exactly. Two mappers started together therefore *cannot* share a
+/// period, so their idle ticks (reclaim scans, compaction triggers,
+/// deferred-create retries) drift apart instead of thundering onto the
+/// shared budget at the same instant.
+pub fn staggered_poll_interval(base: Duration, seq: usize) -> Duration {
+    if seq == 0 {
+        return base;
+    }
+    let step = ((seq - 1) % 64) as u32 + 1;
+    base + base * step / 256
+}
+
+/// Process-wide mapper spawn counter feeding [`staggered_poll_interval`].
+fn next_mapper_seq() -> usize {
+    static SEQ: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+    SEQ.fetch_add(1, Ordering::Relaxed)
 }
 
 /// The synchronous core of the mapper: applies requests to the shortcut it
@@ -531,6 +557,7 @@ impl MapperEngine {
         assignments: &[(usize, PageIdx)],
     ) -> Option<(u32, shortcut_rewire::BudgetReservation)> {
         let budget = Arc::clone(self.pool.budget());
+        let usage = Arc::clone(self.pool.usage());
         let headroom = budget_headroom(budget.limit());
         let max_shift = self.candidate_shifts(slots, assignments);
         // Exact depth first. Building while the superseded directory is
@@ -544,7 +571,7 @@ impl MapperEngine {
         // just because a reclaimable directory was still charged.
         let want = self.rebuild_reservation(slots, assignments, 0);
         let overlap_headroom = headroom.max(budget.limit() / 4);
-        if let Some(r) = budget.try_reserve(want, overlap_headroom) {
+        if let Some(r) = budget.try_reserve_for(&usage, want, overlap_headroom) {
             self.metrics
                 .coarse_service_pct
                 .store(100, Ordering::Relaxed);
@@ -555,7 +582,7 @@ impl MapperEngine {
         }
         self.pool.retire_list().try_reclaim();
         let mut min_want = want;
-        if let Some(r) = budget.try_reserve(want, headroom) {
+        if let Some(r) = budget.try_reserve_for(&usage, want, headroom) {
             self.metrics
                 .coarse_service_pct
                 .store(100, Ordering::Relaxed);
@@ -582,7 +609,7 @@ impl MapperEngine {
                     continue;
                 }
                 min_want = min_want.min(want);
-                if let Some(r) = budget.try_reserve(want, headroom) {
+                if let Some(r) = budget.try_reserve_for(&usage, want, headroom) {
                     let pct = (served * 100 / total.max(1)) as u64;
                     self.metrics
                         .coarse_service_pct
@@ -631,7 +658,7 @@ impl MapperEngine {
             // — costs at most one futile retry, never a per-tick loop).
             let budget = Arc::clone(self.pool.budget());
             let headroom = budget_headroom(budget.limit());
-            if budget.would_fit(self.deferred_min_want, headroom) {
+            if budget.would_fit_for(self.pool.usage(), self.deferred_min_want, headroom) {
                 if let Some(req) = self.deferred.take() {
                     self.apply_one(req)?;
                 }
@@ -696,7 +723,11 @@ impl Maintainer {
         let t_stop = Arc::clone(&stop);
         let t_signal = Arc::clone(&stop_signal);
         let t_error = Arc::clone(&error);
-        let poll = cfg.poll_interval;
+        let poll = if cfg.poll_stagger {
+            staggered_poll_interval(cfg.poll_interval, next_mapper_seq())
+        } else {
+            cfg.poll_interval
+        };
 
         let handle = std::thread::Builder::new()
             .name("shortcut-mapper".into())
@@ -754,6 +785,15 @@ impl Maintainer {
             poll_interval: poll,
             handle: Some(handle),
         }
+    }
+
+    /// The mapper thread's *effective* poll interval — the configured
+    /// interval after process-wide staggering (see
+    /// [`staggered_poll_interval`]); what the divergence of co-spawned
+    /// mappers is asserted against.
+    #[inline]
+    pub fn poll_interval(&self) -> Duration {
+        self.poll_interval
     }
 
     /// Shared version/publication state (for readers).
@@ -1583,6 +1623,50 @@ mod tests {
         .unwrap();
         assert_eq!(metrics.snapshot().updates_discarded, 1);
         assert!(!state.in_sync());
+    }
+
+    #[test]
+    fn stagger_keeps_the_first_mapper_exact_and_bounds_the_rest() {
+        let base = Duration::from_millis(25);
+        assert_eq!(staggered_poll_interval(base, 0), base);
+        let mut seen = std::collections::HashSet::new();
+        for seq in 1..=64 {
+            let p = staggered_poll_interval(base, seq);
+            assert!(p > base, "seq {seq} must be staggered past the base");
+            assert!(p <= base + base / 4, "seq {seq} stagger exceeds +25%");
+            assert!(seen.insert(p), "seq {seq} collides with an earlier seq");
+        }
+    }
+
+    #[test]
+    fn co_spawned_mappers_diverge() {
+        // Two maintainers started together (same config) must not share a
+        // poll period — otherwise N sharded mappers tick their reclaim
+        // and compaction scans in lockstep.
+        let mut p1 = pool();
+        let mut p2 = pool();
+        let _ = p1.alloc_page().unwrap();
+        let _ = p2.alloc_page().unwrap();
+        let cfg = MaintConfig {
+            poll_interval: Duration::from_millis(25),
+            ..MaintConfig::default()
+        };
+        let m1 = Maintainer::spawn(p1.handle(), cfg.clone());
+        let m2 = Maintainer::spawn(p2.handle(), cfg.clone());
+        assert_ne!(
+            m1.poll_interval(),
+            m2.poll_interval(),
+            "co-spawned mappers must stagger their poll ticks"
+        );
+        // Opting out pins the configured interval exactly.
+        let m3 = Maintainer::spawn(
+            p1.handle(),
+            MaintConfig {
+                poll_stagger: false,
+                ..cfg
+            },
+        );
+        assert_eq!(m3.poll_interval(), Duration::from_millis(25));
     }
 
     #[test]

@@ -98,6 +98,37 @@ pub struct MaintSnapshot {
     pub idle_polls: u64,
 }
 
+impl MaintSnapshot {
+    /// Merge two mappers' snapshots (the sharded index aggregates one per
+    /// shard). Every field except `coarse_service_pct` is a monotone
+    /// event counter and is **summed**; `coarse_service_pct` is a gauge —
+    /// the service fraction of each mapper's *latest* publish — so the
+    /// merge takes the **min**: the aggregate honestly reports the
+    /// worst-served shard rather than a meaningless sum (or an average
+    /// that would hide one shard publishing coarse while the rest are
+    /// exact).
+    pub fn merge(&self, other: &MaintSnapshot) -> MaintSnapshot {
+        MaintSnapshot {
+            updates_applied: self.updates_applied + other.updates_applied,
+            creates_applied: self.creates_applied + other.creates_applied,
+            updates_discarded: self.updates_discarded + other.updates_discarded,
+            creates_skipped: self.creates_skipped + other.creates_skipped,
+            creates_deferred: self.creates_deferred + other.creates_deferred,
+            creates_coarse: self.creates_coarse + other.creates_coarse,
+            coarse_service_pct: self.coarse_service_pct.min(other.coarse_service_pct),
+            pages_moved: self.pages_moved + other.pages_moved,
+            vmas_saved: self.vmas_saved + other.vmas_saved,
+            compactions: self.compactions + other.compactions,
+            compaction_skipped: self.compaction_skipped + other.compaction_skipped,
+            slots_rewired: self.slots_rewired + other.slots_rewired,
+            create_mmap_calls: self.create_mmap_calls + other.create_mmap_calls,
+            pages_populated: self.pages_populated + other.pages_populated,
+            busy_polls: self.busy_polls + other.busy_polls,
+            idle_polls: self.idle_polls + other.idle_polls,
+        }
+    }
+}
+
 impl MaintMetrics {
     /// Copy out all counters.
     pub fn snapshot(&self) -> MaintSnapshot {
@@ -125,6 +156,34 @@ impl MaintMetrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn merge_sums_counters_and_mins_the_service_gauge() {
+        let a = MaintSnapshot {
+            updates_applied: 10,
+            creates_applied: 2,
+            coarse_service_pct: 100,
+            idle_polls: 7,
+            ..MaintSnapshot::default()
+        };
+        let b = MaintSnapshot {
+            updates_applied: 5,
+            creates_applied: 1,
+            coarse_service_pct: 60,
+            idle_polls: 3,
+            ..MaintSnapshot::default()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.updates_applied, 15);
+        assert_eq!(m.creates_applied, 3);
+        assert_eq!(m.idle_polls, 10);
+        assert_eq!(
+            m.coarse_service_pct, 60,
+            "gauge must report the worst-served shard, not a sum"
+        );
+        // Merge is commutative.
+        assert_eq!(m, b.merge(&a));
+    }
 
     #[test]
     fn snapshot_reflects_counters() {

@@ -59,8 +59,7 @@ impl ShortcutNode {
     /// [`shortcut_rewire::BudgetReservation`] attach *after* the build so
     /// the directory is never double-counted while it is being rewired.
     pub fn charge_to(&mut self, pool: &PoolHandle) {
-        self.area
-            .attach_budget(std::sync::Arc::clone(pool.budget()));
+        self.area.attach_budget(pool.binding());
     }
 
     /// Attach `pool`'s budget without charging now: the caller has
@@ -68,8 +67,7 @@ impl ShortcutNode {
     /// (see [`shortcut_rewire::BudgetReservation::settle`]). Future
     /// remapping deltas and the release on drop are tracked as usual.
     pub fn charge_to_prepaid(&mut self, pool: &PoolHandle) {
-        self.area
-            .attach_budget_prepaid(std::sync::Arc::clone(pool.budget()));
+        self.area.attach_budget_prepaid(pool.binding());
     }
 
     /// Surrender the node's virtual area (for retirement into a

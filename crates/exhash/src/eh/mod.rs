@@ -68,6 +68,14 @@ pub struct EhConfig {
     /// Hard cap on the global depth; exceeding it panics with a clear
     /// message instead of exhausting memory (2^28 slots = 2 GB directory).
     pub max_global_depth: u32,
+    /// Left-rotation applied to every key's multiplicative hash before
+    /// the directory consumes its **top** bits ([`crate::dir_slot`]).
+    /// The sharded index routes on the hash's top `s` bits and sets
+    /// `hash_rot = s` on each shard, so a shard's directory addresses
+    /// with the *next* bits down — keeping per-shard depth semantics
+    /// identical to a standalone index instead of every shard's
+    /// directory burning `s` constant levels. Default 0 (unsharded).
+    pub hash_rot: u32,
     /// Bucket-layout compaction policy (see
     /// [`shortcut_core::CompactionPolicy`]; default disabled). With
     /// `on_rebuild`, every directory doubling relocates the buckets into
@@ -85,6 +93,7 @@ impl Default for EhConfig {
             track_events: false,
             max_global_depth: 28,
             compaction: CompactionPolicy::default(),
+            hash_rot: 0,
         }
     }
 }
@@ -372,7 +381,7 @@ impl ExtendibleHash {
         let entries = old.drain_entries();
         old.init(l + 1);
         for (k, v) in entries {
-            let h = mult_hash(k);
+            let h = self.dir_hash(k);
             let target = if split_bit(h, l) { new } else { old };
             let r = target.insert(k, v, self.bucket_layout.capacity());
             debug_assert_ne!(r, InsertOutcome::Full, "split lost an entry");
@@ -778,11 +787,19 @@ impl ExtendibleHash {
     pub fn reclaim_retired_pages(&mut self) -> usize {
         self.pool.reclaim_retired_pages()
     }
+
+    /// The hash the directory addresses with: the key's multiplicative
+    /// hash rotated left by [`EhConfig::hash_rot`] (0 unless this index
+    /// is a shard — see the field's docs).
+    #[inline(always)]
+    pub fn dir_hash(&self, key: u64) -> u64 {
+        mult_hash(key).rotate_left(self.cfg.hash_rot)
+    }
 }
 
 impl Index for ExtendibleHash {
     fn insert(&mut self, key: u64, value: u64) -> Result<(), IndexError> {
-        let h = mult_hash(key);
+        let h = self.dir_hash(key);
         loop {
             let bucket = self.bucket_for(h);
             match bucket.insert(key, value, self.max_entries) {
@@ -801,11 +818,11 @@ impl Index for ExtendibleHash {
     /// `&self` lookup runs — this is the sound basis for parallel lookup
     /// phases (see [`crate::ShortcutEh`]).
     fn get(&self, key: u64) -> Option<u64> {
-        self.bucket_for(mult_hash(key)).get(key)
+        self.bucket_for(self.dir_hash(key)).get(key)
     }
 
     fn remove(&mut self, key: u64) -> Result<Option<u64>, IndexError> {
-        let v = self.bucket_for(mult_hash(key)).remove(key);
+        let v = self.bucket_for(self.dir_hash(key)).remove(key);
         if v.is_some() {
             self.len -= 1;
         }

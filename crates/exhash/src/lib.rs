@@ -32,6 +32,7 @@ pub mod error;
 pub mod hash;
 pub mod ht;
 pub mod hti;
+pub mod shard;
 pub mod shortcut_eh;
 pub mod stats;
 pub mod traits;
@@ -43,6 +44,7 @@ pub use error::IndexError;
 pub use hash::{bucket_slot_hash, dir_slot, mult_hash};
 pub use ht::{HashTable, HtConfig};
 pub use hti::{HtiConfig, IncrementalHashTable};
+pub use shard::{ShardedIndex, MAX_SHARD_BITS};
 pub use shortcut_eh::{ShortcutEh, ShortcutEhConfig};
 pub use stats::IndexStats;
 pub use traits::Index;

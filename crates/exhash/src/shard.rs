@@ -1,0 +1,722 @@
+//! Hash-partitioned sharding over [`ShortcutEh`].
+//!
+//! [`ShardedIndex`] owns `N = 2^s` independent Shortcut-EH shards — each
+//! with its own page pool, mapper thread, retirement list, and compaction
+//! policy — and routes every key by the **top `s` bits** of its
+//! multiplicative hash ([`mult_hash`]). Each shard's directory then hashes
+//! with the rotation `hash_rot = s` ([`crate::EhConfig::hash_rot`]), so it
+//! consumes the *next* bits down and keeps exactly the depth semantics of
+//! a standalone index: an `s`-bit route plus a depth-`g` shard directory
+//! addresses the same `s + g` hash bits a single depth-`(s + g)` directory
+//! would, without every shard burning `s` constant levels.
+//!
+//! Two write disciplines coexist:
+//!
+//! * **Exclusive** — [`ShardedIndex`] implements [`Index`], with writes
+//!   through `&mut self` exactly like a single shard. No locks are
+//!   contended (`&mut` proves exclusivity; the per-shard `RwLock`s are
+//!   accessed via `get_mut`).
+//! * **Shared** — [`ShardedIndex::insert_shared`] /
+//!   [`ShardedIndex::remove_shared`] / [`ShardedIndex::insert_batch_shared`]
+//!   take `&self` and a per-shard **write lock**, so one writer thread per
+//!   shard can run concurrently with each other and with any number of
+//!   lock-free… rather, read-locked readers. A single shard's writes are
+//!   still serialized (Shortcut-EH is single-writer by construction); the
+//!   sharding is what buys write parallelism.
+//!
+//! Shards opted into the same [`shortcut_rewire::VmaBudget`] should set
+//! [`shortcut_rewire::PoolConfig::fair_share`] (the constructor here does
+//! it automatically for `s > 0`): each shard may then exceed its even
+//! share of the budget only while every sibling's unfilled share stays
+//! spare, so one hot shard's deep directory can never suspend the others'
+//! rebuilds.
+
+use crate::eh::CompactionOutcome;
+use crate::error::IndexError;
+use crate::hash::{dir_slot, mult_hash};
+use crate::shortcut_eh::{ShortcutEh, ShortcutEhConfig};
+use crate::stats::IndexStats;
+use crate::traits::Index;
+use parking_lot::RwLock;
+use std::time::{Duration, Instant};
+
+/// Hard cap on `shard_bits`: 2^8 = 256 shards is already far past any
+/// plausible core count, and each shard costs a mapper thread + pool.
+pub const MAX_SHARD_BITS: u32 = 8;
+
+/// `N = 2^s` Shortcut-EH shards routed by the top `s` hash bits. See the
+/// module docs for the routing scheme and the two write disciplines.
+pub struct ShardedIndex {
+    /// `s`: number of top hash bits consumed by routing.
+    bits: u32,
+    /// The shards, in routing order (`shards[i]` serves route value `i`).
+    shards: Vec<RwLock<ShortcutEh>>,
+}
+
+impl ShardedIndex {
+    /// Build `2^bits` shards, deriving each shard's configuration from
+    /// `base` by renaming its pool memfd (`<name>-s<i>`). The routing
+    /// rotation (`eh.hash_rot = bits`) and — for `bits > 0` — fair-share
+    /// budget admission (`eh.pool.fair_share`) are forced on every shard;
+    /// see [`ShardedIndex::try_new_with`] for per-shard control over the
+    /// rest of the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shard construction failures ([`IndexError::Pool`] and
+    /// friends); already-built shards are dropped cleanly.
+    pub fn try_new(bits: u32, base: ShortcutEhConfig) -> Result<Self, IndexError> {
+        Self::try_new_with(bits, |i| {
+            let mut cfg = base.clone();
+            if bits > 0 {
+                cfg.eh.pool.name = format!("{}-s{i}", cfg.eh.pool.name);
+            }
+            cfg
+        })
+    }
+
+    /// Build `2^bits` shards, calling `make_cfg(i)` for shard `i`'s
+    /// configuration. Two fields are overridden on every shard because
+    /// they are correctness-critical for the sharded layout:
+    ///
+    /// * `eh.hash_rot = bits` — the shard directory must consume the hash
+    ///   bits *below* the routing bits (see the module docs).
+    /// * `eh.pool.fair_share = (bits > 0)` — shards sharing a
+    ///   [`shortcut_rewire::VmaBudget`] get fair-share admission so one
+    ///   shard cannot starve its siblings; with a single shard the knob
+    ///   is forced off and behavior is bit-identical to a bare
+    ///   [`ShortcutEh`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > `[`MAX_SHARD_BITS`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates shard construction failures; already-built shards are
+    /// dropped cleanly.
+    pub fn try_new_with(
+        bits: u32,
+        mut make_cfg: impl FnMut(usize) -> ShortcutEhConfig,
+    ) -> Result<Self, IndexError> {
+        assert!(
+            bits <= MAX_SHARD_BITS,
+            "shard_bits {bits} exceeds the cap of {MAX_SHARD_BITS} (2^{MAX_SHARD_BITS} shards)"
+        );
+        let n = 1usize << bits;
+        let mut shards = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut cfg = make_cfg(i);
+            cfg.eh.hash_rot = bits;
+            cfg.eh.pool.fair_share = bits > 0;
+            shards.push(RwLock::new(ShortcutEh::try_new(cfg)?));
+        }
+        Ok(ShardedIndex { bits, shards })
+    }
+
+    /// `s`: the number of top hash bits consumed by routing.
+    #[inline]
+    pub fn shard_bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// `2^s`: the number of shards.
+    #[inline]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index `key` routes to: the top `s` bits of its
+    /// multiplicative hash (0 when unsharded).
+    #[inline]
+    pub fn shard_of(&self, key: u64) -> usize {
+        dir_slot(mult_hash(key), self.bits)
+    }
+
+    /// Run `f` against shard `i` under a **read** lock (per-shard stats,
+    /// layout inspection, read-only probes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.shard_count()`.
+    pub fn with_shard<R>(&self, i: usize, f: impl FnOnce(&ShortcutEh) -> R) -> R {
+        f(&self.shards[i].read())
+    }
+
+    /// Run `f` against shard `i` under a **write** lock (shared-writer
+    /// maintenance such as per-shard [`ShortcutEh::compact`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.shard_count()`.
+    pub fn with_shard_mut<R>(&self, i: usize, f: impl FnOnce(&mut ShortcutEh) -> R) -> R {
+        f(&mut self.shards[i].write())
+    }
+
+    // ------------------------------------------------------------------
+    // Shared-write discipline: `&self` + per-shard write locks. One
+    // writer thread per shard runs fully in parallel; readers use the
+    // `Index` read path ([`Index::get`] / [`Index::get_many`] take
+    // `&self` and a read lock).
+    // ------------------------------------------------------------------
+
+    /// Insert through a per-shard write lock (shared-writer discipline:
+    /// safe from many threads; writes to *different* shards proceed in
+    /// parallel, writes to the same shard serialize on its lock).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Index::insert`].
+    pub fn insert_shared(&self, key: u64, value: u64) -> Result<(), IndexError> {
+        self.shards[self.shard_of(key)].write().insert(key, value)
+    }
+
+    /// Remove through a per-shard write lock. See [`ShardedIndex::insert_shared`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Index::remove`].
+    pub fn remove_shared(&self, key: u64) -> Result<Option<u64>, IndexError> {
+        self.shards[self.shard_of(key)].write().remove(key)
+    }
+
+    /// Batched insert through per-shard write locks: the batch is split
+    /// by shard (preserving relative order within each shard), and each
+    /// shard's group is applied under one write-lock acquisition via its
+    /// one-ticket batched path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing shard's error. Shards whose groups
+    /// were applied before the failure keep them; the failing shard keeps
+    /// its applied prefix — the same "applied prefix stays readable"
+    /// contract as [`Index::insert_batch`], per shard.
+    pub fn insert_batch_shared(&self, entries: &[(u64, u64)]) -> Result<(), IndexError> {
+        if self.bits == 0 {
+            return self.shards[0].write().insert_batch(entries);
+        }
+        for (i, group) in self.scatter_entries(entries).iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            self.shards[i].write().insert_batch(group)?;
+        }
+        Ok(())
+    }
+
+    /// Split a batch of entries into per-shard groups, preserving the
+    /// relative order of entries within each shard.
+    fn scatter_entries(&self, entries: &[(u64, u64)]) -> Vec<Vec<(u64, u64)>> {
+        let mut routed: Vec<Vec<(u64, u64)>> = vec![Vec::new(); self.shards.len()];
+        for &(k, v) in entries {
+            routed[self.shard_of(k)].push((k, v));
+        }
+        routed
+    }
+
+    // ------------------------------------------------------------------
+    // Aggregated observability: every accessor folds the per-shard value
+    // with the documented `merge()` semantics (counters sum, gauges take
+    // the honest extreme). Use [`ShardedIndex::with_shard`] for the
+    // per-shard breakdown.
+    // ------------------------------------------------------------------
+
+    /// Fold `f(shard)` over all shards under read locks.
+    fn fold<T>(&self, mut f: impl FnMut(&ShortcutEh) -> T, merge: impl Fn(T, T) -> T) -> T {
+        let mut acc: Option<T> = None;
+        for s in &self.shards {
+            let v = f(&s.read());
+            acc = Some(match acc {
+                None => v,
+                Some(a) => merge(a, v),
+            });
+        }
+        acc.expect("at least one shard")
+    }
+
+    /// Aggregated structural counters ([`IndexStats::merge`]: all summed).
+    pub fn stats(&self) -> IndexStats {
+        self.fold(|s| s.stats(), |a, b| a.merge(&b))
+    }
+
+    /// Aggregated mapper counters ([`shortcut_core::metrics::MaintSnapshot::merge`]:
+    /// counters summed, `coarse_service_pct` takes the worst shard).
+    pub fn maint_metrics(&self) -> shortcut_core::metrics::MaintSnapshot {
+        self.fold(|s| s.maint_metrics(), |a, b| a.merge(&b))
+    }
+
+    /// Aggregated pool/rewiring counters ([`shortcut_rewire::StatsSnapshot::merge`]:
+    /// all summed).
+    pub fn pool_stats(&self) -> shortcut_rewire::StatsSnapshot {
+        self.fold(|s| s.pool_stats(), |a, b| a.merge(&b))
+    }
+
+    /// Aggregated VMA accounting ([`shortcut_rewire::VmaSnapshot::merge`]:
+    /// per-pool attribution and retirement counters summed; the shared
+    /// budget gauges — `in_use`, `limit`, fair-share fields — take the
+    /// max so a budget shared by all shards is not double-counted).
+    pub fn vma_stats(&self) -> shortcut_rewire::VmaSnapshot {
+        self.fold(|s| s.vma_stats(), |a, b| a.merge(&b))
+    }
+
+    /// Summed `(traditional, published)` version counters across shards:
+    /// a monotone progress pair whose equality still means "every shard's
+    /// shortcut has caught up" (per-shard published never exceeds
+    /// traditional).
+    pub fn versions(&self) -> (u64, u64) {
+        self.fold(|s| s.versions(), |a, b| (a.0 + b.0, a.1 + b.1))
+    }
+
+    /// Whether **every** shard's shortcut directory is in sync.
+    pub fn in_sync(&self) -> bool {
+        self.fold(|s| s.in_sync(), |a, b| a && b)
+    }
+
+    /// Block until every shard's shortcut is in sync or `timeout`
+    /// elapses; `true` when all shards synced. The timeout is a shared
+    /// deadline, not per shard.
+    pub fn wait_sync(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        for s in &self.shards {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if !s.read().wait_sync(remaining) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether **any** shard's maintenance is suspended by the VMA budget
+    /// (with fair-share admission, a suspended shard implicates only its
+    /// own footprint — see the module docs).
+    pub fn shortcut_suspended(&self) -> bool {
+        self.fold(|s| s.shortcut_suspended(), |a, b| a || b)
+    }
+
+    /// First maintenance error observed across shards, if any.
+    pub fn maint_error(&self) -> Option<IndexError> {
+        self.fold(|s| s.maint_error(), |a, b| a.or(b))
+    }
+
+    /// Maximum global depth across shards (the deepest shard directory).
+    pub fn global_depth(&self) -> u32 {
+        self.fold(|s| s.global_depth(), |a, b| a.max(b))
+    }
+
+    /// Total bucket count across shards.
+    pub fn bucket_count(&self) -> usize {
+        self.fold(|s| s.bucket_count(), |a, b| a + b)
+    }
+
+    /// Entry-weighted average directory fan-in: total directory slots
+    /// over total buckets — the same quantity a single directory of the
+    /// combined population would report, not a naive mean of per-shard
+    /// averages.
+    pub fn avg_fanin(&self) -> f64 {
+        let (slots, buckets) = self.fold(
+            |s| (s.avg_fanin() * s.bucket_count() as f64, s.bucket_count()),
+            |a, b| (a.0 + b.0, a.1 + b.1),
+        );
+        if buckets == 0 {
+            0.0
+        } else {
+            slots / buckets as f64
+        }
+    }
+
+    /// Compact every shard's bucket layout (exclusive discipline), summing
+    /// the per-shard outcomes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing shard's error; earlier shards keep
+    /// their completed passes.
+    pub fn compact(&mut self) -> Result<CompactionOutcome, IndexError> {
+        let mut total = CompactionOutcome {
+            pages_moved: 0,
+            vmas_before: 0,
+            vmas_after: 0,
+        };
+        for s in &mut self.shards {
+            let o = s.get_mut().compact()?;
+            total.pages_moved += o.pages_moved;
+            total.vmas_before += o.vmas_before;
+            total.vmas_after += o.vmas_after;
+        }
+        Ok(total)
+    }
+
+    /// Summed planned-VMA estimate of every shard's current layout.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard's estimation failure.
+    pub fn layout_vmas(&self) -> Result<usize, IndexError> {
+        let mut total = 0;
+        for s in &self.shards {
+            total += s.read().layout_vmas()?;
+        }
+        Ok(total)
+    }
+
+    /// Summed ideal (post-compaction) planned-VMA estimate.
+    pub fn ideal_layout_vmas(&self) -> usize {
+        self.fold(|s| s.ideal_layout_vmas(), |a, b| a + b)
+    }
+
+    /// Whether any shard's pool requested hugepage backing.
+    pub fn huge_requested(&self) -> bool {
+        self.fold(|s| s.huge_requested(), |a, b| a || b)
+    }
+
+    /// Whether **every** shard's pool actually runs on hugepages (the
+    /// conservative aggregate: mixed backing reports `false`).
+    pub fn huge_active(&self) -> bool {
+        self.fold(|s| s.huge_active(), |a, b| a && b)
+    }
+
+    /// Shard 0's physical slot layout (identical across shards when built
+    /// via [`ShardedIndex::try_new`]; with `try_new_with` and divergent
+    /// per-shard layouts, inspect shards individually).
+    pub fn slot_layout(&self) -> shortcut_rewire::SlotLayout {
+        self.shards[0].read().slot_layout()
+    }
+
+    /// Shard 0's bucket geometry (see [`ShardedIndex::slot_layout`] for
+    /// the homogeneity caveat).
+    pub fn bucket_layout(&self) -> crate::bucket::BucketLayout {
+        self.shards[0].read().bucket_layout()
+    }
+}
+
+impl std::fmt::Debug for ShardedIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedIndex")
+            .field("bits", &self.bits)
+            .field("shards", &self.shards.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Index for ShardedIndex {
+    fn insert(&mut self, key: u64, value: u64) -> Result<(), IndexError> {
+        let i = self.shard_of(key);
+        self.shards[i].get_mut().insert(key, value)
+    }
+
+    fn get(&self, key: u64) -> Option<u64> {
+        self.shards[self.shard_of(key)].read().get(key)
+    }
+
+    fn remove(&mut self, key: u64) -> Result<Option<u64>, IndexError> {
+        let i = self.shard_of(key);
+        self.shards[i].get_mut().remove(key)
+    }
+
+    fn len(&self) -> usize {
+        self.fold(|s| s.len(), |a, b| a + b)
+    }
+
+    fn name(&self) -> &'static str {
+        if self.bits == 0 {
+            "Shortcut-EH"
+        } else {
+            "Sharded-Shortcut-EH"
+        }
+    }
+
+    /// Scatter/gather batched lookup: keys are split by shard, each
+    /// shard's group is answered through its one-ticket batched
+    /// [`Index::get_many`] under a single read-lock acquisition, and the
+    /// answers are reassembled in caller order (`out[i]` answers
+    /// `keys[i]`).
+    fn get_many(&self, keys: &[u64]) -> Vec<Option<u64>> {
+        if self.bits == 0 {
+            return self.shards[0].read().get_many(keys);
+        }
+        // (caller position, key) per shard, preserving relative order.
+        let mut routed: Vec<Vec<(usize, u64)>> = vec![Vec::new(); self.shards.len()];
+        for (pos, &k) in keys.iter().enumerate() {
+            routed[self.shard_of(k)].push((pos, k));
+        }
+        let mut out = vec![None; keys.len()];
+        let mut shard_keys = Vec::new();
+        for (i, group) in routed.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            shard_keys.clear();
+            shard_keys.extend(group.iter().map(|&(_, k)| k));
+            let answers = self.shards[i].read().get_many(&shard_keys);
+            for (&(pos, _), ans) in group.iter().zip(answers) {
+                out[pos] = ans;
+            }
+        }
+        out
+    }
+
+    /// Scatter batched insert: entries are split by shard and each
+    /// shard's group is applied through its batched path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing shard's error; see
+    /// [`ShardedIndex::insert_batch_shared`] for the per-shard
+    /// applied-prefix contract.
+    fn insert_batch(&mut self, entries: &[(u64, u64)]) -> Result<(), IndexError> {
+        if self.bits == 0 {
+            return self.shards[0].get_mut().insert_batch(entries);
+        }
+        for (i, group) in self.scatter_entries(entries).iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            self.shards[i].get_mut().insert_batch(group)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eh::EhConfig;
+    use shortcut_core::MaintConfig;
+    use shortcut_rewire::PoolConfig;
+    use std::sync::Arc;
+
+    fn fast_cfg() -> ShortcutEhConfig {
+        ShortcutEhConfig {
+            eh: EhConfig {
+                pool: PoolConfig {
+                    name: "shard-test".into(),
+                    initial_pages: 1,
+                    min_growth_pages: 16,
+                    view_capacity_pages: 1 << 16,
+                    vma_budget: Some(shortcut_rewire::VmaBudget::with_limit(1_000_000)),
+                    ..PoolConfig::default()
+                },
+                ..EhConfig::default()
+            },
+            maint: MaintConfig {
+                poll_interval: Duration::from_millis(1),
+                ..MaintConfig::default()
+            },
+            policy: Default::default(),
+        }
+    }
+
+    fn val(k: u64) -> u64 {
+        k.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xA5A5
+    }
+
+    #[test]
+    fn unsharded_is_a_single_shard_and_routes_everything_to_it() {
+        let mut t = ShardedIndex::try_new(0, fast_cfg()).unwrap();
+        assert_eq!(t.shard_count(), 1);
+        assert_eq!(t.name(), "Shortcut-EH");
+        for k in 0..2_000u64 {
+            assert_eq!(t.shard_of(k), 0);
+            t.insert(k, val(k)).unwrap();
+        }
+        assert_eq!(t.len(), 2_000);
+        for k in 0..2_000u64 {
+            assert_eq!(t.get(k), Some(val(k)), "key {k}");
+        }
+        assert!(t.maint_error().is_none());
+    }
+
+    #[test]
+    fn unsharded_matches_a_bare_shortcut_eh() {
+        // N = 1 must behave identically to ShortcutEh: same answers, same
+        // routing hash (hash_rot = 0 leaves dir_hash == mult_hash).
+        let mut sharded = ShardedIndex::try_new(0, fast_cfg()).unwrap();
+        let mut bare = ShortcutEh::try_new(fast_cfg()).unwrap();
+        for k in 0..5_000u64 {
+            sharded.insert(k, val(k)).unwrap();
+            bare.insert(k, val(k)).unwrap();
+        }
+        assert_eq!(sharded.len(), bare.len());
+        assert_eq!(sharded.global_depth(), bare.global_depth());
+        assert_eq!(sharded.bucket_count(), bare.bucket_count());
+        for k in (0..6_000u64).step_by(7) {
+            assert_eq!(sharded.get(k), bare.get(k), "key {k}");
+        }
+    }
+
+    #[test]
+    fn routing_spreads_keys_over_all_shards() {
+        let mut t = ShardedIndex::try_new(2, fast_cfg()).unwrap();
+        for k in 0..4_000u64 {
+            t.insert(k, val(k)).unwrap();
+        }
+        assert_eq!(t.len(), 4_000);
+        for i in 0..t.shard_count() {
+            let n = t.with_shard(i, |s| s.len());
+            assert!(n > 500, "shard {i} got only {n} of 4000 keys");
+        }
+        for k in 0..4_000u64 {
+            assert_eq!(t.get(k), Some(val(k)), "key {k}");
+        }
+        assert_eq!(t.get(999_999), None);
+        assert!(t.maint_error().is_none());
+    }
+
+    #[test]
+    fn removals_route_to_the_owning_shard() {
+        let mut t = ShardedIndex::try_new(2, fast_cfg()).unwrap();
+        for k in 0..1_000u64 {
+            t.insert(k, val(k)).unwrap();
+        }
+        for k in (0..1_000u64).step_by(3) {
+            assert_eq!(t.remove(k).unwrap(), Some(val(k)), "key {k}");
+        }
+        for k in 0..1_000u64 {
+            let expect = if k % 3 == 0 { None } else { Some(val(k)) };
+            assert_eq!(t.get(k), expect, "key {k}");
+        }
+        assert_eq!(t.remove(424_242).unwrap(), None);
+    }
+
+    #[test]
+    fn get_many_reassembles_in_caller_order() {
+        let mut t = ShardedIndex::try_new(2, fast_cfg()).unwrap();
+        for k in 0..8_000u64 {
+            t.insert(k, val(k)).unwrap();
+        }
+        // Mix hits and misses in an order that interleaves shards.
+        let keys: Vec<u64> = (0..10_000u64).rev().step_by(3).collect();
+        let got = t.get_many(&keys);
+        assert_eq!(got.len(), keys.len());
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(got[i], t.get(k), "key {k} at position {i}");
+        }
+    }
+
+    #[test]
+    fn insert_batch_scatters_and_everything_reads_back() {
+        let mut t = ShardedIndex::try_new(2, fast_cfg()).unwrap();
+        let entries: Vec<(u64, u64)> = (0..6_000u64).map(|k| (k, val(k))).collect();
+        t.insert_batch(&entries).unwrap();
+        assert_eq!(t.len(), entries.len());
+        for &(k, v) in &entries {
+            assert_eq!(t.get(k), Some(v), "key {k}");
+        }
+    }
+
+    #[test]
+    fn sharded_lookups_sync_and_use_the_shortcut() {
+        let mut t = ShardedIndex::try_new(2, fast_cfg()).unwrap();
+        for k in 0..20_000u64 {
+            t.insert(k, k + 3).unwrap();
+        }
+        assert!(t.wait_sync(Duration::from_secs(10)), "never synced");
+        assert!(t.in_sync());
+        let (tv, sv) = t.versions();
+        assert_eq!(tv, sv);
+        for k in 0..20_000u64 {
+            assert_eq!(t.get(k), Some(k + 3), "key {k}");
+        }
+        let s = t.stats();
+        assert!(
+            s.shortcut_lookups > s.traditional_lookups,
+            "shortcut {} vs traditional {}",
+            s.shortcut_lookups,
+            s.traditional_lookups
+        );
+        assert!(t.maint_error().is_none());
+    }
+
+    #[test]
+    fn shared_writers_one_per_shard_with_concurrent_readers() {
+        let t = Arc::new(ShardedIndex::try_new(2, fast_cfg()).unwrap());
+        let per_shard = 3_000u64;
+        let keys: Vec<Vec<u64>> = {
+            // Pre-partition keys so each writer thread owns one shard.
+            let mut groups: Vec<Vec<u64>> = vec![Vec::new(); t.shard_count()];
+            let mut k = 0u64;
+            while groups.iter().any(|g| (g.len() as u64) < per_shard) {
+                let s = t.shard_of(k);
+                if (groups[s].len() as u64) < per_shard {
+                    groups[s].push(k);
+                }
+                k += 1;
+            }
+            groups
+        };
+        std::thread::scope(|scope| {
+            for group in &keys {
+                let t = Arc::clone(&t);
+                scope.spawn(move || {
+                    for &k in group {
+                        t.insert_shared(k, val(k)).unwrap();
+                    }
+                });
+            }
+            for r in 0..4 {
+                let t = Arc::clone(&t);
+                let keys = &keys;
+                scope.spawn(move || {
+                    // Readers race the writers: any answer must be absent
+                    // or the correct value, never garbage.
+                    for pass in 0..3 {
+                        for group in keys {
+                            for &k in group.iter().skip((r + pass) % 4).step_by(17) {
+                                if let Some(v) = t.get(k) {
+                                    assert_eq!(v, val(k), "key {k}");
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(t.len(), keys.iter().map(Vec::len).sum::<usize>());
+        for group in &keys {
+            for &k in group {
+                assert_eq!(t.get(k), Some(val(k)), "key {k}");
+            }
+        }
+        assert!(t.maint_error().is_none());
+    }
+
+    #[test]
+    fn insert_batch_shared_takes_one_lock_per_shard() {
+        let t = ShardedIndex::try_new(1, fast_cfg()).unwrap();
+        let entries: Vec<(u64, u64)> = (0..4_000u64).map(|k| (k, val(k))).collect();
+        t.insert_batch_shared(&entries).unwrap();
+        for &(k, v) in &entries {
+            assert_eq!(t.get(k), Some(v), "key {k}");
+        }
+        assert_eq!(t.len(), entries.len());
+    }
+
+    #[test]
+    fn aggregates_fold_across_shards() {
+        let mut t = ShardedIndex::try_new(2, fast_cfg()).unwrap();
+        for k in 0..10_000u64 {
+            t.insert(k, val(k)).unwrap();
+        }
+        assert!(t.wait_sync(Duration::from_secs(10)));
+        let buckets: usize = (0..4).map(|i| t.with_shard(i, |s| s.bucket_count())).sum();
+        assert_eq!(t.bucket_count(), buckets);
+        let depth_max = (0..4)
+            .map(|i| t.with_shard(i, |s| s.global_depth()))
+            .max()
+            .unwrap();
+        assert_eq!(t.global_depth(), depth_max);
+        let fanin = t.avg_fanin();
+        assert!(fanin >= 1.0, "fan-in {fanin} below 1");
+        assert!(t.ideal_layout_vmas() >= t.shard_count());
+        assert!(t.layout_vmas().unwrap() >= t.ideal_layout_vmas());
+        // Pool counters really sum: each shard allocated at least a page.
+        assert!(t.pool_stats().pages_allocated >= t.shard_count() as u64);
+        assert!(!t.shortcut_suspended());
+    }
+
+    #[test]
+    #[should_panic(expected = "shard_bits")]
+    fn shard_bits_above_the_cap_panic() {
+        let _ = ShardedIndex::try_new(MAX_SHARD_BITS + 1, fast_cfg());
+    }
+}

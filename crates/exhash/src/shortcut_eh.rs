@@ -30,7 +30,7 @@
 use crate::bucket::{BucketLayout, BucketRef};
 use crate::eh::{CompactionOutcome, DirEvent, EhConfig, ExtendibleHash};
 use crate::error::IndexError;
-use crate::hash::{dir_slot, mult_hash};
+use crate::hash::dir_slot;
 use crate::stats::IndexStats;
 use crate::traits::Index;
 use shortcut_core::{CompactionPolicy, MaintConfig, MaintRequest, Maintainer, RoutePolicy};
@@ -565,7 +565,7 @@ impl Index for ShortcutEh {
     }
 
     fn get(&self, key: u64) -> Option<u64> {
-        let h = mult_hash(key);
+        let h = self.eh.dir_hash(key);
         // Run the hot path through the seqlock-guarded shortcut, then
         // account on the atomic counters.
         if let Some(res) = self.shortcut_get(key, h) {
@@ -618,7 +618,7 @@ impl Index for ShortcutEh {
                     let start = out.len();
                     let mut deep = 0u64;
                     out.extend(chunk.iter().map(|&k| {
-                        let slot = dir_slot(mult_hash(k), g);
+                        let slot = dir_slot(self.eh.dir_hash(k), g);
                         // SAFETY: see `shortcut_get` — slot < t.slots and
                         // the pin defers reclamation of retired areas.
                         let bucket = unsafe {
@@ -776,7 +776,7 @@ mod tests {
         assert!(t.wait_sync(Duration::from_secs(10)));
         // Compare the shortcut path against the traditional path directly.
         for k in (0..10_000u64).step_by(37) {
-            let h = mult_hash(k);
+            let h = t.eh.dir_hash(k);
             let via_shortcut = t.shortcut_get(k, h).expect("in sync");
             let via_traditional = t.eh.get(k);
             assert_eq!(via_shortcut, via_traditional, "key {k}");
@@ -1107,7 +1107,7 @@ mod tests {
         // directory for every applied key.
         assert!(t.wait_sync(Duration::from_secs(10)), "mapper never drained");
         for k in 0..applied {
-            let via_shortcut = t.shortcut_get(k, mult_hash(k));
+            let via_shortcut = t.shortcut_get(k, t.eh.dir_hash(k));
             if let Some(res) = via_shortcut {
                 assert_eq!(res, Some(k), "shortcut reads pre-split bucket for {k}");
             }

@@ -28,3 +28,51 @@ pub struct IndexStats {
     /// Shortcut reads that had to be discarded after the seqlock recheck.
     pub shortcut_retries: u64,
 }
+
+impl IndexStats {
+    /// Merge two indexes' statistics (the sharded index aggregates one
+    /// set per shard). Every field is a monotone event counter, so the
+    /// merge **sums** them all; there are no gauges here.
+    pub fn merge(&self, other: &IndexStats) -> IndexStats {
+        IndexStats {
+            splits: self.splits + other.splits,
+            doublings: self.doublings + other.doublings,
+            full_rehashes: self.full_rehashes + other.full_rehashes,
+            migrated_entries: self.migrated_entries + other.migrated_entries,
+            chain_buckets: self.chain_buckets + other.chain_buckets,
+            compactions: self.compactions + other.compactions,
+            pages_moved: self.pages_moved + other.pages_moved,
+            compaction_skipped: self.compaction_skipped + other.compaction_skipped,
+            shortcut_lookups: self.shortcut_lookups + other.shortcut_lookups,
+            traditional_lookups: self.traditional_lookups + other.traditional_lookups,
+            shortcut_retries: self.shortcut_retries + other.shortcut_retries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_every_counter() {
+        let a = IndexStats {
+            splits: 4,
+            doublings: 2,
+            shortcut_lookups: 100,
+            ..IndexStats::default()
+        };
+        let b = IndexStats {
+            splits: 1,
+            traditional_lookups: 7,
+            shortcut_lookups: 50,
+            ..IndexStats::default()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.splits, 5);
+        assert_eq!(m.doublings, 2);
+        assert_eq!(m.shortcut_lookups, 150);
+        assert_eq!(m.traditional_lookups, 7);
+        assert_eq!(m, b.merge(&a));
+    }
+}

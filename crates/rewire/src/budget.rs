@@ -10,6 +10,11 @@
 //!   holds (live **and** retired areas plus the pool view), so consumers
 //!   can ask *before* a rebuild whether a directory of `n` mappings fits —
 //!   instead of hand-deriving slot caps from the sysctl.
+//! * [`PoolUsage`] attributes the shared total back to individual pools,
+//!   and opt-in **fair-share admission**
+//!   ([`VmaBudget::try_reserve_for`]) keeps one pool's directory rebuild
+//!   from starving its siblings' — the contract the sharded index relies
+//!   on when N shards share one `vm.max_map_count`.
 //!
 //! One process-global budget ([`VmaBudget::global`]) is shared by all
 //! pools by default because `vm.max_map_count` is a per-process limit;
@@ -17,7 +22,7 @@
 //! [`crate::PoolConfig::vma_budget`].
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, Weak};
 
 /// Kernel default for `vm.max_map_count`, used when the sysctl cannot be
 /// read (non-Linux hosts, locked-down sandboxes).
@@ -37,6 +42,110 @@ pub fn max_map_count() -> usize {
     })
 }
 
+/// Headroom left unreserved by admission decisions against a budget of
+/// `limit` mappings: 1/16 of the limit, capped at 1024. Proportional
+/// rather than flat so that small *injected* budgets (tests, CI stress
+/// rigs simulating a tiny `vm.max_map_count`) keep most of their limit
+/// usable instead of being silently swallowed whole. Lives here (rather
+/// than in the mapper that applies it) so fair-share arithmetic and
+/// snapshots agree with admission on what "usable" means.
+pub fn budget_headroom(limit: usize) -> usize {
+    (limit / 16).min(1024)
+}
+
+/// Per-pool attribution of a shared [`VmaBudget`]: how many of the
+/// budget's VMAs this pool (its view, live directory, and retired areas)
+/// currently holds. Obtained from [`VmaBudget::register_pool`]; every
+/// charge and release that goes through a [`BudgetBinding`] or a
+/// pool-scoped reservation adjusts both counters in tandem.
+///
+/// Pools registered with `fair == true` additionally participate in
+/// fair-share admission: see [`VmaBudget::try_reserve_for`].
+#[derive(Debug)]
+pub struct PoolUsage {
+    in_use: AtomicUsize,
+    fair: bool,
+}
+
+impl PoolUsage {
+    /// VMAs currently attributed to this pool.
+    pub fn in_use(&self) -> usize {
+        self.in_use.load(Ordering::Relaxed)
+    }
+
+    /// Whether this pool participates in fair-share admission.
+    pub fn is_fair(&self) -> bool {
+        self.fair
+    }
+
+    pub(crate) fn charge(&self, n: usize) {
+        self.in_use.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn release(&self, n: usize) {
+        let mut cur = self.in_use.load(Ordering::Relaxed);
+        loop {
+            let next = cur.saturating_sub(n);
+            match self
+                .in_use
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(observed) => cur = observed,
+            }
+        }
+    }
+}
+
+/// A budget plus the pool the charges should be attributed to. This is
+/// what areas carry instead of a bare `Arc<VmaBudget>`: every delta the
+/// area's VMA estimate takes is mirrored into the pool's [`PoolUsage`]
+/// (when present), so the shared total stays decomposable per pool.
+#[derive(Debug, Clone)]
+pub struct BudgetBinding {
+    budget: Arc<VmaBudget>,
+    pool: Option<Arc<PoolUsage>>,
+}
+
+impl BudgetBinding {
+    /// A binding that charges the budget only (no per-pool attribution).
+    pub fn new(budget: Arc<VmaBudget>) -> Self {
+        BudgetBinding { budget, pool: None }
+    }
+
+    /// A binding that mirrors every charge into `pool`'s usage counter.
+    pub fn with_pool(budget: Arc<VmaBudget>, pool: Arc<PoolUsage>) -> Self {
+        BudgetBinding {
+            budget,
+            pool: Some(pool),
+        }
+    }
+
+    /// The underlying shared budget.
+    pub fn budget(&self) -> &Arc<VmaBudget> {
+        &self.budget
+    }
+
+    /// The pool usage the binding attributes to, if any.
+    pub fn pool(&self) -> Option<&Arc<PoolUsage>> {
+        self.pool.as_ref()
+    }
+
+    pub(crate) fn charge(&self, n: usize) {
+        self.budget.charge(n);
+        if let Some(p) = &self.pool {
+            p.charge(n);
+        }
+    }
+
+    pub(crate) fn release(&self, n: usize) {
+        self.budget.release(n);
+        if let Some(p) = &self.pool {
+            p.release(n);
+        }
+    }
+}
+
 /// A shared VMA budget: the mapping-count limit plus a running estimate of
 /// the VMAs currently held by budget-attached areas and pool views.
 ///
@@ -48,6 +157,10 @@ pub fn max_map_count() -> usize {
 pub struct VmaBudget {
     limit: AtomicUsize,
     in_use: AtomicUsize,
+    /// Pools registered for attribution (weak: a dropped pool's retired
+    /// areas keep their own `Arc<PoolUsage>` alive until reclaimed, but
+    /// the registry itself must not leak entries).
+    pools: Mutex<Vec<Weak<PoolUsage>>>,
 }
 
 impl VmaBudget {
@@ -56,6 +169,7 @@ impl VmaBudget {
         Arc::new(VmaBudget {
             limit: AtomicUsize::new(limit),
             in_use: AtomicUsize::new(0),
+            pools: Mutex::new(Vec::new()),
         })
     }
 
@@ -84,6 +198,78 @@ impl VmaBudget {
         self.in_use.load(Ordering::Relaxed)
     }
 
+    /// Register a pool for per-pool attribution (and, when `fair`, for
+    /// fair-share admission). The returned handle is what
+    /// [`BudgetBinding::with_pool`] and [`VmaBudget::try_reserve_for`]
+    /// charge against; dead registrations are pruned lazily.
+    pub fn register_pool(&self, fair: bool) -> Arc<PoolUsage> {
+        let usage = Arc::new(PoolUsage {
+            in_use: AtomicUsize::new(0),
+            fair,
+        });
+        let mut pools = self.pools.lock().unwrap_or_else(|p| p.into_inner());
+        pools.retain(|w| w.strong_count() > 0);
+        pools.push(Arc::downgrade(&usage));
+        usage
+    }
+
+    /// Number of live fair-share pools registered on this budget.
+    pub fn fair_pool_count(&self) -> usize {
+        let pools = self.pools.lock().unwrap_or_else(|p| p.into_inner());
+        pools
+            .iter()
+            .filter_map(Weak::upgrade)
+            .filter(|p| p.fair)
+            .count()
+    }
+
+    /// The per-pool fair share under `headroom`: the usable budget divided
+    /// evenly among the live fair-share pools (0 when none participate).
+    /// A fair pool's reservations inside this floor are never blocked by
+    /// a sibling's consumption; see [`VmaBudget::try_reserve_for`].
+    pub fn fair_share(&self, headroom: usize) -> usize {
+        let n = self.fair_pool_count();
+        if n == 0 {
+            return 0;
+        }
+        self.limit().saturating_sub(headroom) / n
+    }
+
+    /// Sum over the live fair-share pools other than `pool` of their
+    /// *unfilled guarantees*: `max(fair − in_use, 0)`. An over-fair
+    /// reservation must leave this much budget spare so every sibling can
+    /// still grow into its floor.
+    fn sibling_guarantee_slack(&self, pool: &Arc<PoolUsage>, fair: usize) -> usize {
+        let pools = self.pools.lock().unwrap_or_else(|p| p.into_inner());
+        pools
+            .iter()
+            .filter_map(Weak::upgrade)
+            .filter(|p| p.fair && !Arc::ptr_eq(p, pool))
+            .map(|p| fair.saturating_sub(p.in_use()))
+            .sum()
+    }
+
+    /// The admission cap (in total budget `in_use`) that a reservation of
+    /// `extra` VMAs by `pool` must stay under. Non-fair pools and
+    /// within-fair-share requests see the plain `limit − headroom` cap;
+    /// an over-fair request additionally leaves the siblings' unfilled
+    /// guarantees spare.
+    fn admission_cap(&self, pool: &Arc<PoolUsage>, extra: usize, headroom: usize) -> usize {
+        let usable = self.limit().saturating_sub(headroom);
+        if !pool.fair {
+            return usable;
+        }
+        let fair = self.fair_share(headroom);
+        if pool.in_use().saturating_add(extra) <= fair {
+            // Inside the guaranteed floor: over-fair siblings have left
+            // this slack untouched by construction, so only the global
+            // cap applies.
+            usable
+        } else {
+            usable.saturating_sub(self.sibling_guarantee_slack(pool, fair))
+        }
+    }
+
     /// Whether `extra` additional VMAs fit under the limit while leaving
     /// `headroom` mappings spare for everything the budget does not track
     /// (the binary, heap, thread stacks, transient splits).
@@ -94,6 +280,14 @@ impl VmaBudget {
     pub fn would_fit(&self, extra: usize, headroom: usize) -> bool {
         let limit = self.limit().saturating_sub(headroom);
         self.in_use().saturating_add(extra) <= limit
+    }
+
+    /// [`VmaBudget::would_fit`] under the fair-share admission cap of
+    /// `pool` — the racy pre-check matching
+    /// [`VmaBudget::try_reserve_for`].
+    pub fn would_fit_for(&self, pool: &Arc<PoolUsage>, extra: usize, headroom: usize) -> bool {
+        let cap = self.admission_cap(pool, extra, headroom);
+        self.in_use().saturating_add(extra) <= cap
     }
 
     /// Atomically reserve `extra` VMAs if they fit under the limit minus
@@ -115,11 +309,53 @@ impl VmaBudget {
         extra: usize,
         headroom: usize,
     ) -> Option<BudgetReservation> {
-        let limit = self.limit().saturating_sub(headroom);
+        let cap = self.limit().saturating_sub(headroom);
+        self.reserve_under_cap(extra, cap, None)
+    }
+
+    /// Pool-attributed, fairness-aware [`VmaBudget::try_reserve`]: the
+    /// reserved VMAs are charged to `pool`'s usage as well, and — when the
+    /// pool was registered fair — admission enforces the fair-share rule:
+    ///
+    /// * A request that keeps the pool **within its fair share**
+    ///   (`limit − headroom` divided by the number of fair pools) only
+    ///   has to fit under the global cap.
+    /// * A request that takes the pool **over** its fair share must
+    ///   additionally leave every fair sibling's unfilled guarantee
+    ///   (`max(fair − sibling_in_use, 0)`, summed) spare — a hot shard
+    ///   may spill into the division remainder or budget freed by a
+    ///   *departed* sibling (the share recomputes over live pools), but
+    ///   never into the margin a sibling is still entitled to for its
+    ///   own rebuild.
+    ///
+    /// Non-fair pools (the default) see exactly the plain `try_reserve`
+    /// admission; their reservations are merely attributed.
+    pub fn try_reserve_for(
+        self: &Arc<Self>,
+        pool: &Arc<PoolUsage>,
+        extra: usize,
+        headroom: usize,
+    ) -> Option<BudgetReservation> {
+        let cap = self.admission_cap(pool, extra, headroom);
+        self.reserve_under_cap(extra, cap, Some(Arc::clone(pool)))
+    }
+
+    /// CAS-commit `extra` into `in_use` if the result stays `<= cap`.
+    /// The cap itself is computed from racy sibling reads *before* the
+    /// loop; that imprecision is conservative in the steady state (a
+    /// sibling's concurrent growth only shrinks what this pool should
+    /// take) and second-order at worst, like the overlap note on
+    /// [`VmaBudget::try_reserve`].
+    fn reserve_under_cap(
+        self: &Arc<Self>,
+        extra: usize,
+        cap: usize,
+        pool: Option<Arc<PoolUsage>>,
+    ) -> Option<BudgetReservation> {
         let mut cur = self.in_use.load(Ordering::Relaxed);
         loop {
             let next = cur.checked_add(extra)?;
-            if next > limit {
+            if next > cap {
                 return None;
             }
             match self
@@ -127,10 +363,14 @@ impl VmaBudget {
                 .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
             {
                 Ok(_) => {
+                    if let Some(p) = &pool {
+                        p.charge(extra);
+                    }
                     return Some(BudgetReservation {
                         budget: Arc::clone(self),
+                        pool,
                         n: extra,
-                    })
+                    });
                 }
                 Err(observed) => cur = observed,
             }
@@ -158,11 +398,13 @@ impl VmaBudget {
     }
 }
 
-/// A held VMA reservation from [`VmaBudget::try_reserve`]; the reserved
-/// count is released back to the budget on drop.
+/// A held VMA reservation from [`VmaBudget::try_reserve`] /
+/// [`VmaBudget::try_reserve_for`]; the reserved count (and its per-pool
+/// attribution, if any) is released back on drop.
 #[derive(Debug)]
 pub struct BudgetReservation {
     budget: Arc<VmaBudget>,
+    pool: Option<Arc<PoolUsage>>,
     n: usize,
 }
 
@@ -176,17 +418,38 @@ impl BudgetReservation {
     /// budget to the built area as prepaid.
     pub fn settle(mut self, exact: usize) {
         match exact.cmp(&self.n) {
-            std::cmp::Ordering::Less => self.budget.release(self.n - exact),
-            std::cmp::Ordering::Greater => self.budget.charge(exact - self.n),
+            std::cmp::Ordering::Less => {
+                self.budget.release(self.n - exact);
+                if let Some(p) = &self.pool {
+                    p.release(self.n - exact);
+                }
+            }
+            std::cmp::Ordering::Greater => {
+                self.budget.charge(exact - self.n);
+                if let Some(p) = &self.pool {
+                    p.charge(exact - self.n);
+                }
+            }
             std::cmp::Ordering::Equal => {}
         }
         self.n = 0; // the drop below releases nothing
+    }
+
+    /// The pool this reservation is attributed to, if it came from
+    /// [`VmaBudget::try_reserve_for`]. A settled charge belongs to the
+    /// same pool; callers attaching the built area prepaid must bind it
+    /// with the same attribution so the release on drop matches.
+    pub fn pool(&self) -> Option<&Arc<PoolUsage>> {
+        self.pool.as_ref()
     }
 }
 
 impl Drop for BudgetReservation {
     fn drop(&mut self) {
         self.budget.release(self.n);
+        if let Some(p) = &self.pool {
+            p.release(self.n);
+        }
     }
 }
 
@@ -195,6 +458,8 @@ impl Drop for BudgetReservation {
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct VmaSnapshot {
     /// Estimated VMAs currently held (live + retired areas + pool view).
+    /// For a shared budget this is the **process-wide** total, not this
+    /// pool's share — see [`VmaSnapshot::pool_in_use`] for the latter.
     pub in_use: u64,
     /// Mapping-count limit of the budget (`vm.max_map_count` unless
     /// overridden).
@@ -210,6 +475,17 @@ pub struct VmaSnapshot {
     pub areas_reclaimed: u64,
     /// Estimated VMAs those reclaimed areas gave back.
     pub vmas_reclaimed: u64,
+    /// VMAs attributed to **this pool** (its view, live directory, and
+    /// retired areas). Equals `in_use` when the pool has the budget to
+    /// itself; on a shared budget the pools' `pool_in_use` values sum to
+    /// (at most) `in_use`.
+    pub pool_in_use: u64,
+    /// Live fair-share pools registered on the budget (0 when fairness is
+    /// not in play).
+    pub fair_pools: u64,
+    /// The per-pool fair-share floor at the default admission headroom
+    /// (0 when no pool participates).
+    pub fair_share: u64,
 }
 
 impl VmaSnapshot {
@@ -219,6 +495,31 @@ impl VmaSnapshot {
     /// `vm.max_map_count` — retired VMAs are transient by construction.
     pub fn live_vmas(&self) -> u64 {
         self.in_use.saturating_sub(self.retired_vmas)
+    }
+
+    /// Merge two snapshots of pools **sharing one budget** into a single
+    /// aggregate view, with the correct treatment per field kind:
+    ///
+    /// * `in_use`, `limit`, `fair_pools`, `fair_share` are properties of
+    ///   the *shared* budget — every pool reports the same process-wide
+    ///   number, so the merge takes the **max** (summing would count the
+    ///   budget once per pool).
+    /// * `pool_in_use` and all retirement counters (`retired_vmas`,
+    ///   `retired_areas`, `areas_retired`, `areas_reclaimed`,
+    ///   `vmas_reclaimed`) are per-pool quantities and are **summed**.
+    pub fn merge(&self, other: &VmaSnapshot) -> VmaSnapshot {
+        VmaSnapshot {
+            in_use: self.in_use.max(other.in_use),
+            limit: self.limit.max(other.limit),
+            retired_vmas: self.retired_vmas + other.retired_vmas,
+            retired_areas: self.retired_areas + other.retired_areas,
+            areas_retired: self.areas_retired + other.areas_retired,
+            areas_reclaimed: self.areas_reclaimed + other.areas_reclaimed,
+            vmas_reclaimed: self.vmas_reclaimed + other.vmas_reclaimed,
+            pool_in_use: self.pool_in_use + other.pool_in_use,
+            fair_pools: self.fair_pools.max(other.fair_pools),
+            fair_share: self.fair_share.max(other.fair_share),
+        }
     }
 }
 
@@ -277,5 +578,170 @@ mod tests {
         let b = VmaBudget::global();
         assert!(Arc::ptr_eq(&a, &b));
         assert_eq!(a.limit(), max_map_count());
+    }
+
+    #[test]
+    fn pool_registration_attributes_charges() {
+        let b = VmaBudget::with_limit(100);
+        let p = b.register_pool(false);
+        let binding = BudgetBinding::with_pool(Arc::clone(&b), Arc::clone(&p));
+        binding.charge(7);
+        assert_eq!(b.in_use(), 7);
+        assert_eq!(p.in_use(), 7);
+        binding.release(3);
+        assert_eq!(b.in_use(), 4);
+        assert_eq!(p.in_use(), 4);
+        // Non-pool binding only moves the shared total.
+        let plain = BudgetBinding::new(Arc::clone(&b));
+        plain.charge(6);
+        assert_eq!(b.in_use(), 10);
+        assert_eq!(p.in_use(), 4);
+    }
+
+    #[test]
+    fn reserve_for_settle_and_drop_track_pool_usage() {
+        let b = VmaBudget::with_limit(100);
+        let p = b.register_pool(false);
+        let r = b.try_reserve_for(&p, 30, 0).expect("fits");
+        assert_eq!(b.in_use(), 30);
+        assert_eq!(p.in_use(), 30);
+        r.settle(12);
+        assert_eq!(b.in_use(), 12);
+        assert_eq!(p.in_use(), 12);
+        let r2 = b.try_reserve_for(&p, 20, 0).expect("fits");
+        drop(r2);
+        assert_eq!(b.in_use(), 12);
+        assert_eq!(p.in_use(), 12);
+    }
+
+    #[test]
+    fn fair_share_divides_usable_budget() {
+        let b = VmaBudget::with_limit(120);
+        assert_eq!(b.fair_share(0), 0, "no fair pools yet");
+        let _p1 = b.register_pool(true);
+        let _p2 = b.register_pool(true);
+        let _np = b.register_pool(false); // non-fair: not a divisor
+        assert_eq!(b.fair_pool_count(), 2);
+        assert_eq!(b.fair_share(0), 60);
+        assert_eq!(b.fair_share(20), 50);
+    }
+
+    #[test]
+    fn over_fair_reservation_leaves_sibling_guarantees() {
+        // Two fair pools, limit 100, headroom 0 → fair share 50 each.
+        let b = VmaBudget::with_limit(100);
+        let hot = b.register_pool(true);
+        let cold = b.register_pool(true);
+
+        // Hot pool may fill its own floor freely…
+        let r1 = b.try_reserve_for(&hot, 50, 0).expect("within fair share");
+        // …but over-fair growth must leave cold's full 50 spare.
+        assert!(
+            b.try_reserve_for(&hot, 10, 0).is_none(),
+            "over-fair reservation stole the sibling's guarantee"
+        );
+        assert!(!b.would_fit_for(&hot, 10, 0));
+
+        // The cold sibling's own (within-fair) rebuild still fits — the
+        // whole point: hot's pressure cannot have consumed cold's floor.
+        let r2 = b.try_reserve_for(&cold, 40, 0).expect("guaranteed floor");
+        let r3 = b.try_reserve_for(&cold, 10, 0).expect("rest of the floor");
+        // Budget fully consumed at the fair split; nothing left to take.
+        assert!(b.try_reserve_for(&hot, 1, 0).is_none(), "cap reached");
+        drop((r1, r2, r3));
+        assert_eq!(b.in_use(), 0);
+        assert_eq!(hot.in_use(), 0);
+        assert_eq!(cold.in_use(), 0);
+    }
+
+    #[test]
+    fn departed_sibling_share_becomes_borrowable() {
+        // Fair shares recompute over *live* pools: once a sibling pool is
+        // dropped, its share returns to the common pot and a hot pool may
+        // spill past its old floor.
+        let b = VmaBudget::with_limit(100);
+        let hot = b.register_pool(true);
+        let cold = b.register_pool(true);
+        assert!(b.try_reserve_for(&hot, 60, 0).is_none(), "over-fair at N=2");
+        drop(cold);
+        let r = b
+            .try_reserve_for(&hot, 60, 0)
+            .expect("sole fair pool owns the usable budget");
+        // The division remainder is spill-able too: 3 fair pools over 100
+        // leave 100 − 3·33 = 1 above the summed guarantees.
+        drop(r);
+        let p2 = b.register_pool(true);
+        let p3 = b.register_pool(true);
+        assert_eq!(b.fair_share(0), 33);
+        let r = b.try_reserve_for(&hot, 34, 0).expect("remainder spill");
+        assert!(b.try_reserve_for(&hot, 1, 0).is_none(), "guarantees held");
+        drop((r, p2, p3));
+    }
+
+    #[test]
+    fn non_fair_pools_see_plain_admission() {
+        let b = VmaBudget::with_limit(100);
+        let _fair = b.register_pool(true);
+        let plain = b.register_pool(false);
+        // A non-fair pool is not constrained by the fair sibling's
+        // unfilled guarantee — exactly today's first-come admission.
+        assert!(b.try_reserve_for(&plain, 100, 0).is_some());
+    }
+
+    #[test]
+    fn dropped_pools_leave_the_registry() {
+        let b = VmaBudget::with_limit(100);
+        let p1 = b.register_pool(true);
+        {
+            let _p2 = b.register_pool(true);
+            assert_eq!(b.fair_pool_count(), 2);
+        }
+        // p2 is gone; registration prunes, and the count reflects it.
+        let _p3 = b.register_pool(true);
+        assert_eq!(b.fair_pool_count(), 2);
+        drop(p1);
+        assert_eq!(b.fair_pool_count(), 1);
+    }
+
+    #[test]
+    fn snapshot_merge_sums_pool_counters_and_maxes_shared_gauges() {
+        let a = VmaSnapshot {
+            in_use: 40,
+            limit: 100,
+            retired_vmas: 5,
+            retired_areas: 1,
+            areas_retired: 3,
+            areas_reclaimed: 2,
+            vmas_reclaimed: 9,
+            pool_in_use: 25,
+            fair_pools: 2,
+            fair_share: 45,
+        };
+        let b = VmaSnapshot {
+            in_use: 40,
+            limit: 100,
+            retired_vmas: 2,
+            retired_areas: 2,
+            areas_retired: 4,
+            areas_reclaimed: 2,
+            vmas_reclaimed: 6,
+            pool_in_use: 15,
+            fair_pools: 2,
+            fair_share: 45,
+        };
+        let m = a.merge(&b);
+        // Shared-budget gauges: max, not sum.
+        assert_eq!(m.in_use, 40);
+        assert_eq!(m.limit, 100);
+        assert_eq!(m.fair_pools, 2);
+        assert_eq!(m.fair_share, 45);
+        // Per-pool quantities: sum.
+        assert_eq!(m.pool_in_use, 40);
+        assert_eq!(m.retired_vmas, 7);
+        assert_eq!(m.retired_areas, 3);
+        assert_eq!(m.areas_retired, 7);
+        assert_eq!(m.areas_reclaimed, 4);
+        assert_eq!(m.vmas_reclaimed, 15);
+        assert_eq!(m.live_vmas(), 40 - 7);
     }
 }

@@ -45,7 +45,10 @@ mod slot;
 mod stats;
 mod varea;
 
-pub use budget::{max_map_count, BudgetReservation, VmaBudget, VmaSnapshot, DEFAULT_MAX_MAP_COUNT};
+pub use budget::{
+    budget_headroom, max_map_count, BudgetBinding, BudgetReservation, PoolUsage, VmaBudget,
+    VmaSnapshot, DEFAULT_MAX_MAP_COUNT,
+};
 pub use error::{Error, Result};
 pub use memfile::MemFile;
 pub use page::{is_page_aligned, page_size, pages_to_bytes, PageIdx, PAGE_SHIFT_4K, PAGE_SIZE_4K};

@@ -17,7 +17,7 @@
 //! base address never changes across grows/shrinks — pointers derived from
 //! [`PagePool::page_ptr`] stay valid for the lifetime of the allocation.
 
-use crate::budget::{VmaBudget, VmaSnapshot};
+use crate::budget::{BudgetBinding, PoolUsage, VmaBudget, VmaSnapshot};
 use crate::error::{Error, Result};
 use crate::memfile::MemFile;
 use crate::page::{page_size, PageIdx};
@@ -65,7 +65,7 @@ fn probe_hugetlb(file: &MemFile, slot_bytes: usize) -> bool {
 
 /// Shared implementation of [`PagePool::vma_snapshot`] /
 /// [`PoolHandle::vma_snapshot`].
-fn vma_snapshot(budget: &VmaBudget, retire: &RetireList) -> VmaSnapshot {
+fn vma_snapshot(budget: &VmaBudget, usage: &PoolUsage, retire: &RetireList) -> VmaSnapshot {
     let (areas_retired, areas_reclaimed, vmas_reclaimed) = retire.counters();
     VmaSnapshot {
         in_use: budget.in_use() as u64,
@@ -75,6 +75,9 @@ fn vma_snapshot(budget: &VmaBudget, retire: &RetireList) -> VmaSnapshot {
         areas_retired,
         areas_reclaimed,
         vmas_reclaimed,
+        pool_in_use: usage.in_use() as u64,
+        fair_pools: budget.fair_pool_count() as u64,
+        fair_share: budget.fair_share(crate::budget_headroom(budget.limit())) as u64,
     }
 }
 
@@ -108,6 +111,14 @@ pub struct PoolConfig {
     /// `vm.max_map_count` ([`VmaBudget::global`]); tests and stress rigs
     /// inject private budgets with small limits.
     pub vma_budget: Option<Arc<VmaBudget>>,
+    /// Opt this pool into **fair-share admission** on its (shared) VMA
+    /// budget: pool-scoped reservations taken through
+    /// [`VmaBudget::try_reserve_for`] may exceed the pool's even share of
+    /// the budget only while every other fair pool's unfilled share stays
+    /// spare. Off by default — a single pool owning its budget behaves
+    /// exactly as before. The sharded index sets this on every shard so
+    /// one hot shard's directory cannot starve its siblings' rebuilds.
+    pub fair_share: bool,
     /// Physical slot layout: `2^k` base pages per slot (default `k = 0`,
     /// the paper's one-page buckets). Constructed once; every consumer of
     /// the pool must use the same layout for its offset arithmetic.
@@ -136,6 +147,7 @@ impl Default for PoolConfig {
             pretouch: true,
             view_capacity_pages: 1 << 22, // 16 GB of 4 KB pages
             vma_budget: None,
+            fair_share: false,
             slot_layout: SlotLayout::base(),
             huge_pages: false,
         }
@@ -164,6 +176,7 @@ pub struct PoolHandle {
     file: Arc<MemFile>,
     stats: Arc<RewireStats>,
     budget: Arc<VmaBudget>,
+    usage: Arc<PoolUsage>,
     retire: Arc<RetireList>,
     layout: SlotLayout,
     huge_active: bool,
@@ -201,6 +214,19 @@ impl PoolHandle {
         &self.budget
     }
 
+    /// This pool's usage attribution on the (shared) budget.
+    #[inline]
+    pub fn usage(&self) -> &Arc<PoolUsage> {
+        &self.usage
+    }
+
+    /// A [`BudgetBinding`] that charges the budget *and* attributes the
+    /// charge to this pool — what areas built on behalf of this pool
+    /// should attach.
+    pub fn binding(&self) -> BudgetBinding {
+        BudgetBinding::with_pool(Arc::clone(&self.budget), Arc::clone(&self.usage))
+    }
+
     /// The pool's retirement machinery: reader pins and the retired-area
     /// list (see [`RetireList`]).
     #[inline]
@@ -210,7 +236,7 @@ impl PoolHandle {
 
     /// Point-in-time view of the VMA budget and retirement counters.
     pub fn vma_snapshot(&self) -> VmaSnapshot {
-        vma_snapshot(&self.budget, &self.retire)
+        vma_snapshot(&self.budget, &self.usage, &self.retire)
     }
 
     pub(crate) fn stats(&self) -> &RewireStats {
@@ -241,6 +267,7 @@ pub struct PagePool {
     retired_pages: Vec<(u64, usize)>,
     stats: Arc<RewireStats>,
     budget: Arc<VmaBudget>,
+    usage: Arc<PoolUsage>,
     retire: Arc<RetireList>,
 }
 
@@ -292,7 +319,8 @@ impl PagePool {
         let view_base = reserve_aligned(cap_bytes, slot_bytes.max(page_size()), libc::PROT_NONE)?;
         stats.count_mmap(1);
         let budget = cfg.vma_budget.clone().unwrap_or_else(VmaBudget::global);
-        budget.charge(POOL_VIEW_VMAS);
+        let usage = budget.register_pool(cfg.fair_share);
+        BudgetBinding::with_pool(Arc::clone(&budget), Arc::clone(&usage)).charge(POOL_VIEW_VMAS);
 
         let mut pool = PagePool {
             file,
@@ -307,6 +335,7 @@ impl PagePool {
             retired_pages: Vec::new(),
             stats,
             budget,
+            usage,
             retire: Arc::new(RetireList::new()),
         };
         let initial = pool.cfg.initial_pages;
@@ -808,6 +837,7 @@ impl PagePool {
             file: Arc::clone(&self.file),
             stats: Arc::clone(&self.stats),
             budget: Arc::clone(&self.budget),
+            usage: Arc::clone(&self.usage),
             retire: Arc::clone(&self.retire),
             layout: self.layout,
             huge_active: self.huge_active,
@@ -831,14 +861,15 @@ impl PagePool {
 
     /// Point-in-time view of the VMA budget and retirement counters.
     pub fn vma_snapshot(&self) -> VmaSnapshot {
-        vma_snapshot(&self.budget, &self.retire)
+        vma_snapshot(&self.budget, &self.usage, &self.retire)
     }
 }
 
 impl Drop for PagePool {
     fn drop(&mut self) {
         self.stats.count_munmap(1);
-        self.budget.release(POOL_VIEW_VMAS);
+        BudgetBinding::with_pool(Arc::clone(&self.budget), Arc::clone(&self.usage))
+            .release(POOL_VIEW_VMAS);
         // SAFETY: unmapping our own reservation exactly once.
         unsafe {
             libc::munmap(

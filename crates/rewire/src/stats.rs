@@ -41,6 +41,24 @@ pub struct StatsSnapshot {
     pub pages_freed: u64,
 }
 
+impl StatsSnapshot {
+    /// Merge two pools' snapshots (the sharded index aggregates one per
+    /// shard's pool). Every field is a monotone event counter, so the
+    /// merge **sums** them all; there are no gauges here.
+    pub fn merge(&self, other: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            mmap_calls: self.mmap_calls + other.mmap_calls,
+            munmap_calls: self.munmap_calls + other.munmap_calls,
+            pages_rewired: self.pages_rewired + other.pages_rewired,
+            pages_populated: self.pages_populated + other.pages_populated,
+            pool_grows: self.pool_grows + other.pool_grows,
+            pool_shrinks: self.pool_shrinks + other.pool_shrinks,
+            pages_allocated: self.pages_allocated + other.pages_allocated,
+            pages_freed: self.pages_freed + other.pages_freed,
+        }
+    }
+}
+
 impl RewireStats {
     /// New zeroed counter set.
     pub fn new() -> Self {
@@ -135,6 +153,25 @@ mod tests {
         assert_eq!(snap.pages_rewired, 5);
         assert_eq!(snap.pages_allocated, 3);
         assert_eq!(snap.pages_freed, 1);
+    }
+
+    #[test]
+    fn merge_sums_every_counter() {
+        let a = StatsSnapshot {
+            mmap_calls: 4,
+            pages_rewired: 10,
+            ..StatsSnapshot::default()
+        };
+        let b = StatsSnapshot {
+            mmap_calls: 1,
+            pages_freed: 3,
+            ..StatsSnapshot::default()
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.mmap_calls, 5);
+        assert_eq!(m.pages_rewired, 10);
+        assert_eq!(m.pages_freed, 3);
+        assert_eq!(m, b.merge(&a));
     }
 
     #[test]

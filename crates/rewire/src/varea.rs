@@ -8,13 +8,12 @@
 //! go straight to the leaf's physical memory — one hardware-resolved
 //! indirection instead of three.
 
-use crate::budget::VmaBudget;
+use crate::budget::BudgetBinding;
 use crate::error::{Error, Result};
 use crate::page::{page_size, PageIdx};
 use crate::pool::PoolHandle;
 use crate::slot::SlotLayout;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
 /// Reserve `len` bytes of anonymous memory whose base is aligned to
 /// `align` (a power of two, at least the system page size): over-reserve
@@ -141,8 +140,9 @@ pub struct VirtArea {
     /// Estimated VMAs this area occupies (maximal mergeable runs of `map`),
     /// maintained incrementally on every remapping.
     vmas: usize,
-    /// Budget the estimate is charged against, if attached.
-    budget: Option<Arc<VmaBudget>>,
+    /// Budget (plus optional per-pool attribution) the estimate is
+    /// charged against, if attached.
+    budget: Option<BudgetBinding>,
 }
 
 impl std::fmt::Debug for VirtArea {
@@ -214,28 +214,30 @@ impl VirtArea {
         self.layout.slot_bytes()
     }
 
-    /// Charge this area's VMA estimate against `budget`, now and on every
-    /// future remapping, until the area is dropped (which releases the
-    /// charge). Replaces any previously attached budget.
-    pub fn attach_budget(&mut self, budget: Arc<VmaBudget>) {
+    /// Charge this area's VMA estimate against `binding` (a budget plus
+    /// optional per-pool attribution), now and on every future remapping,
+    /// until the area is dropped (which releases the charge). Replaces
+    /// any previously attached binding.
+    pub fn attach_budget(&mut self, binding: BudgetBinding) {
         if let Some(old) = self.budget.take() {
             old.release(self.vmas);
         }
-        budget.charge(self.vmas);
-        self.budget = Some(budget);
+        binding.charge(self.vmas);
+        self.budget = Some(binding);
     }
 
     /// Like [`VirtArea::attach_budget`], but without charging now: the
     /// caller has already accounted this area's current estimate against
-    /// `budget` (e.g. by settling a worst-case
+    /// the binding's budget (e.g. by settling a worst-case
     /// [`crate::BudgetReservation`] down to [`VirtArea::vma_estimate`]).
     /// Future remapping deltas and the final release on drop are tracked
-    /// as usual.
-    pub fn attach_budget_prepaid(&mut self, budget: Arc<VmaBudget>) {
+    /// as usual. The binding's pool attribution must match the settled
+    /// reservation's, or the eventual release will be misattributed.
+    pub fn attach_budget_prepaid(&mut self, binding: BudgetBinding) {
         if let Some(old) = self.budget.take() {
             old.release(self.vmas);
         }
-        self.budget = Some(budget);
+        self.budget = Some(binding);
     }
 
     /// Estimated VMAs this area currently occupies: one per maximal run of
@@ -840,7 +842,9 @@ mod tests {
         let l1 = p.alloc_page().unwrap();
         let budget = VmaBudget::with_limit(1000);
         let mut a = VirtArea::reserve(4).unwrap();
-        a.attach_budget(std::sync::Arc::clone(&budget));
+        a.attach_budget(crate::budget::BudgetBinding::new(std::sync::Arc::clone(
+            &budget,
+        )));
         assert_eq!(budget.in_use(), 1);
         a.rewire(0, &h, l0).unwrap();
         a.rewire(2, &h, l1).unwrap();

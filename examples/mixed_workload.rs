@@ -12,6 +12,9 @@
 //! MIXED_WORKLOAD_SLOT_PAGES=4 cargo run --release --example mixed_workload
 //! # assert the exit live-VMA count stays under a bound (CI slot-size leg)
 //! MIXED_WORKLOAD_MAX_LIVE_VMAS=2000 cargo run --release --example mixed_workload
+//! # shard the index (power-of-two count; bulk load becomes one writer
+//! # thread per shard through the shared-write API)
+//! MIXED_WORKLOAD_SHARDS=4 cargo run --release --example mixed_workload
 //! ```
 
 use rand::rngs::StdRng;
@@ -40,11 +43,20 @@ fn main() -> Result<(), IndexError> {
     let max_live_vmas: Option<u64> = std::env::var("MIXED_WORKLOAD_MAX_LIVE_VMAS")
         .ok()
         .and_then(|s| s.parse().ok());
+    let shards: usize = std::env::var("MIXED_WORKLOAD_SHARDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    assert!(
+        shards.is_power_of_two(),
+        "MIXED_WORKLOAD_SHARDS must be a power of two, got {shards}"
+    );
 
     let mut index = ShortcutIndex::builder()
         .capacity(entries as usize + entries as usize / 10)
         .compaction(compaction)
         .slot_pages(slot_pages)
+        .shards(shards.trailing_zeros())
         .build()?;
     let mut rng = StdRng::seed_from_u64(99);
 
@@ -52,17 +64,38 @@ fn main() -> Result<(), IndexError> {
         let s = index.stats();
         println!(
             "bulk-loading {entries} entries (compaction {}, slot 2^{slot_pages} pages = {} KB, \
-             bucket capacity {})…",
+             bucket capacity {}, {} shard{})…",
             if compaction.enabled() { "on" } else { "off" },
             s.slot_bytes / 1024,
-            s.bucket_capacity
+            s.bucket_capacity,
+            shards,
+            if shards == 1 { "" } else { "s" }
         );
     }
-    let mut keys: Vec<u64> = Vec::with_capacity(entries as usize);
-    for _ in 0..entries {
-        let k: u64 = rng.random();
-        index.insert(k, k)?;
-        keys.push(k);
+    let mut keys: Vec<u64> = (0..entries).map(|_| rng.random()).collect();
+    if shards > 1 {
+        // True multi-writer bulk load: partition the keys by owning shard
+        // and run one writer thread per shard through the shared-write
+        // API — writers on different shards never contend.
+        let mut per_shard: Vec<Vec<u64>> = vec![Vec::new(); index.shard_count()];
+        for &k in &keys {
+            per_shard[index.shard_of(k)].push(k);
+        }
+        std::thread::scope(|scope| {
+            for part in &per_shard {
+                let index = &index;
+                scope.spawn(move || {
+                    for chunk in part.chunks(4096) {
+                        let batch: Vec<(u64, u64)> = chunk.iter().map(|&k| (k, k)).collect();
+                        index.insert_batch_shared(&batch).unwrap();
+                    }
+                });
+            }
+        });
+    } else {
+        for &k in &keys {
+            index.insert(k, k)?;
+        }
     }
     let mut synced = index.wait_sync(Duration::from_secs(120));
     if !synced && !index.shortcut_suspended() {
@@ -180,7 +213,18 @@ fn main() -> Result<(), IndexError> {
             "shortcut never converged: {:?}",
             index.versions()
         );
-        println!("assert: shortcut serving (not suspended) at exit ✓");
+        // Per shard, not just in aggregate: every shard must end
+        // shortcut-served (the sharded CI leg's contract).
+        for i in 0..index.shard_count() {
+            index.with_shard(i, |s| {
+                assert!(!s.shortcut_suspended(), "shard {i} suspended at exit");
+                assert!(s.in_sync(), "shard {i} not in sync at exit");
+            });
+        }
+        println!(
+            "assert: shortcut serving on all {} shard(s) at exit ✓",
+            index.shard_count()
+        );
     }
     Ok(())
 }

@@ -89,6 +89,8 @@ pub use shortcut_core::{CompactionPolicy, MaintConfig, RoutePolicy};
 pub use shortcut_exhash::{BucketLayout, CompactionOutcome, Index, IndexError, IndexStats};
 pub use shortcut_rewire::{max_map_count, PoolConfig, SlotLayout, VmaBudget, VmaSnapshot};
 
+pub use shortcut_exhash::{ShardedIndex, MAX_SHARD_BITS};
+
 use shortcut_core::metrics::MaintSnapshot;
 use shortcut_exhash::{EhConfig, ShortcutEh, ShortcutEhConfig};
 use std::time::Duration;
@@ -109,6 +111,7 @@ pub struct IndexBuilder {
     reclaim: Option<bool>,
     slot_power: Option<u32>,
     huge_pages: bool,
+    shard_bits: u32,
 }
 
 impl IndexBuilder {
@@ -221,6 +224,49 @@ impl IndexBuilder {
         self
     }
 
+    /// Partition the index into `2^s` **shards**, each a full Shortcut-EH
+    /// with its own page pool, mapper thread, and retirement lifecycle,
+    /// routed by the top `s` bits of the key hash (each shard's directory
+    /// consumes the next bits down, so per-shard depth semantics are
+    /// untouched). Default `s = 0` — a single shard, behaviorally
+    /// identical to the unsharded index.
+    ///
+    /// Sharding buys **write parallelism**: one writer thread per shard
+    /// runs concurrently through [`ShortcutIndex::insert_shared`] /
+    /// [`ShortcutIndex::remove_shared`], while readers stay concurrent as
+    /// before. All shards share one VMA budget (the process-global one,
+    /// or the private [`IndexBuilder::vma_budget`] limit) under
+    /// fair-share admission, so one shard's deep directory cannot
+    /// suspend its siblings' shortcut maintenance. The capacity estimate
+    /// is divided evenly across shards; per-shard mapper poll intervals
+    /// are staggered so co-spawned mappers do not tick in lockstep.
+    ///
+    /// ```
+    /// use taking_the_shortcut::{Index, ShortcutIndex};
+    ///
+    /// # fn main() -> Result<(), taking_the_shortcut::IndexError> {
+    /// let mut index = ShortcutIndex::builder()
+    ///     .capacity(10_000)
+    ///     .shards(2) // 2^2 = 4 shards
+    ///     .build()?;
+    /// assert_eq!(index.shard_count(), 4);
+    ///
+    /// index.insert(7, 70)?; // routed to the owning shard
+    /// assert_eq!(index.get(7), Some(70));
+    /// assert_eq!(index.stats().shards, 4); // aggregated snapshot
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// `s > `[`MAX_SHARD_BITS`] is rejected at [`IndexBuilder::build`]
+    /// time.
+    pub fn shards(mut self, s: u32) -> Self {
+        self.shard_bits = s;
+        self
+    }
+
     /// Physical bucket-layout compaction policy (default
     /// [`CompactionPolicy::disabled`]; use [`CompactionPolicy::on`] for
     /// the recommended production setting). With compaction the bucket
@@ -240,6 +286,15 @@ impl IndexBuilder {
     /// Propagates pool creation failure (memfd, `mmap`,
     /// `vm.max_map_count`) and configuration rejection as [`IndexError`].
     pub fn build(self) -> Result<ShortcutIndex, IndexError> {
+        if self.shard_bits > MAX_SHARD_BITS {
+            return Err(IndexError::Config {
+                what: format!(
+                    "shards({}) exceeds the cap of {MAX_SHARD_BITS} (2^{MAX_SHARD_BITS} shards)",
+                    self.shard_bits
+                ),
+            });
+        }
+        let shard_count = 1usize << self.shard_bits;
         let layout = match self.slot_power {
             Some(k) => SlotLayout::new(k).map_err(IndexError::Pool)?,
             None => self
@@ -261,7 +316,10 @@ impl IndexBuilder {
         };
         let mut pool = self.pool.unwrap_or_else(|| match self.capacity {
             Some(entries) => {
-                let slots_needed = (entries / entries_per_slot).max(1);
+                // Each shard gets its own pool, so the capacity estimate
+                // is divided evenly across them (the multiplicative hash
+                // spreads keys uniformly over shards).
+                let slots_needed = (entries.div_ceil(shard_count) / entries_per_slot).max(1);
                 // Growth amortization floors scale by bytes, not slots:
                 // ~256 KB per ftruncate and a 16 MB virtual-view minimum
                 // at any slot size (the historical 64/4096-page values at
@@ -283,6 +341,10 @@ impl IndexBuilder {
             pool.huge_pages = true;
         }
         if let Some(limit) = self.vma_budget_limit {
+            // One Arc, cloned into every shard's pool config: all shards
+            // account against (and fair-share) the same budget. Without a
+            // private limit the pools resolve to the process-global budget,
+            // which is likewise one shared instance.
             pool.vma_budget = Some(VmaBudget::with_limit(limit));
         }
         let mut eh = EhConfig {
@@ -297,11 +359,14 @@ impl IndexBuilder {
             maint.reclaim = reclaim;
         }
         Ok(ShortcutIndex {
-            inner: ShortcutEh::try_new(ShortcutEhConfig {
-                eh,
-                maint,
-                policy: self.policy,
-            })?,
+            inner: ShardedIndex::try_new(
+                self.shard_bits,
+                ShortcutEhConfig {
+                    eh,
+                    maint,
+                    policy: self.policy,
+                },
+            )?,
         })
     }
 }
@@ -311,6 +376,9 @@ impl IndexBuilder {
 /// the page pool's rewiring counters.
 #[derive(Debug, Clone, Copy)]
 pub struct StatsSnapshot {
+    /// Number of shards this snapshot aggregates (1 for a per-shard or
+    /// unsharded snapshot; [`StatsSnapshot::merge`] sums it).
+    pub shards: usize,
     /// Live entries.
     pub len: usize,
     /// Global depth of the traditional directory.
@@ -355,13 +423,70 @@ pub struct StatsSnapshot {
     pub vma: VmaSnapshot,
 }
 
+impl StatsSnapshot {
+    /// Merge two shards' snapshots into one aggregate (commutative;
+    /// [`ShortcutIndex::stats`] folds the per-shard snapshots with it).
+    /// Field-by-field semantics:
+    ///
+    /// * **Counters sum**: `shards`, `len`, `bucket_count`, `versions`
+    ///   (both halves), and the nested counter blocks via their own
+    ///   documented merges ([`IndexStats::merge`],
+    ///   `MaintSnapshot::merge`, `rewire::StatsSnapshot::merge`,
+    ///   [`VmaSnapshot::merge`]).
+    /// * **Gauges take the honest extreme**: `global_depth` is the
+    ///   deepest shard (max); `avg_fanin` is re-weighted by bucket count
+    ///   (total slots over total buckets, not a mean of means);
+    ///   `in_sync` and `huge_pages_active` hold only if **every** shard
+    ///   holds (and); `shortcut_suspended` and `huge_pages_requested`
+    ///   hold if **any** shard holds (or); the layout gauges
+    ///   (`pages_per_slot`, `slot_bytes`, `bucket_capacity`) take the
+    ///   max — shards built by [`IndexBuilder`] are homogeneous, so this
+    ///   is the common value.
+    pub fn merge(&self, other: &StatsSnapshot) -> StatsSnapshot {
+        let buckets = self.bucket_count + other.bucket_count;
+        StatsSnapshot {
+            shards: self.shards + other.shards,
+            len: self.len + other.len,
+            global_depth: self.global_depth.max(other.global_depth),
+            bucket_count: buckets,
+            avg_fanin: if buckets == 0 {
+                0.0
+            } else {
+                (self.avg_fanin * self.bucket_count as f64
+                    + other.avg_fanin * other.bucket_count as f64)
+                    / buckets as f64
+            },
+            in_sync: self.in_sync && other.in_sync,
+            versions: (
+                self.versions.0 + other.versions.0,
+                self.versions.1 + other.versions.1,
+            ),
+            shortcut_suspended: self.shortcut_suspended || other.shortcut_suspended,
+            pages_per_slot: self.pages_per_slot.max(other.pages_per_slot),
+            slot_bytes: self.slot_bytes.max(other.slot_bytes),
+            bucket_capacity: self.bucket_capacity.max(other.bucket_capacity),
+            huge_pages_requested: self.huge_pages_requested || other.huge_pages_requested,
+            huge_pages_active: self.huge_pages_active && other.huge_pages_active,
+            index: self.index.merge(&other.index),
+            maint: self.maint.merge(&other.maint),
+            rewire: self.rewire.merge(&other.rewire),
+            vma: self.vma.merge(&other.vma),
+        }
+    }
+}
+
 /// The facade index: Shortcut-EH behind a builder, with concurrent
 /// `&self` reads, typed errors and a single merged [`StatsSnapshot`].
+/// Transparently sharded: [`IndexBuilder::shards`] partitions it into
+/// `2^s` independent Shortcut-EH shards (default 1 — unsharded), each
+/// with its own pool and mapper thread, with every entry point routing
+/// or aggregating across them.
 ///
 /// See the [crate docs](crate) for a usage example. All [`Index`] methods
 /// are also available inherently, so the trait import is optional.
+#[derive(Debug)]
 pub struct ShortcutIndex {
-    inner: ShortcutEh,
+    inner: ShardedIndex,
 }
 
 impl ShortcutIndex {
@@ -489,32 +614,110 @@ impl ShortcutIndex {
         self.inner.maint_error()
     }
 
-    /// One merged snapshot of index, maintenance, and pool counters.
-    pub fn stats(&self) -> StatsSnapshot {
-        StatsSnapshot {
-            len: self.inner.len(),
-            global_depth: self.inner.global_depth(),
-            bucket_count: self.inner.bucket_count(),
-            avg_fanin: self.inner.avg_fanin(),
-            in_sync: self.inner.in_sync(),
-            versions: self.inner.versions(),
-            shortcut_suspended: self.inner.shortcut_suspended(),
-            pages_per_slot: self.inner.slot_layout().pages_per_slot(),
-            slot_bytes: self.inner.slot_layout().slot_bytes(),
-            bucket_capacity: self.inner.bucket_layout().capacity(),
-            huge_pages_requested: self.inner.huge_requested(),
-            huge_pages_active: self.inner.huge_active(),
-            index: self.inner.stats(),
-            maint: self.inner.maint_metrics(),
-            rewire: self.inner.pool_stats(),
-            vma: self.inner.vma_stats(),
-        }
+    /// Number of shards (`2^s` per [`IndexBuilder::shards`]; 1 unsharded).
+    pub fn shard_count(&self) -> usize {
+        self.inner.shard_count()
     }
 
-    /// The wrapped scheme, for paper-level experiments that need direct
-    /// access (version plumbing, published shortcut state).
-    pub fn as_shortcut_eh(&self) -> &ShortcutEh {
+    /// `s`: the number of top hash bits consumed by shard routing.
+    pub fn shard_bits(&self) -> u32 {
+        self.inner.shard_bits()
+    }
+
+    /// The shard index `key` routes to (always 0 when unsharded).
+    pub fn shard_of(&self, key: u64) -> usize {
+        self.inner.shard_of(key)
+    }
+
+    /// Insert through a per-shard write lock — the **shared-writer**
+    /// discipline: safe from many threads (`&self`); writers on
+    /// *different* shards run in parallel, writers on the same shard
+    /// serialize on its lock. Pair one writer thread per shard
+    /// (partition keys with [`ShortcutIndex::shard_of`]) for contention-free
+    /// scaling.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ShortcutIndex::insert`].
+    pub fn insert_shared(&self, key: u64, value: u64) -> Result<(), IndexError> {
+        self.inner.insert_shared(key, value)
+    }
+
+    /// Remove through a per-shard write lock (shared-writer discipline;
+    /// see [`ShortcutIndex::insert_shared`]).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ShortcutIndex::remove`].
+    pub fn remove_shared(&self, key: u64) -> Result<Option<u64>, IndexError> {
+        self.inner.remove_shared(key)
+    }
+
+    /// Batched insert through per-shard write locks: splits the batch by
+    /// shard and applies each group under one lock acquisition.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing shard's error; completed shards keep
+    /// their groups, the failing shard keeps its applied prefix.
+    pub fn insert_batch_shared(&self, entries: &[(u64, u64)]) -> Result<(), IndexError> {
+        self.inner.insert_batch_shared(entries)
+    }
+
+    /// One merged snapshot of index, maintenance, and pool counters,
+    /// aggregated over all shards with the documented
+    /// [`StatsSnapshot::merge`] semantics. Per-shard snapshots are taken
+    /// one shard at a time (not atomically across shards).
+    pub fn stats(&self) -> StatsSnapshot {
+        (0..self.shard_count())
+            .map(|i| self.shard_stats(i))
+            .reduce(|a, b| a.merge(&b))
+            .expect("at least one shard")
+    }
+
+    /// The per-shard breakdown behind [`ShortcutIndex::stats`]: shard
+    /// `i`'s own snapshot (`shards == 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.shard_count()`.
+    pub fn shard_stats(&self, i: usize) -> StatsSnapshot {
+        self.inner.with_shard(i, |s| StatsSnapshot {
+            shards: 1,
+            len: s.len(),
+            global_depth: s.global_depth(),
+            bucket_count: s.bucket_count(),
+            avg_fanin: s.avg_fanin(),
+            in_sync: s.in_sync(),
+            versions: s.versions(),
+            shortcut_suspended: s.shortcut_suspended(),
+            pages_per_slot: s.slot_layout().pages_per_slot(),
+            slot_bytes: s.slot_layout().slot_bytes(),
+            bucket_capacity: s.bucket_layout().capacity(),
+            huge_pages_requested: s.huge_requested(),
+            huge_pages_active: s.huge_active(),
+            index: s.stats(),
+            maint: s.maint_metrics(),
+            rewire: s.pool_stats(),
+            vma: s.vma_stats(),
+        })
+    }
+
+    /// The wrapped sharded scheme, for paper-level experiments that need
+    /// direct access (per-shard probes, version plumbing, published
+    /// shortcut state via [`ShardedIndex::with_shard`]).
+    pub fn as_sharded(&self) -> &ShardedIndex {
         &self.inner
+    }
+
+    /// Run `f` against shard `i`'s [`ShortcutEh`] under a read lock — the
+    /// sharded replacement for the former `as_shortcut_eh` accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.shard_count()`.
+    pub fn with_shard<R>(&self, i: usize, f: impl FnOnce(&ShortcutEh) -> R) -> R {
+        self.inner.with_shard(i, f)
     }
 }
 
@@ -536,7 +739,7 @@ impl Index for ShortcutIndex {
     }
 
     fn name(&self) -> &'static str {
-        "Shortcut-EH"
+        Index::name(&self.inner)
     }
 
     fn get_many(&self, keys: &[u64]) -> Vec<Option<u64>> {
@@ -545,5 +748,107 @@ impl Index for ShortcutIndex {
 
     fn insert_batch(&mut self, entries: &[(u64, u64)]) -> Result<(), IndexError> {
         ShortcutIndex::insert_batch(self, entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(len: usize, depth: u32, buckets: usize, fanin: f64, in_sync: bool) -> StatsSnapshot {
+        StatsSnapshot {
+            shards: 1,
+            len,
+            global_depth: depth,
+            bucket_count: buckets,
+            avg_fanin: fanin,
+            in_sync,
+            versions: (len as u64, len as u64),
+            shortcut_suspended: false,
+            pages_per_slot: 1,
+            slot_bytes: 4096,
+            bucket_capacity: 87,
+            huge_pages_requested: false,
+            huge_pages_active: true,
+            index: IndexStats::default(),
+            maint: MaintSnapshot::default(),
+            rewire: rewire::StatsSnapshot::default(),
+            vma: VmaSnapshot::default(),
+        }
+    }
+
+    #[test]
+    fn snapshot_merge_sums_counters_and_takes_honest_gauges() {
+        let mut a = snap(100, 5, 10, 2.0, true);
+        a.index.splits = 4;
+        a.maint.coarse_service_pct = 100;
+        let mut b = snap(50, 7, 30, 1.0, false);
+        b.index.splits = 1;
+        b.shortcut_suspended = true;
+        b.maint.coarse_service_pct = 80;
+        let m = a.merge(&b);
+        assert_eq!(m.shards, 2);
+        assert_eq!(m.len, 150);
+        assert_eq!(m.global_depth, 7, "gauge: deepest shard");
+        assert_eq!(m.bucket_count, 40);
+        // Re-weighted by bucket count: (2.0*10 + 1.0*30) / 40.
+        assert!((m.avg_fanin - 1.25).abs() < 1e-9, "got {}", m.avg_fanin);
+        assert!(!m.in_sync, "in_sync only if every shard is");
+        assert!(m.shortcut_suspended, "suspended if any shard is");
+        assert_eq!(m.versions, (150, 150));
+        assert_eq!(m.index.splits, 5);
+        assert_eq!(m.maint.coarse_service_pct, 80, "worst-served shard");
+        // Commutative.
+        let n = b.merge(&a);
+        assert_eq!(n.len, m.len);
+        assert_eq!(n.global_depth, m.global_depth);
+        assert!((n.avg_fanin - m.avg_fanin).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_merge_with_empty_shard_keeps_fanin_finite() {
+        let a = snap(0, 0, 0, 0.0, true);
+        let b = snap(10, 1, 2, 1.5, true);
+        let m = a.merge(&b);
+        assert_eq!(m.bucket_count, 2);
+        assert!((m.avg_fanin - 1.5).abs() < 1e-9);
+        let empty = a.merge(&snap(0, 0, 0, 0.0, true));
+        assert_eq!(empty.avg_fanin, 0.0, "0 buckets must not divide by zero");
+    }
+
+    #[test]
+    fn builder_rejects_shard_bits_above_the_cap() {
+        let err = ShortcutIndex::builder()
+            .shards(MAX_SHARD_BITS + 1)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, IndexError::Config { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn sharded_facade_routes_and_aggregates() {
+        let mut idx = ShortcutIndex::builder()
+            .capacity(4_000)
+            .shards(2)
+            .vma_budget(100_000)
+            .build()
+            .unwrap();
+        assert_eq!(idx.shard_count(), 4);
+        for k in 0..4_000u64 {
+            idx.insert(k, k ^ 0xFF).unwrap();
+        }
+        assert_eq!(idx.len(), 4_000);
+        let s = idx.stats();
+        assert_eq!(s.shards, 4);
+        assert_eq!(s.len, 4_000);
+        let per_shard: usize = (0..4).map(|i| idx.shard_stats(i).len).sum();
+        assert_eq!(per_shard, 4_000);
+        for i in 0..4 {
+            assert!(idx.shard_stats(i).len > 500, "shard {i} nearly empty");
+        }
+        for k in (0..4_000u64).step_by(13) {
+            assert_eq!(idx.get(k), Some(k ^ 0xFF));
+        }
+        assert!(idx.maint_error().is_none());
     }
 }

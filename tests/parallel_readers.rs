@@ -132,6 +132,57 @@ fn get_many_agrees_with_get() {
 }
 
 #[test]
+fn sharded_writers_and_readers_run_concurrently() {
+    // True multi-writer: 4 shards, one writer thread per shard going
+    // through the shared-write API (`&self` + per-shard write locks),
+    // racing 4 reader threads. Writers on different shards never contend;
+    // a reader's hit must always be the exact value.
+    let index = ShortcutIndex::builder()
+        .capacity(80_000)
+        .shards(2)
+        .vma_budget(1_000_000)
+        .build()
+        .unwrap();
+    assert_eq!(index.shard_count(), 4);
+    let n = 80_000u64;
+    // Partition the key space by owning shard: one writer thread each.
+    let mut per_shard: Vec<Vec<u64>> = vec![Vec::new(); index.shard_count()];
+    for k in 0..n {
+        per_shard[index.shard_of(k)].push(k);
+    }
+    std::thread::scope(|s| {
+        for keys in &per_shard {
+            let index = &index;
+            s.spawn(move || {
+                for chunk in keys.chunks(1024) {
+                    let batch: Vec<(u64, u64)> = chunk.iter().map(|&k| (k, k ^ 0xABCD)).collect();
+                    index.insert_batch_shared(&batch).unwrap();
+                }
+            });
+        }
+        for r in 0..4u64 {
+            let index = &index;
+            s.spawn(move || {
+                for k in (r..n).step_by(7) {
+                    if let Some(v) = index.get(k) {
+                        assert_eq!(v, k ^ 0xABCD, "racing reader saw a foreign value");
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(index.len() as u64, n);
+    assert!(index.wait_sync(Duration::from_secs(30)));
+    for k in 0..n {
+        assert_eq!(index.get(k), Some(k ^ 0xABCD), "key {k}");
+    }
+    let s = index.stats();
+    assert_eq!(s.shards, 4);
+    assert_eq!(s.len as u64, n);
+    assert!(index.maint_error().is_none());
+}
+
+#[test]
 fn readers_fall_back_while_out_of_sync() {
     // Build the index but never give the mapper a chance to catch up: the
     // shared-reference path must still answer via the traditional fallback.
