@@ -34,4 +34,27 @@ fn main() {
     ablations::a5_compaction(&s).print();
     ablations::a6_slot_size(&s).print();
     ablations::a7_shards(&s).print();
+
+    // Close with the facade's merged snapshot in its stable rendering —
+    // the same block the server's INFO reply and mixed_workload's exit
+    // report print, so every driver surfaces the full counter set the
+    // same way instead of an ad hoc subset.
+    facade_snapshot(s.pick(2_000_000, 200_000, 20_000));
+}
+
+fn facade_snapshot(entries: usize) {
+    use taking_the_shortcut::ShortcutIndex;
+    println!("\nFacade snapshot — {entries} entries, stable StatsSnapshot rendering\n");
+    let mut index = ShortcutIndex::builder()
+        .capacity(entries)
+        .build()
+        .expect("facade build");
+    for k in 0..entries as u64 {
+        index.insert(k, !k).expect("insert");
+    }
+    index.wait_sync(std::time::Duration::from_secs(30));
+    let keys: Vec<u64> = (0..entries as u64).step_by(3).collect();
+    let hits = index.get_many(&keys).iter().flatten().count();
+    assert_eq!(hits, keys.len());
+    print!("{}", index.stats());
 }

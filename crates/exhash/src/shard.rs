@@ -204,12 +204,54 @@ impl ShardedIndex {
         Ok(())
     }
 
+    /// Batched remove through per-shard write locks: the batch is split by
+    /// shard and each shard's group is applied under one write-lock
+    /// acquisition; answers are reassembled in caller order (`out[i]`
+    /// answers `keys[i]`, as in [`Index::remove_batch`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing shard's error. Shards whose groups
+    /// were applied before the failure keep their removals — the same
+    /// per-shard applied-prefix contract as
+    /// [`ShardedIndex::insert_batch_shared`].
+    pub fn remove_batch_shared(&self, keys: &[u64]) -> Result<Vec<Option<u64>>, IndexError> {
+        if self.bits == 0 {
+            return self.shards[0].write().remove_batch(keys);
+        }
+        let routed = self.scatter_keys(keys);
+        let mut out = vec![None; keys.len()];
+        let mut shard_keys = Vec::new();
+        for (i, group) in routed.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            shard_keys.clear();
+            shard_keys.extend(group.iter().map(|&(_, k)| k));
+            let answers = self.shards[i].write().remove_batch(&shard_keys)?;
+            for (&(pos, _), ans) in group.iter().zip(answers) {
+                out[pos] = ans;
+            }
+        }
+        Ok(out)
+    }
+
     /// Split a batch of entries into per-shard groups, preserving the
     /// relative order of entries within each shard.
     fn scatter_entries(&self, entries: &[(u64, u64)]) -> Vec<Vec<(u64, u64)>> {
         let mut routed: Vec<Vec<(u64, u64)>> = vec![Vec::new(); self.shards.len()];
         for &(k, v) in entries {
             routed[self.shard_of(k)].push((k, v));
+        }
+        routed
+    }
+
+    /// Split a batch of keys into per-shard `(caller position, key)`
+    /// groups, preserving relative order within each shard.
+    fn scatter_keys(&self, keys: &[u64]) -> Vec<Vec<(usize, u64)>> {
+        let mut routed: Vec<Vec<(usize, u64)>> = vec![Vec::new(); self.shards.len()];
+        for (pos, &k) in keys.iter().enumerate() {
+            routed[self.shard_of(k)].push((pos, k));
         }
         routed
     }
@@ -435,10 +477,7 @@ impl Index for ShardedIndex {
             return self.shards[0].read().get_many(keys);
         }
         // (caller position, key) per shard, preserving relative order.
-        let mut routed: Vec<Vec<(usize, u64)>> = vec![Vec::new(); self.shards.len()];
-        for (pos, &k) in keys.iter().enumerate() {
-            routed[self.shard_of(k)].push((pos, k));
-        }
+        let routed = self.scatter_keys(keys);
         let mut out = vec![None; keys.len()];
         let mut shard_keys = Vec::new();
         for (i, group) in routed.iter().enumerate() {
@@ -474,6 +513,36 @@ impl Index for ShardedIndex {
             self.shards[i].get_mut().insert_batch(group)?;
         }
         Ok(())
+    }
+
+    /// Scattered batched remove: keys are split by shard, each shard's
+    /// group is applied through its batched path, and the answers are
+    /// reassembled in caller order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing shard's error; see
+    /// [`ShardedIndex::remove_batch_shared`] for the per-shard
+    /// applied-prefix contract.
+    fn remove_batch(&mut self, keys: &[u64]) -> Result<Vec<Option<u64>>, IndexError> {
+        if self.bits == 0 {
+            return self.shards[0].get_mut().remove_batch(keys);
+        }
+        let routed = self.scatter_keys(keys);
+        let mut out = vec![None; keys.len()];
+        let mut shard_keys = Vec::new();
+        for (i, group) in routed.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            shard_keys.clear();
+            shard_keys.extend(group.iter().map(|&(_, k)| k));
+            let answers = self.shards[i].get_mut().remove_batch(&shard_keys)?;
+            for (&(pos, _), ans) in group.iter().zip(answers) {
+                out[pos] = ans;
+            }
+        }
+        Ok(out)
     }
 }
 
@@ -689,6 +758,61 @@ mod tests {
             assert_eq!(t.get(k), Some(v), "key {k}");
         }
         assert_eq!(t.len(), entries.len());
+    }
+
+    #[test]
+    fn remove_batch_scatters_and_reassembles_in_caller_order() {
+        let mut t = ShardedIndex::try_new(2, fast_cfg()).unwrap();
+        for k in 0..3_000u64 {
+            t.insert(k, val(k)).unwrap();
+        }
+        // Hits, misses, and an in-batch duplicate (second occurrence must
+        // see None, like sequential removes).
+        let keys: Vec<u64> = vec![7, 999_999, 2_500, 7, 42];
+        let got = t.remove_batch(&keys).unwrap();
+        assert_eq!(
+            got,
+            vec![Some(val(7)), None, Some(val(2_500)), None, Some(val(42))]
+        );
+        assert_eq!(t.len(), 3_000 - 3);
+        assert_eq!(t.get(7), None);
+        assert_eq!(t.get(2_500), None);
+        assert_eq!(t.get(8), Some(val(8)), "untouched key survives");
+    }
+
+    #[test]
+    fn remove_batch_shared_matches_sequential_removes() {
+        let t = ShardedIndex::try_new(2, fast_cfg()).unwrap();
+        for k in 0..2_000u64 {
+            t.insert_shared(k, val(k)).unwrap();
+        }
+        let keys: Vec<u64> = (0..2_500u64).step_by(3).collect();
+        let got = t.remove_batch_shared(&keys).unwrap();
+        for (i, &k) in keys.iter().enumerate() {
+            let expect = if k < 2_000 { Some(val(k)) } else { None };
+            assert_eq!(got[i], expect, "key {k} at position {i}");
+        }
+        assert_eq!(t.len(), 2_000 - keys.iter().filter(|&&k| k < 2_000).count());
+        // Shared writers, one per shard, removing disjoint groups in
+        // parallel must leave exactly the untouched keys behind.
+        let survivors: Vec<u64> = (0..2_000u64).filter(|k| k % 3 != 0).collect();
+        std::thread::scope(|scope| {
+            for i in 0..t.shard_count() {
+                let t = &t;
+                let group: Vec<u64> = survivors
+                    .iter()
+                    .copied()
+                    .filter(|&k| t.shard_of(k) == i)
+                    .collect();
+                scope.spawn(move || {
+                    let got = t.remove_batch_shared(&group).unwrap();
+                    for (j, &k) in group.iter().enumerate() {
+                        assert_eq!(got[j], Some(val(k)), "key {k}");
+                    }
+                });
+            }
+        });
+        assert_eq!(t.len(), 0);
     }
 
     #[test]

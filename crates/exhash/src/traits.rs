@@ -74,6 +74,18 @@ pub trait Index {
         }
         Ok(())
     }
+
+    /// Remove a batch of keys; `out[i]` is the value `keys[i]` held (the
+    /// same answer shape as [`Index::get_many`]). Duplicate keys in one
+    /// batch behave like sequential removes: the first occurrence takes
+    /// the value, later ones see `None`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing remove; keys before it stay removed.
+    fn remove_batch(&mut self, keys: &[u64]) -> Result<Vec<Option<u64>>, IndexError> {
+        keys.iter().map(|&k| self.remove(k)).collect()
+    }
 }
 
 // The seed's `KvIndex` shim (panic-on-error writes, `&mut self` reads)

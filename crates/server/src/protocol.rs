@@ -1,0 +1,531 @@
+//! Hand-rolled RESP2 wire codec (the subset the server speaks).
+//!
+//! Inbound, a client sends each command as an **array of bulk strings**
+//! (`*2\r\n$3\r\nGET\r\n$2\r\n42\r\n`) — exactly what `redis-cli` and every
+//! Redis client library emit — or, for hand-driven sessions over
+//! `nc`/telnet, as an **inline command** (a plain `GET 42\r\n` line).
+//! Outbound, the server answers with the five RESP2 reply types
+//! ([`Reply`]).
+//!
+//! The decoder is incremental: bytes are fed in as they arrive off the
+//! socket ([`Decoder::feed`]) and commands are pulled out as they
+//! complete ([`Decoder::next_command`]). A frame split at *any* byte
+//! boundary across reads parses identically to the same bytes in one
+//! read (property-tested in `tests/resp_proptest.rs`). Malformed input
+//! yields a typed [`ProtoError`] — never a panic, and never a desynced
+//! misparse: the connection layer reports the error to the client and
+//! closes, which is also what Redis does on a protocol error.
+//!
+//! Keys and values are `u64`, transported as decimal ASCII bulk strings
+//! (the index stores `u64 → u64`; see [`parse_u64`]).
+
+/// Hard cap on one bulk string's declared length. Commands carry decimal
+/// `u64`s (≤ 20 bytes), so this is pure protocol-abuse protection.
+pub const MAX_BULK_LEN: usize = 64 * 1024;
+
+/// Hard cap on one command's argument count (bounds `MGET`/`DEL` fan-out
+/// and the memory a single frame can pin).
+pub const MAX_ARGS: usize = 4096;
+
+/// Hard cap on one inline command line.
+pub const MAX_INLINE_LEN: usize = 16 * 1024;
+
+/// A protocol-level failure. The connection that produced it gets the
+/// message as an `-ERR` reply and is then closed (resynchronizing a
+/// stream after arbitrary garbage is not possible in general).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError(pub String);
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+fn err(msg: impl Into<String>) -> ProtoError {
+    ProtoError(msg.into())
+}
+
+/// One decoded command: its arguments as raw byte strings (`args[0]` is
+/// the command name). Argument semantics live in [`Request::parse`].
+pub type RawCommand = Vec<Vec<u8>>;
+
+/// Incremental RESP2 command decoder. See the module docs.
+#[derive(Debug, Default)]
+pub struct Decoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf` (compacted once it outgrows the tail).
+    pos: usize,
+}
+
+impl Decoder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append freshly read bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Compact lazily: only when the dead prefix dominates the buffer.
+        if self.pos > 4096 && self.pos * 2 > self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a complete command.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Pull the next complete command, if one is fully buffered.
+    ///
+    /// * `Ok(Some(args))` — one command; its bytes are consumed.
+    /// * `Ok(None)` — the buffer holds only a prefix; feed more bytes.
+    /// * `Err(_)` — the stream is malformed at the current position. The
+    ///   decoder makes no consumption guarantee after an error; the
+    ///   caller must reply and close.
+    ///
+    /// # Errors
+    ///
+    /// Malformed framing: bad length lines, non-CRLF terminators,
+    /// oversized bulk/array/inline frames, or a non-bulk array element.
+    pub fn next_command(&mut self) -> Result<Option<RawCommand>, ProtoError> {
+        loop {
+            let tail = &self.buf[self.pos..];
+            let Some(&first) = tail.first() else {
+                return Ok(None);
+            };
+            if first == b'*' {
+                return match parse_array(tail)? {
+                    Some((args, used)) => {
+                        self.pos += used;
+                        Ok(Some(args))
+                    }
+                    None => Ok(None),
+                };
+            }
+            // Inline command: one line, arguments split on whitespace.
+            // An empty line is ignored (Redis does the same — it lets a
+            // human hit return without killing the session).
+            match parse_inline(tail)? {
+                Some((args, used)) => {
+                    self.pos += used;
+                    if args.is_empty() {
+                        continue;
+                    }
+                    return Ok(Some(args));
+                }
+                None => return Ok(None),
+            }
+        }
+    }
+}
+
+/// Parse `*<n>\r\n` followed by `n` bulk strings from the front of `buf`.
+/// Returns the args and the byte count consumed, or `None` if incomplete.
+fn parse_array(buf: &[u8]) -> Result<Option<(RawCommand, usize)>, ProtoError> {
+    debug_assert_eq!(buf[0], b'*');
+    let Some((n, mut at)) = parse_len_line(&buf[1..], MAX_ARGS, "multibulk")? else {
+        return Ok(None);
+    };
+    at += 1; // the '*' byte
+    let mut args = Vec::with_capacity(n);
+    for _ in 0..n {
+        let tail = &buf[at..];
+        let Some(&marker) = tail.first() else {
+            return Ok(None);
+        };
+        if marker != b'$' {
+            return Err(err(format!(
+                "Protocol error: expected '$', got '{}'",
+                printable(marker)
+            )));
+        }
+        let Some((len, used)) = parse_len_line(&tail[1..], MAX_BULK_LEN, "bulk")? else {
+            return Ok(None);
+        };
+        let start = at + 1 + used;
+        // The payload plus its trailing CRLF must be fully buffered.
+        if buf.len() < start + len + 2 {
+            return Ok(None);
+        }
+        if &buf[start + len..start + len + 2] != b"\r\n" {
+            return Err(err("Protocol error: bulk string not CRLF-terminated"));
+        }
+        args.push(buf[start..start + len].to_vec());
+        at = start + len + 2;
+    }
+    Ok(Some((args, at)))
+}
+
+/// Parse a decimal length line `<n>\r\n`, bounded by `max`. Returns the
+/// value and bytes consumed (including the CRLF), or `None` if the line
+/// is not complete yet.
+fn parse_len_line(
+    buf: &[u8],
+    max: usize,
+    what: &str,
+) -> Result<Option<(usize, usize)>, ProtoError> {
+    let Some(nl) = buf.iter().position(|&b| b == b'\n') else {
+        // 20 digits exceed any permitted length; an unbounded digit run
+        // must not buffer forever.
+        if buf.len() > 20 {
+            return Err(err(format!("Protocol error: invalid {what} length")));
+        }
+        return Ok(None);
+    };
+    if nl == 0 || buf[nl - 1] != b'\r' {
+        return Err(err(format!(
+            "Protocol error: {what} length not CRLF-terminated"
+        )));
+    }
+    let digits = &buf[..nl - 1];
+    if digits.is_empty() || digits.len() > 20 || !digits.iter().all(u8::is_ascii_digit) {
+        return Err(err(format!("Protocol error: invalid {what} length")));
+    }
+    let n: usize = std::str::from_utf8(digits)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| err(format!("Protocol error: invalid {what} length")))?;
+    if n > max {
+        return Err(err(format!(
+            "Protocol error: {what} length {n} exceeds the limit of {max}"
+        )));
+    }
+    Ok(Some((n, nl + 1)))
+}
+
+/// Parse one inline command line (terminated by `\n`, optional `\r`
+/// stripped), split on ASCII whitespace.
+fn parse_inline(buf: &[u8]) -> Result<Option<(RawCommand, usize)>, ProtoError> {
+    let Some(nl) = buf.iter().position(|&b| b == b'\n') else {
+        if buf.len() > MAX_INLINE_LEN {
+            return Err(err("Protocol error: too big inline request"));
+        }
+        return Ok(None);
+    };
+    if nl > MAX_INLINE_LEN {
+        return Err(err("Protocol error: too big inline request"));
+    }
+    let mut line = &buf[..nl];
+    if line.last() == Some(&b'\r') {
+        line = &line[..line.len() - 1];
+    }
+    let args: RawCommand = line
+        .split(|b| b.is_ascii_whitespace())
+        .filter(|w| !w.is_empty())
+        .map(|w| w.to_vec())
+        .collect();
+    if args.len() > MAX_ARGS {
+        return Err(err("Protocol error: too many inline arguments"));
+    }
+    Ok(Some((args, nl + 1)))
+}
+
+fn printable(b: u8) -> char {
+    if b.is_ascii_graphic() {
+        b as char
+    } else {
+        '?'
+    }
+}
+
+/// Encode a command as the canonical array-of-bulk-strings frame (what a
+/// well-behaved client sends; `loadgen` and the tests build requests with
+/// this).
+pub fn encode_command(args: &[&[u8]], out: &mut Vec<u8>) {
+    out.extend_from_slice(format!("*{}\r\n", args.len()).as_bytes());
+    for a in args {
+        out.extend_from_slice(format!("${}\r\n", a.len()).as_bytes());
+        out.extend_from_slice(a);
+        out.extend_from_slice(b"\r\n");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Replies
+// ---------------------------------------------------------------------
+
+/// A RESP2 reply value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// `+<text>\r\n`
+    Simple(&'static str),
+    /// `-ERR <text>\r\n`
+    Error(String),
+    /// `:<n>\r\n`
+    Int(i64),
+    /// `$<len>\r\n<bytes>\r\n`
+    Bulk(Vec<u8>),
+    /// `$-1\r\n` (the RESP2 nil bulk)
+    Nil,
+    /// `*<n>\r\n<elements>`
+    Array(Vec<Reply>),
+}
+
+impl Reply {
+    /// Serialize onto `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Reply::Simple(s) => {
+                out.push(b'+');
+                out.extend_from_slice(s.as_bytes());
+                out.extend_from_slice(b"\r\n");
+            }
+            Reply::Error(msg) => {
+                out.push(b'-');
+                // Error text must stay single-line or the frame desyncs.
+                out.extend_from_slice(
+                    msg.bytes()
+                        .map(|b| if b == b'\r' || b == b'\n' { b' ' } else { b })
+                        .collect::<Vec<_>>()
+                        .as_slice(),
+                );
+                out.extend_from_slice(b"\r\n");
+            }
+            Reply::Int(n) => {
+                out.extend_from_slice(format!(":{n}\r\n").as_bytes());
+            }
+            Reply::Bulk(data) => {
+                out.extend_from_slice(format!("${}\r\n", data.len()).as_bytes());
+                out.extend_from_slice(data);
+                out.extend_from_slice(b"\r\n");
+            }
+            Reply::Nil => out.extend_from_slice(b"$-1\r\n"),
+            Reply::Array(items) => {
+                out.extend_from_slice(format!("*{}\r\n", items.len()).as_bytes());
+                for item in items {
+                    item.encode(out);
+                }
+            }
+        }
+    }
+
+    /// A bulk string carrying a decimal `u64` (the value reply of `GET`).
+    pub fn bulk_u64(v: u64) -> Reply {
+        Reply::Bulk(v.to_string().into_bytes())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Requests
+// ---------------------------------------------------------------------
+
+/// A typed, validated request — what the batcher actually executes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    Get(u64),
+    MGet(Vec<u64>),
+    Set(u64, u64),
+    Del(Vec<u64>),
+    Ping,
+    Info,
+    Shutdown,
+}
+
+/// Parse a decimal `u64` key or value.
+///
+/// # Errors
+///
+/// Non-numeric, negative, or out-of-range input (the index stores
+/// `u64 → u64`; arbitrary byte-string keys would need a hash-with-
+/// verification layer the paper's index does not model).
+pub fn parse_u64(arg: &[u8]) -> Result<u64, String> {
+    std::str::from_utf8(arg)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| "ERR value is not an integer or out of range".to_string())
+}
+
+impl Request {
+    /// Validate a raw decoded command.
+    ///
+    /// # Errors
+    ///
+    /// Unknown command name, wrong arity, or non-`u64` keys/values; the
+    /// message is sent verbatim as the `-` error reply.
+    pub fn parse(args: &RawCommand) -> Result<Request, String> {
+        let name = args
+            .first()
+            .ok_or_else(|| "ERR empty command".to_string())?
+            .to_ascii_uppercase();
+        let arity = |ok: bool| {
+            if ok {
+                Ok(())
+            } else {
+                Err(format!(
+                    "ERR wrong number of arguments for '{}' command",
+                    String::from_utf8_lossy(&name).to_lowercase()
+                ))
+            }
+        };
+        match name.as_slice() {
+            b"GET" => {
+                arity(args.len() == 2)?;
+                Ok(Request::Get(parse_u64(&args[1])?))
+            }
+            b"MGET" => {
+                arity(args.len() >= 2)?;
+                let keys = args[1..]
+                    .iter()
+                    .map(|a| parse_u64(a))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Request::MGet(keys))
+            }
+            b"SET" => {
+                arity(args.len() == 3)?;
+                Ok(Request::Set(parse_u64(&args[1])?, parse_u64(&args[2])?))
+            }
+            b"DEL" => {
+                arity(args.len() >= 2)?;
+                let keys = args[1..]
+                    .iter()
+                    .map(|a| parse_u64(a))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(Request::Del(keys))
+            }
+            b"PING" => {
+                arity(args.len() <= 2)?;
+                Ok(Request::Ping)
+            }
+            b"INFO" => {
+                arity(args.len() <= 2)?;
+                Ok(Request::Info)
+            }
+            b"SHUTDOWN" => {
+                arity(args.len() == 1)?;
+                Ok(Request::Shutdown)
+            }
+            other => Err(format!(
+                "ERR unknown command '{}'",
+                String::from_utf8_lossy(other)
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decode_all(bytes: &[u8]) -> Result<Vec<RawCommand>, ProtoError> {
+        let mut d = Decoder::new();
+        d.feed(bytes);
+        let mut out = Vec::new();
+        while let Some(cmd) = d.next_command()? {
+            out.push(cmd);
+        }
+        Ok(out)
+    }
+
+    #[test]
+    fn decodes_canonical_array_frames() {
+        let mut buf = Vec::new();
+        encode_command(&[b"SET", b"42", b"1000"], &mut buf);
+        encode_command(&[b"GET", b"42"], &mut buf);
+        let cmds = decode_all(&buf).unwrap();
+        assert_eq!(cmds.len(), 2);
+        assert_eq!(
+            cmds[0],
+            vec![b"SET".to_vec(), b"42".to_vec(), b"1000".to_vec()]
+        );
+        assert_eq!(Request::parse(&cmds[1]), Ok(Request::Get(42)));
+    }
+
+    #[test]
+    fn split_frames_wait_for_more_bytes() {
+        let mut buf = Vec::new();
+        encode_command(&[b"SET", b"7", b"70"], &mut buf);
+        let mut d = Decoder::new();
+        for (i, &b) in buf.iter().enumerate() {
+            d.feed(&[b]);
+            let got = d.next_command().unwrap();
+            if i + 1 < buf.len() {
+                assert!(got.is_none(), "complete command after {} bytes", i + 1);
+            } else {
+                assert_eq!(
+                    got,
+                    Some(vec![b"SET".to_vec(), b"7".to_vec(), b"70".to_vec()])
+                );
+            }
+        }
+        assert_eq!(d.pending(), 0);
+    }
+
+    #[test]
+    fn inline_commands_and_blank_lines() {
+        let cmds = decode_all(b"\r\n  \r\nPING\r\nGET 9\r\n").unwrap();
+        assert_eq!(cmds.len(), 2);
+        assert_eq!(Request::parse(&cmds[0]), Ok(Request::Ping));
+        assert_eq!(Request::parse(&cmds[1]), Ok(Request::Get(9)));
+    }
+
+    #[test]
+    fn garbage_is_an_error_not_a_panic() {
+        assert!(
+            decode_all(b"*2\r\n$3\r\nGET\r\n:99\r\n").is_err(),
+            "non-bulk element"
+        );
+        assert!(decode_all(b"*x\r\n").is_err(), "non-numeric array len");
+        assert!(
+            decode_all(b"*2\r\n$abc\r\n").is_err(),
+            "non-numeric bulk len"
+        );
+        assert!(decode_all(b"*1\r\n$3\r\nGETxx").is_err(), "missing CRLF");
+        assert!(
+            decode_all(format!("*1\r\n${}\r\n", MAX_BULK_LEN + 1).as_bytes()).is_err(),
+            "oversized bulk"
+        );
+        assert!(
+            decode_all(format!("*{}\r\n", MAX_ARGS + 1).as_bytes()).is_err(),
+            "oversized array"
+        );
+    }
+
+    #[test]
+    fn request_validation() {
+        let parse = |args: &[&str]| {
+            Request::parse(
+                &args
+                    .iter()
+                    .map(|s| s.as_bytes().to_vec())
+                    .collect::<Vec<_>>(),
+            )
+        };
+        assert_eq!(parse(&["set", "1", "2"]), Ok(Request::Set(1, 2)));
+        assert_eq!(
+            parse(&["MGET", "1", "2", "3"]),
+            Ok(Request::MGet(vec![1, 2, 3]))
+        );
+        assert_eq!(parse(&["DEL", "5"]), Ok(Request::Del(vec![5])));
+        assert_eq!(parse(&["SHUTDOWN"]), Ok(Request::Shutdown));
+        assert!(parse(&["GET"]).unwrap_err().contains("wrong number"));
+        assert!(parse(&["GET", "abc"])
+            .unwrap_err()
+            .contains("not an integer"));
+        assert!(parse(&["NOPE", "1"])
+            .unwrap_err()
+            .contains("unknown command"));
+        assert!(parse(&["SET", "1", "-2"])
+            .unwrap_err()
+            .contains("not an integer"));
+    }
+
+    #[test]
+    fn replies_encode_to_canonical_resp() {
+        let mut out = Vec::new();
+        Reply::Simple("OK").encode(&mut out);
+        Reply::Error("ERR boom\r\nx".into()).encode(&mut out);
+        Reply::Int(3).encode(&mut out);
+        Reply::bulk_u64(1000).encode(&mut out);
+        Reply::Nil.encode(&mut out);
+        Reply::Array(vec![Reply::bulk_u64(1), Reply::Nil]).encode(&mut out);
+        assert_eq!(
+            out,
+            b"+OK\r\n-ERR boom  x\r\n:3\r\n$4\r\n1000\r\n$-1\r\n*2\r\n$1\r\n1\r\n$-1\r\n".to_vec()
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests for the RESP codec in isolation (satellite #2):
+//!
+//! * round-trip: arbitrary binary-safe frames survive
+//!   encode → arbitrary-boundary chunked feed → decode, bit-exact;
+//! * truncation: cutting a valid stream at any byte yields exactly the
+//!   complete-frame prefix and a pending decoder — never an error, never
+//!   a panic;
+//! * garbage: arbitrary byte soup (and valid-prefix-then-garbage) never
+//!   panics and never desyncs the frames before the corruption — the
+//!   decoder either keeps decoding or reports a typed [`ProtoError`],
+//!   after which the server closes the connection (the no-resync rule).
+
+use proptest::prelude::*;
+use shortcut_server::protocol::{encode_command, Decoder, ProtoError, RawCommand, MAX_ARGS};
+
+/// An arbitrary binary-safe command: 1..=8 args of 0..=32 bytes each
+/// (any byte value — embedded `\r`, `\n`, `\0` are the interesting ones).
+fn frames() -> impl Strategy<Value = Vec<RawCommand>> {
+    proptest::collection::vec(
+        proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..33), 1..9),
+        1..9,
+    )
+}
+
+fn encode_all(cmds: &[RawCommand]) -> Vec<u8> {
+    let mut wire = Vec::new();
+    for cmd in cmds {
+        let parts: Vec<&[u8]> = cmd.iter().map(|a| a.as_slice()).collect();
+        encode_command(&parts, &mut wire);
+    }
+    wire
+}
+
+/// Feed `wire` into a decoder in chunks of `chunk` bytes, draining every
+/// complete command after each feed. Returns the decoded commands and
+/// the first error, if any.
+fn decode_chunked(wire: &[u8], chunk: usize) -> (Vec<RawCommand>, Option<ProtoError>) {
+    let mut decoder = Decoder::new();
+    let mut out = Vec::new();
+    for piece in wire.chunks(chunk.max(1)) {
+        decoder.feed(piece);
+        loop {
+            match decoder.next_command() {
+                Ok(Some(cmd)) => out.push(cmd),
+                Ok(None) => break,
+                Err(e) => return (out, Some(e)),
+            }
+        }
+    }
+    (out, None)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn roundtrip_any_frames_any_chunking(cmds in frames(), chunk in 1usize..40) {
+        let wire = encode_all(&cmds);
+        let (decoded, err) = decode_chunked(&wire, chunk);
+        prop_assert!(err.is_none(), "valid wire rejected: {:?}", err);
+        prop_assert_eq!(decoded, cmds);
+    }
+
+    #[test]
+    fn truncation_yields_exactly_the_complete_prefix(
+        cmds in frames(),
+        cut_permille in 0usize..1000,
+        chunk in 1usize..17,
+    ) {
+        let wire = encode_all(&cmds);
+        let cut = wire.len() * cut_permille / 1000;
+        let (decoded, err) = decode_chunked(&wire[..cut], chunk);
+        prop_assert!(err.is_none(), "truncated (not malformed) input errored: {:?}", err);
+        // Exactly the frames whose encodings fit entirely below the cut.
+        let mut expect = Vec::new();
+        let mut used = 0usize;
+        for cmd in &cmds {
+            let parts: Vec<&[u8]> = cmd.iter().map(|a| a.as_slice()).collect();
+            let mut one = Vec::new();
+            encode_command(&parts, &mut one);
+            if used + one.len() <= cut {
+                used += one.len();
+                expect.push(cmd.clone());
+            } else {
+                break;
+            }
+        }
+        prop_assert_eq!(decoded, expect);
+    }
+
+    #[test]
+    fn garbage_never_panics(soup in proptest::collection::vec(any::<u8>(), 0..257), chunk in 1usize..17) {
+        // Any outcome is legal except a panic or an infinite stall:
+        // byte soup often parses as inline commands, sometimes errors.
+        let (decoded, _err) = decode_chunked(&soup, chunk);
+        prop_assert!(decoded.len() <= soup.len());
+    }
+
+    #[test]
+    fn valid_prefix_survives_trailing_garbage(
+        cmds in frames(),
+        soup in proptest::collection::vec(any::<u8>(), 1..65),
+        chunk in 1usize..17,
+    ) {
+        let mut wire = encode_all(&cmds);
+        // Force the tail to be an unambiguously malformed array frame so
+        // the property is about desync, not about inline-command leniency.
+        wire.extend_from_slice(b"*notanumber\r\n");
+        wire.extend_from_slice(&soup);
+        let (decoded, err) = decode_chunked(&wire, chunk);
+        prop_assert!(err.is_some(), "malformed tail must surface an error");
+        prop_assert_eq!(
+            &decoded[..cmds.len().min(decoded.len())],
+            &cmds[..cmds.len().min(decoded.len())],
+        );
+        prop_assert!(decoded.len() >= cmds.len(), "valid frames before the corruption were lost");
+    }
+
+    #[test]
+    fn oversized_arrays_are_rejected_not_buffered(extra in 1usize..1000, chunk in 1usize..17) {
+        let wire = format!("*{}\r\n", MAX_ARGS + extra).into_bytes();
+        let (decoded, err) = decode_chunked(&wire, chunk);
+        prop_assert!(decoded.is_empty());
+        prop_assert!(err.is_some(), "array over MAX_ARGS must be rejected");
+    }
+}

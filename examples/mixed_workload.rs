@@ -160,25 +160,12 @@ fn main() -> Result<(), IndexError> {
     }
 
     let s = index.stats();
+    // The exit report is the snapshot's stable rendering (shared with the
+    // server's INFO reply and the `all` driver), plus the layout estimates
+    // the snapshot does not carry.
+    print!("{s}");
     println!(
-        "totals: {} shortcut lookups, {} traditional lookups, {} discarded races",
-        s.index.shortcut_lookups, s.index.traditional_lookups, s.index.shortcut_retries
-    );
-    println!(
-        "vma: {} in use ({} live / {} retired) of {} budget, {} directories retired, {} reclaimed",
-        s.vma.in_use,
-        s.vma.live_vmas(),
-        s.vma.retired_vmas,
-        s.vma.limit,
-        s.vma.areas_retired,
-        s.vma.areas_reclaimed
-    );
-    println!(
-        "compaction: {} passes ({} skipped), {} pages moved, ~{} VMAs saved; layout {} vs ideal {}",
-        s.maint.compactions,
-        s.maint.compaction_skipped,
-        s.maint.pages_moved,
-        s.maint.vmas_saved,
+        "compaction_layout: planned={} ideal={}",
         index.layout_vmas()?,
         index.ideal_layout_vmas(),
     );

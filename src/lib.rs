@@ -475,6 +475,89 @@ impl StatsSnapshot {
     }
 }
 
+impl StatsSnapshot {
+    /// Percentage of lookups answered through the shortcut directory
+    /// (0.0 when no lookup was counted yet).
+    pub fn shortcut_served_pct(&self) -> f64 {
+        let total = self.index.shortcut_lookups + self.index.traditional_lookups;
+        if total == 0 {
+            0.0
+        } else {
+            self.index.shortcut_lookups as f64 * 100.0 / total as f64
+        }
+    }
+}
+
+/// The stable text rendering of a snapshot: one `key: value` line per
+/// group, identical wherever a snapshot is shown — the server's `INFO`
+/// reply, `mixed_workload`'s exit report, and the `all` evaluation
+/// driver all print exactly this block instead of hand-formatting their
+/// own subsets. Lines are append-only across versions (tooling may grep
+/// for a key, so existing keys keep their meaning and format).
+impl std::fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "index: entries={} shards={} global_depth={} buckets={} avg_fanin={:.2}",
+            self.len, self.shards, self.global_depth, self.bucket_count, self.avg_fanin
+        )?;
+        writeln!(
+            f,
+            "shortcut: in_sync={} suspended={} versions_traditional={} versions_shortcut={}",
+            self.in_sync, self.shortcut_suspended, self.versions.0, self.versions.1
+        )?;
+        writeln!(
+            f,
+            "layout: pages_per_slot={} slot_bytes={} bucket_capacity={} \
+             hugepages_requested={} hugepages_active={}",
+            self.pages_per_slot,
+            self.slot_bytes,
+            self.bucket_capacity,
+            self.huge_pages_requested,
+            self.huge_pages_active
+        )?;
+        writeln!(
+            f,
+            "lookups: shortcut={} traditional={} retries={} shortcut_served_pct={:.1}",
+            self.index.shortcut_lookups,
+            self.index.traditional_lookups,
+            self.index.shortcut_retries,
+            self.shortcut_served_pct()
+        )?;
+        writeln!(
+            f,
+            "structure: splits={} doublings={} compactions={} compaction_skipped={} \
+             pages_moved={}",
+            self.index.splits,
+            self.index.doublings,
+            self.index.compactions,
+            self.index.compaction_skipped,
+            self.index.pages_moved
+        )?;
+        writeln!(
+            f,
+            "maint: creates={} updates={} creates_skipped={} creates_deferred={} \
+             creates_coarse={} vmas_saved={}",
+            self.maint.creates_applied,
+            self.maint.updates_applied,
+            self.maint.creates_skipped,
+            self.maint.creates_deferred,
+            self.maint.creates_coarse,
+            self.maint.vmas_saved
+        )?;
+        writeln!(
+            f,
+            "vma: in_use={} live={} retired={} limit={} areas_retired={} areas_reclaimed={}",
+            self.vma.in_use,
+            self.vma.live_vmas(),
+            self.vma.retired_vmas,
+            self.vma.limit,
+            self.vma.areas_retired,
+            self.vma.areas_reclaimed
+        )
+    }
+}
+
 /// The facade index: Shortcut-EH behind a builder, with concurrent
 /// `&self` reads, typed errors and a single merged [`StatsSnapshot`].
 /// Transparently sharded: [`IndexBuilder::shards`] partitions it into
@@ -541,6 +624,17 @@ impl ShortcutIndex {
     /// Never fails today; fallible per the [`Index`] write contract.
     pub fn remove(&mut self, key: u64) -> Result<Option<u64>, IndexError> {
         Index::remove(&mut self.inner, key)
+    }
+
+    /// Remove a batch of keys; `out[i]` is the value `keys[i]` held.
+    /// Scattered per shard like [`ShortcutIndex::insert_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing shard's error; completed shards keep
+    /// their removals.
+    pub fn remove_batch(&mut self, keys: &[u64]) -> Result<Vec<Option<u64>>, IndexError> {
+        Index::remove_batch(&mut self.inner, keys)
     }
 
     /// Number of live entries.
@@ -664,6 +758,21 @@ impl ShortcutIndex {
         self.inner.insert_batch_shared(entries)
     }
 
+    /// Batched remove through per-shard write locks: splits the batch by
+    /// shard, applies each group under one lock acquisition, and
+    /// reassembles the answers in caller order (`out[i]` answers
+    /// `keys[i]`). The shared-writer counterpart of
+    /// [`ShortcutIndex::remove_batch`] — this is what a multi-key `DEL`
+    /// over the network funnels into.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing shard's error; completed shards keep
+    /// their removals.
+    pub fn remove_batch_shared(&self, keys: &[u64]) -> Result<Vec<Option<u64>>, IndexError> {
+        self.inner.remove_batch_shared(keys)
+    }
+
     /// One merged snapshot of index, maintenance, and pool counters,
     /// aggregated over all shards with the documented
     /// [`StatsSnapshot::merge`] semantics. Per-shard snapshots are taken
@@ -749,6 +858,10 @@ impl Index for ShortcutIndex {
     fn insert_batch(&mut self, entries: &[(u64, u64)]) -> Result<(), IndexError> {
         ShortcutIndex::insert_batch(self, entries)
     }
+
+    fn remove_batch(&mut self, keys: &[u64]) -> Result<Vec<Option<u64>>, IndexError> {
+        ShortcutIndex::remove_batch(self, keys)
+    }
 }
 
 #[cfg(test)]
@@ -814,6 +927,50 @@ mod tests {
         assert!((m.avg_fanin - 1.5).abs() < 1e-9);
         let empty = a.merge(&snap(0, 0, 0, 0.0, true));
         assert_eq!(empty.avg_fanin, 0.0, "0 buckets must not divide by zero");
+    }
+
+    #[test]
+    fn snapshot_display_is_stable_and_greppable() {
+        let mut s = snap(150, 5, 10, 2.0, true);
+        s.index.shortcut_lookups = 190;
+        s.index.traditional_lookups = 10;
+        let text = s.to_string();
+        // The stable contract: every group line starts with its key, and
+        // the key=value pairs are parseable (INFO and CI grep for these).
+        for key in [
+            "index: entries=150 ",
+            "shortcut: in_sync=true ",
+            "layout: pages_per_slot=1 ",
+            "lookups: shortcut=190 traditional=10 retries=0 shortcut_served_pct=95.0",
+            "structure: splits=0 ",
+            "maint: creates=0 ",
+            "vma: in_use=0 ",
+        ] {
+            assert!(text.contains(key), "missing `{key}` in:\n{text}");
+        }
+        assert!((s.shortcut_served_pct() - 95.0).abs() < 1e-9);
+        assert_eq!(snap(0, 0, 0, 0.0, true).shortcut_served_pct(), 0.0);
+    }
+
+    #[test]
+    fn remove_batch_matches_sequential_removes_through_the_facade() {
+        let mut idx = ShortcutIndex::builder()
+            .capacity(2_000)
+            .shards(1)
+            .vma_budget(100_000)
+            .build()
+            .unwrap();
+        for k in 0..1_000u64 {
+            idx.insert(k, k + 7).unwrap();
+        }
+        let keys: Vec<u64> = vec![3, 5_000, 3, 999];
+        let got = idx.remove_batch(&keys).unwrap();
+        assert_eq!(got, vec![Some(10), None, None, Some(1_006)]);
+        // Shared-writer variant on the remaining keys.
+        let rest: Vec<u64> = (0..1_000).filter(|&k| k != 3 && k != 999).collect();
+        let got = idx.remove_batch_shared(&rest).unwrap();
+        assert!(got.iter().all(|v| v.is_some()));
+        assert!(idx.is_empty());
     }
 
     #[test]
