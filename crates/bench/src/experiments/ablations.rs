@@ -338,7 +338,7 @@ fn slot_pool_config(expected_entries: usize, layout: SlotLayout) -> PoolConfig {
     let view_floor = layout.slots_for_bytes(1 << 24).max(64);
     PoolConfig {
         initial_pages: 1,
-        min_growth_pages: slots.clamp(growth_floor, 4096),
+        min_growth_pages: slots.clamp(growth_floor, 4096), // audit:allow(page-literal): growth clamp in pages (a count), not a byte size
         shrink_threshold_pages: usize::MAX,
         pretouch: true,
         view_capacity_pages: ((slots * 4).max(view_floor)).next_power_of_two(),
@@ -498,7 +498,8 @@ pub fn a7_shards(s: &ScaleArgs) -> Table {
             for part in &per_shard {
                 let index = &index;
                 scope.spawn(move || {
-                    for chunk in part.chunks(4096) {
+                    let batches = part.chunks(4096); // audit:allow(page-literal): key-batch size, not a page size
+                    for chunk in batches {
                         let batch: Vec<(u64, u64)> = chunk.iter().map(|&k| (k, k)).collect();
                         index.insert_batch_shared(&batch).expect("insert failed");
                     }
@@ -542,7 +543,8 @@ pub fn a7_shards(s: &ScaleArgs) -> Table {
 
         let sw = Stopwatch::start();
         let mut found = 0usize;
-        for chunk in probe.chunks(4096) {
+        let batches = probe.chunks(4096); // audit:allow(page-literal): key-batch size, not a page size
+        for chunk in batches {
             found += index.get_many(chunk).iter().flatten().count();
         }
         std::hint::black_box(found);

@@ -36,7 +36,7 @@ impl Fig2Opts {
             (1, 512),
             (2, 1024),
             (4, 2048),
-            (8, 4096),
+            (8, 4096), // audit:allow(page-literal): scale-table key count, not a page size
             (16, 8192),
             (32, 16384),
             (64, 24576),

@@ -138,7 +138,7 @@ pub fn run(opts: &Fig4Opts) -> Table {
 /// touches `k·8 B + m` pages of virtual memory, the shortcut always `k`
 /// pages).
 pub fn run_model(slots: usize, fanins: &[usize], lookups: usize, seed: u64) -> Table {
-    use shortcut_vmsim::{AddressSpace, Mmu, VirtAddr};
+    use shortcut_vmsim::{AddressSpace, Mmu, VirtAddr, PAGE_SIZE};
 
     let mut t = Table::new(
         format!("Figure 4 (vmsim model) — TLB behaviour, {slots}-slot node"),
@@ -156,7 +156,7 @@ pub fn run_model(slots: usize, fanins: &[usize], lookups: usize, seed: u64) -> T
         let leaves = slots / f;
         let mut aspace = AddressSpace::new();
         // Traditional: the directory array (8 B/slot) + m leaf pages.
-        let dir_pages = (slots * 8).div_ceil(4096);
+        let dir_pages = (slots * 8).div_ceil(PAGE_SIZE as usize);
         let dir = aspace.mmap_anon(dir_pages);
         let file = aspace.create_file();
         aspace.resize_file(file, leaves).unwrap();
@@ -172,7 +172,7 @@ pub fn run_model(slots: usize, fanins: &[usize], lookups: usize, seed: u64) -> T
         for s in 0..slots {
             aspace
                 .mmap_file_fixed(
-                    VirtAddr(shortcut.0 + (s as u64) * 4096),
+                    VirtAddr(shortcut.0 + (s as u64) * PAGE_SIZE),
                     1,
                     file,
                     s / f,
@@ -195,12 +195,15 @@ pub fn run_model(slots: usize, fanins: &[usize], lookups: usize, seed: u64) -> T
                 .unwrap()
                 .ns;
             t_ns += mmu_t
-                .access(&mut aspace, VirtAddr(leaf_area.0 + ((i / f) as u64) * 4096))
+                .access(
+                    &mut aspace,
+                    VirtAddr(leaf_area.0 + ((i / f) as u64) * PAGE_SIZE),
+                )
                 .unwrap()
                 .ns;
             // Shortcut: a single access through the rewired page.
             s_ns += mmu_s
-                .access(&mut aspace, VirtAddr(shortcut.0 + (i as u64) * 4096))
+                .access(&mut aspace, VirtAddr(shortcut.0 + (i as u64) * PAGE_SIZE))
                 .unwrap()
                 .ns;
         }

@@ -20,7 +20,7 @@ use crate::timing::us_per;
 use crate::workload::KeyGen;
 use crate::Table;
 use shortcut_rewire::{page_size, rewire_page_raw, MemFile, VirtArea};
-use shortcut_vmsim::{CoreId, Machine, MachineConfig, VirtAddr};
+use shortcut_vmsim::{CoreId, Machine, MachineConfig, VirtAddr, PAGE_SIZE};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -258,14 +258,14 @@ pub fn run_model(opts: &Fig5Opts) -> Vec<Fig5Row> {
             for (r, cursor) in cursors.iter_mut().enumerate() {
                 let core = CoreId(r + 1);
                 for _ in 0..pages_per_remap {
-                    let va = VirtAddr(addr.0 + (*cursor as u64) * 4096);
+                    let va = VirtAddr(addr.0 + (*cursor as u64) * PAGE_SIZE);
                     let out = m.access(core, va).unwrap();
                     read_ns_with += out.ns;
                     pages_read += 1;
                     *cursor = (*cursor + 1) % pages;
                 }
             }
-            let va = VirtAddr(addr.0 + (targets[i] as u64) * 4096);
+            let va = VirtAddr(addr.0 + (targets[i] as u64) * PAGE_SIZE);
             shoot_ns += m
                 .remap_from_core(shooter, va, 1, file, fileoffs[i] as usize, true)
                 .unwrap();
@@ -279,7 +279,7 @@ pub fn run_model(opts: &Fig5Opts) -> Vec<Fig5Row> {
                 let core = CoreId(r + 1);
                 let mut cursor = 0usize;
                 for _ in 0..per_reader {
-                    let va = VirtAddr(addr.0 + (cursor as u64) * 4096);
+                    let va = VirtAddr(addr.0 + (cursor as u64) * PAGE_SIZE);
                     read_ns_without += m.access(core, va).unwrap().ns;
                     cursor = (cursor + 1) % pages;
                 }

@@ -132,6 +132,8 @@ mod tests {
         let mut pages = Vec::new();
         for i in 0..8 {
             let pg = p.alloc_page().unwrap();
+            // SAFETY: the pointer resolves a slot this test wired via set_slot;
+            // the node's area and the pool view both outlive the access.
             unsafe {
                 *(p.page_ptr(pg) as *mut u64) = 100 + i as u64;
             }
@@ -139,7 +141,11 @@ mod tests {
             node.set_slot(i, &h, p.page_ptr(pg), pg, true).unwrap();
         }
         for i in 0..8 {
+            // SAFETY: the pointer resolves a slot this test wired via set_slot;
+            // the node's area and the pool view both outlive the access.
             let a = unsafe { *(node.follow_traditional(i) as *const u64) };
+            // SAFETY: the pointer resolves a slot this test wired via set_slot;
+            // the node's area and the pool view both outlive the access.
             let b = unsafe { *(node.follow_shortcut(i) as *const u64) };
             assert_eq!(a, b);
             assert_eq!(a, 100 + i as u64);
@@ -178,13 +184,19 @@ mod tests {
         let mut node = HybridNode::try_new(2, RoutePolicy::default()).unwrap();
         let a = p.alloc_page().unwrap();
         let b = p.alloc_page().unwrap();
+        // SAFETY: the pointer resolves a slot this test wired via set_slot;
+        // the node's area and the pool view both outlive the access.
         unsafe {
             *(p.page_ptr(a) as *mut u64) = 1;
             *(p.page_ptr(b) as *mut u64) = 2;
         }
         node.set_slot(0, &h, p.page_ptr(a), a, true).unwrap();
         node.set_slot(0, &h, p.page_ptr(b), b, true).unwrap();
+        // SAFETY: the pointer resolves a slot this test wired via set_slot;
+        // the node's area and the pool view both outlive the access.
         let t = unsafe { *(node.follow_traditional(0) as *const u64) };
+        // SAFETY: the pointer resolves a slot this test wired via set_slot;
+        // the node's area and the pool view both outlive the access.
         let s = unsafe { *(node.follow_shortcut(0) as *const u64) };
         assert_eq!(t, 2);
         assert_eq!(s, 2);

@@ -898,19 +898,21 @@ impl Drop for Maintainer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use shortcut_rewire::{PagePool, PoolConfig};
+    use shortcut_rewire::{PagePool, PoolConfig, PAGE_SIZE_4K};
 
     fn pool() -> PagePool {
         PagePool::new(PoolConfig {
             initial_pages: 16,
             min_growth_pages: 16,
-            view_capacity_pages: 4096,
+            view_capacity_pages: 4096, // audit:allow(page-literal): view capacity in pages (a count), not a byte size
             ..PoolConfig::default()
         })
         .unwrap()
     }
 
     fn stamp(pool: &PagePool, p: PageIdx, v: u64) {
+        // SAFETY: t.base is the directory the ticket published; offsets stay
+        // below t.slots slots and retirement cannot unmap it mid-test.
         unsafe {
             *(pool.page_ptr(p) as *mut u64) = v;
         }
@@ -941,9 +943,11 @@ mod tests {
         .unwrap();
         assert!(state.in_sync());
         let t = state.begin_read().unwrap();
+        // SAFETY: t.base is the directory the ticket published; offsets stay
+        // below t.slots slots and retirement cannot unmap it mid-test.
         unsafe {
             assert_eq!(*(t.base as *const u64), 10);
-            assert_eq!(*(t.base.add(4096) as *const u64), 11);
+            assert_eq!(*(t.base.add(PAGE_SIZE_4K) as *const u64), 11);
         }
         assert!(state.still_valid(t));
     }
@@ -982,9 +986,11 @@ mod tests {
         .unwrap();
         assert!(state.in_sync());
         let t = state.begin_read().unwrap();
+        // SAFETY: t.base is the directory the ticket published; offsets stay
+        // below t.slots slots and retirement cannot unmap it mid-test.
         unsafe {
             assert_eq!(*(t.base as *const u64), 10);
-            assert_eq!(*(t.base.add(4096) as *const u64), 11);
+            assert_eq!(*(t.base.add(PAGE_SIZE_4K) as *const u64), 11);
         }
         assert_eq!(metrics.snapshot().updates_applied, 1);
     }
@@ -1064,8 +1070,10 @@ mod tests {
         .unwrap();
         assert!(state.in_sync());
         let t = state.begin_read().unwrap();
+        // SAFETY: t.base is the directory the ticket published; offsets stay
+        // below t.slots slots and retirement cannot unmap it mid-test.
         unsafe {
-            assert_eq!(*(t.base.add(4096) as *const u64), 42);
+            assert_eq!(*(t.base.add(PAGE_SIZE_4K) as *const u64), 42);
         }
     }
 
@@ -1107,6 +1115,8 @@ mod tests {
         assert_eq!(eng.reclaim_tick().unwrap(), 0);
         assert_eq!(eng.retired_count(), 1);
         // The old base is still readable (stale but mapped).
+        // SAFETY: t.base is the directory the ticket published; offsets stay
+        // below t.slots slots and retirement cannot unmap it mid-test.
         unsafe {
             assert_eq!(*(old_base as *const u64), 7);
         }
@@ -1156,7 +1166,7 @@ mod tests {
         let mut pl = PagePool::new(PoolConfig {
             initial_pages: 16,
             min_growth_pages: 16,
-            view_capacity_pages: 4096,
+            view_capacity_pages: 4096, // audit:allow(page-literal): view capacity in pages (a count), not a byte size
             vma_budget: Some(shortcut_rewire::VmaBudget::with_limit(32)),
             ..PoolConfig::default()
         })
@@ -1211,7 +1221,7 @@ mod tests {
         let mut pl = PagePool::new(PoolConfig {
             initial_pages: 16,
             min_growth_pages: 16,
-            view_capacity_pages: 4096,
+            view_capacity_pages: 4096, // audit:allow(page-literal): view capacity in pages (a count), not a byte size
             // limit 8 < 16 → headroom 0 → effective budget 8.
             vma_budget: Some(shortcut_rewire::VmaBudget::with_limit(8)),
             ..PoolConfig::default()
@@ -1282,6 +1292,8 @@ mod tests {
         assert!(state.in_sync());
         let t = state.begin_read().unwrap();
         assert_eq!(t.slots, 6);
+        // SAFETY: t.base is the directory the ticket published; offsets stay
+        // below t.slots slots and retirement cannot unmap it mid-test.
         unsafe {
             assert_eq!(*(t.base.add(2 << 12) as *const u64), 70);
             assert_eq!(
@@ -1308,7 +1320,7 @@ mod tests {
             let mut pl = PagePool::new(PoolConfig {
                 initial_pages: 0,
                 min_growth_pages: 64,
-                view_capacity_pages: 4096,
+                view_capacity_pages: 4096, // audit:allow(page-literal): view capacity in pages (a count), not a byte size
                 vma_budget: Some(shortcut_rewire::VmaBudget::with_limit(32)),
                 ..PoolConfig::default()
             })
@@ -1352,7 +1364,7 @@ mod tests {
         let mut pl = PagePool::new(PoolConfig {
             initial_pages: 0,
             min_growth_pages: 8,
-            view_capacity_pages: 4096,
+            view_capacity_pages: 4096, // audit:allow(page-literal): view capacity in pages (a count), not a byte size
             vma_budget: Some(shortcut_rewire::VmaBudget::with_limit(8)),
             ..PoolConfig::default()
         })
@@ -1385,6 +1397,8 @@ mod tests {
         let t = state.begin_read().unwrap();
         assert_eq!(t.slots, 8, "published at half depth");
         for i in 0..8 {
+            // SAFETY: t.base is the directory the ticket published; offsets stay
+            // below t.slots slots and retirement cannot unmap it mid-test.
             unsafe {
                 assert_eq!(*(t.base.add(i << 12) as *const u64), 500 + i as u64);
             }
@@ -1408,6 +1422,8 @@ mod tests {
         }
         assert!(state.in_sync());
         let t = state.begin_read().unwrap();
+        // SAFETY: t.base is the directory the ticket published; offsets stay
+        // below t.slots slots and retirement cannot unmap it mid-test.
         unsafe {
             assert_eq!(*(t.base.add(7 << 12) as *const u64), 999);
             assert_eq!(
@@ -1452,7 +1468,7 @@ mod tests {
         let mut pl = PagePool::new(PoolConfig {
             initial_pages: 0,
             min_growth_pages: 32,
-            view_capacity_pages: 4096,
+            view_capacity_pages: 4096, // audit:allow(page-literal): view capacity in pages (a count), not a byte size
             vma_budget: Some(shortcut_rewire::VmaBudget::with_limit(10)),
             ..PoolConfig::default()
         })
@@ -1514,7 +1530,7 @@ mod tests {
         let mut pl = PagePool::new(PoolConfig {
             initial_pages: 16,
             min_growth_pages: 16,
-            view_capacity_pages: 4096,
+            view_capacity_pages: 4096, // audit:allow(page-literal): view capacity in pages (a count), not a byte size
             vma_budget: Some(shortcut_rewire::VmaBudget::with_limit(16)),
             ..PoolConfig::default()
         })
@@ -1692,9 +1708,11 @@ mod tests {
         });
         assert!(m.wait_sync(Duration::from_secs(5)), "mapper never synced");
         let t = m.state().begin_read().unwrap();
+        // SAFETY: t.base is the directory the ticket published; offsets stay
+        // below t.slots slots and retirement cannot unmap it mid-test.
         unsafe {
             assert_eq!(*(t.base as *const u64), 100);
-            assert_eq!(*(t.base.add(4096) as *const u64), 200);
+            assert_eq!(*(t.base.add(PAGE_SIZE_4K) as *const u64), 200);
         }
         assert!(m.state().still_valid(t));
         assert!(m.error().is_none());
@@ -1732,8 +1750,13 @@ mod tests {
         assert!(m.wait_sync(Duration::from_secs(5)));
         let t = m.state().begin_read().unwrap();
         for i in 0..8 {
+            // SAFETY: t.base is the directory the ticket published; offsets stay
+            // below t.slots slots and retirement cannot unmap it mid-test.
             unsafe {
-                assert_eq!(*(t.base.add(i * 4096) as *const u64), 1000 + i as u64);
+                assert_eq!(
+                    *(t.base.add(i * PAGE_SIZE_4K) as *const u64),
+                    1000 + i as u64
+                );
             }
         }
         assert!(m.error().is_none());

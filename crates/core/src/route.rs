@@ -68,7 +68,7 @@ mod tests {
     #[test]
     fn fanin_math() {
         assert_eq!(RoutePolicy::avg_fanin(8, 4), 2.0);
-        assert_eq!(RoutePolicy::avg_fanin(4096, 4096), 1.0);
+        assert_eq!(RoutePolicy::avg_fanin(4096, 4096), 1.0); // audit:allow(page-literal): slot/leaf counts, not byte sizes
         assert!(RoutePolicy::avg_fanin(4, 0).is_infinite());
     }
 }

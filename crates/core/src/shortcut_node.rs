@@ -175,6 +175,8 @@ mod tests {
         let h = p.handle();
         let l0 = p.alloc_page().unwrap();
         let l1 = p.alloc_page().unwrap();
+        // SAFETY: slot_ptr of a slot wired (or deliberately left anon) above;
+        // the node's area and the pool view both outlive the access.
         unsafe {
             *(p.page_ptr(l0) as *mut u64) = 100;
             *(p.page_ptr(l1) as *mut u64) = 101;
@@ -182,6 +184,8 @@ mod tests {
         let mut n = ShortcutNode::new(4).unwrap();
         n.set_slot(0, &h, l0).unwrap();
         n.set_slot(3, &h, l1).unwrap();
+        // SAFETY: slot_ptr of a slot wired (or deliberately left anon) above;
+        // the node's area and the pool view both outlive the access.
         unsafe {
             assert_eq!(*(n.slot_ptr(0) as *const u64), 100);
             assert_eq!(*(n.slot_ptr(3) as *const u64), 101);
@@ -199,6 +203,8 @@ mod tests {
         let mut n = ShortcutNode::new(2).unwrap();
         n.set_slot(0, &h, l).unwrap();
         n.set_slot(1, &h, l).unwrap();
+        // SAFETY: slot_ptr of a slot wired (or deliberately left anon) above;
+        // the node's area and the pool view both outlive the access.
         unsafe {
             *(n.slot_ptr(0) as *mut u64) = 5;
             assert_eq!(*(n.slot_ptr(1) as *const u64), 5);
@@ -212,6 +218,8 @@ mod tests {
         let l = p.alloc_page().unwrap();
         let mut n = ShortcutNode::new(1).unwrap();
         n.set_slot(0, &h, l).unwrap();
+        // SAFETY: slot_ptr of a slot wired (or deliberately left anon) above;
+        // the node's area and the pool view both outlive the access.
         unsafe {
             *(n.slot_ptr(0) as *mut u64) = 77;
             assert_eq!(*(p.page_ptr(l) as *const u64), 77);
@@ -223,16 +231,22 @@ mod tests {
         let mut p = pool();
         let h = p.handle();
         let l = p.alloc_page().unwrap();
+        // SAFETY: slot_ptr of a slot wired (or deliberately left anon) above;
+        // the node's area and the pool view both outlive the access.
         unsafe {
             *(p.page_ptr(l) as *mut u64) = 9;
         }
         let mut n = ShortcutNode::new(1).unwrap();
         n.set_slot(0, &h, l).unwrap();
         n.clear_slot(0).unwrap();
+        // SAFETY: slot_ptr of a slot wired (or deliberately left anon) above;
+        // the node's area and the pool view both outlive the access.
         unsafe {
             assert_eq!(*(n.slot_ptr(0) as *const u64), 0);
         }
         // The leaf itself is untouched.
+        // SAFETY: slot_ptr of a slot wired (or deliberately left anon) above;
+        // the node's area and the pool view both outlive the access.
         unsafe {
             assert_eq!(*(p.page_ptr(l) as *const u64), 9);
         }

@@ -16,7 +16,7 @@
 //! Dereferencing a ticket's base therefore requires holding a
 //! [`shortcut_rewire::ReaderPin`] from the pool the shortcut maps.
 
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use shortcut_rewire::sync::{fence, AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 
 /// Shared state published by the mapper thread and read by lookups.
 #[derive(Debug)]
@@ -158,6 +158,16 @@ impl SharedDirectoryState {
     /// with it (neither version moved), so the value read may be used.
     #[inline]
     pub fn still_valid(&self, t: ReadTicket) -> bool {
+        // The reader's data loads through `t.base` are plain loads; an
+        // acquire *load* below would not keep them from being satisfied
+        // after the version re-check (acquire orders later accesses, not
+        // earlier ones). The acquire fence is the classic seqlock
+        // read-side exit barrier: every load issued before it is ordered
+        // before the two validation loads, so a reader that consumed any
+        // post-bump bucket byte is guaranteed to observe the version
+        // moved and discard. `tests/loom_seqlock.rs` proves this fence
+        // load-bearing (dropping it admits a torn read).
+        fence(Ordering::Acquire);
         self.shortcut_version.load(Ordering::Acquire) == t.version
             && self.traditional_version.load(Ordering::Acquire) == t.version
     }
@@ -166,6 +176,30 @@ impl SharedDirectoryState {
 impl Default for SharedDirectoryState {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Deliberately-broken seqlock variants, compiled only for the model
+/// tests: each drops one link of the protocol so `tests/loom_seqlock.rs`
+/// can prove the checker flags it. Never call these outside that suite.
+#[cfg(feature = "loomish")]
+impl SharedDirectoryState {
+    /// Seeded bug: ticket validation without the acquire fence. The data
+    /// loads are free to be satisfied after the version re-check, so a
+    /// torn bucket read can pass validation.
+    #[inline]
+    pub fn still_valid_seeded_unfenced(&self, t: ReadTicket) -> bool {
+        self.shortcut_version.load(Ordering::Acquire) == t.version
+            && self.traditional_version.load(Ordering::Acquire) == t.version
+    }
+
+    /// Seeded bug: publication with the version stamp relaxed. Readers can
+    /// observe the new version without the bucket stores it is supposed to
+    /// cover, and validation has nothing to pair with.
+    pub fn publish_seeded_relaxed(&self, base: *mut u8, slots: usize, version: u64) {
+        self.base.store(base, Ordering::Release);
+        self.slots.store(slots, Ordering::Release);
+        self.shortcut_version.store(version, Ordering::Relaxed);
     }
 }
 

@@ -1,0 +1,202 @@
+//! Exhaustive model check of the seqlock protocol
+//! ([`shortcut_core::SharedDirectoryState`]).
+//!
+//! Run with `cargo test -p shortcut-core --features loomish`.
+//!
+//! The scenario: a writer performs one full split/relocate cycle — bump
+//! the traditional version, rewrite the bucket, publish the shortcut
+//! version — while a reader runs the begin/read/validate dance. The
+//! bucket is modeled as two words whose invariant ties them to the
+//! version that published them (`data0 == version`, `data1 == 100 +
+//! data0`): a reader whose ticket validates must never have observed a
+//! torn pair (a mix of pre- and post-rewrite words) or a pair from a
+//! different version than its ticket.
+//!
+//! The bucket words are loomish atomics written with `Release` and read
+//! with `Relaxed`. The release attachment on the writer side stands in
+//! for what the real code gets from hardware: plain bucket stores cannot
+//! be hoisted above the `AcqRel` version bump. The relaxed reads model
+//! the reader's plain loads through the ticket base — which is exactly
+//! why `still_valid`'s acquire fence is load-bearing: without it, those
+//! loads are free to be satisfied "after" the version re-check, which
+//! the model expresses as the validation loads reading stale versions.
+
+#![cfg(feature = "loomish")]
+
+use loomish::Builder;
+use shortcut_core::SharedDirectoryState;
+use shortcut_rewire::sync::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Never dereferenced: the model only checks publication/validation, so
+/// any fixed non-null value works (and a constant keeps replay
+/// deterministic, unlike a heap address).
+const FAKE_BASE: *mut u8 = 8 as *mut u8;
+
+#[derive(Clone, Copy)]
+enum WriterKind {
+    Correct,
+    /// Seeded bug: version stamped with a relaxed store.
+    SeededRelaxedPublish,
+    /// Seeded bug: version stamped *before* the bucket rewrite.
+    SeededPublishBeforeData,
+}
+
+#[derive(Clone, Copy)]
+enum ReaderKind {
+    Correct,
+    /// Seeded bug: validation without the acquire fence.
+    SeededUnfenced,
+}
+
+fn scenario(wk: WriterKind, rk: ReaderKind) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let state = Arc::new(SharedDirectoryState::new());
+        // One bucket, two words. Invariant: data0 holds the version of
+        // the rewrite that produced it, data1 = 100 + data0.
+        let data0 = Arc::new(AtomicU64::new(0));
+        let data1 = Arc::new(AtomicU64::new(0));
+
+        // Quiescent setup: version 1 published, bucket consistent. The
+        // slot count doubles as the version so the reader can check its
+        // (public) ticket fields against the data it read.
+        let v1 = state.bump_traditional();
+        data0.store(v1, Ordering::Release);
+        data1.store(100 + v1, Ordering::Release);
+        state.publish(FAKE_BASE, v1 as usize, v1);
+
+        let writer = {
+            let state = Arc::clone(&state);
+            let data0 = Arc::clone(&data0);
+            let data1 = Arc::clone(&data1);
+            shortcut_rewire::sync::thread::spawn(move || {
+                let v2 = state.bump_traditional();
+                match wk {
+                    WriterKind::Correct => {
+                        data0.store(v2, Ordering::Release);
+                        data1.store(100 + v2, Ordering::Release);
+                        state.publish(FAKE_BASE, v2 as usize, v2);
+                    }
+                    WriterKind::SeededRelaxedPublish => {
+                        data0.store(v2, Ordering::Release);
+                        data1.store(100 + v2, Ordering::Release);
+                        state.publish_seeded_relaxed(FAKE_BASE, v2 as usize, v2);
+                    }
+                    WriterKind::SeededPublishBeforeData => {
+                        state.publish(FAKE_BASE, v2 as usize, v2);
+                        data0.store(v2, Ordering::Release);
+                        data1.store(100 + v2, Ordering::Release);
+                    }
+                }
+            })
+        };
+
+        let reader = {
+            let state = Arc::clone(&state);
+            let data0 = Arc::clone(&data0);
+            let data1 = Arc::clone(&data1);
+            shortcut_rewire::sync::thread::spawn(move || {
+                if let Some(t) = state.begin_read() {
+                    let a = data0.load(Ordering::Relaxed);
+                    let b = data1.load(Ordering::Relaxed);
+                    let valid = match rk {
+                        ReaderKind::Correct => state.still_valid(t),
+                        ReaderKind::SeededUnfenced => state.still_valid_seeded_unfenced(t),
+                    };
+                    if valid {
+                        assert_eq!(
+                            a, t.slots as u64,
+                            "validated read saw a bucket from a different version"
+                        );
+                        assert_eq!(b, 100 + a, "validated read saw a torn bucket");
+                    }
+                }
+            })
+        };
+
+        writer.join().unwrap();
+        reader.join().unwrap();
+    }
+}
+
+fn builder() -> Builder {
+    Builder::new()
+        .ordering_sensitive(true)
+        .preemption_bound(Some(3))
+}
+
+#[test]
+fn seqlock_never_validates_a_torn_read() {
+    let report = builder()
+        .check(scenario(WriterKind::Correct, ReaderKind::Correct))
+        .unwrap_or_else(|cx| panic!("seqlock counterexample: {cx}"));
+    println!(
+        "seqlock: {} interleavings explored, invariant held",
+        report.executions
+    );
+    assert!(
+        report.executions > 500,
+        "suspiciously small exploration: {}",
+        report.executions
+    );
+}
+
+/// Teeth check: dropping the acquire fence from `still_valid` admits an
+/// execution where the reader consumes a post-rewrite word yet both
+/// validation loads read stale (pre-bump) versions.
+#[test]
+fn seeded_unfenced_validation_is_caught() {
+    let err = builder()
+        .check(scenario(WriterKind::Correct, ReaderKind::SeededUnfenced))
+        .expect_err("unfenced validation not caught — the model checker has lost its teeth");
+    assert!(
+        err.message.contains("torn bucket") || err.message.contains("different version"),
+        "unexpected counterexample: {err}"
+    );
+}
+
+/// Teeth check: a relaxed version stamp publishes a version whose bucket
+/// stores it does not cover; a reader can validate against it while
+/// holding pre-rewrite words.
+#[test]
+fn seeded_relaxed_publish_is_caught() {
+    let err = builder()
+        .check(scenario(
+            WriterKind::SeededRelaxedPublish,
+            ReaderKind::Correct,
+        ))
+        .expect_err("relaxed publish not caught — the model checker has lost its teeth");
+    assert!(
+        err.message.contains("torn bucket") || err.message.contains("different version"),
+        "unexpected counterexample: {err}"
+    );
+}
+
+/// Teeth check: stamping the version before the bucket rewrite is an
+/// algorithmic-order bug — a reader can validate a new-version ticket
+/// against the old bucket. Caught even under plain SC interleavings.
+#[test]
+fn seeded_publish_before_data_is_caught() {
+    let err = builder()
+        .check(scenario(
+            WriterKind::SeededPublishBeforeData,
+            ReaderKind::Correct,
+        ))
+        .expect_err("early publish not caught — the model checker has lost its teeth");
+    assert!(
+        err.message.contains("different version") || err.message.contains("torn bucket"),
+        "unexpected counterexample: {err}"
+    );
+}
+
+/// The same protocol under sequentially-consistent-per-location
+/// semantics: cheaper pass covering the algorithmic order independent of
+/// memory-ordering subtleties.
+#[test]
+fn seqlock_holds_under_sc_interleavings() {
+    let report = Builder::new()
+        .preemption_bound(Some(3))
+        .check(scenario(WriterKind::Correct, ReaderKind::Correct))
+        .unwrap_or_else(|cx| panic!("seqlock SC counterexample: {cx}"));
+    println!("seqlock (SC mode): {} interleavings", report.executions);
+}

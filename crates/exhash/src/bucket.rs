@@ -341,7 +341,11 @@ mod tests {
     fn slot(layout: BucketLayout) -> (Vec<u8>, BucketRef) {
         let mut mem = vec![0u8; layout.bytes() + 8];
         let off = mem.as_ptr().align_offset(8);
+        // SAFETY: `off < 8` keeps the pointer inside the buffer, whose 8
+        // spare bytes absorb the alignment shift.
         let ptr = unsafe { mem.as_mut_ptr().add(off) };
+        // SAFETY: `ptr` is 8-aligned with `layout.bytes()` writable bytes
+        // behind it, and `mem` (returned alongside) keeps them alive.
         let b = unsafe { BucketRef::from_ptr(ptr, layout) };
         b.init(0);
         (mem, b)

@@ -89,7 +89,7 @@ mod tests {
     #[test]
     fn doubling_replicates() {
         let mut d = Directory::new();
-        let a = 0x1000 as *mut u8;
+        let a = 0x8000 as *mut u8;
         d.set_all(a);
         d.double();
         assert_eq!(d.global_depth(), 1);

@@ -95,7 +95,7 @@ impl ShortcutEh {
     /// [`Index::get_many`]: large enough to amortize the per-chunk
     /// validation to nothing, small enough (microseconds of pin hold)
     /// that batched read storms cannot stall the reclaim scan.
-    const GET_MANY_PIN_CHUNK: usize = 4096;
+    const GET_MANY_PIN_CHUNK: usize = 4096; // audit:allow(page-literal): key-batch size per pin, not a page size
 
     /// Build with custom configuration and spawn the mapper thread.
     ///
@@ -530,8 +530,9 @@ impl ShortcutEh {
         // by construction of dir_slot; a racing rebuild retires the old
         // area but reclamation waits for `_pin` to drop, so the slot stays
         // readable (stale data is discarded by the ticket below).
-        let bucket =
-            unsafe { BucketRef::from_ptr(t.base.add(slot << self.slot_shift), self.bucket_layout) };
+        let bucket_ptr = unsafe { t.base.add(slot << self.slot_shift) };
+        // SAFETY: `bucket_ptr` is in-bounds and slot-aligned per above.
+        let bucket = unsafe { BucketRef::from_ptr(bucket_ptr, self.bucket_layout) };
         // The shortcut may be published at a coarser depth than the
         // traditional directory (VMA-budget admission). A bucket deeper
         // than the published depth shares its slot with a sibling and is

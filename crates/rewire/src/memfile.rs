@@ -143,6 +143,8 @@ impl Drop for MemFile {
 // is mediated by the kernel. Resizes are atomic at the kernel level and the
 // cached length uses release/acquire.
 unsafe impl Send for MemFile {}
+// SAFETY: same argument as Send — every &self method is a kernel-mediated
+// fd call plus an atomic length read; there is no unsynchronized state.
 unsafe impl Sync for MemFile {}
 
 #[cfg(test)]
@@ -177,6 +179,8 @@ mod tests {
     fn punch_hole_zeroes_range_and_keeps_size() {
         let f = MemFile::create("hole").unwrap();
         f.resize(4 * page_size()).unwrap();
+        // SAFETY: fresh MAP_SHARED mapping of this test's memfd; every offset
+        // stays inside the mapped length and munmap precedes the fd's drop.
         unsafe {
             let p = libc::mmap(
                 std::ptr::null_mut(),
@@ -228,6 +232,8 @@ mod tests {
         // Write through a mapping, grow, check the data is still there.
         let f = MemFile::create("grow").unwrap();
         f.resize(page_size()).unwrap();
+        // SAFETY: fresh MAP_SHARED mapping of this test's memfd; every offset
+        // stays inside the mapped length and munmap precedes the fd's drop.
         unsafe {
             let p = libc::mmap(
                 std::ptr::null_mut(),
@@ -242,6 +248,8 @@ mod tests {
             libc::munmap(p, page_size());
         }
         f.resize(8 * page_size()).unwrap();
+        // SAFETY: fresh MAP_SHARED mapping of this test's memfd; every offset
+        // stays inside the mapped length and munmap precedes the fd's drop.
         unsafe {
             let p = libc::mmap(
                 std::ptr::null_mut(),

@@ -959,6 +959,8 @@ mod tests {
     fn writes_through_view_persist() {
         let mut p = small_pool();
         let a = p.alloc_page().unwrap();
+        // SAFETY: page_ptr of a page this test allocated; offsets stay inside
+        // the slot and the pool view stays mapped for the pool's lifetime.
         unsafe {
             *(p.page_ptr(a) as *mut u64) = 42;
         }
@@ -968,6 +970,8 @@ mod tests {
             p.alloc_page().unwrap();
         }
         assert_eq!(p.view_base(), base_before);
+        // SAFETY: page_ptr of a page this test allocated; offsets stay inside
+        // the slot and the pool view stays mapped for the pool's lifetime.
         unsafe {
             assert_eq!(*(p.page_ptr(a) as *const u64), 42);
         }
@@ -979,6 +983,8 @@ mod tests {
         let a = p.alloc_page().unwrap();
         let ptr = p.page_ptr(a);
         for i in 0..page_size() {
+            // SAFETY: page_ptr of a page this test allocated; offsets stay inside
+            // the slot and the pool view stays mapped for the pool's lifetime.
             unsafe {
                 assert_eq!(*ptr.add(i), 0);
             }
@@ -1007,6 +1013,8 @@ mod tests {
     fn alloc_run_is_contiguous() {
         let mut p = small_pool();
         let start = p.alloc_run(5).unwrap();
+        // SAFETY: page_ptr of a page this test allocated; offsets stay inside
+        // the slot and the pool view stays mapped for the pool's lifetime.
         unsafe {
             for i in 0..5 {
                 *(p.page_ptr(PageIdx(start.0 + i)) as *mut u64) = i as u64;
@@ -1027,8 +1035,10 @@ mod tests {
         let a = p.alloc_page().unwrap();
         let ptr = p.page_ptr(a);
         assert_eq!(p.page_of_ptr(ptr).unwrap(), a);
+        // SAFETY: page_ptr of a page this test allocated; offsets stay inside
+        // the slot and the pool view stays mapped for the pool's lifetime.
         assert_eq!(p.page_of_ptr(unsafe { ptr.add(100) }).unwrap(), a);
-        let outside = 0x1000 as *const u8;
+        let outside = 0x10 as *const u8;
         assert!(p.page_of_ptr(outside).is_err());
     }
 
@@ -1058,6 +1068,8 @@ mod tests {
         let mut p = small_pool();
         let keep = p.alloc_page().unwrap();
         let toss: Vec<_> = (0..6).map(|_| p.alloc_page().unwrap()).collect();
+        // SAFETY: page_ptr of a page this test allocated; offsets stay inside
+        // the slot and the pool view stays mapped for the pool's lifetime.
         unsafe {
             *(p.page_ptr(keep) as *mut u64) = 42;
         }
@@ -1067,12 +1079,16 @@ mod tests {
         // Works (count > 0) or degrades (0) depending on host support;
         // either way the allocator and live data stay intact.
         let _ = p.reclaim_free_pages();
+        // SAFETY: page_ptr of a page this test allocated; offsets stay inside
+        // the slot and the pool view stays mapped for the pool's lifetime.
         unsafe {
             assert_eq!(*(p.page_ptr(keep) as *const u64), 42);
         }
         let fresh = p.alloc_page().unwrap();
         let ptr = p.page_ptr(fresh);
         for i in 0..page_size() {
+            // SAFETY: page_ptr of a page this test allocated; offsets stay inside
+            // the slot and the pool view stays mapped for the pool's lifetime.
             unsafe {
                 assert_eq!(*ptr.add(i), 0, "reclaimed page not zero at {i}");
             }
@@ -1117,6 +1133,8 @@ mod tests {
         let mut p = small_pool();
         let a = p.alloc_run(5).unwrap();
         let pages_after_first = p.file_pages();
+        // SAFETY: page_ptr of a page this test allocated; offsets stay inside
+        // the slot and the pool view stays mapped for the pool's lifetime.
         unsafe {
             *(p.page_ptr(a) as *mut u64) = 0xDEAD;
         }
@@ -1127,6 +1145,8 @@ mod tests {
         assert!(b.0 + 5 <= pages_after_first, "run {b} did not reuse");
         assert_eq!(p.file_pages(), pages_after_first);
         for i in 0..5 * page_size() {
+            // SAFETY: page_ptr of a page this test allocated; offsets stay inside
+            // the slot and the pool view stays mapped for the pool's lifetime.
             unsafe {
                 assert_eq!(*p.page_ptr(b).add(i), 0, "reused run dirty at {i}");
             }
@@ -1141,18 +1161,24 @@ mod tests {
         let mut p = small_pool();
         let src = p.alloc_page().unwrap();
         let dst = p.alloc_page().unwrap();
+        // SAFETY: page_ptr of a page this test allocated; offsets stay inside
+        // the slot and the pool view stays mapped for the pool's lifetime.
         unsafe {
             for i in 0..page_size() / 8 {
                 *(p.page_ptr(src) as *mut u64).add(i) = 7000 + i as u64;
             }
         }
         p.relocate_page(src, dst).unwrap();
+        // SAFETY: page_ptr of a page this test allocated; offsets stay inside
+        // the slot and the pool view stays mapped for the pool's lifetime.
         unsafe {
             for i in 0..page_size() / 8 {
                 assert_eq!(*(p.page_ptr(dst) as *const u64).add(i), 7000 + i as u64);
             }
         }
         // Source keeps its contents (readable until retired + reclaimed).
+        // SAFETY: page_ptr of a page this test allocated; offsets stay inside
+        // the slot and the pool view stays mapped for the pool's lifetime.
         unsafe {
             assert_eq!(*(p.page_ptr(src) as *const u64), 7000);
         }
@@ -1170,6 +1196,8 @@ mod tests {
         let retire = Arc::clone(p.retire_list());
         let a = p.alloc_page().unwrap();
         let b = p.alloc_page().unwrap();
+        // SAFETY: page_ptr of a page this test allocated; offsets stay inside
+        // the slot and the pool view stays mapped for the pool's lifetime.
         unsafe {
             *(p.page_ptr(a) as *mut u64) = 41;
         }
@@ -1181,6 +1209,8 @@ mod tests {
         p.retire_page(b).unwrap();
         assert_eq!(p.retired_page_count(), 2);
         assert_eq!(p.reclaim_retired_pages(), 0, "must not free under a pin");
+        // SAFETY: page_ptr of a page this test allocated; offsets stay inside
+        // the slot and the pool view stays mapped for the pool's lifetime.
         unsafe {
             assert_eq!(*(p.page_ptr(a) as *const u64), 41);
         }
@@ -1227,6 +1257,8 @@ mod tests {
         assert_eq!(p.handle().file_len() % layout.slot_bytes(), 0);
         // Writes at the far end of a slot stay inside it.
         let last = layout.slot_bytes() - 8;
+        // SAFETY: page_ptr of a page this test allocated; offsets stay inside
+        // the slot and the pool view stays mapped for the pool's lifetime.
         unsafe {
             *(p.page_ptr(a).add(last) as *mut u64) = 0xaaaa;
             *(p.page_ptr(b) as *mut u64) = 0xbbbb;
@@ -1235,12 +1267,16 @@ mod tests {
         }
         // page_of_ptr resolves interior pointers slot-granularly.
         assert_eq!(
+            // SAFETY: page_ptr of a page this test allocated; offsets stay inside
+            // the slot and the pool view stays mapped for the pool's lifetime.
             p.page_of_ptr(unsafe { p.page_ptr(a).add(last) }).unwrap(),
             a
         );
         assert_eq!(p.page_of_ptr(p.page_ptr(b)).unwrap(), b);
         // relocate_page moves the whole slot.
         p.relocate_page(a, b).unwrap();
+        // SAFETY: page_ptr of a page this test allocated; offsets stay inside
+        // the slot and the pool view stays mapped for the pool's lifetime.
         unsafe {
             assert_eq!(*(p.page_ptr(b).add(last) as *const u64), 0xaaaa);
         }
@@ -1286,6 +1322,8 @@ mod tests {
         assert_eq!(p.handle().huge_active(), p.huge_active());
         let a = p.alloc_page().unwrap();
         let mid = layout.slot_bytes() / 2;
+        // SAFETY: page_ptr of a page this test allocated; offsets stay inside
+        // the slot and the pool view stays mapped for the pool's lifetime.
         unsafe {
             *(p.page_ptr(a).add(mid) as *mut u64) = 0x2468;
             assert_eq!(*(p.page_ptr(a).add(mid) as *const u64), 0x2468);

@@ -14,7 +14,7 @@
 //!   stamps them with a monotonically increasing **epoch**. Retirement must
 //!   happen only after the area is unpublished (no *new* reader can reach
 //!   it), which the seqlock's version check guarantees.
-//! * [`RetireList::try_reclaim`] snapshots the epoch, then observes every
+//! * [`RetireCore::try_reclaim`] snapshots the epoch, then observes every
 //!   reader stripe at zero (each at its own moment). Any reader that
 //!   pinned before the scan has, by then, dropped its pin; readers that
 //!   pin during the scan can only see post-retirement state. Every area
@@ -27,27 +27,49 @@
 //! maintenance poll. Reclamation can only be *delayed* by readers, never
 //! unsound: an area is dropped strictly after every reader that could hold
 //! its base has unpinned.
+//!
+//! The protocol's interleavings — and the necessity of each of its memory
+//! orderings — are proved exhaustively by the loomish model tests in
+//! `tests/loom_retire.rs` (see `CONCURRENCY.md`). The retirement machinery
+//! is generic ([`RetireCore<T>`]) so those tests can retire an observable
+//! stand-in resource instead of a real mapping.
 
+use crate::sync::{fence, AtomicU64, AtomicUsize, Mutex, Ordering};
 use crate::varea::VirtArea;
-use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Number of reader stripes. Threads hash onto stripes; collisions only
 /// cost sharing of a cache line, never correctness (stripes are counters).
+///
+/// Shrunk under the loomish feature so exhaustive model exploration stays
+/// tractable (the reclaim scan visits every stripe).
+#[cfg(not(feature = "loomish"))]
 const STRIPES: usize = 32;
+#[cfg(feature = "loomish")]
+const STRIPES: usize = 2;
 
 /// Bounded spins per stripe while waiting for in-flight readers (which
 /// hold pins for nanoseconds) to drain during a reclaim scan.
+#[cfg(not(feature = "loomish"))]
 const SCAN_SPINS: usize = 1_000;
+#[cfg(feature = "loomish")]
+const SCAN_SPINS: usize = 2;
 
 #[repr(align(128))]
 #[derive(Default)]
 struct Stripe(AtomicUsize);
 
 fn stripe_index() -> usize {
-    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    // Under an active model run, stripe assignment must be a pure function
+    // of the (deterministic) model thread id — the process-global counter
+    // below would hand different stripes to the same logical thread across
+    // replayed executions and break DFS replay.
+    #[cfg(feature = "loomish")]
+    if let Some(tid) = loomish::thread::model_thread_id() {
+        return tid % STRIPES;
+    }
+    static NEXT: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
     thread_local! {
-        static IDX: usize = NEXT.fetch_add(1, Ordering::Relaxed);
+        static IDX: usize = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
     IDX.with(|i| *i % STRIPES)
 }
@@ -67,42 +89,61 @@ impl Drop for ReaderPin<'_> {
     }
 }
 
-struct Retired {
+/// Resource managed by a [`RetireCore`]: reclaimed by dropping, with a
+/// VMA-footprint estimate for the budget accounting.
+pub trait Reclaimable {
+    fn vma_estimate(&self) -> usize;
+}
+
+impl Reclaimable for VirtArea {
+    fn vma_estimate(&self) -> usize {
+        VirtArea::vma_estimate(self)
+    }
+}
+
+struct Retired<T> {
     epoch: u64,
-    area: VirtArea,
+    area: T,
 }
 
 /// The pool's retirement machinery: reader stripes, the retirement epoch,
-/// and the list of retired (still mapped) areas. See module docs.
-pub struct RetireList {
+/// and the list of retired (still mapped) resources. See module docs.
+///
+/// Generic over the retired resource so the loomish model tests can retire
+/// a drop-observable stand-in; production code uses the [`RetireList`]
+/// alias over [`VirtArea`].
+pub struct RetireCore<T> {
     stripes: [Stripe; STRIPES],
     epoch: AtomicU64,
-    retired: Mutex<Vec<Retired>>,
+    retired: Mutex<Vec<Retired<T>>>,
     areas_retired: AtomicU64,
     areas_reclaimed: AtomicU64,
     vmas_reclaimed: AtomicU64,
 }
 
-impl std::fmt::Debug for RetireList {
+/// Retirement list for real virtual areas (the production instantiation).
+pub type RetireList = RetireCore<VirtArea>;
+
+impl<T> std::fmt::Debug for RetireCore<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RetireList")
             .field("epoch", &self.epoch.load(Ordering::Relaxed))
-            .field("retired", &self.retired_count())
+            .field("retired", &self.retired.lock().unwrap().len())
             .field("reclaimed", &self.areas_reclaimed.load(Ordering::Relaxed))
             .finish()
     }
 }
 
-impl Default for RetireList {
+impl<T: Reclaimable> Default for RetireCore<T> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl RetireList {
+impl<T: Reclaimable> RetireCore<T> {
     /// Fresh list: epoch 0, nothing retired.
     pub fn new() -> Self {
-        RetireList {
+        RetireCore {
             stripes: Default::default(),
             epoch: AtomicU64::new(0),
             retired: Mutex::new(Vec::new()),
@@ -117,15 +158,16 @@ impl RetireList {
     /// dropping the pin marks the read drained.
     ///
     /// The SeqCst increment forms the reader half of a Dekker pattern with
-    /// the fence in [`RetireList::try_reclaim`]: either the scan observes
-    /// this pin (and defers reclamation), or this reader's subsequent
-    /// loads observe every store made before the scan — including the
-    /// publication that unlinked any area the scan went on to reclaim, so
-    /// the reader cannot obtain its base. We rely on the RCsc lowering of
-    /// a SeqCst RMW (x86: `lock`-prefixed full barrier; ARMv8: LDAR/STLR,
-    /// which later acquire loads cannot bypass) to order the increment
-    /// before the ticket's base load without a separate `mfence` — the
-    /// fence would roughly double the cost of the hot read path.
+    /// the fence in [`RetireCore::quiescent_epoch`]: either the scan
+    /// observes this pin (and defers reclamation), or this reader's
+    /// subsequent loads observe every store made before the scan —
+    /// including the publication that unlinked any area the scan went on
+    /// to reclaim, so the reader cannot obtain its base. We rely on the
+    /// RCsc lowering of a SeqCst RMW (x86: `lock`-prefixed full barrier;
+    /// ARMv8: LDAR/STLR, which later acquire loads cannot bypass) to order
+    /// the increment before the ticket's base load without a separate
+    /// `mfence` — the fence would roughly double the cost of the hot read
+    /// path.
     #[inline]
     pub fn pin(&self) -> ReaderPin<'_> {
         let stripe = &self.stripes[stripe_index()].0;
@@ -136,7 +178,7 @@ impl RetireList {
     /// Hand a superseded area to the list. The caller must have unpublished
     /// it first (no new reader can obtain its base). Returns the retirement
     /// epoch stamped onto the area.
-    pub fn retire(&self, area: VirtArea) -> u64 {
+    pub fn retire(&self, area: T) -> u64 {
         let epoch = self.advance_epoch();
         self.areas_retired.fetch_add(1, Ordering::Relaxed);
         self.retired.lock().unwrap().push(Retired { epoch, area });
@@ -165,6 +207,11 @@ impl RetireList {
         // in `pin` (see there): order the epoch snapshot and everything
         // before it (retirement, unpublication) ahead of the stripe scan.
         fence(Ordering::SeqCst);
+        self.scan_stripes()?;
+        Some(safe_epoch)
+    }
+
+    fn scan_stripes(&self) -> Option<()> {
         for stripe in &self.stripes {
             let mut spins = 0;
             // Acquire: observing zero synchronizes with the Release
@@ -178,20 +225,24 @@ impl RetireList {
                 std::hint::spin_loop();
             }
         }
-        Some(safe_epoch)
+        Some(())
     }
 
     /// Attempt to reclaim every area whose retirement epoch is covered by a
     /// full reader-quiescence scan. Returns the number of areas unmapped
     /// (0 when readers kept a stripe busy — retry on the next tick).
     pub fn try_reclaim(&self) -> usize {
+        self.reclaim_up_to(|list| list.quiescent_epoch())
+    }
+
+    fn reclaim_up_to(&self, quiesce: impl FnOnce(&Self) -> Option<u64>) -> usize {
         if self.retired_count() == 0 {
             return 0;
         }
-        let Some(safe_epoch) = self.quiescent_epoch() else {
+        let Some(safe_epoch) = quiesce(self) else {
             return 0;
         };
-        let drained: Vec<Retired> = {
+        let drained: Vec<Retired<T>> = {
             let mut list = self.retired.lock().unwrap();
             let mut keep = Vec::new();
             let mut gone = Vec::new();
@@ -239,6 +290,47 @@ impl RetireList {
             self.areas_reclaimed.load(Ordering::Relaxed),
             self.vmas_reclaimed.load(Ordering::Relaxed),
         )
+    }
+}
+
+/// Deliberately-broken protocol variants, compiled only for the model
+/// tests: each drops exactly one link of the happens-before chain that the
+/// loomish suite must prove load-bearing. Never call these outside
+/// `tests/loom_retire.rs` — they exist so the checker's teeth are
+/// themselves under test (a model that passes the real protocol but fails
+/// to flag these would be vacuous).
+#[cfg(feature = "loomish")]
+impl<T: Reclaimable> RetireCore<T> {
+    /// Seeded bug: the pin increment relaxed from SeqCst. The reclaim
+    /// scan's fence can no longer pair with it — the scan may miss a live
+    /// pin *and* the reader may miss the unpublication.
+    pub fn pin_seeded_relaxed(&self) -> ReaderPin<'_> {
+        let stripe = &self.stripes[stripe_index()].0;
+        stripe.fetch_add(1, Ordering::Relaxed);
+        ReaderPin { stripe }
+    }
+
+    /// Seeded bug: `quiescent_epoch` without the SeqCst fence between the
+    /// epoch snapshot and the stripe scan.
+    pub fn try_reclaim_seeded_unfenced(&self) -> usize {
+        self.reclaim_up_to(|list| {
+            let safe_epoch = list.epoch.load(Ordering::SeqCst);
+            // fence(Ordering::SeqCst) dropped — the scan below is free to
+            // read stale stripe values even though a pin is live.
+            list.scan_stripes()?;
+            Some(safe_epoch)
+        })
+    }
+
+    /// Seeded bug: epoch snapshot reordered *after* the stripe scan. A
+    /// retirement that lands between the scan and the snapshot gets
+    /// covered by the returned epoch without its readers being verified.
+    pub fn try_reclaim_seeded_scan_first(&self) -> usize {
+        self.reclaim_up_to(|list| {
+            list.scan_stripes()?;
+            fence(Ordering::SeqCst);
+            Some(list.epoch.load(Ordering::SeqCst))
+        })
     }
 }
 

@@ -503,14 +503,19 @@ pub unsafe fn rewire_page_raw(
     if populate {
         flags |= libc::MAP_POPULATE;
     }
-    let rc = libc::mmap(
-        addr as *mut libc::c_void,
-        page_size(),
-        libc::PROT_READ | libc::PROT_WRITE,
-        flags,
-        fd,
-        byte_offset as libc::off_t,
-    );
+    // SAFETY: caller guarantees (see fn docs) that `addr` is a page-aligned
+    // address inside a mapping it owns and `byte_offset` is page aligned
+    // and within the file, so MAP_FIXED replaces only the caller's page.
+    let rc = unsafe {
+        libc::mmap(
+            addr as *mut libc::c_void,
+            page_size(),
+            libc::PROT_READ | libc::PROT_WRITE,
+            flags,
+            fd,
+            byte_offset as libc::off_t,
+        )
+    };
     if rc == libc::MAP_FAILED {
         return Err(Error::os("mmap"));
     }
@@ -561,6 +566,8 @@ mod tests {
         let a = VirtArea::reserve(4).unwrap();
         for i in 0..4 {
             assert_eq!(a.mapping(i), Mapping::Anon);
+            // SAFETY: page_ptr stays inside the reserved area (slots wired by the
+            // rewire calls in this test); the area and pool view outlive the access.
             unsafe {
                 assert_eq!(*a.page_ptr(i), 0);
             }
@@ -572,12 +579,16 @@ mod tests {
         let mut p = pool();
         let h = p.handle();
         let leaf = p.alloc_page().unwrap();
+        // SAFETY: page_ptr stays inside the reserved area (slots wired by the
+        // rewire calls in this test); the area and pool view outlive the access.
         unsafe {
             *(p.page_ptr(leaf) as *mut u64) = 0xfeed;
         }
         let mut a = VirtArea::reserve(4).unwrap();
         a.rewire(2, &h, leaf).unwrap();
         assert_eq!(a.mapping(2), Mapping::Pool(leaf));
+        // SAFETY: page_ptr stays inside the reserved area (slots wired by the
+        // rewire calls in this test); the area and pool view outlive the access.
         unsafe {
             // Read through the shortcut sees the leaf's data…
             assert_eq!(*(a.page_ptr(2) as *const u64), 0xfeed);
@@ -597,6 +608,8 @@ mod tests {
         let mut a = VirtArea::reserve(2).unwrap();
         a.rewire(0, &h, leaf).unwrap();
         a.rewire(1, &h, leaf).unwrap();
+        // SAFETY: page_ptr stays inside the reserved area (slots wired by the
+        // rewire calls in this test); the area and pool view outlive the access.
         unsafe {
             *(a.page_ptr(0) as *mut u64) = 7;
             assert_eq!(*(a.page_ptr(1) as *const u64), 7);
@@ -609,20 +622,28 @@ mod tests {
         let h = p.handle();
         let l1 = p.alloc_page().unwrap();
         let l2 = p.alloc_page().unwrap();
+        // SAFETY: page_ptr stays inside the reserved area (slots wired by the
+        // rewire calls in this test); the area and pool view outlive the access.
         unsafe {
             *(p.page_ptr(l1) as *mut u64) = 1;
             *(p.page_ptr(l2) as *mut u64) = 2;
         }
         let mut a = VirtArea::reserve(1).unwrap();
         a.rewire(0, &h, l1).unwrap();
+        // SAFETY: page_ptr stays inside the reserved area (slots wired by the
+        // rewire calls in this test); the area and pool view outlive the access.
         unsafe {
             assert_eq!(*(a.page_ptr(0) as *const u64), 1);
         }
         a.rewire(0, &h, l2).unwrap();
+        // SAFETY: page_ptr stays inside the reserved area (slots wired by the
+        // rewire calls in this test); the area and pool view outlive the access.
         unsafe {
             assert_eq!(*(a.page_ptr(0) as *const u64), 2);
         }
         // The old leaf is untouched by the remap.
+        // SAFETY: page_ptr stays inside the reserved area (slots wired by the
+        // rewire calls in this test); the area and pool view outlive the access.
         unsafe {
             assert_eq!(*(p.page_ptr(l1) as *const u64), 1);
         }
@@ -633,6 +654,8 @@ mod tests {
         let mut p = pool();
         let h = p.handle();
         let leaf = p.alloc_page().unwrap();
+        // SAFETY: page_ptr stays inside the reserved area (slots wired by the
+        // rewire calls in this test); the area and pool view outlive the access.
         unsafe {
             *(p.page_ptr(leaf) as *mut u64) = 99;
         }
@@ -640,6 +663,8 @@ mod tests {
         a.rewire(0, &h, leaf).unwrap();
         a.reset(0).unwrap();
         assert_eq!(a.mapping(0), Mapping::Anon);
+        // SAFETY: page_ptr stays inside the reserved area (slots wired by the
+        // rewire calls in this test); the area and pool view outlive the access.
         unsafe {
             assert_eq!(*(a.page_ptr(0) as *const u64), 0);
             // Leaf data survives.
@@ -652,6 +677,8 @@ mod tests {
         let mut p = pool();
         let h = p.handle();
         let start = p.alloc_run(4).unwrap();
+        // SAFETY: page_ptr stays inside the reserved area (slots wired by the
+        // rewire calls in this test); the area and pool view outlive the access.
         unsafe {
             for i in 0..4 {
                 *(p.page_ptr(PageIdx(start.0 + i)) as *mut u64) = 100 + i as u64;
@@ -661,6 +688,8 @@ mod tests {
         let calls_before = a.mmap_calls();
         a.rewire_run(0, &h, start, 4).unwrap();
         assert_eq!(a.mmap_calls() - calls_before, 1);
+        // SAFETY: page_ptr stays inside the reserved area (slots wired by the
+        // rewire calls in this test); the area and pool view outlive the access.
         unsafe {
             for i in 0..4 {
                 assert_eq!(*(a.page_ptr(i) as *const u64), 100 + i as u64);
@@ -805,6 +834,8 @@ mod tests {
         let h = p.handle();
         let run = p.alloc_run(2).unwrap();
         let tail = layout.slot_bytes() - 8;
+        // SAFETY: page_ptr stays inside the reserved area (slots wired by the
+        // rewire calls in this test); the area and pool view outlive the access.
         unsafe {
             *(p.page_ptr(run) as *mut u64) = 1;
             *(p.page_ptr(run).add(tail) as *mut u64) = 2;
@@ -814,6 +845,8 @@ mod tests {
         assert_eq!(a.slot_bytes(), layout.slot_bytes());
         assert_eq!(a.base() as usize % layout.slot_bytes(), 0, "aligned base");
         a.rewire_run(1, &h, run, 2).unwrap();
+        // SAFETY: page_ptr stays inside the reserved area (slots wired by the
+        // rewire calls in this test); the area and pool view outlive the access.
         unsafe {
             // Whole slots moved: both ends of slot 1, and slot 2's head.
             assert_eq!(*(a.page_ptr(1) as *const u64), 1);

@@ -1,0 +1,225 @@
+//! Exhaustive model check of the pin/reclaim protocol (`RetireCore`).
+//!
+//! Run with `cargo test -p shortcut-rewire --features loomish`.
+//!
+//! The scenario mirrors production roles: a *writer* unpublishes the old
+//! directory and retires its area, a *maintenance reclaimer* runs the
+//! epoch-snapshot + stripe-scan in a different thread (as the pool's
+//! maintenance tick does), and a *reader* pins, checks the publication
+//! word and — if it saw the area published — dereferences it across a
+//! scheduling point. The invariant: the stand-in area must never be
+//! "unmapped" (dropped) while a reader that pinned before the scan still
+//! holds a published base.
+//!
+//! Two scenario details are load-bearing for the fence to matter at all
+//! (without them the seeded variants are *correct* and the teeth tests
+//! would be vacuous — the checker itself confirmed this):
+//!
+//! 1. The reclaimer is a third thread. A writer that reclaims right after
+//!    retiring is ordered by its own SeqCst epoch RMW; only the
+//!    cross-thread reclaimer — which performs no SeqCst store of its own —
+//!    needs the fence to pair with `pin`'s SeqCst increment.
+//! 2. An *older* area is retired before the race starts. `try_reclaim`'s
+//!    empty-list early-return takes the retired-list mutex, and if the
+//!    racing retirement is the one that lets the guard pass, that mutex
+//!    acquisition alone hands the reclaimer the writer's (and, via the
+//!    SeqCst epoch RMW, the reader's) whole view. With a pre-existing
+//!    retirement the guard passes early, and the racing area's epoch can
+//!    land in the snapshot with no synchronization besides the fence.
+//!
+//! The seeded variants drop exactly one link each and must be caught:
+//! see `RetireCore`'s `*_seeded_*` methods.
+
+#![cfg(feature = "loomish")]
+
+use loomish::Builder;
+use shortcut_rewire::sync::{thread, AtomicU64, Ordering};
+use shortcut_rewire::{Reclaimable, RetireCore};
+use std::sync::atomic::{AtomicBool as StdAtomicBool, Ordering as StdOrd};
+use std::sync::Arc;
+
+/// Drop-observable stand-in for a mapped `VirtArea`: the shared `mapped`
+/// flag is the ground truth of the model's "page table" — flipped by Drop
+/// ("munmap") and read directly (not through the instrumented memory
+/// model: a real dereference faults on the real mapping state, not on a
+/// stale view of it).
+struct TestArea {
+    mapped: Arc<StdAtomicBool>,
+}
+
+impl Reclaimable for TestArea {
+    fn vma_estimate(&self) -> usize {
+        1
+    }
+}
+
+impl Drop for TestArea {
+    fn drop(&mut self) {
+        self.mapped.store(false, StdOrd::SeqCst);
+    }
+}
+
+#[derive(Clone, Copy)]
+enum PinKind {
+    Correct,
+    SeededRelaxed,
+}
+
+#[derive(Clone, Copy)]
+enum ReclaimKind {
+    Correct,
+    SeededUnfenced,
+    SeededScanFirst,
+}
+
+fn scenario(pin: PinKind, reclaim: ReclaimKind) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let core = Arc::new(RetireCore::<TestArea>::new());
+        let mapped = Arc::new(StdAtomicBool::new(true));
+        // Publication word standing in for the seqlock'd directory state:
+        // 1 = the old area is published (a reader that loads 1 considers
+        // itself entitled to dereference the old base).
+        let published = Arc::new(AtomicU64::new(1));
+
+        // A long-unreachable area retired before the race begins (epoch 1):
+        // it lets the reclaimer pass `try_reclaim`'s empty-list guard
+        // without synchronizing with the racing retirement (see module
+        // docs, point 2).
+        let old_mapped = Arc::new(StdAtomicBool::new(true));
+        core.retire(TestArea {
+            mapped: Arc::clone(&old_mapped),
+        });
+
+        let reader = {
+            let core = Arc::clone(&core);
+            let mapped = Arc::clone(&mapped);
+            let published = Arc::clone(&published);
+            thread::spawn(move || {
+                let pin_guard = match pin {
+                    PinKind::Correct => core.pin(),
+                    PinKind::SeededRelaxed => core.pin_seeded_relaxed(),
+                };
+                if published.load(Ordering::Acquire) == 1 {
+                    // Dereference window: hold the published base across a
+                    // scheduling point, then "load" through it.
+                    thread::yield_now();
+                    assert!(
+                        mapped.load(StdOrd::SeqCst),
+                        "area unmapped under a live pre-scan pin"
+                    );
+                }
+                drop(pin_guard);
+            })
+        };
+
+        let writer = {
+            let core = Arc::clone(&core);
+            let mapped = Arc::clone(&mapped);
+            let published = Arc::clone(&published);
+            thread::spawn(move || {
+                // Unpublish, then retire — the order the seqlock enforces.
+                published.store(0, Ordering::Release);
+                core.retire(TestArea {
+                    mapped: Arc::clone(&mapped),
+                });
+            })
+        };
+
+        let reclaimer = {
+            let core = Arc::clone(&core);
+            thread::spawn(move || match reclaim {
+                ReclaimKind::Correct => core.try_reclaim(),
+                ReclaimKind::SeededUnfenced => core.try_reclaim_seeded_unfenced(),
+                ReclaimKind::SeededScanFirst => core.try_reclaim_seeded_scan_first(),
+            })
+        };
+
+        reader.join().unwrap();
+        writer.join().unwrap();
+        reclaimer.join().unwrap();
+
+        // Quiesced world: a final scan reclaims whatever the racing tick
+        // legitimately deferred, and nothing stays behind.
+        core.try_reclaim();
+        assert_eq!(core.retired_count(), 0, "area leaked past a clean scan");
+        assert!(!mapped.load(StdOrd::SeqCst));
+        assert!(!old_mapped.load(StdOrd::SeqCst));
+    }
+}
+
+fn builder() -> Builder {
+    Builder::new()
+        .ordering_sensitive(true)
+        .preemption_bound(Some(3))
+}
+
+#[test]
+fn pin_reclaim_protocol_holds_exhaustively() {
+    let report = builder()
+        .check(scenario(PinKind::Correct, ReclaimKind::Correct))
+        .unwrap_or_else(|cx| panic!("pin/reclaim counterexample: {cx}"));
+    println!(
+        "pin/reclaim: {} interleavings explored, invariant held",
+        report.executions
+    );
+    assert!(
+        report.executions > 1_000,
+        "suspiciously small exploration: {}",
+        report.executions
+    );
+}
+
+/// Teeth check: relaxing the pin increment (SeqCst → Relaxed) breaks the
+/// Dekker pairing — the scan can miss a live pin while the reader misses
+/// the unpublication — and the checker must produce a counterexample.
+#[test]
+fn seeded_relaxed_pin_is_caught() {
+    let err = builder()
+        .check(scenario(PinKind::SeededRelaxed, ReclaimKind::Correct))
+        .expect_err("relaxed pin not caught — the model checker has lost its teeth");
+    assert!(
+        err.message.contains("unmapped under a live pre-scan pin"),
+        "unexpected counterexample: {err}"
+    );
+}
+
+/// Teeth check: dropping the SeqCst fence between the epoch snapshot and
+/// the stripe scan lets the cross-thread reclaimer read stale zero
+/// stripes. Must be caught.
+#[test]
+fn seeded_missing_fence_is_caught() {
+    let err = builder()
+        .check(scenario(PinKind::Correct, ReclaimKind::SeededUnfenced))
+        .expect_err("missing fence not caught — the model checker has lost its teeth");
+    assert!(
+        err.message.contains("unmapped under a live pre-scan pin"),
+        "unexpected counterexample: {err}"
+    );
+}
+
+/// Teeth check: running the stripe scan *before* the epoch snapshot lets a
+/// retirement that lands in between be covered by the returned epoch with
+/// no reader verification. Must be caught.
+#[test]
+fn seeded_scan_before_snapshot_is_caught() {
+    let err = builder()
+        .check(scenario(PinKind::Correct, ReclaimKind::SeededScanFirst))
+        .expect_err("scan-first reorder not caught — the model checker has lost its teeth");
+    assert!(
+        err.message.contains("unmapped under a live pre-scan pin"),
+        "unexpected counterexample: {err}"
+    );
+}
+
+/// The same protocol under plain sequentially-consistent-per-location
+/// semantics (every interleaving, newest-value loads): a cheaper pass that
+/// checks the *algorithmic* order (unpublish before retire, snapshot
+/// before scan) independently of memory-ordering subtleties.
+#[test]
+fn pin_reclaim_holds_under_sc_interleavings() {
+    let report = Builder::new()
+        .preemption_bound(Some(3))
+        .check(scenario(PinKind::Correct, ReclaimKind::Correct))
+        .unwrap_or_else(|cx| panic!("pin/reclaim SC counterexample: {cx}"));
+    println!("pin/reclaim (SC mode): {} interleavings", report.executions);
+}

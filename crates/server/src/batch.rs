@@ -30,9 +30,9 @@
 //!    order — encodes and sends replies in order.
 
 use crate::protocol::Reply;
+use shortcut_rewire::sync::{AtomicBool, AtomicU64, Condvar, Mutex, Ordering};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 use taking_the_shortcut::ShortcutIndex;
 
@@ -68,6 +68,37 @@ impl ReplySlot {
                 return reply;
             }
             state = self.cv.wait(state).unwrap();
+        }
+    }
+}
+
+/// Deliberately-broken reply-slot variants, compiled only for the model
+/// tests: each reintroduces a classic condvar bug so
+/// `tests/loom_replyslot.rs` can prove the checker flags it. Never call
+/// these outside that suite.
+#[cfg(feature = "loomish")]
+impl ReplySlot {
+    /// Seeded bug: the double-fill tolerance removed. A shutdown path
+    /// racing an executor trips the assertion — exactly the crash the
+    /// `is_none` guard in [`ReplySlot::fill`] exists to prevent.
+    pub fn fill_seeded_assert_empty(&self, reply: Reply) {
+        let mut state = self.state.lock().unwrap();
+        assert!(state.is_none(), "double fill");
+        *state = Some(reply);
+        self.cv.notify_all();
+    }
+
+    /// Seeded bug: the emptiness check released before waiting. A fill
+    /// that lands in the gap notifies nobody, and the subsequent wait has
+    /// no filler left to wake it — the lost wakeup shows up as a model
+    /// deadlock.
+    pub fn wait_seeded_check_then_wait(&self) -> Reply {
+        loop {
+            if let Some(reply) = self.state.lock().unwrap().take() {
+                return reply;
+            }
+            let state = self.state.lock().unwrap();
+            drop(self.cv.wait(state).unwrap());
         }
     }
 }

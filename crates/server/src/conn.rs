@@ -129,7 +129,7 @@ fn reader_loop(
 /// momentarily empties (one syscall per burst, not per reply).
 fn writer_loop(stream: TcpStream, rx: mpsc::Receiver<Arc<ReplySlot>>) {
     let mut out = std::io::BufWriter::with_capacity(32 * 1024, stream);
-    let mut encode_buf = Vec::with_capacity(4096);
+    let mut encode_buf = Vec::with_capacity(4096); // audit:allow(page-literal): initial reply-buffer capacity, not a page size
     let mut next = rx.try_recv();
     loop {
         let slot = match next {

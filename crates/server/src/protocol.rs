@@ -25,7 +25,7 @@ pub const MAX_BULK_LEN: usize = 64 * 1024;
 
 /// Hard cap on one command's argument count (bounds `MGET`/`DEL` fan-out
 /// and the memory a single frame can pin).
-pub const MAX_ARGS: usize = 4096;
+pub const MAX_ARGS: usize = 4096; // audit:allow(page-literal): RESP argument-count cap, not a page size
 
 /// Hard cap on one inline command line.
 pub const MAX_INLINE_LEN: usize = 16 * 1024;
@@ -68,7 +68,8 @@ impl Decoder {
     /// Append freshly read bytes.
     pub fn feed(&mut self, bytes: &[u8]) {
         // Compact lazily: only when the dead prefix dominates the buffer.
-        if self.pos > 4096 && self.pos * 2 > self.buf.len() {
+        const COMPACT_THRESHOLD: usize = 4096; // audit:allow(page-literal): consumed-bytes threshold, not a page size
+        if self.pos > COMPACT_THRESHOLD && self.pos * 2 > self.buf.len() {
             self.buf.drain(..self.pos);
             self.pos = 0;
         }

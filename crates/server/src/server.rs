@@ -21,9 +21,9 @@
 
 use crate::batch::{execute_batch, Lane, ServerStats};
 use crate::config::{Engine, ServerConfig};
+use shortcut_rewire::sync::{AtomicBool, AtomicU64, Ordering};
 use std::io;
 use std::net::{SocketAddr, TcpListener};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};

@@ -1,0 +1,204 @@
+//! Exhaustive model check of the reply-slot rendezvous and the
+//! submission-lane drain ([`shortcut_server::batch`]).
+//!
+//! Run with `cargo test -p shortcut-server --features loomish`.
+//!
+//! Two scenarios:
+//!
+//! * **Reply slot** — a connection's writer thread waits on a slot while
+//!   an executor fills it and a shutdown path races a second fill (the
+//!   real race [`ReplySlot::fill`]'s first-write-wins guard exists for).
+//!   Invariants: the waiter always wakes (no lost wakeup — a violation
+//!   surfaces as a model deadlock) and always takes exactly one of the
+//!   two replies (no double-fulfill — the seeded variant panics).
+//! * **Lane drain** — a reader pushes an op and raises the stop flag; the
+//!   executor drains until the stop+empty exit. Invariants: the pushed op
+//!   is delivered exactly once and every thread terminates. This scenario
+//!   runs under the sequentially-consistent-per-location model: its
+//!   progress relies on the stop flag's store becoming visible to the
+//!   executor's bounded-timeout retry loop, which real memory systems
+//!   guarantee in finite time but the ordering-sensitive model — which
+//!   never forces a stale load to converge — does not, so the
+//!   ordering-sensitive run would report a liveness artifact, not a bug.
+//!   The slot scenario carries no atomics (the mutex hand-off is exact in
+//!   both models), so it runs ordering-sensitive for uniformity with the
+//!   pin/reclaim and seqlock suites.
+
+#![cfg(feature = "loomish")]
+
+use loomish::Builder;
+use shortcut_rewire::sync::{thread, AtomicBool, Ordering};
+use shortcut_server::batch::{Lane, Op, ReplySlot};
+use shortcut_server::protocol::Reply;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[derive(Clone, Copy)]
+enum FillKind {
+    Correct,
+    /// Executor fills with the double-fill tolerance removed.
+    SeededAssertEmpty,
+}
+
+#[derive(Clone, Copy)]
+enum WaitKind {
+    Correct,
+    /// Waiter checks emptiness, drops the lock, then waits.
+    SeededCheckThenWait,
+}
+
+/// Executor and shutdown path race to fill while the connection's writer
+/// waits. `shutdown_racer` is off for the lost-wakeup seed so its extra
+/// notify cannot mask the bug.
+fn slot_scenario(
+    fill: FillKind,
+    wait: WaitKind,
+    shutdown_racer: bool,
+) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        let slot = ReplySlot::new();
+
+        let executor = {
+            let slot = Arc::clone(&slot);
+            thread::spawn(move || match fill {
+                FillKind::Correct => slot.fill(Reply::Simple("OK")),
+                FillKind::SeededAssertEmpty => slot.fill_seeded_assert_empty(Reply::Simple("OK")),
+            })
+        };
+        let shutdown = shutdown_racer.then(|| {
+            let slot = Arc::clone(&slot);
+            thread::spawn(move || slot.fill(Reply::Error("ERR shutting down".into())))
+        });
+        let waiter = {
+            let slot = Arc::clone(&slot);
+            thread::spawn(move || {
+                let reply = match wait {
+                    WaitKind::Correct => slot.wait(),
+                    WaitKind::SeededCheckThenWait => slot.wait_seeded_check_then_wait(),
+                };
+                assert!(
+                    reply == Reply::Simple("OK")
+                        || reply == Reply::Error("ERR shutting down".into()),
+                    "reply from nowhere: {reply:?}"
+                );
+            })
+        };
+
+        executor.join().unwrap();
+        if let Some(h) = shutdown {
+            h.join().unwrap();
+        }
+        waiter.join().unwrap();
+    }
+}
+
+#[test]
+fn reply_slot_delivers_exactly_once() {
+    let report = Builder::new()
+        .ordering_sensitive(true)
+        .preemption_bound(Some(3))
+        .check(slot_scenario(FillKind::Correct, WaitKind::Correct, true))
+        .unwrap_or_else(|cx| panic!("reply-slot counterexample: {cx}"));
+    println!(
+        "reply-slot: {} interleavings explored, invariant held",
+        report.executions
+    );
+    assert!(
+        report.executions > 50,
+        "suspiciously small exploration: {}",
+        report.executions
+    );
+}
+
+/// Teeth check: removing `fill`'s first-write-wins guard panics when the
+/// shutdown fill lands first — the executor/shutdown race must be found.
+#[test]
+fn seeded_double_fill_is_caught() {
+    let err = Builder::new()
+        .ordering_sensitive(true)
+        .preemption_bound(Some(3))
+        .check(slot_scenario(
+            FillKind::SeededAssertEmpty,
+            WaitKind::Correct,
+            true,
+        ))
+        .expect_err("double fill not caught — the model checker has lost its teeth");
+    assert!(
+        err.message.contains("double fill"),
+        "unexpected counterexample: {err}"
+    );
+}
+
+/// Teeth check: checking the slot and then waiting without holding the
+/// lock across the gap loses the fill's notification; the waiter blocks
+/// forever and the model reports the deadlock.
+#[test]
+fn seeded_lost_wakeup_is_caught() {
+    let err = Builder::new()
+        .ordering_sensitive(true)
+        .preemption_bound(Some(3))
+        .check(slot_scenario(
+            FillKind::Correct,
+            WaitKind::SeededCheckThenWait,
+            false,
+        ))
+        .expect_err("lost wakeup not caught — the model checker has lost its teeth");
+    assert!(
+        err.message.contains("deadlock"),
+        "unexpected counterexample: {err}"
+    );
+}
+
+/// Lane hand-off: one pushed op is drained exactly once and both threads
+/// terminate through the stop+empty exit. (SC model — see module docs.)
+#[test]
+fn lane_drain_delivers_and_terminates() {
+    let report = Builder::new()
+        .preemption_bound(Some(3))
+        .check(|| {
+            let lane = Arc::new(Lane::new());
+            let stop = Arc::new(AtomicBool::new(false));
+            let slot = ReplySlot::new();
+
+            let pusher = {
+                let lane = Arc::clone(&lane);
+                let stop = Arc::clone(&stop);
+                let slot = Arc::clone(&slot);
+                thread::spawn(move || {
+                    lane.push(Op::Read {
+                        keys: vec![1],
+                        single: true,
+                        slot,
+                    });
+                    stop.store(true, Ordering::Release);
+                })
+            };
+            let executor = {
+                let lane = Arc::clone(&lane);
+                let stop = Arc::clone(&stop);
+                thread::spawn(move || {
+                    let mut delivered = 0usize;
+                    loop {
+                        let ops = lane.drain(4, Duration::ZERO, &stop);
+                        if ops.is_empty() {
+                            break; // stop + empty: the drain-then-exit contract
+                        }
+                        for op in ops {
+                            match op {
+                                Op::Read { slot, .. } => slot.fill(Reply::Nil),
+                                _ => unreachable!(),
+                            }
+                            delivered += 1;
+                        }
+                    }
+                    assert_eq!(delivered, 1, "op lost or duplicated across drains");
+                })
+            };
+
+            pusher.join().unwrap();
+            executor.join().unwrap();
+            assert_eq!(slot.wait(), Reply::Nil, "drained op's slot never filled");
+        })
+        .unwrap_or_else(|cx| panic!("lane counterexample: {cx}"));
+    println!("lane drain: {} interleavings explored", report.executions);
+}

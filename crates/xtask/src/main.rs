@@ -1,0 +1,22 @@
+//! Workspace automation entry point (cargo-xtask pattern).
+
+mod audit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("audit") => match audit::run(&args[1..]) {
+            Ok(summary) => {
+                println!("{summary}");
+            }
+            Err(findings) => {
+                eprintln!("{findings}");
+                std::process::exit(1);
+            }
+        },
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- audit [--root <dir>]");
+            std::process::exit(2);
+        }
+    }
+}

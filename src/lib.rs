@@ -328,7 +328,7 @@ impl IndexBuilder {
                 let view_floor = layout.slots_for_bytes(1 << 24).max(64);
                 PoolConfig {
                     initial_pages: 1,
-                    min_growth_pages: slots_needed.clamp(growth_floor, 4096),
+                    min_growth_pages: slots_needed.clamp(growth_floor, 4096), // audit:allow(page-literal): growth clamp in pages (a count), not a byte size
                     view_capacity_pages: ((slots_needed * view_multiplier).max(view_floor))
                         .next_power_of_two(),
                     ..PoolConfig::default()
@@ -879,7 +879,7 @@ mod tests {
             versions: (len as u64, len as u64),
             shortcut_suspended: false,
             pages_per_slot: 1,
-            slot_bytes: 4096,
+            slot_bytes: rewire::PAGE_SIZE_4K,
             bucket_capacity: 87,
             huge_pages_requested: false,
             huge_pages_active: true,

@@ -1,0 +1,395 @@
+//! loomish — a vendored, minimal loom-style concurrency model checker.
+//!
+//! Wrap a concurrent protocol's shared state in the [`sync`]/[`thread`]
+//! primitives, then run a closure that builds the state, spawns model
+//! threads and asserts invariants under [`model`] (or [`Builder::check`]
+//! for configuration). The checker runs the closure once per *schedule*,
+//! exploring context-switch points depth-first with bounded preemptions;
+//! an assertion failure, panic, or deadlock on any schedule is reported as
+//! a [`Counterexample`] carrying the failing interleaving.
+//!
+//! Two memory models are available: sequentially-consistent-per-location
+//! (default — catches protocol-order races) and an ordering-sensitive mode
+//! ([`Builder::ordering_sensitive`]) that models Acquire/Release vs
+//! Relaxed visibility with per-thread views, so a wrongly-relaxed store or
+//! a dropped `SeqCst` fence produces a real stale read in some explored
+//! execution. See the `rt` module documentation for the full semantics.
+//!
+//! Outside a model run, every primitive is a passthrough to its `std`
+//! counterpart — crates can route all their synchronization through a
+//! facade over this crate and flip it on with a feature flag without
+//! changing runtime behavior.
+//!
+//! Model closures must be deterministic: no wall-clock time, randomness,
+//! or process-global mutable state (create all shared state inside the
+//! closure; key per-thread data off [`thread::model_thread_id`]).
+
+mod rt;
+pub mod sync;
+pub mod thread;
+
+pub use rt::{model, Builder, Counterexample, Report};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use sync::{fence, AtomicU64, AtomicUsize, Condvar, Mutex, Ordering};
+
+    /// Two threads increment a shared counter through a mutex: the model
+    /// must show exactly 2 on every schedule, and must explore more than
+    /// one schedule.
+    #[test]
+    fn mutex_counter_exact() {
+        let report = model(|| {
+            let n = Arc::new(Mutex::new(0u64));
+            let h: Vec<_> = (0..2)
+                .map(|_| {
+                    let n = Arc::clone(&n);
+                    thread::spawn(move || {
+                        *n.lock().unwrap() += 1;
+                    })
+                })
+                .collect();
+            for h in h {
+                h.join().unwrap();
+            }
+            assert_eq!(*n.lock().unwrap(), 2);
+        });
+        assert!(
+            report.executions > 1,
+            "only {} executions",
+            report.executions
+        );
+    }
+
+    /// Unsynchronized read-modify-write *without* atomicity (load; add;
+    /// store) must lose an update on some schedule.
+    #[test]
+    fn torn_increment_caught() {
+        let err = Builder::new()
+            .check(|| {
+                let n = Arc::new(AtomicU64::new(0));
+                let h: Vec<_> = (0..2)
+                    .map(|_| {
+                        let n = Arc::clone(&n);
+                        thread::spawn(move || {
+                            let v = n.load(Ordering::SeqCst);
+                            n.store(v + 1, Ordering::SeqCst);
+                        })
+                    })
+                    .collect();
+                for h in h {
+                    h.join().unwrap();
+                }
+                assert_eq!(n.load(Ordering::SeqCst), 2);
+            })
+            .expect_err("lost update not found");
+        assert!(
+            err.message.contains("assertion"),
+            "message: {}",
+            err.message
+        );
+    }
+
+    /// The same increment with fetch_add is atomic and passes.
+    #[test]
+    fn fetch_add_increment_passes() {
+        model(|| {
+            let n = Arc::new(AtomicU64::new(0));
+            let h: Vec<_> = (0..2)
+                .map(|_| {
+                    let n = Arc::clone(&n);
+                    thread::spawn(move || {
+                        n.fetch_add(1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in h {
+                h.join().unwrap();
+            }
+            assert_eq!(n.load(Ordering::SeqCst), 2);
+        });
+    }
+
+    /// Store-buffering litmus (Dekker core): with SeqCst on both sides,
+    /// both threads reading 0 is forbidden — must hold in the
+    /// ordering-sensitive model.
+    #[test]
+    fn dekker_seqcst_passes_ordering_mode() {
+        let report = Builder::new()
+            .ordering_sensitive(true)
+            .check(|| {
+                let x = Arc::new(AtomicU64::new(0));
+                let y = Arc::new(AtomicU64::new(0));
+                let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+                let a = thread::spawn(move || {
+                    x2.store(1, Ordering::SeqCst);
+                    y2.load(Ordering::SeqCst)
+                });
+                let (x3, y3) = (Arc::clone(&x), Arc::clone(&y));
+                let b = thread::spawn(move || {
+                    y3.store(1, Ordering::SeqCst);
+                    x3.load(Ordering::SeqCst)
+                });
+                let ra = a.join().unwrap();
+                let rb = b.join().unwrap();
+                assert!(
+                    ra == 1 || rb == 1,
+                    "store buffering: both sides read 0 under SeqCst"
+                );
+            })
+            .unwrap();
+        assert!(report.executions > 1);
+    }
+
+    /// Store-buffering with Release/Acquire only: both-read-0 is allowed
+    /// by the architecture, so the checker must find it. This is the test
+    /// that proves the ordering-sensitive mode actually distinguishes
+    /// SeqCst from weaker orderings.
+    #[test]
+    fn dekker_release_acquire_caught() {
+        Builder::new()
+            .ordering_sensitive(true)
+            .check(|| {
+                let x = Arc::new(AtomicU64::new(0));
+                let y = Arc::new(AtomicU64::new(0));
+                let (x2, y2) = (Arc::clone(&x), Arc::clone(&y));
+                let a = thread::spawn(move || {
+                    x2.store(1, Ordering::Release);
+                    y2.load(Ordering::Acquire)
+                });
+                let (x3, y3) = (Arc::clone(&x), Arc::clone(&y));
+                let b = thread::spawn(move || {
+                    y3.store(1, Ordering::Release);
+                    x3.load(Ordering::Acquire)
+                });
+                let ra = a.join().unwrap();
+                let rb = b.join().unwrap();
+                assert!(ra == 1 || rb == 1, "both sides read 0");
+            })
+            .expect_err("release/acquire store buffering not caught");
+    }
+
+    /// Message passing with Release/Acquire: the flag's acquire load
+    /// synchronizes with the release store, so the data is visible.
+    #[test]
+    fn message_passing_release_acquire_passes() {
+        Builder::new()
+            .ordering_sensitive(true)
+            .check(|| {
+                let data = Arc::new(AtomicU64::new(0));
+                let flag = Arc::new(AtomicU64::new(0));
+                let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+                let w = thread::spawn(move || {
+                    d2.store(42, Ordering::Relaxed);
+                    f2.store(1, Ordering::Release);
+                });
+                let (d3, f3) = (Arc::clone(&data), Arc::clone(&flag));
+                let r = thread::spawn(move || {
+                    if f3.load(Ordering::Acquire) == 1 {
+                        assert_eq!(d3.load(Ordering::Relaxed), 42, "stale data after acquire");
+                    }
+                });
+                w.join().unwrap();
+                r.join().unwrap();
+            })
+            .unwrap();
+    }
+
+    /// Message passing with a Relaxed flag store: the reader may see the
+    /// flag but stale data — must be caught in ordering mode.
+    #[test]
+    fn message_passing_relaxed_caught() {
+        Builder::new()
+            .ordering_sensitive(true)
+            .check(|| {
+                let data = Arc::new(AtomicU64::new(0));
+                let flag = Arc::new(AtomicU64::new(0));
+                let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+                let w = thread::spawn(move || {
+                    d2.store(42, Ordering::Relaxed);
+                    f2.store(1, Ordering::Relaxed); // BUG: should be Release
+                });
+                let (d3, f3) = (Arc::clone(&data), Arc::clone(&flag));
+                let r = thread::spawn(move || {
+                    if f3.load(Ordering::Acquire) == 1 {
+                        assert_eq!(d3.load(Ordering::Relaxed), 42, "stale data");
+                    }
+                });
+                w.join().unwrap();
+                r.join().unwrap();
+            })
+            .expect_err("relaxed message passing not caught");
+    }
+
+    /// Fence-based message passing: release fence before a relaxed store,
+    /// acquire fence after a relaxed load — C11 fence synchronization.
+    #[test]
+    fn message_passing_fences_pass() {
+        Builder::new()
+            .ordering_sensitive(true)
+            .check(|| {
+                let data = Arc::new(AtomicU64::new(0));
+                let flag = Arc::new(AtomicU64::new(0));
+                let (d2, f2) = (Arc::clone(&data), Arc::clone(&flag));
+                let w = thread::spawn(move || {
+                    d2.store(42, Ordering::Relaxed);
+                    fence(Ordering::Release);
+                    f2.store(1, Ordering::Relaxed);
+                });
+                let (d3, f3) = (Arc::clone(&data), Arc::clone(&flag));
+                let r = thread::spawn(move || {
+                    if f3.load(Ordering::Relaxed) == 1 {
+                        fence(Ordering::Acquire);
+                        assert_eq!(d3.load(Ordering::Relaxed), 42, "stale data after fences");
+                    }
+                });
+                w.join().unwrap();
+                r.join().unwrap();
+            })
+            .unwrap();
+    }
+
+    /// A waiter that is never notified deadlocks; the checker must report
+    /// it rather than hang (lost-wakeup detection).
+    #[test]
+    fn lost_wakeup_reported_as_deadlock() {
+        let err = Builder::new()
+            .check(|| {
+                let flag = Arc::new(AtomicU64::new(0));
+                let pair = Arc::new((Mutex::new(()), Condvar::new()));
+                let (f2, p2) = (Arc::clone(&flag), Arc::clone(&pair));
+                let waiter = thread::spawn(move || {
+                    let (m, cv) = &*p2;
+                    // BUG: predicate checked before taking the mutex — the
+                    // notification can land between the check and the
+                    // wait, and is then lost forever.
+                    if f2.load(Ordering::SeqCst) == 0 {
+                        let g = m.lock().unwrap();
+                        drop(cv.wait(g).unwrap());
+                    }
+                    assert_eq!(f2.load(Ordering::SeqCst), 1);
+                });
+                let (f3, p3) = (Arc::clone(&flag), Arc::clone(&pair));
+                let notifier = thread::spawn(move || {
+                    let (_m, cv) = &*p3;
+                    f3.store(1, Ordering::SeqCst);
+                    cv.notify_one();
+                });
+                waiter.join().unwrap();
+                notifier.join().unwrap();
+            })
+            .expect_err("lost wakeup not detected");
+        assert!(err.message.contains("deadlock"), "message: {}", err.message);
+    }
+
+    /// The standard predicate-loop condvar protocol passes, including the
+    /// wait_timeout variant (timeouts fire only at quiescence).
+    #[test]
+    fn condvar_predicate_loop_passes() {
+        let report = model(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let p2 = Arc::clone(&pair);
+            let waiter = thread::spawn(move || {
+                let (m, cv) = &*p2;
+                let mut ready = m.lock().unwrap();
+                while !*ready {
+                    let (g, _timed_out) = cv
+                        .wait_timeout(ready, std::time::Duration::from_millis(50))
+                        .unwrap();
+                    ready = g;
+                }
+            });
+            let p3 = Arc::clone(&pair);
+            let notifier = thread::spawn(move || {
+                let (m, cv) = &*p3;
+                *m.lock().unwrap() = true;
+                cv.notify_one();
+            });
+            waiter.join().unwrap();
+            notifier.join().unwrap();
+        });
+        assert!(report.executions > 1);
+    }
+
+    /// Exploration is deterministic: the same model explores the same
+    /// number of executions every time.
+    #[test]
+    fn deterministic_execution_count() {
+        let run = || {
+            Builder::new()
+                .check(|| {
+                    let n = Arc::new(AtomicUsize::new(0));
+                    let h: Vec<_> = (0..2)
+                        .map(|_| {
+                            let n = Arc::clone(&n);
+                            thread::spawn(move || {
+                                n.fetch_add(1, Ordering::SeqCst);
+                            })
+                        })
+                        .collect();
+                    for h in h {
+                        h.join().unwrap();
+                    }
+                })
+                .unwrap()
+                .executions
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(a > 1);
+    }
+
+    /// compare_exchange: two CAS-guarded claims — exactly one wins.
+    #[test]
+    fn cas_single_winner() {
+        model(|| {
+            let slot = Arc::new(AtomicU64::new(0));
+            let wins = Arc::new(AtomicU64::new(0));
+            let h: Vec<_> = (1..=2)
+                .map(|id| {
+                    let slot = Arc::clone(&slot);
+                    let wins = Arc::clone(&wins);
+                    thread::spawn(move || {
+                        if slot
+                            .compare_exchange(0, id, Ordering::SeqCst, Ordering::SeqCst)
+                            .is_ok()
+                        {
+                            wins.fetch_add(1, Ordering::SeqCst);
+                        }
+                    })
+                })
+                .collect();
+            for h in h {
+                h.join().unwrap();
+            }
+            assert_eq!(wins.load(Ordering::SeqCst), 1);
+        });
+    }
+
+    /// Passthrough sanity: outside a model run the primitives behave as
+    /// std (used by the production builds of the facade).
+    #[test]
+    fn passthrough_outside_model() {
+        let n = AtomicU64::new(1);
+        assert_eq!(n.fetch_add(2, Ordering::SeqCst), 1);
+        assert_eq!(n.load(Ordering::Acquire), 3);
+        let m = Mutex::new(5);
+        {
+            let mut g = m.lock().unwrap();
+            *g += 1;
+        }
+        assert_eq!(*m.lock().unwrap(), 6);
+        let h = thread::spawn(|| 7);
+        assert_eq!(h.join().unwrap(), 7);
+        let cv = Condvar::new();
+        let g = m.lock().unwrap();
+        let (g, r) = cv
+            .wait_timeout(g, std::time::Duration::from_millis(1))
+            .unwrap();
+        assert!(r.timed_out());
+        assert_eq!(*g, 6);
+    }
+}

@@ -1,0 +1,1036 @@
+//! Deterministic scheduler, DFS explorer, and the two memory models.
+//!
+//! # How an exploration runs
+//!
+//! Every call to [`Builder::check`] runs the model closure many times. Each
+//! run ("execution") spawns one real OS thread per model thread, but the
+//! scheduler serializes them completely: exactly one model thread holds the
+//! *token* at any moment, and user code only runs while its thread holds
+//! it. Every instrumented operation (atomic access, mutex, condvar, spawn,
+//! join) is a *scheduling point*: after performing the operation under the
+//! scheduler lock, the thread consults [`choice`] to decide which runnable
+//! thread runs next. The sequence of choices made during an execution is
+//! recorded; the explorer backtracks depth-first over the last choice with
+//! an unexplored alternative, so the set of executions is exactly the set
+//! of distinct schedules (bounded by [`Builder::preemption_bound`]).
+//!
+//! # Memory models
+//!
+//! *Sequentially-consistent-per-location* (default): every atomic location
+//! holds a single current value; loads return it. This explores every
+//! interleaving of operations but assumes each load sees the newest store —
+//! it catches protocol-order bugs (e.g. scanning before snapshotting an
+//! epoch) but not missing-fence bugs.
+//!
+//! *Ordering-sensitive* ([`Builder::ordering_sensitive`]): every location
+//! keeps its full store history as a list of timestamped messages, each
+//! carrying the view (location → minimum visible timestamp) its writer
+//! published. Threads carry views; a load may return **any** message not
+//! older than the thread's view for that location — the pick is itself a
+//! DFS branch — so a store that is not ordered by a release/acquire or
+//! SeqCst edge is genuinely allowed to be invisible, and a wrongly-relaxed
+//! store shows up as a stale read in some explored execution. The rules:
+//!
+//! * `store(Release)` attaches the writer's current view to the message;
+//!   `store(Relaxed)` attaches only the view captured by the writer's last
+//!   `fence(Release)` (empty if none).
+//! * `load(Acquire)` joins the message's view into the reader's view;
+//!   `load(Relaxed)` only accumulates it into a pending set that a later
+//!   `fence(Acquire)` promotes.
+//! * RMWs always read the newest message (atomicity) and continue its
+//!   release sequence (the new message inherits the old one's view).
+//! * `SeqCst` is modeled as the access plus a global *SC view*, with a
+//!   deliberate asymmetry. Only `fence(SeqCst)` performs the full two-way
+//!   exchange (import the whole SC view, publish the thread's whole
+//!   view): cross-location SC reasoning is the fence's job in C11, and
+//!   keeping it exclusive is what lets a dropped fence be caught. A
+//!   SeqCst *store or RMW* publishes only its own location into the SC
+//!   view, and the view it attaches to its message is the thread's plain
+//!   happens-before knowledge — release cumulativity forwards nothing
+//!   about locations the thread never observed. A SeqCst *RMW* does
+//!   import the whole SC view into its own thread (a full barrier for
+//!   the executing core's later loads — the RCsc lowering of x86's
+//!   `lock` prefix that `RetireList::pin` documents and relies on), but
+//!   that import is local and does not flow onward through the message.
+//!   A lone SeqCst *load* only gets the per-location SC constraint (it
+//!   cannot read anything older than the SC view's newest message for
+//!   that location).
+//!
+//! Mutexes carry a view handed from unlocker to the next locker; spawn
+//! hands the parent's view to the child; join brings the child's final
+//! view back. Condvars carry no view of their own — the mutex hand-off
+//! provides the synchronization, as in real condvar protocols.
+//!
+//! # Timeouts and deadlocks
+//!
+//! `Condvar::wait_timeout` waiters are only "timed out" at *quiescence*
+//! (no thread runnable, no notify possible): this keeps bounded-retry
+//! loops finite while still modeling "time passes" — a waiter whose wakeup
+//! depends on a timeout will get it, but only once the model shows no
+//! notification can race it. If no thread is runnable, none can time out,
+//! and not every thread has finished, the execution is reported as a
+//! deadlock with the blocked thread statuses — this is how lost-wakeup
+//! bugs surface.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64 as StdAtomicU64, Ordering as StdOrd};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, Once};
+
+pub use std::sync::atomic::Ordering;
+
+/// Timestamp of a message: its index in the location's message list.
+type Ts = usize;
+
+/// A view: per-location lower bound on the timestamps a thread (or a
+/// message, or a mutex) may read. Indexed by location id; missing tail
+/// entries are 0 ("anything visible").
+pub(crate) type View = Vec<Ts>;
+
+fn view_join(a: &mut View, b: &View) {
+    if b.len() > a.len() {
+        a.resize(b.len(), 0);
+    }
+    for (i, &t) in b.iter().enumerate() {
+        if t > a[i] {
+            a[i] = t;
+        }
+    }
+}
+
+fn view_get(v: &View, loc: usize) -> Ts {
+    v.get(loc).copied().unwrap_or(0)
+}
+
+fn view_set(v: &mut View, loc: usize, ts: Ts) {
+    if v.len() <= loc {
+        v.resize(loc + 1, 0);
+    }
+    if ts > v[loc] {
+        v[loc] = ts;
+    }
+}
+
+/// One store in a location's modification order.
+struct Msg {
+    val: u64,
+    /// View the writer published with this message (empty for a plain
+    /// relaxed store with no preceding release fence).
+    view: View,
+}
+
+struct Loc {
+    messages: Vec<Msg>,
+}
+
+pub(crate) struct MemState {
+    locs: Vec<Loc>,
+    sc_view: View,
+}
+
+impl MemState {
+    fn new() -> Self {
+        MemState {
+            locs: Vec::new(),
+            sc_view: Vec::new(),
+        }
+    }
+
+    fn alloc(&mut self, init: u64) -> usize {
+        self.locs.push(Loc {
+            messages: vec![Msg {
+                val: init,
+                view: Vec::new(),
+            }],
+        });
+        self.locs.len() - 1
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Status {
+    Runnable,
+    BlockedMutex(usize),
+    BlockedCondvar {
+        cv: usize,
+        mutex: usize,
+        timeout: bool,
+    },
+    BlockedJoin(usize),
+    Finished,
+}
+
+pub(crate) struct ThreadState {
+    pub status: Status,
+    /// Set when a `wait_timeout` waiter was woken by the quiescence rule
+    /// rather than a notification; consumed by the wait call on return.
+    pub timed_out: bool,
+    view: View,
+    /// View captured by the last `fence(Release)`; attached to subsequent
+    /// relaxed stores (C11 fence-synchronization, writer half).
+    rel_view: View,
+    /// Join of the views of every message read by a relaxed load since
+    /// the last `fence(Acquire)`; promoted into `view` by that fence
+    /// (C11 fence-synchronization, reader half).
+    acq_pending: View,
+}
+
+pub(crate) struct MutexState {
+    pub locked_by: Option<usize>,
+    view: View,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Branch {
+    chosen: usize,
+    arity: usize,
+}
+
+pub(crate) struct ExecState {
+    pub threads: Vec<ThreadState>,
+    pub current: usize,
+    pub mutexes: Vec<MutexState>,
+    pub condvars: usize,
+    pub ordering: bool,
+    mem: MemState,
+    prefix: Vec<Branch>,
+    cursor: usize,
+    record: Vec<Branch>,
+    trace: Vec<(usize, &'static str)>,
+    preemptions: usize,
+    bound: Option<usize>,
+    max_threads: usize,
+    pub failure: Option<String>,
+    pub aborting: bool,
+    live: usize,
+    done: bool,
+    ops: usize,
+    max_ops: usize,
+}
+
+impl ExecState {
+    pub(crate) fn alloc_loc(&mut self, init: u64) -> usize {
+        self.mem.alloc(init)
+    }
+
+    pub(crate) fn alloc_mutex(&mut self) -> usize {
+        self.mutexes.push(MutexState {
+            locked_by: None,
+            view: Vec::new(),
+        });
+        self.mutexes.len() - 1
+    }
+
+    pub(crate) fn alloc_condvar(&mut self) -> usize {
+        self.condvars += 1;
+        self.condvars - 1
+    }
+
+    fn register_thread(&mut self, view: View) -> usize {
+        assert!(
+            self.threads.len() < self.max_threads,
+            "loomish: more than {} model threads",
+            self.max_threads
+        );
+        self.threads.push(ThreadState {
+            status: Status::Runnable,
+            timed_out: false,
+            view,
+            rel_view: Vec::new(),
+            acq_pending: Vec::new(),
+        });
+        self.live += 1;
+        self.threads.len() - 1
+    }
+
+    // ---- memory model ops (performed by thread `me`, token held) ----
+
+    pub(crate) fn mem_load(&mut self, me: usize, loc: usize, ord: Ordering) -> u64 {
+        if !self.ordering {
+            return self.mem.locs[loc].messages.last().unwrap().val;
+        }
+        if ord == Ordering::SeqCst {
+            // A lone SeqCst load only gets the per-location SC constraint
+            // (it may not read anything older than the SC view's newest
+            // message for *this* location). It does NOT import the whole
+            // SC view — that cross-location edge requires a SeqCst RMW or
+            // fence. Modeling it this way is what lets a dropped SeqCst
+            // fence be caught even when the nearby loads stay SeqCst.
+            let sc_ts = view_get(&self.mem.sc_view, loc);
+            view_set(&mut self.threads[me].view, loc, sc_ts);
+        }
+        let min = view_get(&self.threads[me].view, loc);
+        let n = self.mem.locs[loc].messages.len() - min;
+        // Which message to read is itself an explored branch: any message
+        // the thread's view admits is a legal outcome under relaxed memory.
+        let ts = min + choice(self, n);
+        view_set(&mut self.threads[me].view, loc, ts);
+        let (val, mview) = {
+            let m = &self.mem.locs[loc].messages[ts];
+            (m.val, m.view.clone())
+        };
+        match ord {
+            Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst => {
+                view_join(&mut self.threads[me].view, &mview)
+            }
+            _ => view_join(&mut self.threads[me].acq_pending, &mview),
+        }
+        val
+    }
+
+    pub(crate) fn mem_store(&mut self, me: usize, loc: usize, val: u64, ord: Ordering) {
+        if !self.ordering {
+            let msgs = &mut self.mem.locs[loc].messages;
+            msgs.last_mut().unwrap().val = val;
+            return;
+        }
+        let ts = self.mem.locs[loc].messages.len();
+        let view = match ord {
+            Ordering::Release | Ordering::AcqRel | Ordering::SeqCst => {
+                self.threads[me].view.clone()
+            }
+            _ => self.threads[me].rel_view.clone(),
+        };
+        self.mem.locs[loc].messages.push(Msg { val, view });
+        view_set(&mut self.threads[me].view, loc, ts);
+        if ord == Ordering::SeqCst {
+            // Per-location SC publication only (see `mem_rmw`): an SC
+            // store is a release store that additionally participates in
+            // the per-location SC order; it is not a fence.
+            view_set(&mut self.mem.sc_view, loc, ts);
+        }
+    }
+
+    /// Read-modify-write: always reads the newest message (atomicity) and
+    /// continues its release sequence. Returns the old value.
+    pub(crate) fn mem_rmw(
+        &mut self,
+        me: usize,
+        loc: usize,
+        f: impl FnOnce(u64) -> u64,
+        ord: Ordering,
+    ) -> u64 {
+        if !self.ordering {
+            let msgs = &mut self.mem.locs[loc].messages;
+            let old = msgs.last().unwrap().val;
+            msgs.last_mut().unwrap().val = f(old);
+            return old;
+        }
+        let ts = self.mem.locs[loc].messages.len();
+        let (old, prev_view) = {
+            let m = self.mem.locs[loc].messages.last().unwrap();
+            (m.val, m.view.clone())
+        };
+        match ord {
+            Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst => {
+                view_join(&mut self.threads[me].view, &prev_view)
+            }
+            _ => view_join(&mut self.threads[me].acq_pending, &prev_view),
+        }
+        // The view attached to the message is the thread's *happens-before*
+        // knowledge only — writes it performed or acquired. The SC-view
+        // import below is deliberately NOT part of it: a SeqCst RMW orders
+        // its own thread's later accesses (full barrier on the executing
+        // core), but it does not *observe* unrelated locations, so release
+        // cumulativity forwards nothing about them to acquirers of this
+        // message. (Attaching the imported view here is exactly what would
+        // make a reclaimer's acquire-load inherit a reader's pin through an
+        // unrelated writer and render real fences redundant in the model.)
+        let mut view = match ord {
+            Ordering::Release | Ordering::AcqRel | Ordering::SeqCst => {
+                self.threads[me].view.clone()
+            }
+            _ => self.threads[me].rel_view.clone(),
+        };
+        // Release sequence: an acquire reader of this message synchronizes
+        // with the release store this RMW extends.
+        view_join(&mut view, &prev_view);
+        self.mem.locs[loc].messages.push(Msg { val: f(old), view });
+        view_set(&mut self.threads[me].view, loc, ts);
+        if ord == Ordering::SeqCst {
+            // Reader-side RCsc: the RMW acts as a full barrier for *this*
+            // thread's subsequent loads (x86 `lock` prefix; the property
+            // `pin` documents), so import the whole SC view locally...
+            let sc = self.mem.sc_view.clone();
+            view_join(&mut self.threads[me].view, &sc);
+            // ...but publish only this location into it. Making every
+            // other SC participant's knowledge flow through an RMW is a
+            // cross-location edge C11 reserves for `fence(SeqCst)`.
+            view_set(&mut self.mem.sc_view, loc, ts);
+        }
+        old
+    }
+
+    pub(crate) fn mem_cas(
+        &mut self,
+        me: usize,
+        loc: usize,
+        expect: u64,
+        new: u64,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u64, u64> {
+        let cur = self.mem.locs[loc].messages.last().unwrap().val;
+        if cur == expect {
+            Ok(self.mem_rmw(me, loc, |_| new, success))
+        } else if !self.ordering {
+            Err(cur)
+        } else {
+            // A failed CAS is a load of the newest message.
+            let ts = self.mem.locs[loc].messages.len() - 1;
+            view_set(&mut self.threads[me].view, loc, ts);
+            let mview = self.mem.locs[loc].messages[ts].view.clone();
+            match failure {
+                Ordering::Acquire | Ordering::SeqCst => {
+                    view_join(&mut self.threads[me].view, &mview)
+                }
+                _ => view_join(&mut self.threads[me].acq_pending, &mview),
+            }
+            Err(cur)
+        }
+    }
+
+    pub(crate) fn mem_fence(&mut self, me: usize, ord: Ordering) {
+        if !self.ordering {
+            return;
+        }
+        match ord {
+            Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst => {
+                let pending = std::mem::take(&mut self.threads[me].acq_pending);
+                view_join(&mut self.threads[me].view, &pending);
+            }
+            _ => {}
+        }
+        if ord == Ordering::SeqCst {
+            let sc = self.mem.sc_view.clone();
+            view_join(&mut self.threads[me].view, &sc);
+            let tv = self.threads[me].view.clone();
+            view_join(&mut self.mem.sc_view, &tv);
+        }
+        match ord {
+            Ordering::Release | Ordering::AcqRel | Ordering::SeqCst => {
+                self.threads[me].rel_view = self.threads[me].view.clone();
+            }
+            _ => {}
+        }
+    }
+
+    pub(crate) fn mutex_acquire_view(&mut self, me: usize, mid: usize) {
+        if self.ordering {
+            let v = self.mutexes[mid].view.clone();
+            view_join(&mut self.threads[me].view, &v);
+        }
+    }
+
+    pub(crate) fn mutex_release_view(&mut self, me: usize, mid: usize) {
+        if self.ordering {
+            let v = self.threads[me].view.clone();
+            view_join(&mut self.mutexes[mid].view, &v);
+        }
+    }
+
+    pub(crate) fn join_thread_view(&mut self, me: usize, target: usize) {
+        if self.ordering {
+            let v = self.threads[target].view.clone();
+            view_join(&mut self.threads[me].view, &v);
+        }
+    }
+}
+
+pub(crate) struct Shared {
+    pub state: StdMutex<ExecState>,
+    pub cv: StdCondvar,
+    os_handles: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub shared: Arc<Shared>,
+    pub tid: usize,
+    pub gen: u64,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn ctx() -> Option<Ctx> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Model thread id of the calling thread (`None` outside a model run).
+/// Exposed so thread-keyed data structures (e.g. striped counters keyed by
+/// a process-global thread counter) can substitute a per-execution-stable
+/// key under the model.
+pub fn model_thread_id() -> Option<usize> {
+    ctx().map(|c| c.tid)
+}
+
+/// Payload used to unwind model threads when an execution aborts (failure
+/// observed or exploration cancelled). Silenced by the panic hook.
+struct AbortToken;
+
+static HOOK: Once = Once::new();
+
+fn install_hook() {
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            // Model-thread panics are reported once, as the counterexample,
+            // by the explorer on the test thread — not per-thread here.
+            if info.payload().is::<AbortToken>() || ctx().is_some() {
+                return;
+            }
+            prev(info);
+        }));
+    });
+}
+
+fn lock_state(shared: &Shared) -> StdMutexGuard<'_, ExecState> {
+    // A panicking model thread may poison the lock; the explorer and the
+    // surviving threads still need the state to tear the execution down.
+    shared.state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn payload_to_string(p: Box<dyn Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked (non-string payload)".to_string()
+    }
+}
+
+fn fail(st: &mut ExecState, shared: &Shared, msg: String) {
+    if st.failure.is_none() {
+        st.failure = Some(msg);
+    }
+    st.aborting = true;
+    shared.cv.notify_all();
+}
+
+fn abort_check(st: &ExecState) {
+    if st.aborting {
+        std::panic::panic_any(AbortToken);
+    }
+}
+
+/// Consume one DFS choice with `arity` alternatives. Alternative 0 is the
+/// "default" (keep running the current thread / read the oldest visible
+/// message); the explorer backtracks over the rest.
+fn choice(st: &mut ExecState, arity: usize) -> usize {
+    if arity <= 1 {
+        return 0;
+    }
+    let c = if st.cursor < st.prefix.len() {
+        let b = st.prefix[st.cursor];
+        assert!(
+            b.chosen < arity,
+            "loomish: nondeterministic model (replay arity {} <= recorded choice {}); \
+             model closures must not depend on wall-clock time, randomness, or \
+             process-global mutable state",
+            arity,
+            b.chosen
+        );
+        b.chosen
+    } else {
+        0
+    };
+    st.cursor += 1;
+    st.record.push(Branch { chosen: c, arity });
+    c
+}
+
+/// Wake a condvar waiter (by notification or quiescence timeout): it next
+/// needs its mutex back, so it becomes runnable only if the mutex is free.
+pub(crate) fn wake_condvar_waiter(st: &mut ExecState, t: usize, timed_out: bool) {
+    let Status::BlockedCondvar { mutex, .. } = st.threads[t].status else {
+        panic!("loomish: waking a non-waiting thread");
+    };
+    st.threads[t].timed_out = timed_out;
+    st.threads[t].status = if st.mutexes[mutex].locked_by.is_none() {
+        Status::Runnable
+    } else {
+        Status::BlockedMutex(mutex)
+    };
+}
+
+/// After an operation (or block, or finish) by `me`: pick who runs next.
+/// Called with the state lock held.
+fn switch_after(shared: &Shared, st: &mut ExecState, me: usize) {
+    loop {
+        let runnable: Vec<usize> = (0..st.threads.len())
+            .filter(|&i| st.threads[i].status == Status::Runnable)
+            .collect();
+        if runnable.is_empty() {
+            // Quiescence: let a wait_timeout fire — "time passes" exactly
+            // when no notification can race the timeout.
+            let timeouts: Vec<usize> = (0..st.threads.len())
+                .filter(|&i| {
+                    matches!(
+                        st.threads[i].status,
+                        Status::BlockedCondvar { timeout: true, .. }
+                    )
+                })
+                .collect();
+            if !timeouts.is_empty() {
+                let c = choice(st, timeouts.len());
+                wake_condvar_waiter(st, timeouts[c], true);
+                continue;
+            }
+            if st.live == 0 {
+                st.done = true;
+                shared.cv.notify_all();
+                return;
+            }
+            let statuses: Vec<(usize, Status)> = (0..st.threads.len())
+                .filter(|&i| st.threads[i].status != Status::Finished)
+                .map(|i| (i, st.threads[i].status))
+                .collect();
+            fail(
+                st,
+                shared,
+                format!("deadlock: every live thread is blocked: {statuses:?}"),
+            );
+            return;
+        }
+        let me_runnable = st.threads[me].status == Status::Runnable;
+        let budget_left = st.bound.is_none_or(|b| st.preemptions < b);
+        let candidates: Vec<usize> = if me_runnable && !budget_left {
+            vec![me]
+        } else if me_runnable {
+            std::iter::once(me)
+                .chain(runnable.iter().copied().filter(|&t| t != me))
+                .collect()
+        } else {
+            runnable
+        };
+        let next = candidates[choice(st, candidates.len())];
+        if me_runnable && next != me {
+            st.preemptions += 1;
+        }
+        st.current = next;
+        if next != me {
+            shared.cv.notify_all();
+        }
+        return;
+    }
+}
+
+/// Block until this thread holds the token and is runnable.
+fn park<'a>(
+    shared: &'a Shared,
+    mut st: StdMutexGuard<'a, ExecState>,
+    me: usize,
+) -> StdMutexGuard<'a, ExecState> {
+    loop {
+        abort_check(&st);
+        if st.current == me && st.threads[me].status == Status::Runnable {
+            return st;
+        }
+        st = shared.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+    }
+}
+
+pub(crate) enum Blocked {
+    Mutex(usize),
+    Condvar {
+        cv: usize,
+        mutex: usize,
+        timeout: bool,
+    },
+    Join(usize),
+}
+
+/// Run one instrumented operation as the calling model thread: perform it
+/// under the scheduler lock, then hand the token to the next scheduled
+/// thread. `f` may return `Err(Blocked)` to block; it is re-run when the
+/// thread is woken (e.g. a mutex retry after an unlock).
+pub(crate) fn op<R>(
+    label: &'static str,
+    mut f: impl FnMut(&mut ExecState, usize) -> Result<R, Blocked>,
+) -> R {
+    let cx = ctx().expect("loomish: instrumented op outside a model run");
+    let shared = cx.shared.clone();
+    let me = cx.tid;
+    let mut st = lock_state(&shared);
+    loop {
+        abort_check(&st);
+        st.ops += 1;
+        if st.ops > st.max_ops {
+            let msg = format!(
+                "op budget exceeded ({} ops): unbounded loop in the model?",
+                st.max_ops
+            );
+            fail(&mut st, &shared, msg);
+            abort_check(&st);
+        }
+        st.trace.push((me, label));
+        match f(&mut st, me) {
+            Ok(r) => {
+                switch_after(&shared, &mut st, me);
+                let _st = park(&shared, st, me);
+                return r;
+            }
+            Err(b) => {
+                st.threads[me].status = match b {
+                    Blocked::Mutex(m) => Status::BlockedMutex(m),
+                    Blocked::Condvar { cv, mutex, timeout } => {
+                        Status::BlockedCondvar { cv, mutex, timeout }
+                    }
+                    Blocked::Join(t) => Status::BlockedJoin(t),
+                };
+                switch_after(&shared, &mut st, me);
+                st = park(&shared, st, me);
+            }
+        }
+    }
+}
+
+/// Direct state access without a scheduling point, for operations that are
+/// invisible to other threads (thread registration at spawn). Must only be
+/// called while holding the token.
+pub(crate) fn with_state_direct<R>(f: impl FnOnce(&mut ExecState, usize) -> R) -> R {
+    let cx = ctx().expect("loomish: direct state access outside a model run");
+    let mut st = lock_state(&cx.shared);
+    abort_check(&st);
+    f(&mut st, cx.tid)
+}
+
+/// Wake threads blocked on mutex `mid` (called from the unlock op).
+pub(crate) fn wake_mutex_waiters(st: &mut ExecState, mid: usize) {
+    for i in 0..st.threads.len() {
+        if st.threads[i].status == Status::BlockedMutex(mid) {
+            st.threads[i].status = Status::Runnable;
+        }
+    }
+}
+
+/// Consume one DFS choice from inside an op closure (e.g. picking which
+/// condvar waiter a `notify_one` wakes).
+pub(crate) fn op_choice(st: &mut ExecState, arity: usize) -> usize {
+    choice(st, arity)
+}
+
+static EXEC_GEN: StdAtomicU64 = StdAtomicU64::new(0);
+
+/// Resolve a sync object's per-execution id, allocating on first use in
+/// this execution. Ids are stored generation-tagged in the object so stale
+/// ids from earlier executions (or earlier models) are never reused.
+pub(crate) fn resolve_id(
+    tag: &StdAtomicU64,
+    st: &mut ExecState,
+    gen: u64,
+    alloc: impl FnOnce(&mut ExecState) -> usize,
+) -> usize {
+    let packed = tag.load(StdOrd::Relaxed);
+    if packed != u64::MAX && (packed >> 32) == (gen & 0xffff_ffff) {
+        return (packed & 0xffff_ffff) as usize;
+    }
+    let id = alloc(st);
+    tag.store(((gen & 0xffff_ffff) << 32) | id as u64, StdOrd::Relaxed);
+    id
+}
+
+fn spawn_model_thread(
+    shared: Arc<Shared>,
+    gen: u64,
+    tid: usize,
+    f: Box<dyn FnOnce() -> Box<dyn Any + Send> + Send>,
+    result: Arc<StdMutex<Option<Box<dyn Any + Send>>>>,
+) {
+    let body_shared = Arc::clone(&shared);
+    let handle = std::thread::Builder::new()
+        .name(format!("loomish-{tid}"))
+        .spawn(move || {
+            CURRENT.with(|c| {
+                *c.borrow_mut() = Some(Ctx {
+                    shared: Arc::clone(&body_shared),
+                    tid,
+                    gen,
+                })
+            });
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                // Wait to be scheduled before running any user code.
+                let st = lock_state(&body_shared);
+                drop(park(&body_shared, st, tid));
+                f()
+            }));
+            let panicked = match r {
+                Ok(val) => {
+                    *result.lock().unwrap_or_else(|e| e.into_inner()) = Some(val);
+                    None
+                }
+                Err(p) if p.is::<AbortToken>() => None,
+                Err(p) => Some(payload_to_string(p)),
+            };
+            // Finish: mark done, wake joiners, schedule someone else.
+            let mut st = lock_state(&body_shared);
+            st.threads[tid].status = Status::Finished;
+            st.live -= 1;
+            if let Some(msg) = panicked {
+                fail(&mut st, &body_shared, msg);
+            }
+            for i in 0..st.threads.len() {
+                if st.threads[i].status == Status::BlockedJoin(tid) {
+                    st.threads[i].status = Status::Runnable;
+                }
+            }
+            // Even while aborting we must keep handing the token on so
+            // every thread unwinds and `live` reaches zero.
+            switch_after(&body_shared, &mut st, tid);
+        })
+        .expect("loomish: failed to spawn model thread");
+    shared
+        .os_handles
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(handle);
+}
+
+/// Spawn a new model thread (called from `thread::spawn` inside a model).
+pub(crate) fn model_spawn(
+    f: Box<dyn FnOnce() -> Box<dyn Any + Send> + Send>,
+    result: Arc<StdMutex<Option<Box<dyn Any + Send>>>>,
+) -> usize {
+    let cx = ctx().expect("loomish: model_spawn outside a model run");
+    // Registration is not a scheduling point: the child only becomes
+    // observable at the parent's next instrumented op, and it cannot run
+    // before that (the parent holds the token).
+    let tid = with_state_direct(|st, me| {
+        let view = if st.ordering {
+            st.threads[me].view.clone()
+        } else {
+            Vec::new()
+        };
+        st.register_thread(view)
+    });
+    spawn_model_thread(Arc::clone(&cx.shared), cx.gen, tid, f, result);
+    tid
+}
+
+/// Result of a successful exploration.
+#[derive(Debug, Clone, Copy)]
+pub struct Report {
+    /// Number of distinct executions (schedules × read choices) explored.
+    pub executions: usize,
+}
+
+/// A failing execution: the first schedule on which the model panicked,
+/// asserted, or deadlocked.
+#[derive(Debug)]
+pub struct Counterexample {
+    /// Executions run up to and including the failing one.
+    pub executions: usize,
+    /// Panic/assertion/deadlock message.
+    pub message: String,
+    /// Tail of the per-thread operation trace of the failing execution.
+    pub trace: String,
+}
+
+impl std::fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "counterexample after {} executions: {}\nfailing schedule (tail):\n{}",
+            self.executions, self.message, self.trace
+        )
+    }
+}
+
+struct ExecOutcome {
+    record: Vec<Branch>,
+    failure: Option<String>,
+    trace: Vec<(usize, &'static str)>,
+}
+
+/// Configures and runs an exploration. See the module docs for semantics.
+#[derive(Debug, Clone)]
+pub struct Builder {
+    preemption_bound: Option<usize>,
+    ordering_sensitive: bool,
+    max_executions: usize,
+    max_ops: usize,
+    max_threads: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            preemption_bound: Some(4),
+            ordering_sensitive: false,
+            max_executions: 2_000_000,
+            max_ops: 50_000,
+            max_threads: 5,
+        }
+    }
+}
+
+impl Builder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bound on *preemptive* context switches per execution (switching
+    /// away from a thread that could have kept running). Switches at
+    /// blocking points are always free. `None` = unbounded (full DFS).
+    /// Default 4 — empirically enough to expose every bug a handful of
+    /// extra preemptions would (CHESS-style small-bound hypothesis).
+    pub fn preemption_bound(mut self, bound: Option<usize>) -> Self {
+        self.preemption_bound = bound;
+        self
+    }
+
+    /// Enable the ordering-sensitive (release/acquire vs relaxed) memory
+    /// model. Default is sequentially-consistent-per-location.
+    pub fn ordering_sensitive(mut self, on: bool) -> Self {
+        self.ordering_sensitive = on;
+        self
+    }
+
+    /// Abort (panic) if the state space exceeds this many executions.
+    pub fn max_executions(mut self, n: usize) -> Self {
+        self.max_executions = n;
+        self
+    }
+
+    /// Maximum model threads alive at once (including the main closure).
+    pub fn max_threads(mut self, n: usize) -> Self {
+        self.max_threads = n;
+        self
+    }
+
+    fn run_one(&self, prefix: &[Branch], f: Arc<dyn Fn() + Send + Sync>) -> ExecOutcome {
+        let gen = EXEC_GEN.fetch_add(1, StdOrd::Relaxed) + 1;
+        let shared = Arc::new(Shared {
+            state: StdMutex::new(ExecState {
+                threads: Vec::new(),
+                current: 0,
+                mutexes: Vec::new(),
+                condvars: 0,
+                ordering: self.ordering_sensitive,
+                mem: MemState::new(),
+                prefix: prefix.to_vec(),
+                cursor: 0,
+                record: Vec::new(),
+                trace: Vec::new(),
+                preemptions: 0,
+                bound: self.preemption_bound,
+                max_threads: self.max_threads,
+                failure: None,
+                aborting: false,
+                live: 0,
+                done: false,
+                ops: 0,
+                max_ops: self.max_ops,
+            }),
+            cv: StdCondvar::new(),
+            os_handles: StdMutex::new(Vec::new()),
+        });
+        {
+            let mut st = lock_state(&shared);
+            st.register_thread(Vec::new());
+            st.current = 0;
+        }
+        let result = Arc::new(StdMutex::new(None));
+        spawn_model_thread(
+            Arc::clone(&shared),
+            gen,
+            0,
+            Box::new(move || {
+                f();
+                Box::new(())
+            }),
+            result,
+        );
+        let outcome = {
+            let mut st = lock_state(&shared);
+            while !st.done {
+                st = shared.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            ExecOutcome {
+                record: std::mem::take(&mut st.record),
+                failure: st.failure.take(),
+                trace: std::mem::take(&mut st.trace),
+            }
+        };
+        let handles =
+            std::mem::take(&mut *shared.os_handles.lock().unwrap_or_else(|e| e.into_inner()));
+        for h in handles {
+            let _ = h.join();
+        }
+        outcome
+    }
+
+    /// Explore every schedule of `f` (up to the preemption bound). Returns
+    /// the exploration report, or the first counterexample found.
+    pub fn check<F>(&self, f: F) -> Result<Report, Counterexample>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        assert!(
+            ctx().is_none(),
+            "loomish: nested model runs are not supported"
+        );
+        install_hook();
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        let mut prefix: Vec<Branch> = Vec::new();
+        let mut executions = 0usize;
+        loop {
+            executions += 1;
+            assert!(
+                executions <= self.max_executions,
+                "loomish: state space exceeds max_executions={} — shrink the model",
+                self.max_executions
+            );
+            let out = self.run_one(&prefix, Arc::clone(&f));
+            if let Some(message) = out.failure {
+                let tail: Vec<String> = out
+                    .trace
+                    .iter()
+                    .rev()
+                    .take(40)
+                    .rev()
+                    .map(|(tid, label)| format!("  t{tid} {label}"))
+                    .collect();
+                return Err(Counterexample {
+                    executions,
+                    message,
+                    trace: tail.join("\n"),
+                });
+            }
+            // Depth-first backtrack: bump the deepest choice that still
+            // has an unexplored alternative.
+            let mut rec = out.record;
+            let mut advanced = false;
+            while let Some(b) = rec.pop() {
+                if b.chosen + 1 < b.arity {
+                    rec.push(Branch {
+                        chosen: b.chosen + 1,
+                        arity: b.arity,
+                    });
+                    advanced = true;
+                    break;
+                }
+            }
+            if !advanced {
+                return Ok(Report { executions });
+            }
+            prefix = rec;
+        }
+    }
+}
+
+/// Explore every schedule of `f` with the default configuration, panicking
+/// on the first counterexample. Returns the exploration [`Report`] so
+/// callers can assert on / print explored-interleaving counts.
+pub fn model<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::default()
+        .check(f)
+        .unwrap_or_else(|cx| panic!("loomish: {cx}"))
+}

@@ -1,0 +1,709 @@
+//! Instrumented drop-in replacements for `std::sync` primitives.
+//!
+//! Outside a model run every type here is a thin passthrough to the real
+//! std primitive, so crates can be built with their `loomish` feature
+//! enabled and still behave identically in ordinary tests and binaries.
+//! Inside [`crate::model`] / [`crate::Builder::check`], every operation is
+//! a scheduling point executed under the deterministic scheduler, and
+//! atomic accesses go through the selected memory model (see `crate::rt`
+//! module docs).
+
+use crate::rt::{self, op, op_choice, resolve_id, with_state_direct, Blocked, ExecState};
+use std::sync::atomic::{
+    AtomicBool as StdAtomicBool, AtomicPtr as StdAtomicPtr, AtomicU64 as StdAtomicU64,
+    AtomicUsize as StdAtomicUsize, Ordering as StdOrd,
+};
+use std::sync::{Condvar as StdCondvar, LockResult, Mutex as StdMutex};
+
+pub use std::sync::atomic::Ordering;
+
+/// An atomic memory fence. Instrumented under a model run, the real
+/// `std::sync::atomic::fence` otherwise.
+pub fn fence(ord: Ordering) {
+    assert!(ord != Ordering::Relaxed, "fence(Relaxed) is not allowed");
+    if rt::ctx().is_some() {
+        op("fence", |st, me| {
+            st.mem_fence(me, ord);
+            Ok(())
+        })
+    } else {
+        std::sync::atomic::fence(ord);
+    }
+}
+
+/// Generates an instrumented integer atomic wrapping std atomic `$std`
+/// with value type `$t`, converting through u64 for the model.
+macro_rules! int_atomic {
+    ($name:ident, $std:ident, $t:ty) => {
+        pub struct $name {
+            v: $std,
+            /// Generation-tagged model location id (u64::MAX = unassigned).
+            tag: StdAtomicU64,
+        }
+
+        impl $name {
+            pub const fn new(v: $t) -> Self {
+                Self {
+                    v: $std::new(v),
+                    tag: StdAtomicU64::new(u64::MAX),
+                }
+            }
+
+            fn loc(&self, st: &mut ExecState) -> usize {
+                let init = self.v.load(StdOrd::Relaxed) as u64;
+                let gen = rt::ctx().unwrap().gen;
+                resolve_id(&self.tag, st, gen, |st| st.alloc_loc(init))
+            }
+
+            pub fn load(&self, ord: Ordering) -> $t {
+                if rt::ctx().is_none() {
+                    return self.v.load(ord);
+                }
+                op("atomic.load", |st, me| {
+                    let loc = self.loc(st);
+                    Ok(st.mem_load(me, loc, ord) as $t)
+                })
+            }
+
+            pub fn store(&self, val: $t, ord: Ordering) {
+                if rt::ctx().is_none() {
+                    return self.v.store(val, ord);
+                }
+                op("atomic.store", |st, me| {
+                    let loc = self.loc(st);
+                    st.mem_store(me, loc, val as u64, ord);
+                    Ok(())
+                });
+                self.v.store(val, StdOrd::Relaxed);
+            }
+
+            pub fn swap(&self, val: $t, ord: Ordering) -> $t {
+                self.rmw(move |_| val, ord)
+            }
+
+            pub fn fetch_add(&self, val: $t, ord: Ordering) -> $t {
+                if rt::ctx().is_none() {
+                    return self.v.fetch_add(val, ord);
+                }
+                self.rmw(move |old| old.wrapping_add(val), ord)
+            }
+
+            pub fn fetch_sub(&self, val: $t, ord: Ordering) -> $t {
+                if rt::ctx().is_none() {
+                    return self.v.fetch_sub(val, ord);
+                }
+                self.rmw(move |old| old.wrapping_sub(val), ord)
+            }
+
+            pub fn fetch_or(&self, val: $t, ord: Ordering) -> $t {
+                if rt::ctx().is_none() {
+                    return self.v.fetch_or(val, ord);
+                }
+                self.rmw(move |old| old | val, ord)
+            }
+
+            pub fn fetch_and(&self, val: $t, ord: Ordering) -> $t {
+                if rt::ctx().is_none() {
+                    return self.v.fetch_and(val, ord);
+                }
+                self.rmw(move |old| old & val, ord)
+            }
+
+            pub fn fetch_max(&self, val: $t, ord: Ordering) -> $t {
+                if rt::ctx().is_none() {
+                    return self.v.fetch_max(val, ord);
+                }
+                self.rmw(move |old| old.max(val), ord)
+            }
+
+            fn rmw(&self, f: impl Fn($t) -> $t, ord: Ordering) -> $t {
+                if rt::ctx().is_none() {
+                    // std has no generic RMW; emulate with a CAS loop.
+                    let mut cur = self.v.load(StdOrd::Relaxed);
+                    loop {
+                        match self
+                            .v
+                            .compare_exchange_weak(cur, f(cur), ord, StdOrd::Relaxed)
+                        {
+                            Ok(old) => return old,
+                            Err(now) => cur = now,
+                        }
+                    }
+                }
+                let old = op("atomic.rmw", |st, me| {
+                    let loc = self.loc(st);
+                    Ok(st.mem_rmw(me, loc, |old| f(old as $t) as u64, ord) as $t)
+                });
+                self.v.store(f(old), StdOrd::Relaxed);
+                old
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $t,
+                new: $t,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$t, $t> {
+                if rt::ctx().is_none() {
+                    return self.v.compare_exchange(current, new, success, failure);
+                }
+                let r = op("atomic.cas", |st, me| {
+                    let loc = self.loc(st);
+                    Ok(st
+                        .mem_cas(me, loc, current as u64, new as u64, success, failure)
+                        .map(|v| v as $t)
+                        .map_err(|v| v as $t))
+                });
+                if r.is_ok() {
+                    self.v.store(new, StdOrd::Relaxed);
+                }
+                r
+            }
+
+            pub fn compare_exchange_weak(
+                &self,
+                current: $t,
+                new: $t,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$t, $t> {
+                // The model never fails spuriously: spurious failures only
+                // add schedules equivalent to the CAS losing a race.
+                self.compare_exchange(current, new, success, failure)
+            }
+
+            pub fn into_inner(self) -> $t {
+                self.v.into_inner()
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(0)
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                // Reads the mirror value without a scheduling point; kept
+                // coherent by the write-through in store/rmw.
+                std::fmt::Debug::fmt(&self.v.load(StdOrd::Relaxed), f)
+            }
+        }
+    };
+}
+
+int_atomic!(AtomicU64, StdAtomicU64, u64);
+int_atomic!(AtomicUsize, StdAtomicUsize, usize);
+
+pub struct AtomicBool {
+    v: StdAtomicBool,
+    tag: StdAtomicU64,
+}
+
+impl AtomicBool {
+    pub const fn new(v: bool) -> Self {
+        Self {
+            v: StdAtomicBool::new(v),
+            tag: StdAtomicU64::new(u64::MAX),
+        }
+    }
+
+    fn loc(&self, st: &mut ExecState) -> usize {
+        let init = self.v.load(StdOrd::Relaxed) as u64;
+        let gen = rt::ctx().unwrap().gen;
+        resolve_id(&self.tag, st, gen, |st| st.alloc_loc(init))
+    }
+
+    pub fn load(&self, ord: Ordering) -> bool {
+        if rt::ctx().is_none() {
+            return self.v.load(ord);
+        }
+        op("atomic.load", |st, me| {
+            let loc = self.loc(st);
+            Ok(st.mem_load(me, loc, ord) != 0)
+        })
+    }
+
+    pub fn store(&self, val: bool, ord: Ordering) {
+        if rt::ctx().is_none() {
+            return self.v.store(val, ord);
+        }
+        op("atomic.store", |st, me| {
+            let loc = self.loc(st);
+            st.mem_store(me, loc, val as u64, ord);
+            Ok(())
+        });
+        self.v.store(val, StdOrd::Relaxed);
+    }
+
+    pub fn swap(&self, val: bool, ord: Ordering) -> bool {
+        if rt::ctx().is_none() {
+            return self.v.swap(val, ord);
+        }
+        let old = op("atomic.rmw", |st, me| {
+            let loc = self.loc(st);
+            Ok(st.mem_rmw(me, loc, |_| val as u64, ord) != 0)
+        });
+        self.v.store(val, StdOrd::Relaxed);
+        old
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        if rt::ctx().is_none() {
+            return self.v.compare_exchange(current, new, success, failure);
+        }
+        let r = op("atomic.cas", |st, me| {
+            let loc = self.loc(st);
+            Ok(st
+                .mem_cas(me, loc, current as u64, new as u64, success, failure)
+                .map(|v| v != 0)
+                .map_err(|v| v != 0))
+        });
+        if r.is_ok() {
+            self.v.store(new, StdOrd::Relaxed);
+        }
+        r
+    }
+}
+
+impl Default for AtomicBool {
+    fn default() -> Self {
+        Self::new(false)
+    }
+}
+
+impl std::fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&self.v.load(StdOrd::Relaxed), f)
+    }
+}
+
+pub struct AtomicPtr<T> {
+    v: StdAtomicPtr<T>,
+    tag: StdAtomicU64,
+}
+
+impl<T> AtomicPtr<T> {
+    pub const fn new(p: *mut T) -> Self {
+        Self {
+            v: StdAtomicPtr::new(p),
+            tag: StdAtomicU64::new(u64::MAX),
+        }
+    }
+
+    fn loc(&self, st: &mut ExecState) -> usize {
+        let init = self.v.load(StdOrd::Relaxed) as u64;
+        let gen = rt::ctx().unwrap().gen;
+        resolve_id(&self.tag, st, gen, |st| st.alloc_loc(init))
+    }
+
+    pub fn load(&self, ord: Ordering) -> *mut T {
+        if rt::ctx().is_none() {
+            return self.v.load(ord);
+        }
+        op("atomic.load", |st, me| {
+            let loc = self.loc(st);
+            // Round-tripping through u64 drops strict provenance; model
+            // runs only schedule/visibility-check the pointer values.
+            Ok(st.mem_load(me, loc, ord) as usize as *mut T)
+        })
+    }
+
+    pub fn store(&self, p: *mut T, ord: Ordering) {
+        if rt::ctx().is_none() {
+            return self.v.store(p, ord);
+        }
+        op("atomic.store", |st, me| {
+            let loc = self.loc(st);
+            st.mem_store(me, loc, p as u64, ord);
+            Ok(())
+        });
+        self.v.store(p, StdOrd::Relaxed);
+    }
+
+    pub fn swap(&self, p: *mut T, ord: Ordering) -> *mut T {
+        if rt::ctx().is_none() {
+            return self.v.swap(p, ord);
+        }
+        let old = op("atomic.rmw", |st, me| {
+            let loc = self.loc(st);
+            Ok(st.mem_rmw(me, loc, |_| p as u64, ord) as usize as *mut T)
+        });
+        self.v.store(p, StdOrd::Relaxed);
+        old
+    }
+}
+
+impl<T> Default for AtomicPtr<T> {
+    fn default() -> Self {
+        Self::new(std::ptr::null_mut())
+    }
+}
+
+impl<T> std::fmt::Debug for AtomicPtr<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&self.v.load(StdOrd::Relaxed), f)
+    }
+}
+
+/// Instrumented mutex. Never poisons (lock always returns `Ok`), which is
+/// compatible with the `.lock().unwrap()` idiom used across the codebase.
+pub struct Mutex<T: ?Sized> {
+    tag: StdAtomicU64,
+    data: StdMutex<T>,
+}
+
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(t: T) -> Self {
+        Self {
+            tag: StdAtomicU64::new(u64::MAX),
+            data: StdMutex::new(t),
+        }
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn mid(&self, st: &mut ExecState) -> usize {
+        let gen = rt::ctx().unwrap().gen;
+        resolve_id(&self.tag, st, gen, |st| st.alloc_mutex())
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        if rt::ctx().is_none() {
+            let inner = self.data.lock().unwrap_or_else(|e| e.into_inner());
+            return Ok(MutexGuard {
+                lock: self,
+                inner: Some(inner),
+            });
+        }
+        op("mutex.lock", |st, me| {
+            let mid = self.mid(st);
+            match st.mutexes[mid].locked_by {
+                None => {
+                    st.mutexes[mid].locked_by = Some(me);
+                    st.mutex_acquire_view(me, mid);
+                    Ok(())
+                }
+                Some(_) => Err(Blocked::Mutex(mid)),
+            }
+        });
+        let inner = self
+            .data
+            .try_lock()
+            .expect("loomish: model says mutex is free but the std mutex is held");
+        Ok(MutexGuard {
+            lock: self,
+            inner: Some(inner),
+        })
+    }
+
+    pub fn try_lock(
+        &self,
+    ) -> Result<MutexGuard<'_, T>, std::sync::TryLockError<MutexGuard<'_, T>>> {
+        if rt::ctx().is_none() {
+            return match self.data.try_lock() {
+                Ok(inner) => Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(inner),
+                }),
+                Err(_) => Err(std::sync::TryLockError::WouldBlock),
+            };
+        }
+        let got = op("mutex.try_lock", |st, me| {
+            let mid = self.mid(st);
+            Ok(match st.mutexes[mid].locked_by {
+                None => {
+                    st.mutexes[mid].locked_by = Some(me);
+                    st.mutex_acquire_view(me, mid);
+                    true
+                }
+                Some(_) => false,
+            })
+        });
+        if got {
+            let inner = self
+                .data
+                .try_lock()
+                .expect("loomish: model says mutex is free but the std mutex is held");
+            Ok(MutexGuard {
+                lock: self,
+                inner: Some(inner),
+            })
+        } else {
+            Err(std::sync::TryLockError::WouldBlock)
+        }
+    }
+
+    /// Model unlock bookkeeping shared by guard drop and condvar wait.
+    fn model_unlock(st: &mut ExecState, me: usize, mid: usize) {
+        debug_assert_eq!(st.mutexes[mid].locked_by, Some(me));
+        st.mutex_release_view(me, mid);
+        st.mutexes[mid].locked_by = None;
+        rt::wake_mutex_waiters(st, mid);
+    }
+}
+
+impl<T: ?Sized> MutexGuard<'_, T> {
+    /// Release the underlying std lock and return this guard's model mutex
+    /// id, leaving the guard disarmed (its Drop is then a no-op). Used by
+    /// `Condvar::wait` to give up the lock atomically with enqueueing.
+    fn release_for_wait(&mut self, st: &mut ExecState, me: usize) -> usize {
+        let mid = self.lock.mid(st);
+        Mutex::<T>::model_unlock(st, me, mid);
+        mid
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        let inner = self.inner.take();
+        let Some(inner) = inner else {
+            return; // disarmed by Condvar::wait
+        };
+        drop(inner); // release the real lock before the model op can switch
+        if rt::ctx().is_none() {
+            return;
+        }
+        if std::thread::panicking() {
+            // Unwinding (user assertion failed or the execution is being
+            // aborted): release in the model without a scheduling point —
+            // an op here could abort-panic again and that double panic
+            // would take the whole process down.
+            with_state_direct(|st, me| {
+                let mid = self.lock.mid(st);
+                Mutex::<T>::model_unlock(st, me, mid);
+            });
+            return;
+        }
+        op("mutex.unlock", |st, me| {
+            let mid = self.lock.mid(st);
+            Mutex::<T>::model_unlock(st, me, mid);
+            Ok(())
+        });
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard disarmed")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard disarmed")
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut s = f.debug_struct("Mutex");
+        match self.data.try_lock() {
+            Ok(g) => s.field("data", &&*g),
+            Err(_) => s.field("data", &"<locked>"),
+        };
+        s.finish()
+    }
+}
+
+/// Result of `Condvar::wait_timeout`: mirrors `std::sync::WaitTimeoutResult`.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// Instrumented condition variable. Under a model run, `wait_timeout`
+/// waiters only time out at quiescence (see the rt module docs) so
+/// timed-retry loops stay finite while lost wakeups still show up as
+/// deadlocks.
+pub struct Condvar {
+    tag: StdAtomicU64,
+    inner: StdCondvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Self {
+            tag: StdAtomicU64::new(u64::MAX),
+            inner: StdCondvar::new(),
+        }
+    }
+
+    fn cvid(&self, st: &mut ExecState) -> usize {
+        let gen = rt::ctx().unwrap().gen;
+        resolve_id(&self.tag, st, gen, |st| st.alloc_condvar())
+    }
+
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        let (g, _) = self.wait_inner(guard, false);
+        Ok(g)
+    }
+
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: std::time::Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        if rt::ctx().is_none() {
+            return Ok(self.wait_inner_std(guard, Some(timeout)));
+        }
+        Ok(self.wait_inner(guard, true))
+    }
+
+    fn wait_inner_std<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        timeout: Option<std::time::Duration>,
+    ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+        let lock = guard.lock;
+        let inner = guard.inner.take().expect("guard disarmed");
+        let (inner, timed_out) = match timeout {
+            Some(dur) => {
+                let (g, r) = self
+                    .inner
+                    .wait_timeout(inner, dur)
+                    .unwrap_or_else(|e| e.into_inner());
+                (g, r.timed_out())
+            }
+            None => (
+                self.inner.wait(inner).unwrap_or_else(|e| e.into_inner()),
+                false,
+            ),
+        };
+        (
+            MutexGuard {
+                lock,
+                inner: Some(inner),
+            },
+            WaitTimeoutResult { timed_out },
+        )
+    }
+
+    fn wait_inner<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        timeout: bool,
+    ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+        if rt::ctx().is_none() {
+            return self.wait_inner_std(guard, None);
+        }
+        let lock = guard.lock;
+        // Drop the real lock up front; the model serializes access anyway
+        // and the guard is disarmed so its Drop won't double-unlock.
+        drop(guard.inner.take().expect("guard disarmed"));
+        let mut released = false;
+        let timed_out = op("condvar.wait", |st, me| {
+            let cv = self.cvid(st);
+            if !released {
+                released = true;
+                let mutex = guard.release_for_wait(st, me);
+                return Err(Blocked::Condvar { cv, mutex, timeout });
+            }
+            // Woken (notify or quiescence timeout): reacquire the mutex.
+            let mid = lock.mid(st);
+            match st.mutexes[mid].locked_by {
+                None => {
+                    st.mutexes[mid].locked_by = Some(me);
+                    st.mutex_acquire_view(me, mid);
+                    Ok(std::mem::take(&mut st.threads[me].timed_out))
+                }
+                Some(_) => Err(Blocked::Mutex(mid)),
+            }
+        });
+        let inner = lock
+            .data
+            .try_lock()
+            .expect("loomish: model says mutex is free but the std mutex is held");
+        (
+            MutexGuard {
+                lock,
+                inner: Some(inner),
+            },
+            WaitTimeoutResult { timed_out },
+        )
+    }
+
+    pub fn notify_one(&self) {
+        if rt::ctx().is_none() {
+            return self.inner.notify_one();
+        }
+        op("condvar.notify_one", |st, me| {
+            let _ = me;
+            let cv = self.cvid(st);
+            let waiters: Vec<usize> = (0..st.threads.len())
+                .filter(|&i| {
+                    matches!(st.threads[i].status,
+                             rt::Status::BlockedCondvar { cv: c, .. } if c == cv)
+                })
+                .collect();
+            if !waiters.is_empty() {
+                // Which waiter wins the wakeup is a scheduling branch.
+                let c = op_choice(st, waiters.len());
+                rt::wake_condvar_waiter(st, waiters[c], false);
+            }
+            Ok(())
+        })
+    }
+
+    pub fn notify_all(&self) {
+        if rt::ctx().is_none() {
+            return self.inner.notify_all();
+        }
+        op("condvar.notify_all", |st, me| {
+            let _ = me;
+            let cv = self.cvid(st);
+            let waiters: Vec<usize> = (0..st.threads.len())
+                .filter(|&i| {
+                    matches!(st.threads[i].status,
+                             rt::Status::BlockedCondvar { cv: c, .. } if c == cv)
+                })
+                .collect();
+            for w in waiters {
+                rt::wake_condvar_waiter(st, w, false);
+            }
+            Ok(())
+        })
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}

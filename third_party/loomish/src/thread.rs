@@ -1,0 +1,82 @@
+//! Instrumented `thread::spawn`/`JoinHandle`: model threads under a model
+//! run, real `std::thread` otherwise.
+
+use crate::rt::{self, op, Blocked, Status};
+use std::any::Any;
+use std::sync::{Arc, Mutex as StdMutex};
+
+pub use crate::rt::model_thread_id;
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        tid: usize,
+        result: Arc<StdMutex<Option<Box<dyn Any + Send>>>>,
+    },
+}
+
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and return its value. Unlike
+    /// `std::thread`, a panicking model thread fails the whole execution
+    /// before the joiner sees a result, so the `Err` arm is only reachable
+    /// on the std passthrough path.
+    pub fn join(self) -> std::thread::Result<T>
+    where
+        T: 'static,
+    {
+        match self.inner {
+            Inner::Std(h) => h.join(),
+            Inner::Model { tid, result } => {
+                op("thread.join", |st, me| {
+                    if st.threads[tid].status == Status::Finished {
+                        st.join_thread_view(me, tid);
+                        Ok(())
+                    } else {
+                        Err(Blocked::Join(tid))
+                    }
+                });
+                let boxed = result
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("loomish: joined thread left no result");
+                Ok(*boxed.downcast::<T>().expect("loomish: join type mismatch"))
+            }
+        }
+    }
+}
+
+/// Spawn a thread: a model thread inside a model run, a real OS thread
+/// otherwise.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    if rt::ctx().is_none() {
+        return JoinHandle {
+            inner: Inner::Std(std::thread::spawn(f)),
+        };
+    }
+    let result: Arc<StdMutex<Option<Box<dyn Any + Send>>>> = Arc::new(StdMutex::new(None));
+    let boxed: Box<dyn FnOnce() -> Box<dyn Any + Send> + Send> =
+        Box::new(move || Box::new(f()) as Box<dyn Any + Send>);
+    let tid = rt::model_spawn(boxed, Arc::clone(&result));
+    JoinHandle {
+        inner: Inner::Model { tid, result },
+    }
+}
+
+/// Yield: a scheduling point with no memory effect under the model (gives
+/// the explorer a preemption opportunity), `std::thread::yield_now`
+/// otherwise.
+pub fn yield_now() {
+    if rt::ctx().is_none() {
+        return std::thread::yield_now();
+    }
+    op("yield", |_st, _me| Ok(()));
+}
