@@ -32,6 +32,158 @@
 
 use crate::hash::bucket_slot_hash;
 use shortcut_rewire::{SlotLayout, PAGE_SIZE_4K};
+use std::sync::OnceLock;
+
+/// Key-compare kernel used inside the bucket probe. The probe itself is
+/// always the word-at-a-time bitmap walk (one `u64` load covers 64 slots'
+/// presence/tombstone state); the backend only selects how the occupied
+/// candidates within a word are compared against the probe key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeBackend {
+    /// Portable bit-iteration compare (the only backend off x86-64).
+    Scalar,
+    /// SSE2 2-entry-wide compares (baseline on every x86-64).
+    Sse2,
+    /// AVX2 2-entry-per-lane-pair compares (runtime-detected).
+    Avx2,
+}
+
+impl ProbeBackend {
+    /// Stable lowercase name, as surfaced in stats output.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProbeBackend::Scalar => "scalar",
+            ProbeBackend::Sse2 => "sse2",
+            ProbeBackend::Avx2 => "avx2",
+        }
+    }
+}
+
+/// The process-wide probe backend: runtime feature detection (AVX2, else
+/// SSE2 on x86-64, else scalar), overridable for benchmarks and the
+/// non-AVX2 CI leg via `SHORTCUT_PROBE=scalar|sse2|avx2` (an unsupported
+/// or unknown value falls back to detection). Read once and cached.
+pub fn probe_backend() -> ProbeBackend {
+    static BACKEND: OnceLock<ProbeBackend> = OnceLock::new();
+    *BACKEND.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            let detected = if is_x86_feature_detected!("avx2") {
+                ProbeBackend::Avx2
+            } else {
+                ProbeBackend::Sse2
+            };
+            match std::env::var("SHORTCUT_PROBE").as_deref() {
+                Ok("scalar") => ProbeBackend::Scalar,
+                Ok("sse2") => ProbeBackend::Sse2,
+                Ok("avx2") if detected == ProbeBackend::Avx2 => ProbeBackend::Avx2,
+                _ => detected,
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            // Only the portable kernel exists here; the override can at
+            // most restate it.
+            ProbeBackend::Scalar
+        }
+    })
+}
+
+/// Compare the keys of 8 consecutive entries at `p` (stride 16 B: each
+/// entry is `(u64 key, u64 value)`) against `key`; bit `i` of the result
+/// is set iff entry `i`'s key matches.
+///
+/// # Safety
+///
+/// `p` must be valid for reads of 128 bytes (8 whole entries). Alignment
+/// is not required (`loadu`).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "sse2")]
+#[inline]
+unsafe fn eq8_sse2(p: *const u8, key: u64) -> u32 {
+    use std::arch::x86_64::*;
+    let needle = _mm_set1_epi64x(key as i64);
+    let mut out = 0u32;
+    for pair in 0..4 {
+        // SAFETY: pair * 32 + 32 <= 128, within the caller's contract.
+        let keys = unsafe {
+            let q = p.add(pair * 32) as *const __m128i;
+            // Two 16 B entries: (key, value) each; unpacklo gathers the
+            // keys.
+            _mm_unpacklo_epi64(_mm_loadu_si128(q), _mm_loadu_si128(q.add(1)))
+        };
+        // SSE2 has no 64-bit compare; a 64-bit lane matches iff both of
+        // its 32-bit halves match.
+        let eq = _mm_cmpeq_epi32(keys, needle);
+        let m = _mm_movemask_ps(_mm_castsi128_ps(eq)) as u32;
+        let lo = u32::from(m & 3 == 3);
+        let hi = u32::from(m >> 2 & 3 == 3);
+        out |= (lo | hi << 1) << (2 * pair);
+    }
+    out
+}
+
+/// AVX2 variant of [`eq8_sse2`] (same contract): each 32 B load covers two
+/// entries, lanes `[key_i, val_i, key_{i+1}, val_{i+1}]`; the key lanes
+/// are movemask bits 0 and 2.
+///
+/// # Safety
+///
+/// As [`eq8_sse2`], plus the caller must have verified AVX2 support.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn eq8_avx2(p: *const u8, key: u64) -> u32 {
+    use std::arch::x86_64::*;
+    let needle = _mm256_set1_epi64x(key as i64);
+    let mut out = 0u32;
+    for pair in 0..4 {
+        // SAFETY: pair * 32 + 32 <= 128, within the caller's contract.
+        let v = unsafe { _mm256_loadu_si256(p.add(pair * 32) as *const __m256i) };
+        let eq = _mm256_cmpeq_epi64(v, needle);
+        let m = _mm256_movemask_pd(_mm256_castsi256_pd(eq)) as u32;
+        out |= ((m & 1) | (m >> 1 & 2)) << (2 * pair);
+    }
+    out
+}
+
+/// Bits `[from, to)` of a `u64` set. `from < to <= 64`.
+#[inline]
+fn mask_range(from: usize, to: usize) -> u64 {
+    let hi = if to == 64 { u64::MAX } else { (1u64 << to) - 1 };
+    hi & !((1u64 << from) - 1)
+}
+
+/// Home slot of `key` in a bucket of `capacity` slots: multiply-shift
+/// range reduction (`hash · capacity >> 64`) instead of `hash % capacity`.
+/// The distribution is as uniform as the hash, and the widening multiply
+/// replaces a ~25-cycle division that sat at the head of every probe's
+/// data-dependent chain (hash → slot → bitmap word → entry).
+#[inline]
+fn home_slot(key: u64, capacity: usize) -> usize {
+    ((bucket_slot_hash(key) as u128 * capacity as u128) >> 64) as usize
+}
+
+/// Outcome of the unified bucket probe for a key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ProbeHit {
+    /// Key found live in this slot.
+    Found(usize),
+    /// Key absent; `first_free` is the first insertable slot on its probe
+    /// path (a tombstone, or the never-used terminator), `None` when the
+    /// probe wrapped the whole bucket without one.
+    Missing { first_free: Option<usize> },
+}
+
+/// Per-segment control flow of the probe (`[start, capacity)` then
+/// `[0, start)`).
+enum SegmentOutcome {
+    Found(usize),
+    /// Hit a never-used slot: the key cannot be further along.
+    Terminated,
+    /// Segment exhausted without a terminator; continue wrapping.
+    Continue,
+}
 
 /// Entries per 4 KB bucket (`(4096 − 72) / 16`): the capacity of the
 /// default [`BucketLayout::base`], kept as a named constant for the
@@ -40,6 +192,20 @@ pub const BUCKET_CAPACITY: usize = 251;
 
 /// Header offset of the occupied bitmap (independent of capacity).
 const OCCUPIED_OFF: usize = 8;
+
+/// Minimum candidates in an 8-slot byte group before the vector compare
+/// pays for itself: below this the group's 128 B load spans more cache
+/// lines than the individual entries the scalar loop would touch, and
+/// the kernel's fixed cost (broadcast, compare, movemask) exceeds one or
+/// two dependent loads. Measured crossover on the bench host.
+#[cfg(target_arch = "x86_64")]
+const VECTOR_MIN_GROUP: u32 = 4;
+
+/// Slots the probe walks one-by-one before switching to the word-at-a-time
+/// machinery. Short probe runs (the overwhelming majority at the paper's
+/// load limit) are cheapest per-slot; the word walk and vector kernels
+/// only win on long runs and tombstone chains.
+const FAST_PROBE_SLOTS: usize = 8;
 
 /// Derived geometry of a bucket inside a slot of a given byte size: the
 /// largest entry capacity whose entries plus the two bitmaps fit, and the
@@ -233,82 +399,327 @@ impl BucketRef {
         }
     }
 
+    /// The unified probe behind `insert`/`get`/`remove`: walk the linear
+    /// probe path of `key` reading the presence/tombstone bitmaps a whole
+    /// `u64` word (64 slots) at a time, comparing only *occupied* slots —
+    /// with the configured [`ProbeBackend`]'s vector kernel — and stopping
+    /// at the first never-used slot, exactly like the historical per-slot
+    /// loop (which paid a division, two bitmap-word loads and a shift per
+    /// slot). The wrap-around is two linear segments, `[start, capacity)`
+    /// then `[0, start)`, so there is no per-slot modulo.
+    #[inline]
+    fn probe(self, key: u64) -> ProbeHit {
+        // Lazy backend: the OnceLock is consulted only if the fast path
+        // falls through to the word walk, so the common short-run probe
+        // pays no atomic load for dispatch it never uses.
+        self.probe_inner(key, probe_backend)
+    }
+
+    /// [`Self::probe`] with an explicit backend — the agreement tests pit
+    /// every available kernel against the scalar one on the same bucket.
+    #[cfg(test)]
+    #[inline]
+    fn probe_with(self, key: u64, backend: ProbeBackend) -> ProbeHit {
+        self.probe_inner(key, || backend)
+    }
+
+    /// Two tiers. The *fast path*, inlined into the caller: at the paper's
+    /// ~0.35 load limit a probe run averages ~1.3 slots, so a short
+    /// per-slot walk answers nearly every probe with two bit tests and at
+    /// most one key compare per slot — no word machinery, no backend
+    /// dispatch, and a hot-path code footprint as small as the historical
+    /// per-slot loop's. It only handles the all-occupied prefix of the
+    /// run: a match is Found, a never-used slot is a clean Missing (every
+    /// earlier slot was occupied, so it is also the first insertable
+    /// one). A tombstone — where `first_free` bookkeeping starts — or a
+    /// run outlasting the window falls through to the outlined *word
+    /// walk* ([`Self::probe_slow`]), which re-examines the walked slots
+    /// (a few redundant compares, only on the already-expensive path).
+    /// `backend` is a thunk so each instantiation const-folds it away.
+    #[inline(always)]
+    fn probe_inner(self, key: u64, backend: impl FnOnce() -> ProbeBackend) -> ProbeHit {
+        let capacity = self.layout.capacity();
+        let start = home_slot(key, capacity);
+        let mut slot = start;
+        for _ in 0..FAST_PROBE_SLOTS.min(capacity) {
+            if self.bit(OCCUPIED_OFF, slot) {
+                if self.entry(slot).0 == key {
+                    return ProbeHit::Found(slot);
+                }
+            } else if !self.bit(self.tombstone_off(), slot) {
+                return ProbeHit::Missing {
+                    first_free: Some(slot),
+                };
+            } else {
+                break;
+            }
+            slot += 1;
+            if slot == capacity {
+                slot = 0;
+            }
+        }
+        self.probe_slow(key, start, backend())
+    }
+
+    /// The outlined tier of [`Self::probe_with`]: dispatches once into a
+    /// `#[target_feature]` wrapper so the whole word walk — including the
+    /// vector compares — compiles as one feature-enabled region: the
+    /// `eq8_*` kernels inline into the loop instead of paying a call
+    /// (and, on AVX2, a `vzeroupper`) per byte group.
+    fn probe_slow(self, key: u64, start: usize, backend: ProbeBackend) -> ProbeHit {
+        #[cfg(target_arch = "x86_64")]
+        match backend {
+            // SAFETY: SSE2 is part of the x86-64 baseline.
+            ProbeBackend::Sse2 => return unsafe { self.probe_sse2(key, start) },
+            // SAFETY: `probe_backend` only yields Avx2 when
+            // `is_x86_feature_detected!("avx2")` held, and `probe_with`
+            // callers pass either that value or a backend from
+            // `all_backends` (same detection).
+            ProbeBackend::Avx2 => return unsafe { self.probe_avx2(key, start) },
+            ProbeBackend::Scalar => {}
+        }
+        self.probe_body(key, start, ProbeBackend::Scalar)
+    }
+
+    /// SSE2-region instantiation of [`Self::probe_body`].
+    ///
+    /// # Safety
+    ///
+    /// SSE2 must be available (always true on x86-64).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "sse2")]
+    unsafe fn probe_sse2(self, key: u64, start: usize) -> ProbeHit {
+        self.probe_body(key, start, ProbeBackend::Sse2)
+    }
+
+    /// AVX2-region instantiation of [`Self::probe_body`].
+    ///
+    /// # Safety
+    ///
+    /// AVX2 must be available (runtime-detected).
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn probe_avx2(self, key: u64, start: usize) -> ProbeHit {
+        self.probe_body(key, start, ProbeBackend::Avx2)
+    }
+
+    /// The word walk proper; `backend` is a compile-time constant in every
+    /// instantiation, so the per-word dispatch folds away.
+    #[inline(always)]
+    fn probe_body(self, key: u64, start: usize, backend: ProbeBackend) -> ProbeHit {
+        let capacity = self.layout.capacity();
+        let mut first_free = None;
+        match self.probe_segment(key, start, capacity, backend, &mut first_free) {
+            SegmentOutcome::Found(slot) => return ProbeHit::Found(slot),
+            SegmentOutcome::Terminated => return ProbeHit::Missing { first_free },
+            SegmentOutcome::Continue => {}
+        }
+        match self.probe_segment(key, 0, start, backend, &mut first_free) {
+            SegmentOutcome::Found(slot) => ProbeHit::Found(slot),
+            SegmentOutcome::Terminated | SegmentOutcome::Continue => {
+                ProbeHit::Missing { first_free }
+            }
+        }
+    }
+
+    /// Probe slots `[lo, hi)` in ascending order. Updates `first_free`
+    /// with the first insertable (not-occupied) slot on the path — a
+    /// tombstone, or the terminating never-used slot — if none was found
+    /// in an earlier segment.
+    ///
+    /// The tombstone word is loaded only once the probe reaches a *gap*
+    /// (a non-occupied slot): candidates below the first gap are matched
+    /// against the occupied word alone, so the common home-slot hit costs
+    /// one bitmap line plus one entry line. (On large buckets the two
+    /// bitmaps sit `8·⌈cap/64⌉` bytes apart — an unconditional tombstone
+    /// load measured as a whole extra cache miss per lookup at `k = 4`.)
+    /// Matching occupied slots before knowing where the terminator lies
+    /// is sound: inserts fill the first gap on the key's path and
+    /// never-used slots are never re-created, so a live key cannot sit
+    /// past a never-used slot on its path.
+    #[inline(always)]
+    fn probe_segment(
+        self,
+        key: u64,
+        lo: usize,
+        hi: usize,
+        backend: ProbeBackend,
+        first_free: &mut Option<usize>,
+    ) -> SegmentOutcome {
+        if lo >= hi {
+            return SegmentOutcome::Continue;
+        }
+        let tomb_off = self.tombstone_off();
+        for w in (lo / 64)..=((hi - 1) / 64) {
+            let base = w * 64;
+            let region = mask_range(lo.max(base) - base, (hi - base).min(64));
+            let occ = self.bitmap_word(OCCUPIED_OFF, w) & region;
+            let gaps = region & !occ;
+            if gaps == 0 {
+                // Fully occupied region: every slot is on the path and
+                // nothing can terminate the probe here.
+                if occ != 0 {
+                    if let Some(slot) = self.match_key_in_word(key, base, occ, backend) {
+                        return SegmentOutcome::Found(slot);
+                    }
+                }
+                continue;
+            }
+            // Candidates below the first gap need no tombstone knowledge.
+            let first_gap = gaps.trailing_zeros();
+            let run = occ & ((1u64 << first_gap) - 1);
+            if run != 0 {
+                if let Some(slot) = self.match_key_in_word(key, base, run, backend) {
+                    return SegmentOutcome::Found(slot);
+                }
+            }
+            // The first gap — tombstone or never-used — is the first
+            // insertable slot on the path.
+            if first_free.is_none() {
+                *first_free = Some(base + first_gap as usize);
+            }
+            let free = gaps & !self.bitmap_word(tomb_off, w);
+            if free != 0 {
+                // The lowest never-used slot terminates the probe;
+                // occupied slots between the first gap and it are still
+                // on the key's path.
+                let t = free.trailing_zeros();
+                let rest = occ & !run & ((1u64 << t) | ((1u64 << t) - 1));
+                if rest != 0 {
+                    if let Some(slot) = self.match_key_in_word(key, base, rest, backend) {
+                        return SegmentOutcome::Found(slot);
+                    }
+                }
+                return SegmentOutcome::Terminated;
+            }
+            // Every gap is a tombstone: the remaining occupied slots all
+            // stay on the path.
+            let rest = occ & !run;
+            if rest != 0 {
+                if let Some(slot) = self.match_key_in_word(key, base, rest, backend) {
+                    return SegmentOutcome::Found(slot);
+                }
+            }
+        }
+        SegmentOutcome::Continue
+    }
+
+    /// Compare `key` against every candidate slot (set bits of `cand`,
+    /// relative to slot `base`) and return the matching slot, if any.
+    /// Candidates come 8 to a byte; a byte group with at least
+    /// [`VECTOR_MIN_GROUP`] candidates whose 8 entries lie fully within
+    /// capacity rides the vector kernel (which loads all 8 whole entries —
+    /// also the non-candidates, whose bytes are always readable and whose
+    /// false matches the candidate mask filters out). Sparse groups and
+    /// the final partial group, where an 8-entry load would run past the
+    /// entry array, use bit iteration: at the paper's ~0.35 load limit a
+    /// probe run averages ~1.3 slots, and a 128 B vector compare there
+    /// touches *more* cache lines than the one entry the scalar loop
+    /// reads — measured as a net regression until gated by density.
+    #[inline(always)]
+    fn match_key_in_word(
+        self,
+        key: u64,
+        base: usize,
+        cand: u64,
+        backend: ProbeBackend,
+    ) -> Option<usize> {
+        #[cfg(target_arch = "x86_64")]
+        if backend != ProbeBackend::Scalar {
+            let capacity = self.layout.capacity();
+            let mut m = cand;
+            while m != 0 {
+                let j = (m.trailing_zeros() / 8) as usize;
+                let byte = (m >> (8 * j) & 0xff) as u32;
+                let group = base + 8 * j;
+                if byte.count_ones() >= VECTOR_MIN_GROUP && group + 8 <= capacity {
+                    // SAFETY: group + 8 <= capacity keeps all 128 bytes at
+                    // `p` inside the entry array (from_ptr contract).
+                    let p = unsafe { self.ptr.add(self.layout.entries_off as usize + group * 16) };
+                    // SAFETY: 128 readable bytes at `p` (above); the Avx2
+                    // backend is only selected when AVX2 is detected.
+                    let eq = unsafe {
+                        match backend {
+                            ProbeBackend::Avx2 => eq8_avx2(p, key),
+                            _ => eq8_sse2(p, key),
+                        }
+                    };
+                    let hit = eq & byte;
+                    if hit != 0 {
+                        return Some(group + hit.trailing_zeros() as usize);
+                    }
+                } else if let Some(slot) = self.match_key_scalar(key, group, byte as u64) {
+                    return Some(slot);
+                }
+                m &= !(0xffu64 << (8 * j));
+            }
+            return None;
+        }
+        self.match_key_scalar(key, base, cand)
+    }
+
+    /// Bit-iteration key compare over the set bits of `cand` (slots
+    /// relative to `base`).
+    #[inline]
+    fn match_key_scalar(self, key: u64, base: usize, mut cand: u64) -> Option<usize> {
+        while cand != 0 {
+            let slot = base + cand.trailing_zeros() as usize;
+            if self.entry(slot).0 == key {
+                return Some(slot);
+            }
+            cand &= cand - 1;
+        }
+        None
+    }
+
     /// Insert or update `key`, refusing (returning [`InsertOutcome::Full`])
     /// once `max_entries` live entries are reached and the key is new.
     pub fn insert(self, key: u64, value: u64, max_entries: usize) -> InsertOutcome {
-        let capacity = self.layout.capacity();
-        let start = (bucket_slot_hash(key) % capacity as u64) as usize;
-        let mut first_free: Option<usize> = None;
-        for i in 0..capacity {
-            let slot = (start + i) % capacity;
-            if self.bit(OCCUPIED_OFF, slot) {
-                if self.entry(slot).0 == key {
-                    self.set_entry(slot, key, value);
-                    return InsertOutcome::Updated;
-                }
-            } else {
-                if first_free.is_none() {
-                    first_free = Some(slot);
-                }
-                // A never-occupied, never-deleted slot terminates the probe:
-                // the key cannot be further along.
-                if !self.bit(self.tombstone_off(), slot) {
-                    break;
-                }
-            }
-        }
-        if self.count() >= max_entries {
-            return InsertOutcome::Full;
-        }
-        match first_free {
-            Some(slot) => {
+        match self.probe(key) {
+            ProbeHit::Found(slot) => {
                 self.set_entry(slot, key, value);
-                self.set_bit(OCCUPIED_OFF, slot, true);
-                self.set_bit(self.tombstone_off(), slot, false);
-                self.set_count(self.count() + 1);
-                InsertOutcome::Inserted
+                InsertOutcome::Updated
             }
-            None => InsertOutcome::Full,
+            ProbeHit::Missing { first_free } => {
+                if self.count() >= max_entries {
+                    return InsertOutcome::Full;
+                }
+                match first_free {
+                    Some(slot) => {
+                        self.set_entry(slot, key, value);
+                        self.set_bit(OCCUPIED_OFF, slot, true);
+                        self.set_bit(self.tombstone_off(), slot, false);
+                        self.set_count(self.count() + 1);
+                        InsertOutcome::Inserted
+                    }
+                    None => InsertOutcome::Full,
+                }
+            }
         }
     }
 
     /// Look up `key`.
+    #[inline]
     pub fn get(self, key: u64) -> Option<u64> {
-        let capacity = self.layout.capacity();
-        let start = (bucket_slot_hash(key) % capacity as u64) as usize;
-        for i in 0..capacity {
-            let slot = (start + i) % capacity;
-            if self.bit(OCCUPIED_OFF, slot) {
-                let (k, v) = self.entry(slot);
-                if k == key {
-                    return Some(v);
-                }
-            } else if !self.bit(self.tombstone_off(), slot) {
-                return None;
-            }
+        match self.probe(key) {
+            ProbeHit::Found(slot) => Some(self.entry(slot).1),
+            ProbeHit::Missing { .. } => None,
         }
-        None
     }
 
-    /// Remove `key`, returning its value.
+    /// Remove `key`, returning its value. Shares `get`'s probe, including
+    /// its early termination at the first never-used slot.
     pub fn remove(self, key: u64) -> Option<u64> {
-        let capacity = self.layout.capacity();
-        let start = (bucket_slot_hash(key) % capacity as u64) as usize;
-        for i in 0..capacity {
-            let slot = (start + i) % capacity;
-            if self.bit(OCCUPIED_OFF, slot) {
-                let (k, v) = self.entry(slot);
-                if k == key {
-                    self.set_bit(OCCUPIED_OFF, slot, false);
-                    self.set_bit(self.tombstone_off(), slot, true);
-                    self.set_count(self.count() - 1);
-                    return Some(v);
-                }
-            } else if !self.bit(self.tombstone_off(), slot) {
-                return None;
+        match self.probe(key) {
+            ProbeHit::Found(slot) => {
+                let v = self.entry(slot).1;
+                self.set_bit(OCCUPIED_OFF, slot, false);
+                self.set_bit(self.tombstone_off(), slot, true);
+                self.set_count(self.count() - 1);
+                Some(v)
             }
+            ProbeHit::Missing { .. } => None,
         }
-        None
     }
 
     /// Copy out all live entries (used when splitting).
@@ -465,11 +876,11 @@ mod tests {
     fn tombstones_do_not_break_probe_chains() {
         // Force three keys into the same start slot by brute-force search.
         let (_m, b) = page();
-        let start = (bucket_slot_hash(1) % BUCKET_CAPACITY as u64) as usize;
+        let start = home_slot(1, BUCKET_CAPACITY);
         let mut colliders = vec![1u64];
         let mut k = 2u64;
         while colliders.len() < 3 {
-            if (bucket_slot_hash(k) % BUCKET_CAPACITY as u64) as usize == start {
+            if home_slot(k, BUCKET_CAPACITY) == start {
                 colliders.push(k);
             }
             k += 1;
@@ -516,6 +927,108 @@ mod tests {
         assert_eq!(b.count(), 0);
         assert_eq!(b.local_depth(), 3);
         assert_eq!(b.get(5), None);
+    }
+
+    /// Every backend the host can run (scalar everywhere; SSE2 and, when
+    /// detected, AVX2 on x86-64). The agreement tests pit them pairwise on
+    /// identical bucket states — including the forced-scalar CI leg, where
+    /// `probe_backend()` itself returns `Scalar` but the vector kernels
+    /// are still exercised here through `probe_with`.
+    fn all_backends() -> Vec<ProbeBackend> {
+        #[allow(unused_mut)]
+        let mut backends = vec![ProbeBackend::Scalar];
+        #[cfg(target_arch = "x86_64")]
+        {
+            backends.push(ProbeBackend::Sse2);
+            if is_x86_feature_detected!("avx2") {
+                backends.push(ProbeBackend::Avx2);
+            }
+        }
+        backends
+    }
+
+    /// Deterministic interleaving of inserts/removes (keys folded into a
+    /// small domain to force collision chains and tombstones), probing
+    /// every backend for exact agreement — `Found` slot, `Missing`
+    /// first-free, everything — after each mutation, at every layout.
+    mod agreement {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn run_ops(layout: BucketLayout, ops: &[(u8, u64)], probes: &[u64]) {
+            let backends = all_backends();
+            let (_m, b) = slot(layout);
+            let domain = (layout.capacity() as u64 / 2).max(8);
+            let limit = layout.capacity();
+            for &(kind, raw) in ops {
+                let key = raw % domain;
+                match kind % 3 {
+                    0 | 1 => {
+                        b.insert(key, !raw, limit);
+                    }
+                    _ => {
+                        b.remove(key);
+                    }
+                }
+                for &p in probes {
+                    let want = b.probe_with(p % domain, ProbeBackend::Scalar);
+                    for &back in &backends[1..] {
+                        assert_eq!(
+                            b.probe_with(p % domain, back),
+                            want,
+                            "backend {back:?} diverged from scalar (key {})",
+                            p % domain
+                        );
+                    }
+                }
+            }
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(24))]
+            #[test]
+            fn backends_agree_at_every_layout(
+                ops in proptest::collection::vec((any::<u8>(), any::<u64>()), 1..120),
+                probes in proptest::collection::vec(any::<u64>(), 4..12),
+            ) {
+                for k in 0..=SlotLayout::MAX_SLOT_POWER {
+                    let layout = BucketLayout::for_slot(SlotLayout::new(k).unwrap());
+                    run_ops(layout, &ops, &probes);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vector_kernels_match_scalar_on_a_full_bucket() {
+        // Saturate a bucket (no tombstones, every word all-ones, the
+        // capacity-boundary partial group live) and check every key plus
+        // misses through each backend.
+        for layout in [BucketLayout::base(), BucketLayout::for_bytes(512)] {
+            let (_m, b) = slot(layout);
+            let cap = layout.capacity();
+            for key in 0..cap as u64 {
+                assert_eq!(b.insert(key, key ^ 0xdead, cap), InsertOutcome::Inserted);
+            }
+            for back in all_backends() {
+                for key in 0..cap as u64 {
+                    assert_eq!(
+                        b.probe_with(key, back),
+                        ProbeHit::Found(match b.probe_with(key, ProbeBackend::Scalar) {
+                            ProbeHit::Found(slot) => slot,
+                            miss => panic!("scalar lost key {key}: {miss:?}"),
+                        }),
+                        "{back:?} key {key}"
+                    );
+                }
+                // A missing key in a full bucket wraps the whole table.
+                assert_eq!(
+                    b.probe_with(u64::MAX, back),
+                    ProbeHit::Missing { first_free: None },
+                    "{back:?} miss"
+                );
+            }
+        }
     }
 
     #[test]

@@ -37,7 +37,9 @@ pub mod shortcut_eh;
 pub mod stats;
 pub mod traits;
 
-pub use bucket::{BucketLayout, BucketRef, InsertOutcome, BUCKET_CAPACITY};
+pub use bucket::{
+    probe_backend, BucketLayout, BucketRef, InsertOutcome, ProbeBackend, BUCKET_CAPACITY,
+};
 pub use chained::{ChConfig, ChainedHash};
 pub use eh::{CompactionOutcome, DirEvent, EhConfig, ExtendibleHash};
 pub use error::IndexError;

@@ -194,6 +194,12 @@ impl ShortcutEh {
         self.eh.vma_stats()
     }
 
+    /// Reader-pin pairing of this index's retire list (asymmetric
+    /// membarrier pins, or the Dekker RMW fallback).
+    pub fn pin_strategy(&self) -> shortcut_rewire::PinStrategy {
+        self.retire.pin_strategy()
+    }
+
     /// Whether shortcut maintenance is suspended because the directory no
     /// longer fits the VMA budget. The index keeps answering every lookup
     /// through the traditional directory; raise `vm.max_map_count` (or the
@@ -610,8 +616,16 @@ impl Index for ShortcutEh {
     /// raced a modification falls back to the traditional directory.
     fn get_many(&self, keys: &[u64]) -> Vec<Option<u64>> {
         let mut out: Vec<Option<u64>> = Vec::with_capacity(keys.len());
+        // The policy decision (fan-in computation included) depends only
+        // on directory shape, which `&self` methods cannot change — pay it
+        // once per batch, not per chunk. The *pin*, by contrast, stays
+        // per-chunk on purpose: one pin spanning an arbitrarily large
+        // batch would keep a reclaim-scan stripe busy indefinitely and
+        // starve retired-directory reclamation (PR 3's bounded-spin scan
+        // gives up, and retired areas accumulate against the VMA budget).
+        let use_shortcut = self.policy.use_shortcut(self.eh.avg_fanin(), true);
         for chunk in keys.chunks(Self::GET_MANY_PIN_CHUNK.max(1)) {
-            if self.policy.use_shortcut(self.eh.avg_fanin(), true) && self.in_sync() {
+            if use_shortcut && self.in_sync() {
                 let _pin = self.retire.pin();
                 if let Some(t) = self.maint.state().begin_read() {
                     debug_assert!(t.slots.is_power_of_two());

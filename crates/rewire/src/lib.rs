@@ -54,7 +54,7 @@ pub use error::{Error, Result};
 pub use memfile::MemFile;
 pub use page::{is_page_aligned, page_size, pages_to_bytes, PageIdx, PAGE_SHIFT_4K, PAGE_SIZE_4K};
 pub use pool::{PagePool, PoolConfig, PoolHandle};
-pub use retire::{ReaderPin, Reclaimable, RetireCore, RetireList};
+pub use retire::{PinStrategy, ReaderPin, Reclaimable, RetireCore, RetireList};
 pub use slot::{SlotLayout, HUGE_PAGE_BYTES};
 pub use stats::{RewireStats, StatsSnapshot};
 pub use varea::{planned_vmas, rewire_page_raw, Mapping, VirtArea};

@@ -21,7 +21,7 @@ use crate::budget::{BudgetBinding, PoolUsage, VmaBudget, VmaSnapshot};
 use crate::error::{Error, Result};
 use crate::memfile::MemFile;
 use crate::page::{page_size, PageIdx};
-use crate::retire::RetireList;
+use crate::retire::{PinStrategy, RetireList};
 use crate::slot::SlotLayout;
 use crate::stats::{RewireStats, StatsSnapshot};
 use crate::varea::reserve_aligned;
@@ -135,6 +135,12 @@ pub struct PoolConfig {
     /// still fail with a typed `mmap` error if the reserved hugepage pool
     /// runs dry mid-run.
     pub huge_pages: bool,
+    /// Reader-pin pairing for this pool's retire list. `None` (default)
+    /// probes `membarrier(2)` once per process and picks
+    /// [`PinStrategy::Asymmetric`] when registration succeeds, else the
+    /// PR 3 [`PinStrategy::Dekker`] pairing. Tests force `Dekker` to
+    /// exercise the fallback matrix on hosts that do support membarrier.
+    pub pin_strategy: Option<PinStrategy>,
 }
 
 impl Default for PoolConfig {
@@ -150,6 +156,7 @@ impl Default for PoolConfig {
             fair_share: false,
             slot_layout: SlotLayout::base(),
             huge_pages: false,
+            pin_strategy: None,
         }
     }
 }
@@ -322,6 +329,7 @@ impl PagePool {
         let usage = budget.register_pool(cfg.fair_share);
         BudgetBinding::with_pool(Arc::clone(&budget), Arc::clone(&usage)).charge(POOL_VIEW_VMAS);
 
+        let cfg_pin_strategy = cfg.pin_strategy;
         let mut pool = PagePool {
             file,
             layout,
@@ -336,7 +344,10 @@ impl PagePool {
             stats,
             budget,
             usage,
-            retire: Arc::new(RetireList::new()),
+            retire: Arc::new(match cfg_pin_strategy {
+                Some(s) => RetireList::with_strategy(s),
+                None => RetireList::new(),
+            }),
         };
         let initial = pool.cfg.initial_pages;
         if initial > 0 {

@@ -28,17 +28,29 @@
 //! unsound: an area is dropped strictly after every reader that could hold
 //! its base has unpinned.
 //!
+//! Two pin/scan pairings exist, selected per list by [`PinStrategy`]:
+//! the PR 3 **Dekker** pairing (reader: SeqCst RMW; reclaimer: SeqCst
+//! fence), and the **asymmetric** pairing in which exclusive-slot readers
+//! pin with plain load/store only and the reclaimer issues an expedited
+//! `membarrier(2)` — a full barrier executed inside every running thread —
+//! before its scan. `membarrier` support is probed and registered once at
+//! pool init; anything short of full support degrades to Dekker, so the
+//! fallback path is byte-for-byte the protocol PR 3 proved.
+//!
 //! The protocol's interleavings — and the necessity of each of its memory
 //! orderings — are proved exhaustively by the loomish model tests in
-//! `tests/loom_retire.rs` (see `CONCURRENCY.md`). The retirement machinery
-//! is generic ([`RetireCore<T>`]) so those tests can retire an observable
-//! stand-in resource instead of a real mapping.
+//! `tests/loom_retire.rs` and `tests/loom_asym_pin.rs` (see
+//! `CONCURRENCY.md`). The retirement machinery is generic
+//! ([`RetireCore<T>`]) so those tests can retire an observable stand-in
+//! resource instead of a real mapping.
 
 use crate::sync::{fence, AtomicU64, AtomicUsize, Mutex, Ordering};
 use crate::varea::VirtArea;
 
-/// Number of reader stripes. Threads hash onto stripes; collisions only
-/// cost sharing of a cache line, never correctness (stripes are counters).
+/// Number of *exclusive* reader slots. The first `STRIPES` threads to pin
+/// each own one slot outright, which is what makes the asymmetric
+/// plain-store pin sound (no other thread ever writes the slot). Threads
+/// beyond that share the overflow stripes below through SeqCst RMWs.
 ///
 /// Shrunk under the loomish feature so exhaustive model exploration stays
 /// tractable (the reclaim scan visits every stripe).
@@ -46,6 +58,15 @@ use crate::varea::VirtArea;
 const STRIPES: usize = 32;
 #[cfg(feature = "loomish")]
 const STRIPES: usize = 2;
+
+/// Shared overflow stripes for threads past the exclusive slots. Access is
+/// always a SeqCst RMW (the PR 3 Dekker pairing) — collisions on a shared
+/// counter must not lose updates, so the plain-store fast path is reserved
+/// for exclusive slots.
+#[cfg(not(feature = "loomish"))]
+const OVERFLOW_STRIPES: usize = 8;
+#[cfg(feature = "loomish")]
+const OVERFLOW_STRIPES: usize = 1;
 
 /// Bounded spins per stripe while waiting for in-flight readers (which
 /// hold pins for nanoseconds) to drain during a reclaim scan.
@@ -58,20 +79,149 @@ const SCAN_SPINS: usize = 2;
 #[derive(Default)]
 struct Stripe(AtomicUsize);
 
-fn stripe_index() -> usize {
-    // Under an active model run, stripe assignment must be a pure function
+/// How reader pins pair with the reclaim scan. Fixed per [`RetireCore`] at
+/// construction; surfaced through the facade's `StatsSnapshot`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PinStrategy {
+    /// Asymmetric pins: readers on exclusive slots write their pin with
+    /// plain/Release stores only (no RMW, no fence — load/store-only hot
+    /// path), and the reclaimer issues
+    /// `membarrier(MEMBARRIER_CMD_PRIVATE_EXPEDITED)` before its stripe
+    /// scan to execute the heavy half of the barrier on every running
+    /// thread at once. Requires a successful
+    /// `MEMBARRIER_CMD_REGISTER_PRIVATE_EXPEDITED` (performed by
+    /// [`PinStrategy::detect`] at pool init).
+    Asymmetric,
+    /// The PR 3 pairing: every pin is a SeqCst `fetch_add` Dekker-paired
+    /// with the reclaimer's SeqCst fence. The compile/runtime fallback
+    /// when `membarrier` is unavailable (non-Linux, ENOSYS, seccomp).
+    Dekker,
+}
+
+impl PinStrategy {
+    /// Probe and register `membarrier(2)` once per process; pools built
+    /// without an explicit override call this at init. Returns
+    /// [`PinStrategy::Asymmetric`] iff the kernel advertises
+    /// `MEMBARRIER_CMD_PRIVATE_EXPEDITED` and accepts the registration —
+    /// anything else (ENOSYS on old kernels, EPERM under strict seccomp,
+    /// non-Linux targets) degrades to [`PinStrategy::Dekker`], which is
+    /// exactly the PR 3 protocol.
+    pub fn detect() -> PinStrategy {
+        static DETECTED: std::sync::OnceLock<PinStrategy> = std::sync::OnceLock::new();
+        *DETECTED.get_or_init(|| {
+            #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+            {
+                // SAFETY: membarrier takes no pointers; query and register
+                // are side-effect-free beyond flagging this mm as
+                // expedited-registered.
+                let q = unsafe {
+                    libc::syscall(libc::SYS_membarrier, libc::MEMBARRIER_CMD_QUERY, 0, 0)
+                };
+                let expedited = libc::MEMBARRIER_CMD_PRIVATE_EXPEDITED as libc::c_long;
+                if q >= 0 && (q & expedited) != 0 {
+                    // SAFETY: as above; registration arms the expedited
+                    // command for every current and future thread.
+                    let reg = unsafe {
+                        libc::syscall(
+                            libc::SYS_membarrier,
+                            libc::MEMBARRIER_CMD_REGISTER_PRIVATE_EXPEDITED,
+                            0,
+                            0,
+                        )
+                    };
+                    if reg == 0 {
+                        return PinStrategy::Asymmetric;
+                    }
+                }
+            }
+            PinStrategy::Dekker
+        })
+    }
+}
+
+impl std::fmt::Display for PinStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PinStrategy::Asymmetric => "asymmetric",
+            PinStrategy::Dekker => "dekker",
+        })
+    }
+}
+
+/// Issue the process-wide expedited barrier that pairs with asymmetric
+/// pins. Returns `false` if the syscall failed — impossible after a
+/// successful registration per the kernel contract, but the caller aborts
+/// the scan rather than read the stripes unpaired if it ever happens.
+fn expedited_barrier() -> bool {
+    // Under an active model run the barrier is the loomish fence-injection
+    // op (every model thread gets a SeqCst fence at its current program
+    // point — see `loomish::sync::membarrier`).
+    #[cfg(feature = "loomish")]
+    if loomish::thread::model_thread_id().is_some() {
+        loomish::sync::membarrier();
+        return true;
+    }
+    #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
+    {
+        // SAFETY: membarrier takes no pointers; the expedited command only
+        // IPIs the process's own running threads.
+        let r = unsafe {
+            libc::syscall(
+                libc::SYS_membarrier,
+                libc::MEMBARRIER_CMD_PRIVATE_EXPEDITED,
+                0,
+                0,
+            )
+        };
+        r == 0
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        false
+    }
+}
+
+/// A thread's stripe assignment: the first [`STRIPES`] threads own an
+/// exclusive slot (asym-eligible), later threads share the overflow
+/// stripes (always RMW).
+#[derive(Clone, Copy)]
+enum SlotClaim {
+    Exclusive(usize),
+    Shared(usize),
+}
+
+impl SlotClaim {
+    fn index(self) -> usize {
+        match self {
+            SlotClaim::Exclusive(i) | SlotClaim::Shared(i) => i,
+        }
+    }
+}
+
+fn slot_claim() -> SlotClaim {
+    // Under an active model run, slot assignment must be a pure function
     // of the (deterministic) model thread id — the process-global counter
-    // below would hand different stripes to the same logical thread across
+    // below would hand different slots to the same logical thread across
     // replayed executions and break DFS replay.
     #[cfg(feature = "loomish")]
     if let Some(tid) = loomish::thread::model_thread_id() {
-        return tid % STRIPES;
+        return if tid < STRIPES {
+            SlotClaim::Exclusive(tid)
+        } else {
+            SlotClaim::Shared(STRIPES + tid % OVERFLOW_STRIPES)
+        };
     }
     static NEXT: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
     thread_local! {
         static IDX: usize = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
-    IDX.with(|i| *i % STRIPES)
+    IDX.with(|&i| {
+        if i < STRIPES {
+            SlotClaim::Exclusive(i)
+        } else {
+            SlotClaim::Shared(STRIPES + i % OVERFLOW_STRIPES)
+        }
+    })
 }
 
 /// Proof of an in-flight shortcut read. While any pin taken before a
@@ -79,13 +229,26 @@ fn stripe_index() -> usize {
 /// releases the reader's stripe.
 pub struct ReaderPin<'a> {
     stripe: &'a AtomicUsize,
+    /// Taken through the asymmetric plain-store path (exclusive slot,
+    /// [`PinStrategy::Asymmetric`]); the unpin must mirror it.
+    asym: bool,
 }
 
 impl Drop for ReaderPin<'_> {
     fn drop(&mut self) {
-        // Release: every load the reader performed through the ticket base
-        // happens-before a reclaimer that observes this stripe at zero.
-        self.stripe.fetch_sub(1, Ordering::Release);
+        if self.asym {
+            // Exclusive slot: this thread is the only writer, so the plain
+            // load cannot race. Release on the store: every load the
+            // reader performed through the ticket base happens-before a
+            // reclaimer whose (membarrier-paired) scan observes the zero.
+            self.stripe
+                .store(self.stripe.load(Ordering::Relaxed) - 1, Ordering::Release);
+        } else {
+            // Release: every load the reader performed through the ticket
+            // base happens-before a reclaimer that observes this stripe at
+            // zero.
+            self.stripe.fetch_sub(1, Ordering::Release);
+        }
     }
 }
 
@@ -113,7 +276,8 @@ struct Retired<T> {
 /// a drop-observable stand-in; production code uses the [`RetireList`]
 /// alias over [`VirtArea`].
 pub struct RetireCore<T> {
-    stripes: [Stripe; STRIPES],
+    strategy: PinStrategy,
+    stripes: [Stripe; STRIPES + OVERFLOW_STRIPES],
     epoch: AtomicU64,
     retired: Mutex<Vec<Retired<T>>>,
     areas_retired: AtomicU64,
@@ -141,10 +305,36 @@ impl<T: Reclaimable> Default for RetireCore<T> {
 }
 
 impl<T: Reclaimable> RetireCore<T> {
-    /// Fresh list: epoch 0, nothing retired.
+    /// Fresh list: epoch 0, nothing retired. Probes the kernel once per
+    /// process ([`PinStrategy::detect`]) and uses the asymmetric pin when
+    /// `membarrier` registration succeeds.
     pub fn new() -> Self {
+        Self::with_strategy(PinStrategy::detect())
+    }
+
+    /// Fresh list with an explicit pin strategy — `Dekker` forces the
+    /// PR 3 fallback pairing even where `membarrier` is available (used by
+    /// the fallback-matrix tests), and the model suites pass an explicit
+    /// strategy so each proof is deterministic about what it proves.
+    pub fn with_strategy(strategy: PinStrategy) -> Self {
+        if strategy == PinStrategy::Asymmetric {
+            // The expedited command EPERMs unless the process registered;
+            // run the (cached) probe for its registration side effect. On
+            // a host where it fails, the strategy stays safe: every
+            // reclaim tick aborts before its scan (reclamation disabled,
+            // never unsoundness). Skipped in the model, where the barrier
+            // is the loomish op and needs no registration.
+            #[cfg(feature = "loomish")]
+            let in_model = loomish::thread::model_thread_id().is_some();
+            #[cfg(not(feature = "loomish"))]
+            let in_model = false;
+            if !in_model {
+                let _ = PinStrategy::detect();
+            }
+        }
         RetireCore {
-            stripes: Default::default(),
+            strategy,
+            stripes: std::array::from_fn(|_| Stripe::default()),
             epoch: AtomicU64::new(0),
             retired: Mutex::new(Vec::new()),
             areas_retired: AtomicU64::new(0),
@@ -153,26 +343,56 @@ impl<T: Reclaimable> RetireCore<T> {
         }
     }
 
+    /// The pin/scan pairing this list was built with.
+    pub fn pin_strategy(&self) -> PinStrategy {
+        self.strategy
+    }
+
     /// Enter a shortcut read. Must be taken **before** loading the
     /// published base pointer and held across every dereference of it;
     /// dropping the pin marks the read drained.
     ///
-    /// The SeqCst increment forms the reader half of a Dekker pattern with
-    /// the fence in [`RetireCore::quiescent_epoch`]: either the scan
-    /// observes this pin (and defers reclamation), or this reader's
-    /// subsequent loads observe every store made before the scan —
-    /// including the publication that unlinked any area the scan went on
-    /// to reclaim, so the reader cannot obtain its base. We rely on the
-    /// RCsc lowering of a SeqCst RMW (x86: `lock`-prefixed full barrier;
-    /// ARMv8: LDAR/STLR, which later acquire loads cannot bypass) to order
-    /// the increment before the ticket's base load without a separate
-    /// `mfence` — the fence would roughly double the cost of the hot read
-    /// path.
+    /// Under [`PinStrategy::Dekker`] (and on the shared overflow stripes
+    /// under either strategy) the SeqCst increment forms the reader half
+    /// of a Dekker pattern with the fence in
+    /// [`RetireCore::quiescent_epoch`]: either the scan observes this pin
+    /// (and defers reclamation), or this reader's subsequent loads observe
+    /// every store made before the scan — including the publication that
+    /// unlinked any area the scan went on to reclaim, so the reader cannot
+    /// obtain its base. We rely on the RCsc lowering of a SeqCst RMW (x86:
+    /// `lock`-prefixed full barrier; ARMv8: LDAR/STLR, which later acquire
+    /// loads cannot bypass) to order the increment before the ticket's
+    /// base load without a separate `mfence`.
+    ///
+    /// Under [`PinStrategy::Asymmetric`] on an exclusive slot, the pin is
+    /// a plain load + plain store + compiler fence: zero atomic-RMW and
+    /// zero CPU barriers on the hot path. The pairing obligation moves
+    /// wholesale to the reclaimer, whose expedited `membarrier` executes a
+    /// full barrier *inside every running thread* between the pin store
+    /// and any later load the reader performs — restoring exactly the
+    /// either/or of the Dekker argument (see CONCURRENCY.md, "Asymmetric
+    /// reader pins"). The compiler fence only forbids the *compiler* from
+    /// sinking the pin store below the ticket's base load; the CPU side is
+    /// the membarrier's job.
     #[inline]
     pub fn pin(&self) -> ReaderPin<'_> {
-        let stripe = &self.stripes[stripe_index()].0;
+        let claim = slot_claim();
+        if self.strategy == PinStrategy::Asymmetric {
+            if let SlotClaim::Exclusive(i) = claim {
+                let stripe = &self.stripes[i].0;
+                // Exclusive slot: this thread is the only writer, so the
+                // plain load+store increment cannot lose updates.
+                stripe.store(stripe.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+                std::sync::atomic::compiler_fence(Ordering::SeqCst);
+                return ReaderPin { stripe, asym: true };
+            }
+        }
+        let stripe = &self.stripes[claim.index()].0;
         stripe.fetch_add(1, Ordering::SeqCst);
-        ReaderPin { stripe }
+        ReaderPin {
+            stripe,
+            asym: false,
+        }
     }
 
     /// Hand a superseded area to the list. The caller must have unpublished
@@ -206,7 +426,18 @@ impl<T: Reclaimable> RetireCore<T> {
         // Reclaimer half of the Dekker pattern with the SeqCst increment
         // in `pin` (see there): order the epoch snapshot and everything
         // before it (retirement, unpublication) ahead of the stripe scan.
+        // Kept unconditionally — overflow-stripe pins (and the Dekker
+        // fallback) always take the RMW path and pair with this fence.
         fence(Ordering::SeqCst);
+        // Asymmetric half: run a full barrier inside every running thread
+        // of the process, so each exclusive-slot reader sits strictly
+        // before it (pin store globally visible to the scan below) or
+        // strictly after it (its base load sees the unpublication that
+        // preceded the epoch snapshot). Registration succeeded at init, so
+        // failure is unexpected; skip this reclaim tick if it happens.
+        if self.strategy == PinStrategy::Asymmetric && !expedited_barrier() {
+            return None;
+        }
         self.scan_stripes()?;
         Some(safe_epoch)
     }
@@ -305,9 +536,12 @@ impl<T: Reclaimable> RetireCore<T> {
     /// scan's fence can no longer pair with it — the scan may miss a live
     /// pin *and* the reader may miss the unpublication.
     pub fn pin_seeded_relaxed(&self) -> ReaderPin<'_> {
-        let stripe = &self.stripes[stripe_index()].0;
+        let stripe = &self.stripes[slot_claim().index()].0;
         stripe.fetch_add(1, Ordering::Relaxed);
-        ReaderPin { stripe }
+        ReaderPin {
+            stripe,
+            asym: false,
+        }
     }
 
     /// Seeded bug: `quiescent_epoch` without the SeqCst fence between the
@@ -330,6 +564,36 @@ impl<T: Reclaimable> RetireCore<T> {
             list.scan_stripes()?;
             fence(Ordering::SeqCst);
             Some(list.epoch.load(Ordering::SeqCst))
+        })
+    }
+
+    /// Seeded bug for the asymmetric strategy: the reclaimer keeps its own
+    /// SeqCst fence but drops the expedited membarrier. A reclaimer-local
+    /// fence cannot pair with a reader's plain pin store — the store may
+    /// never have entered the globally-agreed order the scan reads from,
+    /// so the scan can observe a stale zero while the pin is live.
+    pub fn try_reclaim_seeded_no_membarrier(&self) -> usize {
+        self.reclaim_up_to(|list| {
+            let safe_epoch = list.epoch.load(Ordering::SeqCst);
+            fence(Ordering::SeqCst);
+            // expedited_barrier() dropped — nothing forces the asymmetric
+            // readers' pin stores into view before the scan.
+            list.scan_stripes()?;
+            Some(safe_epoch)
+        })
+    }
+
+    /// Seeded bug for the asymmetric strategy: the membarrier issued only
+    /// *after* the stripe scan. The scan reads unpaired (same failure as
+    /// the no-membarrier seed); barriering afterwards is too late to
+    /// un-miss a live pin.
+    pub fn try_reclaim_seeded_barrier_after_scan(&self) -> usize {
+        self.reclaim_up_to(|list| {
+            let safe_epoch = list.epoch.load(Ordering::SeqCst);
+            fence(Ordering::SeqCst);
+            list.scan_stripes()?;
+            expedited_barrier();
+            Some(safe_epoch)
         })
     }
 }
@@ -376,6 +640,35 @@ mod tests {
         // A fresh retirement needs a fresh scan.
         list.retire(area(1));
         assert_eq!(list.retired_count(), 1);
+        assert_eq!(list.try_reclaim(), 1);
+    }
+
+    #[test]
+    fn forced_dekker_lifecycle_matches_default() {
+        // The fallback strategy must behave identically through the public
+        // API: pin blocks, drop drains, counters advance.
+        let list = RetireCore::<VirtArea>::with_strategy(PinStrategy::Dekker);
+        assert_eq!(list.pin_strategy(), PinStrategy::Dekker);
+        let pin = list.pin();
+        list.retire(area(1));
+        assert_eq!(list.try_reclaim(), 0, "must not unmap under a pin");
+        drop(pin);
+        assert_eq!(list.try_reclaim(), 1);
+        assert_eq!(list.counters(), (1, 1, 1));
+    }
+
+    #[test]
+    fn detect_is_stable_and_asym_works_where_advertised() {
+        let s = PinStrategy::detect();
+        assert_eq!(s, PinStrategy::detect(), "detection must be cached");
+        // Whatever the host offers, the auto-constructed list must honour
+        // the pin/scan contract.
+        let list = RetireList::new();
+        assert_eq!(list.pin_strategy(), s);
+        let pin = list.pin();
+        list.retire(area(1));
+        assert_eq!(list.try_reclaim(), 0, "must not unmap under a pin");
+        drop(pin);
         assert_eq!(list.try_reclaim(), 1);
     }
 

@@ -1,0 +1,257 @@
+//! Exhaustive model check of the **asymmetric** pin/reclaim pairing
+//! (`PinStrategy::Asymmetric`): readers pin exclusive slots with plain
+//! load/store only, and the reclaimer issues an expedited `membarrier`
+//! between its epoch snapshot and the stripe scan.
+//!
+//! Run with `cargo test -p shortcut-rewire --features loomish`.
+//!
+//! The scenario is the one `loom_retire.rs` proves for the Dekker pairing
+//! (third-thread reclaimer + pre-retired older area — both load-bearing,
+//! see there), re-run with the asymmetric strategy. What changes is *where
+//! the ordering comes from*: the reader contributes no RMW and no fence,
+//! so the entire either/or obligation rests on the reclaimer's membarrier,
+//! modeled by `loomish::sync::membarrier` as a SeqCst fence injected into
+//! every live model thread at its current program point (a faithful
+//! rendering of `MEMBARRIER_CMD_PRIVATE_EXPEDITED`, whose IPIs execute a
+//! full barrier inside each running thread at one linearization moment).
+//!
+//! Case split the positive proof rests on, for a reader whose pin store
+//! sits before/after the barrier's linearization point M:
+//!
+//! * **pin store before M** — the fence injected into the reader thread
+//!   publishes the store; the scan (after M on the reclaimer) is forced to
+//!   observe the live pin and defers reclamation.
+//! * **pin store after M** — the reclaimer reached M having already
+//!   snapshotted the epoch; its own fence (first half of the membarrier
+//!   op) published everything the snapshot implies — including the
+//!   unpublication that preceded any covered retirement — to the global
+//!   order, and the fence injected into the reader forces the reader's
+//!   *later* publication-word load to see it. The reader cannot obtain
+//!   the dying base, so missing its pin is harmless.
+//!
+//! The seeded variants each break one link and must be caught:
+//!
+//! * `no_membarrier`: reclaimer keeps only its local SeqCst fence. A local
+//!   fence cannot pair with a plain store that never entered the global
+//!   order — the scan may read a stale zero under a live pin.
+//! * `barrier_after_scan`: the barrier runs too late to un-miss the pin.
+//! * `pin_after_read` (scenario-level): the reader's base load hoisted
+//!   above its pin store — the reorder the production `compiler_fence`
+//!   exists to forbid. Caught even under the correct reclaimer.
+
+#![cfg(feature = "loomish")]
+
+use loomish::Builder;
+use shortcut_rewire::sync::{thread, AtomicU64, Ordering};
+use shortcut_rewire::{PinStrategy, Reclaimable, RetireCore};
+use std::sync::atomic::{AtomicBool as StdAtomicBool, Ordering as StdOrd};
+use std::sync::Arc;
+
+/// Drop-observable stand-in for a mapped `VirtArea` (see `loom_retire.rs`:
+/// the flag is ground truth outside the instrumented memory model).
+struct TestArea {
+    mapped: Arc<StdAtomicBool>,
+}
+
+impl Reclaimable for TestArea {
+    fn vma_estimate(&self) -> usize {
+        1
+    }
+}
+
+impl Drop for TestArea {
+    fn drop(&mut self) {
+        self.mapped.store(false, StdOrd::SeqCst);
+    }
+}
+
+#[derive(Clone, Copy)]
+enum ReaderKind {
+    /// pin, then load the publication word — the production order.
+    Correct,
+    /// Load the publication word *before* pinning: models the compiler or
+    /// CPU sinking the plain pin store below the base load (no RMW/fence
+    /// stops it anymore — only the `compiler_fence` in `pin` does).
+    SeededPinAfterRead,
+}
+
+#[derive(Clone, Copy)]
+enum ReclaimKind {
+    Correct,
+    SeededNoMembarrier,
+    SeededBarrierAfterScan,
+}
+
+fn scenario(reader: ReaderKind, reclaim: ReclaimKind) -> impl Fn() + Send + Sync + 'static {
+    move || {
+        // Explicit strategy: this suite proves the asymmetric pairing.
+        // (The model reader is tid 1 < STRIPES, so it owns an exclusive
+        // slot and takes the plain-store pin path.)
+        let core = Arc::new(RetireCore::<TestArea>::with_strategy(
+            PinStrategy::Asymmetric,
+        ));
+        let mapped = Arc::new(StdAtomicBool::new(true));
+        // 1 = the old area is published (a reader that loads 1 considers
+        // itself entitled to dereference the old base).
+        let published = Arc::new(AtomicU64::new(1));
+
+        // Pre-retired older area: lets the reclaimer pass the empty-list
+        // guard without synchronizing with the racing retirement.
+        let old_mapped = Arc::new(StdAtomicBool::new(true));
+        core.retire(TestArea {
+            mapped: Arc::clone(&old_mapped),
+        });
+
+        let reader_t = {
+            let core = Arc::clone(&core);
+            let mapped = Arc::clone(&mapped);
+            let published = Arc::clone(&published);
+            thread::spawn(move || match reader {
+                ReaderKind::Correct => {
+                    let pin_guard = core.pin();
+                    if published.load(Ordering::Acquire) == 1 {
+                        thread::yield_now();
+                        assert!(
+                            mapped.load(StdOrd::SeqCst),
+                            "area unmapped under a live pre-scan pin"
+                        );
+                    }
+                    drop(pin_guard);
+                }
+                ReaderKind::SeededPinAfterRead => {
+                    let saw = published.load(Ordering::Acquire);
+                    let pin_guard = core.pin();
+                    if saw == 1 {
+                        thread::yield_now();
+                        assert!(
+                            mapped.load(StdOrd::SeqCst),
+                            "area unmapped under a live pre-scan pin"
+                        );
+                    }
+                    drop(pin_guard);
+                }
+            })
+        };
+
+        let writer = {
+            let core = Arc::clone(&core);
+            let mapped = Arc::clone(&mapped);
+            let published = Arc::clone(&published);
+            thread::spawn(move || {
+                // Unpublish, then retire — the order the seqlock enforces.
+                published.store(0, Ordering::Release);
+                core.retire(TestArea {
+                    mapped: Arc::clone(&mapped),
+                });
+            })
+        };
+
+        let reclaimer = {
+            let core = Arc::clone(&core);
+            thread::spawn(move || match reclaim {
+                ReclaimKind::Correct => core.try_reclaim(),
+                ReclaimKind::SeededNoMembarrier => core.try_reclaim_seeded_no_membarrier(),
+                ReclaimKind::SeededBarrierAfterScan => core.try_reclaim_seeded_barrier_after_scan(),
+            })
+        };
+
+        reader_t.join().unwrap();
+        writer.join().unwrap();
+        reclaimer.join().unwrap();
+
+        // Quiesced world: nothing stays behind after a clean final scan.
+        core.try_reclaim();
+        assert_eq!(core.retired_count(), 0, "area leaked past a clean scan");
+        assert!(!mapped.load(StdOrd::SeqCst));
+        assert!(!old_mapped.load(StdOrd::SeqCst));
+    }
+}
+
+fn builder() -> Builder {
+    Builder::new()
+        .ordering_sensitive(true)
+        .preemption_bound(Some(3))
+}
+
+#[test]
+fn asym_pin_reclaim_protocol_holds_exhaustively() {
+    let report = builder()
+        .check(scenario(ReaderKind::Correct, ReclaimKind::Correct))
+        .unwrap_or_else(|cx| panic!("asym pin/reclaim counterexample: {cx}"));
+    println!(
+        "asym pin/reclaim: {} interleavings explored, invariant held",
+        report.executions
+    );
+    assert!(
+        report.executions > 1_000,
+        "suspiciously small exploration: {}",
+        report.executions
+    );
+}
+
+/// Teeth check: a reclaimer-local fence is not a substitute for the
+/// membarrier — the reader's plain pin store may never enter the global
+/// order the scan reads from. Must be caught.
+#[test]
+fn seeded_no_membarrier_is_caught() {
+    let err = builder()
+        .check(scenario(
+            ReaderKind::Correct,
+            ReclaimKind::SeededNoMembarrier,
+        ))
+        .expect_err("membarrier-free reclaim not caught — the model checker has lost its teeth");
+    assert!(
+        err.message.contains("unmapped under a live pre-scan pin"),
+        "unexpected counterexample: {err}"
+    );
+}
+
+/// Teeth check: barriering *after* the stripe scan is too late — the scan
+/// already read unpaired. Must be caught.
+#[test]
+fn seeded_barrier_after_scan_is_caught() {
+    let err = builder()
+        .check(scenario(
+            ReaderKind::Correct,
+            ReclaimKind::SeededBarrierAfterScan,
+        ))
+        .expect_err("late-barrier reclaim not caught — the model checker has lost its teeth");
+    assert!(
+        err.message.contains("unmapped under a live pre-scan pin"),
+        "unexpected counterexample: {err}"
+    );
+}
+
+/// Teeth check: hoisting the reader's base load above its pin store (the
+/// reorder `pin`'s compiler fence forbids) breaks the protocol even with a
+/// correct reclaimer — the whole reclaim tick can slot into the gap. This
+/// one is algorithmic, so run it in cheap SC mode.
+#[test]
+fn seeded_pin_after_read_is_caught() {
+    let err = Builder::new()
+        .preemption_bound(Some(3))
+        .check(scenario(
+            ReaderKind::SeededPinAfterRead,
+            ReclaimKind::Correct,
+        ))
+        .expect_err("pin-after-read reorder not caught — the model checker has lost its teeth");
+    assert!(
+        err.message.contains("unmapped under a live pre-scan pin"),
+        "unexpected counterexample: {err}"
+    );
+}
+
+/// The asymmetric protocol under plain sequentially-consistent-per-location
+/// semantics: a cheaper pass checking the algorithmic order independently
+/// of memory-ordering subtleties.
+#[test]
+fn asym_pin_reclaim_holds_under_sc_interleavings() {
+    let report = Builder::new()
+        .preemption_bound(Some(3))
+        .check(scenario(ReaderKind::Correct, ReclaimKind::Correct))
+        .unwrap_or_else(|cx| panic!("asym pin/reclaim SC counterexample: {cx}"));
+    println!(
+        "asym pin/reclaim (SC mode): {} interleavings",
+        report.executions
+    );
+}

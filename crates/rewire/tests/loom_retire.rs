@@ -34,7 +34,7 @@
 
 use loomish::Builder;
 use shortcut_rewire::sync::{thread, AtomicU64, Ordering};
-use shortcut_rewire::{Reclaimable, RetireCore};
+use shortcut_rewire::{PinStrategy, Reclaimable, RetireCore};
 use std::sync::atomic::{AtomicBool as StdAtomicBool, Ordering as StdOrd};
 use std::sync::Arc;
 
@@ -74,7 +74,13 @@ enum ReclaimKind {
 
 fn scenario(pin: PinKind, reclaim: ReclaimKind) -> impl Fn() + Send + Sync + 'static {
     move || {
-        let core = Arc::new(RetireCore::<TestArea>::new());
+        // Explicit Dekker: this suite proves the RMW-pin/fence pairing.
+        // (`new()` would auto-detect and, on membarrier-capable hosts,
+        // switch to the asymmetric pairing — proved separately, with its
+        // own seeds, in `loom_asym_pin.rs` — and the membarrier would
+        // even rescue the relaxed-pin seed below, making the teeth tests
+        // vacuous.)
+        let core = Arc::new(RetireCore::<TestArea>::with_strategy(PinStrategy::Dekker));
         let mapped = Arc::new(StdAtomicBool::new(true));
         // Publication word standing in for the seqlock'd directory state:
         // 1 = the old area is published (a reader that loads 1 considers

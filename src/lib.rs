@@ -86,8 +86,11 @@ pub use shortcut_rewire as rewire;
 pub use shortcut_vmsim as vmsim;
 
 pub use shortcut_core::{CompactionPolicy, MaintConfig, RoutePolicy};
+pub use shortcut_exhash::{probe_backend, ProbeBackend};
 pub use shortcut_exhash::{BucketLayout, CompactionOutcome, Index, IndexError, IndexStats};
-pub use shortcut_rewire::{max_map_count, PoolConfig, SlotLayout, VmaBudget, VmaSnapshot};
+pub use shortcut_rewire::{
+    max_map_count, PinStrategy, PoolConfig, SlotLayout, VmaBudget, VmaSnapshot,
+};
 
 pub use shortcut_exhash::{ShardedIndex, MAX_SHARD_BITS};
 
@@ -112,6 +115,7 @@ pub struct IndexBuilder {
     slot_power: Option<u32>,
     huge_pages: bool,
     shard_bits: u32,
+    pin_strategy: Option<PinStrategy>,
 }
 
 impl IndexBuilder {
@@ -221,6 +225,23 @@ impl IndexBuilder {
     /// best-effort.
     pub fn huge_pages(mut self, enabled: bool) -> Self {
         self.huge_pages = enabled;
+        self
+    }
+
+    /// Force the reader-pin pairing of every shard's retire list instead
+    /// of auto-detecting. The default (`None`) probes `membarrier(2)` once
+    /// per process and uses [`PinStrategy::Asymmetric`] — load/store-only
+    /// reader pins, the reclaimer pays the barrier — when registration
+    /// succeeds, degrading to the [`PinStrategy::Dekker`] RMW pairing
+    /// otherwise. Forcing `Dekker` exercises the fallback path on hosts
+    /// where membarrier works (the fallback-matrix tests do exactly
+    /// that). Forcing `Asymmetric` on a host whose kernel rejects the
+    /// barrier stays safe but disables reclamation (every reclaim tick
+    /// aborts before its scan), so retired directories accumulate —
+    /// normally leave this alone. Surfaced in
+    /// `StatsSnapshot::pin_strategy`.
+    pub fn pin_strategy(mut self, strategy: PinStrategy) -> Self {
+        self.pin_strategy = Some(strategy);
         self
     }
 
@@ -340,6 +361,9 @@ impl IndexBuilder {
         if self.huge_pages {
             pool.huge_pages = true;
         }
+        if let Some(strategy) = self.pin_strategy {
+            pool.pin_strategy = Some(strategy);
+        }
         if let Some(limit) = self.vma_budget_limit {
             // One Arc, cloned into every shard's pool config: all shards
             // account against (and fair-share) the same budget. Without a
@@ -409,6 +433,14 @@ pub struct StatsSnapshot {
     /// back cleanly to plain 4 KB-page slots (no hugepages reserved, or
     /// the slot size is below the 2 MB boundary).
     pub huge_pages_active: bool,
+    /// Reader-pin pairing of the retire list:
+    /// [`PinStrategy::Asymmetric`] (membarrier-paired load/store pins) or
+    /// the [`PinStrategy::Dekker`] RMW fallback.
+    pub pin_strategy: PinStrategy,
+    /// Name of the bucket-probe key-compare kernel in use
+    /// (`"avx2"`/`"sse2"`/`"scalar"`; `"mixed"` only in a merged snapshot
+    /// whose shards somehow disagree).
+    pub probe_backend: &'static str,
     /// Structural + routing statistics of the index.
     pub index: IndexStats,
     /// Counters of the asynchronous mapper thread.
@@ -441,7 +473,10 @@ impl StatsSnapshot {
     ///   hold if **any** shard holds (or); the layout gauges
     ///   (`pages_per_slot`, `slot_bytes`, `bucket_capacity`) take the
     ///   max — shards built by [`IndexBuilder`] are homogeneous, so this
-    ///   is the common value.
+    ///   is the common value; `pin_strategy` is `Asymmetric` only if
+    ///   **every** shard runs asymmetric (any Dekker fallback shows);
+    ///   `probe_backend` keeps the common name, or `"mixed"` if shards
+    ///   ever disagreed.
     pub fn merge(&self, other: &StatsSnapshot) -> StatsSnapshot {
         let buckets = self.bucket_count + other.bucket_count;
         StatsSnapshot {
@@ -467,6 +502,18 @@ impl StatsSnapshot {
             bucket_capacity: self.bucket_capacity.max(other.bucket_capacity),
             huge_pages_requested: self.huge_pages_requested || other.huge_pages_requested,
             huge_pages_active: self.huge_pages_active && other.huge_pages_active,
+            pin_strategy: if self.pin_strategy == PinStrategy::Asymmetric
+                && other.pin_strategy == PinStrategy::Asymmetric
+            {
+                PinStrategy::Asymmetric
+            } else {
+                PinStrategy::Dekker
+            },
+            probe_backend: if self.probe_backend == other.probe_backend {
+                self.probe_backend
+            } else {
+                "mixed"
+            },
             index: self.index.merge(&other.index),
             maint: self.maint.merge(&other.maint),
             rewire: self.rewire.merge(&other.rewire),
@@ -554,6 +601,11 @@ impl std::fmt::Display for StatsSnapshot {
             self.vma.limit,
             self.vma.areas_retired,
             self.vma.areas_reclaimed
+        )?;
+        writeln!(
+            f,
+            "read_path: pin_strategy={} probe_backend={}",
+            self.pin_strategy, self.probe_backend
         )
     }
 }
@@ -805,6 +857,8 @@ impl ShortcutIndex {
             bucket_capacity: s.bucket_layout().capacity(),
             huge_pages_requested: s.huge_requested(),
             huge_pages_active: s.huge_active(),
+            pin_strategy: s.pin_strategy(),
+            probe_backend: probe_backend().name(),
             index: s.stats(),
             maint: s.maint_metrics(),
             rewire: s.pool_stats(),
@@ -883,6 +937,8 @@ mod tests {
             bucket_capacity: 87,
             huge_pages_requested: false,
             huge_pages_active: true,
+            pin_strategy: PinStrategy::Asymmetric,
+            probe_backend: "scalar",
             index: IndexStats::default(),
             maint: MaintSnapshot::default(),
             rewire: rewire::StatsSnapshot::default(),
@@ -945,11 +1001,33 @@ mod tests {
             "structure: splits=0 ",
             "maint: creates=0 ",
             "vma: in_use=0 ",
+            "read_path: pin_strategy=asymmetric probe_backend=scalar",
         ] {
             assert!(text.contains(key), "missing `{key}` in:\n{text}");
         }
         assert!((s.shortcut_served_pct() - 95.0).abs() < 1e-9);
         assert_eq!(snap(0, 0, 0, 0.0, true).shortcut_served_pct(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_merge_read_path_takes_the_honest_extreme() {
+        let asym = snap(1, 0, 1, 1.0, true);
+        let mut dekker = snap(1, 0, 1, 1.0, true);
+        dekker.pin_strategy = PinStrategy::Dekker;
+        assert_eq!(
+            asym.merge(&asym).pin_strategy,
+            PinStrategy::Asymmetric,
+            "all-asymmetric shards stay asymmetric"
+        );
+        assert_eq!(
+            asym.merge(&dekker).pin_strategy,
+            PinStrategy::Dekker,
+            "any Dekker fallback must show in the aggregate"
+        );
+        let mut simd = snap(1, 0, 1, 1.0, true);
+        simd.probe_backend = "avx2";
+        assert_eq!(asym.merge(&asym).probe_backend, "scalar");
+        assert_eq!(asym.merge(&simd).probe_backend, "mixed");
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::time::Duration;
 use taking_the_shortcut::core::{
     MaintConfig, MaintRequest, Maintainer, MapperEngine, ShortcutNode,
 };
-use taking_the_shortcut::rewire::{Error, PageIdx, PagePool, PoolConfig, VirtArea};
+use taking_the_shortcut::rewire::{Error, PageIdx, PagePool, PinStrategy, PoolConfig, VirtArea};
 
 #[test]
 fn pool_exhaustion_is_an_error_not_a_crash() {
@@ -190,6 +190,75 @@ fn reclamation_never_unmaps_under_a_stale_read_ticket() {
     drop(pin);
 
     // With the reader drained, the next tick reclaims the retired area.
+    assert_eq!(engine.reclaim_tick().unwrap(), 1);
+    assert_eq!(handle.retire_list().retired_count(), 0);
+    assert_eq!(handle.vma_snapshot().areas_reclaimed, 1);
+}
+
+#[test]
+fn stale_ticket_protection_is_identical_under_forced_dekker_fallback() {
+    // The ENOSYS/unsupported-kernel path: a pool configured with the
+    // Dekker fallback (what auto-detection degrades to when membarrier
+    // registration fails) must give stale read tickets exactly the
+    // protection the asymmetric strategy gives them — same deferral under
+    // a pin, same reclaim once drained.
+    use std::sync::Arc;
+    use taking_the_shortcut::core::{MaintMetrics, SharedDirectoryState};
+
+    let mut pool = PagePool::new(PoolConfig {
+        initial_pages: 8,
+        view_capacity_pages: 64,
+        pin_strategy: Some(PinStrategy::Dekker),
+        ..PoolConfig::default()
+    })
+    .unwrap();
+    let handle = pool.handle();
+    assert_eq!(handle.retire_list().pin_strategy(), PinStrategy::Dekker);
+    let state = Arc::new(SharedDirectoryState::new());
+    let metrics = Arc::new(MaintMetrics::default());
+    let mut engine = MapperEngine::new(
+        handle.clone(),
+        Arc::clone(&state),
+        metrics,
+        MaintConfig::default(),
+    );
+    let l0 = pool.alloc_page().unwrap();
+    let l1 = pool.alloc_page().unwrap();
+    unsafe {
+        *(pool.page_ptr(l0) as *mut u64) = 0xDEAD_0002;
+    }
+
+    let v1 = state.bump_traditional();
+    engine
+        .apply_batch(vec![MaintRequest::Create {
+            slots: 1,
+            assignments: vec![(0, l0)],
+            version: v1,
+        }])
+        .unwrap();
+
+    let pin = handle.retire_list().pin();
+    let ticket = state.begin_read().expect("in sync");
+
+    let v2 = state.bump_traditional();
+    engine
+        .apply_batch(vec![MaintRequest::Create {
+            slots: 2,
+            assignments: vec![(0, l0), (1, l1)],
+            version: v2,
+        }])
+        .unwrap();
+    assert_eq!(handle.retire_list().retired_count(), 1);
+
+    // Identical PR 3 semantics: no unmap under the outstanding pin...
+    assert_eq!(engine.reclaim_tick().unwrap(), 0);
+    assert_eq!(handle.retire_list().retired_count(), 1);
+    let stale = unsafe { *(ticket.base as *const u64) };
+    assert_eq!(stale, 0xDEAD_0002);
+    assert!(!state.still_valid(ticket), "raced read must be discarded");
+    drop(pin);
+
+    // ...and reclamation on the next tick once the reader drained.
     assert_eq!(engine.reclaim_tick().unwrap(), 1);
     assert_eq!(handle.retire_list().retired_count(), 0);
     assert_eq!(handle.vma_snapshot().areas_reclaimed, 1);

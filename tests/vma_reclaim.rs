@@ -89,6 +89,45 @@ fn mapping_count_plateaus_after_doublings() {
 }
 
 #[test]
+fn forced_dekker_fallback_reclaims_exactly_like_the_default() {
+    // The fallback half of the pin-strategy matrix, end to end through
+    // the facade: a builder-forced Dekker index (what membarrier-less
+    // kernels get) must show the same retire-and-reclaim lifecycle as the
+    // auto-detected default — every retired directory reclaimed, mapping
+    // count plateaued, lookups correct.
+    use taking_the_shortcut::PinStrategy;
+    let mut index = ShortcutIndex::builder()
+        .capacity(200_000)
+        .poll_interval(Duration::from_millis(1))
+        .vma_budget(1_000_000) // private: isolate `in_use` accounting
+        .pin_strategy(PinStrategy::Dekker)
+        .build()
+        .unwrap();
+    assert_eq!(index.stats().pin_strategy, PinStrategy::Dekker);
+
+    let n = grow_to_doublings(&mut index, 6, 100);
+    assert!(index.wait_sync(Duration::from_secs(60)), "never synced");
+    let s = drain_retired(&index, Duration::from_secs(10));
+    assert_eq!(s.vma.retired_areas, 0, "retired areas leaked: {:?}", s.vma);
+    assert!(s.vma.areas_retired >= 3, "{:?}", s.vma);
+    assert_eq!(
+        s.vma.areas_retired, s.vma.areas_reclaimed,
+        "every retired directory must be reclaimed: {:?}",
+        s.vma
+    );
+    let dir_slots = 1u64 << s.global_depth;
+    assert!(
+        s.vma.in_use <= dir_slots + 16,
+        "mapping count did not plateau under Dekker: {} VMAs for {} slots",
+        s.vma.in_use,
+        dir_slots
+    );
+    for k in (0..n).step_by(991) {
+        assert_eq!(index.get(k), Some(k.wrapping_mul(7)), "key {k}");
+    }
+}
+
+#[test]
 fn plateau_scales_down_with_slot_size() {
     // Same entries, 2^k-page slots: buckets hold ~2^k times more entries,
     // the directory is ~2^k times shallower, and the post-reclamation

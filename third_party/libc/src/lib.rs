@@ -6,6 +6,8 @@
 //! identical on x86_64 and aarch64 for everything declared here.
 
 #![allow(non_camel_case_types)]
+// `SYS_membarrier` matches the upstream libc crate's spelling.
+#![allow(non_upper_case_globals)]
 
 pub use std::os::raw::{c_char, c_int, c_long, c_uint, c_void};
 
@@ -15,6 +17,7 @@ pub type off_t = i64;
 // errno values (asm-generic).
 pub const EINVAL: c_int = 22;
 pub const ENOMEM: c_int = 12;
+pub const ENOSYS: c_int = 38;
 pub const EOPNOTSUPP: c_int = 95;
 
 // fallocate(2) mode flags.
@@ -48,6 +51,16 @@ pub const MAP_FAILED: *mut c_void = !0 as *mut c_void;
 // sysconf(3) names.
 pub const _SC_PAGESIZE: c_int = 30;
 
+// membarrier(2): syscall number (arch-specific) and command flags.
+#[cfg(target_arch = "x86_64")]
+pub const SYS_membarrier: c_long = 324;
+#[cfg(target_arch = "aarch64")]
+pub const SYS_membarrier: c_long = 283;
+
+pub const MEMBARRIER_CMD_QUERY: c_int = 0;
+pub const MEMBARRIER_CMD_PRIVATE_EXPEDITED: c_int = 1 << 3;
+pub const MEMBARRIER_CMD_REGISTER_PRIVATE_EXPEDITED: c_int = 1 << 4;
+
 extern "C" {
     pub fn close(fd: c_int) -> c_int;
     pub fn ftruncate(fd: c_int, length: off_t) -> c_int;
@@ -64,6 +77,7 @@ extern "C" {
     pub fn munmap(addr: *mut c_void, len: size_t) -> c_int;
     pub fn madvise(addr: *mut c_void, len: size_t, advice: c_int) -> c_int;
     pub fn sysconf(name: c_int) -> c_long;
+    pub fn syscall(num: c_long, ...) -> c_long;
 }
 
 #[cfg(test)]
@@ -75,6 +89,28 @@ mod tests {
         let ps = unsafe { sysconf(_SC_PAGESIZE) };
         assert!(ps >= 4096, "sysconf(_SC_PAGESIZE) = {ps}");
         assert_eq!(ps & (ps - 1), 0, "page size must be a power of two");
+    }
+
+    #[test]
+    fn membarrier_query_is_callable() {
+        // Query never has side effects: it returns a bitmask of supported
+        // commands, or -1 on kernels without the syscall. Either way the
+        // shim's number and variadic declaration must not fault.
+        let r = unsafe { syscall(SYS_membarrier, MEMBARRIER_CMD_QUERY, 0, 0) };
+        assert!(r >= -1, "membarrier query returned {r}");
+        if r >= 0 && (r & MEMBARRIER_CMD_PRIVATE_EXPEDITED as c_long) != 0 {
+            // A kernel that advertises the expedited command must accept
+            // the registration retire.rs performs at pool init.
+            let reg = unsafe {
+                syscall(
+                    SYS_membarrier,
+                    MEMBARRIER_CMD_REGISTER_PRIVATE_EXPEDITED,
+                    0,
+                    0,
+                )
+            };
+            assert_eq!(reg, 0, "advertised registration failed");
+        }
     }
 
     #[test]

@@ -416,6 +416,34 @@ impl ExecState {
         }
     }
 
+    /// Model of `membarrier(MEMBARRIER_CMD_PRIVATE_EXPEDITED)`: the kernel
+    /// guarantees that when the call returns, every thread of the process
+    /// has executed a full memory barrier at some point after the call
+    /// began. The scheduler serializes all threads, so every other thread
+    /// currently sits *between* two of its operations — exactly the
+    /// program points the expedited IPI lands on — and injecting a SeqCst
+    /// fence there is a faithful (single-linearization-point) model.
+    ///
+    /// Order matters and mirrors the syscall's barrier pairing: the caller
+    /// fences first (its pre-call knowledge — e.g. the epoch snapshot's
+    /// acquired view — enters the global SC view), then every other thread
+    /// fences (importing that knowledge and publishing its own plain
+    /// stores, the store-buffer flush of the IPI), then the caller fences
+    /// again (importing what the threads published, so its subsequent
+    /// loads — the stripe scan — cannot miss them).
+    pub(crate) fn mem_membarrier(&mut self, me: usize) {
+        if !self.ordering {
+            return;
+        }
+        self.mem_fence(me, Ordering::SeqCst);
+        for t in 0..self.threads.len() {
+            if t != me && self.threads[t].status != Status::Finished {
+                self.mem_fence(t, Ordering::SeqCst);
+            }
+        }
+        self.mem_fence(me, Ordering::SeqCst);
+    }
+
     pub(crate) fn mutex_acquire_view(&mut self, me: usize, mid: usize) {
         if self.ordering {
             let v = self.mutexes[mid].view.clone();

@@ -31,6 +31,23 @@ pub fn fence(ord: Ordering) {
     }
 }
 
+/// Process-wide expedited barrier: the model of
+/// `membarrier(MEMBARRIER_CMD_PRIVATE_EXPEDITED)`. Inside a model run it
+/// injects a SeqCst-fence effect into every model thread at the current
+/// scheduling point (see `ExecState::mem_membarrier` for why that is a
+/// faithful model of the syscall). Outside a model run it is a no-op:
+/// production code must issue the real syscall itself — the passthrough
+/// here exists only so instrumented code can be exercised by ordinary
+/// (non-model) tests, which route their barrier through the real kernel.
+pub fn membarrier() {
+    if rt::ctx().is_some() {
+        op("membarrier", |st, me| {
+            st.mem_membarrier(me);
+            Ok(())
+        })
+    }
+}
+
 /// Generates an instrumented integer atomic wrapping std atomic `$std`
 /// with value type `$t`, converting through u64 for the model.
 macro_rules! int_atomic {
